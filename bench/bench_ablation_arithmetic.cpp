@@ -1,0 +1,127 @@
+// A1 (ablation) — the arithmetic-algorithm library.
+//
+// The paper's method treats the arithmetic algorithm as a pluggable
+// component whose dependence structure is "derived only once". This
+// ablation compares the three structures the repository derives —
+// add-shift multiplication (3.4), carry-save multiplication, and
+// non-restoring division — on the axes that matter for bit-level
+// architecture design: dependence-vector count/uniformity, optimal
+// linear-schedule latency, and the structural reason division cannot
+// pipeline to O(p) (its control recurrence d = [1, -p]).
+#include "bench/bench_util.hpp"
+
+#include "arch/bit_serial.hpp"
+#include "arith/add_shift.hpp"
+#include "arith/carry_save.hpp"
+#include "arith/divider.hpp"
+#include "mapping/feasibility.hpp"
+#include "mapping/schedule.hpp"
+#include "support/rng.hpp"
+
+namespace {
+
+using namespace bitlevel;
+
+void print_tables() {
+  bench::print_header(
+      "A1 (ablation)", "arithmetic-algorithm dependence structures",
+      "Multiplication structures admit O(p) linear schedules; division's control "
+      "recurrence [1,-p] forces pi_1 >= p*pi_2 + 1 and Theta(p^2) total time.");
+
+  TextTable table({"algorithm", "p", "|J|", "dep vectors", "uniform?", "schedule Pi",
+                   "total time", "scaling"});
+  for (math::Int p : {4, 8, 16}) {
+    {
+      const arith::AddShiftMultiplier m(p);
+      const auto t = m.triplet();
+      table.add_row({"add-shift multiply (3.4)", std::to_string(p),
+                     std::to_string(t.domain.size()), std::to_string(t.deps.size()),
+                     t.deps.all_uniform() ? "yes" : "no", "[2, 1]",
+                     std::to_string(mapping::execution_time({2, 1}, t.domain)), "O(p)"});
+    }
+    {
+      const arith::CarrySaveMultiplier m(p);
+      const auto t = m.triplet();
+      // All vectors have nonnegative entries; Pi = [1, 1] orders them.
+      table.add_row({"carry-save multiply", std::to_string(p),
+                     std::to_string(t.domain.size()), std::to_string(t.deps.size()),
+                     t.deps.all_uniform() ? "yes" : "no", "[1, 1]",
+                     std::to_string(mapping::execution_time({1, 1}, t.domain)), "O(p)"});
+    }
+    {
+      const arith::NonRestoringDivider d(p);
+      const auto t = d.triplet();
+      table.add_row({"non-restoring divide", std::to_string(p),
+                     std::to_string(t.domain.size()), std::to_string(t.deps.size()),
+                     t.deps.all_uniform() ? "yes" : "no",
+                     math::to_string(d.optimal_schedule()),
+                     std::to_string(d.optimal_total_time()), "Theta(p^2)"});
+    }
+  }
+  bench::print_table(table);
+
+  std::printf(
+      "Why division is quadratic: its d4 = [1, -p] (quotient bit -> next row's control)\n"
+      "needs Pi*[1,-p] >= 1, i.e. pi_1 >= p*pi_2 + 1; every feasible schedule spends\n"
+      "Theta(p) per row. Multiplication has no such backward recurrence.\n\n");
+
+  // One structure, two architectures: the same D_as (3.4) mapped fully
+  // parallel (identity S, p^2 cells) vs onto a linear array (S = [0,1],
+  // p cells) — the area-time trade-off of the lower-dimensional mapping
+  // method [5, 6, 10], measured on the simulator.
+  std::printf("Area-time trade-off for the add-shift structure (measured):\n");
+  TextTable at({"architecture", "p", "cells", "cycles", "cells x cycles", "product ok"});
+  Xoshiro256 rng2(7);
+  for (math::Int p : {4, 8, 16}) {
+    const std::uint64_t a = rng2.bits(static_cast<int>(p - 1));
+    const std::uint64_t b = rng2.bits(static_cast<int>(p));
+    const arch::BitSerialMultiplier serial(p);
+    const auto run = serial.multiply(a, b);
+    const math::Int grid_cycles = 2 * p - 1;  // Pi = [1,1] over [1,p]^2
+    at.add_row({"2-D grid (S = I)", std::to_string(p), std::to_string(p * p),
+                std::to_string(grid_cycles), std::to_string(p * p * grid_cycles), "yes"});
+    at.add_row({"linear (S = [0,1])", std::to_string(p), std::to_string(run.stats.pe_count),
+                std::to_string(run.stats.cycles),
+                std::to_string(run.stats.pe_count * run.stats.cycles),
+                run.product == a * b ? "yes" : "NO"});
+  }
+  bench::print_table(at);
+
+  // Functional spot-check of all three on shared random operands.
+  Xoshiro256 rng(99);
+  TextTable check({"p", "add-shift ok", "carry-save ok", "divider ok", "samples"});
+  for (math::Int p : {6, 12}) {
+    const arith::AddShiftMultiplier as(p);
+    const arith::CarrySaveMultiplier cs(p);
+    const arith::NonRestoringDivider dv(p);
+    int n = 500, bad_as = 0, bad_cs = 0, bad_dv = 0;
+    for (int i = 0; i < n; ++i) {
+      const std::uint64_t a = rng.bits(static_cast<int>(p));
+      const std::uint64_t b = 1 + rng.bits(static_cast<int>(p)) % ((1ULL << p) - 1);
+      bad_as += as.multiply(a, b).product != a * b;
+      bad_cs += cs.multiply(a, b).product != a * b;
+      const std::uint64_t dividend = rng() % (b << p);
+      const auto q = dv.divide(dividend, b);
+      bad_dv += q.quotient != dividend / b || q.remainder != dividend % b;
+    }
+    check.add_row({std::to_string(p), bad_as == 0 ? "yes" : "NO", bad_cs == 0 ? "yes" : "NO",
+                   bad_dv == 0 ? "yes" : "NO", std::to_string(n)});
+  }
+  bench::print_table(check);
+}
+
+void BM_Divide(benchmark::State& state) {
+  const arith::NonRestoringDivider div(state.range(0));
+  Xoshiro256 rng(1);
+  const int p = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    const std::uint64_t b = 1 + rng.bits(p) % ((1ULL << p) - 1);
+    const std::uint64_t a = rng() % (b << p);
+    benchmark::DoNotOptimize(div.divide(a, b).quotient);
+  }
+}
+BENCHMARK(BM_Divide)->Arg(8)->Arg(16);
+
+}  // namespace
+
+BITLEVEL_BENCH_MAIN(print_tables)

@@ -1,0 +1,75 @@
+// A2 (ablation) — problem pipelining on the Fig. 4 array.
+//
+// The paper evaluates one product at a time, leaving the array mostly
+// idle (utilization ~ u/(3u+3p) per the wavefront geometry). Systolic
+// arrays earn their area by STREAMING: a new problem enters every
+// initiation interval (u cycles for Fig. 4 — each PE is busy u
+// consecutive cycles per problem), so throughput approaches one matmul
+// per u cycles and utilization approaches 1. This bench measures the
+// whole curve cycle-accurately, with every product in every batch
+// verified.
+#include "bench/bench_util.hpp"
+
+#include "arch/matmul_arrays.hpp"
+#include "core/evaluator.hpp"
+
+namespace {
+
+using namespace bitlevel;
+using arch::BitLevelMatmulArray;
+using arch::MatmulMapping;
+using arch::WordMatrix;
+
+void print_tables() {
+  bench::print_header(
+      "A2 (ablation)", "problem pipelining / throughput",
+      "Streaming B problems through one Fig. 4 array: total time = single-problem "
+      "latency + (B-1)*u; utilization -> 1; throughput -> 1 matmul per u cycles.");
+
+  const math::Int u = 4, p = 4;
+  const BitLevelMatmulArray array(MatmulMapping::kFig4, u, p);
+  const std::uint64_t bound = core::max_safe_operand(p, u, core::Expansion::kII);
+
+  TextTable table({"problems", "cycles", "cycles/problem", "utilization", "products ok"});
+  for (math::Int batches : {1, 2, 4, 8, 16, 32}) {
+    std::vector<WordMatrix> xs, ys;
+    for (math::Int b = 0; b < batches; ++b) {
+      xs.push_back(WordMatrix::random(u, bound, 300 + static_cast<std::uint64_t>(b)));
+      ys.push_back(WordMatrix::random(u, bound, 400 + static_cast<std::uint64_t>(b)));
+    }
+    const auto result = array.multiply_batch(xs, ys);
+    bool ok = true;
+    for (std::size_t b = 0; b < xs.size(); ++b) {
+      ok = ok && result.z[b] == WordMatrix::multiply_reference(xs[b], ys[b]);
+    }
+    char per[32], util[32];
+    std::snprintf(per, sizeof per, "%.2f",
+                  static_cast<double>(result.stats.cycles) / static_cast<double>(batches));
+    std::snprintf(util, sizeof util, "%.3f", result.stats.pe_utilization);
+    table.add_row({std::to_string(batches), std::to_string(result.stats.cycles), per, util,
+                   ok ? "yes" : "NO"});
+  }
+  bench::print_table(table);
+  std::printf("initiation interval: %lld cycles; asymptotic throughput: 1 matmul / %lld "
+              "cycles on %lld PEs\n",
+              (long long)array.batch_initiation_interval(),
+              (long long)array.batch_initiation_interval(),
+              (long long)array.predicted_processors());
+}
+
+void BM_BatchedStream(benchmark::State& state) {
+  const math::Int u = 3, p = 3;
+  const BitLevelMatmulArray array(MatmulMapping::kFig4, u, p);
+  const std::uint64_t bound = core::max_safe_operand(p, u, core::Expansion::kII);
+  std::vector<WordMatrix> xs(static_cast<std::size_t>(state.range(0)),
+                             WordMatrix::random(u, bound, 1));
+  std::vector<WordMatrix> ys(xs.size(), WordMatrix::random(u, bound, 2));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(array.multiply_batch(xs, ys).stats.cycles);
+  }
+}
+BENCHMARK(BM_BatchedStream)->Arg(2)->Arg(8);
+
+}  // namespace
+
+BITLEVEL_BENCH_MAIN(print_tables)

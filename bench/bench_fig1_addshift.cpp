@@ -1,0 +1,88 @@
+// E1 — Fig. 1: the add-shift arithmetic algorithm.
+//
+// Regenerates the structural facts of Fig. 1 (the p x p cell grid, the
+// dependence matrix D_as of eq. 3.4) across word lengths, verifies
+// exactness against native multiplication, and reports the latency
+// models the Section 4.2 comparison uses (sequential add-shift p^2 vs
+// carry-save 2p vs the grid's own critical path 3(p-1)+1 under the
+// optimal bit-level schedule).
+#include "bench/bench_util.hpp"
+
+#include "arith/add_shift.hpp"
+#include "arith/carry_save.hpp"
+#include "arith/ripple_adder.hpp"
+#include "support/rng.hpp"
+
+namespace {
+
+using namespace bitlevel;
+
+void print_tables() {
+  bench::print_header(
+      "E1", "Fig. 1 — add-shift multiplication",
+      "The p x p full-adder grid with D_as = [[1,0,1],[0,1,-1]] multiplies exactly; "
+      "its sequential word-level latency is p^2, carry-save is 2p.");
+
+  const auto triplet = arith::AddShiftMultiplier(4).triplet();
+  std::printf("D_as (eq. 3.4):\n%s\n", triplet.deps.to_string(triplet.coord_names).c_str());
+
+  TextTable table({"p", "grid cells", "verified products", "mismatches", "t_b add-shift (p^2)",
+                   "t_b carry-save (2p)", "bit-level critical path 3(p-1)+1"});
+  Xoshiro256 rng(2024);
+  for (math::Int p : {2, 4, 8, 12, 16, 24}) {
+    const arith::AddShiftMultiplier mult(p);
+    int checked = 0, bad = 0;
+    for (int trial = 0; trial < 2000; ++trial) {
+      const std::uint64_t a = rng.bits(static_cast<int>(p));
+      const std::uint64_t b = rng.bits(static_cast<int>(p));
+      if (mult.multiply(a, b).product != a * b) ++bad;
+      ++checked;
+    }
+    table.add_row({std::to_string(p), std::to_string(p * p), std::to_string(checked),
+                   std::to_string(bad),
+                   std::to_string(arith::AddShiftMultiplier::sequential_latency(p)),
+                   std::to_string(arith::CarrySaveMultiplier::latency(p)),
+                   std::to_string(3 * (p - 1) + 1)});
+  }
+  bench::print_table(table);
+}
+
+void BM_AddShiftMultiply(benchmark::State& state) {
+  const math::Int p = state.range(0);
+  const arith::AddShiftMultiplier mult(p);
+  Xoshiro256 rng(1);
+  for (auto _ : state) {
+    const std::uint64_t a = rng.bits(static_cast<int>(p));
+    const std::uint64_t b = rng.bits(static_cast<int>(p));
+    benchmark::DoNotOptimize(mult.multiply(a, b).product);
+  }
+}
+BENCHMARK(BM_AddShiftMultiply)->Arg(4)->Arg(8)->Arg(16);
+
+void BM_CarrySaveMultiply(benchmark::State& state) {
+  const math::Int p = state.range(0);
+  const arith::CarrySaveMultiplier mult(p);
+  Xoshiro256 rng(2);
+  for (auto _ : state) {
+    const std::uint64_t a = rng.bits(static_cast<int>(p));
+    const std::uint64_t b = rng.bits(static_cast<int>(p));
+    benchmark::DoNotOptimize(mult.multiply(a, b).product);
+  }
+}
+BENCHMARK(BM_CarrySaveMultiply)->Arg(4)->Arg(8)->Arg(16);
+
+void BM_RippleCarryAdd(benchmark::State& state) {
+  const arith::RippleCarryAdder adder(state.range(0));
+  Xoshiro256 rng(3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        adder.add(rng.bits(static_cast<int>(state.range(0))),
+                  rng.bits(static_cast<int>(state.range(0))))
+            .sum);
+  }
+}
+BENCHMARK(BM_RippleCarryAdd)->Arg(8)->Arg(32);
+
+}  // namespace
+
+BITLEVEL_BENCH_MAIN(print_tables)

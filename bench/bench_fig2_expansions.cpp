@@ -1,0 +1,89 @@
+// E2 — Fig. 2: the two algorithm expansions.
+//
+// Regenerates the paper's qualitative comparison: Expansion I
+// (partial-sum forwarding) keeps almost every cell a 3-input full adder
+// and confines heavier 4/5-input compressors to the accumulation
+// boundary, while Expansion II (final-sum boundary addition) puts them
+// on the i1 = p hyperplane of every iteration — the load-imbalance
+// remark at the end of Section 3. Also reports each expansion's operand
+// capacity bound.
+#include "bench/bench_util.hpp"
+
+#include "arch/bit_array.hpp"
+#include "arch/matmul_arrays.hpp"
+#include "core/evaluator.hpp"
+#include "core/expansion.hpp"
+#include "core/workload.hpp"
+#include "ir/kernels.hpp"
+
+namespace {
+
+using namespace bitlevel;
+using core::Expansion;
+
+void print_tables() {
+  bench::print_header(
+      "E2", "Fig. 2 — Expansion I vs Expansion II",
+      "Expansion I is more computationally uniform: its 4+-input compressor cells are "
+      "O(u^2 p^2) (accumulation boundary only) vs Expansion II's O(u^3 p) (every i1 = p "
+      "hyperplane). Expansion II tolerates larger operands per chain.");
+
+  TextTable table({"u", "p", "expansion", "3-input cells", "4-input", "5-input",
+                   "heavy fraction", "max safe operand"});
+  for (math::Int u : {3, 5, 8}) {
+    for (math::Int p : {4, 8}) {
+      const auto model = ir::kernels::matmul(u);
+      for (Expansion e : {Expansion::kI, Expansion::kII}) {
+        const auto hist = core::compute_load_histogram(core::expand(model, p, e));
+        const math::Int total = u * u * u * p * p;
+        const math::Int heavy = hist.count[4] + hist.count[5];
+        char frac[32];
+        std::snprintf(frac, sizeof frac, "%.4f",
+                      static_cast<double>(heavy) / static_cast<double>(total));
+        table.add_row({std::to_string(u), std::to_string(p),
+                       e == Expansion::kI ? "I" : "II", std::to_string(hist.count[3]),
+                       std::to_string(hist.count[4]), std::to_string(hist.count[5]), frac,
+                       std::to_string(core::max_safe_operand(p, u, e))});
+      }
+    }
+  }
+  bench::print_table(table);
+
+  // Ablation: both expansions under the SAME time-optimal mapping T of
+  // (4.2). The distance vectors are identical, so the schedule length
+  // and PE count match; the expansions trade per-cell compressor
+  // complexity (and operand capacity) instead.
+  std::printf(
+      "Both expansions under T (4.2) — identical cycles/PEs, different cell loads:\n");
+  TextTable arr({"u", "p", "expansion", "cycles", "PEs", "4+-input cells", "products ok"});
+  for (Expansion e : {Expansion::kI, Expansion::kII}) {
+    const math::Int u = 4, p = 6;
+    const auto model = ir::kernels::matmul(u);
+    const auto s = core::expand(model, p, e);
+    const arch::BitLevelArray array(s, arch::matmul_mapping(arch::MatmulMapping::kFig4, p),
+                                    arch::matmul_primitives(arch::MatmulMapping::kFig4, p));
+    const auto w = core::make_safe_workload(model, p, e, 71);
+    const auto run = array.run(w.x_fn(), w.y_fn());
+    const auto ref = core::evaluate_word_reference(model, w.x_fn(), w.y_fn());
+    bool ok = !run.z.empty();
+    for (const auto& [j, v] : run.z) ok = ok && v == ref.at(j);
+    const auto hist = core::compute_load_histogram(s);
+    arr.add_row({std::to_string(u), std::to_string(p), e == Expansion::kI ? "I" : "II",
+                 std::to_string(run.stats.cycles), std::to_string(run.stats.pe_count),
+                 std::to_string(hist.count[4] + hist.count[5]), ok ? "yes" : "NO"});
+  }
+  bench::print_table(arr);
+}
+
+void BM_LoadHistogram(benchmark::State& state) {
+  const auto s = core::expand(ir::kernels::matmul(state.range(0)), state.range(1),
+                              state.range(2) == 0 ? Expansion::kI : Expansion::kII);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::compute_load_histogram(s).max_inputs());
+  }
+}
+BENCHMARK(BM_LoadHistogram)->Args({4, 4, 0})->Args({4, 4, 1});
+
+}  // namespace
+
+BITLEVEL_BENCH_MAIN(print_tables)

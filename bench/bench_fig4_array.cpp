@@ -1,0 +1,81 @@
+// E5 — Fig. 4 / eqs. (4.2)-(4.5): the time-optimal bit-level matmul
+// architecture.
+//
+// Regenerates: total time t = 3(u-1) + 3(p-1) + 1 (eq. 4.5), u^2 p^2
+// processors, the T*D matrix (4.4), the single buffered link on d4, and
+// functional correctness of every product — all from the cycle-accurate
+// simulation.
+#include "bench/bench_util.hpp"
+
+#include "arch/matmul_arrays.hpp"
+#include "core/evaluator.hpp"
+#include "core/expansion.hpp"
+#include "ir/kernels.hpp"
+
+namespace {
+
+using namespace bitlevel;
+using arch::BitLevelMatmulArray;
+using arch::MatmulMapping;
+using arch::WordMatrix;
+
+void print_tables() {
+  bench::print_header(
+      "E5", "Fig. 4 — time-optimal bit-level matmul array (T of 4.2)",
+      "Measured cycles == 3(u-1)+3(p-1)+1 (eq. 4.5); u^2 p^2 PEs; long [p,0]/[0,p] "
+      "wires; one buffer register on the d4 link; products verified.");
+
+  {
+    const auto t = arch::matmul_mapping(MatmulMapping::kFig4, 3);
+    const auto s = core::expand(ir::kernels::matmul(3), 3, core::Expansion::kII);
+    std::printf("T (4.2) at p = 3:\n%s\nT*D (4.4):\n%s\n\n", t.to_string().c_str(),
+                t.matrix().mul(s.deps.as_matrix()).to_string().c_str());
+  }
+
+  TextTable table({"u", "p", "cycles (measured)", "cycles (4.5)", "PEs (measured)",
+                   "PEs (u^2 p^2)", "utilization", "max wire", "d4 buffer", "products ok"});
+  std::vector<std::pair<math::Int, math::Int>> sizes;
+  for (math::Int u : {2, 4, 6, 8}) {
+    for (math::Int p : {4, 8}) sizes.emplace_back(u, p);
+  }
+  sizes.emplace_back(12, 12);  // quarter-million-cell runs:
+  sizes.emplace_back(16, 16);  // the simulator is flat-indexed
+  for (const auto& [u, p] : sizes) {
+    {
+      const BitLevelMatmulArray array(MatmulMapping::kFig4, u, p);
+      const std::uint64_t bound = core::max_safe_operand(p, u, core::Expansion::kII);
+      const WordMatrix x = WordMatrix::random(u, bound, 100 + u);
+      const WordMatrix y = WordMatrix::random(u, bound, 200 + p);
+      const auto result = array.multiply(x, y);
+      const bool ok = result.z == WordMatrix::multiply_reference(x, y);
+      char util[32];
+      std::snprintf(util, sizeof util, "%.3f", result.stats.pe_utilization);
+      table.add_row({std::to_string(u), std::to_string(p),
+                     std::to_string(result.stats.cycles),
+                     std::to_string(array.predicted_cycles()),
+                     std::to_string(result.stats.pe_count),
+                     std::to_string(array.predicted_processors()), util,
+                     std::to_string(arch::matmul_primitives(MatmulMapping::kFig4, p)
+                                        .max_wire_length()),
+                     std::to_string(result.stats.buffer_depth[3]), ok ? "yes" : "NO"});
+    }
+  }
+  bench::print_table(table);
+}
+
+void BM_Fig4Simulation(benchmark::State& state) {
+  const math::Int u = state.range(0), p = state.range(1);
+  const BitLevelMatmulArray array(MatmulMapping::kFig4, u, p);
+  const std::uint64_t bound = core::max_safe_operand(p, u, core::Expansion::kII);
+  const WordMatrix x = WordMatrix::random(u, bound, 1);
+  const WordMatrix y = WordMatrix::random(u, bound, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(array.multiply(x, y).stats.cycles);
+  }
+  state.SetComplexityN(u * u * u * p * p);
+}
+BENCHMARK(BM_Fig4Simulation)->Args({2, 4})->Args({4, 4})->Args({4, 8})->Args({6, 8});
+
+}  // namespace
+
+BITLEVEL_BENCH_MAIN(print_tables)

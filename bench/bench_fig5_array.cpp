@@ -1,0 +1,69 @@
+// E6 — Fig. 5 / eqs. (4.6)-(4.8): the nearest-neighbour bit-level
+// matmul architecture.
+//
+// Regenerates the trade-off the paper describes: T' avoids the long
+// wires of Fig. 4 (max wire length 2 vs p) at the cost of a slower
+// schedule. Also documents erratum E6: the paper prints
+// t' = (2p-1)(u-1)+3(p-1)+1, but its own Pi' = [p,p,1,2,1] evaluates to
+// (2p+1)(u-1)+3(p-1)+1; the measured cycles match the latter.
+#include "bench/bench_util.hpp"
+
+#include "arch/matmul_arrays.hpp"
+#include "core/evaluator.hpp"
+
+namespace {
+
+using namespace bitlevel;
+using arch::BitLevelMatmulArray;
+using arch::MatmulMapping;
+using arch::WordMatrix;
+
+void print_tables() {
+  bench::print_header(
+      "E6", "Fig. 5 — nearest-neighbour bit-level matmul array (T' of 4.6)",
+      "No long wires (max wire 2); measured cycles == Pi'-evaluated time "
+      "(2p+1)(u-1)+3(p-1)+1. The paper's printed (2p-1) coefficient is an arithmetic "
+      "slip — see EXPERIMENTS.md erratum E6.");
+
+  TextTable table({"u", "p", "cycles (measured)", "Pi' evaluated", "paper's printed (4.8)",
+                   "Fig. 4 cycles", "max wire (Fig5/Fig4)", "products ok"});
+  for (math::Int u : {2, 4, 6, 8}) {
+    for (math::Int p : {4, 8}) {
+      const BitLevelMatmulArray fig5(MatmulMapping::kFig5, u, p);
+      const BitLevelMatmulArray fig4(MatmulMapping::kFig4, u, p);
+      const std::uint64_t bound = core::max_safe_operand(p, u, core::Expansion::kII);
+      const WordMatrix x = WordMatrix::random(u, bound, 300 + u);
+      const WordMatrix y = WordMatrix::random(u, bound, 400 + p);
+      const auto result = fig5.multiply(x, y);
+      const bool ok = result.z == WordMatrix::multiply_reference(x, y);
+      const math::Int printed = (2 * p - 1) * (u - 1) + 3 * (p - 1) + 1;
+      table.add_row(
+          {std::to_string(u), std::to_string(p), std::to_string(result.stats.cycles),
+           std::to_string(fig5.predicted_cycles()), std::to_string(printed),
+           std::to_string(fig4.predicted_cycles()),
+           std::to_string(
+               arch::matmul_primitives(MatmulMapping::kFig5, p).max_wire_length()) +
+               "/" +
+               std::to_string(
+                   arch::matmul_primitives(MatmulMapping::kFig4, p).max_wire_length()),
+           ok ? "yes" : "NO"});
+    }
+  }
+  bench::print_table(table);
+}
+
+void BM_Fig5Simulation(benchmark::State& state) {
+  const math::Int u = state.range(0), p = state.range(1);
+  const BitLevelMatmulArray array(MatmulMapping::kFig5, u, p);
+  const std::uint64_t bound = core::max_safe_operand(p, u, core::Expansion::kII);
+  const WordMatrix x = WordMatrix::random(u, bound, 1);
+  const WordMatrix y = WordMatrix::random(u, bound, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(array.multiply(x, y).stats.cycles);
+  }
+}
+BENCHMARK(BM_Fig5Simulation)->Args({2, 4})->Args({4, 4})->Args({4, 8});
+
+}  // namespace
+
+BITLEVEL_BENCH_MAIN(print_tables)

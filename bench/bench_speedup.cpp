@@ -1,0 +1,104 @@
+// E7 — Section 4.2's comparison: bit-level vs word-level architectures.
+//
+// Regenerates the paper's closing claim with measured cycle counts from
+// both simulators: against the best word-level array ((3(u-1)+1) * t_b),
+// the Fig. 4 bit-level array is O(p^2) faster when the word PE uses a
+// sequential add-shift multiplier (t_b = p^2) and O(p) faster with a
+// carry-save multiplier (t_b = 2p). The shape check: speedup/p (carry-
+// save) and speedup/p^2 (add-shift) approach constants as p grows.
+#include "bench/bench_util.hpp"
+
+#include "arch/matmul_arrays.hpp"
+#include "arch/word_array.hpp"
+#include "core/evaluator.hpp"
+#include "support/error.hpp"
+
+namespace {
+
+using namespace bitlevel;
+using arch::BitLevelMatmulArray;
+using arch::MatmulMapping;
+using arch::WordLevelMatmulArray;
+using arch::WordMatrix;
+
+void print_tables() {
+  bench::print_header(
+      "E7", "Section 4.2 — bit-level vs word-level speedup",
+      "speedup = word cycles / bit cycles, measured from both simulators. "
+      "Carry-save word PE: speedup ~ O(p); add-shift word PE: ~ O(p^2). "
+      "The bit-level array wins everywhere; the factor grows with p.");
+
+  // The O(p) claim assumes u > p (Section 4.2): keep u = p + 2 as p
+  // grows. Rows up to p = 8 are measured end-to-end on both simulators;
+  // larger rows use the closed forms the simulated rows validate.
+  TextTable table({"p", "u", "bit cycles (Fig4)", "word cycles (carry-save)",
+                   "word cycles (add-shift)", "speedup vs carry-save", "speedup/p",
+                   "speedup vs add-shift", "speedup/p^2", "source"});
+  for (math::Int p : {2, 4, 8, 16, 32, 64}) {
+    const math::Int u = p + 2;
+    const bool simulate = p <= 8;
+    math::Int bit_cycles_i = 3 * (u - 1) + 3 * (p - 1) + 1;
+    if (simulate) {
+      const BitLevelMatmulArray bit(MatmulMapping::kFig4, u, p);
+      const std::uint64_t bound = core::max_safe_operand(p, u, core::Expansion::kII);
+      const WordMatrix x = WordMatrix::random(u, bound, 11 + p);
+      const WordMatrix y = WordMatrix::random(u, bound, 13 + p);
+      const auto bit_run = bit.multiply(x, y);
+      const WordLevelMatmulArray word_cs(u, arith::WordMultiplier::kCarrySave, p);
+      const auto word_run = word_cs.multiply(x, y);
+      BL_REQUIRE(bit_run.z == word_run.z, "architectures disagree on the product");
+      BL_REQUIRE(bit_run.stats.cycles == bit_cycles_i,
+                 "simulation deviates from the closed form");
+      bit_cycles_i = bit_run.stats.cycles;
+    }
+    const double bit_cycles = static_cast<double>(bit_cycles_i);
+    const double cs = static_cast<double>((3 * (u - 1) + 1) * 2 * p);
+    const double as = static_cast<double>((3 * (u - 1) + 1) * p * p);
+    char s_cs[32], s_csn[32], s_as[32], s_asn[32];
+    std::snprintf(s_cs, sizeof s_cs, "%.2f", cs / bit_cycles);
+    std::snprintf(s_csn, sizeof s_csn, "%.3f", cs / bit_cycles / static_cast<double>(p));
+    std::snprintf(s_as, sizeof s_as, "%.2f", as / bit_cycles);
+    std::snprintf(s_asn, sizeof s_asn, "%.3f",
+                  as / bit_cycles / static_cast<double>(p * p));
+    table.add_row({std::to_string(p), std::to_string(u), std::to_string(bit_cycles_i),
+                   std::to_string(static_cast<math::Int>(cs)),
+                   std::to_string(static_cast<math::Int>(as)), s_cs, s_csn, s_as, s_asn,
+                   simulate ? "simulated" : "formula"});
+  }
+  bench::print_table(table);
+
+  std::printf("Sweep over u at p = 8 (the factor is stable in u once u > p/3):\n");
+  TextTable by_u({"u", "bit cycles", "word cycles (carry-save)", "speedup"});
+  const math::Int p = 8;
+  for (math::Int u2 : {2, 4, 8, 12}) {
+    const math::Int bit = 3 * (u2 - 1) + 3 * (p - 1) + 1;
+    const math::Int word = (3 * (u2 - 1) + 1) * 2 * p;
+    char s[32];
+    std::snprintf(s, sizeof s, "%.2f", static_cast<double>(word) / static_cast<double>(bit));
+    by_u.add_row({std::to_string(u2), std::to_string(bit), std::to_string(word), s});
+  }
+  bench::print_table(by_u);
+}
+
+void BM_BitLevelArray(benchmark::State& state) {
+  const math::Int u = 4, p = state.range(0);
+  const BitLevelMatmulArray array(MatmulMapping::kFig4, u, p);
+  const std::uint64_t bound = core::max_safe_operand(p, u, core::Expansion::kII);
+  const WordMatrix x = WordMatrix::random(u, bound, 1);
+  const WordMatrix y = WordMatrix::random(u, bound, 2);
+  for (auto _ : state) benchmark::DoNotOptimize(array.multiply(x, y).stats.cycles);
+}
+BENCHMARK(BM_BitLevelArray)->Arg(4)->Arg(8);
+
+void BM_WordLevelArray(benchmark::State& state) {
+  const math::Int u = 4, p = state.range(0);
+  const WordLevelMatmulArray array(u, arith::WordMultiplier::kCarrySave, p);
+  const WordMatrix x = WordMatrix::random(u, (1ULL << p) - 1, 1);
+  const WordMatrix y = WordMatrix::random(u, (1ULL << p) - 1, 2);
+  for (auto _ : state) benchmark::DoNotOptimize(array.multiply(x, y).total_cycles);
+}
+BENCHMARK(BM_WordLevelArray)->Arg(4)->Arg(8);
+
+}  // namespace
+
+BITLEVEL_BENCH_MAIN(print_tables)

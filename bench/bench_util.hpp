@@ -1,0 +1,38 @@
+// Shared helpers for the experiment benches.
+//
+// Every bench binary regenerates its paper artifact (table/figure
+// series) as plain text first — the reproduction output — and then runs
+// its google-benchmark timing section. EXPERIMENTS.md records the
+// paper-vs-measured comparison these binaries print.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <string>
+
+#include "support/format.hpp"
+
+namespace bitlevel::bench {
+
+inline void print_header(const std::string& experiment, const std::string& artifact,
+                         const std::string& claim) {
+  std::printf("=== %s — %s ===\n%s\n\n", experiment.c_str(), artifact.c_str(), claim.c_str());
+}
+
+inline void print_table(const TextTable& table) {
+  std::printf("%s\n", table.to_string().c_str());
+}
+
+}  // namespace bitlevel::bench
+
+/// Print the reproduction tables, then run the registered benchmarks.
+#define BITLEVEL_BENCH_MAIN(print_fn)                                   \
+  int main(int argc, char** argv) {                                     \
+    print_fn();                                                         \
+    ::benchmark::Initialize(&argc, &argv[0]);                           \
+    if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1; \
+    ::benchmark::RunSpecifiedBenchmarks();                              \
+    ::benchmark::Shutdown();                                            \
+    return 0;                                                           \
+  }

@@ -1,0 +1,39 @@
+// Watch the architectures run.
+//
+// Renders the space-time behaviour of the paper's arrays as ASCII: the
+// Fig. 4 mapping's computation wavefront sweeping the u*p x u*p grid,
+// and the contrast with Fig. 5's slower schedule. The pictures are pure
+// functions of (J, T) — the same data the cycle-accurate simulator
+// executes.
+//
+// Build & run:  ./array_animation
+#include <cstdio>
+
+#include "arch/matmul_arrays.hpp"
+#include "core/expansion.hpp"
+#include "ir/kernels.hpp"
+#include "sim/timeline.hpp"
+
+using namespace bitlevel;
+
+int main() {
+  const math::Int u = 2, p = 3;
+  const auto s = core::expand(ir::kernels::matmul(u), p, core::Expansion::kII);
+
+  std::printf("=== Fig. 4 mapping (time-optimal, T of 4.2) — %lldx%lld PEs ===\n",
+              (long long)(u * p), (long long)(u * p));
+  const auto t4 = arch::matmul_mapping(arch::MatmulMapping::kFig4, p);
+  std::printf("%s\n", sim::cycle_snapshots(s.domain, t4).c_str());
+
+  std::printf("=== Same array as a PE x cycle chart ===\n");
+  sim::TimelineOptions chart_options;
+  chart_options.max_pes = 40;
+  std::printf("%s\n", sim::activity_chart(s.domain, t4, chart_options).c_str());
+
+  std::printf("=== Fig. 5 mapping (short wires, T' of 4.6) — slower wavefront ===\n");
+  const auto t5 = arch::matmul_mapping(arch::MatmulMapping::kFig5, p);
+  sim::TimelineOptions snap_options;
+  snap_options.max_cycles = 8;
+  std::printf("%s...\n", sim::cycle_snapshots(s.domain, t5, snap_options).c_str());
+  return 0;
+}

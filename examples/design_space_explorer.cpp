@@ -1,0 +1,73 @@
+// Automatic design-space exploration.
+//
+// Hand the explorer an algorithm and a link technology; it enumerates
+// projection-based space mappings, searches schedules, keeps the
+// Definition-4.1-feasible designs and ranks them by your objective.
+// Shown here on word-level matmul (it rediscovers the classical u x u
+// array) and on the bit-level 1-D chain (where it finds a p x p block
+// design automatically).
+//
+// Build & run:  ./design_space_explorer
+#include <cstdio>
+
+#include "core/expansion.hpp"
+#include "ir/kernels.hpp"
+#include "mapping/explore.hpp"
+#include "support/format.hpp"
+
+using namespace bitlevel;
+
+namespace {
+
+void report(const char* title, const mapping::ExploreResult& result, std::size_t show) {
+  std::printf("--- %s ---\n", title);
+  std::printf("spaces tried: %zu, schedules examined: %zu, feasible designs: %zu\n",
+              result.spaces_tried, result.schedules_examined, result.designs.size());
+  TextTable table({"rank", "projections (columns)", "Pi", "time", "PEs", "max wire"});
+  for (std::size_t i = 0; i < result.designs.size() && i < show; ++i) {
+    const auto& d = result.designs[i];
+    std::string dirs;
+    for (std::size_t c = 0; c < d.projections.cols(); ++c) {
+      if (c != 0) dirs += " ";
+      dirs += math::to_string(d.projections.col(c));
+    }
+    table.add_row({std::to_string(i + 1), dirs, math::to_string(d.t.schedule()),
+                   std::to_string(d.total_time), std::to_string(d.processors),
+                   std::to_string(d.max_wire)});
+  }
+  std::printf("%s\n", table.to_string().c_str());
+}
+
+}  // namespace
+
+int main() {
+  // 1. Word-level matmul onto a mesh: three objectives, three winners.
+  const auto triplet = ir::kernels::matmul(5).triplet();
+  mapping::ExploreOptions options;
+  options.max_direction_sets = 24;
+  for (auto [objective, name] :
+       {std::pair{mapping::DesignObjective::kTime, "word-level matmul, minimize TIME"},
+        std::pair{mapping::DesignObjective::kProcessors,
+                  "word-level matmul, minimize PROCESSORS"}}) {
+    report(name, explore_designs(triplet.domain, triplet.deps,
+                                 mapping::InterconnectionPrimitives::mesh2d(), objective,
+                                 options),
+           4);
+  }
+
+  // 2. A bit-level structure: the 1-D accumulation chain (3.7) at p = 4
+  //    expands to 3-D; the explorer maps it onto 2-D arrays.
+  const auto s = core::expand(ir::kernels::scalar_chain(1, 6, 1), 4, core::Expansion::kII);
+  mapping::ExploreOptions bit_options;
+  bit_options.max_direction_sets = 12;
+  bit_options.schedule_bound = 2;
+  report("bit-level 1-D chain (3.7), minimize TIME",
+         explore_designs(s.domain, s.deps, mapping::InterconnectionPrimitives::mesh2d_diag(),
+                         mapping::DesignObjective::kTime, bit_options),
+         4);
+
+  std::printf(
+      "Each row is a complete verified design: S annihilates the projections, Pi orders\n"
+      "every dependence, S*D routes over the links within (4.1), no (PE, time) conflicts.\n");
+  return 0;
+}

@@ -1,0 +1,35 @@
+#include "analysis/banerjee.hpp"
+
+#include "support/error.hpp"
+
+namespace bitlevel::analysis {
+
+ExpressionRange expression_range(const math::IntVec& a, const math::IntVec& lo,
+                                 const math::IntVec& hi) {
+  BL_REQUIRE(a.size() == lo.size() && a.size() == hi.size(),
+             "coefficients and bounds must have equal dimension");
+  math::Int min = 0, max = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const math::Int at_lo = math::checked_mul(a[i], lo[i]);
+    const math::Int at_hi = math::checked_mul(a[i], hi[i]);
+    min = math::checked_add(min, a[i] >= 0 ? at_lo : at_hi);
+    max = math::checked_add(max, a[i] >= 0 ? at_hi : at_lo);
+  }
+  return {min, max};
+}
+
+bool banerjee_test_equation(const math::IntVec& a, math::Int c, const math::IntVec& lo,
+                            const math::IntVec& hi) {
+  const ExpressionRange r = expression_range(a, lo, hi);
+  return r.min <= c && c <= r.max;
+}
+
+bool banerjee_test(const DependenceSystem& system, const math::IntVec& lo,
+                   const math::IntVec& hi) {
+  for (std::size_t r = 0; r < system.a.rows(); ++r) {
+    if (!banerjee_test_equation(system.a.row(r), system.b[r], lo, hi)) return false;
+  }
+  return true;
+}
+
+}  // namespace bitlevel::analysis

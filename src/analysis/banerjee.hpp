@@ -1,0 +1,35 @@
+// Banerjee bounds test (Banerjee [1], ch. 3).
+//
+// For one equation sum_i a_i * t_i = c with box bounds lo <= t <= hi,
+// a real solution exists iff  min <= c <= max  where min/max are
+// attained by pushing each variable to the bound matching the sign of
+// its coefficient. Like the GCD test this is a necessary condition for
+// integer dependence; together (GCD + Banerjee) they form the classical
+// inexact pipeline whose "maybe" answers the exact test resolves.
+#pragma once
+
+#include "analysis/gcd_test.hpp"
+#include "math/int_vec.hpp"
+
+namespace bitlevel::analysis {
+
+/// Inclusive range of an affine expression over a box.
+struct ExpressionRange {
+  math::Int min;
+  math::Int max;
+};
+
+/// Range of sum_i a[i] * t[i] over lo <= t <= hi.
+ExpressionRange expression_range(const math::IntVec& a, const math::IntVec& lo,
+                                 const math::IntVec& hi);
+
+/// Banerjee test for one equation: can sum a_i t_i = c hold inside the
+/// box? False proves independence.
+bool banerjee_test_equation(const math::IntVec& a, math::Int c, const math::IntVec& lo,
+                            const math::IntVec& hi);
+
+/// Row-wise Banerjee test of a combined dependence system, with the box
+/// bounds of the stacked [j; j'] variable vector.
+bool banerjee_test(const DependenceSystem& system, const math::IntVec& lo, const math::IntVec& hi);
+
+}  // namespace bitlevel::analysis

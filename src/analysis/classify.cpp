@@ -1,0 +1,47 @@
+#include "analysis/classify.hpp"
+
+#include <sstream>
+
+namespace bitlevel::analysis {
+
+std::vector<Direction> direction_vector(const math::IntVec& d) {
+  std::vector<Direction> out;
+  out.reserve(d.size());
+  for (math::Int v : d) {
+    out.push_back(v > 0 ? Direction::kLess : v == 0 ? Direction::kEqual : Direction::kGreater);
+  }
+  return out;
+}
+
+std::string to_string(const std::vector<Direction>& dirs) {
+  std::ostringstream os;
+  os << '(';
+  for (std::size_t i = 0; i < dirs.size(); ++i) {
+    if (i != 0) os << ", ";
+    os << (dirs[i] == Direction::kLess ? '<' : dirs[i] == Direction::kEqual ? '=' : '>');
+  }
+  os << ')';
+  return os.str();
+}
+
+std::size_t dependence_level(const math::IntVec& d) {
+  for (std::size_t i = 0; i < d.size(); ++i) {
+    if (d[i] != 0) return i + 1;
+  }
+  return 0;
+}
+
+std::vector<std::size_t> parallel_loops(const ir::DependenceMatrix& deps) {
+  const std::size_t n = deps.dim();
+  std::vector<bool> carried(n + 1, false);
+  for (const auto& col : deps.columns()) {
+    carried[dependence_level(col.d)] = true;
+  }
+  std::vector<std::size_t> out;
+  for (std::size_t i = 1; i <= n; ++i) {
+    if (!carried[i]) out.push_back(i);
+  }
+  return out;
+}
+
+}  // namespace bitlevel::analysis

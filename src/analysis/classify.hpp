@@ -1,0 +1,41 @@
+// Classical dependence classification (Banerjee [1]).
+//
+// Distance vectors summarize into direction vectors ('<', '=', '>')
+// and dependence levels (the outermost loop carrying the dependence) —
+// the vocabulary loop-restructuring compilers use to decide which loops
+// may run in parallel. Provided for completeness of the analysis
+// toolbox; the mapping machinery itself consumes distance vectors
+// directly.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ir/dependence.hpp"
+
+namespace bitlevel::analysis {
+
+/// Per-coordinate direction of a distance vector entry.
+enum class Direction {
+  kLess,     ///< d_i > 0 : source iteration precedes ('<').
+  kEqual,    ///< d_i = 0 ('=').
+  kGreater,  ///< d_i < 0 ('>').
+};
+
+/// Direction vector of a distance vector.
+std::vector<Direction> direction_vector(const math::IntVec& d);
+
+/// "(<, =, >)" rendering.
+std::string to_string(const std::vector<Direction>& dirs);
+
+/// Dependence level: the 1-based index of the outermost loop carrying
+/// the dependence (first nonzero entry), or 0 for the loop-independent
+/// (zero) vector. A lexicographically valid distance vector has a
+/// positive entry at its level.
+std::size_t dependence_level(const math::IntVec& d);
+
+/// Loops (1-based) that can run in parallel given a set of distance
+/// vectors: loop i is parallel iff no vector is carried at level i.
+std::vector<std::size_t> parallel_loops(const ir::DependenceMatrix& deps);
+
+}  // namespace bitlevel::analysis

@@ -1,0 +1,63 @@
+#include "analysis/exact.hpp"
+
+#include "analysis/gcd_test.hpp"
+#include "math/diophantine.hpp"
+
+namespace bitlevel::analysis {
+
+std::vector<DependenceInstance> exact_pair_dependences(const ir::IndexSet& domain,
+                                                       const std::string& array,
+                                                       const ir::AffineMap& write,
+                                                       const ir::AffineMap& read, bool write_first,
+                                                       const ir::ValidityRegion& write_guard,
+                                                       const ir::ValidityRegion& read_guard,
+                                                       ExactAnalysisStats* stats) {
+  const std::size_t n = domain.dim();
+  const DependenceSystem sys = dependence_system(write, read);
+  if (stats != nullptr) ++stats->systems_solved;
+
+  // Stacked box: the writer iteration j occupies coordinates [0, n),
+  // the reader iteration j' occupies [n, 2n).
+  const math::IntVec lo = math::concat(domain.lower(), domain.lower());
+  const math::IntVec hi = math::concat(domain.upper(), domain.upper());
+  const std::vector<math::IntVec> solutions =
+      math::enumerate_solutions_in_box(sys.a, sys.b, lo, hi);
+  if (stats != nullptr) stats->solutions_enumerated += solutions.size();
+
+  std::vector<DependenceInstance> out;
+  for (const auto& sol : solutions) {
+    const math::IntVec writer(sol.begin(), sol.begin() + static_cast<std::ptrdiff_t>(n));
+    const math::IntVec reader(sol.begin() + static_cast<std::ptrdiff_t>(n), sol.end());
+    const int order = math::lex_compare(writer, reader);
+    const bool flows = order < 0 || (order == 0 && write_first);
+    if (!flows) continue;
+    if (!write_guard.contains(writer) || !read_guard.contains(reader)) continue;
+    out.push_back({array, reader, writer});
+  }
+  return out;
+}
+
+std::vector<DependenceInstance> exact_dependences(const ir::Program& program,
+                                                  ExactAnalysisStats* stats) {
+  program.validate();
+  std::vector<DependenceInstance> out;
+  const auto& stmts = program.statements;
+  for (std::size_t sw = 0; sw < stmts.size(); ++sw) {
+    for (std::size_t sr = 0; sr < stmts.size(); ++sr) {
+      for (const auto& read : stmts[sr].reads) {
+        if (read.array != stmts[sw].write.array) continue;
+        // Within an iteration the writer precedes the reader when its
+        // statement index is strictly smaller; equal indices mean the
+        // read happens before the write of the same statement (RHS
+        // evaluates first), so no intra-iteration flow.
+        auto pair = exact_pair_dependences(program.domain, read.array, stmts[sw].write.subscript,
+                                           read.subscript, sw < sr, stmts[sw].guard,
+                                           stmts[sr].guard && read.guard, stats);
+        out.insert(out.end(), pair.begin(), pair.end());
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace bitlevel::analysis

@@ -1,0 +1,45 @@
+// Exact dependence analysis — the paper's "time consuming general
+// dependence analysis method".
+//
+// For every (write, read) reference pair on the same array, the test
+// solves the linear Diophantine system [A_w | -A_r][j; j'] = b_r - b_w,
+// enumerates all integer solutions inside the iteration-space box, and
+// keeps the pairs consistent with sequential execution order (producer
+// before consumer). The cost is exponential in the number of free
+// parameters of the solution lattice — exactly the cost Theorem 3.1
+// avoids by composing word-level and arithmetic-level structures.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "analysis/types.hpp"
+#include "ir/program.hpp"
+
+namespace bitlevel::analysis {
+
+/// Statistics of an exact analysis run, for the cost-comparison bench.
+struct ExactAnalysisStats {
+  std::size_t systems_solved = 0;       ///< Reference pairs examined.
+  std::size_t solutions_enumerated = 0; ///< Lattice points visited.
+};
+
+/// Full exact analysis of a program: all flow-dependence instances.
+/// `stats` (optional) receives cost counters.
+std::vector<DependenceInstance> exact_dependences(const ir::Program& program,
+                                                  ExactAnalysisStats* stats = nullptr);
+
+/// Exact test for one write/read pair: all (consumer, producer) pairs,
+/// both inside `domain`, with the producer sequenced before the consumer
+/// (`write_first` tells whether the writing statement precedes the
+/// reading statement within an iteration, resolving the j == j' case).
+/// `write_guard` / `read_guard` restrict the iterations where the
+/// respective access is active.
+std::vector<DependenceInstance> exact_pair_dependences(
+    const ir::IndexSet& domain, const std::string& array, const ir::AffineMap& write,
+    const ir::AffineMap& read, bool write_first,
+    const ir::ValidityRegion& write_guard = ir::ValidityRegion::all(),
+    const ir::ValidityRegion& read_guard = ir::ValidityRegion::all(),
+    ExactAnalysisStats* stats = nullptr);
+
+}  // namespace bitlevel::analysis

@@ -1,0 +1,33 @@
+#include "analysis/gcd_test.hpp"
+
+#include "math/gcd.hpp"
+#include "support/error.hpp"
+
+namespace bitlevel::analysis {
+
+DependenceSystem dependence_system(const ir::AffineMap& write, const ir::AffineMap& read) {
+  BL_REQUIRE(write.range_dim() == read.range_dim(),
+             "write and read must subscript the same array rank");
+  math::IntMat neg_read(read.a.rows(), read.a.cols());
+  for (std::size_t r = 0; r < read.a.rows(); ++r) {
+    for (std::size_t c = 0; c < read.a.cols(); ++c) {
+      neg_read.at(r, c) = math::checked_neg(read.a.at(r, c));
+    }
+  }
+  return {write.a.hstack(neg_read), math::sub(read.b, write.b)};
+}
+
+bool gcd_test_equation(const math::IntVec& a, math::Int c) {
+  const math::Int g = math::content(a);
+  if (g == 0) return c == 0;
+  return c % g == 0;
+}
+
+bool gcd_test(const DependenceSystem& system) {
+  for (std::size_t r = 0; r < system.a.rows(); ++r) {
+    if (!gcd_test_equation(system.a.row(r), system.b[r])) return false;
+  }
+  return true;
+}
+
+}  // namespace bitlevel::analysis

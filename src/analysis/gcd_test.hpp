@@ -1,0 +1,33 @@
+// The GCD dependence test (Banerjee [1], ch. 2).
+//
+// For a write A_w*j + b_w and a read A_r*j' + b_r of the same array, a
+// dependence requires an integer solution of
+//     [A_w | -A_r] * [j; j'] = b_r - b_w.
+// The GCD test checks the necessary per-row condition that gcd of the
+// coefficients divides the right-hand side. It ignores loop bounds, so
+// "maybe" answers must be refined by the Banerjee or exact tests.
+#pragma once
+
+#include "ir/affine.hpp"
+#include "math/int_mat.hpp"
+
+namespace bitlevel::analysis {
+
+/// The combined dependence system [A_w | -A_r] [j; j'] = b_r - b_w.
+struct DependenceSystem {
+  math::IntMat a;
+  math::IntVec b;
+};
+
+/// Build the combined system for a write/read reference pair on the
+/// same array. Both maps must have the same range dimension.
+DependenceSystem dependence_system(const ir::AffineMap& write, const ir::AffineMap& read);
+
+/// Single-equation GCD test: does gcd(a) divide c? (gcd(0) = 0 divides
+/// only 0.) True means a dependence is *possible*.
+bool gcd_test_equation(const math::IntVec& a, math::Int c);
+
+/// Row-wise GCD test of a full system; false proves independence.
+bool gcd_test(const DependenceSystem& system);
+
+}  // namespace bitlevel::analysis

@@ -1,0 +1,81 @@
+#include "analysis/trace.hpp"
+
+#include <map>
+
+#include "support/error.hpp"
+
+namespace bitlevel::analysis {
+
+std::vector<DependenceInstance> trace_dependences(const ir::Program& program,
+                                                  const TraceOptions& options) {
+  program.validate();
+  // last_writer[array][subscript] = iteration that produced the element.
+  std::map<std::string, std::map<math::IntVec, math::IntVec>> last_writer;
+  std::vector<DependenceInstance> out;
+
+  program.domain.for_each([&](const math::IntVec& j) {
+    for (const auto& st : program.statements) {
+      if (!st.guard.contains(j)) continue;
+      for (const auto& read : st.reads) {
+        if (!read.guard.contains(j)) continue;
+        const math::IntVec cell = read.subscript.apply(j);
+        auto arr = last_writer.find(read.array);
+        if (arr == last_writer.end()) continue;
+        auto producer = arr->second.find(cell);
+        if (producer == arr->second.end()) continue;  // external input
+        out.push_back({read.array, j, producer->second});
+      }
+      const math::IntVec cell = st.write.subscript.apply(j);
+      auto [it, inserted] = last_writer[st.write.array].insert({cell, j});
+      if (!inserted) {
+        BL_REQUIRE(!options.require_single_assignment,
+                   "program is not single-assignment: element written twice");
+        it->second = j;
+      }
+    }
+    return true;
+  });
+  return out;
+}
+
+FullTrace trace_all_dependences(const ir::Program& program) {
+  program.validate();
+  // Full access history per cell. Flow pairs each read with the cell's
+  // *last* writer (value semantics); anti and output follow the
+  // textbook definition — every (earlier read, later write) and
+  // (earlier write, later write) pair of the same cell — with
+  // zero-distance (same-iteration) pairs dropped, matching the paper's
+  // cross-iteration dependence pairs (j, d != 0).
+  struct CellHistory {
+    std::vector<math::IntVec> readers;
+    std::vector<math::IntVec> writers;
+  };
+  std::map<std::string, std::map<math::IntVec, CellHistory>> history;
+  FullTrace out;
+
+  program.domain.for_each([&](const math::IntVec& j) {
+    for (const auto& st : program.statements) {
+      if (!st.guard.contains(j)) continue;
+      for (const auto& read : st.reads) {
+        if (!read.guard.contains(j)) continue;
+        CellHistory& h = history[read.array][read.subscript.apply(j)];
+        if (!h.writers.empty() && h.writers.back() != j) {
+          out.flow.push_back({read.array, j, h.writers.back()});
+        }
+        h.readers.push_back(j);
+      }
+      CellHistory& h = history[st.write.array][st.write.subscript.apply(j)];
+      for (const auto& r : h.readers) {
+        if (r != j) out.anti.push_back({st.write.array, j, r});
+      }
+      for (const auto& w : h.writers) {
+        if (w != j) out.output.push_back({st.write.array, j, w});
+      }
+      h.writers.push_back(j);
+    }
+    return true;
+  });
+  return out;
+}
+
+}  // namespace bitlevel::analysis

@@ -1,0 +1,45 @@
+// Trace-based dependence extraction.
+//
+// Ground truth for everything else: the analyzer replays a program in
+// sequential (lexicographic) iteration order, remembers who last wrote
+// every array element, and records one flow-dependence instance per
+// read of a written element. On single-assignment programs (the paper's
+// standing assumption) this recovers the complete, exact flow-dependence
+// relation — used by the tests to validate both the exact Diophantine
+// analyzer and the Theorem 3.1 composition.
+#pragma once
+
+#include <vector>
+
+#include "analysis/types.hpp"
+#include "ir/program.hpp"
+
+namespace bitlevel::analysis {
+
+/// Options for trace extraction.
+struct TraceOptions {
+  /// When true (the paper's model), a second write to any element
+  /// raises PreconditionError instead of silently shadowing.
+  bool require_single_assignment = true;
+};
+
+/// Replay `program` and return every flow-dependence instance.
+/// Reads of never-written elements are external inputs and produce no
+/// instance.
+std::vector<DependenceInstance> trace_dependences(const ir::Program& program,
+                                                  const TraceOptions& options = {});
+
+/// All three dependence kinds of Section 2, for programs that are NOT
+/// single-assignment (e.g. the raw accumulation (2.1) whose z(j1, j2)
+/// is written u times). Flow = read-after-write, anti =
+/// write-after-read, output = write-after-write; in each instance the
+/// `consumer` is the later access.
+struct FullTrace {
+  std::vector<DependenceInstance> flow;
+  std::vector<DependenceInstance> anti;
+  std::vector<DependenceInstance> output;
+};
+
+FullTrace trace_all_dependences(const ir::Program& program);
+
+}  // namespace bitlevel::analysis

@@ -1,0 +1,93 @@
+#include "analysis/types.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace bitlevel::analysis {
+
+DependenceSummary DependenceSummary::from_instances(
+    const std::vector<DependenceInstance>& instances) {
+  std::map<IntVec, Entry> by_distance;
+  for (const auto& inst : instances) {
+    IntVec d = inst.distance();
+    if (math::is_zero(d)) continue;
+    Entry& e = by_distance[d];
+    e.d = d;
+    e.consumers.insert(inst.consumer);
+    e.arrays.insert(inst.array);
+  }
+  DependenceSummary out;
+  out.entries.reserve(by_distance.size());
+  for (auto& [d, e] : by_distance) out.entries.push_back(std::move(e));
+  return out;
+}
+
+std::vector<IntVec> DependenceSummary::distance_vectors() const {
+  std::vector<IntVec> out;
+  out.reserve(entries.size());
+  for (const auto& e : entries) out.push_back(e.d);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::string DependenceSummary::to_string() const {
+  std::ostringstream os;
+  for (const auto& e : entries) {
+    os << math::to_string(e.d) << "  (" << e.consumers.size() << " sites";
+    for (const auto& a : e.arrays) os << ", " << a;
+    os << ")\n";
+  }
+  return os.str();
+}
+
+std::string MatchReport::to_string() const {
+  std::ostringstream os;
+  os << (ok ? "MATCH" : "MISMATCH") << ": " << missing.size() << " missing, " << spurious.size()
+     << " spurious\n";
+  for (const auto& m : missing) os << "  missing:  " << m << '\n';
+  for (const auto& s : spurious) os << "  spurious: " << s << '\n';
+  return os.str();
+}
+
+namespace {
+
+std::string edge_string(const IntVec& consumer, const IntVec& d) {
+  return "at " + math::to_string(consumer) + " dist " + math::to_string(d);
+}
+
+}  // namespace
+
+MatchReport match_structure(const ir::DependenceMatrix& deps, const IndexSet& domain,
+                            const std::vector<DependenceInstance>& trace) {
+  // Traced edges as (consumer, distance) pairs, dropping intra-iteration
+  // (zero-distance) dependences.
+  std::set<std::pair<IntVec, IntVec>> traced;
+  for (const auto& inst : trace) {
+    IntVec d = inst.distance();
+    if (math::is_zero(d)) continue;
+    traced.insert({inst.consumer, std::move(d)});
+  }
+
+  // Predicted edges: every column valid at q with producer inside J.
+  std::set<std::pair<IntVec, IntVec>> predicted;
+  domain.for_each([&](const IntVec& q) {
+    for (const auto& col : deps.columns()) {
+      if (!col.valid.contains(q)) continue;
+      if (!domain.contains(math::sub(q, col.d))) continue;
+      predicted.insert({q, col.d});
+    }
+    return true;
+  });
+
+  MatchReport report;
+  for (const auto& e : traced) {
+    if (!predicted.count(e)) report.missing.push_back(edge_string(e.first, e.second));
+  }
+  for (const auto& e : predicted) {
+    if (!traced.count(e)) report.spurious.push_back(edge_string(e.first, e.second));
+  }
+  report.ok = report.missing.empty() && report.spurious.empty();
+  return report;
+}
+
+}  // namespace bitlevel::analysis

@@ -1,0 +1,81 @@
+// Shared result types of the dependence-analysis backends.
+//
+// Every backend (exact Diophantine, trace replay) ultimately produces
+// flow-dependence *instances* — concrete (consumer, producer) iteration
+// pairs — which are then summarized into distinct distance vectors with
+// their supports. The summaries are what get compared against the
+// symbolically derived dependence matrices of Theorem 3.1.
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "ir/dependence.hpp"
+#include "ir/index_set.hpp"
+
+namespace bitlevel::analysis {
+
+using ir::IndexSet;
+using math::Int;
+using math::IntVec;
+
+/// One concrete flow dependence: iteration `consumer` reads a value of
+/// `array` written by iteration `producer`.
+struct DependenceInstance {
+  std::string array;
+  IntVec consumer;
+  IntVec producer;
+
+  /// Distance vector d = consumer - producer.
+  IntVec distance() const { return math::sub(consumer, producer); }
+
+  bool operator==(const DependenceInstance&) const = default;
+  bool operator<(const DependenceInstance& o) const {
+    if (array != o.array) return array < o.array;
+    if (consumer != o.consumer) return consumer < o.consumer;
+    return producer < o.producer;
+  }
+};
+
+/// Distinct distance vectors with their observed supports.
+struct DependenceSummary {
+  struct Entry {
+    IntVec d;                       ///< Distance vector.
+    std::set<IntVec> consumers;     ///< Points where the vector was observed.
+    std::set<std::string> arrays;   ///< Variables exhibiting this vector.
+  };
+  std::vector<Entry> entries;
+
+  /// Collapse instances into distinct nonzero distance vectors.
+  /// Zero-distance (intra-iteration) dependences are dropped: the
+  /// paper's dependence matrices capture cross-iteration flow only.
+  static DependenceSummary from_instances(const std::vector<DependenceInstance>& instances);
+
+  /// All distinct distance vectors, sorted lexicographically.
+  std::vector<IntVec> distance_vectors() const;
+
+  std::string to_string() const;
+};
+
+/// Result of checking a symbolic dependence structure (D with validity
+/// regions over index set J) against a set of traced instances.
+struct MatchReport {
+  bool ok = true;
+  /// Edges present in the trace but not predicted by (J, D).
+  std::vector<std::string> missing;
+  /// Edges predicted by (J, D) but absent from the trace.
+  std::vector<std::string> spurious;
+
+  std::string to_string() const;
+};
+
+/// Exhaustively verify that the symbolic structure explains the trace:
+/// the set { (q, d) : q in J, column d valid at q, q - d in J } must
+/// equal the set of traced nonzero-distance edges. This is the
+/// empirical proof of Theorem 3.1 used throughout the tests.
+MatchReport match_structure(const ir::DependenceMatrix& deps, const IndexSet& domain,
+                            const std::vector<DependenceInstance>& trace);
+
+}  // namespace bitlevel::analysis

@@ -1,0 +1,59 @@
+// Generic bit-level processor array.
+//
+// BitLevelArray turns a composed bit-level structure (Theorem 3.1) plus
+// a feasible mapping into a runnable cycle-accurate machine. The cell
+// body is the paper's compressor: it ANDs the two operand bits arriving
+// on the x/y pipelines and sums every dependence-carried summand its
+// expansion delivers (z flows, carry, second carry), emitting the new
+// partial-sum bit and carries. The same body serves Expansion I and II
+// because the structure's validity regions gate which inputs exist at
+// each point.
+//
+// Capacity honesty: a nonzero carry with no consuming edge means the
+// paper's fixed grid would drop value; the array throws OverflowError
+// instead (preconditions in core/evaluator.hpp).
+#pragma once
+
+#include <cstdint>
+#include <map>
+
+#include "core/evaluator.hpp"
+#include "core/structure.hpp"
+#include "sim/machine.hpp"
+
+namespace bitlevel::arch {
+
+using math::Int;
+using math::IntVec;
+
+/// Result of one array run.
+struct ArrayRunResult {
+  sim::SimulationStats stats;
+  /// Final accumulated z word per accumulation-boundary word point.
+  std::map<IntVec, std::uint64_t> z;
+};
+
+/// A bit-level systolic array for a composed structure and mapping.
+class BitLevelArray {
+ public:
+  /// Checks Definition 4.1 feasibility (throws PreconditionError with
+  /// the violated conditions otherwise) and freezes the routing.
+  BitLevelArray(core::BitLevelStructure structure, mapping::MappingMatrix t,
+                mapping::InterconnectionPrimitives prims);
+
+  const core::BitLevelStructure& structure() const { return structure_; }
+  const mapping::MappingMatrix& t() const { return t_; }
+  const math::IntMat& k() const { return k_; }
+
+  /// Cycle-accurate run with the given operand words per word-level
+  /// index point. Returns statistics and the final z words.
+  ArrayRunResult run(const core::OperandFn& x, const core::OperandFn& y) const;
+
+ private:
+  core::BitLevelStructure structure_;
+  mapping::MappingMatrix t_;
+  mapping::InterconnectionPrimitives prims_;
+  math::IntMat k_;
+};
+
+}  // namespace bitlevel::arch

@@ -1,0 +1,75 @@
+#include "arch/bit_serial.hpp"
+
+#include "arith/add_shift.hpp"
+#include "arith/bits.hpp"
+#include "mapping/feasibility.hpp"
+#include "support/error.hpp"
+
+namespace bitlevel::arch {
+
+namespace {
+// Channel layout: a/b operand bits, carry, partial sum.
+constexpr std::size_t kA = 0, kB = 1, kC = 2, kS = 3;
+}  // namespace
+
+BitSerialMultiplier::BitSerialMultiplier(Int p) : p_(p) {
+  BL_REQUIRE(p >= 1 && p <= 31, "operand width must be in [1, 31] bits");
+}
+
+BitSerialMultiplier::Result BitSerialMultiplier::multiply(std::uint64_t a,
+                                                          std::uint64_t b) const {
+  const Int p = p_;
+  BL_REQUIRE(p == 1 || a < (1ULL << (p - 1)),
+             "bit-serial multiplicand must keep its top bit clear (paper-exact grid)");
+  BL_REQUIRE(b <= arith::max_value(static_cast<int>(p)), "multiplier must fit in p bits");
+
+  const arith::AddShiftMultiplier mult(p);
+  const ir::AlgorithmTriplet triplet = mult.triplet();
+  const mapping::MappingMatrix t(math::IntMat{{0, 1}, {2, 1}});
+  const mapping::InterconnectionPrimitives line{math::IntMat{{1, -1, 0}}, "line"};
+  const auto report = mapping::check_feasible(triplet.domain, triplet.deps, t, line);
+  BL_REQUIRE(report.ok, "the bit-serial mapping must be feasible: " + report.to_string());
+
+  sim::ExternalFn external = [&](const math::IntVec& i, std::size_t column) -> sim::Outputs {
+    sim::Outputs out(4, 0);
+    // Column order of (3.4): delta1 (a), delta2 (b,c), delta3 (s).
+    if (column == 0) out[kA] = static_cast<Int>((a >> (i[1] - 1)) & 1U);
+    if (column == 1) out[kB] = static_cast<Int>((b >> (i[0] - 1)) & 1U);
+    return out;  // carries and partial sums enter as zero
+  };
+  sim::ComputeFn compute = [&](const math::IntVec&,
+                               const std::vector<sim::ColumnInput>& in) -> sim::Outputs {
+    const Int av = in[0].producer[kA];
+    const Int bv = in[1].producer[kB];
+    const Int pp = av & bv;
+    const Int cin = in[1].producer[kC];
+    const Int sin = in[2].producer[kS];
+    sim::Outputs out(4, 0);
+    out[kA] = av;
+    out[kB] = bv;
+    out[kS] = arith::sum_f(static_cast<int>(pp), static_cast<int>(cin), static_cast<int>(sin));
+    out[kC] = arith::carry_g(static_cast<int>(pp), static_cast<int>(cin), static_cast<int>(sin));
+    return out;
+  };
+
+  sim::Machine machine({triplet.domain, triplet.deps, t, line, *report.k, {"a", "b", "c", "s"}},
+                       compute, external);
+  Result result;
+  result.stats = machine.run();
+
+  // Product bits per (3.1): s(i, 1) for i <= p, s(p, i-p+1) beyond,
+  // plus c(p, p) as bit 2p (zero-extended by the precondition analysis).
+  std::vector<int> bits;
+  bits.reserve(static_cast<std::size_t>(2 * p));
+  for (Int i = 1; i <= p; ++i) {
+    bits.push_back(static_cast<int>(machine.outputs_at({i, 1})[kS]));
+  }
+  for (Int i2 = 2; i2 <= p; ++i2) {
+    bits.push_back(static_cast<int>(machine.outputs_at({p, i2})[kS]));
+  }
+  bits.push_back(static_cast<int>(machine.outputs_at({p, p})[kC]));
+  result.product = arith::from_bits(bits);
+  return result;
+}
+
+}  // namespace bitlevel::arch

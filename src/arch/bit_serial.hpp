@@ -1,0 +1,55 @@
+// The bit-serial multiplier: a lower-dimensional mapping.
+//
+// The paper's design method (refs [5, 6, 10]) maps n-dimensional
+// algorithms onto (k-1)-dimensional arrays for any k. Applying it to
+// the add-shift structure (3.4) itself with k = 2 — the 2-D grid
+// collapsed onto a LINEAR array of p cells by
+//
+//     T = [ S ]   =  [ 0  1 ]      (PE = i2, time = 2*i1 + i2)
+//         [ Pi]      [ 2  1 ]
+//
+// — reproduces the classic bit-serial multiplier: p full-adder cells,
+// operand a resident per cell, b and the carries streaming through,
+// total time 3p - 2. Definition 4.1 holds with nearest-neighbour links
+// only (S*delta1 = 0 stationary, S*delta2 = +1, S*delta3 = -1).
+//
+// Paper-exact structure (no east-edge carry completion), so the
+// multiplicand must keep its top bit clear: a < 2^(p-1); see
+// docs/THEORY.md §2.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/machine.hpp"
+
+namespace bitlevel::arch {
+
+using math::Int;
+
+/// A p-cell linear array multiplying a * b bit-serially.
+class BitSerialMultiplier {
+ public:
+  explicit BitSerialMultiplier(Int p);
+
+  Int p() const { return p_; }
+
+  /// Number of processing cells: p (vs p^2 for the 2-D grid).
+  Int cells() const { return p_; }
+
+  /// Total time of the linear schedule [2, 1] over [1,p]^2: 3p - 2.
+  Int predicted_cycles() const { return 3 * p_ - 2; }
+
+  struct Result {
+    std::uint64_t product = 0;
+    sim::SimulationStats stats;
+  };
+
+  /// Multiply on the simulated linear array. Preconditions:
+  /// a < 2^(p-1) (top bit clear), b < 2^p.
+  Result multiply(std::uint64_t a, std::uint64_t b) const;
+
+ private:
+  Int p_;
+};
+
+}  // namespace bitlevel::arch

@@ -1,0 +1,143 @@
+#include "arch/matmul_arrays.hpp"
+
+#include "core/expansion.hpp"
+#include "core/workload.hpp"
+#include "ir/kernels.hpp"
+#include "support/error.hpp"
+#include "support/rng.hpp"
+
+namespace bitlevel::arch {
+
+WordMatrix::WordMatrix(Int u, std::uint64_t fill)
+    : u_(u), data_(static_cast<std::size_t>(u * u), fill) {
+  BL_REQUIRE(u >= 1, "matrix extent must be >= 1");
+}
+
+std::uint64_t& WordMatrix::at(Int row, Int col) {
+  BL_REQUIRE(row >= 1 && row <= u_ && col >= 1 && col <= u_, "matrix index out of range");
+  return data_[static_cast<std::size_t>((row - 1) * u_ + (col - 1))];
+}
+
+std::uint64_t WordMatrix::at(Int row, Int col) const {
+  BL_REQUIRE(row >= 1 && row <= u_ && col >= 1 && col <= u_, "matrix index out of range");
+  return data_[static_cast<std::size_t>((row - 1) * u_ + (col - 1))];
+}
+
+WordMatrix WordMatrix::multiply_reference(const WordMatrix& a, const WordMatrix& b) {
+  BL_REQUIRE(a.u_ == b.u_, "matrix extents must match");
+  WordMatrix z(a.u_);
+  for (Int i = 1; i <= a.u_; ++i) {
+    for (Int j = 1; j <= a.u_; ++j) {
+      std::uint64_t acc = 0;
+      for (Int k = 1; k <= a.u_; ++k) acc += a.at(i, k) * b.at(k, j);
+      z.at(i, j) = acc;
+    }
+  }
+  return z;
+}
+
+WordMatrix WordMatrix::random(Int u, std::uint64_t bound, std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  WordMatrix m(u);
+  for (Int i = 1; i <= u; ++i) {
+    for (Int j = 1; j <= u; ++j) m.at(i, j) = rng() % (bound + 1);
+  }
+  return m;
+}
+
+mapping::MappingMatrix matmul_mapping(MatmulMapping which, Int p) {
+  if (which == MatmulMapping::kFig4) {
+    // T of (4.2).
+    return mapping::MappingMatrix(
+        math::IntMat{{p, 0, 0, 1, 0}, {0, p, 0, 0, 1}, {1, 1, 1, 2, 1}});
+  }
+  // T' of (4.6).
+  return mapping::MappingMatrix(
+      math::IntMat{{p, 0, 0, 1, 0}, {0, p, 0, 0, 1}, {p, p, 1, 2, 1}});
+}
+
+mapping::InterconnectionPrimitives matmul_primitives(MatmulMapping which, Int p) {
+  return which == MatmulMapping::kFig4 ? mapping::InterconnectionPrimitives::fig4(p)
+                                       : mapping::InterconnectionPrimitives::mesh2d_diag();
+}
+
+BitLevelMatmulArray::BitLevelMatmulArray(MatmulMapping which, Int u, Int p)
+    : which_(which),
+      u_(u),
+      p_(p),
+      array_(core::expand(ir::kernels::matmul(u), p, core::Expansion::kII),
+             matmul_mapping(which, p), matmul_primitives(which, p)) {}
+
+MatmulRunResult BitLevelMatmulArray::multiply(const WordMatrix& x, const WordMatrix& y) const {
+  BL_REQUIRE(x.u() == u_ && y.u() == u_, "operand extents must match the array");
+  // Model (2.3): x(j1, j2, j3) carries X[j1, j3]; y carries Y[j3, j2].
+  const core::OperandFn xf = [&x](const IntVec& j) { return x.at(j[0], j[2]); };
+  const core::OperandFn yf = [&y](const IntVec& j) { return y.at(j[2], j[1]); };
+  const ArrayRunResult raw = array_.run(xf, yf);
+
+  MatmulRunResult result{WordMatrix(u_), raw.stats};
+  // Chain ends at j3 = u hold Z[j1, j2].
+  for (const auto& [j, value] : raw.z) result.z.at(j[0], j[1]) = value;
+  return result;
+}
+
+Int BitLevelMatmulArray::batch_initiation_interval() const {
+  // Every PE is busy for u consecutive cycles per problem (the j3
+  // coefficient of both published schedules is 1), and the injectivity
+  // analysis shows a batch offset of u is the smallest conflict-free
+  // one.
+  return u_;
+}
+
+BatchRunResult BitLevelMatmulArray::multiply_batch(const std::vector<WordMatrix>& xs,
+                                                   const std::vector<WordMatrix>& ys) const {
+  BL_REQUIRE(!xs.empty() && xs.size() == ys.size(),
+             "batch needs equal, nonzero operand counts");
+  const Int batches = static_cast<Int>(xs.size());
+  for (const auto& m : xs) BL_REQUIRE(m.u() == u_, "operand extents must match the array");
+  for (const auto& m : ys) BL_REQUIRE(m.u() == u_, "operand extents must match the array");
+
+  // Compose a batch axis into the word-level model: chains and operand
+  // pipelines stay within a batch (zero batch components).
+  const ir::WordLevelModel batched = core::batch_model(ir::kernels::matmul(u_), batches);
+  const core::BitLevelStructure s = core::expand(batched, p_, core::Expansion::kII);
+
+  // The batched mapping: same S (batch-blind), schedule offset by the
+  // initiation interval per batch. Feasibility (incl. conflict-freedom
+  // across batches) is re-verified by the array constructor.
+  const mapping::MappingMatrix base = matmul_mapping(which_, p_);
+  math::IntMat tb(3, 6);
+  for (std::size_t r = 0; r < 2; ++r) {
+    tb.at(r, 0) = 0;
+    for (std::size_t c = 0; c < 5; ++c) tb.at(r, c + 1) = base.matrix().at(r, c);
+  }
+  tb.at(2, 0) = batch_initiation_interval();
+  for (std::size_t c = 0; c < 5; ++c) tb.at(2, c + 1) = base.matrix().at(2, c);
+
+  const BitLevelArray array(s, mapping::MappingMatrix(std::move(tb)),
+                            matmul_primitives(which_, p_));
+  const auto raw = array.run(
+      [&](const IntVec& j) { return xs[static_cast<std::size_t>(j[0] - 1)].at(j[1], j[3]); },
+      [&](const IntVec& j) { return ys[static_cast<std::size_t>(j[0] - 1)].at(j[3], j[2]); });
+
+  BatchRunResult result{std::vector<WordMatrix>(static_cast<std::size_t>(batches),
+                                                WordMatrix(u_)),
+                        raw.stats, batch_initiation_interval()};
+  for (const auto& [j, value] : raw.z) {
+    result.z[static_cast<std::size_t>(j[0] - 1)].at(j[1], j[2]) = value;
+  }
+  return result;
+}
+
+Int BitLevelMatmulArray::predicted_cycles() const {
+  if (which_ == MatmulMapping::kFig4) {
+    return 3 * (u_ - 1) + 3 * (p_ - 1) + 1;  // (4.5)
+  }
+  // Pi' = [p, p, 1, 2, 1] evaluated over J (the paper's printed (4.8)
+  // has an arithmetic slip; see EXPERIMENTS.md erratum E6).
+  return (2 * p_ + 1) * (u_ - 1) + 3 * (p_ - 1) + 1;
+}
+
+Int BitLevelMatmulArray::predicted_processors() const { return u_ * u_ * p_ * p_; }
+
+}  // namespace bitlevel::arch

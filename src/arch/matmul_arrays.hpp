@@ -1,0 +1,109 @@
+// The paper's two bit-level matrix-multiplication architectures.
+//
+// Fig. 4 (eq. 4.2): time-optimal mapping with long [p,0]/[0,p] wires;
+//   total time 3(u-1) + 3(p-1) + 1, u^2 p^2 PEs, one buffered link (d4).
+// Fig. 5 (eq. 4.6): nearest-neighbour wiring only; slower schedule
+//   Pi' = [p, p, 1, 2, 1]; same PE count.
+//
+// Both are thin wrappers that compose matmul's word-level model,
+// Expansion II, the published mapping matrices, and the matching
+// interconnection primitives into a BitLevelArray, and speak in terms
+// of u x u operand matrices.
+#pragma once
+
+#include <vector>
+
+#include "arch/bit_array.hpp"
+
+namespace bitlevel::arch {
+
+/// Dense u x u matrix of unsigned words, row-major, 1-based accessors.
+class WordMatrix {
+ public:
+  WordMatrix(Int u, std::uint64_t fill = 0);
+
+  Int u() const { return u_; }
+  std::uint64_t& at(Int row, Int col);
+  std::uint64_t at(Int row, Int col) const;
+
+  /// Plain cubic reference multiply.
+  static WordMatrix multiply_reference(const WordMatrix& a, const WordMatrix& b);
+
+  /// Random matrix with entries in [0, bound].
+  static WordMatrix random(Int u, std::uint64_t bound, std::uint64_t seed);
+
+  bool operator==(const WordMatrix&) const = default;
+
+ private:
+  Int u_;
+  std::vector<std::uint64_t> data_;
+};
+
+/// Result of running a matmul architecture.
+struct MatmulRunResult {
+  WordMatrix z;
+  sim::SimulationStats stats;
+};
+
+/// Which of the paper's two mappings to instantiate.
+enum class MatmulMapping { kFig4, kFig5 };
+
+/// The mapping matrix T of (4.2) / T' of (4.6) for word length p.
+mapping::MappingMatrix matmul_mapping(MatmulMapping which, Int p);
+
+/// The primitive set the mapping was designed for: (4.3) for Fig. 4,
+/// (4.7) for Fig. 5.
+mapping::InterconnectionPrimitives matmul_primitives(MatmulMapping which, Int p);
+
+/// Result of streaming a batch of products through one array.
+struct BatchRunResult {
+  std::vector<WordMatrix> z;
+  sim::SimulationStats stats;
+  /// Cycles from one batch's start to the next: the array accepts a new
+  /// problem every `initiation_interval` cycles (problem pipelining).
+  Int initiation_interval = 0;
+};
+
+/// A ready-to-run bit-level matmul array (Expansion II structure).
+class BitLevelMatmulArray {
+ public:
+  BitLevelMatmulArray(MatmulMapping which, Int u, Int p);
+
+  Int u() const { return u_; }
+  Int p() const { return p_; }
+  const BitLevelArray& array() const { return array_; }
+
+  /// Multiply-accumulate Z = X * Y on the array; X entries must keep
+  /// their top bit clear and Z must fit 2p-1 bits (see
+  /// core::max_safe_operand with Expansion II).
+  MatmulRunResult multiply(const WordMatrix& x, const WordMatrix& y) const;
+
+  /// The paper's closed-form total time for this mapping ((4.5), or the
+  /// corrected evaluation of (4.8) — see EXPERIMENTS.md erratum E6).
+  Int predicted_cycles() const;
+
+  /// Stream `problems` independent products through the SAME array,
+  /// each batch offset by one initiation interval (u cycles for Fig. 4:
+  /// every PE is busy for u consecutive cycles per problem, so batches
+  /// interleave conflict-free and PE utilization approaches 1 as the
+  /// stream grows). Implemented by composing a batch axis into the
+  /// word-level model — the whole Definition 4.1 machinery re-verifies
+  /// the batched mapping. Fig. 4 only (the Fig. 5 schedule needs a
+  /// (2p+1)-cycle interval; supported the same way).
+  BatchRunResult multiply_batch(const std::vector<WordMatrix>& xs,
+                                const std::vector<WordMatrix>& ys) const;
+
+  /// The initiation interval of this mapping's batched schedule.
+  Int batch_initiation_interval() const;
+
+  /// u^2 p^2 for both mappings.
+  Int predicted_processors() const;
+
+ private:
+  MatmulMapping which_;
+  Int u_;
+  Int p_;
+  BitLevelArray array_;
+};
+
+}  // namespace bitlevel::arch

@@ -1,0 +1,86 @@
+#include "arch/signed_matmul.hpp"
+
+#include "core/evaluator.hpp"
+#include "support/error.hpp"
+#include "support/rng.hpp"
+
+namespace bitlevel::arch {
+
+SignedWordMatrix::SignedWordMatrix(Int u, std::int64_t fill)
+    : u_(u), data_(static_cast<std::size_t>(u * u), fill) {
+  BL_REQUIRE(u >= 1, "matrix extent must be >= 1");
+}
+
+std::int64_t& SignedWordMatrix::at(Int row, Int col) {
+  BL_REQUIRE(row >= 1 && row <= u_ && col >= 1 && col <= u_, "matrix index out of range");
+  return data_[static_cast<std::size_t>((row - 1) * u_ + (col - 1))];
+}
+
+std::int64_t SignedWordMatrix::at(Int row, Int col) const {
+  BL_REQUIRE(row >= 1 && row <= u_ && col >= 1 && col <= u_, "matrix index out of range");
+  return data_[static_cast<std::size_t>((row - 1) * u_ + (col - 1))];
+}
+
+SignedWordMatrix SignedWordMatrix::multiply_reference(const SignedWordMatrix& a,
+                                                      const SignedWordMatrix& b) {
+  BL_REQUIRE(a.u_ == b.u_, "matrix extents must match");
+  SignedWordMatrix z(a.u_);
+  for (Int i = 1; i <= a.u_; ++i) {
+    for (Int j = 1; j <= a.u_; ++j) {
+      std::int64_t acc = 0;
+      for (Int k = 1; k <= a.u_; ++k) acc += a.at(i, k) * b.at(k, j);
+      z.at(i, j) = acc;
+    }
+  }
+  return z;
+}
+
+SignedWordMatrix SignedWordMatrix::random(Int u, std::int64_t bound, std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  SignedWordMatrix m(u);
+  for (Int i = 1; i <= u; ++i) {
+    for (Int j = 1; j <= u; ++j) m.at(i, j) = rng.uniform(-bound, bound);
+  }
+  return m;
+}
+
+SignedMatmulResult multiply_signed(const BitLevelMatmulArray& array, Int w,
+                                   const SignedWordMatrix& x, const SignedWordMatrix& y) {
+  const Int u = array.u();
+  BL_REQUIRE(x.u() == u && y.u() == u, "operand extents must match the array");
+  BL_REQUIRE(w >= 1 && array.p() >= w + 1,
+             "signed w-bit entries need an array built for p >= w+1 bits");
+  const std::int64_t bias = 1LL << (w - 1);
+  const std::uint64_t encoded_max = (1ULL << w) - 1;
+  BL_REQUIRE(core::max_safe_operand(array.p(), u, core::Expansion::kII) >= encoded_max,
+             "offset-binary operands exceed the array's capacity bound; increase p");
+
+  // Offset-binary encodings and the all-ones matrix.
+  WordMatrix xe(u), ye(u), ones(u, 1);
+  for (Int i = 1; i <= u; ++i) {
+    for (Int j = 1; j <= u; ++j) {
+      BL_REQUIRE(x.at(i, j) >= -bias && x.at(i, j) < bias, "x entry out of signed range");
+      BL_REQUIRE(y.at(i, j) >= -bias && y.at(i, j) < bias, "y entry out of signed range");
+      xe.at(i, j) = static_cast<std::uint64_t>(x.at(i, j) + bias);
+      ye.at(i, j) = static_cast<std::uint64_t>(y.at(i, j) + bias);
+    }
+  }
+
+  // Three unsigned passes: the product and the two correction sums.
+  const MatmulRunResult prod = array.multiply(xe, ye);
+  const MatmulRunResult row_sums = array.multiply(xe, ones);   // (i,j) -> sum_k x'_ik
+  const MatmulRunResult col_sums = array.multiply(ones, ye);   // (i,j) -> sum_k y'_kj
+
+  SignedMatmulResult out{SignedWordMatrix(u), prod.stats, 3};
+  const std::int64_t constant = static_cast<std::int64_t>(u) * bias * bias;
+  for (Int i = 1; i <= u; ++i) {
+    for (Int j = 1; j <= u; ++j) {
+      out.z.at(i, j) = static_cast<std::int64_t>(prod.z.at(i, j)) -
+                       bias * static_cast<std::int64_t>(col_sums.z.at(i, j)) -
+                       bias * static_cast<std::int64_t>(row_sums.z.at(i, j)) + constant;
+    }
+  }
+  return out;
+}
+
+}  // namespace bitlevel::arch

@@ -1,0 +1,60 @@
+// Signed matrix multiplication on the unsigned bit-level arrays.
+//
+// The paper's arrays multiply nonnegative integers. Signed operands are
+// supported through the bias identity: with x = x' - B and y = y' - B
+// (B = 2^(w-1), so x', y' are the offset-binary encodings in [0, 2^w)),
+//     sum_k x_ik * y_kj
+//       = sum_k x'_ik y'_kj  -  B * sum_k y'_kj  -  B * sum_k x'_ik
+//         + u * B^2.
+// All three sums run on the *same* unsigned array — the product term
+// directly, the two correction sums as multiplications by the all-ones
+// matrix — so every bit of the signed result still flows through
+// full-adder cells. A w-bit signed multiply needs an array built for
+// p >= w+1 operand bits (the offset encodings use w bits but the
+// capacity preconditions require headroom; see core::max_safe_operand).
+#pragma once
+
+#include <vector>
+
+#include "arch/matmul_arrays.hpp"
+
+namespace bitlevel::arch {
+
+/// Dense u x u signed matrix, 1-based accessors.
+class SignedWordMatrix {
+ public:
+  explicit SignedWordMatrix(Int u, std::int64_t fill = 0);
+
+  Int u() const { return u_; }
+  std::int64_t& at(Int row, Int col);
+  std::int64_t at(Int row, Int col) const;
+
+  static SignedWordMatrix multiply_reference(const SignedWordMatrix& a,
+                                             const SignedWordMatrix& b);
+
+  /// Random entries in [-bound, bound].
+  static SignedWordMatrix random(Int u, std::int64_t bound, std::uint64_t seed);
+
+  bool operator==(const SignedWordMatrix&) const = default;
+
+ private:
+  Int u_;
+  std::vector<std::int64_t> data_;
+};
+
+/// Result of a signed multiply: the product and the three unsigned
+/// array runs' statistics (their cycle counts are identical; an actual
+/// deployment would pipeline the three passes).
+struct SignedMatmulResult {
+  SignedWordMatrix z;
+  sim::SimulationStats stats;  ///< Stats of one pass.
+  Int passes = 3;
+};
+
+/// Z = X * Y for signed w-bit entries (|entry| < 2^(w-1)) on the given
+/// unsigned array. Requires array.p() >= w + 1 and the capacity bound
+/// core::max_safe_operand(array.p(), u, kII) >= 2^w - 1.
+SignedMatmulResult multiply_signed(const BitLevelMatmulArray& array, Int w,
+                                   const SignedWordMatrix& x, const SignedWordMatrix& y);
+
+}  // namespace bitlevel::arch

@@ -1,0 +1,58 @@
+#include "arch/word_array.hpp"
+
+#include "ir/kernels.hpp"
+#include "mapping/feasibility.hpp"
+#include "support/error.hpp"
+
+namespace bitlevel::arch {
+
+namespace {
+constexpr std::size_t kX = 0, kY = 1, kZ = 2;
+}  // namespace
+
+WordLevelMatmulArray::WordLevelMatmulArray(Int u, arith::WordMultiplier multiplier, Int p)
+    : u_(u), p_(p), multiplier_(multiplier) {
+  BL_REQUIRE(u >= 1 && p >= 1, "array extents must be >= 1");
+}
+
+WordRunResult WordLevelMatmulArray::multiply(const WordMatrix& x, const WordMatrix& y) const {
+  BL_REQUIRE(x.u() == u_ && y.u() == u_, "operand extents must match the array");
+  const ir::WordLevelModel model = ir::kernels::matmul(u_);
+  const ir::AlgorithmTriplet triplet = model.triplet();
+
+  const mapping::MappingMatrix t(math::IntMat{{1, 0, 0}, {0, 1, 0}, {1, 1, 1}});
+  const auto prims = mapping::InterconnectionPrimitives::mesh2d();
+  const auto report = mapping::check_feasible(triplet.domain, triplet.deps, t, prims);
+  BL_REQUIRE(report.ok, "word-level mapping must be feasible: " + report.to_string());
+
+  sim::ExternalFn external = [&](const IntVec& j, std::size_t column) -> sim::Outputs {
+    sim::Outputs out(3, 0);
+    // Column order of the word triplet: x, y, z.
+    if (column == 0) out[kX] = static_cast<Int>(x.at(j[0], j[2]));
+    if (column == 1) out[kY] = static_cast<Int>(y.at(j[2], j[1]));
+    return out;
+  };
+  sim::ComputeFn compute = [&](const IntVec&,
+                               const std::vector<sim::ColumnInput>& in) -> sim::Outputs {
+    sim::Outputs out(3, 0);
+    out[kX] = in[0].producer[kX];
+    out[kY] = in[1].producer[kY];
+    out[kZ] = math::checked_add(in[2].producer[kZ],
+                                math::checked_mul(out[kX], out[kY]));
+    return out;
+  };
+
+  sim::Machine machine({triplet.domain, triplet.deps, t, prims, *report.k, {"x", "y", "z"}},
+                       compute, external);
+  WordRunResult result{WordMatrix(u_), machine.run(), 0};
+  result.total_cycles = math::checked_mul(result.beat_stats.cycles, beat_length());
+  for (Int i = 1; i <= u_; ++i) {
+    for (Int j = 1; j <= u_; ++j) {
+      result.z.at(i, j) =
+          static_cast<std::uint64_t>(machine.outputs_at(IntVec{i, j, u_})[kZ]);
+    }
+  }
+  return result;
+}
+
+}  // namespace bitlevel::arch

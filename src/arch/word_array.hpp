@@ -1,0 +1,55 @@
+// The word-level baseline architecture (Section 4.2's comparison).
+//
+// The best word-level matmul array [Li & Wah 1985] maps (2.3) with
+// S = [[1,0,0],[0,1,0]] and Pi = [1,1,1]: u^2 processors, 3(u-1)+1
+// beats, each beat one word multiply-accumulate. The beat length t_b
+// depends on the PE's arithmetic: p^2 cycles with a sequential
+// add-shift multiplier, 2p with a carry-save array multiplier
+// (arith::WordMultiplier). Total time = (3(u-1)+1) * t_b — the number
+// the bit-level architectures are measured against.
+#pragma once
+
+#include "arch/matmul_arrays.hpp"
+#include "arith/multiplier_model.hpp"
+
+namespace bitlevel::arch {
+
+/// Result of a word-level baseline run.
+struct WordRunResult {
+  WordMatrix z;
+  sim::SimulationStats beat_stats;  ///< Machine stats in beats.
+  Int total_cycles = 0;             ///< beats * t_b.
+};
+
+/// The u x u word-level systolic matmul array.
+class WordLevelMatmulArray {
+ public:
+  WordLevelMatmulArray(Int u, arith::WordMultiplier multiplier, Int p);
+
+  Int u() const { return u_; }
+  Int p() const { return p_; }
+  arith::WordMultiplier multiplier() const { return multiplier_; }
+
+  /// Beats of the linear schedule: 3(u-1) + 1.
+  Int beats() const { return 3 * (u_ - 1) + 1; }
+
+  /// Cycles per beat: t_b of the chosen multiplier.
+  Int beat_length() const { return arith::word_pe_latency(multiplier_, p_); }
+
+  /// Total cycles: beats() * beat_length().
+  Int predicted_cycles() const { return beats() * beat_length(); }
+
+  /// u^2 word-level processors.
+  Int predicted_processors() const { return u_ * u_; }
+
+  /// Run Z = X * Y cycle-accurately (at beat granularity; each beat is
+  /// one MAC whose internal latency is the multiplier model's).
+  WordRunResult multiply(const WordMatrix& x, const WordMatrix& y) const;
+
+ private:
+  Int u_;
+  Int p_;
+  arith::WordMultiplier multiplier_;
+};
+
+}  // namespace bitlevel::arch

@@ -1,0 +1,96 @@
+#include "arith/add_shift.hpp"
+
+#include "arith/bits.hpp"
+#include "arith/grid_pass.hpp"
+#include "support/error.hpp"
+
+namespace bitlevel::arith {
+
+int AddShiftGrid::s(Int i1, Int i2) const {
+  BL_REQUIRE(i1 >= 1 && i1 <= p && i2 >= 1 && i2 <= p, "cell index out of range");
+  return s_cell[static_cast<std::size_t>((i1 - 1) * p + (i2 - 1))];
+}
+
+int AddShiftGrid::c(Int i1, Int i2) const {
+  BL_REQUIRE(i1 >= 1 && i1 <= p && i2 >= 1 && i2 <= p, "cell index out of range");
+  return c_cell[static_cast<std::size_t>((i1 - 1) * p + (i2 - 1))];
+}
+
+AddShiftMultiplier::AddShiftMultiplier(Int p) : p_(p) {
+  BL_REQUIRE(p >= 1 && p <= 31, "operand width must be in [1, 31] bits");
+}
+
+AddShiftGrid AddShiftMultiplier::multiply(std::uint64_t a, std::uint64_t b) const {
+  const int p = static_cast<int>(p_);
+  BL_REQUIRE(a <= max_value(p) && b <= max_value(p), "operands must fit in p bits");
+  const std::vector<int> abits = to_bits(a, p);
+  const std::vector<int> bbits = to_bits(b, p);
+
+  // One pass of the reduction grid with no injected bits; the virtual
+  // columns implement the east-edge carry completion (see grid_pass.hpp).
+  const GridPassResult pass = run_grid_pass(
+      p_,
+      [&](Int i1, Int i2) {
+        return abits[static_cast<std::size_t>(i2 - 1)] & bbits[static_cast<std::size_t>(i1 - 1)];
+      },
+      nullptr);
+
+  AddShiftGrid grid;
+  grid.p = p_;
+  grid.s_cell.assign(static_cast<std::size_t>(p * p), 0);
+  grid.c_cell.assign(static_cast<std::size_t>(p * p), 0);
+  for (int i1 = 1; i1 <= p; ++i1) {
+    for (int i2 = 1; i2 <= p; ++i2) {
+      const std::size_t at = static_cast<std::size_t>((i1 - 1) * p + (i2 - 1));
+      grid.s_cell[at] = pass.s(i1, i2);
+      grid.c_cell[at] = pass.c(i1, i2);
+    }
+  }
+
+  // The product of two p-bit operands fits in 2p bits; bits above 2p of
+  // the pass output are structurally zero for plain multiplication.
+  std::vector<int> bits = pass.output_bits();
+  for (std::size_t i = static_cast<std::size_t>(2 * p); i < bits.size(); ++i) {
+    BL_REQUIRE(bits[i] == 0, "product exceeded 2p bits");
+  }
+  bits.resize(static_cast<std::size_t>(2 * p));
+  grid.product_bits = std::move(bits);
+  grid.product = from_bits(grid.product_bits);
+  return grid;
+}
+
+ir::AlgorithmTriplet AddShiftMultiplier::triplet() const {
+  ir::AlgorithmTriplet t{ir::IndexSet::cube(2, p_), {}, {}, {"i1", "i2"}};
+  t.deps.add({delta1(), "a", ir::ValidityRegion::all()});
+  t.deps.add({delta2(), "b,c", ir::ValidityRegion::all()});
+  t.deps.add({delta3(), "s", ir::ValidityRegion::all()});
+  t.computations = {
+      "a(i) = a(i - delta1)",
+      "b(i) = b(i - delta2)",
+      "c(i) = g(a(i) & b(i), c(i - delta2), s(i - delta3))",
+      "s(i) = f(a(i) & b(i), c(i - delta2), s(i - delta3))",
+  };
+  return t;
+}
+
+ir::Program AddShiftMultiplier::access_program() const {
+  const ir::AffineMap id = ir::AffineMap::identity(2);
+  const ir::AffineMap m_d1 = ir::AffineMap::translate(math::neg(delta1()));
+  const ir::AffineMap m_d2 = ir::AffineMap::translate(math::neg(delta2()));
+  const ir::AffineMap m_d3 = ir::AffineMap::translate(math::neg(delta3()));
+  ir::Program prog{ir::IndexSet::cube(2, p_),
+                   {
+                       {{"a", id}, {{"a", m_d1}}, "a(i) = a(i - delta1)"},
+                       {{"b", id}, {{"b", m_d2}}, "b(i) = b(i - delta2)"},
+                       {{"c", id},
+                        {{"a", id}, {"b", id}, {"c", m_d2}, {"s", m_d3}},
+                        "c(i) = g(a&b, c(i - delta2), s(i - delta3))"},
+                       {{"s", id},
+                        {{"a", id}, {"b", id}, {"c", m_d2}, {"s", m_d3}},
+                        "s(i) = f(a&b, c(i - delta2), s(i - delta3))"},
+                   }};
+  prog.validate();
+  return prog;
+}
+
+}  // namespace bitlevel::arith

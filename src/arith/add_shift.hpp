@@ -1,0 +1,83 @@
+// The add-shift multiplication algorithm (Hwang [3]; paper Section 3.1).
+//
+// Multiplies two nonnegative p-bit integers on a p x p grid of
+// full-adder cells. Cell (i1, i2) adds the partial-product bit
+// a_{i2} & b_{i1}, the carry from the west cell (i1, i2-1), and the
+// partial-sum bit from the north-east cell (i1-1, i2+1), producing a new
+// partial-sum bit and a carry (program (3.1)-(3.3), Fig. 1b/1c).
+//
+// The dependence structure is the triplet A_as = (J_as, D_as, E_as) of
+// eq. (3.4): J_as = [1,p]^2 and
+//     D_as = [ d1 d2 d3 ] = [ 1  0  1 ]   causes: a | b,c | s
+//                           [ 0  1 -1 ]
+//
+// Output bits: s_i = s(i, 1) for 1 <= i <= p and s_i = s(p, i-p+1) for
+// p < i <= 2p-1 (the paper keeps 2p-1 bits). Two corrections make the
+// implementation exact for *all* p-bit operands:
+//   1. carry completion — the carry leaving the east edge of row i1
+//      becomes the diagonal input of row i1+1 (the paper's boundary
+//      condition s(i1, p+1) = 0 silently drops it; see grid_pass.hpp);
+//   2. the full 2p-bit product includes the final carry out of cell
+//      (p, p) as bit 2p.
+// Both are validated exhaustively in tests/arith_addshift_test.cpp.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ir/program.hpp"
+#include "ir/triplet.hpp"
+
+namespace bitlevel::arith {
+
+using math::Int;
+
+/// Full cell-grid result of one add-shift multiplication.
+struct AddShiftGrid {
+  Int p = 0;
+  /// s_cell[(i1-1)*p + (i2-1)] = partial-sum bit s(i1, i2), i1, i2 in [1, p].
+  std::vector<int> s_cell;
+  /// c_cell likewise for carry bits c(i1, i2).
+  std::vector<int> c_cell;
+  /// Product bits, little-endian, 2p bits (bit 2p is the carry out of
+  /// cell (p, p); the paper's s has bits 1..2p-1).
+  std::vector<int> product_bits;
+  /// The product as an integer.
+  std::uint64_t product = 0;
+
+  int s(Int i1, Int i2) const;
+  int c(Int i1, Int i2) const;
+};
+
+/// Bit-level add-shift multiplier.
+class AddShiftMultiplier {
+ public:
+  /// Construct for p-bit operands, 1 <= p <= 31.
+  explicit AddShiftMultiplier(Int p);
+
+  Int p() const { return p_; }
+
+  /// Evaluate the full grid for a * b; both operands must fit in p bits.
+  AddShiftGrid multiply(std::uint64_t a, std::uint64_t b) const;
+
+  /// The dependence triplet (J_as, D_as, E_as) of eq. (3.4).
+  ir::AlgorithmTriplet triplet() const;
+
+  /// The executable access-pattern program (3.3), for trace validation.
+  ir::Program access_program() const;
+
+  /// Dependence vectors delta_1, delta_2, delta_3 of (3.4).
+  static math::IntVec delta1() { return {1, 0}; }
+  static math::IntVec delta2() { return {0, 1}; }
+  static math::IntVec delta3() { return {1, -1}; }
+
+  /// Latency of a *sequential word-level* multiplier built from p
+  /// add-shift steps, each a p-bit ripple-carry addition: p * p cycles.
+  /// This is the t_b = O(p^2) model in the Section 4.2 comparison.
+  static Int sequential_latency(Int p) { return math::checked_mul(p, p); }
+
+ private:
+  Int p_;
+};
+
+}  // namespace bitlevel::arith

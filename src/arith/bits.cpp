@@ -1,0 +1,30 @@
+#include "arith/bits.hpp"
+
+#include "support/error.hpp"
+
+namespace bitlevel::arith {
+
+std::vector<int> to_bits(std::uint64_t value, int width) {
+  BL_REQUIRE(width >= 1 && width <= 63, "bit width must be in [1, 63]");
+  BL_REQUIRE(width == 63 || value < (1ULL << width), "value does not fit in the requested width");
+  std::vector<int> bits(static_cast<std::size_t>(width));
+  for (int i = 0; i < width; ++i) bits[static_cast<std::size_t>(i)] = (value >> i) & 1U;
+  return bits;
+}
+
+std::uint64_t from_bits(const std::vector<int>& bits) {
+  BL_REQUIRE(bits.size() <= 64, "too many bits for a 64-bit value");
+  std::uint64_t value = 0;
+  for (std::size_t i = 0; i < bits.size(); ++i) {
+    BL_REQUIRE(bits[i] == 0 || bits[i] == 1, "bit values must be 0 or 1");
+    value |= static_cast<std::uint64_t>(bits[i]) << i;
+  }
+  return value;
+}
+
+std::uint64_t max_value(int width) {
+  BL_REQUIRE(width >= 1 && width <= 63, "bit width must be in [1, 63]");
+  return (1ULL << width) - 1;
+}
+
+}  // namespace bitlevel::arith

@@ -1,0 +1,37 @@
+// Bit-vector helpers and the full-adder cell functions (3.2).
+//
+// The paper's bit-level computations are built from two Boolean
+// functions over three input bits:
+//   g(x1, x2, x3) = (x1 & x2) | (x2 & x3) | (x3 & x1)   -- carry
+//   f(x1, x2, x3) = x1 ^ x2 ^ x3                        -- sum
+// i.e. a full adder. Everything in src/arith and the bit-level PE bodies
+// in src/arch reduces to these two functions plus AND gates.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "math/checked.hpp"
+
+namespace bitlevel::arith {
+
+using math::Int;
+
+/// Carry function g of (3.2): majority of three bits.
+inline int carry_g(int x1, int x2, int x3) { return (x1 & x2) | (x2 & x3) | (x3 & x1); }
+
+/// Sum function f of (3.2): parity of three bits.
+inline int sum_f(int x1, int x2, int x3) { return x1 ^ x2 ^ x3; }
+
+/// Little-endian bit decomposition: bit i of the result is bit i of
+/// `value` (bits[0] is the paper's a_1). Exactly `width` bits; the value
+/// must fit.
+std::vector<int> to_bits(std::uint64_t value, int width);
+
+/// Inverse of to_bits (little-endian).
+std::uint64_t from_bits(const std::vector<int>& bits);
+
+/// Largest value representable in `width` bits: 2^width - 1.
+std::uint64_t max_value(int width);
+
+}  // namespace bitlevel::arith

@@ -1,0 +1,147 @@
+#include "arith/carry_save.hpp"
+
+#include "arith/bits.hpp"
+#include "support/error.hpp"
+
+namespace bitlevel::arith {
+
+namespace {
+
+using ir::ValidityRegion;
+
+/// The partial-product band i1 <= i2 <= i1 + p - 1 (where a_k & b_{i1}
+/// exists), as a validity region over (i1, i2).
+ValidityRegion band(math::Int p) {
+  // i2 - i1 >= 0  and  i1 - i2 >= -(p - 1).
+  return ValidityRegion::affine_ge({-1, 1}, 0) && ValidityRegion::affine_ge({1, -1}, -(p - 1));
+}
+
+}  // namespace
+
+CarrySaveMultiplier::CarrySaveMultiplier(math::Int p) : p_(p) {
+  BL_REQUIRE(p >= 1 && p <= 31, "operand width must be in [1, 31] bits");
+}
+
+CarrySaveResult CarrySaveMultiplier::multiply(std::uint64_t a, std::uint64_t b) const {
+  const int p = static_cast<int>(p_);
+  BL_REQUIRE(a <= max_value(p) && b <= max_value(p), "operands must fit in p bits");
+  const std::vector<int> abits = to_bits(a, p);
+  const std::vector<int> bbits = to_bits(b, p);
+  const int width = 2 * p;
+
+  // Running sum/carry vectors in carry-save form. Row i adds the partial
+  // product (a & b_i) << i; carries are deferred to the next row, one
+  // column to the left.
+  std::vector<int> sum(static_cast<std::size_t>(width), 0);
+  std::vector<int> carry(static_cast<std::size_t>(width), 0);
+  for (int row = 0; row < p; ++row) {
+    std::vector<int> next_sum(static_cast<std::size_t>(width), 0);
+    std::vector<int> next_carry(static_cast<std::size_t>(width), 0);
+    for (int col = 0; col < width; ++col) {
+      const int acol = col - row;
+      const int pp =
+          (acol >= 0 && acol < p) ? (abits[static_cast<std::size_t>(acol)] & bbits[static_cast<std::size_t>(row)]) : 0;
+      const int s = sum[static_cast<std::size_t>(col)];
+      const int c = carry[static_cast<std::size_t>(col)];
+      next_sum[static_cast<std::size_t>(col)] = sum_f(pp, s, c);
+      if (col + 1 < width) next_carry[static_cast<std::size_t>(col + 1)] = carry_g(pp, s, c);
+    }
+    sum = std::move(next_sum);
+    carry = std::move(next_carry);
+  }
+
+  // Final carry-propagate addition of the residual sum and carry words.
+  CarrySaveResult out;
+  out.product_bits.assign(static_cast<std::size_t>(width), 0);
+  int cin = 0;
+  for (int col = 0; col < width; ++col) {
+    const int s = sum[static_cast<std::size_t>(col)];
+    const int c = carry[static_cast<std::size_t>(col)];
+    out.product_bits[static_cast<std::size_t>(col)] = sum_f(s, c, cin);
+    cin = carry_g(s, c, cin);
+  }
+  BL_REQUIRE(cin == 0, "carry out of a 2p-bit product must be zero");
+  out.product = from_bits(out.product_bits);
+  out.csa_depth = p_;
+  out.cpa_length = p_;
+  return out;
+}
+
+ir::AlgorithmTriplet CarrySaveMultiplier::triplet() const {
+  const math::Int p = p_;
+  ir::AlgorithmTriplet t{ir::IndexSet({1, 1}, {p + 1, 2 * p}), {}, {}, {"i1", "i2"}};
+  // Sum bits fall straight down through every reduction row and into
+  // the final carry-propagate row.
+  t.deps.add({{1, 0}, "s", ValidityRegion::coord_ne(0, 1)});
+  // Carries defer one column right into the next row; the a operand
+  // rides the same diagonal through the reduction rows.
+  t.deps.add({{1, 1}, "a,c", ValidityRegion::coord_ne(0, 1) && ValidityRegion::coord_ne(1, 1)});
+  // b crosses each reduction row within the partial-product band; on
+  // row p+1 the same direction carries the CPA ripple.
+  t.deps.add({{0, 1}, "b,c_cpa",
+              (ValidityRegion::coord_le(0, p) && ValidityRegion::affine_ge({-1, 1}, 1) &&
+               ValidityRegion::affine_ge({1, -1}, -(p - 1))) ||
+                  (ValidityRegion::coord_eq(0, p + 1) && ValidityRegion::coord_ge(1, 2))});
+  t.computations = {
+      "rows 1..p:  s(i) = f(a&b, s(i-[1,0]), c(i-[1,1]));  c(i) = g(...)",
+      "row p+1:    s(i) = f(s(i-[1,0]), c(i-[1,1]), c_cpa(i-[0,1]));  c_cpa(i) = g(...)",
+  };
+  return t;
+}
+
+ir::Program CarrySaveMultiplier::access_program() const {
+  const math::Int p = p_;
+  const ir::AffineMap id = ir::AffineMap::identity(2);
+  const ir::AffineMap from_n = ir::AffineMap::translate({-1, 0});    // (i1-1, i2)
+  const ir::AffineMap from_nw = ir::AffineMap::translate({-1, -1});  // (i1-1, i2-1)
+  const ir::AffineMap from_w = ir::AffineMap::translate({0, -1});    // (i1, i2-1)
+
+  const ValidityRegion rows = ValidityRegion::coord_le(0, p);
+  const ValidityRegion cpa_row = ValidityRegion::coord_eq(0, p + 1);
+  const ValidityRegion not_first_row = ValidityRegion::coord_ne(0, 1);
+  const ValidityRegion not_first_col = ValidityRegion::coord_ne(1, 1);
+
+  ir::Program prog{ir::IndexSet({1, 1}, {p + 1, 2 * p}), {}};
+  // a pipeline: diagonal within the partial-product band.
+  {
+    ir::Statement st{{"a", id}, {{"a", from_nw, not_first_row}}, "a(i) = a(i - [1,1])"};
+    st.guard = rows && band(p);
+    prog.statements.push_back(std::move(st));
+  }
+  // b pipeline: along each reduction row, entering at i2 = i1.
+  {
+    ir::Statement st{{"b", id},
+                     {{"b", from_w, ValidityRegion::affine_ge({-1, 1}, 1)}},
+                     "b(i) = b(i - [0,1])"};
+    st.guard = rows && band(p);
+    prog.statements.push_back(std::move(st));
+  }
+  // Carry-save reduction cell (rows 1..p).
+  {
+    ir::Statement st{{"s", id},
+                     {{"s", from_n, not_first_row}, {"c", from_nw, not_first_row && not_first_col}},
+                     "s(i) = f(pp, s^, c^<)"};
+    st.guard = rows;
+    prog.statements.push_back(st);
+    st.write.array = "c";
+    st.label = "c(i) = g(pp, s^, c^<)";
+    prog.statements.push_back(std::move(st));
+  }
+  // Final carry-propagate row (i1 = p+1).
+  {
+    ir::Statement st{{"s", id},
+                     {{"s", from_n},
+                      {"c", from_nw, not_first_col},
+                      {"c_cpa", from_w, not_first_col}},
+                     "s(i) = f(s^, c^<, c_cpa<)"};
+    st.guard = cpa_row;
+    prog.statements.push_back(st);
+    st.write.array = "c_cpa";
+    st.label = "c_cpa(i) = g(s^, c^<, c_cpa<)";
+    prog.statements.push_back(std::move(st));
+  }
+  prog.validate();
+  return prog;
+}
+
+}  // namespace bitlevel::arith

@@ -1,0 +1,66 @@
+// Carry-save array multiplication.
+//
+// Section 4.2's word-level comparison assumes a faster multiplier than
+// sequential add-shift: a carry-save array multiplier whose latency is
+// O(p). We model the classical structure — p rows of carry-save adders
+// (carries deferred one column left) followed by a final ripple
+// carry-propagate addition over the top p bits — and expose both the
+// functional result and the latency formula used by the word-level
+// baseline architecture.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ir/program.hpp"
+#include "ir/triplet.hpp"
+#include "math/checked.hpp"
+
+namespace bitlevel::arith {
+
+/// Result of a carry-save multiplication.
+struct CarrySaveResult {
+  std::uint64_t product = 0;
+  std::vector<int> product_bits;  ///< 2p bits, little-endian.
+  math::Int csa_depth = 0;        ///< Rows of carry-save reduction traversed.
+  math::Int cpa_length = 0;       ///< Length of the final carry-propagate add.
+};
+
+/// Word-level carry-save array multiplier model.
+class CarrySaveMultiplier {
+ public:
+  explicit CarrySaveMultiplier(math::Int p);
+
+  math::Int p() const { return p_; }
+
+  /// Exact product via carry-save reduction; operands must fit in p bits.
+  CarrySaveResult multiply(std::uint64_t a, std::uint64_t b) const;
+
+  /// Latency model: p CSA rows + p-bit final carry-propagate = 2p
+  /// cell delays. The t_b = O(p) model of Section 4.2.
+  static math::Int latency(math::Int p) { return math::checked_mul(2, p); }
+
+  /// The carry-save multiplier's bit-level dependence triplet — the
+  /// "derive once per arithmetic algorithm" structure the paper's
+  /// Section 3.1 calls for, here for the second multiplier it names.
+  /// Index set J_cs = [1, p+1] x [1, 2p]: rows 1..p are carry-save
+  /// reduction steps, row p+1 the final carry-propagate addition.
+  ///   d1 = [1, 0]  cause "s"        (sum bits fall straight down)
+  ///   d2 = [1, 1]  cause "a,c"      (carries defer down-right; the a
+  ///                                  operand rides the same diagonal)
+  ///   d3 = [0, 1]  cause "b,c_cpa"  (b crosses each reduction row; the
+  ///                                  CPA carry ripples along row p+1)
+  /// Unlike the add-shift grid (3.4), none of these is uniform: each is
+  /// annotated with its band/row region, exercising the conditional-
+  /// dependence machinery the expansions introduced.
+  ir::AlgorithmTriplet triplet() const;
+
+  /// The executable access-pattern program matching triplet(), for
+  /// trace validation.
+  ir::Program access_program() const;
+
+ private:
+  math::Int p_;
+};
+
+}  // namespace bitlevel::arith

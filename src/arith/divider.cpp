@@ -1,0 +1,114 @@
+#include "arith/divider.hpp"
+
+#include "arith/bits.hpp"
+#include "support/error.hpp"
+
+namespace bitlevel::arith {
+
+NonRestoringDivider::NonRestoringDivider(math::Int p) : p_(p) {
+  BL_REQUIRE(p >= 1 && p <= 31, "divisor width must be in [1, 31] bits");
+}
+
+DivisionResult NonRestoringDivider::divide(std::uint64_t dividend, std::uint64_t divisor) const {
+  const int p = static_cast<int>(p_);
+  BL_REQUIRE(divisor >= 1 && divisor <= max_value(p), "divisor must be a nonzero p-bit value");
+  BL_REQUIRE(dividend < (divisor << p), "quotient must fit in p bits (dividend < divisor * 2^p)");
+
+  const std::vector<int> abits = to_bits(dividend, 2 * p);
+  std::vector<int> bbits = to_bits(divisor, p);
+  bbits.push_back(0);  // the CAS rows are p+1 bits wide
+
+  // r_0 = top p bits of the dividend (< divisor by the precondition),
+  // in a (p+1)-bit register.
+  std::vector<int> r(static_cast<std::size_t>(p + 1), 0);
+  for (int k = 0; k < p; ++k) r[static_cast<std::size_t>(k)] = abits[static_cast<std::size_t>(p + k)];
+
+  DivisionResult out;
+  int control = 1;  // first operation subtracts
+  for (int i1 = 1; i1 <= p; ++i1) {
+    // Shift in the next dividend bit: t = 2*r + a_{p-i1} (mod 2^{p+1}).
+    std::vector<int> t(static_cast<std::size_t>(p + 1), 0);
+    t[0] = abits[static_cast<std::size_t>(p - i1)];
+    for (int k = 1; k <= p; ++k) t[static_cast<std::size_t>(k)] = r[static_cast<std::size_t>(k - 1)];
+    // CAS ripple: +/- divisor, controlled by `control`.
+    int carry = control;
+    for (int k = 0; k <= p; ++k) {
+      const int x = t[static_cast<std::size_t>(k)];
+      const int y = bbits[static_cast<std::size_t>(k)] ^ control;
+      r[static_cast<std::size_t>(k)] = sum_f(x, y, carry);
+      carry = carry_g(x, y, carry);
+    }
+    out.quotient_bits.push_back(carry);  // q_{i1} = MSB carry-out
+    control = carry;
+  }
+
+  for (int i = 0; i < p; ++i) {
+    out.quotient |= static_cast<std::uint64_t>(out.quotient_bits[static_cast<std::size_t>(i)])
+                    << (p - 1 - i);
+  }
+  // Final remainder: low p bits, plus the non-restoring correction when
+  // the last partial remainder is negative (q_p = 0).
+  if (out.quotient_bits.back() == 1) {
+    std::uint64_t rem = 0;
+    for (int k = 0; k < p; ++k) rem |= static_cast<std::uint64_t>(r[static_cast<std::size_t>(k)]) << k;
+    out.remainder = rem;
+  } else {
+    // r is negative in (p+1)-bit two's complement: remainder = r + B.
+    std::int64_t full = 0;
+    for (int k = 0; k <= p; ++k) full |= static_cast<std::int64_t>(r[static_cast<std::size_t>(k)]) << k;
+    if (r[static_cast<std::size_t>(p)] == 1) full -= (1LL << (p + 1));
+    out.remainder = static_cast<std::uint64_t>(full + static_cast<std::int64_t>(divisor));
+  }
+  return out;
+}
+
+ir::AlgorithmTriplet NonRestoringDivider::triplet() const {
+  using ir::ValidityRegion;
+  const math::Int p = p_;
+  ir::AlgorithmTriplet t{ir::IndexSet({1, 1}, {p, p + 1}), {}, {}, {"i1", "i2"}};
+  t.deps.add({{0, 1}, "c,T", ValidityRegion::coord_ne(1, 1)});
+  t.deps.add({{1, 1}, "r", ValidityRegion::coord_ne(0, 1) && ValidityRegion::coord_ne(1, 1)});
+  t.deps.add({{1, 0}, "b", ValidityRegion::coord_ne(0, 1)});
+  t.deps.add({{1, -p}, "q",
+              ValidityRegion::coord_ne(0, 1) && ValidityRegion::coord_eq(1, 1)});
+  t.computations = {
+      "r(i) = CAS sum:  r^< ^ (b ^ T) ^ c",
+      "c(i) = CAS carry: majority(r^<, b ^ T, c)",
+      "T(i) = control pipeline (row entry: previous row's MSB carry)",
+  };
+  return t;
+}
+
+ir::Program NonRestoringDivider::access_program() const {
+  using ir::ValidityRegion;
+  const math::Int p = p_;
+  const ir::AffineMap id = ir::AffineMap::identity(2);
+  const ir::AffineMap from_w = ir::AffineMap::translate({0, -1});     // (i1, i2-1)
+  const ir::AffineMap from_nw = ir::AffineMap::translate({-1, -1});   // (i1-1, i2-1)
+  const ir::AffineMap from_n = ir::AffineMap::translate({-1, 0});     // (i1-1, i2)
+  const ir::AffineMap from_msb = ir::AffineMap::translate({-1, p});   // (i1-1, p+1)
+
+  const ValidityRegion not_first_row = ValidityRegion::coord_ne(0, 1);
+  const ValidityRegion not_lsb = ValidityRegion::coord_ne(1, 1);
+  const ValidityRegion lsb = ValidityRegion::coord_eq(1, 1);
+
+  ir::Program prog{ir::IndexSet({1, 1}, {p, p + 1}), {}};
+  // Divisor pipeline.
+  prog.statements.push_back(
+      {{"b", id}, {{"b", from_n, not_first_row}}, "b(i) = b(i - [1,0])"});
+  // Control: crosses the row from the LSB; enters each row (after the
+  // first) from the previous row's MSB carry-out.
+  prog.statements.push_back({{"T", id},
+                             {{"T", from_w, not_lsb}, {"c", from_msb, not_first_row && lsb}},
+                             "T(i) = control pipeline / row entry"});
+  // The CAS cell: sum and carry. Reads declared once (on r).
+  prog.statements.push_back({{"r", id},
+                             {{"r", from_nw, not_first_row && not_lsb},
+                              {"c", from_w, not_lsb}},
+                             "r(i) = CAS sum"});
+  prog.statements.push_back({{"c", id}, {}, "c(i) = CAS carry"});
+  prog.validate();
+  return prog;
+}
+
+}  // namespace bitlevel::arith

@@ -1,0 +1,71 @@
+// Non-restoring array division (Hwang [3]).
+//
+// Divides a 2p-bit dividend by a p-bit divisor on a p x (p+1) array of
+// controlled add/subtract (CAS) cells. Row i1 computes
+//   t = (2*r_{i-1} + a_{p-i1}) - B   when the control T_i1 = 1,
+//   t = (2*r_{i-1} + a_{p-i1}) + B   when T_i1 = 0,
+// as a (p+1)-bit CAS ripple (cell: s = r ^ (b ^ T) ^ c, carry =
+// majority; carry-in at the LSB cell = T). The quotient bit q_i1 is the
+// carry out of the MSB cell and becomes the next row's control.
+//
+// Dependence structure (J_div = [1,p] x [1,p+1], i2 = 1 is the LSB):
+//   d1 = [0,  1]  "c,T"  (carry and control cross the row)  i2 != 1
+//   d2 = [1,  1]  "r"    (remainder bits shift left one)    i1,i2 != 1
+//   d3 = [1,  0]  "b"    (divisor pipelined down)           i1 != 1
+//   d4 = [1, -p]  "q"    (the MSB carry-out becomes the next row's
+//                          control at the LSB cell)         i1 != 1, i2 == 1
+//
+// The control recurrence d4 is what makes bit-level division
+// fundamentally different from multiplication: any linear schedule
+// needs Pi*[1,-p] >= 1, so pi_1 >= p*pi_2 + 1 and the total time is
+// Theta(p^2) — a quotient bit cannot be produced until the previous
+// row's carry has crossed the whole row. optimal_schedule() returns
+// Pi = [p+1, 1], which achieves p^2 + p cycles (given a [0,-p] return
+// wire; with nearest-neighbour links only, Pi = [2p, 1] is needed).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ir/program.hpp"
+#include "ir/triplet.hpp"
+
+namespace bitlevel::arith {
+
+/// Result of one array division.
+struct DivisionResult {
+  std::uint64_t quotient = 0;
+  std::uint64_t remainder = 0;
+  std::vector<int> quotient_bits;  ///< q_1 (first row) .. q_p, MSB first.
+};
+
+/// Bit-level non-restoring divider.
+class NonRestoringDivider {
+ public:
+  /// Construct for p-bit divisors (2p-bit dividends), 1 <= p <= 31.
+  explicit NonRestoringDivider(math::Int p);
+
+  math::Int p() const { return p_; }
+
+  /// dividend / divisor with remainder. Preconditions: divisor >= 1 and
+  /// dividend < divisor * 2^p (the quotient fits p bits).
+  DivisionResult divide(std::uint64_t dividend, std::uint64_t divisor) const;
+
+  /// The dependence triplet described above.
+  ir::AlgorithmTriplet triplet() const;
+
+  /// Executable access-pattern program, for trace validation.
+  ir::Program access_program() const;
+
+  /// The time-optimal linear schedule Pi = [p+1, 1] (with a [0,-p]
+  /// control-return wire).
+  math::IntVec optimal_schedule() const { return {p_ + 1, 1}; }
+
+  /// Total time of the optimal schedule over J_div: p^2 + p.
+  math::Int optimal_total_time() const { return p_ * p_ + p_; }
+
+ private:
+  math::Int p_;
+};
+
+}  // namespace bitlevel::arith

@@ -1,0 +1,65 @@
+#include "arith/grid_pass.hpp"
+
+#include "arith/bits.hpp"
+#include "support/error.hpp"
+
+namespace bitlevel::arith {
+
+GridPassResult::GridPassResult(math::Int p, math::Int width) : p_(p), width_(width) {
+  const auto n = static_cast<std::size_t>(p * width);
+  s_.assign(n, 0);
+  c_.assign(n, 0);
+  c2_.assign(n, 0);
+}
+
+std::size_t GridPassResult::index(math::Int i1, math::Int i2) const {
+  BL_REQUIRE(i1 >= 1 && i1 <= p_ && i2 >= 1 && i2 <= width_, "grid cell index out of range");
+  return static_cast<std::size_t>((i1 - 1) * width_ + (i2 - 1));
+}
+
+std::vector<int> GridPassResult::output_bits() const {
+  // Bits 1..p-1 exit at column 1 of rows 1..p-1; row p holds the rest,
+  // including its own east-edge carries as the top two bits.
+  std::vector<int> bits;
+  bits.reserve(static_cast<std::size_t>(p_ - 1 + width_ + 2));
+  for (math::Int i = 1; i <= p_ - 1; ++i) bits.push_back(s(i, 1));
+  for (math::Int i2 = 1; i2 <= width_; ++i2) bits.push_back(s(p_, i2));
+  const int extra = c(p_, width_) + 2 * c2(p_, width_) + c2(p_, width_ - 1);
+  bits.push_back(extra & 1);
+  bits.push_back((extra >> 1) & 1);
+  return bits;
+}
+
+std::uint64_t GridPassResult::output_value() const { return from_bits(output_bits()); }
+
+GridPassResult run_grid_pass(math::Int p, const CellBit& pp, const CellBit& inject) {
+  BL_REQUIRE(p >= 1, "grid requires p >= 1");
+  const math::Int width = p + 2;
+  GridPassResult g(p, width);
+  for (math::Int i1 = 1; i1 <= p; ++i1) {
+    for (math::Int i2 = 1; i2 <= width; ++i2) {
+      const int pp_bit = (i2 <= p && pp) ? pp(i1, i2) : 0;
+      const int inject_bit = (i2 <= p && inject) ? inject(i1, i2) : 0;
+      const int carry_in = (i2 >= 2) ? g.c(i1, i2 - 1) : 0;
+      const int carry2_in = (i2 >= 3) ? g.c2(i1, i2 - 2) : 0;
+      const int diag_in = (i1 >= 2 && i2 + 1 <= width) ? g.s(i1 - 1, i2 + 1) : 0;
+      const int total = pp_bit + inject_bit + carry_in + carry2_in + diag_in;
+      const std::size_t at = g.index(i1, i2);
+      g.s_[at] = total & 1;
+      g.c_[at] = (total >> 1) & 1;
+      g.c2_[at] = (total >> 2) & 1;
+    }
+  }
+  // Rows 1..p-1 must not lose value past the east edge; the capacity
+  // analysis (DESIGN.md, "carry completion") guarantees two virtual
+  // columns absorb everything.
+  for (math::Int i1 = 1; i1 < p; ++i1) {
+    if (g.c(i1, width) != 0 || g.c2(i1, width) != 0 || (width >= 2 && g.c2(i1, width - 1) != 0)) {
+      throw OverflowError("grid pass overflow: value escaped the east edge of row " +
+                          std::to_string(i1));
+    }
+  }
+  return g;
+}
+
+}  // namespace bitlevel::arith

@@ -1,0 +1,67 @@
+// One combinational pass of the add-shift reduction grid.
+//
+// Both algorithm expansions reduce to passes over a p x (p+2) grid of
+// compressor cells. Cell (i1, i2) sums up to five bits —
+//   - its partial-product bit pp(i1, i2)            (zero on virtual columns),
+//   - an injected bit inject(i1, i2)                (Expansion I state or
+//     Expansion II boundary z bits; zero for plain multiplication),
+//   - the carry from (i1, i2-1)        [delta2 / d5],
+//   - the second carry from (i1, i2-2) [delta4 / d7],
+//   - the diagonal partial sum from (i1-1, i2+1) [delta3 / d6] —
+// and produces a sum bit s, carry c (weight 2) and second carry c'
+// (weight 4).
+//
+// Columns p+1 and p+2 are *virtual*: they carry no partial product and
+// exist so that carries leaving the east edge of row i1 (weights
+// 2^{i1+p-1}, 2^{i1+p}) re-enter row i1+1 through the diagonal, exactly
+// the completion the paper's boundary condition s(i1, p+1) = 0 glosses
+// over (without it the grid drops value — see tests/arith_addshift).
+// The pass verifies that nothing escapes past column p+2, which the
+// capacity analysis guarantees.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "math/checked.hpp"
+
+namespace bitlevel::arith {
+
+/// Bit source for a grid pass: (i1, i2) -> 0/1, with 1 <= i1, i2 <= p.
+using CellBit = std::function<int(math::Int i1, math::Int i2)>;
+
+/// Result of one grid pass over p rows and p+2 columns.
+class GridPassResult {
+ public:
+  GridPassResult(math::Int p, math::Int width);
+
+  math::Int p() const { return p_; }
+  math::Int width() const { return width_; }
+
+  int s(math::Int i1, math::Int i2) const { return s_[index(i1, i2)]; }
+  int c(math::Int i1, math::Int i2) const { return c_[index(i1, i2)]; }
+  int c2(math::Int i1, math::Int i2) const { return c2_[index(i1, i2)]; }
+
+  /// The reduced value, little-endian, 2p+3 bits: bit i (1-based) is
+  /// s(i, 1) for i < p, then row p's cells and its east-edge carries.
+  std::vector<int> output_bits() const;
+
+  /// output_bits() as an integer.
+  std::uint64_t output_value() const;
+
+ private:
+  friend GridPassResult run_grid_pass(math::Int p, const CellBit& pp, const CellBit& inject);
+  std::size_t index(math::Int i1, math::Int i2) const;
+  math::Int p_;
+  math::Int width_;
+  std::vector<int> s_, c_, c2_;
+};
+
+/// Run one pass. `pp` supplies partial-product bits over [1,p]^2 and
+/// `inject` the per-cell injected bit (may be nullptr for all-zero).
+/// Throws OverflowError if any value would escape the east edge — the
+/// capacity precondition documented in DESIGN.md was violated.
+GridPassResult run_grid_pass(math::Int p, const CellBit& pp, const CellBit& inject);
+
+}  // namespace bitlevel::arith

@@ -1,0 +1,46 @@
+// Word-level processing-element latency models (Section 4.2).
+//
+// The word-level baseline architecture executes one multiply-accumulate
+// per beat; the beat length t_b depends on the arithmetic algorithm
+// inside the PE. The paper compares against two models:
+//   - add-shift:  t_b = O(p^2)  (p sequential add-shift steps, each a
+//                 p-bit ripple addition) -> speedup O(p^2) for Fig. 4
+//   - carry-save: t_b = O(p)    (carry-save array multiplier)
+//                 -> speedup O(p)
+#pragma once
+
+#include <string>
+
+#include "arith/add_shift.hpp"
+#include "arith/carry_save.hpp"
+
+namespace bitlevel::arith {
+
+/// Which multiplier sits inside a word-level PE.
+enum class WordMultiplier {
+  kAddShift,   ///< Sequential add-shift, t_b = p^2.
+  kCarrySave,  ///< Carry-save array, t_b = 2p.
+};
+
+/// Beat length t_b (cycles per word-level multiply-accumulate).
+inline math::Int word_pe_latency(WordMultiplier kind, math::Int p) {
+  switch (kind) {
+    case WordMultiplier::kAddShift:
+      return AddShiftMultiplier::sequential_latency(p);
+    case WordMultiplier::kCarrySave:
+      return CarrySaveMultiplier::latency(p);
+  }
+  return 0;  // unreachable
+}
+
+inline std::string to_string(WordMultiplier kind) {
+  switch (kind) {
+    case WordMultiplier::kAddShift:
+      return "add-shift (t_b = p^2)";
+    case WordMultiplier::kCarrySave:
+      return "carry-save (t_b = 2p)";
+  }
+  return "?";
+}
+
+}  // namespace bitlevel::arith

@@ -1,0 +1,56 @@
+#include "arith/ripple_adder.hpp"
+
+#include "arith/bits.hpp"
+#include "support/error.hpp"
+
+namespace bitlevel::arith {
+
+RippleCarryAdder::RippleCarryAdder(math::Int p) : p_(p) {
+  BL_REQUIRE(p >= 1 && p <= 62, "operand width must be in [1, 62] bits");
+}
+
+RippleCarryResult RippleCarryAdder::add(std::uint64_t a, std::uint64_t b) const {
+  const int p = static_cast<int>(p_);
+  BL_REQUIRE(a <= max_value(p) && b <= max_value(p), "operands must fit in p bits");
+  const std::vector<int> abits = to_bits(a, p);
+  const std::vector<int> bbits = to_bits(b, p);
+
+  RippleCarryResult out;
+  out.sum_bits.assign(static_cast<std::size_t>(p + 1), 0);
+  out.carry_chain.assign(static_cast<std::size_t>(p), 0);
+  int carry = 0;
+  for (int i = 0; i < p; ++i) {
+    const int ai = abits[static_cast<std::size_t>(i)];
+    const int bi = bbits[static_cast<std::size_t>(i)];
+    out.sum_bits[static_cast<std::size_t>(i)] = sum_f(ai, bi, carry);
+    carry = carry_g(ai, bi, carry);
+    out.carry_chain[static_cast<std::size_t>(i)] = carry;
+  }
+  out.sum_bits[static_cast<std::size_t>(p)] = carry;
+  out.sum = from_bits(out.sum_bits);
+  return out;
+}
+
+ir::AlgorithmTriplet RippleCarryAdder::triplet() const {
+  ir::AlgorithmTriplet t{ir::IndexSet(math::IntVec{1}, math::IntVec{p_}), {}, {}, {"i"}};
+  t.deps.add({math::IntVec{1}, "c", ir::ValidityRegion::all()});
+  t.computations = {
+      "s(i) = f(a(i), b(i), c(i - 1))",
+      "c(i) = g(a(i), b(i), c(i - 1))",
+  };
+  return t;
+}
+
+ir::Program RippleCarryAdder::access_program() const {
+  const ir::AffineMap id = ir::AffineMap::identity(1);
+  const ir::AffineMap prev = ir::AffineMap::translate(math::IntVec{-1});
+  ir::Program prog{ir::IndexSet(math::IntVec{1}, math::IntVec{p_}),
+                   {
+                       {{"s", id}, {{"c", prev}}, "s(i) = f(a_i, b_i, c(i-1))"},
+                       {{"c", id}, {{"c", prev}}, "c(i) = g(a_i, b_i, c(i-1))"},
+                   }};
+  prog.validate();
+  return prog;
+}
+
+}  // namespace bitlevel::arith

@@ -1,0 +1,48 @@
+// Ripple-carry addition of two integers as a 1-D bit-level algorithm.
+//
+// The paper defers the adder's dependence structure to the technical
+// report [7]; we re-derive it: index set J_rc = [1, p], one cell per bit
+// position, with the single uniform dependence delta = [1] carrying the
+// carry bit from position i-1 to position i. Cell i computes
+//   s(i) = f(a_i, b_i, c(i-1)),   c(i) = g(a_i, b_i, c(i-1)).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ir/program.hpp"
+#include "ir/triplet.hpp"
+
+namespace bitlevel::arith {
+
+/// Result of one ripple-carry addition.
+struct RippleCarryResult {
+  std::vector<int> sum_bits;  ///< p+1 bits, little-endian (bit p+1 = carry out).
+  std::uint64_t sum = 0;
+  std::vector<int> carry_chain;  ///< c(1..p), for inspection.
+};
+
+/// Bit-level ripple-carry adder for p-bit operands.
+class RippleCarryAdder {
+ public:
+  explicit RippleCarryAdder(math::Int p);
+
+  math::Int p() const { return p_; }
+
+  /// a + b with full carry chain; operands must fit in p bits.
+  RippleCarryResult add(std::uint64_t a, std::uint64_t b) const;
+
+  /// The dependence triplet (J_rc, D_rc, E_rc).
+  ir::AlgorithmTriplet triplet() const;
+
+  /// Executable access-pattern program, for trace validation.
+  ir::Program access_program() const;
+
+  /// Latency of the carry chain in cell traversals: p.
+  static math::Int latency(math::Int p) { return p; }
+
+ private:
+  math::Int p_;
+};
+
+}  // namespace bitlevel::arith

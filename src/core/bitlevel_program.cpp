@@ -1,0 +1,95 @@
+#include "core/bitlevel_program.hpp"
+
+#include "core/expansion.hpp"
+#include "support/error.hpp"
+
+namespace bitlevel::core {
+
+ir::Program make_bitlevel_program(const ir::WordLevelModel& word, Int p, Expansion e) {
+  word.validate();
+  BL_REQUIRE(word.h3.has_value(), "bit-level program requires an accumulation vector h3");
+  const std::size_t n = word.dim();
+  const std::size_t dims = n + 2;
+  const std::size_t i1c = n;
+  const std::size_t i2c = n + 1;
+
+  using ir::ValidityRegion;
+  const ValidityRegion at_face1 = ValidityRegion::coord_eq(i1c, 1);
+  const ValidityRegion off_face1 = ValidityRegion::coord_ne(i1c, 1);
+  const ValidityRegion at_face2 = ValidityRegion::coord_eq(i2c, 1);
+  const ValidityRegion off_face2 = ValidityRegion::coord_ne(i2c, 1);
+  // Where the accumulation chain ends: j + h3 leaves J_w. Expansion I
+  // performs its deferred diagonal reduction exactly here.
+  const ValidityRegion boundary = accumulation_boundary(word, dims);
+
+  const ir::AffineMap id = ir::AffineMap::identity(dims);
+  auto back = [&](const IntVec& d) { return ir::AffineMap::translate(math::neg(d)); };
+  auto lift_word = [&](const IntVec& h) { return math::concat(h, IntVec{0, 0}); };
+  auto lift_arith = [&](const IntVec& delta) { return math::concat(IntVec(n, 0), delta); };
+
+  const IntVec d4 = lift_arith({1, 0});
+  const IntVec d5 = lift_arith({0, 1});
+  const IntVec d6 = lift_arith({1, -1});
+  const IntVec d7 = lift_arith({0, 2});
+  const IntVec d3 = lift_word(*word.h3);
+
+  ir::Program prog{word.domain.product(ir::IndexSet::cube(2, p)), {}};
+
+  // x bit pipeline: at the i1 = 1 face a bit arrives from the previous
+  // word-level iteration (when x is pipelined at all); elsewhere from
+  // the previous grid row.
+  {
+    ir::Statement st{{"x", id}, {}, "x(q) = x entry / pipeline"};
+    if (word.h1) st.reads.push_back({"x", back(lift_word(*word.h1)), at_face1});
+    st.reads.push_back({"x", back(d4), off_face1});
+    prog.statements.push_back(std::move(st));
+  }
+  // y bit pipeline, symmetric on the i2 = 1 face.
+  {
+    ir::Statement st{{"y", id}, {}, "y(q) = y entry / pipeline"};
+    if (word.h2) st.reads.push_back({"y", back(lift_word(*word.h2)), at_face2});
+    st.reads.push_back({"y", back(d5), off_face2});
+    prog.statements.push_back(std::move(st));
+  }
+
+  // The compressor cell: reads every summand its expansion supplies,
+  // writes the new partial-sum bit z(q).
+  {
+    ir::Statement st{{"z", id}, {}, "z(q) = cell sum"};
+    st.reads.push_back({"x", id});
+    st.reads.push_back({"y", id});
+    if (e == Expansion::kI) {
+      // Partial sums forwarded point-to-point every iteration; the
+      // diagonal reduction and second carries only at the chain end.
+      st.reads.push_back({"z", back(d3)});
+      st.reads.push_back({"z", back(d6), boundary && off_face1});
+      st.reads.push_back({"c", back(d5), off_face2});
+      st.reads.push_back({"cp", back(d7), boundary && ValidityRegion::coord_ge(i2c, 3)});
+    } else {
+      // Full multiplication each iteration; final z bits injected at the
+      // grid boundary cells i1 = p or i2 = 1.
+      st.reads.push_back(
+          {"z", back(d3), ValidityRegion::coord_eq(i1c, p) || at_face2});
+      st.reads.push_back({"z", back(d6), off_face1});
+      st.reads.push_back({"c", back(d5), off_face2});
+      st.reads.push_back(
+          {"cp", back(d7), ValidityRegion::coord_eq(i1c, p) && ValidityRegion::coord_ge(i2c, 3)});
+    }
+    prog.statements.push_back(std::move(st));
+  }
+
+  // Carry producers. Their inputs are the same bits the z statement
+  // already reads, so they carry no reads of their own; they exist so
+  // consumers find their producers in the trace.
+  prog.statements.push_back({{"c", id}, {}, "c(q) = cell carry"});
+  {
+    ir::Statement st{{"cp", id}, {}, "cp(q) = cell second carry"};
+    st.guard = e == Expansion::kI ? boundary : ValidityRegion::coord_eq(i1c, p);
+    prog.statements.push_back(std::move(st));
+  }
+
+  prog.validate();
+  return prog;
+}
+
+}  // namespace bitlevel::core

@@ -1,0 +1,25 @@
+// Executable access-pattern programs for expanded bit-level algorithms.
+//
+// make_bitlevel_program() writes out, from first principles (explicit
+// boundary reasoning, *not* by reading Theorem 3.1's regions), the
+// guarded loop nest a human would obtain by manually expanding model
+// (3.5) at the bit level under Expansion I or II. Feeding it to the
+// trace / exact analyzers yields the ground-truth dependence relation
+// that the composed structure of expand() is validated against — the
+// empirical proof of Theorem 3.1, and the costly baseline of bench E4.
+//
+// Arrays: x, y (operand bit pipelines), z (partial/final sum bits),
+// c (carries), cp (second carries c'), all subscripted by the full
+// composed index vector (single-assignment form).
+#pragma once
+
+#include "core/structure.hpp"
+#include "ir/program.hpp"
+
+namespace bitlevel::core {
+
+/// Build the guarded bit-level access program for `word` expanded with
+/// p-bit add-shift arithmetic under expansion `e`.
+ir::Program make_bitlevel_program(const ir::WordLevelModel& word, Int p, Expansion e);
+
+}  // namespace bitlevel::core

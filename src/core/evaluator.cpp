@@ -1,0 +1,235 @@
+#include "core/evaluator.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "arith/bits.hpp"
+#include "arith/grid_pass.hpp"
+#include "core/expansion.hpp"
+#include "support/error.hpp"
+
+namespace bitlevel::core {
+
+namespace {
+
+using arith::from_bits;
+using arith::max_value;
+using arith::to_bits;
+
+/// One Expansion I interior step: add the partial-product matrix of
+/// (xv, yv) into the p^2-bit distributed state with carries rippling
+/// east within each row. Rows are p-bit registers: a carry out of the
+/// east edge means the capacity precondition was violated.
+std::vector<int> row_accumulate(Int p, const std::vector<int>& state, std::uint64_t xv,
+                                std::uint64_t yv) {
+  const int pi = static_cast<int>(p);
+  const std::vector<int> xb = to_bits(xv, pi);
+  const std::vector<int> yb = to_bits(yv, pi);
+  std::vector<int> next(static_cast<std::size_t>(p * p), 0);
+  for (int i1 = 1; i1 <= pi; ++i1) {
+    int carry = 0;
+    for (int i2 = 1; i2 <= pi; ++i2) {
+      const std::size_t at = static_cast<std::size_t>((i1 - 1) * p + (i2 - 1));
+      const int pp = xb[static_cast<std::size_t>(i2 - 1)] & yb[static_cast<std::size_t>(i1 - 1)];
+      const int total = pp + state[at] + carry;
+      next[at] = total & 1;
+      carry = total >> 1;
+    }
+    if (carry != 0) {
+      throw OverflowError(
+          "Expansion I row overflow: accumulation chain exceeds the p-bit row capacity "
+          "(see max_safe_operand)");
+    }
+  }
+  return next;
+}
+
+/// The paper-exact p x p reduction grid with diagonal flow: exactly the
+/// dependence structure of Figs. 3-5, with no virtual columns. Cell
+/// (i1, i2) sums pp + inject + carry-in + second-carry-in + diagonal-in
+/// and emits s/c/c'. Any carry that would leave the grid other than the
+/// extracted output bit c(p, p) raises OverflowError.
+struct PaperGrid {
+  Int p;
+  std::vector<int> s, c, cp;
+
+  std::size_t at(Int i1, Int i2) const {
+    return static_cast<std::size_t>((i1 - 1) * p + (i2 - 1));
+  }
+
+  /// 2p output bits: s(i, 1) for i <= p, s(p, i-p+1) for p < i <= 2p-1,
+  /// and c(p, p) as bit 2p.
+  std::uint64_t output_value() const {
+    std::vector<int> bits;
+    bits.reserve(static_cast<std::size_t>(2 * p));
+    for (Int i = 1; i <= p; ++i) bits.push_back(s[at(i, 1)]);
+    for (Int i2 = 2; i2 <= p; ++i2) bits.push_back(s[at(p, i2)]);
+    bits.push_back(c[at(p, p)]);
+    return from_bits(bits);
+  }
+};
+
+PaperGrid paper_grid_pass(Int p, const arith::CellBit& pp, const arith::CellBit& inject) {
+  PaperGrid g{p, {}, {}, {}};
+  const auto cells = static_cast<std::size_t>(p * p);
+  g.s.assign(cells, 0);
+  g.c.assign(cells, 0);
+  g.cp.assign(cells, 0);
+  for (Int i1 = 1; i1 <= p; ++i1) {
+    for (Int i2 = 1; i2 <= p; ++i2) {
+      const int total = (pp ? pp(i1, i2) : 0) + (inject ? inject(i1, i2) : 0) +
+                        (i2 >= 2 ? g.c[g.at(i1, i2 - 1)] : 0) +
+                        (i2 >= 3 ? g.cp[g.at(i1, i2 - 2)] : 0) +
+                        (i1 >= 2 && i2 + 1 <= p ? g.s[g.at(i1 - 1, i2 + 1)] : 0);
+      g.s[g.at(i1, i2)] = total & 1;
+      g.c[g.at(i1, i2)] = (total >> 1) & 1;
+      g.cp[g.at(i1, i2)] = (total >> 2) & 1;
+    }
+  }
+  // Bits leaving the east edge are lost by the paper's structure; the
+  // capacity preconditions guarantee they are zero.
+  for (Int i1 = 1; i1 <= p; ++i1) {
+    const bool lost = (i1 < p && g.c[g.at(i1, p)] != 0) || g.cp[g.at(i1, p)] != 0 ||
+                      (p >= 2 && g.cp[g.at(i1, p - 1)] != 0);
+    if (lost) {
+      throw OverflowError("bit-level grid overflow at row " + std::to_string(i1) +
+                          ": operands violate the capacity precondition (see "
+                          "max_safe_operand)");
+    }
+  }
+  return g;
+}
+
+arith::CellBit partial_products(const std::vector<int>& xb, const std::vector<int>& yb) {
+  return [&xb, &yb](Int i1, Int i2) {
+    return xb[static_cast<std::size_t>(i2 - 1)] & yb[static_cast<std::size_t>(i1 - 1)];
+  };
+}
+
+BitLevelResult evaluate_expansion1(const BitLevelStructure& s, const OperandFn& x,
+                                   const OperandFn& y) {
+  const Int p = s.p;
+  const ir::ValidityRegion boundary = accumulation_boundary(s.word, s.dim());
+  const IntVec h3 = *s.word.h3;
+  const ir::IndexSet& jw = s.word.domain;
+
+  BitLevelResult out;
+  std::map<IntVec, std::vector<int>> state;
+  jw.for_each([&](const IntVec& j) {
+    const std::uint64_t xv = x(j);
+    const std::uint64_t yv = y(j);
+    BL_REQUIRE(xv <= max_value(static_cast<int>(p)) && yv <= max_value(static_cast<int>(p)),
+               "operands must fit in p bits");
+    std::vector<int> prev(static_cast<std::size_t>(p * p), 0);
+    const IntVec producer = math::sub(j, h3);
+    if (auto it = state.find(producer); it != state.end()) {
+      prev = std::move(it->second);
+      state.erase(it);  // each state has exactly one consumer
+    }
+    if (!boundary.contains(j)) {
+      state.emplace(j, row_accumulate(p, prev, xv, yv));
+    } else {
+      // Chain end: the deferred diagonal reduction with the accumulated
+      // state injected per cell.
+      const std::vector<int> xb = to_bits(xv, static_cast<int>(p));
+      const std::vector<int> yb = to_bits(yv, static_cast<int>(p));
+      const PaperGrid grid = paper_grid_pass(p, partial_products(xb, yb), [&](Int i1, Int i2) {
+        return prev[static_cast<std::size_t>((i1 - 1) * p + (i2 - 1))];
+      });
+      out.z.emplace(j, grid.output_value());
+    }
+    return true;
+  });
+  return out;
+}
+
+BitLevelResult evaluate_expansion2(const BitLevelStructure& s, const OperandFn& x,
+                                   const OperandFn& y) {
+  const Int p = s.p;
+  const IntVec h3 = *s.word.h3;
+  const std::uint64_t reinject_limit = 1ULL << (2 * p - 1);
+
+  BitLevelResult out;
+  s.word.domain.for_each([&](const IntVec& j) {
+    const std::uint64_t xv = x(j);
+    const std::uint64_t yv = y(j);
+    BL_REQUIRE(xv <= max_value(static_cast<int>(p)) && yv <= max_value(static_cast<int>(p)),
+               "operands must fit in p bits");
+    std::uint64_t zin = 0;
+    const IntVec producer = math::sub(j, h3);
+    if (auto it = out.z.find(producer); it != out.z.end()) zin = it->second;
+    if (zin >= reinject_limit) {
+      throw OverflowError(
+          "Expansion II overflow: intermediate z exceeds the 2p-1 bits the boundary cells "
+          "re-inject (see max_safe_operand)");
+    }
+    const std::vector<int> xb = to_bits(xv, static_cast<int>(p));
+    const std::vector<int> yb = to_bits(yv, static_cast<int>(p));
+    const PaperGrid grid = paper_grid_pass(p, partial_products(xb, yb), [&](Int i1, Int i2) {
+      // The 2p-1 final bits of z(j - h3) enter at the boundary cells:
+      // bit i1 at (i1, 1) for i1 < p, bit p+i2-1 at (p, i2).
+      if (i2 == 1 && i1 <= p - 1) return static_cast<int>((zin >> (i1 - 1)) & 1);
+      if (i1 == p) return static_cast<int>((zin >> (p + i2 - 2)) & 1);
+      return 0;
+    });
+    out.z.emplace(j, grid.output_value());
+    return true;
+  });
+  return out;
+}
+
+}  // namespace
+
+BitLevelResult evaluate_bitlevel(const BitLevelStructure& s, const OperandFn& x,
+                                 const OperandFn& y) {
+  return s.expansion == Expansion::kI ? evaluate_expansion1(s, x, y)
+                                      : evaluate_expansion2(s, x, y);
+}
+
+std::map<IntVec, std::uint64_t> evaluate_word_reference(const ir::WordLevelModel& word,
+                                                        const OperandFn& x, const OperandFn& y) {
+  word.validate();
+  BL_REQUIRE(word.h3.has_value(), "reference accumulation requires h3");
+  std::map<IntVec, std::uint64_t> z;
+  word.domain.for_each([&](const IntVec& j) {
+    std::uint64_t acc = 0;
+    if (auto it = z.find(math::sub(j, *word.h3)); it != z.end()) acc = it->second;
+    z.emplace(j, acc + x(j) * y(j));
+    return true;
+  });
+  return z;
+}
+
+Int max_chain_length(const ir::WordLevelModel& word) {
+  BL_REQUIRE(word.h3.has_value(), "chain length requires h3");
+  const IntVec& h3 = *word.h3;
+  Int chain = 0;
+  bool bounded = false;
+  for (std::size_t k = 0; k < h3.size(); ++k) {
+    if (h3[k] == 0) continue;
+    const Int extent = word.domain.upper()[k] - word.domain.lower()[k];
+    const Int step = h3[k] < 0 ? -h3[k] : h3[k];
+    const Int links = extent / step;
+    chain = bounded ? std::min(chain, links) : links;
+    bounded = true;
+  }
+  BL_REQUIRE(bounded, "h3 must be nonzero");
+  return chain + 1;
+}
+
+std::uint64_t max_safe_operand(Int p, Int chain_length, Expansion e) {
+  BL_REQUIRE(p >= 2 && p <= 31 && chain_length >= 1, "invalid capacity query");
+  const std::uint64_t half = (1ULL << (p - 1)) - 1;  // 2^(p-1) - 1
+  if (e == Expansion::kI) {
+    // sum over the chain of x(j) must stay <= 2^(p-1) - 1.
+    return half / static_cast<std::uint64_t>(chain_length);
+  }
+  // x < 2^(p-1) and chain_length * m^2 < 2^(2p-1).
+  const long double limit =
+      (std::pow(2.0L, static_cast<long double>(2 * p - 1)) - 1.0L) /
+      static_cast<long double>(chain_length);
+  const std::uint64_t m = static_cast<std::uint64_t>(std::sqrt(limit));
+  return std::min(m, half);
+}
+
+}  // namespace bitlevel::core

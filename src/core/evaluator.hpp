@@ -1,0 +1,62 @@
+// Functional (bit-exact) evaluation of expanded bit-level algorithms.
+//
+// The evaluator executes the bit-level computation an expansion
+// describes — full-adder cells, carry chains, boundary injections — and
+// returns the accumulated z words, so tests can check the architecture
+// computes the same values as the word-level reference.
+//
+// The evaluator implements the paper-exact p x p grids (no east-edge
+// carry completion), i.e. exactly what the simulated architectures of
+// Figs. 4 and 5 compute. Any bit that would leave the grid raises
+// OverflowError (never silent wrap). Sufficient preconditions for
+// loss-free operation, validated exhaustively in the tests (DESIGN.md,
+// "carry completion and capacity"):
+//   - Expansion I:  sum over each accumulation chain of x(j) must stay
+//     <= 2^(p-1) - 1  (rows are p-bit registers and the final diagonal
+//     reduction needs one bit of headroom);
+//   - Expansion II: x(j) < 2^(p-1) (the i2-indexed operand's top bit
+//     clear, so column p carries no partial products) and every
+//     intermediate z(j) < 2^(2p-1) (the bits the boundary re-injects).
+// max_safe_operand() computes bounds the workload generators use.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+
+#include "core/structure.hpp"
+
+namespace bitlevel::core {
+
+/// Operand word at a word-level index point.
+using OperandFn = std::function<std::uint64_t(const IntVec&)>;
+
+/// Result of a bit-level evaluation.
+struct BitLevelResult {
+  /// Accumulated z word per word-level index point. Expansion II
+  /// materializes z(j) at every point; Expansion I only at the
+  /// accumulation-boundary points (elsewhere z exists only as the
+  /// distributed p^2-bit partial-sum state).
+  std::map<IntVec, std::uint64_t> z;
+};
+
+/// Execute the expansion's bit-level computation over the whole index
+/// set. x/y supply operand words per word-level point (must fit p bits).
+BitLevelResult evaluate_bitlevel(const BitLevelStructure& s, const OperandFn& x,
+                                 const OperandFn& y);
+
+/// Word-level reference: z(j) = z(j - h3) + x(j) * y(j) in plain 64-bit
+/// arithmetic, at every word-level point.
+std::map<IntVec, std::uint64_t> evaluate_word_reference(const ir::WordLevelModel& word,
+                                                        const OperandFn& x, const OperandFn& y);
+
+/// Longest accumulation chain (number of points linked by h3) in the
+/// model's domain.
+Int max_chain_length(const ir::WordLevelModel& word);
+
+/// Largest operand magnitude that satisfies the capacity precondition
+/// for chains of the given length (both operands drawn from
+/// [0, bound]).
+std::uint64_t max_safe_operand(Int p, Int chain_length, Expansion e);
+
+}  // namespace bitlevel::core

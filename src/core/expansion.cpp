@@ -1,0 +1,154 @@
+#include "core/expansion.hpp"
+
+#include <sstream>
+
+#include "support/error.hpp"
+
+namespace bitlevel::core {
+
+namespace {
+
+using ir::ValidityRegion;
+
+/// [h; 0, 0] — a word-level vector lifted into the composed space.
+IntVec lift_word(const IntVec& h) { return math::concat(h, IntVec{0, 0}); }
+
+/// [0...0; delta] — an arithmetic-level vector lifted.
+IntVec lift_arith(std::size_t n, const IntVec& delta) {
+  return math::concat(IntVec(n, 0), delta);
+}
+
+}  // namespace
+
+ir::ValidityRegion accumulation_boundary(const ir::WordLevelModel& word,
+                                         std::size_t total_dims) {
+  BL_REQUIRE(word.h3.has_value(), "accumulation boundary requires h3");
+  BL_REQUIRE(total_dims >= word.dim(), "composed dimension must include the word dimensions");
+  const IntVec& h3 = *word.h3;
+  const IntVec& lo = word.domain.lower();
+  const IntVec& hi = word.domain.upper();
+  bool have = false;
+  ValidityRegion region = ValidityRegion::all();
+  for (std::size_t k = 0; k < h3.size(); ++k) {
+    if (h3[k] == 0) continue;
+    // j_k + h3_k leaves [lo_k, hi_k].
+    ValidityRegion atom = h3[k] > 0 ? ValidityRegion::coord_ge(k, hi[k] - h3[k] + 1)
+                                    : ValidityRegion::coord_le(k, lo[k] - h3[k] - 1);
+    region = have ? (region || atom) : atom;
+    have = true;
+  }
+  BL_REQUIRE(have, "h3 must be nonzero");
+  return region;
+}
+
+BitLevelStructure expand(const ir::WordLevelModel& word, Int p, Expansion e) {
+  word.validate();
+  BL_REQUIRE(p >= 1, "operand width must be >= 1");
+  BL_REQUIRE(word.h3.has_value(), "expansion requires an accumulation vector h3");
+  for (const auto* h : {&word.h1, &word.h2, &word.h3}) {
+    if (h->has_value()) {
+      BL_REQUIRE(math::lex_positive(**h),
+                 "pipelining vectors must be lexicographically positive");
+    }
+  }
+
+  const std::size_t n = word.dim();
+  const std::size_t i1c = n;      // coordinate index of i1
+  const std::size_t i2c = n + 1;  // coordinate index of i2
+
+  BitLevelStructure s{word.domain.product(ir::IndexSet::cube(2, p)),
+                      {},
+                      word,
+                      p,
+                      e,
+                      {}};
+  // Coordinate names j1..jn, i1, i2.
+  for (std::size_t k = 0; k < n; ++k) {
+    s.coord_names.push_back(k < word.coord_names.size() && !word.coord_names[k].empty()
+                                ? word.coord_names[k]
+                                : "j" + std::to_string(k + 1));
+  }
+  s.coord_names.push_back("i1");
+  s.coord_names.push_back("i2");
+
+  const ValidityRegion boundary = accumulation_boundary(word, n + 2);
+
+  // d1, d2: word-level operand pipelining, entering the arithmetic grid
+  // at its i1 = 1 / i2 = 1 faces.
+  if (word.h1) s.deps.add({lift_word(*word.h1), "x", ValidityRegion::coord_eq(i1c, 1)});
+  if (word.h2) s.deps.add({lift_word(*word.h2), "y", ValidityRegion::coord_eq(i2c, 1)});
+
+  // d3: the accumulation flow z(j - h3) -> z(j). Uniform under
+  // Expansion I (partial sums forwarded cell-to-cell); restricted to the
+  // boundary cells i1 = p or i2 = 1 under Expansion II (final bits).
+  {
+    ValidityRegion v = e == Expansion::kI
+                           ? ValidityRegion::all()
+                           : (ValidityRegion::coord_eq(i1c, p) || ValidityRegion::coord_eq(i2c, 1));
+    s.deps.add({lift_word(*word.h3), "z", std::move(v)});
+  }
+
+  // d4, d5: the add-shift grid's internal pipelining (delta1, delta2 of
+  // eq. 3.4, prefixed by zeros). Present regardless of h1/h2: operand
+  // bits always traverse the grid once inside an iteration.
+  s.deps.add({lift_arith(n, {1, 0}), "x", ValidityRegion::coord_ne(i1c, 1)});
+  s.deps.add({lift_arith(n, {0, 1}), "y,c", ValidityRegion::coord_ne(i2c, 1)});
+
+  // d6: the diagonal partial-sum flow (delta3). Uniform under Expansion
+  // II (each iteration is a full multiplication); only on the
+  // accumulation boundary under Expansion I (deferred final reduction).
+  {
+    ValidityRegion v = e == Expansion::kI ? boundary : ValidityRegion::all();
+    s.deps.add({lift_arith(n, {1, -1}), "z", std::move(v)});
+  }
+
+  // d7: the second carry c' where more than three bits are summed.
+  {
+    ValidityRegion v =
+        e == Expansion::kI
+            ? (boundary && (ValidityRegion::coord_ne(i1c, 1) ||
+                            !ValidityRegion::coord_in(i2c, {1, 2})))
+            : ValidityRegion::coord_eq(i1c, p);
+    s.deps.add({lift_arith(n, {0, 2}), "c'", std::move(v)});
+  }
+
+  return s;
+}
+
+Int LoadHistogram::max_inputs() const {
+  for (std::size_t k = count.size(); k-- > 0;) {
+    if (count[k] != 0) return static_cast<Int>(k);
+  }
+  return 0;
+}
+
+std::string LoadHistogram::to_string() const {
+  std::ostringstream os;
+  for (std::size_t k = 0; k < count.size(); ++k) {
+    if (count[k] != 0) os << k << " inputs: " << count[k] << " points\n";
+  }
+  return os.str();
+}
+
+LoadHistogram compute_load_histogram(const BitLevelStructure& s) {
+  LoadHistogram h;
+  h.count.assign(8, 0);
+  s.domain.for_each([&](const IntVec& q) {
+    // Every cell sums its partial-product bit plus each dependence-
+    // carried summand (z flows, the carry, the second carry) that is
+    // valid here with a producer inside J. Operand pipelining (x, y)
+    // feeds the AND gate, not the adder.
+    Int inputs = 1;
+    for (const auto& col : s.deps.columns()) {
+      if (col.cause != "z" && col.cause != "y,c" && col.cause != "c'") continue;
+      if (!col.valid.contains(q)) continue;
+      if (!s.domain.contains(math::sub(q, col.d))) continue;
+      ++inputs;
+    }
+    h.count[static_cast<std::size_t>(inputs)] += 1;
+    return true;
+  });
+  return h;
+}
+
+}  // namespace bitlevel::core

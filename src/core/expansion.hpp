@@ -1,0 +1,48 @@
+// Bit-level dependence structures as a function of three components
+// (Theorem 3.1) — the paper's primary contribution.
+//
+// Instead of expanding a word-level algorithm to bit level and running a
+// general dependence analysis over the (|J_w| * p^2)-point index set,
+// expand() composes
+//   1. the word-level dependence structure  (h1, h2, h3 of model 3.5),
+//   2. the arithmetic algorithm's structure (delta1..delta3 of the
+//      add-shift multiplier, eq. 3.4),
+//   3. the chosen algorithm expansion       (Expansion I or II),
+// into the full bit-level dependence matrix in constant time w.r.t. the
+// problem size. Columns are annotated with the validity regions of the
+// paper (eqs. 3.11b/3.11c), generalized in one respect: the paper writes
+// the accumulation boundary of Expansion I as "j_n = u_n", which assumes
+// h3 = e_n; expand() derives the exact region { j : j + h3 not in J_w }
+// from h3, which reduces to the paper's for every kernel it considers.
+#pragma once
+
+#include "core/structure.hpp"
+
+namespace bitlevel::core {
+
+/// Compose the bit-level dependence structure of `word` expanded with
+/// p-bit add-shift arithmetic under expansion `e` (Theorem 3.1).
+/// Requires h3 (an accumulation) to be present and, when present, each
+/// h vector to be lexicographically positive (sequentially executable).
+BitLevelStructure expand(const ir::WordLevelModel& word, Int p, Expansion e);
+
+/// The accumulation-boundary region { q : j + h3 outside J_w } of a
+/// composed structure (where Expansion I performs its final reduction).
+ir::ValidityRegion accumulation_boundary(const ir::WordLevelModel& word, std::size_t total_dims);
+
+/// Histogram of how many input bits are summed at each index point
+/// (partial product + every valid dependence-carried operand). The
+/// paper's load-balance observation: Expansion I sums at most 3 bits
+/// except on the accumulation boundary, while Expansion II sums 4-5
+/// bits on the whole i1 = p hyperplane.
+struct LoadHistogram {
+  /// count[k] = number of index points summing exactly k input bits.
+  std::vector<Int> count;
+
+  Int max_inputs() const;
+  std::string to_string() const;
+};
+
+LoadHistogram compute_load_histogram(const BitLevelStructure& s);
+
+}  // namespace bitlevel::core

@@ -1,0 +1,21 @@
+#include "core/structure.hpp"
+
+#include <sstream>
+
+namespace bitlevel::core {
+
+std::string to_string(Expansion e) {
+  return e == Expansion::kI ? "Expansion I (partial-sum forwarding)"
+                            : "Expansion II (final-sum boundary addition)";
+}
+
+std::string BitLevelStructure::to_string() const {
+  std::ostringstream os;
+  os << "bit-level structure of '" << word.name << "' (p = " << p << ", "
+     << core::to_string(expansion) << ")\n"
+     << "J = " << domain.to_string() << "\nD:\n"
+     << deps.to_string(coord_names);
+  return os.str();
+}
+
+}  // namespace bitlevel::core

@@ -1,0 +1,49 @@
+// The bit-level dependence structure produced by algorithm expansion.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ir/triplet.hpp"
+
+namespace bitlevel::core {
+
+using math::Int;
+using math::IntVec;
+
+/// The two algorithm expansions of Section 3.2.
+///
+/// kI  — partial-sum forwarding (Fig. 2b / Fig. 3b, matrix D_I of eq.
+///       3.8): the p^2 partial-sum bits of z(j - h3) flow point-to-point
+///       into iteration j (d3 uniform); the diagonal reduction (d6) and
+///       the second carry (d7) appear only on the accumulation boundary.
+/// kII — final-sum boundary addition (Fig. 2a / Fig. 3c, matrix D_II of
+///       eq. 3.9): every iteration performs a complete add-shift
+///       multiplication (d6 uniform) and the 2p-1 final bits of
+///       z(j - h3) are injected at the boundary cells i1 = p or i2 = 1
+///       (d3 valid there); second carries live on the i1 = p hyperplane.
+enum class Expansion { kI, kII };
+
+std::string to_string(Expansion e);
+
+/// Bit-level algorithm structure: the (J, D) of Theorem 3.1 with
+/// bookkeeping for the embedded word-level model.
+struct BitLevelStructure {
+  ir::IndexSet domain;          ///< J = J_w x J_as  (n+2 dimensions).
+  ir::DependenceMatrix deps;    ///< D_I or D_II with validity regions.
+  ir::WordLevelModel word;      ///< The word-level model that was expanded.
+  Int p = 0;                    ///< Operand width in bits.
+  Expansion expansion = Expansion::kI;
+  std::vector<std::string> coord_names;  ///< j1..jn, i1, i2.
+
+  std::size_t word_dims() const { return word.dim(); }
+  std::size_t dim() const { return domain.dim(); }
+
+  /// Index of the i1 / i2 coordinate within the composed index vector.
+  std::size_t i1_coord() const { return word_dims(); }
+  std::size_t i2_coord() const { return word_dims() + 1; }
+
+  std::string to_string() const;
+};
+
+}  // namespace bitlevel::core

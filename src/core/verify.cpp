@@ -1,0 +1,24 @@
+#include "core/verify.hpp"
+
+#include "analysis/trace.hpp"
+#include "core/bitlevel_program.hpp"
+#include "core/expansion.hpp"
+
+namespace bitlevel::core {
+
+VerificationReport verify_expansion(const ir::WordLevelModel& word, Int p, Expansion e) {
+  BitLevelStructure s = expand(word, p, e);
+  const ir::Program program = make_bitlevel_program(word, p, e);
+  const auto trace = analysis::trace_dependences(program);
+
+  std::size_t nonzero = 0;
+  for (const auto& inst : trace) {
+    if (!math::is_zero(inst.distance())) ++nonzero;
+  }
+
+  VerificationReport report{analysis::match_structure(s.deps, s.domain, trace), nonzero,
+                            std::move(s)};
+  return report;
+}
+
+}  // namespace bitlevel::core

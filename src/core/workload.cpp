@@ -1,0 +1,64 @@
+#include "core/workload.hpp"
+
+#include <optional>
+
+#include "support/error.hpp"
+#include "support/rng.hpp"
+
+namespace bitlevel::core {
+
+namespace {
+
+void fill_chained(std::map<IntVec, std::uint64_t>& table, const ir::WordLevelModel& model,
+                  const std::optional<IntVec>& h, std::uint64_t bound, Xoshiro256& rng) {
+  model.domain.for_each([&](const IntVec& j) {
+    if (h && model.domain.contains(math::sub(j, *h))) {
+      table[j] = table.at(math::sub(j, *h));  // lex order visits producers first
+    } else {
+      table[j] = bound == 0 ? 0 : rng() % (bound + 1);
+    }
+    return true;
+  });
+}
+
+}  // namespace
+
+Workload make_pipelined_workload(const ir::WordLevelModel& model, std::uint64_t bound,
+                                 std::uint64_t seed) {
+  model.validate();
+  Xoshiro256 rng(seed);
+  Workload w;
+  fill_chained(w.x, model, model.h1, bound, rng);
+  fill_chained(w.y, model, model.h2, bound, rng);
+  return w;
+}
+
+Workload make_safe_workload(const ir::WordLevelModel& model, Int p, Expansion e,
+                            std::uint64_t seed) {
+  return make_pipelined_workload(model, max_safe_operand(p, max_chain_length(model), e), seed);
+}
+
+ir::WordLevelModel batch_model(const ir::WordLevelModel& model, Int batches) {
+  model.validate();
+  BL_REQUIRE(batches >= 1, "need at least one batch");
+  auto extend = [](const std::optional<IntVec>& h) -> std::optional<IntVec> {
+    if (!h) return std::nullopt;
+    return math::concat({0}, *h);
+  };
+  ir::WordLevelModel out{ir::IndexSet(math::concat({1}, model.domain.lower()),
+                                      math::concat({batches}, model.domain.upper())),
+                         extend(model.h1),
+                         extend(model.h2),
+                         extend(model.h3),
+                         model.name + "_batched",
+                         {}};
+  out.coord_names.push_back("b");
+  for (std::size_t i = 0; i < model.dim(); ++i) {
+    out.coord_names.push_back(i < model.coord_names.size() ? model.coord_names[i]
+                                                           : "j" + std::to_string(i + 1));
+  }
+  out.validate();
+  return out;
+}
+
+}  // namespace bitlevel::core

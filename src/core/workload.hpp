@@ -1,0 +1,49 @@
+// Workload generation respecting the model's pipelining invariants.
+//
+// Model (3.5) *transports* operands: x(j) = x(j - h1) means the value
+// is constant along every h1 chain, and the physical arrays implement
+// exactly that movement. Valid workloads therefore draw a fresh value
+// only where a chain enters the domain and copy it along the chain;
+// per-point random tables would disagree with the array's dataflow.
+#pragma once
+
+#include <cstdint>
+#include <map>
+
+#include "core/evaluator.hpp"
+#include "core/structure.hpp"
+
+namespace bitlevel::core {
+
+/// Operand tables for one run.
+struct Workload {
+  std::map<IntVec, std::uint64_t> x;
+  std::map<IntVec, std::uint64_t> y;
+
+  OperandFn x_fn() const {
+    return [this](const IntVec& j) { return x.at(j); };
+  }
+  OperandFn y_fn() const {
+    return [this](const IntVec& j) { return y.at(j); };
+  }
+};
+
+/// Seeded random workload with entries in [0, bound], constant along
+/// the h1 / h2 chains (free per point when the operand is external).
+Workload make_pipelined_workload(const ir::WordLevelModel& model, std::uint64_t bound,
+                                 std::uint64_t seed);
+
+/// Convenience: bound chosen from the capacity precondition of the
+/// expansion (max_safe_operand over the model's longest chain).
+Workload make_safe_workload(const ir::WordLevelModel& model, Int p, Expansion e,
+                            std::uint64_t seed);
+
+/// Compose a batch axis into a word-level model: the domain becomes
+/// [1, batches] x J_w with a leading coordinate, and every h vector is
+/// zero-extended (chains and pipelines never cross batches). Expanding
+/// and mapping the batched model streams independent problem instances
+/// through one array (problem pipelining); see
+/// mapping::min_initiation_interval for the schedule offset.
+ir::WordLevelModel batch_model(const ir::WordLevelModel& model, Int batches);
+
+}  // namespace bitlevel::core

@@ -1,0 +1,38 @@
+#include "ir/affine.hpp"
+
+#include <sstream>
+
+#include "support/error.hpp"
+
+namespace bitlevel::ir {
+
+AffineMap::AffineMap(math::IntMat a_, math::IntVec b_) : a(std::move(a_)), b(std::move(b_)) {
+  BL_REQUIRE(a.rows() == b.size(), "affine offset dimension must equal the matrix row count");
+}
+
+AffineMap AffineMap::identity(std::size_t n) {
+  return AffineMap(math::IntMat::identity(n), math::IntVec(n, 0));
+}
+
+AffineMap AffineMap::select(std::size_t n, const std::vector<std::size_t>& coords) {
+  math::IntMat m(coords.size(), n);
+  for (std::size_t r = 0; r < coords.size(); ++r) {
+    BL_REQUIRE(coords[r] < n, "selected coordinate out of range");
+    m.at(r, coords[r]) = 1;
+  }
+  return AffineMap(std::move(m), math::IntVec(coords.size(), 0));
+}
+
+AffineMap AffineMap::translate(const math::IntVec& offset) {
+  return AffineMap(math::IntMat::identity(offset.size()), offset);
+}
+
+math::IntVec AffineMap::apply(const math::IntVec& j) const { return math::add(a.mul(j), b); }
+
+std::string AffineMap::to_string() const {
+  std::ostringstream os;
+  os << "A =\n" << a.to_string() << "\nb = " << math::to_string(b);
+  return os.str();
+}
+
+}  // namespace bitlevel::ir

@@ -1,0 +1,44 @@
+// Affine index maps g(j) = A*j + b.
+//
+// Array subscripts in the paper's algorithm model are linear functions
+// of the index vector; AffineMap is that function, used both by the
+// executable access-pattern programs (trace analysis) and the exact
+// Diophantine dependence test.
+#pragma once
+
+#include <string>
+
+#include "math/int_mat.hpp"
+
+namespace bitlevel::ir {
+
+/// g(j) = A*j + b, mapping an n-dimensional index point to an
+/// m-dimensional array subscript.
+struct AffineMap {
+  math::IntMat a;   ///< m x n coefficient matrix.
+  math::IntVec b;   ///< m-dimensional offset.
+
+  AffineMap(math::IntMat a_, math::IntVec b_);
+
+  /// Identity map on n coordinates.
+  static AffineMap identity(std::size_t n);
+
+  /// Selection map: keeps the listed coordinates, in order.
+  /// E.g. select(3, {0, 2}) maps (j1,j2,j3) -> (j1,j3), the access
+  /// x(j1, j3) in matrix multiplication.
+  static AffineMap select(std::size_t n, const std::vector<std::size_t>& coords);
+
+  /// Translation by `offset` on n coordinates: j -> j + offset.
+  static AffineMap translate(const math::IntVec& offset);
+
+  std::size_t domain_dim() const { return a.cols(); }
+  std::size_t range_dim() const { return a.rows(); }
+
+  math::IntVec apply(const math::IntVec& j) const;
+
+  bool operator==(const AffineMap& other) const = default;
+
+  std::string to_string() const;
+};
+
+}  // namespace bitlevel::ir

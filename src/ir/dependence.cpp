@@ -1,0 +1,59 @@
+#include "ir/dependence.hpp"
+
+#include <sstream>
+
+#include "support/error.hpp"
+
+namespace bitlevel::ir {
+
+DependenceMatrix::DependenceMatrix(std::vector<DependenceVector> columns)
+    : columns_(std::move(columns)) {
+  for (const auto& c : columns_) {
+    BL_REQUIRE(c.d.size() == columns_.front().d.size(),
+               "all dependence vectors must have equal dimension");
+  }
+}
+
+void DependenceMatrix::add(DependenceVector v) {
+  if (!columns_.empty()) {
+    BL_REQUIRE(v.d.size() == columns_.front().d.size(),
+               "all dependence vectors must have equal dimension");
+  }
+  columns_.push_back(std::move(v));
+}
+
+bool DependenceMatrix::all_uniform() const {
+  for (const auto& c : columns_) {
+    if (!c.is_uniform()) return false;
+  }
+  return true;
+}
+
+math::IntMat DependenceMatrix::as_matrix() const {
+  std::vector<IntVec> cols;
+  cols.reserve(columns_.size());
+  for (const auto& c : columns_) cols.push_back(c.d);
+  return math::IntMat::from_columns(cols);
+}
+
+std::vector<DependenceVector> DependenceMatrix::valid_at(const IntVec& point) const {
+  std::vector<DependenceVector> out;
+  for (const auto& c : columns_) {
+    if (c.valid.contains(point)) out.push_back(c);
+  }
+  return out;
+}
+
+std::string DependenceMatrix::to_string(const std::vector<std::string>& coord_names) const {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < columns_.size(); ++i) {
+    const auto& c = columns_[i];
+    os << "d" << (i + 1) << " = " << math::to_string(c.d);
+    if (!c.cause.empty()) os << "  cause: " << c.cause;
+    if (!c.is_uniform()) os << "  valid at: " << c.valid.to_string(coord_names);
+    os << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace bitlevel::ir

@@ -1,0 +1,67 @@
+// Dependence vectors and dependence matrices.
+//
+// A dependence pair (j, d) in the paper says iteration j depends on
+// iteration j - d. A DependenceVector here is a distance vector d plus
+// (a) the variable that causes it, and (b) the region of the index set
+// where it is valid. Uniform dependences have the trivial region. A
+// DependenceMatrix is the paper's D: all distinct dependence vectors as
+// columns, with per-column validity annotations.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "ir/index_set.hpp"
+#include "ir/validity.hpp"
+#include "math/int_mat.hpp"
+
+namespace bitlevel::ir {
+
+/// One (possibly conditional) dependence vector.
+struct DependenceVector {
+  IntVec d;                ///< Distance vector (consumer minus producer).
+  std::string cause;       ///< Variable responsible, e.g. "x", "y,c", "c'".
+  ValidityRegion valid = ValidityRegion::all();  ///< Where the vector applies.
+
+  /// Uniform means valid at every index point.
+  bool is_uniform() const { return valid.is_all(); }
+};
+
+/// The paper's dependence matrix D: columns are dependence vectors.
+class DependenceMatrix {
+ public:
+  DependenceMatrix() = default;
+  explicit DependenceMatrix(std::vector<DependenceVector> columns);
+
+  std::size_t size() const { return columns_.size(); }
+  bool empty() const { return columns_.empty(); }
+  const DependenceVector& operator[](std::size_t i) const { return columns_[i]; }
+  const std::vector<DependenceVector>& columns() const { return columns_; }
+
+  void add(DependenceVector v);
+
+  /// Dimension of the vectors (0 when empty).
+  std::size_t dim() const { return columns_.empty() ? 0 : columns_.front().d.size(); }
+
+  /// True when every dependence vector is uniform (the algorithm is a
+  /// uniform dependence algorithm).
+  bool all_uniform() const;
+
+  /// The plain integer matrix whose columns are the distance vectors,
+  /// dropping cause/validity; this is the D that feasibility conditions
+  /// (Pi * D > 0, S * D = P * K) operate on.
+  math::IntMat as_matrix() const;
+
+  /// The dependence vectors valid at a specific index point.
+  std::vector<DependenceVector> valid_at(const IntVec& point) const;
+
+  /// Rendering with per-column cause and validity annotations, mirroring
+  /// the paper's presentation of D_I / D_II.
+  std::string to_string(const std::vector<std::string>& coord_names = {}) const;
+
+ private:
+  std::vector<DependenceVector> columns_;
+};
+
+}  // namespace bitlevel::ir

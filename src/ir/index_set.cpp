@@ -1,0 +1,67 @@
+#include "ir/index_set.hpp"
+
+#include <sstream>
+
+#include "math/checked.hpp"
+#include "support/error.hpp"
+
+namespace bitlevel::ir {
+
+IndexSet::IndexSet(IntVec lo, IntVec hi) : lo_(std::move(lo)), hi_(std::move(hi)) {
+  BL_REQUIRE(lo_.size() == hi_.size(), "index-set bounds must have equal dimension");
+  for (std::size_t i = 0; i < lo_.size(); ++i) {
+    BL_REQUIRE(lo_[i] <= hi_[i], "index-set lower bound must not exceed upper bound");
+  }
+}
+
+IndexSet IndexSet::cube(std::size_t n, Int u) {
+  BL_REQUIRE(u >= 1, "cube upper bound must be >= 1");
+  return IndexSet(IntVec(n, 1), IntVec(n, u));
+}
+
+IndexSet IndexSet::product(const IndexSet& other) const {
+  return IndexSet(math::concat(lo_, other.lo_), math::concat(hi_, other.hi_));
+}
+
+bool IndexSet::contains(const IntVec& point) const {
+  if (point.size() != lo_.size()) return false;
+  for (std::size_t i = 0; i < lo_.size(); ++i) {
+    if (point[i] < lo_[i] || point[i] > hi_[i]) return false;
+  }
+  return true;
+}
+
+Int IndexSet::size() const {
+  Int total = 1;
+  for (std::size_t i = 0; i < lo_.size(); ++i) {
+    total = math::checked_mul(total, math::checked_add(math::checked_sub(hi_[i], lo_[i]), 1));
+  }
+  return total;
+}
+
+bool IndexSet::for_each(const std::function<bool(const IntVec&)>& visit) const {
+  IntVec point = lo_;
+  while (true) {
+    if (!visit(point)) return false;
+    if (!next(point)) return true;
+  }
+}
+
+bool IndexSet::next(IntVec& point) const {
+  for (std::size_t i = point.size(); i-- > 0;) {
+    if (point[i] < hi_[i]) {
+      ++point[i];
+      return true;
+    }
+    point[i] = lo_[i];
+  }
+  return false;
+}
+
+std::string IndexSet::to_string() const {
+  std::ostringstream os;
+  os << "{ " << math::to_string(lo_) << " <= j <= " << math::to_string(hi_) << " }";
+  return os.str();
+}
+
+}  // namespace bitlevel::ir

@@ -1,0 +1,65 @@
+// Rectangular index sets (iteration spaces).
+//
+// The paper's algorithm model (2.1)/(3.5) uses constant loop bounds, so
+// an index set is an integer box { j : lo <= j <= hi }. Bit-level
+// expansion forms the product J = J_w x J_as (Theorem 3.1 eq. 3.11a),
+// which is again a box.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <string>
+
+#include "math/int_vec.hpp"
+
+namespace bitlevel::ir {
+
+using math::Int;
+using math::IntVec;
+
+/// An n-dimensional integer box { j : lo <= j <= hi componentwise }.
+/// All bounds are inclusive, matching the paper's DO (j = l, u) loops.
+class IndexSet {
+ public:
+  /// Box with explicit per-dimension bounds; requires lo[i] <= hi[i].
+  IndexSet(IntVec lo, IntVec hi);
+
+  /// Cube [1, u]^n — the common case in the paper's examples.
+  static IndexSet cube(std::size_t n, Int u);
+
+  /// Cartesian product [this x other] with coordinates concatenated;
+  /// used to build J = J_w x J_as.
+  IndexSet product(const IndexSet& other) const;
+
+  std::size_t dim() const { return lo_.size(); }
+  const IntVec& lower() const { return lo_; }
+  const IntVec& upper() const { return hi_; }
+
+  /// True when the point lies inside the box (dimension must match).
+  bool contains(const IntVec& point) const;
+
+  /// Number of integer points; throws OverflowError if it exceeds Int.
+  Int size() const;
+
+  /// Visit every point in lexicographic order. The callback may return
+  /// false to stop early; for_each returns false in that case.
+  bool for_each(const std::function<bool(const IntVec&)>& visit) const;
+
+  /// First point in lexicographic order (== lower()).
+  const IntVec& first() const { return lo_; }
+
+  /// Advance `point` to its lexicographic successor inside the box.
+  /// Returns false (leaving `point` unspecified) when `point` was last.
+  bool next(IntVec& point) const;
+
+  bool operator==(const IndexSet& other) const = default;
+
+  /// "{ lo <= j <= hi }" rendering.
+  std::string to_string() const;
+
+ private:
+  IntVec lo_;
+  IntVec hi_;
+};
+
+}  // namespace bitlevel::ir

@@ -1,0 +1,103 @@
+#include "ir/kernels.hpp"
+
+#include "support/error.hpp"
+
+namespace bitlevel::ir::kernels {
+
+WordLevelModel matmul(Int u) {
+  BL_REQUIRE(u >= 1, "matmul requires u >= 1");
+  WordLevelModel m{IndexSet::cube(3, u),
+                   IntVec{0, 1, 0},
+                   IntVec{1, 0, 0},
+                   IntVec{0, 0, 1},
+                   "matmul",
+                   {"j1", "j2", "j3"}};
+  m.validate();
+  return m;
+}
+
+WordLevelModel matmul_rect(Int m, Int n, Int k) {
+  BL_REQUIRE(m >= 1 && n >= 1 && k >= 1, "matmul_rect requires positive extents");
+  WordLevelModel w{IndexSet(IntVec{1, 1, 1}, IntVec{m, n, k}),
+                   IntVec{0, 1, 0},
+                   IntVec{1, 0, 0},
+                   IntVec{0, 0, 1},
+                   "matmul_rect",
+                   {"j1", "j2", "j3"}};
+  w.validate();
+  return w;
+}
+
+Program matmul_broadcast_program(Int u) {
+  BL_REQUIRE(u >= 1, "matmul requires u >= 1");
+  const IndexSet j = IndexSet::cube(3, u);
+  // z(j1, j2, j3) = z(j1, j2, j3 - 1) + x(j1, j3) * y(j3, j2)
+  const AffineMap z_write = AffineMap::identity(3);
+  const AffineMap z_read = AffineMap::translate(IntVec{0, 0, -1});
+  const AffineMap x_read = AffineMap::select(3, {0, 2});
+  const AffineMap y_read = AffineMap::select(3, {2, 1});
+  Program prog{j,
+               {{{"z", z_write},
+                 {{"z", z_read}, {"x", x_read}, {"y", y_read}},
+                 "z(j1,j2,j3) = z(j1,j2,j3-1) + x(j1,j3) * y(j3,j2)"}}};
+  prog.validate();
+  return prog;
+}
+
+Program matmul_raw_program(Int u) {
+  BL_REQUIRE(u >= 1, "matmul requires u >= 1");
+  const AffineMap z_ref = AffineMap::select(3, {0, 1});
+  const AffineMap x_read = AffineMap::select(3, {0, 2});
+  const AffineMap y_read = AffineMap::select(3, {2, 1});
+  Program prog{IndexSet::cube(3, u),
+               {{{"z", z_ref},
+                 {{"z", z_ref}, {"x", x_read}, {"y", y_read}},
+                 "z(j1,j2) = z(j1,j2) + x(j1,j3) * y(j3,j2)"}}};
+  prog.validate();
+  return prog;
+}
+
+WordLevelModel convolution1d(Int n, Int k) {
+  BL_REQUIRE(n >= 1 && k >= 1, "convolution requires n, k >= 1");
+  WordLevelModel m{IndexSet(IntVec{1, 1}, IntVec{n, k}),
+                   IntVec{1, -1},
+                   IntVec{1, 0},
+                   IntVec{0, 1},
+                   "convolution1d",
+                   {"j1", "j2"}};
+  m.validate();
+  return m;
+}
+
+WordLevelModel matvec(Int rows, Int cols) {
+  BL_REQUIRE(rows >= 1 && cols >= 1, "matvec requires rows, cols >= 1");
+  WordLevelModel m{IndexSet(IntVec{1, 1}, IntVec{rows, cols}),
+                   IntVec{1, 0},
+                   std::nullopt,  // a(j1, j2) is an external input
+                   IntVec{0, 1},
+                   "matvec",
+                   {"j1", "j2"}};
+  m.validate();
+  return m;
+}
+
+WordLevelModel transform(Int n) {
+  WordLevelModel m = matvec(n, n);
+  m.name = "transform";
+  return m;
+}
+
+WordLevelModel scalar_chain(Int l, Int u, Int h) {
+  BL_REQUIRE(l <= u, "scalar chain requires l <= u");
+  BL_REQUIRE(h != 0, "scalar chain stride must be nonzero");
+  WordLevelModel m{IndexSet(IntVec{l}, IntVec{u}),
+                   IntVec{h},
+                   IntVec{h},
+                   IntVec{h},
+                   "scalar_chain",
+                   {"j"}};
+  m.validate();
+  return m;
+}
+
+}  // namespace bitlevel::ir::kernels

@@ -1,0 +1,57 @@
+// Word-level kernel builders.
+//
+// Every application the paper's model (3.5) covers — matrix
+// multiplication, convolution, matrix-vector multiplication, and the
+// DCT/DFT-style transforms that reduce to matrix-vector form — gets a
+// builder returning its WordLevelModel, plus (for matrix multiplication)
+// the pre-pipelining broadcast program (2.2) used to demonstrate
+// Fortes-Moldovan broadcast elimination.
+#pragma once
+
+#include "ir/program.hpp"
+#include "ir/triplet.hpp"
+
+namespace bitlevel::ir::kernels {
+
+/// Matrix multiplication Z = X * Y with u x u operands, program (2.3):
+/// x pipelined along j2 (h1 = [0,1,0]), y along j1 (h2 = [1,0,0]),
+/// z accumulated along j3 (h3 = [0,0,1]). Dependence matrix (2.4).
+WordLevelModel matmul(Int u);
+
+/// Rectangular matrix multiplication Z = X * Y with X m x k and Y
+/// k x n: same pipelining as matmul() over the box [1,m]x[1,n]x[1,k].
+WordLevelModel matmul_rect(Int m, Int n, Int k);
+
+/// Matrix multiplication program (2.2), *before* broadcast elimination:
+/// x(j1, j3) and y(j3, j2) are read by u iterations each. Input to the
+/// pipelining pass that derives (2.3).
+Program matmul_broadcast_program(Int u);
+
+/// The raw matrix multiplication of Example 2.1 (program 2.1):
+/// z(j1, j2) = z(j1, j2) + x(j1, j3) * y(j3, j2), with z written u
+/// times per element — NOT single-assignment, exhibiting output and
+/// anti dependences. Input to expand_accumulation(), which derives
+/// (2.2).
+Program matmul_raw_program(Int u);
+
+/// 1-D convolution z(t) = sum_k w(k) * x(t + k - 1) with n outputs and k
+/// taps. x pipelined along the anti-diagonal (h1 = [1,-1]), weights
+/// pipelined along j1 (h2 = [1,0]), accumulation along j2 (h3 = [0,1]).
+WordLevelModel convolution1d(Int n, Int k);
+
+/// Matrix-vector multiplication z = A * x with an m x n matrix. The
+/// coefficient a(j1, j2) is used exactly once, so it enters each index
+/// point from outside the array (absent h2); x is pipelined along j1
+/// and z accumulated along j2.
+WordLevelModel matvec(Int m, Int n);
+
+/// N-point discrete cosine / Fourier style transform X = C * x: the
+/// dependence structure of a transform with a dense N x N coefficient
+/// matrix, which is exactly matvec(N, N).
+WordLevelModel transform(Int n);
+
+/// The generic 1-D instance (3.7) used throughout Section 3's
+/// exposition: DO (j = l, u) with scalar strides h1 = h2 = h3 = h.
+WordLevelModel scalar_chain(Int l, Int u, Int h);
+
+}  // namespace bitlevel::ir::kernels

@@ -1,0 +1,108 @@
+#include "ir/pipelining.hpp"
+
+#include "math/gcd.hpp"
+#include "math/hnf.hpp"
+#include "support/error.hpp"
+
+namespace bitlevel::ir {
+
+namespace {
+
+using math::null_space_basis;
+
+}  // namespace
+
+math::IntVec primitive_direction(const math::IntVec& v) {
+  BL_REQUIRE(!math::is_zero(v), "pipelining direction must be nonzero");
+  const math::Int g = math::content(v);
+  math::IntVec out(v.size());
+  for (std::size_t i = 0; i < v.size(); ++i) out[i] = v[i] / g;
+  if (!math::lex_positive(out)) out = math::neg(out);
+  return out;
+}
+
+std::vector<BroadcastInfo> find_broadcasts(const Program& program) {
+  std::vector<BroadcastInfo> out;
+  for (std::size_t s = 0; s < program.statements.size(); ++s) {
+    const Statement& st = program.statements[s];
+    for (std::size_t r = 0; r < st.reads.size(); ++r) {
+      math::IntMat basis = null_space_basis(st.reads[r].subscript.a);
+      if (basis.cols() == 0) continue;
+      BroadcastInfo info{st.reads[r].array, s, r, basis, {}};
+      if (basis.cols() == 1) info.pipelining_dir = primitive_direction(basis.col(0));
+      out.push_back(std::move(info));
+    }
+  }
+  return out;
+}
+
+std::optional<WordLevelModel> pipeline_accumulation_program(const Program& program) {
+  // Expected shape: one statement, writing z(j) (identity subscript),
+  // reading z(j - h3) plus two rank-deficient operand reads.
+  if (program.statements.size() != 1) return std::nullopt;
+  const Statement& st = program.statements.front();
+  const std::size_t n = program.domain.dim();
+  if (st.write.subscript.a != math::IntMat::identity(n)) return std::nullopt;
+  if (!math::is_zero(st.write.subscript.b)) return std::nullopt;
+
+  std::optional<IntVec> h1, h2, h3;
+  int operand = 0;
+  for (const auto& read : st.reads) {
+    if (read.array == st.write.array) {
+      // The accumulation read z(j - h3): subscript must be a translation.
+      if (read.subscript.a != math::IntMat::identity(n)) return std::nullopt;
+      h3 = math::neg(read.subscript.b);
+      continue;
+    }
+    const math::IntMat basis = null_space_basis(read.subscript.a);
+    if (basis.cols() != 1) return std::nullopt;  // not a 1-D broadcast
+    IntVec dir = primitive_direction(basis.col(0));
+    if (operand == 0) {
+      h1 = std::move(dir);
+    } else if (operand == 1) {
+      h2 = std::move(dir);
+    } else {
+      return std::nullopt;  // more than two operands
+    }
+    ++operand;
+  }
+  if (!h3 || operand != 2) return std::nullopt;
+
+  WordLevelModel m{program.domain, std::move(h1), std::move(h2), std::move(h3), "pipelined", {}};
+  m.validate();
+  return m;
+}
+
+std::optional<Program> expand_accumulation(const Program& program) {
+  if (program.statements.size() != 1) return std::nullopt;
+  const Statement& st = program.statements.front();
+  const std::size_t n = program.domain.dim();
+
+  // The write must be rank-deficient with a 1-D null space (one
+  // accumulation direction).
+  const math::IntMat basis = null_space_basis(st.write.subscript.a);
+  if (basis.cols() != 1) return std::nullopt;
+  const IntVec d = primitive_direction(basis.col(0));
+
+  // Rebuild the statement: z subscripted by the full index vector, the
+  // accumulation read stepping back along d, everything else verbatim.
+  Statement out{{st.write.array, AffineMap::identity(n)}, {}, st.label, st.guard};
+  bool found_accumulation_read = false;
+  for (const auto& read : st.reads) {
+    if (read.array == st.write.array) {
+      // Must be the accumulation read z(g(j)) with the same subscript.
+      if (read.subscript != st.write.subscript) return std::nullopt;
+      out.reads.push_back({st.write.array, AffineMap::translate(math::neg(d)), read.guard});
+      found_accumulation_read = true;
+    } else {
+      out.reads.push_back(read);
+    }
+  }
+  if (!found_accumulation_read) return std::nullopt;
+
+  Program result{program.domain, {std::move(out)}};
+  result.validate();
+  return result;
+}
+
+}  // namespace bitlevel::ir

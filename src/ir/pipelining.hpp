@@ -1,0 +1,60 @@
+// Broadcast detection and elimination (Fortes & Moldovan [2]).
+//
+// In program (2.2) the datum x(j1, j3) is read by all u iterations
+// [j1, *, j3]; executing them in parallel would require a broadcast,
+// which VLSI arrays avoid. A read is a broadcast exactly when its
+// subscript matrix has a nontrivial integer null space: moving along a
+// null-space direction does not change the element read, so the datum
+// can instead be *pipelined* along that direction, replacing the
+// broadcast by the uniform dependence of (2.3) / (3.3).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ir/program.hpp"
+#include "ir/triplet.hpp"
+
+namespace bitlevel::ir {
+
+/// One broadcast read discovered in a program.
+struct BroadcastInfo {
+  std::string array;             ///< The broadcast variable.
+  std::size_t statement;         ///< Statement index containing the read.
+  std::size_t read;              ///< Read index within the statement.
+  math::IntMat null_basis;       ///< Basis of the subscript's null space.
+  math::IntVec pipelining_dir;   ///< Primitive lexicographically-positive
+                                 ///< direction (when the null space is 1-D;
+                                 ///< empty otherwise).
+};
+
+/// Find every read whose subscript matrix is rank-deficient.
+std::vector<BroadcastInfo> find_broadcasts(const Program& program);
+
+/// Normalize a nonzero direction: divide by the gcd of its entries and
+/// flip sign so the vector is lexicographically positive.
+math::IntVec primitive_direction(const math::IntVec& v);
+
+/// Eliminate broadcasts from a program of the shape (2.2) — a single
+/// accumulation statement z(j) = z(j - h3) + x(g1(j)) * y(g2(j)) — and
+/// return the pipelined model (3.5) with h1, h2 the pipelining
+/// directions and h3 the accumulation vector (exactly the
+/// transformation (2.2) -> (2.3) in the paper). Returns std::nullopt if
+/// the program does not have the expected shape or a broadcast read has
+/// a null space of dimension other than one.
+std::optional<WordLevelModel> pipeline_accumulation_program(const Program& program);
+
+/// The paper's (2.1) -> (2.2) transformation: convert a multi-assignment
+/// accumulation — a statement writing z(g(j)) and reading z(g(j)) with
+/// the same rank-deficient subscript, so each element is written once
+/// per point of g's null direction — into single-assignment form by
+/// widening z's subscript to the full index vector and turning the
+/// accumulation read into z(j - d), d the primitive lexicographically-
+/// positive null direction of g. All other reads are untouched. Returns
+/// std::nullopt when the program is not a 1-D accumulation of this
+/// shape (statement count != 1, null-space dimension != 1, or the write
+/// and accumulation read disagree).
+std::optional<Program> expand_accumulation(const Program& program);
+
+}  // namespace bitlevel::ir

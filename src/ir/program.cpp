@@ -1,0 +1,18 @@
+#include "ir/program.hpp"
+
+#include "support/error.hpp"
+
+namespace bitlevel::ir {
+
+void Program::validate() const {
+  for (const auto& st : statements) {
+    BL_REQUIRE(st.write.subscript.domain_dim() == domain.dim(),
+               "write subscript dimension must equal the loop-nest dimension");
+    for (const auto& r : st.reads) {
+      BL_REQUIRE(r.subscript.domain_dim() == domain.dim(),
+                 "read subscript dimension must equal the loop-nest dimension");
+    }
+  }
+}
+
+}  // namespace bitlevel::ir

@@ -1,0 +1,53 @@
+// Executable access-pattern programs.
+//
+// For brute-force (trace-based) dependence extraction we only need the
+// memory access pattern of a loop nest, not its arithmetic semantics: a
+// Program is an index set plus an ordered list of statements, each
+// writing one array element and reading a list of array elements, all
+// through affine maps of the index vector. The TraceAnalyzer in
+// src/analysis replays the program in lexicographic iteration order and
+// records producer/consumer pairs.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "ir/affine.hpp"
+#include "ir/index_set.hpp"
+#include "ir/validity.hpp"
+
+namespace bitlevel::ir {
+
+/// One array reference: array `array` subscripted by `subscript(j)`,
+/// active only where `guard` holds (bit-level programs read different
+/// producers on interior vs boundary points).
+struct ArrayRef {
+  std::string array;    ///< Array name, e.g. "x", "z", "c".
+  AffineMap subscript;  ///< Subscript as a function of the index vector.
+  ValidityRegion guard = ValidityRegion::all();  ///< Where this access happens.
+};
+
+/// One assignment statement: write <- f(reads...). The function f itself
+/// is irrelevant to dependence analysis and is carried as a label only.
+/// The whole statement executes only where `guard` holds; individual
+/// reads additionally carry their own guards.
+struct Statement {
+  ArrayRef write;
+  std::vector<ArrayRef> reads;
+  std::string label;  ///< e.g. "z(j) = z(j-h3) + x(j)*y(j)".
+  ValidityRegion guard = ValidityRegion::all();
+};
+
+/// A perfectly nested loop over `domain` executing `statements` in order
+/// within each iteration.
+struct Program {
+  IndexSet domain;
+  std::vector<Statement> statements;
+
+  /// Validates internal consistency (every subscript map's domain
+  /// dimension equals the loop-nest dimension).
+  void validate() const;
+};
+
+}  // namespace bitlevel::ir

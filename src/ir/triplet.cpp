@@ -1,0 +1,64 @@
+#include "ir/triplet.hpp"
+
+#include <sstream>
+
+#include "support/error.hpp"
+
+namespace bitlevel::ir {
+
+std::string AlgorithmTriplet::to_string() const {
+  std::ostringstream os;
+  os << "J = " << domain.to_string() << "\nD:\n"
+     << deps.to_string(coord_names) << "E:\n";
+  for (const auto& c : computations) os << "  " << c << '\n';
+  return os.str();
+}
+
+void WordLevelModel::validate() const {
+  auto check = [&](const std::optional<IntVec>& h, const char* which) {
+    if (!h) return;
+    BL_REQUIRE(h->size() == domain.dim(), std::string(which) + " must have the loop-nest dimension");
+    BL_REQUIRE(!math::is_zero(*h), std::string(which) + " must be a nonzero vector");
+  };
+  check(h1, "h1");
+  check(h2, "h2");
+  check(h3, "h3");
+}
+
+AlgorithmTriplet WordLevelModel::triplet() const {
+  validate();
+  AlgorithmTriplet t{domain, {}, {}, coord_names};
+  if (h1) t.deps.add({*h1, "x", ValidityRegion::all()});
+  if (h2) t.deps.add({*h2, "y", ValidityRegion::all()});
+  if (h3) t.deps.add({*h3, "z", ValidityRegion::all()});
+  t.computations = {
+      h1 ? "x(j) = x(j - h1)" : "x(j) = <external input>",
+      h2 ? "y(j) = y(j - h2)" : "y(j) = <external input>",
+      h3 ? "z(j) = z(j - h3) + x(j) * y(j)" : "z(j) = x(j) * y(j)",
+  };
+  return t;
+}
+
+Program WordLevelModel::access_program() const {
+  validate();
+  const std::size_t n = domain.dim();
+  const AffineMap id = AffineMap::identity(n);
+  Program prog{domain, {}};
+  if (h1) {
+    prog.statements.push_back(
+        {{"x", id}, {{"x", AffineMap::translate(math::neg(*h1))}}, "x(j) = x(j - h1)"});
+  }
+  if (h2) {
+    prog.statements.push_back(
+        {{"y", id}, {{"y", AffineMap::translate(math::neg(*h2))}}, "y(j) = y(j - h2)"});
+  }
+  Statement acc{{"z", id}, {}, "z(j) = z(j - h3) + x(j) * y(j)"};
+  if (h3) acc.reads.push_back({"z", AffineMap::translate(math::neg(*h3))});
+  acc.reads.push_back({"x", id});
+  acc.reads.push_back({"y", id});
+  prog.statements.push_back(std::move(acc));
+  prog.validate();
+  return prog;
+}
+
+}  // namespace bitlevel::ir

@@ -1,0 +1,65 @@
+// Algorithm triplets (J, D, E) and the restricted word-level model (3.5).
+//
+// The paper characterizes an algorithm by its index set J, dependence
+// matrix D and computation set E. The bit-level expansion of Section 3
+// additionally requires the word-level algorithm to have the restricted
+// form (3.5):
+//
+//   DO (j in J_w)
+//     x(j) = x(j - h1)
+//     y(j) = y(j - h2)
+//     z(j) = z(j - h3) + x(j) * y(j)
+//   END
+//
+// WordLevelModel captures exactly that shape. Operands supplied directly
+// from outside the array at every index point (no reuse, hence no
+// dependence) are modelled with an absent h vector; matrix-vector
+// multiplication uses this for its coefficient operand.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ir/dependence.hpp"
+#include "ir/index_set.hpp"
+#include "ir/program.hpp"
+
+namespace bitlevel::ir {
+
+/// The paper's characterization (J, D, E) of an algorithm.
+struct AlgorithmTriplet {
+  IndexSet domain;                         ///< J
+  DependenceMatrix deps;                   ///< D
+  std::vector<std::string> computations;   ///< E (as source-level text)
+  std::vector<std::string> coord_names;    ///< For pretty-printing (j1, i1, ...)
+
+  std::string to_string() const;
+};
+
+/// Restricted word-level algorithm model (3.5).
+struct WordLevelModel {
+  IndexSet domain;              ///< J_w
+  std::optional<IntVec> h1;     ///< x pipelining vector (absent: external input)
+  std::optional<IntVec> h2;     ///< y pipelining vector (absent: external input)
+  std::optional<IntVec> h3;     ///< z accumulation vector (absent: external input)
+  std::string name;             ///< Kernel name for reporting.
+  std::vector<std::string> coord_names;
+
+  std::size_t dim() const { return domain.dim(); }
+
+  /// Validates that every present h vector has the loop-nest dimension
+  /// and is nonzero (a zero dependence vector cannot be scheduled).
+  void validate() const;
+
+  /// The word-level triplet (J_w, D_w, E_w); D_w has one column per
+  /// present h vector, in x, y, z order with causes "x", "y", "z".
+  AlgorithmTriplet triplet() const;
+
+  /// The executable access-pattern program of (3.5), for trace-based
+  /// dependence extraction. Variables are named "x", "y", "z" and are
+  /// subscripted by the full index vector (single-assignment form).
+  Program access_program() const;
+};
+
+}  // namespace bitlevel::ir

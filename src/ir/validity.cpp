@@ -1,0 +1,203 @@
+#include "ir/validity.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "support/error.hpp"
+
+namespace bitlevel::ir {
+
+struct ValidityRegion::Node {
+  enum class Kind { All, Eq, Ne, In, Ge, Le, AffGe, And, Or, Not };
+  Kind kind = Kind::All;
+  std::size_t coord = 0;
+  Int value = 0;
+  std::vector<Int> values;
+  std::shared_ptr<const Node> lhs;
+  std::shared_ptr<const Node> rhs;
+};
+
+namespace {
+
+using Node = ValidityRegion::Node;
+
+bool eval(const Node& n, const IntVec& point);
+
+bool eval_child(const std::shared_ptr<const Node>& n, const IntVec& point) {
+  return eval(*n, point);
+}
+
+bool eval(const Node& n, const IntVec& point) {
+  switch (n.kind) {
+    case Node::Kind::All:
+      return true;
+    case Node::Kind::Eq:
+      BL_REQUIRE(n.coord < point.size(), "validity predicate coordinate out of range");
+      return point[n.coord] == n.value;
+    case Node::Kind::Ne:
+      BL_REQUIRE(n.coord < point.size(), "validity predicate coordinate out of range");
+      return point[n.coord] != n.value;
+    case Node::Kind::In:
+      BL_REQUIRE(n.coord < point.size(), "validity predicate coordinate out of range");
+      return std::find(n.values.begin(), n.values.end(), point[n.coord]) != n.values.end();
+    case Node::Kind::Ge:
+      BL_REQUIRE(n.coord < point.size(), "validity predicate coordinate out of range");
+      return point[n.coord] >= n.value;
+    case Node::Kind::Le:
+      BL_REQUIRE(n.coord < point.size(), "validity predicate coordinate out of range");
+      return point[n.coord] <= n.value;
+    case Node::Kind::AffGe:
+      return math::dot(n.values, point) >= n.value;
+    case Node::Kind::And:
+      return eval_child(n.lhs, point) && eval_child(n.rhs, point);
+    case Node::Kind::Or:
+      return eval_child(n.lhs, point) || eval_child(n.rhs, point);
+    case Node::Kind::Not:
+      return !eval_child(n.lhs, point);
+  }
+  return false;  // unreachable
+}
+
+std::string coord_name(std::size_t coord, const std::vector<std::string>& names) {
+  if (coord < names.size() && !names[coord].empty()) return names[coord];
+  return "j[" + std::to_string(coord) + "]";
+}
+
+std::string render(const Node& n, const std::vector<std::string>& names) {
+  switch (n.kind) {
+    case Node::Kind::All:
+      return "true";
+    case Node::Kind::Eq:
+      return coord_name(n.coord, names) + " == " + std::to_string(n.value);
+    case Node::Kind::Ne:
+      return coord_name(n.coord, names) + " != " + std::to_string(n.value);
+    case Node::Kind::In: {
+      std::ostringstream os;
+      os << coord_name(n.coord, names) << " in {";
+      for (std::size_t i = 0; i < n.values.size(); ++i) {
+        if (i != 0) os << ", ";
+        os << n.values[i];
+      }
+      os << '}';
+      return os.str();
+    }
+    case Node::Kind::Ge:
+      return coord_name(n.coord, names) + " >= " + std::to_string(n.value);
+    case Node::Kind::Le:
+      return coord_name(n.coord, names) + " <= " + std::to_string(n.value);
+    case Node::Kind::AffGe: {
+      std::ostringstream os;
+      bool first = true;
+      for (std::size_t i = 0; i < n.values.size(); ++i) {
+        if (n.values[i] == 0) continue;
+        if (!first) os << " + ";
+        if (n.values[i] != 1) os << n.values[i] << "*";
+        os << coord_name(i, names);
+        first = false;
+      }
+      if (first) os << "0";
+      os << " >= " << n.value;
+      return os.str();
+    }
+    case Node::Kind::And:
+      return "(" + render(*n.lhs, names) + " && " + render(*n.rhs, names) + ")";
+    case Node::Kind::Or:
+      return "(" + render(*n.lhs, names) + " || " + render(*n.rhs, names) + ")";
+    case Node::Kind::Not:
+      return "!(" + render(*n.lhs, names) + ")";
+  }
+  return "?";  // unreachable
+}
+
+std::shared_ptr<const Node> make_node(Node n) { return std::make_shared<const Node>(std::move(n)); }
+
+}  // namespace
+
+ValidityRegion ValidityRegion::all() {
+  static const auto node = make_node(Node{});
+  return ValidityRegion(node);
+}
+
+ValidityRegion ValidityRegion::coord_eq(std::size_t coord, Int value) {
+  Node n;
+  n.kind = Node::Kind::Eq;
+  n.coord = coord;
+  n.value = value;
+  return ValidityRegion(make_node(std::move(n)));
+}
+
+ValidityRegion ValidityRegion::coord_ne(std::size_t coord, Int value) {
+  Node n;
+  n.kind = Node::Kind::Ne;
+  n.coord = coord;
+  n.value = value;
+  return ValidityRegion(make_node(std::move(n)));
+}
+
+ValidityRegion ValidityRegion::coord_in(std::size_t coord, std::vector<Int> values) {
+  Node n;
+  n.kind = Node::Kind::In;
+  n.coord = coord;
+  n.values = std::move(values);
+  return ValidityRegion(make_node(std::move(n)));
+}
+
+ValidityRegion ValidityRegion::coord_ge(std::size_t coord, Int value) {
+  Node n;
+  n.kind = Node::Kind::Ge;
+  n.coord = coord;
+  n.value = value;
+  return ValidityRegion(make_node(std::move(n)));
+}
+
+ValidityRegion ValidityRegion::coord_le(std::size_t coord, Int value) {
+  Node n;
+  n.kind = Node::Kind::Le;
+  n.coord = coord;
+  n.value = value;
+  return ValidityRegion(make_node(std::move(n)));
+}
+
+ValidityRegion ValidityRegion::affine_ge(IntVec coeffs, Int value) {
+  Node n;
+  n.kind = Node::Kind::AffGe;
+  n.values = std::move(coeffs);
+  n.value = value;
+  return ValidityRegion(make_node(std::move(n)));
+}
+
+ValidityRegion ValidityRegion::operator&&(const ValidityRegion& other) const {
+  if (is_all()) return other;
+  if (other.is_all()) return *this;
+  Node n;
+  n.kind = Node::Kind::And;
+  n.lhs = node_;
+  n.rhs = other.node_;
+  return ValidityRegion(make_node(std::move(n)));
+}
+
+ValidityRegion ValidityRegion::operator||(const ValidityRegion& other) const {
+  if (is_all() || other.is_all()) return all();
+  Node n;
+  n.kind = Node::Kind::Or;
+  n.lhs = node_;
+  n.rhs = other.node_;
+  return ValidityRegion(make_node(std::move(n)));
+}
+
+ValidityRegion ValidityRegion::operator!() const {
+  Node n;
+  n.kind = Node::Kind::Not;
+  n.lhs = node_;
+  return ValidityRegion(make_node(std::move(n)));
+}
+
+bool ValidityRegion::contains(const IntVec& point) const { return eval(*node_, point); }
+
+bool ValidityRegion::is_all() const { return node_->kind == Node::Kind::All; }
+
+std::string ValidityRegion::to_string(const std::vector<std::string>& coord_names) const {
+  return render(*node_, coord_names);
+}
+
+}  // namespace bitlevel::ir

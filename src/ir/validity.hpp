@@ -1,0 +1,74 @@
+// Validity regions of conditional (non-uniform) dependence vectors.
+//
+// Bit-level expansion produces dependence vectors that hold only on
+// sub-regions of the index set — "valid at i1 = 1", "valid when j_n =
+// u_n and (i1 != 1 or i2 not in {1,2})" (the annotations under the
+// columns of D_I / D_II in eqs. 3.8-3.9 and Theorem 3.1). A
+// ValidityRegion is a small boolean expression over per-coordinate
+// equality tests, evaluated pointwise.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "math/int_vec.hpp"
+
+namespace bitlevel::ir {
+
+using math::Int;
+using math::IntVec;
+
+/// Predicate over index points, closed under conjunction, disjunction
+/// and negation. Immutable and cheaply copyable (shared expression
+/// tree).
+class ValidityRegion {
+ public:
+  /// Valid everywhere (a uniform dependence).
+  static ValidityRegion all();
+
+  /// point[coord] == value.
+  static ValidityRegion coord_eq(std::size_t coord, Int value);
+
+  /// point[coord] != value.
+  static ValidityRegion coord_ne(std::size_t coord, Int value);
+
+  /// point[coord] is one of the listed values.
+  static ValidityRegion coord_in(std::size_t coord, std::vector<Int> values);
+
+  /// point[coord] >= value.
+  static ValidityRegion coord_ge(std::size_t coord, Int value);
+
+  /// point[coord] <= value.
+  static ValidityRegion coord_le(std::size_t coord, Int value);
+
+  /// coeffs . point >= value — a half-space. Needed by structures whose
+  /// regions relate coordinates (e.g. the carry-save multiplier's
+  /// partial-product band i1 <= i2 <= i1 + p - 1).
+  static ValidityRegion affine_ge(IntVec coeffs, Int value);
+
+  ValidityRegion operator&&(const ValidityRegion& other) const;
+  ValidityRegion operator||(const ValidityRegion& other) const;
+  ValidityRegion operator!() const;
+
+  /// Evaluate at a concrete index point.
+  bool contains(const IntVec& point) const;
+
+  /// True when the region is the trivial "everywhere" predicate.
+  bool is_all() const;
+
+  /// Human-readable rendering, e.g. "(i[3] == 1 || i[4] != 2)".
+  /// Coordinates are printed with the supplied names when provided.
+  std::string to_string(const std::vector<std::string>& coord_names = {}) const;
+
+  /// Implementation detail, public only so the expression-tree walker in
+  /// the .cpp file can name it; not part of the supported API.
+  struct Node;
+
+ private:
+  explicit ValidityRegion(std::shared_ptr<const Node> node) : node_(std::move(node)) {}
+  std::shared_ptr<const Node> node_;
+};
+
+}  // namespace bitlevel::ir

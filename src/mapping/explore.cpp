@@ -1,0 +1,80 @@
+#include "mapping/explore.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "mapping/projection.hpp"
+#include "mapping/schedule.hpp"
+#include "support/error.hpp"
+
+namespace bitlevel::mapping {
+
+std::string DesignCandidate::to_string() const {
+  std::ostringstream os;
+  os << "projections:\n"
+     << projections.to_string() << "\nT = [S; Pi]:\n"
+     << t.to_string() << "\ntime " << total_time << ", PEs " << processors << ", max wire "
+     << max_wire;
+  return os.str();
+}
+
+ExploreResult explore_designs(const ir::IndexSet& domain, const ir::DependenceMatrix& deps,
+                              const InterconnectionPrimitives& prims, DesignObjective objective,
+                              const ExploreOptions& options) {
+  const std::size_t n = domain.dim();
+  const std::size_t array_dims = prims.dim();
+  BL_REQUIRE(array_dims < n, "target array must have fewer dimensions than the algorithm");
+  const std::size_t m = n - array_dims;  // projection directions per set
+
+  ExploreResult result;
+  std::vector<IntVec> candidates = options.seed_directions;
+  for (auto& d : candidate_directions(n, options.direction_support)) {
+    candidates.push_back(std::move(d));
+  }
+  const auto sets = independent_direction_sets(candidates, m, options.max_direction_sets);
+
+  for (const IntMat& u : sets) {
+    ++result.spaces_tried;
+    const IntMat space = space_mapping_from_projections(u);
+
+    ScheduleSearchOptions sopt;
+    sopt.coefficient_bound = options.schedule_bound;
+    sopt.keep = options.keep_per_space;
+    const auto found = search_schedules(domain, deps, space, prims, sopt);
+    result.schedules_examined += found.examined;
+
+    for (const auto& cand : found.feasible) {
+      const MappingMatrix t(space, cand.pi);
+      // Recover K to account the wires this design actually uses.
+      const auto report = check_feasible(domain, deps, t, prims);
+      BL_REQUIRE(report.ok, "search returned an infeasible schedule");
+      Int max_wire = 0;
+      for (std::size_t j = 0; j < prims.count(); ++j) {
+        bool used = false;
+        for (std::size_t i = 0; i < deps.size(); ++i) used = used || report.k->at(j, i) > 0;
+        if (used) max_wire = std::max(max_wire, math::l1_norm(prims.p.col(j)));
+      }
+      result.designs.push_back({u, t, cand.total_time, processor_count(space, domain),
+                                max_wire});
+    }
+  }
+
+  const auto better = [objective](const DesignCandidate& a, const DesignCandidate& b) {
+    switch (objective) {
+      case DesignObjective::kTime:
+        if (a.total_time != b.total_time) return a.total_time < b.total_time;
+        return a.processors < b.processors;
+      case DesignObjective::kProcessors:
+        if (a.processors != b.processors) return a.processors < b.processors;
+        return a.total_time < b.total_time;
+      case DesignObjective::kWire:
+        if (a.max_wire != b.max_wire) return a.max_wire < b.max_wire;
+        return a.total_time < b.total_time;
+    }
+    return false;  // unreachable
+  };
+  std::sort(result.designs.begin(), result.designs.end(), better);
+  return result;
+}
+
+}  // namespace bitlevel::mapping

@@ -1,0 +1,64 @@
+// Automatic design-space exploration.
+//
+// Ties the whole Section 4 machinery into one call: enumerate candidate
+// space mappings (from projection-direction sets), search linear
+// schedules for each, keep the Definition-4.1-feasible designs, and
+// rank them by the designer's objective (time, processors, wire
+// length). This is the "systematically programming or designing
+// bit-level processor arrays" workflow the paper's introduction promises.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ir/dependence.hpp"
+#include "mapping/feasibility.hpp"
+#include "mapping/search.hpp"
+
+namespace bitlevel::mapping {
+
+/// One complete feasible design.
+struct DesignCandidate {
+  IntMat projections;   ///< The direction set that induced S.
+  MappingMatrix t;      ///< [S; Pi], feasible per Definition 4.1.
+  Int total_time = 0;
+  Int processors = 0;
+  Int max_wire = 0;     ///< Longest primitive actually used by K.
+
+  std::string to_string() const;
+};
+
+/// Exploration knobs.
+struct ExploreOptions {
+  int direction_support = 2;      ///< Entry support of candidate directions.
+  std::size_t max_direction_sets = 64;  ///< Cap on S candidates tried.
+  Int schedule_bound = 2;         ///< Pi coefficient bound per S.
+  std::size_t keep_per_space = 1; ///< Best schedules kept per S.
+  /// Extra candidate directions prepended to the enumerated pool —
+  /// domain knowledge like the Fig. 4 projections [1,0,0,-p,0] whose
+  /// p-scaled entries the generic {-1,0,1} pool cannot express.
+  std::vector<IntVec> seed_directions;
+};
+
+/// Objective for the final ranking.
+enum class DesignObjective {
+  kTime,        ///< Minimize total execution time.
+  kProcessors,  ///< Minimize PE count (ties broken by time).
+  kWire,        ///< Minimize longest wire (ties broken by time).
+};
+
+/// Result of an exploration.
+struct ExploreResult {
+  std::vector<DesignCandidate> designs;  ///< Sorted by the objective.
+  std::size_t spaces_tried = 0;
+  std::size_t schedules_examined = 0;
+};
+
+/// Explore (k-1)-dimensional arrays for the algorithm (domain, deps) on
+/// a target with primitive set `prims` (prims.dim() == k-1).
+ExploreResult explore_designs(const ir::IndexSet& domain, const ir::DependenceMatrix& deps,
+                              const InterconnectionPrimitives& prims,
+                              DesignObjective objective = DesignObjective::kTime,
+                              const ExploreOptions& options = {});
+
+}  // namespace bitlevel::mapping

@@ -1,0 +1,130 @@
+#include "mapping/feasibility.hpp"
+
+#include <sstream>
+
+#include "math/bareiss.hpp"
+#include "math/diophantine.hpp"
+#include "math/gcd.hpp"
+#include "support/error.hpp"
+
+namespace bitlevel::mapping {
+
+std::string FeasibilityReport::to_string() const {
+  if (ok) return "feasible";
+  std::ostringstream os;
+  os << "infeasible:\n";
+  for (const auto& v : violations) os << "  - " << v << '\n';
+  return os.str();
+}
+
+bool injective_on(const ir::IndexSet& domain, const MappingMatrix& t) {
+  // T j1 = T j2 with j1 != j2 in J  <=>  a nonzero integer null vector
+  // of T lies in the difference box J - J. Enumerate null vectors inside
+  // the box; only the zero vector may appear.
+  const std::size_t n = t.n();
+  BL_REQUIRE(domain.dim() == n, "domain dimension must match the mapping");
+  IntVec ext(n, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    ext[i] = math::checked_sub(domain.upper()[i], domain.lower()[i]);
+  }
+  IntVec lo = math::neg(ext);
+  const auto solutions =
+      math::enumerate_solutions_in_box(t.matrix(), IntVec(t.k(), 0), lo, ext, 2);
+  // The zero vector always solves; a second solution is a collision.
+  return solutions.size() <= 1;
+}
+
+FeasibilityReport check_feasible(const ir::IndexSet& domain, const ir::DependenceMatrix& deps,
+                                 const MappingMatrix& t, const InterconnectionPrimitives& prims,
+                                 const FeasibilityOptions& options) {
+  FeasibilityReport report;
+  BL_REQUIRE(deps.empty() || deps.dim() == t.n(),
+             "dependence dimension must match the mapping");
+  BL_REQUIRE(prims.dim() + 1 == t.k(),
+             "primitive dimension must match the array dimension k-1");
+
+  const IntVec pi = t.schedule();
+  const IntMat d = deps.as_matrix();
+
+  // (1) Pi * D > 0.
+  IntVec pi_d(deps.size(), 0);
+  for (std::size_t i = 0; i < deps.size(); ++i) {
+    pi_d[i] = math::dot(pi, d.col(i));
+    if (pi_d[i] <= 0) {
+      std::ostringstream os;
+      os << "condition 1: Pi * d" << (i + 1) << " = " << pi_d[i] << " <= 0 (cause "
+         << deps[i].cause << ")";
+      report.violations.push_back(os.str());
+    }
+  }
+
+  // (2) S*D = P*K with the utilization constraint (4.1). Only checkable
+  // once every column has positive slack.
+  if (report.violations.empty()) {
+    const IntMat sd = t.space().mul(d);
+    std::size_t bad = 0;
+    auto k = solve_k_matrix(prims, sd, pi_d, &bad);
+    if (!k) {
+      std::ostringstream os;
+      os << "condition 2: S * d" << (bad + 1) << " = " << math::to_string(sd.col(bad))
+         << " not realizable over " << prims.name << " within " << pi_d[bad] << " hops";
+      report.violations.push_back(os.str());
+    } else {
+      report.k = std::move(*k);
+    }
+  }
+
+  // (4) rank(T) = k (checked before the costlier injectivity scan).
+  if (math::rank(t.matrix()) != t.k()) {
+    report.violations.push_back("condition 4: rank(T) < k (maps into a lower-dimensional array)");
+  }
+
+  // (3) injectivity on J.
+  if (options.check_injectivity && !injective_on(domain, t)) {
+    report.violations.push_back(
+        "condition 3: two index points map to the same (processor, time)");
+  }
+
+  // (5) entries of T relatively prime.
+  if (math::gcd_all(t.matrix().data()) != 1) {
+    report.violations.push_back("condition 5: entries of T share a common factor");
+  }
+
+  report.ok = report.violations.empty();
+  return report;
+}
+
+std::string describe_routing(const ir::DependenceMatrix& deps, const MappingMatrix& t,
+                             const InterconnectionPrimitives& prims, const IntMat& k) {
+  BL_REQUIRE(k.rows() == prims.count() && k.cols() == deps.size(),
+             "routing matrix shape must be (primitives x dependences)");
+  const IntMat space = t.space();
+  const IntVec pi = t.schedule();
+  std::ostringstream os;
+  for (std::size_t i = 0; i < deps.size(); ++i) {
+    const auto& col = deps[i];
+    const IntVec sd = space.mul(col.d);
+    os << "d" << (i + 1) << " (" << col.cause << "): displacement "
+       << math::to_string(sd);
+    Int hops = 0;
+    bool first = true;
+    for (std::size_t j = 0; j < prims.count(); ++j) {
+      const Int uses = k.at(j, i);
+      if (uses == 0) continue;
+      os << (first ? " via " : " + ");
+      if (uses > 1) os << uses << " x ";
+      os << math::to_string(prims.p.col(j));
+      hops = math::checked_add(hops, uses);
+      first = false;
+    }
+    if (first) os << " (stationary)";
+    const Int slack = math::checked_sub(math::dot(pi, col.d), hops);
+    if (slack > 0) {
+      os << ", " << slack << (math::is_zero(sd) ? " register(s)" : " buffer register(s)");
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace bitlevel::mapping

@@ -1,0 +1,59 @@
+// The five feasibility conditions of Definition 4.1.
+//
+// check_feasible() verifies, for an algorithm (J, D) and a candidate
+// mapping T = [S; Pi] onto an array with primitives P:
+//   (1) Pi * D > 0           — dependences respect the schedule;
+//   (2) S*D = P*K with (4.1) — every displacement realizable in the
+//                              link budget Pi * d_i;
+//   (3) injectivity on J     — no two computations collide in
+//                              (processor, time);
+//   (4) rank(T) = k          — genuinely (k-1)-dimensional array;
+//   (5) gcd of T's entries 1 — no globally idle beats.
+// The report lists each violated condition with a precise reason, so
+// infeasible designs fail loudly and debuggably.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ir/dependence.hpp"
+#include "ir/index_set.hpp"
+#include "mapping/kmatrix.hpp"
+#include "mapping/transform.hpp"
+
+namespace bitlevel::mapping {
+
+/// Outcome of a feasibility check.
+struct FeasibilityReport {
+  bool ok = false;
+  std::vector<std::string> violations;  ///< Human-readable, one per failure.
+  std::optional<IntMat> k;              ///< The K matrix when condition 2 holds.
+
+  std::string to_string() const;
+};
+
+/// Options for the expensive parts of the check.
+struct FeasibilityOptions {
+  /// Verify condition 3 exhaustively over the difference box (exact).
+  /// When false, only the necessary rank-based screen runs.
+  bool check_injectivity = true;
+};
+
+/// Check all five conditions of Definition 4.1.
+FeasibilityReport check_feasible(const ir::IndexSet& domain, const ir::DependenceMatrix& deps,
+                                 const MappingMatrix& t, const InterconnectionPrimitives& prims,
+                                 const FeasibilityOptions& options = {});
+
+/// Condition 3 alone: is T injective on the box `domain`? Exact: T's
+/// integer null vectors are enumerated inside the difference box.
+bool injective_on(const ir::IndexSet& domain, const MappingMatrix& t);
+
+/// Human-readable wiring summary of a routed design — the textual form
+/// of the paper's Fig. 4/5 interconnect drawings: per dependence column,
+/// its cause, the space displacement S*d, the primitive route from K,
+/// and the buffer registers implied by the schedule slack.
+std::string describe_routing(const ir::DependenceMatrix& deps, const MappingMatrix& t,
+                             const InterconnectionPrimitives& prims, const IntMat& k);
+
+}  // namespace bitlevel::mapping

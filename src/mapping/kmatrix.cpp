@@ -1,0 +1,75 @@
+#include "mapping/kmatrix.hpp"
+
+#include "support/error.hpp"
+
+namespace bitlevel::mapping {
+
+namespace {
+
+// Depth-first search over primitive counts: at `index`, the remaining
+// displacement must be covered by primitives index.. with at most
+// `budget` further hops. Returns the count vector through `counts` when
+// a solution with exactly the probed hop total exists.
+bool cover(const IntMat& prims, std::size_t index, IntVec& remaining, Int budget,
+           IntVec& counts) {
+  if (math::is_zero(remaining)) return true;
+  if (index == prims.cols() || budget == 0) return false;
+  const IntVec prim = prims.col(index);
+  if (math::is_zero(prim)) {
+    // Stationary link: never moves the datum; skip for nonzero targets.
+    return cover(prims, index + 1, remaining, budget, counts);
+  }
+  for (Int use = 0; use <= budget; ++use) {
+    if (use > 0) {
+      for (std::size_t r = 0; r < remaining.size(); ++r) {
+        remaining[r] = math::checked_sub(remaining[r], prim[r]);
+      }
+    }
+    counts[index] = use;
+    if (cover(prims, index + 1, remaining, budget - use, counts)) return true;
+  }
+  // Restore the displacement consumed by the final iteration.
+  for (std::size_t r = 0; r < remaining.size(); ++r) {
+    remaining[r] = math::checked_add(remaining[r], math::checked_mul(budget, prim[r]));
+  }
+  counts[index] = 0;
+  return false;
+}
+
+}  // namespace
+
+std::optional<HopDecomposition> decompose_displacement(const InterconnectionPrimitives& prims,
+                                                       const IntVec& target, Int budget) {
+  BL_REQUIRE(target.size() == prims.dim(), "displacement dimension must match the primitives");
+  BL_REQUIRE(budget >= 0, "hop budget must be nonnegative");
+  // Probe increasing hop totals so the first hit is minimal.
+  for (Int hops = 0; hops <= budget; ++hops) {
+    IntVec counts(prims.count(), 0);
+    IntVec remaining = target;
+    if (cover(prims.p, 0, remaining, hops, counts)) {
+      // cover() may use fewer hops than probed; recompute the total.
+      Int used = 0;
+      for (Int c : counts) used = math::checked_add(used, c);
+      return HopDecomposition{std::move(counts), used};
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<IntMat> solve_k_matrix(const InterconnectionPrimitives& prims, const IntMat& sd,
+                                     const IntVec& pi_d, std::size_t* bad_column) {
+  BL_REQUIRE(sd.rows() == prims.dim(), "S*D row count must match the primitive dimension");
+  BL_REQUIRE(pi_d.size() == sd.cols(), "schedule slack must have one entry per dependence");
+  IntMat k(prims.count(), sd.cols());
+  for (std::size_t i = 0; i < sd.cols(); ++i) {
+    const auto dec = decompose_displacement(prims, sd.col(i), pi_d[i]);
+    if (!dec) {
+      if (bad_column != nullptr) *bad_column = i;
+      return std::nullopt;
+    }
+    k.set_col(i, dec->counts);
+  }
+  return k;
+}
+
+}  // namespace bitlevel::mapping

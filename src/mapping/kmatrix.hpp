@@ -1,0 +1,37 @@
+// Solving S*D = P*K under the utilization constraint (4.1).
+//
+// Column i of K decomposes the space displacement S*d_i into a
+// multiset of interconnection primitives; the datum then needs
+// sum_j k_ji hops, which must not exceed the Pi*d_i time units between
+// production and consumption. The solver finds, per column, a
+// nonnegative integer decomposition with the fewest hops (bounded
+// depth-first search — dimensions and budgets are tiny).
+#pragma once
+
+#include <optional>
+
+#include "mapping/primitives.hpp"
+
+namespace bitlevel::mapping {
+
+/// Decomposition of one displacement: counts per primitive.
+struct HopDecomposition {
+  IntVec counts;  ///< counts[j] = uses of primitive j.
+  Int hops = 0;   ///< sum of counts.
+};
+
+/// Minimal-hop decomposition of `target` over the primitives, with at
+/// most `budget` hops. Returns std::nullopt when impossible. The zero
+/// primitive (stationary) is never chosen by the minimal solution for a
+/// nonzero target and contributes zero movement for a zero target.
+std::optional<HopDecomposition> decompose_displacement(const InterconnectionPrimitives& prims,
+                                                       const IntVec& target, Int budget);
+
+/// Solve S*D = P*K columnwise under (4.1): k_ji >= 0 and
+/// sum_j k_ji <= pi_d[i] (the schedule slack of dependence i).
+/// Returns the full K (prims.count() x sd.cols()), or std::nullopt with
+/// the index of the first infeasible column in *bad_column.
+std::optional<IntMat> solve_k_matrix(const InterconnectionPrimitives& prims, const IntMat& sd,
+                                     const IntVec& pi_d, std::size_t* bad_column = nullptr);
+
+}  // namespace bitlevel::mapping

@@ -1,0 +1,83 @@
+#include "mapping/optimality.hpp"
+
+#include "math/gcd.hpp"
+#include "math/simplex.hpp"
+#include "mapping/schedule.hpp"
+#include "support/error.hpp"
+
+namespace bitlevel::mapping {
+
+namespace {
+
+math::LpSolution schedule_lp(const ir::IndexSet& domain, const ir::DependenceMatrix& deps) {
+  const std::size_t n = domain.dim();
+  BL_REQUIRE(!deps.empty(), "optimality needs at least one dependence");
+  BL_REQUIRE(deps.dim() == n, "dependence dimension must match the domain");
+
+  // Variables: u_0..u_{n-1}, v_0..v_{n-1} with pi = u - v.
+  math::LinearProgram lp;
+  lp.objective.assign(2 * n, math::Rational(0));
+  for (std::size_t i = 0; i < n; ++i) {
+    const math::Rational extent(domain.upper()[i] - domain.lower()[i]);
+    lp.objective[i] = extent;
+    lp.objective[n + i] = extent;
+  }
+  for (const auto& col : deps.columns()) {
+    std::vector<math::Rational> row(2 * n, math::Rational(0));
+    for (std::size_t i = 0; i < n; ++i) {
+      row[i] = math::Rational(col.d[i]);
+      row[n + i] = math::Rational(-col.d[i]);
+    }
+    lp.constraints.push_back(std::move(row));
+    lp.bounds.emplace_back(1);
+  }
+  return math::solve_linear_program(lp);
+}
+
+}  // namespace
+
+math::Rational schedule_span_lower_bound(const ir::IndexSet& domain,
+                                         const ir::DependenceMatrix& deps) {
+  const auto sol = schedule_lp(domain, deps);
+  if (sol.status == math::LpStatus::kInfeasible) {
+    throw NotFoundError("no linear schedule orders these dependences (cone not pointed)");
+  }
+  BL_REQUIRE(sol.status == math::LpStatus::kOptimal, "schedule LP cannot be unbounded");
+  return sol.value;
+}
+
+OptimalityCertificate certify_time_optimal(const ir::IndexSet& domain,
+                                           const ir::DependenceMatrix& deps, const IntVec& pi) {
+  BL_REQUIRE(pi.size() == domain.dim(), "schedule dimension must match the domain");
+  for (const auto& col : deps.columns()) {
+    BL_REQUIRE(math::dot(pi, col.d) > 0, "candidate schedule violates condition 1");
+  }
+
+  const auto sol = schedule_lp(domain, deps);
+  BL_REQUIRE(sol.status == math::LpStatus::kOptimal,
+             "schedule LP must be solvable when a valid candidate exists");
+
+  OptimalityCertificate cert;
+  cert.lp_bound = sol.value;
+  // ceil(num/den) for a nonnegative rational.
+  cert.lower_bound = math::ceil_div(sol.value.num(), sol.value.den()) + 1;
+  cert.achieved = execution_time(pi, domain);
+  cert.certified = cert.achieved == cert.lower_bound;
+
+  // Report the fractional optimum pi* = u - v on a common denominator.
+  const std::size_t n = domain.dim();
+  math::Int den = 1;
+  for (std::size_t i = 0; i < n; ++i) {
+    den = math::lcm(den, (sol.x[i] - sol.x[n + i]).den());
+  }
+  if (den == 0) den = 1;
+  cert.lp_schedule_den = den;
+  cert.lp_schedule_num.assign(n, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    const math::Rational p = sol.x[i] - sol.x[n + i];
+    cert.lp_schedule_num[i] = p.num() * (den / p.den());
+  }
+  return cert;
+}
+
+}  // namespace bitlevel::mapping

@@ -1,0 +1,44 @@
+// Schedule-optimality certification (the rigorous form of Theorem 4.5).
+//
+// For a box domain J and dependence matrix D, every valid linear
+// schedule satisfies Pi * d >= 1 per column (condition 1 with integer
+// Pi), and its total time is sum_i extent_i * |pi_i| + 1. Relaxing Pi
+// to rationals gives the LP
+//     minimize  sum_i extent_i * (u_i + v_i)
+//     s.t.      (u - v) . d_j >= 1  for every column j,  u, v >= 0
+// whose optimum L lower-bounds every integer schedule's span; hence any
+// achieved schedule with span == ceil(L) is provably time optimal among
+// ALL linear schedules — no coefficient bound, no search horizon. This
+// turns the paper's deferred Theorem 4.5 proof into a checkable
+// certificate.
+#pragma once
+
+#include "ir/dependence.hpp"
+#include "ir/index_set.hpp"
+#include "math/rational.hpp"
+#include "mapping/transform.hpp"
+
+namespace bitlevel::mapping {
+
+/// Result of an optimality check.
+struct OptimalityCertificate {
+  math::Rational lp_bound;   ///< LP optimum L (span, excluding the +1).
+  Int lower_bound = 0;       ///< ceil(L) + 1: no integer schedule is faster.
+  Int achieved = 0;          ///< The candidate schedule's total time.
+  bool certified = false;    ///< achieved == lower_bound.
+  IntVec lp_schedule_num;    ///< Numerators of an optimal fractional Pi.
+  Int lp_schedule_den = 1;   ///< Common denominator.
+};
+
+/// Rational lower bound on the schedule span (time minus one) of any
+/// linear schedule satisfying condition 1. Throws NotFoundError when no
+/// schedule exists at all (the LP is infeasible, i.e. the dependence
+/// cone is not pointed).
+math::Rational schedule_span_lower_bound(const ir::IndexSet& domain,
+                                         const ir::DependenceMatrix& deps);
+
+/// Certify (or refute) that `pi` is a time-optimal linear schedule.
+OptimalityCertificate certify_time_optimal(const ir::IndexSet& domain,
+                                           const ir::DependenceMatrix& deps, const IntVec& pi);
+
+}  // namespace bitlevel::mapping

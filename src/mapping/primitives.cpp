@@ -1,0 +1,30 @@
+#include "mapping/primitives.hpp"
+
+#include <algorithm>
+
+#include "support/error.hpp"
+
+namespace bitlevel::mapping {
+
+Int InterconnectionPrimitives::max_wire_length() const {
+  Int best = 0;
+  for (std::size_t c = 0; c < p.cols(); ++c) best = std::max(best, math::l1_norm(p.col(c)));
+  return best;
+}
+
+InterconnectionPrimitives InterconnectionPrimitives::mesh2d() {
+  return {IntMat{{1, -1, 0, 0, 0}, {0, 0, 1, -1, 0}}, "mesh2d"};
+}
+
+InterconnectionPrimitives InterconnectionPrimitives::mesh2d_diag() {
+  // The paper's P' (4.7): [1,0], [0,1], [1,-1], [0,0].
+  return {IntMat{{1, 0, 1, 0}, {0, 1, -1, 0}}, "mesh2d+diag"};
+}
+
+InterconnectionPrimitives InterconnectionPrimitives::fig4(Int span) {
+  BL_REQUIRE(span >= 1, "long-wire span must be >= 1");
+  // The paper's P (4.3): [p,0], [0,p], [0,0], [1,0], [0,1], [1,-1].
+  return {IntMat{{span, 0, 0, 1, 0, 1}, {0, span, 0, 0, 1, -1}}, "fig4-long-wires"};
+}
+
+}  // namespace bitlevel::mapping

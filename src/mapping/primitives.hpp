@@ -1,0 +1,44 @@
+// Interconnection-primitive matrices.
+//
+// P describes the physical links of the target processor array: each
+// column is a displacement a datum can travel in one time unit. The
+// zero column models stationary data (a register, no wire). Long wires
+// (displacement p) are what the time-optimal Fig. 4 architecture trades
+// for speed; Fig. 5 does without them.
+#pragma once
+
+#include <string>
+
+#include "math/int_mat.hpp"
+
+namespace bitlevel::mapping {
+
+using math::Int;
+using math::IntMat;
+using math::IntVec;
+
+/// The link set of a target array; columns of `p` are primitives.
+struct InterconnectionPrimitives {
+  IntMat p;
+  std::string name;
+
+  std::size_t dim() const { return p.rows(); }
+  std::size_t count() const { return p.cols(); }
+
+  /// Length of the longest wire (max L1 norm of any primitive).
+  Int max_wire_length() const;
+
+  /// Four nearest neighbours (E, W, S, N) plus the stationary link.
+  static InterconnectionPrimitives mesh2d();
+
+  /// Nearest neighbours, stationary, plus the south-west diagonal
+  /// [1, -1] used by the bit-level arrays (Fig. 5's P' of eq. 4.7).
+  static InterconnectionPrimitives mesh2d_diag();
+
+  /// Fig. 4's P of eq. 4.3: long wires of span `span` in both
+  /// dimensions, stationary, unit steps, and the diagonal:
+  /// columns [span,0], [0,span], [0,0], [1,0], [0,1], [1,-1].
+  static InterconnectionPrimitives fig4(Int span);
+};
+
+}  // namespace bitlevel::mapping

@@ -1,0 +1,89 @@
+#include "mapping/projection.hpp"
+
+#include "math/bareiss.hpp"
+#include "math/gcd.hpp"
+#include "math/hnf.hpp"
+#include "math/int_vec.hpp"
+#include "support/error.hpp"
+
+namespace bitlevel::mapping {
+
+IntMat space_mapping_from_projections(const IntMat& directions) {
+  BL_REQUIRE(directions.cols() >= 1 && directions.cols() < directions.rows(),
+             "need between 1 and n-1 projection directions");
+  BL_REQUIRE(math::rank(directions) == directions.cols(),
+             "projection directions must be linearly independent");
+  // Rows of S = basis of null(U^T).
+  const IntMat basis = math::null_space_basis(directions.transpose());
+  return basis.transpose();
+}
+
+std::vector<IntVec> candidate_directions(std::size_t n, int max_support) {
+  BL_REQUIRE(n >= 1 && max_support >= 1, "invalid direction enumeration request");
+  std::vector<IntVec> out;
+  // Unit vectors first: they produce the axis-projection mappings the
+  // literature uses most.
+  for (std::size_t i = 0; i < n; ++i) {
+    IntVec e(n, 0);
+    e[i] = 1;
+    out.push_back(std::move(e));
+  }
+  // Then every other primitive lex-positive {-1,0,1} vector with small
+  // support, in odometer order.
+  IntVec v(n, -1);
+  while (true) {
+    int support = 0;
+    for (Int x : v) support += (x != 0);
+    const bool unit = support == 1;
+    if (support >= 2 && support <= max_support && math::lex_positive(v) &&
+        math::content(v) == 1 && !unit) {
+      out.push_back(v);
+    }
+    std::size_t k = n;
+    bool advanced = false;
+    while (k-- > 0) {
+      if (v[k] < 1) {
+        ++v[k];
+        advanced = true;
+        break;
+      }
+      v[k] = -1;
+    }
+    if (!advanced) break;
+  }
+  return out;
+}
+
+namespace {
+
+void subsets_rec(const std::vector<IntVec>& candidates, std::size_t m, std::size_t start,
+                 std::vector<std::size_t>& picked, std::vector<IntMat>& out, std::size_t limit) {
+  if (limit != 0 && out.size() >= limit) return;
+  if (picked.size() == m) {
+    std::vector<IntVec> cols;
+    cols.reserve(m);
+    for (std::size_t i : picked) cols.push_back(candidates[i]);
+    IntMat u = IntMat::from_columns(cols);
+    if (math::rank(u) == m) out.push_back(std::move(u));
+    return;
+  }
+  for (std::size_t i = start; i < candidates.size(); ++i) {
+    picked.push_back(i);
+    subsets_rec(candidates, m, i + 1, picked, out, limit);
+    picked.pop_back();
+    if (limit != 0 && out.size() >= limit) return;
+  }
+}
+
+}  // namespace
+
+std::vector<IntMat> independent_direction_sets(const std::vector<IntVec>& candidates,
+                                               std::size_t m, std::size_t limit) {
+  BL_REQUIRE(m >= 1, "need at least one direction per set");
+  std::vector<IntMat> out;
+  std::vector<std::size_t> picked;
+  subsets_rec(candidates, m, 0, picked, out, limit);
+  return out;
+}
+
+}  // namespace bitlevel::mapping

@@ -1,0 +1,44 @@
+// Projection-based space mappings.
+//
+// Classical systolic design picks *projection directions*: index points
+// that differ by a projection vector execute on the same processor. For
+// an n-dimensional algorithm mapped to a (k-1)-dimensional array one
+// chooses m = n - (k-1) linearly independent directions U = [u1 ... um];
+// the space mapping S is then any integer basis of
+//     { r in Z^n : r . u_i = 0 for all i }  =  null(U^T),
+// so that S*U = 0 and rank(S) = k-1. This module builds S from
+// directions and enumerates small candidate direction sets — the
+// design-space exploration the paper's references [5, 6, 10] describe,
+// here driving the explorer in explore.hpp.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "math/int_mat.hpp"
+
+namespace bitlevel::mapping {
+
+using math::Int;
+using math::IntMat;
+using math::IntVec;
+
+/// Space mapping from projection directions: the rows of the result
+/// span the integer null space of directions^T. Requires the directions
+/// (columns of `directions`) to be linearly independent; the result has
+/// n - directions.cols() rows. Throws PreconditionError on dependent
+/// directions.
+IntMat space_mapping_from_projections(const IntMat& directions);
+
+/// Candidate projection directions for exploration: all primitive
+/// lexicographically-positive vectors with entries in [-1, 1] and at
+/// most `max_support` nonzero entries (unit vectors first).
+std::vector<IntVec> candidate_directions(std::size_t n, int max_support = 2);
+
+/// All size-m subsets of `candidates` that are linearly independent,
+/// yielded as n x m matrices; `limit` caps the number returned
+/// (0 = unlimited).
+std::vector<IntMat> independent_direction_sets(const std::vector<IntVec>& candidates,
+                                               std::size_t m, std::size_t limit = 0);
+
+}  // namespace bitlevel::mapping

@@ -1,0 +1,82 @@
+#include "mapping/schedule.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "support/error.hpp"
+
+namespace bitlevel::mapping {
+
+Int execution_time(const IntVec& pi, const ir::IndexSet& domain) {
+  BL_REQUIRE(pi.size() == domain.dim(), "schedule dimension must match the domain");
+  Int span = 0;
+  for (std::size_t i = 0; i < pi.size(); ++i) {
+    const Int extent = math::checked_sub(domain.upper()[i], domain.lower()[i]);
+    const Int mag = pi[i] < 0 ? math::checked_neg(pi[i]) : pi[i];
+    span = math::checked_add(span, math::checked_mul(mag, extent));
+  }
+  return math::checked_add(span, 1);
+}
+
+Int processor_count(const IntMat& space, const ir::IndexSet& domain) {
+  std::set<IntVec> cells;
+  domain.for_each([&](const IntVec& q) {
+    cells.insert(space.mul(q));
+    return true;
+  });
+  return static_cast<Int>(cells.size());
+}
+
+Int min_initiation_interval(const MappingMatrix& t, const ir::IndexSet& domain) {
+  const IntMat space = t.space();
+  const IntVec pi = t.schedule();
+  std::map<IntVec, std::pair<Int, Int>> window;  // PE -> (min t, max t)
+  domain.for_each([&](const IntVec& q) {
+    const Int when = math::dot(pi, q);
+    auto [it, inserted] = window.insert({space.mul(q), {when, when}});
+    if (!inserted) {
+      it->second.first = std::min(it->second.first, when);
+      it->second.second = std::max(it->second.second, when);
+    }
+    return true;
+  });
+  Int interval = 1;
+  for (const auto& [pe, w] : window) {
+    interval = std::max(interval, w.second - w.first + 1);
+  }
+  return interval;
+}
+
+OccupancyStats occupancy(const MappingMatrix& t, const ir::IndexSet& domain) {
+  OccupancyStats stats;
+  stats.total_time = execution_time(t.schedule(), domain);
+  stats.computations = domain.size();
+
+  std::set<IntVec> cells;
+  std::set<IntVec> spacetime;
+  std::map<Int, Int> per_step;
+  const IntMat space = t.space();
+  const IntVec pi = t.schedule();
+  domain.for_each([&](const IntVec& q) {
+    IntVec cell = space.mul(q);
+    const Int when = math::dot(pi, q);
+    IntVec st = cell;
+    st.push_back(when);
+    BL_REQUIRE(spacetime.insert(st).second,
+               "computational conflict: two index points share (processor, time)");
+    cells.insert(std::move(cell));
+    per_step[when] += 1;
+    return true;
+  });
+  stats.processors = static_cast<Int>(cells.size());
+  for (const auto& [when, count] : per_step) {
+    if (count > stats.peak_parallelism) stats.peak_parallelism = count;
+  }
+  stats.utilization = static_cast<double>(stats.computations) /
+                      (static_cast<double>(stats.processors) *
+                       static_cast<double>(stats.total_time));
+  return stats;
+}
+
+}  // namespace bitlevel::mapping

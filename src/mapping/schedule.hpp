@@ -1,0 +1,40 @@
+// Schedule metrics: total execution time, processor counts, utilization.
+#pragma once
+
+#include <map>
+
+#include "ir/index_set.hpp"
+#include "mapping/transform.hpp"
+
+namespace bitlevel::mapping {
+
+/// Total execution time of a linear schedule over a box domain:
+///   t = max{ Pi (q1 - q2) : q1, q2 in J } + 1     (eq. 4.5)
+/// which for a box is  sum_i |pi_i| * (hi_i - lo_i) + 1.
+Int execution_time(const IntVec& pi, const ir::IndexSet& domain);
+
+/// Number of distinct processors |{ S q : q in J }| (by enumeration).
+Int processor_count(const IntMat& space, const ir::IndexSet& domain);
+
+/// Space-time occupancy statistics of a mapping over a domain.
+struct OccupancyStats {
+  Int total_time = 0;        ///< execution_time(Pi, J).
+  Int processors = 0;        ///< |S(J)|.
+  Int computations = 0;      ///< |J|.
+  Int peak_parallelism = 0;  ///< max computations in one time step.
+  double utilization = 0.0;  ///< computations / (processors * total_time).
+};
+
+/// Compute occupancy by enumerating the domain (also re-verifies that no
+/// (processor, time) pair is used twice — a conflict would mean the
+/// mapping is infeasible).
+OccupancyStats occupancy(const MappingMatrix& t, const ir::IndexSet& domain);
+
+/// Minimal initiation interval for problem pipelining: the largest
+/// per-processor busy window max(Pi q) - min(Pi q) + 1 over the PEs of
+/// the mapping. Offsetting successive problem instances by this many
+/// cycles keeps their busy windows disjoint on every PE, so streaming
+/// is conflict-free (each instance individually satisfies condition 3).
+Int min_initiation_interval(const MappingMatrix& t, const ir::IndexSet& domain);
+
+}  // namespace bitlevel::mapping

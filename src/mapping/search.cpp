@@ -1,0 +1,63 @@
+#include "mapping/search.hpp"
+
+#include <algorithm>
+
+#include "mapping/schedule.hpp"
+#include "support/error.hpp"
+
+namespace bitlevel::mapping {
+
+ScheduleSearchResult search_schedules(const ir::IndexSet& domain,
+                                      const ir::DependenceMatrix& deps, const IntMat& space,
+                                      const InterconnectionPrimitives& prims,
+                                      const ScheduleSearchOptions& options) {
+  const std::size_t n = domain.dim();
+  BL_REQUIRE(options.coefficient_bound >= 1, "coefficient bound must be >= 1");
+
+  ScheduleSearchResult result;
+  const Int b = options.coefficient_bound;
+  IntVec pi(n, -b);
+  const FeasibilityOptions fopts{options.check_injectivity};
+
+  while (true) {
+    ++result.examined;
+    // Quick screens before the full feasibility machinery: Pi must be
+    // nonzero and order every dependence forward.
+    bool plausible = !math::is_zero(pi);
+    if (plausible) {
+      for (std::size_t i = 0; i < deps.size() && plausible; ++i) {
+        plausible = math::dot(pi, deps[i].d) > 0;
+      }
+    }
+    if (plausible) {
+      const MappingMatrix t(space, pi);
+      const FeasibilityReport report = check_feasible(domain, deps, t, prims, fopts);
+      if (report.ok) {
+        result.feasible.push_back({pi, execution_time(pi, domain)});
+      }
+    }
+    // Advance the odometer; stop when every digit wraps.
+    bool advanced = false;
+    for (std::size_t k = n; k-- > 0;) {
+      if (pi[k] < b) {
+        ++pi[k];
+        advanced = true;
+        break;
+      }
+      pi[k] = -b;
+    }
+    if (!advanced) break;
+  }
+
+  std::sort(result.feasible.begin(), result.feasible.end(),
+            [](const ScheduleCandidate& a, const ScheduleCandidate& b2) {
+              if (a.total_time != b2.total_time) return a.total_time < b2.total_time;
+              return a.pi < b2.pi;
+            });
+  if (options.keep != 0 && result.feasible.size() > options.keep) {
+    result.feasible.resize(options.keep);
+  }
+  return result;
+}
+
+}  // namespace bitlevel::mapping

@@ -1,0 +1,43 @@
+// Exhaustive schedule search.
+//
+// Theorem 4.5 claims T of (4.2) is time optimal. The search enumerates
+// every integer schedule row Pi with bounded coefficients, keeps those
+// satisfying the feasibility conditions against a fixed space mapping S
+// and primitive set P, and ranks them by total execution time — the
+// empirical check of the optimality claim (bench E8).
+#pragma once
+
+#include <vector>
+
+#include "ir/dependence.hpp"
+#include "mapping/feasibility.hpp"
+
+namespace bitlevel::mapping {
+
+/// One feasible schedule found by the search.
+struct ScheduleCandidate {
+  IntVec pi;
+  Int total_time = 0;
+};
+
+/// Search options.
+struct ScheduleSearchOptions {
+  Int coefficient_bound = 2;      ///< Enumerate pi_i in [-bound, bound].
+  bool check_injectivity = true;  ///< Enforce condition 3 for [S; Pi].
+  std::size_t keep = 0;           ///< Keep only the best N (0 = all).
+};
+
+/// Result of a schedule search.
+struct ScheduleSearchResult {
+  std::vector<ScheduleCandidate> feasible;  ///< Sorted by total_time.
+  std::size_t examined = 0;                 ///< Schedules enumerated.
+};
+
+/// Enumerate schedules for the fixed space mapping `space` over the
+/// algorithm (domain, deps) and array `prims`.
+ScheduleSearchResult search_schedules(const ir::IndexSet& domain,
+                                      const ir::DependenceMatrix& deps, const IntMat& space,
+                                      const InterconnectionPrimitives& prims,
+                                      const ScheduleSearchOptions& options = {});
+
+}  // namespace bitlevel::mapping

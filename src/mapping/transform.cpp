@@ -1,0 +1,29 @@
+#include "mapping/transform.hpp"
+
+#include "support/error.hpp"
+
+namespace bitlevel::mapping {
+
+MappingMatrix::MappingMatrix(IntMat t) : t_(std::move(t)) {
+  BL_REQUIRE(t_.rows() >= 1, "mapping matrix needs at least the schedule row");
+  BL_REQUIRE(t_.cols() >= 1, "mapping matrix needs at least one column");
+}
+
+MappingMatrix::MappingMatrix(const IntMat& space, const IntVec& schedule)
+    : t_(space.vstack(IntMat::from_rows({schedule}))) {}
+
+IntMat MappingMatrix::space() const {
+  IntMat s(t_.rows() - 1, t_.cols());
+  for (std::size_t r = 0; r + 1 < t_.rows(); ++r) s.set_row(r, t_.row(r));
+  return s;
+}
+
+IntVec MappingMatrix::schedule() const { return t_.row(t_.rows() - 1); }
+
+IntVec MappingMatrix::processor(const IntVec& j) const {
+  return space().mul(j);
+}
+
+Int MappingMatrix::time(const IntVec& j) const { return math::dot(schedule(), j); }
+
+}  // namespace bitlevel::mapping

@@ -1,0 +1,56 @@
+// Linear algorithm transformations (Definition 4.1).
+//
+// A mapping matrix T = [S; Pi] in Z^{k x n} sends the computation at
+// index point j to processor S*j (a (k-1)-vector) at time Pi*j (a
+// scalar). The feasibility conditions live in feasibility.hpp; this
+// header is the data type.
+#pragma once
+
+#include <string>
+
+#include "math/int_mat.hpp"
+
+namespace bitlevel::mapping {
+
+using math::Int;
+using math::IntMat;
+using math::IntVec;
+
+/// T = [S; Pi]: the first k-1 rows map to space, the last row to time.
+class MappingMatrix {
+ public:
+  /// Wrap a k x n matrix; requires k >= 1 (at least a schedule row).
+  explicit MappingMatrix(IntMat t);
+
+  /// Build from an explicit space part and schedule row.
+  MappingMatrix(const IntMat& space, const IntVec& schedule);
+
+  std::size_t k() const { return t_.rows(); }
+  std::size_t n() const { return t_.cols(); }
+
+  const IntMat& matrix() const { return t_; }
+
+  /// S: the space mapping (k-1 x n).
+  IntMat space() const;
+
+  /// Pi: the linear schedule (row vector of length n).
+  IntVec schedule() const;
+
+  /// Processor coordinates S*j of an index point.
+  IntVec processor(const IntVec& j) const;
+
+  /// Execution time Pi*j of an index point.
+  Int time(const IntVec& j) const;
+
+  /// Full image T*j = [processor; time].
+  IntVec apply(const IntVec& j) const { return t_.mul(j); }
+
+  bool operator==(const MappingMatrix& other) const = default;
+
+  std::string to_string() const { return t_.to_string(); }
+
+ private:
+  IntMat t_;
+};
+
+}  // namespace bitlevel::mapping

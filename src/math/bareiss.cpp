@@ -1,0 +1,76 @@
+#include "math/bareiss.hpp"
+
+#include <utility>
+
+#include "support/error.hpp"
+
+namespace bitlevel::math {
+
+namespace {
+
+// One Bareiss elimination sweep over a working copy. Returns the rank
+// and, through `det`, the determinant when the matrix is square.
+// The classic two-step division-exact update is
+//   a[i][j] = (a[k][k]*a[i][j] - a[i][k]*a[k][j]) / prev_pivot
+// where the division is exact (Sylvester's identity).
+std::size_t eliminate(IntMat work, Int* det) {
+  const std::size_t rows = work.rows();
+  const std::size_t cols = work.cols();
+  Int prev_pivot = 1;
+  Int sign = 1;
+  std::size_t rank = 0;
+  std::size_t pivot_col = 0;
+  for (std::size_t pr = 0; pr < rows && pivot_col < cols; ++pivot_col) {
+    // Find a nonzero pivot in this column at/under row pr.
+    std::size_t sel = pr;
+    while (sel < rows && work.at(sel, pivot_col) == 0) ++sel;
+    if (sel == rows) continue;  // column is structurally zero below pr
+    if (sel != pr) {
+      IntVec a = work.row(pr), b = work.row(sel);
+      work.set_row(pr, b);
+      work.set_row(sel, a);
+      sign = -sign;
+    }
+    const Int pivot = work.at(pr, pivot_col);
+    for (std::size_t i = pr + 1; i < rows; ++i) {
+      for (std::size_t j = pivot_col + 1; j < cols; ++j) {
+        Int num = checked_sub(checked_mul(pivot, work.at(i, j)),
+                              checked_mul(work.at(i, pivot_col), work.at(pr, j)));
+        // Exact by Sylvester's identity.
+        work.at(i, j) = num / prev_pivot;
+      }
+      work.at(i, pivot_col) = 0;
+    }
+    prev_pivot = pivot;
+    ++rank;
+    ++pr;
+  }
+  if (det != nullptr) {
+    if (rank < rows) {
+      *det = 0;
+    } else {
+      *det = checked_mul(sign, prev_pivot);
+    }
+  }
+  return rank;
+}
+
+}  // namespace
+
+std::size_t rank(const IntMat& m) { return eliminate(m, nullptr); }
+
+Int determinant(const IntMat& m) {
+  BL_REQUIRE(m.rows() == m.cols(), "determinant requires a square matrix");
+  if (m.rows() == 0) return 1;
+  Int det = 0;
+  eliminate(m, &det);
+  return det;
+}
+
+bool is_unimodular(const IntMat& m) {
+  if (m.rows() != m.cols()) return false;
+  const Int d = determinant(m);
+  return d == 1 || d == -1;
+}
+
+}  // namespace bitlevel::math

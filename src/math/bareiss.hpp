@@ -1,0 +1,24 @@
+// Fraction-free Gaussian elimination (Bareiss algorithm).
+//
+// Exact integer rank and determinant are needed by Definition 4.1:
+// condition (4) requires rank(T) == k and the injectivity check for
+// square T reduces to |det(T)| >= 1 plus a lattice argument. Bareiss
+// keeps all intermediates integral and bounds their growth by minors of
+// the input, which the overflow-checked arithmetic then verifies.
+#pragma once
+
+#include "math/int_mat.hpp"
+
+namespace bitlevel::math {
+
+/// Exact rank of an integer matrix.
+std::size_t rank(const IntMat& m);
+
+/// Exact determinant of a square integer matrix.
+Int determinant(const IntMat& m);
+
+/// True when the square matrix is unimodular (|det| == 1); Hermite and
+/// Smith transforms must satisfy this postcondition.
+bool is_unimodular(const IntMat& m);
+
+}  // namespace bitlevel::math

@@ -1,0 +1,55 @@
+#include "math/checked.hpp"
+
+#include <limits>
+
+#include "support/error.hpp"
+
+namespace bitlevel::math {
+
+Int checked_add(Int a, Int b) {
+  Int out;
+  if (__builtin_add_overflow(a, b, &out)) throw OverflowError("integer addition overflow");
+  return out;
+}
+
+Int checked_sub(Int a, Int b) {
+  Int out;
+  if (__builtin_sub_overflow(a, b, &out)) throw OverflowError("integer subtraction overflow");
+  return out;
+}
+
+Int checked_mul(Int a, Int b) {
+  Int out;
+  if (__builtin_mul_overflow(a, b, &out)) throw OverflowError("integer multiplication overflow");
+  return out;
+}
+
+Int checked_neg(Int a) {
+  if (a == std::numeric_limits<Int>::min()) throw OverflowError("integer negation overflow");
+  return -a;
+}
+
+Int floor_div(Int a, Int b) {
+  BL_REQUIRE(b != 0, "division by zero");
+  Int q = a / b;
+  Int r = a % b;
+  if (r != 0 && ((r < 0) != (b < 0))) --q;
+  return q;
+}
+
+Int ceil_div(Int a, Int b) {
+  BL_REQUIRE(b != 0, "division by zero");
+  Int q = a / b;
+  Int r = a % b;
+  if (r != 0 && ((r < 0) == (b < 0))) ++q;
+  return q;
+}
+
+Int mod_floor(Int a, Int b) {
+  BL_REQUIRE(b != 0, "modulus by zero");
+  Int r = a % b;
+  if (r < 0) r += (b < 0 ? -b : b);
+  return r;
+}
+
+}  // namespace bitlevel::math

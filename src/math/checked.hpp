@@ -1,0 +1,38 @@
+// Overflow-checked arithmetic on the repository-wide integer type.
+//
+// All integer linear algebra in this library runs on 64-bit integers
+// with explicit overflow detection. Index sets, dependence vectors and
+// mapping matrices are tiny (entries rarely exceed a few thousand), but
+// fraction-free elimination and schedule-length formulas can square and
+// sum entries; silently wrapping would corrupt feasibility verdicts.
+#pragma once
+
+#include <cstdint>
+
+namespace bitlevel::math {
+
+/// The repository-wide signed integer type.
+using Int = std::int64_t;
+
+/// a + b, throwing OverflowError on signed overflow.
+Int checked_add(Int a, Int b);
+
+/// a - b, throwing OverflowError on signed overflow.
+Int checked_sub(Int a, Int b);
+
+/// a * b, throwing OverflowError on signed overflow.
+Int checked_mul(Int a, Int b);
+
+/// -a, throwing OverflowError when a == INT64_MIN.
+Int checked_neg(Int a);
+
+/// Floor division (rounds toward negative infinity). b must be nonzero.
+Int floor_div(Int a, Int b);
+
+/// Ceiling division (rounds toward positive infinity). b must be nonzero.
+Int ceil_div(Int a, Int b);
+
+/// Mathematical modulus: result in [0, |b|). b must be nonzero.
+Int mod_floor(Int a, Int b);
+
+}  // namespace bitlevel::math

@@ -1,0 +1,114 @@
+#include "math/diophantine.hpp"
+
+#include <algorithm>
+
+#include "math/checked.hpp"
+#include "math/hnf.hpp"
+#include "support/error.hpp"
+
+namespace bitlevel::math {
+
+std::optional<DiophantineSolution> solve_diophantine(const IntMat& a, const IntVec& b) {
+  BL_REQUIRE(b.size() == a.rows(), "right-hand side dimension must equal row count");
+  const HermiteForm hf = hermite_normal_form(a);
+  const std::size_t n = a.cols();
+
+  // Forward substitution on the column echelon form H: pivot k sits at
+  // (pivot_rows[k], k); entries above a pivot row within columns >= k
+  // are zero, so scanning rows top-down determines y one pivot at a time
+  // and turns every non-pivot row into a pure consistency check.
+  IntVec y(n, 0);
+  std::size_t next_pivot = 0;
+  for (std::size_t r = 0; r < a.rows(); ++r) {
+    Int acc = 0;
+    for (std::size_t k = 0; k < hf.rank; ++k) {
+      if (hf.pivot_rows[k] < r) acc = checked_add(acc, checked_mul(hf.h.at(r, k), y[k]));
+    }
+    const Int rem = checked_sub(b[r], acc);
+    if (next_pivot < hf.rank && hf.pivot_rows[next_pivot] == r) {
+      const Int pivot = hf.h.at(r, next_pivot);
+      if (rem % pivot != 0) return std::nullopt;
+      y[next_pivot] = rem / pivot;
+      ++next_pivot;
+    } else if (rem != 0) {
+      return std::nullopt;
+    }
+  }
+
+  DiophantineSolution out{hf.u.mul(y), IntMat(n, n - hf.rank)};
+  for (std::size_t k = hf.rank; k < n; ++k) out.kernel.set_col(k - hf.rank, hf.u.col(k));
+  return out;
+}
+
+std::optional<DiophantineSolution> solve_single_equation(const IntVec& a, Int c) {
+  IntMat m(1, a.size());
+  m.set_row(0, a);
+  return solve_diophantine(m, IntVec{c});
+}
+
+namespace {
+
+// Recursive lattice walk. `kernel` is in column echelon form so that the
+// pivot row of parameter i constrains t_i once t_0..t_{i-1} are fixed.
+void enumerate_rec(const IntVec& particular, const IntMat& kernel,
+                   const std::vector<std::size_t>& pivot_rows, const IntVec& lo, const IntVec& hi,
+                   std::size_t level, IntVec& t, std::vector<IntVec>& out, std::size_t limit) {
+  const std::size_t f = kernel.cols();
+  if (limit != 0 && out.size() >= limit) return;
+  if (level == f) {
+    IntVec x = particular;
+    for (std::size_t i = 0; i < f; ++i) {
+      if (t[i] != 0) x = add(x, scale(t[i], kernel.col(i)));
+    }
+    for (std::size_t j = 0; j < x.size(); ++j) {
+      if (x[j] < lo[j] || x[j] > hi[j]) return;
+    }
+    out.push_back(std::move(x));
+    return;
+  }
+  const std::size_t r = pivot_rows[level];
+  // Value of x[r] contributed by already-fixed parameters. Columns after
+  // `level` are zero at this pivot row by the echelon property.
+  Int base = particular[r];
+  for (std::size_t i = 0; i < level; ++i) {
+    base = checked_add(base, checked_mul(t[i], kernel.at(r, i)));
+  }
+  const Int coef = kernel.at(r, level);
+  // lo[r] <= base + coef * t_level <= hi[r]
+  Int tmin, tmax;
+  if (coef > 0) {
+    tmin = ceil_div(checked_sub(lo[r], base), coef);
+    tmax = floor_div(checked_sub(hi[r], base), coef);
+  } else {
+    tmin = ceil_div(checked_sub(hi[r], base), coef);
+    tmax = floor_div(checked_sub(lo[r], base), coef);
+  }
+  for (Int v = tmin; v <= tmax; ++v) {
+    t[level] = v;
+    enumerate_rec(particular, kernel, pivot_rows, lo, hi, level + 1, t, out, limit);
+    if (limit != 0 && out.size() >= limit) return;
+  }
+}
+
+}  // namespace
+
+std::vector<IntVec> enumerate_solutions_in_box(const IntMat& a, const IntVec& b, const IntVec& lo,
+                                               const IntVec& hi, std::size_t limit) {
+  BL_REQUIRE(lo.size() == a.cols() && hi.size() == a.cols(),
+             "box bounds must match the solution dimension");
+  const auto sol = solve_diophantine(a, b);
+  std::vector<IntVec> out;
+  if (!sol) return out;
+
+  // Re-echelonize the kernel so each parameter is bounded by its pivot
+  // row; the lattice is unchanged (right-multiplication by unimodular U).
+  const HermiteForm kf = hermite_normal_form(sol->kernel);
+  // A kernel basis is linearly independent, so every column has a pivot.
+  BL_REQUIRE(kf.rank == sol->kernel.cols(), "kernel basis must have full column rank");
+
+  IntVec t(kf.h.cols(), 0);
+  enumerate_rec(sol->particular, kf.h, kf.pivot_rows, lo, hi, 0, t, out, limit);
+  return out;
+}
+
+}  // namespace bitlevel::math

@@ -1,0 +1,42 @@
+// Linear Diophantine systems A x = b over the integers.
+//
+// General dependence analysis (the baseline this paper's contribution
+// avoids) reduces each potential dependence between two array references
+// to such a system: a dependence exists iff the system has an integer
+// solution inside the iteration space. We compute the full solution set
+// as a particular solution plus a lattice (basis of the integer null
+// space of A), so callers can enumerate or bound-check solutions.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "math/int_mat.hpp"
+
+namespace bitlevel::math {
+
+/// Complete integer solution set of A x = b:
+///   { particular + kernel * t : t in Z^f }
+/// where f = kernel.cols() is the number of free parameters.
+struct DiophantineSolution {
+  IntVec particular;  ///< One integer solution.
+  IntMat kernel;      ///< Columns form a basis of { x : A x = 0 }.
+};
+
+/// Solve A x = b over Z. Returns std::nullopt when no integer solution
+/// exists. A may be any shape; b.size() must equal A.rows().
+std::optional<DiophantineSolution> solve_diophantine(const IntMat& a, const IntVec& b);
+
+/// Solve the single equation sum_i a[i] x[i] = c over Z.
+/// Returns std::nullopt when gcd(a) does not divide c (the GCD test).
+std::optional<DiophantineSolution> solve_single_equation(const IntVec& a, Int c);
+
+/// Enumerate all integer solutions of A x = b with lo <= x <= hi
+/// (componentwise). Intended for the small systems of bit-level
+/// dependence analysis; the search walks the solution lattice and prunes
+/// with interval arithmetic per free parameter. `limit` caps the number
+/// of returned solutions (0 = unlimited).
+std::vector<IntVec> enumerate_solutions_in_box(const IntMat& a, const IntVec& b, const IntVec& lo,
+                                               const IntVec& hi, std::size_t limit = 0);
+
+}  // namespace bitlevel::math

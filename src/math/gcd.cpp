@@ -1,0 +1,59 @@
+#include "math/gcd.hpp"
+
+#include "support/error.hpp"
+
+namespace bitlevel::math {
+
+Int gcd(Int a, Int b) {
+  // Work on nonnegative values; |INT64_MIN| overflows, so reject it.
+  if (a < 0) a = checked_neg(a);
+  if (b < 0) b = checked_neg(b);
+  while (b != 0) {
+    Int t = a % b;
+    a = b;
+    b = t;
+  }
+  return a;
+}
+
+Int lcm(Int a, Int b) {
+  if (a == 0 || b == 0) return 0;
+  Int g = gcd(a, b);
+  Int q = (a < 0 ? -a : a) / g;
+  return checked_mul(q, b < 0 ? -b : b);
+}
+
+ExtGcd extended_gcd(Int a, Int b) {
+  // Invariants: old_r = a*old_x + b*old_y, r = a*x + b*y.
+  Int old_r = a, r = b;
+  Int old_x = 1, x = 0;
+  Int old_y = 0, y = 1;
+  while (r != 0) {
+    Int q = old_r / r;
+    Int tmp = checked_sub(old_r, checked_mul(q, r));
+    old_r = r;
+    r = tmp;
+    tmp = checked_sub(old_x, checked_mul(q, x));
+    old_x = x;
+    x = tmp;
+    tmp = checked_sub(old_y, checked_mul(q, y));
+    old_y = y;
+    y = tmp;
+  }
+  if (old_r < 0) {
+    old_r = checked_neg(old_r);
+    old_x = checked_neg(old_x);
+    old_y = checked_neg(old_y);
+  }
+  return {old_r, old_x, old_y};
+}
+
+Int gcd_all(const std::vector<Int>& values) {
+  Int g = 0;
+  for (Int v : values) g = gcd(g, v);
+  return g;
+}
+
+bool coprime(const std::vector<Int>& values) { return gcd_all(values) == 1; }
+
+}  // namespace bitlevel::math

@@ -1,0 +1,38 @@
+// Greatest common divisors and the extended Euclidean algorithm —
+// the number-theoretic core of the GCD dependence test and of Hermite /
+// Smith normal form computation.
+#pragma once
+
+#include <vector>
+
+#include "math/checked.hpp"
+
+namespace bitlevel::math {
+
+/// gcd(a, b) >= 0; gcd(0, 0) == 0.
+Int gcd(Int a, Int b);
+
+/// Least common multiple; lcm(0, x) == 0. Throws OverflowError when the
+/// result does not fit in Int.
+Int lcm(Int a, Int b);
+
+/// Result of the extended Euclidean algorithm: g = gcd(a, b) >= 0 and
+/// Bezout coefficients with a*x + b*y == g.
+struct ExtGcd {
+  Int g;
+  Int x;
+  Int y;
+};
+
+/// Extended Euclidean algorithm. The returned coefficients are the
+/// minimal pair produced by the classical iteration.
+ExtGcd extended_gcd(Int a, Int b);
+
+/// gcd of a whole range (0 for an empty range); always nonnegative.
+Int gcd_all(const std::vector<Int>& values);
+
+/// True when the entries are setwise coprime (gcd of all entries is 1);
+/// Definition 4.1 condition (5) applies this to the rows of T.
+bool coprime(const std::vector<Int>& values);
+
+}  // namespace bitlevel::math

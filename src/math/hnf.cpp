@@ -1,0 +1,94 @@
+#include "math/hnf.hpp"
+
+#include <cstdlib>
+
+#include "math/checked.hpp"
+#include "support/error.hpp"
+
+namespace bitlevel::math {
+
+namespace {
+
+void swap_cols(IntMat& m, std::size_t a, std::size_t b) {
+  if (a == b) return;
+  IntVec ca = m.col(a), cb = m.col(b);
+  m.set_col(a, cb);
+  m.set_col(b, ca);
+}
+
+void negate_col(IntMat& m, std::size_t c) {
+  for (std::size_t r = 0; r < m.rows(); ++r) m.at(r, c) = checked_neg(m.at(r, c));
+}
+
+// col_j -= q * col_k
+void axpy_col(IntMat& m, std::size_t j, Int q, std::size_t k) {
+  if (q == 0) return;
+  for (std::size_t r = 0; r < m.rows(); ++r) {
+    m.at(r, j) = checked_sub(m.at(r, j), checked_mul(q, m.at(r, k)));
+  }
+}
+
+}  // namespace
+
+HermiteForm hermite_normal_form(const IntMat& a) {
+  HermiteForm out{a, IntMat::identity(a.cols()), {}, 0};
+  IntMat& h = out.h;
+  IntMat& u = out.u;
+  const std::size_t m = a.rows();
+  const std::size_t n = a.cols();
+
+  std::size_t pivot_col = 0;
+  for (std::size_t row = 0; row < m && pivot_col < n; ++row) {
+    // Reduce the tail of this row (columns >= pivot_col) to a single
+    // positive entry at pivot_col via gcd column operations. Rows above
+    // have zero entries in these columns, so they are unaffected.
+    while (true) {
+      // Pick the column with the smallest nonzero magnitude as pivot.
+      std::size_t best = n;
+      for (std::size_t j = pivot_col; j < n; ++j) {
+        const Int v = h.at(row, j);
+        if (v == 0) continue;
+        if (best == n || std::llabs(v) < std::llabs(h.at(row, best))) best = j;
+      }
+      if (best == n) break;  // whole tail is zero: no pivot in this row
+      swap_cols(h, pivot_col, best);
+      swap_cols(u, pivot_col, best);
+      if (h.at(row, pivot_col) < 0) {
+        negate_col(h, pivot_col);
+        negate_col(u, pivot_col);
+      }
+      const Int pivot = h.at(row, pivot_col);
+      bool clean = true;
+      for (std::size_t j = pivot_col + 1; j < n; ++j) {
+        const Int q = floor_div(h.at(row, j), pivot);
+        axpy_col(h, j, q, pivot_col);
+        axpy_col(u, j, q, pivot_col);
+        if (h.at(row, j) != 0) clean = false;
+      }
+      if (clean) break;
+    }
+    if (pivot_col < n && h.at(row, pivot_col) != 0) {
+      // Canonicalize: reduce this row's entries in earlier pivot columns
+      // into [0, pivot).
+      const Int pivot = h.at(row, pivot_col);
+      for (std::size_t j = 0; j < pivot_col; ++j) {
+        const Int q = floor_div(h.at(row, j), pivot);
+        axpy_col(h, j, q, pivot_col);
+        axpy_col(u, j, q, pivot_col);
+      }
+      out.pivot_rows.push_back(row);
+      ++pivot_col;
+    }
+  }
+  out.rank = pivot_col;
+  return out;
+}
+
+IntMat null_space_basis(const IntMat& a) {
+  const HermiteForm hf = hermite_normal_form(a);
+  IntMat basis(a.cols(), a.cols() - hf.rank);
+  for (std::size_t k = hf.rank; k < a.cols(); ++k) basis.set_col(k - hf.rank, hf.u.col(k));
+  return basis;
+}
+
+}  // namespace bitlevel::math

@@ -1,0 +1,35 @@
+// Column-style Hermite normal form.
+//
+// For an m x n integer matrix A, computes H = A * U with U unimodular
+// (n x n) such that H is in column echelon form: each pivot row has a
+// single positive pivot entry, entries to its right are zero, and
+// entries to its left (in earlier pivot columns) are reduced into
+// [0, pivot). The tail columns of H are identically zero, so the
+// matching tail columns of U form a basis of the integer null space of
+// A — exactly what the exact Diophantine dependence test needs.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "math/int_mat.hpp"
+
+namespace bitlevel::math {
+
+/// Hermite decomposition H = A * U.
+struct HermiteForm {
+  IntMat h;                          ///< Column echelon form (m x n).
+  IntMat u;                          ///< Unimodular transform (n x n).
+  std::vector<std::size_t> pivot_rows;  ///< pivot_rows[k] = row of pivot in column k.
+  std::size_t rank = 0;              ///< Number of pivot columns.
+};
+
+/// Compute the column-style Hermite normal form of `a`.
+HermiteForm hermite_normal_form(const IntMat& a);
+
+/// Basis of the integer null space { x in Z^n : a x = 0 } — the tail
+/// columns of the Hermite transform. The returned matrix has
+/// a.cols() - rank(a) columns.
+IntMat null_space_basis(const IntMat& a);
+
+}  // namespace bitlevel::math

@@ -1,0 +1,151 @@
+#include "math/int_mat.hpp"
+
+#include "support/error.hpp"
+#include "support/format.hpp"
+
+namespace bitlevel::math {
+
+IntMat::IntMat(std::size_t rows, std::size_t cols)
+    : rows_(rows), cols_(cols), data_(rows * cols, 0) {}
+
+IntMat::IntMat(std::initializer_list<std::initializer_list<Int>> rows)
+    : rows_(rows.size()), cols_(rows.size() == 0 ? 0 : rows.begin()->size()) {
+  data_.reserve(rows_ * cols_);
+  for (const auto& r : rows) {
+    BL_REQUIRE(r.size() == cols_, "all rows must have the same length");
+    data_.insert(data_.end(), r.begin(), r.end());
+  }
+}
+
+IntMat::IntMat(std::size_t rows, std::size_t cols, std::vector<Int> data)
+    : rows_(rows), cols_(cols), data_(std::move(data)) {
+  BL_REQUIRE(data_.size() == rows_ * cols_, "row-major data must have rows*cols entries");
+}
+
+IntMat IntMat::identity(std::size_t n) {
+  IntMat m(n, n);
+  for (std::size_t i = 0; i < n; ++i) m.at(i, i) = 1;
+  return m;
+}
+
+IntMat IntMat::from_columns(const std::vector<IntVec>& columns) {
+  if (columns.empty()) return IntMat(0, 0);
+  const std::size_t rows = columns.front().size();
+  IntMat m(rows, columns.size());
+  for (std::size_t c = 0; c < columns.size(); ++c) {
+    BL_REQUIRE(columns[c].size() == rows, "all columns must have the same dimension");
+    for (std::size_t r = 0; r < rows; ++r) m.at(r, c) = columns[c][r];
+  }
+  return m;
+}
+
+IntMat IntMat::from_rows(const std::vector<IntVec>& rows) {
+  if (rows.empty()) return IntMat(0, 0);
+  const std::size_t cols = rows.front().size();
+  IntMat m(rows.size(), cols);
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    BL_REQUIRE(rows[r].size() == cols, "all rows must have the same dimension");
+    for (std::size_t c = 0; c < cols; ++c) m.at(r, c) = rows[r][c];
+  }
+  return m;
+}
+
+Int& IntMat::at(std::size_t r, std::size_t c) {
+  BL_REQUIRE(r < rows_ && c < cols_, "matrix index out of range");
+  return data_[r * cols_ + c];
+}
+
+Int IntMat::at(std::size_t r, std::size_t c) const {
+  BL_REQUIRE(r < rows_ && c < cols_, "matrix index out of range");
+  return data_[r * cols_ + c];
+}
+
+IntVec IntMat::row(std::size_t r) const {
+  BL_REQUIRE(r < rows_, "row index out of range");
+  return IntVec(data_.begin() + static_cast<std::ptrdiff_t>(r * cols_),
+                data_.begin() + static_cast<std::ptrdiff_t>((r + 1) * cols_));
+}
+
+IntVec IntMat::col(std::size_t c) const {
+  BL_REQUIRE(c < cols_, "column index out of range");
+  IntVec out(rows_);
+  for (std::size_t r = 0; r < rows_; ++r) out[r] = data_[r * cols_ + c];
+  return out;
+}
+
+void IntMat::set_row(std::size_t r, const IntVec& v) {
+  BL_REQUIRE(r < rows_ && v.size() == cols_, "row assignment shape mismatch");
+  for (std::size_t c = 0; c < cols_; ++c) data_[r * cols_ + c] = v[c];
+}
+
+void IntMat::set_col(std::size_t c, const IntVec& v) {
+  BL_REQUIRE(c < cols_ && v.size() == rows_, "column assignment shape mismatch");
+  for (std::size_t r = 0; r < rows_; ++r) data_[r * cols_ + c] = v[r];
+}
+
+IntVec IntMat::mul(const IntVec& v) const {
+  BL_REQUIRE(v.size() == cols_, "matrix-vector dimension mismatch");
+  IntVec out(rows_, 0);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    Int acc = 0;
+    for (std::size_t c = 0; c < cols_; ++c) {
+      acc = checked_add(acc, checked_mul(data_[r * cols_ + c], v[c]));
+    }
+    out[r] = acc;
+  }
+  return out;
+}
+
+IntMat IntMat::mul(const IntMat& other) const {
+  BL_REQUIRE(cols_ == other.rows_, "matrix-matrix dimension mismatch");
+  IntMat out(rows_, other.cols_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t k = 0; k < cols_; ++k) {
+      const Int a = data_[r * cols_ + k];
+      if (a == 0) continue;
+      for (std::size_t c = 0; c < other.cols_; ++c) {
+        out.at(r, c) = checked_add(out.at(r, c), checked_mul(a, other.at(k, c)));
+      }
+    }
+  }
+  return out;
+}
+
+IntMat IntMat::transpose() const {
+  IntMat out(cols_, rows_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t c = 0; c < cols_; ++c) out.at(c, r) = data_[r * cols_ + c];
+  }
+  return out;
+}
+
+IntMat IntMat::hstack(const IntMat& other) const {
+  BL_REQUIRE(rows_ == other.rows_, "hstack requires equal row counts");
+  IntMat out(rows_, cols_ + other.cols_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t c = 0; c < cols_; ++c) out.at(r, c) = at(r, c);
+    for (std::size_t c = 0; c < other.cols_; ++c) out.at(r, cols_ + c) = other.at(r, c);
+  }
+  return out;
+}
+
+IntMat IntMat::vstack(const IntMat& other) const {
+  BL_REQUIRE(cols_ == other.cols_, "vstack requires equal column counts");
+  IntMat out(rows_ + other.rows_, cols_);
+  for (std::size_t r = 0; r < rows_; ++r) out.set_row(r, row(r));
+  for (std::size_t r = 0; r < other.rows_; ++r) out.set_row(rows_ + r, other.row(r));
+  return out;
+}
+
+IntMat IntMat::select_columns(const std::vector<std::size_t>& indices) const {
+  IntMat out(rows_, indices.size());
+  for (std::size_t i = 0; i < indices.size(); ++i) {
+    BL_REQUIRE(indices[i] < cols_, "column selection index out of range");
+    out.set_col(i, col(indices[i]));
+  }
+  return out;
+}
+
+std::string IntMat::to_string() const { return format_matrix(data_, rows_, cols_); }
+
+}  // namespace bitlevel::math

@@ -1,0 +1,82 @@
+// Dense integer matrices with overflow-checked arithmetic.
+//
+// Dependence matrices D, space mappings S, schedules Pi and
+// interconnection-primitive matrices P are all small dense integer
+// matrices; IntMat is the shared representation.
+#pragma once
+
+#include <cstddef>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "math/int_vec.hpp"
+
+namespace bitlevel::math {
+
+/// Row-major dense matrix over Int. Rows and columns may be zero (an
+/// n x 0 dependence matrix is a valid "no dependences" value).
+class IntMat {
+ public:
+  /// rows x cols zero matrix.
+  IntMat(std::size_t rows, std::size_t cols);
+
+  /// Build from nested initializer lists; all rows must have equal size.
+  IntMat(std::initializer_list<std::initializer_list<Int>> rows);
+
+  /// Build from row-major data; data.size() must equal rows*cols.
+  IntMat(std::size_t rows, std::size_t cols, std::vector<Int> data);
+
+  /// n x n identity.
+  static IntMat identity(std::size_t n);
+
+  /// Matrix whose columns are the given vectors (all of equal dimension).
+  static IntMat from_columns(const std::vector<IntVec>& columns);
+
+  /// Matrix whose rows are the given vectors (all of equal dimension).
+  static IntMat from_rows(const std::vector<IntVec>& rows);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+
+  Int& at(std::size_t r, std::size_t c);
+  Int at(std::size_t r, std::size_t c) const;
+
+  IntVec row(std::size_t r) const;
+  IntVec col(std::size_t c) const;
+
+  void set_row(std::size_t r, const IntVec& v);
+  void set_col(std::size_t c, const IntVec& v);
+
+  /// this * v (matrix-vector product); v.size() must equal cols().
+  IntVec mul(const IntVec& v) const;
+
+  /// this * other; other.rows() must equal cols().
+  IntMat mul(const IntMat& other) const;
+
+  IntMat transpose() const;
+
+  /// [this | other] side by side; row counts must match.
+  IntMat hstack(const IntMat& other) const;
+
+  /// [this; other] stacked; column counts must match.
+  IntMat vstack(const IntMat& other) const;
+
+  /// Submatrix of the listed columns, in the given order.
+  IntMat select_columns(const std::vector<std::size_t>& indices) const;
+
+  bool operator==(const IntMat& other) const = default;
+
+  /// Aligned multi-line rendering.
+  std::string to_string() const;
+
+  /// Row-major backing store (for serialization and formatting).
+  const std::vector<Int>& data() const { return data_; }
+
+ private:
+  std::size_t rows_;
+  std::size_t cols_;
+  std::vector<Int> data_;
+};
+
+}  // namespace bitlevel::math

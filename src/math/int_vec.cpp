@@ -1,0 +1,100 @@
+#include "math/int_vec.hpp"
+
+#include "math/gcd.hpp"
+#include "support/error.hpp"
+#include "support/format.hpp"
+
+namespace bitlevel::math {
+
+namespace {
+void require_same_dim(const IntVec& a, const IntVec& b) {
+  BL_REQUIRE(a.size() == b.size(), "vector dimensions must match");
+}
+}  // namespace
+
+IntVec add(const IntVec& a, const IntVec& b) {
+  require_same_dim(a, b);
+  IntVec out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = checked_add(a[i], b[i]);
+  return out;
+}
+
+IntVec sub(const IntVec& a, const IntVec& b) {
+  require_same_dim(a, b);
+  IntVec out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = checked_sub(a[i], b[i]);
+  return out;
+}
+
+IntVec scale(Int s, const IntVec& a) {
+  IntVec out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = checked_mul(s, a[i]);
+  return out;
+}
+
+IntVec neg(const IntVec& a) {
+  IntVec out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = checked_neg(a[i]);
+  return out;
+}
+
+Int dot(const IntVec& a, const IntVec& b) {
+  require_same_dim(a, b);
+  Int acc = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) acc = checked_add(acc, checked_mul(a[i], b[i]));
+  return acc;
+}
+
+bool is_zero(const IntVec& a) {
+  for (Int v : a) {
+    if (v != 0) return false;
+  }
+  return true;
+}
+
+bool all_ge(const IntVec& a, const IntVec& b) {
+  require_same_dim(a, b);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i] < b[i]) return false;
+  }
+  return true;
+}
+
+int lex_compare(const IntVec& a, const IntVec& b) {
+  require_same_dim(a, b);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i] < b[i]) return -1;
+    if (a[i] > b[i]) return 1;
+  }
+  return 0;
+}
+
+bool lex_positive(const IntVec& a) {
+  for (Int v : a) {
+    if (v > 0) return true;
+    if (v < 0) return false;
+  }
+  return false;
+}
+
+IntVec concat(const IntVec& a, const IntVec& b) {
+  IntVec out = a;
+  out.insert(out.end(), b.begin(), b.end());
+  return out;
+}
+
+Int l1_norm(const IntVec& a) {
+  Int acc = 0;
+  for (Int v : a) acc = checked_add(acc, v < 0 ? checked_neg(v) : v);
+  return acc;
+}
+
+Int content(const IntVec& a) {
+  Int g = 0;
+  for (Int v : a) g = gcd(g, v);
+  return g;
+}
+
+std::string to_string(const IntVec& a) { return format_vector(a); }
+
+}  // namespace bitlevel::math

@@ -1,0 +1,59 @@
+// Integer column vectors.
+//
+// Index points, dependence vectors and schedule rows are all small dense
+// integer vectors; std::vector<Int> is the storage, and this header adds
+// the overflow-checked linear-algebra vocabulary on top of it.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "math/checked.hpp"
+
+namespace bitlevel::math {
+
+/// Dense integer vector (column vector by convention).
+using IntVec = std::vector<Int>;
+
+/// Elementwise a + b; dimensions must match.
+IntVec add(const IntVec& a, const IntVec& b);
+
+/// Elementwise a - b; dimensions must match.
+IntVec sub(const IntVec& a, const IntVec& b);
+
+/// Scalar multiple s * a.
+IntVec scale(Int s, const IntVec& a);
+
+/// Elementwise negation.
+IntVec neg(const IntVec& a);
+
+/// Inner product a . b; dimensions must match.
+Int dot(const IntVec& a, const IntVec& b);
+
+/// True when every entry is zero (the empty vector counts as zero).
+bool is_zero(const IntVec& a);
+
+/// True when every entry of a is >= the matching entry of b (the paper's
+/// componentwise >= on vectors).
+bool all_ge(const IntVec& a, const IntVec& b);
+
+/// Lexicographic comparison: negative / zero / positive like strcmp.
+int lex_compare(const IntVec& a, const IntVec& b);
+
+/// True when a is lexicographically positive (first nonzero entry > 0);
+/// the classical validity condition for a dependence distance vector.
+bool lex_positive(const IntVec& a);
+
+/// Concatenate two vectors: [a; b].
+IntVec concat(const IntVec& a, const IntVec& b);
+
+/// Sum of absolute values (L1 norm); used for wire-length accounting.
+Int l1_norm(const IntVec& a);
+
+/// gcd of all entries (0 for the zero vector); always nonnegative.
+Int content(const IntVec& a);
+
+/// "[a, b, c]" rendering.
+std::string to_string(const IntVec& a);
+
+}  // namespace bitlevel::math

@@ -1,0 +1,64 @@
+#include "math/rational.hpp"
+
+#include "math/gcd.hpp"
+#include "support/error.hpp"
+
+namespace bitlevel::math {
+
+Rational::Rational(Int num, Int den) : num_(num), den_(den) {
+  BL_REQUIRE(den != 0, "rational denominator must be nonzero");
+  normalize();
+}
+
+void Rational::normalize() {
+  if (den_ < 0) {
+    num_ = checked_neg(num_);
+    den_ = checked_neg(den_);
+  }
+  const Int g = gcd(num_, den_);
+  if (g > 1) {
+    num_ /= g;
+    den_ /= g;
+  }
+}
+
+Rational Rational::operator+(const Rational& o) const {
+  return Rational(checked_add(checked_mul(num_, o.den_), checked_mul(o.num_, den_)),
+                  checked_mul(den_, o.den_));
+}
+
+Rational Rational::operator-(const Rational& o) const {
+  return Rational(checked_sub(checked_mul(num_, o.den_), checked_mul(o.num_, den_)),
+                  checked_mul(den_, o.den_));
+}
+
+Rational Rational::operator*(const Rational& o) const {
+  return Rational(checked_mul(num_, o.num_), checked_mul(den_, o.den_));
+}
+
+Rational Rational::operator/(const Rational& o) const {
+  BL_REQUIRE(o.num_ != 0, "rational division by zero");
+  return Rational(checked_mul(num_, o.den_), checked_mul(den_, o.num_));
+}
+
+Rational Rational::operator-() const { return Rational(checked_neg(num_), den_); }
+
+bool Rational::operator<(const Rational& o) const {
+  // Denominators are positive, so cross-multiplication preserves order.
+  return checked_mul(num_, o.den_) < checked_mul(o.num_, den_);
+}
+
+bool Rational::operator<=(const Rational& o) const {
+  return checked_mul(num_, o.den_) <= checked_mul(o.num_, den_);
+}
+
+double Rational::to_double() const {
+  return static_cast<double>(num_) / static_cast<double>(den_);
+}
+
+std::string Rational::to_string() const {
+  if (den_ == 1) return std::to_string(num_);
+  return std::to_string(num_) + "/" + std::to_string(den_);
+}
+
+}  // namespace bitlevel::math

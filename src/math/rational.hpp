@@ -1,0 +1,53 @@
+// Exact rational numbers over Int.
+//
+// Schedule optimization compares candidate linear schedules by ratios
+// (cycles per index point, speedup factors); Rational keeps those
+// comparisons exact where doubles would round.
+#pragma once
+
+#include <string>
+
+#include "math/checked.hpp"
+
+namespace bitlevel::math {
+
+/// Exact rational p/q, always stored normalized: q > 0, gcd(|p|, q) = 1.
+class Rational {
+ public:
+  /// Zero.
+  Rational() : num_(0), den_(1) {}
+
+  /// Integer value.
+  Rational(Int value) : num_(value), den_(1) {}  // NOLINT(google-explicit-constructor)
+
+  /// num/den; den must be nonzero.
+  Rational(Int num, Int den);
+
+  Int num() const { return num_; }
+  Int den() const { return den_; }
+
+  Rational operator+(const Rational& o) const;
+  Rational operator-(const Rational& o) const;
+  Rational operator*(const Rational& o) const;
+  Rational operator/(const Rational& o) const;
+  Rational operator-() const;
+
+  bool operator==(const Rational& o) const = default;
+  bool operator<(const Rational& o) const;
+  bool operator<=(const Rational& o) const;
+  bool operator>(const Rational& o) const { return o < *this; }
+  bool operator>=(const Rational& o) const { return o <= *this; }
+
+  /// Closest double (for reporting only; comparisons stay exact).
+  double to_double() const;
+
+  /// "p/q" or just "p" when q == 1.
+  std::string to_string() const;
+
+ private:
+  void normalize();
+  Int num_;
+  Int den_;
+};
+
+}  // namespace bitlevel::math

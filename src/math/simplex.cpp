@@ -1,0 +1,152 @@
+#include "math/simplex.hpp"
+
+#include <cstddef>
+
+#include "support/error.hpp"
+
+namespace bitlevel::math {
+
+namespace {
+
+/// Dense simplex tableau with an explicit basis, exact rationals and
+/// Bland's anti-cycling rule.
+class Tableau {
+ public:
+  // rows x (cols + 1) tableau; the last column is the RHS.
+  Tableau(std::size_t rows, std::size_t cols)
+      : rows_(rows), cols_(cols), t_(rows, std::vector<Rational>(cols + 1)), basis_(rows, 0) {}
+
+  Rational& at(std::size_t r, std::size_t c) { return t_[r][c]; }
+  Rational& rhs(std::size_t r) { return t_[r][cols_]; }
+  std::size_t basis(std::size_t r) const { return basis_[r]; }
+  void set_basis(std::size_t r, std::size_t var) { basis_[r] = var; }
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+
+  void pivot(std::size_t pr, std::size_t pc) {
+    const Rational p = t_[pr][pc];
+    BL_REQUIRE(p != Rational(0), "pivot on a zero element");
+    for (auto& v : t_[pr]) v = v / p;
+    for (std::size_t r = 0; r < rows_; ++r) {
+      if (r == pr) continue;
+      const Rational f = t_[r][pc];
+      if (f == Rational(0)) continue;
+      for (std::size_t c = 0; c <= cols_; ++c) t_[r][c] = t_[r][c] - f * t_[pr][c];
+    }
+    basis_[pr] = pc;
+  }
+
+  /// Minimize cost . x over the current feasible basis. `allowed[j]`
+  /// masks columns eligible to enter. Returns false when unbounded.
+  bool minimize(const std::vector<Rational>& cost, const std::vector<bool>& allowed) {
+    while (true) {
+      // Reduced costs: r_j = c_j - c_B . B^{-1} A_j (computed directly
+      // from the tableau since it is kept in canonical form).
+      std::size_t entering = cols_;
+      for (std::size_t j = 0; j < cols_; ++j) {
+        if (!allowed[j]) continue;
+        Rational rj = cost[j];
+        for (std::size_t r = 0; r < rows_; ++r) rj = rj - cost[basis_[r]] * t_[r][j];
+        if (rj < Rational(0)) {
+          entering = j;  // Bland: first (smallest-index) negative
+          break;
+        }
+      }
+      if (entering == cols_) return true;  // optimal
+      // Ratio test with Bland's tie-break (smallest basis variable).
+      std::size_t leaving = rows_;
+      Rational best_ratio;
+      for (std::size_t r = 0; r < rows_; ++r) {
+        if (t_[r][entering] <= Rational(0)) continue;
+        const Rational ratio = t_[r][cols_] / t_[r][entering];
+        if (leaving == rows_ || ratio < best_ratio ||
+            (ratio == best_ratio && basis_[r] < basis_[leaving])) {
+          leaving = r;
+          best_ratio = ratio;
+        }
+      }
+      if (leaving == rows_) return false;  // unbounded
+      pivot(leaving, entering);
+    }
+  }
+
+ private:
+  std::size_t rows_;
+  std::size_t cols_;
+  std::vector<std::vector<Rational>> t_;
+  std::vector<std::size_t> basis_;
+};
+
+}  // namespace
+
+LpSolution solve_linear_program(const LinearProgram& lp) {
+  const std::size_t m = lp.constraints.size();
+  const std::size_t n = lp.objective.size();
+  BL_REQUIRE(lp.bounds.size() == m, "one bound per constraint required");
+  for (const auto& row : lp.constraints) {
+    BL_REQUIRE(row.size() == n, "constraint arity must match the objective");
+  }
+
+  // Standard form: A x - s = b with s >= 0, then artificials for a
+  // starting identity basis. Rows with negative b are negated first so
+  // every RHS is nonnegative.
+  // Columns: [0, n) original, [n, n+m) surplus, [n+m, n+2m) artificial.
+  const std::size_t cols = n + 2 * m;
+  Tableau t(m, cols);
+  for (std::size_t r = 0; r < m; ++r) {
+    const bool flip = lp.bounds[r] < Rational(0);
+    const Rational sign = flip ? Rational(-1) : Rational(1);
+    for (std::size_t j = 0; j < n; ++j) t.at(r, j) = sign * lp.constraints[r][j];
+    t.at(r, n + r) = sign * Rational(-1);
+    t.at(r, n + m + r) = 1;
+    t.rhs(r) = sign * lp.bounds[r];
+    t.set_basis(r, n + m + r);
+  }
+
+  // Phase 1: minimize the sum of artificials.
+  std::vector<Rational> phase1_cost(cols, Rational(0));
+  for (std::size_t j = n + m; j < cols; ++j) phase1_cost[j] = 1;
+  std::vector<bool> allowed(cols, true);
+  if (!t.minimize(phase1_cost, allowed)) {
+    // Phase 1 is bounded below by zero; this cannot happen.
+    throw Error("phase-1 simplex reported unbounded");
+  }
+  Rational phase1_value(0);
+  for (std::size_t r = 0; r < m; ++r) {
+    if (t.basis(r) >= n + m) phase1_value = phase1_value + t.rhs(r);
+  }
+  if (phase1_value != Rational(0)) return {LpStatus::kInfeasible, {}, {}};
+
+  // Drive any residual (degenerate) artificials out of the basis.
+  for (std::size_t r = 0; r < m; ++r) {
+    if (t.basis(r) < n + m) continue;
+    std::size_t pc = cols;
+    for (std::size_t j = 0; j < n + m; ++j) {
+      if (t.at(r, j) != Rational(0)) {
+        pc = j;
+        break;
+      }
+    }
+    if (pc != cols) t.pivot(r, pc);
+    // A fully zero row is a redundant constraint; its artificial stays
+    // basic at value zero and never re-enters (banned below).
+  }
+
+  // Phase 2: original objective, artificial columns banned.
+  std::vector<Rational> cost(cols, Rational(0));
+  for (std::size_t j = 0; j < n; ++j) cost[j] = lp.objective[j];
+  for (std::size_t j = n + m; j < cols; ++j) allowed[j] = false;
+  if (!t.minimize(cost, allowed)) return {LpStatus::kUnbounded, {}, {}};
+
+  LpSolution sol;
+  sol.status = LpStatus::kOptimal;
+  sol.x.assign(n, Rational(0));
+  for (std::size_t r = 0; r < m; ++r) {
+    if (t.basis(r) < n) sol.x[t.basis(r)] = t.rhs(r);
+  }
+  sol.value = Rational(0);
+  for (std::size_t j = 0; j < n; ++j) sol.value = sol.value + lp.objective[j] * sol.x[j];
+  return sol;
+}
+
+}  // namespace bitlevel::math

@@ -1,0 +1,37 @@
+// Exact rational linear programming (dense two-phase simplex).
+//
+// Purpose-built for schedule-optimality certification: the LP
+//     minimize c.x   subject to   A x >= b,  x >= 0
+// over exact rationals, with Bland's rule for guaranteed termination.
+// Problem sizes here are tiny (a dozen variables, a handful of
+// constraints), so a dense tableau is the right tool.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "math/rational.hpp"
+
+namespace bitlevel::math {
+
+/// minimize objective . x  subject to  constraints x >= bounds, x >= 0.
+struct LinearProgram {
+  std::vector<std::vector<Rational>> constraints;  ///< One row per constraint.
+  std::vector<Rational> bounds;                    ///< Right-hand sides.
+  std::vector<Rational> objective;                 ///< Cost coefficients.
+};
+
+/// Outcome of an LP solve.
+enum class LpStatus { kOptimal, kInfeasible, kUnbounded };
+
+/// Solution of a solved LP.
+struct LpSolution {
+  LpStatus status = LpStatus::kInfeasible;
+  Rational value;               ///< Optimal objective (when kOptimal).
+  std::vector<Rational> x;      ///< An optimal point (when kOptimal).
+};
+
+/// Solve with the two-phase simplex method (exact arithmetic).
+LpSolution solve_linear_program(const LinearProgram& lp);
+
+}  // namespace bitlevel::math

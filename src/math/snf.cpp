@@ -1,0 +1,134 @@
+#include "math/snf.hpp"
+
+#include <cstdlib>
+
+#include "math/checked.hpp"
+#include "support/error.hpp"
+
+namespace bitlevel::math {
+
+namespace {
+
+void swap_rows(IntMat& m, std::size_t a, std::size_t b) {
+  if (a == b) return;
+  IntVec ra = m.row(a), rb = m.row(b);
+  m.set_row(a, rb);
+  m.set_row(b, ra);
+}
+
+void swap_cols(IntMat& m, std::size_t a, std::size_t b) {
+  if (a == b) return;
+  IntVec ca = m.col(a), cb = m.col(b);
+  m.set_col(a, cb);
+  m.set_col(b, ca);
+}
+
+// row_i -= q * row_k
+void axpy_row(IntMat& m, std::size_t i, Int q, std::size_t k) {
+  if (q == 0) return;
+  for (std::size_t c = 0; c < m.cols(); ++c) {
+    m.at(i, c) = checked_sub(m.at(i, c), checked_mul(q, m.at(k, c)));
+  }
+}
+
+// col_j -= q * col_k
+void axpy_col(IntMat& m, std::size_t j, Int q, std::size_t k) {
+  if (q == 0) return;
+  for (std::size_t r = 0; r < m.rows(); ++r) {
+    m.at(r, j) = checked_sub(m.at(r, j), checked_mul(q, m.at(r, k)));
+  }
+}
+
+void negate_row(IntMat& m, std::size_t r) {
+  for (std::size_t c = 0; c < m.cols(); ++c) m.at(r, c) = checked_neg(m.at(r, c));
+}
+
+}  // namespace
+
+SmithForm smith_normal_form(const IntMat& a) {
+  SmithForm out{a, IntMat::identity(a.rows()), IntMat::identity(a.cols()), 0};
+  IntMat& s = out.s;
+  IntMat& u = out.u;
+  IntMat& v = out.v;
+  const std::size_t m = a.rows();
+  const std::size_t n = a.cols();
+  const std::size_t bound = m < n ? m : n;
+
+  for (std::size_t t = 0; t < bound; ++t) {
+    // Find the smallest-magnitude nonzero entry in the trailing block.
+    std::size_t pr = m, pc = n;
+    for (std::size_t r = t; r < m; ++r) {
+      for (std::size_t c = t; c < n; ++c) {
+        const Int val = s.at(r, c);
+        if (val == 0) continue;
+        if (pr == m || std::llabs(val) < std::llabs(s.at(pr, pc))) {
+          pr = r;
+          pc = c;
+        }
+      }
+    }
+    if (pr == m) break;  // trailing block is zero
+    swap_rows(s, t, pr);
+    swap_rows(u, t, pr);
+    swap_cols(s, t, pc);
+    swap_cols(v, t, pc);
+
+    // Eliminate the rest of row t and column t; iterate because the
+    // quotient-remainder steps can reintroduce entries.
+    bool dirty = true;
+    while (dirty) {
+      dirty = false;
+      for (std::size_t r = t + 1; r < m; ++r) {
+        if (s.at(r, t) == 0) continue;
+        const Int q = floor_div(s.at(r, t), s.at(t, t));
+        axpy_row(s, r, q, t);
+        axpy_row(u, r, q, t);
+        if (s.at(r, t) != 0) {
+          // Remainder is smaller in magnitude than the pivot; promote it.
+          swap_rows(s, t, r);
+          swap_rows(u, t, r);
+          dirty = true;
+        }
+      }
+      for (std::size_t c = t + 1; c < n; ++c) {
+        if (s.at(t, c) == 0) continue;
+        const Int q = floor_div(s.at(t, c), s.at(t, t));
+        axpy_col(s, c, q, t);
+        axpy_col(v, c, q, t);
+        if (s.at(t, c) != 0) {
+          swap_cols(s, t, c);
+          swap_cols(v, t, c);
+          dirty = true;
+        }
+      }
+    }
+
+    // Enforce the divisibility chain: if some trailing entry is not
+    // divisible by the pivot, fold its row into row t and redo.
+    bool redo = false;
+    for (std::size_t r = t + 1; r < m && !redo; ++r) {
+      for (std::size_t c = t + 1; c < n && !redo; ++c) {
+        if (s.at(r, c) % s.at(t, t) != 0) {
+          axpy_row(s, t, -1, r);  // row_t += row_r
+          axpy_row(u, t, -1, r);
+          redo = true;
+        }
+      }
+    }
+    if (redo) {
+      --t;  // reprocess this pivot position
+      continue;
+    }
+    if (s.at(t, t) < 0) {
+      negate_row(s, t);
+      negate_row(u, t);
+    }
+  }
+
+  for (std::size_t t = 0; t < bound; ++t) {
+    if (s.at(t, t) != 0) ++out.rank;
+  }
+  return out;
+}
+
+}  // namespace bitlevel::math

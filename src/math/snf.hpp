@@ -1,0 +1,22 @@
+// Smith normal form: U * A * V = S with U, V unimodular and S diagonal
+// with s_1 | s_2 | ... | s_r. Used by the lattice-injectivity check for
+// mapping matrices (Definition 4.1 condition 3) and exercised heavily by
+// the property tests as an independent cross-check of the Hermite code.
+#pragma once
+
+#include "math/int_mat.hpp"
+
+namespace bitlevel::math {
+
+/// Smith decomposition U * A * V = S.
+struct SmithForm {
+  IntMat s;  ///< Diagonal form, same shape as A; diagonal nonnegative.
+  IntMat u;  ///< Unimodular row transform (rows x rows).
+  IntMat v;  ///< Unimodular column transform (cols x cols).
+  std::size_t rank = 0;  ///< Number of nonzero diagonal entries.
+};
+
+/// Compute the Smith normal form of `a`.
+SmithForm smith_normal_form(const IntMat& a);
+
+}  // namespace bitlevel::math

@@ -1,0 +1,193 @@
+#include "sim/machine.hpp"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+#include "support/error.hpp"
+
+namespace bitlevel::sim {
+
+std::string SimulationStats::to_string() const {
+  std::ostringstream os;
+  os << "cycles " << cycles << " (t = " << first_cycle << ".." << last_cycle << "), PEs "
+     << pe_count << ", computations " << computations << ", utilization " << pe_utilization
+     << ", hops " << link_transmissions << ", wire length " << wire_length
+     << ", buffered value-cycles " << buffered_value_cycles << ", peak parallelism "
+     << peak_parallelism;
+  return os.str();
+}
+
+Machine::Machine(MachineConfig config, ComputeFn compute, ExternalFn external)
+    : config_(std::move(config)), compute_(std::move(compute)), external_(std::move(external)) {
+  BL_REQUIRE(config_.deps.empty() || config_.deps.dim() == config_.domain.dim(),
+             "dependence dimension must match the domain");
+  BL_REQUIRE(config_.t.n() == config_.domain.dim(), "mapping dimension must match the domain");
+  BL_REQUIRE(config_.k.rows() == config_.prims.count() && config_.k.cols() == config_.deps.size(),
+             "routing matrix shape must be (primitives x dependences)");
+  BL_REQUIRE(static_cast<bool>(compute_), "compute function required");
+  BL_REQUIRE(static_cast<bool>(external_), "external-input function required");
+  BL_REQUIRE(!config_.channels.empty(), "at least one output channel required");
+
+  // Row-major strides over the domain box for flat indexing.
+  const std::size_t n = config_.domain.dim();
+  strides_.assign(n, 1);
+  for (std::size_t i = n - 1; i-- > 0;) {
+    const Int extent =
+        config_.domain.upper()[i + 1] - config_.domain.lower()[i + 1] + 1;
+    strides_[i] = math::checked_mul(strides_[i + 1], extent);
+  }
+}
+
+std::size_t Machine::linear_index(const IntVec& q) const {
+  Int at = 0;
+  for (std::size_t i = 0; i < q.size(); ++i) {
+    at += strides_[i] * (q[i] - config_.domain.lower()[i]);
+  }
+  return static_cast<std::size_t>(at);
+}
+
+SimulationStats Machine::run() {
+  BL_REQUIRE(!ran_, "Machine::run is single-shot; construct a new machine to rerun");
+  ran_ = true;
+
+  const IntVec pi = config_.t.schedule();
+  const IntMat space = config_.t.space();
+  const std::size_t ncols = config_.deps.size();
+  const std::size_t nch = config_.channels.size();
+
+  // Per-column hop count and slack, from K (static routes).
+  IntVec hops(ncols, 0);
+  IntVec wire(ncols, 0);
+  SimulationStats stats;
+  stats.buffer_depth.assign(ncols, 0);
+  for (std::size_t i = 0; i < ncols; ++i) {
+    for (std::size_t j = 0; j < config_.prims.count(); ++j) {
+      const Int uses = config_.k.at(j, i);
+      BL_REQUIRE(uses >= 0, "routing counts must be nonnegative");
+      hops[i] = math::checked_add(hops[i], uses);
+      wire[i] = math::checked_add(
+          wire[i], math::checked_mul(uses, math::l1_norm(config_.prims.p.col(j))));
+    }
+    const Int slack = math::checked_sub(math::dot(pi, config_.deps[i].d), hops[i]);
+    BL_REQUIRE(slack >= 0, "routing uses more hops than the schedule allows (4.1)");
+    stats.buffer_depth[static_cast<std::size_t>(i)] = slack;
+  }
+
+  // Event list sorted by cycle (stable within a cycle: lexicographic
+  // domain order). Every point appears exactly once.
+  const std::size_t npoints = static_cast<std::size_t>(config_.domain.size());
+  struct Event {
+    Int cycle;
+    IntVec q;
+  };
+  std::vector<Event> events;
+  events.reserve(npoints);
+  config_.domain.for_each([&](const IntVec& q) {
+    events.push_back({math::dot(pi, q), q});
+    return true;
+  });
+  std::stable_sort(events.begin(), events.end(),
+                   [](const Event& a, const Event& b) { return a.cycle < b.cycle; });
+  BL_REQUIRE(!events.empty(), "empty domain");
+  stats.first_cycle = events.front().cycle;
+  stats.last_cycle = events.back().cycle;
+  stats.cycles = stats.last_cycle - stats.first_cycle + 1;
+
+  outputs_.assign(npoints * nch, 0);
+  computed_.assign(npoints, 0);
+
+  std::set<IntVec> pes;
+  std::vector<ColumnInput> inputs(ncols);
+  std::vector<Outputs> resolved_externals;
+  std::vector<IntVec> cycle_pes;  // conflict check within one cycle
+
+  std::size_t at = 0;
+  while (at < events.size()) {
+    // The half-open range of events sharing this cycle.
+    const Int cycle = events[at].cycle;
+    std::size_t end = at;
+    while (end < events.size() && events[end].cycle == cycle) ++end;
+    stats.peak_parallelism =
+        std::max(stats.peak_parallelism, static_cast<Int>(end - at));
+
+    // Physical invariant: one computation per (PE, cycle). Events from
+    // earlier cycles cannot collide with this cycle, so checking within
+    // the cycle suffices.
+    cycle_pes.clear();
+    for (std::size_t e = at; e < end; ++e) cycle_pes.push_back(space.mul(events[e].q));
+    std::sort(cycle_pes.begin(), cycle_pes.end());
+    for (std::size_t e = 1; e < cycle_pes.size(); ++e) {
+      BL_REQUIRE(cycle_pes[e] != cycle_pes[e - 1],
+                 "computational conflict at a (PE, cycle) pair — mapping is infeasible");
+    }
+    for (auto& pe : cycle_pes) pes.insert(std::move(pe));
+
+    // All operands of this cycle's events come from strictly earlier
+    // cycles, so the events are mutually independent (a parallel host
+    // could fan this loop out).
+    for (std::size_t e = at; e < end; ++e) {
+      const IntVec& q = events[e].q;
+      resolved_externals.clear();
+      resolved_externals.reserve(ncols);
+      for (std::size_t i = 0; i < ncols; ++i) {
+        inputs[i] = ColumnInput{};
+        const auto& col = config_.deps[i];
+        if (!col.valid.contains(q)) continue;
+        inputs[i].valid = true;
+        const IntVec producer = math::sub(q, col.d);
+        if (!config_.domain.contains(producer)) {
+          inputs[i].external = true;
+          resolved_externals.push_back(external_(q, i));
+          BL_REQUIRE(resolved_externals.back().size() == nch,
+                     "external function must fill every channel");
+          inputs[i].producer = resolved_externals.back().data();
+          continue;
+        }
+        const std::size_t slot = linear_index(producer);
+        BL_REQUIRE(computed_[slot] != 0,
+                   "operand not yet produced — schedule violates a dependence");
+        // Timing: the value left the producer at Pi*producer, took
+        // hops[i] link cycles, and must have arrived by now.
+        const Int produced = math::dot(pi, producer);
+        BL_REQUIRE(produced + hops[i] <= cycle,
+                   "operand arrives after its consumption cycle — (4.1) violated");
+        inputs[i].producer = outputs_.data() + slot * nch;
+        // Accounting: hops and the buffer wait at the consumer.
+        stats.link_transmissions = math::checked_add(stats.link_transmissions, hops[i]);
+        stats.wire_length = math::checked_add(stats.wire_length, wire[i]);
+        stats.buffered_value_cycles = math::checked_add(
+            stats.buffered_value_cycles, cycle - produced - hops[i]);
+      }
+
+      const Outputs out = compute_(q, inputs);
+      BL_REQUIRE(out.size() == nch, "compute function must fill every channel");
+      const std::size_t slot = linear_index(q);
+      std::copy(out.begin(), out.end(), outputs_.begin() + static_cast<std::ptrdiff_t>(slot * nch));
+      computed_[slot] = 1;
+      ++stats.computations;
+    }
+    at = end;
+  }
+
+  stats.pe_count = static_cast<Int>(pes.size());
+  stats.pe_utilization = static_cast<double>(stats.computations) /
+                         (static_cast<double>(stats.pe_count) *
+                          static_cast<double>(stats.cycles));
+  return stats;
+}
+
+const Int* Machine::outputs_at(const IntVec& q) const {
+  BL_REQUIRE(config_.domain.contains(q), "index point outside the domain");
+  const std::size_t slot = linear_index(q);
+  BL_REQUIRE(!computed_.empty() && computed_[slot] != 0,
+             "no outputs recorded at the requested index point");
+  return outputs_.data() + slot * config_.channels.size();
+}
+
+bool Machine::has_outputs(const IntVec& q) const {
+  if (!config_.domain.contains(q)) return false;
+  return !computed_.empty() && computed_[linear_index(q)] != 0;
+}
+
+}  // namespace bitlevel::sim

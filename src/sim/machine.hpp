@@ -1,0 +1,128 @@
+// Cycle-accurate simulation of a mapped algorithm on a systolic array.
+//
+// A Machine is built from an algorithm (J, D with validity regions), a
+// feasible mapping T = [S; Pi], the target's interconnection primitives
+// P and the routing matrix K (from the feasibility check). It executes
+// the computations in schedule order — computation q runs on PE S*q at
+// cycle Pi*q — moving each produced value along its dependence column's
+// dedicated wire track, one primitive hop per cycle, and buffering it at
+// the consumer until its consumption cycle.
+//
+// The run verifies the physical invariants the mapping conditions
+// promise and reports them as hard errors if violated:
+//   - at most one computation per (PE, cycle)        [condition 3],
+//   - every operand arrives no later than it is used [condition 2/(4.1)],
+// and aggregates the statistics the paper's evaluation talks about:
+// total cycles, PE count, PE utilization, link transmissions, total
+// wire length traversed, and per-column buffer depths (the paper notes
+// d4 needs one buffer register on the [1,0] link of Fig. 4).
+//
+// Functional semantics are supplied by a ComputeFn: given the index
+// point and, per dependence column, a view of the producer's output
+// bundle (or the resolved boundary bundle), it returns this
+// computation's output bundle. Bundles are fixed-length integer slices
+// aligned to a channel-name registry (e.g. {"x","y","z","c","cp"} for
+// the bit-level compressor cell).
+//
+// Storage is flat (one linearized slot per index point), so million-
+// point runs stay cache-friendly; because every operand comes from a
+// strictly earlier cycle, the events within one cycle are independent —
+// embarrassingly parallel if a host wants to fan them out.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "ir/dependence.hpp"
+#include "ir/index_set.hpp"
+#include "mapping/kmatrix.hpp"
+#include "mapping/transform.hpp"
+
+namespace bitlevel::sim {
+
+using math::Int;
+using math::IntMat;
+using math::IntVec;
+
+/// One computation's outputs, aligned to MachineConfig::channels.
+/// Entries are full-width integers so word-level PEs (whose values are
+/// whole words, not bits) use the same machinery.
+using Outputs = std::vector<Int>;
+
+/// What a dependence column delivers to a consumer. `producer` points
+/// at a channels-length bundle (the producing computation's outputs, or
+/// the resolved boundary bundle when `external`); null when the column
+/// is not valid at this point.
+struct ColumnInput {
+  bool valid = false;     ///< Column valid at this index point.
+  bool external = false;  ///< Producer lies outside J (boundary input).
+  const Int* producer = nullptr;  ///< Channels-length bundle view.
+};
+
+/// Functional cell semantics; `inputs` is indexed like the dependence
+/// columns.
+using ComputeFn =
+    std::function<Outputs(const IntVec& q, const std::vector<ColumnInput>& inputs)>;
+
+/// Boundary values: the output bundle a column would have delivered had
+/// its producer existed (e.g. fresh operand bits, zero carries).
+using ExternalFn = std::function<Outputs(const IntVec& q, std::size_t column)>;
+
+/// Static description of the machine.
+struct MachineConfig {
+  ir::IndexSet domain;
+  ir::DependenceMatrix deps;
+  mapping::MappingMatrix t;
+  mapping::InterconnectionPrimitives prims;
+  IntMat k;                            ///< Routing matrix (prims x deps).
+  std::vector<std::string> channels;   ///< Output bundle layout.
+};
+
+/// Aggregate results of a run.
+struct SimulationStats {
+  Int first_cycle = 0;
+  Int last_cycle = 0;
+  Int cycles = 0;            ///< last - first + 1 (the paper's total time).
+  Int pe_count = 0;
+  Int computations = 0;
+  double pe_utilization = 0.0;     ///< computations / (pe_count * cycles).
+  Int link_transmissions = 0;      ///< Total primitive hops taken.
+  Int wire_length = 0;             ///< Sum of L1 lengths of those hops.
+  Int buffered_value_cycles = 0;   ///< Total cycles values waited in buffers.
+  std::vector<Int> buffer_depth;   ///< Per column: slack = Pi*d - hops.
+  Int peak_parallelism = 0;        ///< Max computations in one cycle.
+
+  std::string to_string() const;
+};
+
+/// The simulator.
+class Machine {
+ public:
+  Machine(MachineConfig config, ComputeFn compute, ExternalFn external);
+
+  /// Execute all computations in schedule order. Throws Error on any
+  /// physical-invariant violation. Single-shot per instance.
+  SimulationStats run();
+
+  /// Channels-length view of the outputs at q (valid after run()).
+  const Int* outputs_at(const IntVec& q) const;
+
+  /// True when q was computed (valid after run()).
+  bool has_outputs(const IntVec& q) const;
+
+  const MachineConfig& config() const { return config_; }
+
+ private:
+  std::size_t linear_index(const IntVec& q) const;
+
+  MachineConfig config_;
+  ComputeFn compute_;
+  ExternalFn external_;
+  std::vector<Int> strides_;      ///< Row-major strides of the domain box.
+  std::vector<Int> outputs_;      ///< Flat: point-linear * channels.
+  std::vector<char> computed_;    ///< Per point: outputs valid.
+  bool ran_ = false;
+};
+
+}  // namespace bitlevel::sim

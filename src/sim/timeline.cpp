@@ -1,0 +1,100 @@
+#include "sim/timeline.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "support/error.hpp"
+
+namespace bitlevel::sim {
+
+std::string activity_chart(const ir::IndexSet& domain, const mapping::MappingMatrix& t,
+                           const TimelineOptions& options) {
+  BL_REQUIRE(t.n() == domain.dim(), "mapping dimension must match the domain");
+  const math::IntMat space = t.space();
+  const math::IntVec pi = t.schedule();
+
+  // PE -> set of active cycles.
+  std::map<math::IntVec, std::set<math::Int>> activity;
+  math::Int t_min = 0, t_max = 0;
+  bool first = true;
+  domain.for_each([&](const math::IntVec& q) {
+    const math::Int when = math::dot(pi, q);
+    activity[space.mul(q)].insert(when);
+    t_min = first ? when : std::min(t_min, when);
+    t_max = first ? when : std::max(t_max, when);
+    first = false;
+    return true;
+  });
+
+  const math::Int cycles = std::min(t_max - t_min + 1, options.max_cycles);
+  std::ostringstream os;
+  os << "PE activity, cycles " << t_min << ".." << t_min + cycles - 1;
+  if (t_min + cycles - 1 < t_max) os << " (of " << t_max << ", truncated)";
+  os << '\n';
+  math::Int rows = 0;
+  for (const auto& [pe, when] : activity) {
+    if (rows++ >= options.max_pes) {
+      os << "... (" << activity.size() - static_cast<std::size_t>(options.max_pes)
+         << " more PEs)\n";
+      break;
+    }
+    std::string label = math::to_string(pe);
+    label.resize(14, ' ');
+    os << label << ' ';
+    for (math::Int c = t_min; c < t_min + cycles; ++c) os << (when.count(c) ? '#' : '.');
+    os << '\n';
+  }
+  return os.str();
+}
+
+std::string cycle_snapshots(const ir::IndexSet& domain, const mapping::MappingMatrix& t,
+                            const TimelineOptions& options) {
+  BL_REQUIRE(t.k() == 3, "cycle snapshots need a 2-D space mapping");
+  const math::IntMat space = t.space();
+  const math::IntVec pi = t.schedule();
+
+  // cycle -> set of active PE coordinates; track array bounds.
+  std::map<math::Int, std::set<math::IntVec>> frames;
+  math::Int r_lo = 0, r_hi = 0, c_lo = 0, c_hi = 0;
+  bool first = true;
+  domain.for_each([&](const math::IntVec& q) {
+    math::IntVec pe = space.mul(q);
+    if (first) {
+      r_lo = r_hi = pe[0];
+      c_lo = c_hi = pe[1];
+      first = false;
+    } else {
+      r_lo = std::min(r_lo, pe[0]);
+      r_hi = std::max(r_hi, pe[0]);
+      c_lo = std::min(c_lo, pe[1]);
+      c_hi = std::max(c_hi, pe[1]);
+    }
+    frames[math::dot(pi, q)].insert(std::move(pe));
+    return true;
+  });
+  BL_REQUIRE(r_hi - r_lo < options.max_extent && c_hi - c_lo < options.max_extent,
+             "array too large to snapshot; raise TimelineOptions::max_extent");
+
+  std::ostringstream os;
+  math::Int shown = 0;
+  for (const auto& [cycle, active] : frames) {
+    if (shown++ >= options.max_cycles) {
+      os << "... (" << frames.size() - static_cast<std::size_t>(options.max_cycles)
+         << " more cycles)\n";
+      break;
+    }
+    os << "cycle " << cycle << " (" << active.size() << " PEs busy)\n";
+    for (math::Int r = r_lo; r <= r_hi; ++r) {
+      os << "  ";
+      for (math::Int c = c_lo; c <= c_hi; ++c) {
+        os << (active.count(math::IntVec{r, c}) ? '#' : '.');
+      }
+      os << '\n';
+    }
+  }
+  return os.str();
+}
+
+}  // namespace bitlevel::sim

@@ -1,0 +1,38 @@
+// Space-time visualization of mapped algorithms.
+//
+// The paper's Figs. 4 and 5 are static wiring diagrams; these renderers
+// show the same architectures *running*: which PE computes at which
+// cycle under a linear schedule. Two views:
+//   - activity_chart: one row per PE, one column per cycle ('#' active,
+//     '.' idle) — the wavefront is the diagonal band of '#'s;
+//   - cycle_snapshots: for 2-D arrays, a small grid per cycle with
+//     active PEs marked — an ASCII animation of the array.
+// Both are pure functions of (J, T); they need no simulation run.
+#pragma once
+
+#include <string>
+
+#include "ir/index_set.hpp"
+#include "mapping/transform.hpp"
+
+namespace bitlevel::sim {
+
+/// Options bounding the rendering size.
+struct TimelineOptions {
+  math::Int max_pes = 64;      ///< Rows of the activity chart.
+  math::Int max_cycles = 120;  ///< Columns of the activity chart.
+  math::Int max_extent = 24;   ///< Per-dimension cap for snapshots.
+};
+
+/// PE-by-cycle activity chart. Works for any array dimensionality (PEs
+/// are labelled by their coordinates and sorted lexicographically).
+/// Truncates (with a note) beyond the option bounds.
+std::string activity_chart(const ir::IndexSet& domain, const mapping::MappingMatrix& t,
+                           const TimelineOptions& options = {});
+
+/// Per-cycle 2-D grid snapshots ('#' = PE computing this cycle,
+/// '.' = idle). Requires a 2-D space mapping.
+std::string cycle_snapshots(const ir::IndexSet& domain, const mapping::MappingMatrix& t,
+                            const TimelineOptions& options = {});
+
+}  // namespace bitlevel::sim

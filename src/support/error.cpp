@@ -1,0 +1,15 @@
+#include "support/error.hpp"
+
+#include <sstream>
+
+namespace bitlevel::detail {
+
+void throw_precondition(std::string_view cond, std::string_view file, int line,
+                        std::string_view message) {
+  std::ostringstream os;
+  os << "precondition violated: " << message << " [" << cond << " at " << file << ":" << line
+     << "]";
+  throw PreconditionError(os.str());
+}
+
+}  // namespace bitlevel::detail

@@ -1,0 +1,59 @@
+// Error handling primitives shared by every bitlevel library.
+//
+// The library reports contract violations and domain errors through
+// exceptions derived from bitlevel::Error so callers can distinguish
+// "you passed a malformed index set" from a std::logic_error deep in the
+// standard library.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace bitlevel {
+
+/// Base class for all errors raised by the bitlevel libraries.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// A caller violated a documented precondition (bad dimension, empty
+/// index set, non-coprime mapping row, ...).
+class PreconditionError : public Error {
+ public:
+  explicit PreconditionError(const std::string& what) : Error(what) {}
+};
+
+/// An arithmetic operation would overflow the fixed-width integer type
+/// used by the integer linear-algebra kernels.
+class OverflowError : public Error {
+ public:
+  explicit OverflowError(const std::string& what) : Error(what) {}
+};
+
+/// A requested object does not exist (no solution to a Diophantine
+/// system, no feasible K matrix, ...). Most APIs return std::optional
+/// instead; this is thrown by the "checked" convenience wrappers.
+class NotFoundError : public Error {
+ public:
+  explicit NotFoundError(const std::string& what) : Error(what) {}
+};
+
+namespace detail {
+[[noreturn]] void throw_precondition(std::string_view cond, std::string_view file, int line,
+                                     std::string_view message);
+}  // namespace detail
+
+}  // namespace bitlevel
+
+/// Check a documented precondition; throws bitlevel::PreconditionError
+/// with source location when violated. Unlike assert() this is active in
+/// all build types: the library is used to *verify* architectures, so
+/// silent undefined behaviour is never acceptable.
+#define BL_REQUIRE(cond, message)                                                  \
+  do {                                                                             \
+    if (!(cond)) {                                                                 \
+      ::bitlevel::detail::throw_precondition(#cond, __FILE__, __LINE__, (message)); \
+    }                                                                              \
+  } while (false)

@@ -1,0 +1,75 @@
+#include "support/format.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "support/error.hpp"
+
+namespace bitlevel {
+
+std::string format_vector(const std::vector<std::int64_t>& v) {
+  std::ostringstream os;
+  os << '[';
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    if (i != 0) os << ", ";
+    os << v[i];
+  }
+  os << ']';
+  return os.str();
+}
+
+std::string format_matrix(const std::vector<std::int64_t>& data, std::size_t rows,
+                          std::size_t cols) {
+  BL_REQUIRE(data.size() == rows * cols, "matrix data size must equal rows*cols");
+  std::vector<std::string> cells(data.size());
+  std::size_t width = 0;
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    cells[i] = std::to_string(data[i]);
+    width = std::max(width, cells[i].size());
+  }
+  std::ostringstream os;
+  for (std::size_t r = 0; r < rows; ++r) {
+    os << '[';
+    for (std::size_t c = 0; c < cols; ++c) {
+      const std::string& s = cells[r * cols + c];
+      os << ' ' << std::string(width - s.size(), ' ') << s;
+    }
+    os << " ]";
+    if (r + 1 != rows) os << '\n';
+  }
+  return os.str();
+}
+
+TextTable::TextTable(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  BL_REQUIRE(!headers_.empty(), "table needs at least one column");
+}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  BL_REQUIRE(cells.size() == headers_.size(), "row arity must match header arity");
+  rows_.push_back(std::move(cells));
+}
+
+std::string TextTable::to_string() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) widths[c] = std::max(widths[c], row[c].size());
+  }
+  auto emit_row = [&](std::ostringstream& os, const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << (c == 0 ? "| " : " | ") << row[c] << std::string(widths[c] - row[c].size(), ' ');
+    }
+    os << " |\n";
+  };
+  std::ostringstream os;
+  emit_row(os, headers_);
+  os << '|';
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    os << std::string(widths[c] + 2, '-') << '|';
+  }
+  os << '\n';
+  for (const auto& row : rows_) emit_row(os, row);
+  return os.str();
+}
+
+}  // namespace bitlevel

@@ -1,0 +1,39 @@
+// Lightweight text formatting helpers used by the pretty-printers of the
+// math / ir / mapping libraries and by the benchmark harnesses that
+// regenerate the paper's tables.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace bitlevel {
+
+/// Render a vector of integers as "[a, b, c]".
+std::string format_vector(const std::vector<std::int64_t>& v);
+
+/// Render a row-major matrix as an aligned multi-line block, e.g.
+///   [  1  0  1 ]
+///   [  0  1 -1 ]
+/// `rows`/`cols` describe the shape of `data` (rows*cols entries).
+std::string format_matrix(const std::vector<std::int64_t>& data, std::size_t rows,
+                          std::size_t cols);
+
+/// A minimal fixed-column text table used by bench binaries to print the
+/// rows of the paper's evaluation (who wins, by what factor, where).
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> headers);
+
+  /// Append one row; must have the same arity as the header row.
+  void add_row(std::vector<std::string> cells);
+
+  /// Render with column alignment and a header separator.
+  std::string to_string() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace bitlevel

@@ -1,0 +1,149 @@
+#include "support/json.hpp"
+
+#include <cstdio>
+
+#include "support/error.hpp"
+
+namespace bitlevel {
+
+std::string JsonWriter::escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void JsonWriter::before_value() {
+  if (scopes_.empty()) {
+    BL_REQUIRE(out_.empty(), "only one top-level JSON value allowed");
+    return;
+  }
+  if (scopes_.back() == Scope::Object) {
+    BL_REQUIRE(pending_key_, "object members need a key before the value");
+    pending_key_ = false;
+    return;
+  }
+  if (has_items_.back()) out_ += ',';
+  has_items_.back() = true;
+}
+
+JsonWriter& JsonWriter::begin_object() {
+  before_value();
+  out_ += '{';
+  scopes_.push_back(Scope::Object);
+  has_items_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  BL_REQUIRE(!scopes_.empty() && scopes_.back() == Scope::Object && !pending_key_,
+             "end_object without matching begin_object");
+  out_ += '}';
+  scopes_.pop_back();
+  has_items_.pop_back();
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array() {
+  before_value();
+  out_ += '[';
+  scopes_.push_back(Scope::Array);
+  has_items_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  BL_REQUIRE(!scopes_.empty() && scopes_.back() == Scope::Array,
+             "end_array without matching begin_array");
+  out_ += ']';
+  scopes_.pop_back();
+  has_items_.pop_back();
+  return *this;
+}
+
+JsonWriter& JsonWriter::key(const std::string& name) {
+  BL_REQUIRE(!scopes_.empty() && scopes_.back() == Scope::Object && !pending_key_,
+             "key() is only valid directly inside an object");
+  if (has_items_.back()) out_ += ',';
+  has_items_.back() = true;
+  out_ += '"';
+  out_ += escape(name);
+  out_ += "\":";
+  pending_key_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(const std::string& v) {
+  before_value();
+  out_ += '"';
+  out_ += escape(v);
+  out_ += '"';
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(const char* v) { return value(std::string(v)); }
+
+JsonWriter& JsonWriter::value(std::int64_t v) {
+  before_value();
+  out_ += std::to_string(v);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::uint64_t v) {
+  before_value();
+  out_ += std::to_string(v);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(double v) {
+  before_value();
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.6g", v);
+  out_ += buf;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(bool v) {
+  before_value();
+  out_ += v ? "true" : "false";
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(const std::vector<std::int64_t>& v) {
+  begin_array();
+  for (std::int64_t x : v) value(x);
+  return end_array();
+}
+
+std::string JsonWriter::str() const {
+  BL_REQUIRE(scopes_.empty(), "unbalanced JSON scopes at str()");
+  return out_;
+}
+
+}  // namespace bitlevel

@@ -1,0 +1,57 @@
+// A minimal JSON writer (no parsing, no DOM) for the CLI tool's
+// machine-readable output. Values are emitted in insertion order;
+// strings are escaped per RFC 8259.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace bitlevel {
+
+/// Streaming JSON builder. Usage:
+///   JsonWriter w;
+///   w.begin_object();
+///   w.key("cycles").value(19);
+///   w.key("deps").begin_array(); w.value("x"); w.end_array();
+///   w.end_object();
+///   std::string out = w.str();
+/// Nesting errors (value without key inside an object, unbalanced
+/// begin/end) throw PreconditionError.
+class JsonWriter {
+ public:
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+
+  /// Object member key; must be directly inside an object.
+  JsonWriter& key(const std::string& name);
+
+  JsonWriter& value(const std::string& v);
+  JsonWriter& value(const char* v);
+  JsonWriter& value(std::int64_t v);
+  JsonWriter& value(int v) { return value(static_cast<std::int64_t>(v)); }
+  JsonWriter& value(std::uint64_t v);
+  JsonWriter& value(double v);
+  JsonWriter& value(bool v);
+
+  /// Convenience: an array of integers in one call.
+  JsonWriter& value(const std::vector<std::int64_t>& v);
+
+  /// The finished document; all scopes must be closed.
+  std::string str() const;
+
+  /// Escape a string per JSON rules (quotes not included).
+  static std::string escape(const std::string& s);
+
+ private:
+  enum class Scope { Object, Array };
+  void before_value();
+  std::string out_;
+  std::vector<Scope> scopes_;
+  std::vector<bool> has_items_;
+  bool pending_key_ = false;
+};
+
+}  // namespace bitlevel

@@ -1,0 +1,4 @@
+#include "support/rng.hpp"
+
+// Header-only; this translation unit exists so the support library has a
+// stable archive even when only rng.hpp is used.

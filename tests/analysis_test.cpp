@@ -1,0 +1,182 @@
+// Dependence-analysis backends: GCD and Banerjee screens, the exact
+// Diophantine test, trace replay, and their mutual consistency.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "analysis/banerjee.hpp"
+#include "analysis/classify.hpp"
+#include "analysis/exact.hpp"
+#include "analysis/gcd_test.hpp"
+#include "analysis/trace.hpp"
+#include "ir/kernels.hpp"
+#include "support/error.hpp"
+
+namespace bitlevel::analysis {
+namespace {
+
+using ir::AffineMap;
+
+TEST(GcdTest, SingleEquation) {
+  EXPECT_TRUE(gcd_test_equation({2, 4}, 6));
+  EXPECT_FALSE(gcd_test_equation({2, 4}, 7));
+  EXPECT_TRUE(gcd_test_equation({3, 5}, 1));  // coprime: always possible
+  EXPECT_TRUE(gcd_test_equation({0, 0}, 0));
+  EXPECT_FALSE(gcd_test_equation({0, 0}, 3));
+}
+
+TEST(GcdTest, SystemConstruction) {
+  // write a(2j), read a(2j'+1): 2j - 2j' = 1 — never.
+  const AffineMap w(math::IntMat{{2}}, {0});
+  const AffineMap r(math::IntMat{{2}}, {1});
+  const DependenceSystem sys = dependence_system(w, r);
+  EXPECT_EQ(sys.a, (math::IntMat{{2, -2}}));
+  EXPECT_EQ(sys.b, (math::IntVec{1}));
+  EXPECT_FALSE(gcd_test(sys));
+}
+
+TEST(BanerjeeTest, RangeBounds) {
+  const ExpressionRange r = expression_range({2, -3}, {0, 0}, {5, 4});
+  EXPECT_EQ(r.min, -12);
+  EXPECT_EQ(r.max, 10);
+  EXPECT_TRUE(banerjee_test_equation({2, -3}, 0, {0, 0}, {5, 4}));
+  EXPECT_FALSE(banerjee_test_equation({2, -3}, 11, {0, 0}, {5, 4}));
+}
+
+TEST(BanerjeeTest, RefinesGcd) {
+  // j - j' = 100 passes the GCD test (gcd 1) but fails Banerjee for
+  // loops of extent 10.
+  const AffineMap w(math::IntMat{{1}}, {0});
+  const AffineMap r(math::IntMat{{1}}, {-100});
+  const DependenceSystem sys = dependence_system(w, r);
+  EXPECT_TRUE(gcd_test(sys));
+  EXPECT_FALSE(banerjee_test(sys, {1, 1}, {10, 10}));
+}
+
+TEST(TraceTest, MatmulWordLevelDependences) {
+  const auto prog = ir::kernels::matmul(3).access_program();
+  const auto trace = trace_dependences(prog);
+  const auto summary = DependenceSummary::from_instances(trace);
+  // Exactly the three uniform vectors of (2.4).
+  const auto vectors = summary.distance_vectors();
+  EXPECT_EQ(vectors, (std::vector<math::IntVec>{{0, 0, 1}, {0, 1, 0}, {1, 0, 0}}));
+}
+
+TEST(TraceTest, MatchesDeclaredStructure) {
+  const auto model = ir::kernels::convolution1d(5, 3);
+  const auto trace = trace_dependences(model.access_program());
+  const auto triplet = model.triplet();
+  const MatchReport report = match_structure(triplet.deps, triplet.domain, trace);
+  EXPECT_TRUE(report.ok) << report.to_string();
+}
+
+TEST(TraceTest, SingleAssignmentEnforced) {
+  // z(j1) written u times: not single assignment.
+  ir::Program prog{ir::IndexSet::cube(2, 3),
+                   {{{"z", AffineMap::select(2, {0})}, {}, "z(j1) = ..."}}};
+  EXPECT_THROW(trace_dependences(prog), PreconditionError);
+  TraceOptions relaxed;
+  relaxed.require_single_assignment = false;
+  EXPECT_NO_THROW(trace_dependences(prog, relaxed));
+}
+
+TEST(TraceTest, GuardsRestrictAccesses) {
+  // A read active only at j1 == 3 produces edges only there.
+  const AffineMap id = AffineMap::identity(1);
+  ir::Program prog{ir::IndexSet({1}, {5}),
+                   {{{"a", id},
+                     {{"a", AffineMap::translate({-1}), ir::ValidityRegion::coord_eq(0, 3)}},
+                     "a(j) = guarded"}}};
+  const auto trace = trace_dependences(prog);
+  ASSERT_EQ(trace.size(), 1u);
+  EXPECT_EQ(trace[0].consumer, (math::IntVec{3}));
+  EXPECT_EQ(trace[0].producer, (math::IntVec{2}));
+}
+
+TEST(ExactTest, AgreesWithTraceOnKernels) {
+  for (const auto& model :
+       {ir::kernels::matmul(3), ir::kernels::convolution1d(4, 3), ir::kernels::matvec(3, 3)}) {
+    const auto prog = model.access_program();
+    const auto traced = trace_dependences(prog);
+    const auto exact = exact_dependences(prog);
+    const std::set<DependenceInstance> a(traced.begin(), traced.end());
+    const std::set<DependenceInstance> b(exact.begin(), exact.end());
+    EXPECT_EQ(a, b) << model.name;
+  }
+}
+
+TEST(ExactTest, StatsCountWork) {
+  ExactAnalysisStats stats;
+  const auto prog = ir::kernels::matmul(2).access_program();
+  exact_dependences(prog, &stats);
+  EXPECT_GT(stats.systems_solved, 0u);
+  EXPECT_GT(stats.solutions_enumerated, 0u);
+}
+
+TEST(ExactTest, PairOrderingFiltersIntraIteration) {
+  // Statement reads the element it writes, same iteration: the read
+  // precedes the write, so no intra-iteration flow.
+  const AffineMap id = AffineMap::identity(1);
+  const auto deps = exact_pair_dependences(ir::IndexSet({1}, {4}), "a", id, id,
+                                           /*write_first=*/false);
+  EXPECT_TRUE(deps.empty());
+  // With the writer in an earlier statement, same-iteration flow exists.
+  const auto deps2 =
+      exact_pair_dependences(ir::IndexSet({1}, {4}), "a", id, id, /*write_first=*/true);
+  EXPECT_EQ(deps2.size(), 4u);
+  for (const auto& d : deps2) EXPECT_EQ(d.consumer, d.producer);
+}
+
+TEST(SummaryTest, CollapsesAndDropsZeroDistances) {
+  std::vector<DependenceInstance> instances{
+      {"a", {2, 1}, {1, 1}},
+      {"a", {3, 1}, {2, 1}},
+      {"b", {2, 2}, {1, 2}},
+      {"b", {2, 2}, {2, 2}},  // zero distance: dropped
+  };
+  const auto summary = DependenceSummary::from_instances(instances);
+  ASSERT_EQ(summary.entries.size(), 1u);
+  EXPECT_EQ(summary.entries[0].d, (math::IntVec{1, 0}));
+  EXPECT_EQ(summary.entries[0].consumers.size(), 3u);
+  EXPECT_EQ(summary.entries[0].arrays.size(), 2u);
+}
+
+TEST(ClassifyTest, DirectionsAndLevels) {
+  EXPECT_EQ(to_string(direction_vector({1, 0, -1})), "(<, =, >)");
+  EXPECT_EQ(dependence_level({0, 0, 1}), 3u);
+  EXPECT_EQ(dependence_level({2, -1}), 1u);
+  EXPECT_EQ(dependence_level({0, 0}), 0u);
+}
+
+TEST(ClassifyTest, MatmulParallelLoops) {
+  // Word-level matmul carries dependences at levels 1 (y), 2 (x) and
+  // 3 (z): no loop is fully parallel without further transformation.
+  const auto t = ir::kernels::matmul(3).triplet();
+  EXPECT_TRUE(parallel_loops(t.deps).empty());
+  // Drop the accumulation: j3 becomes parallel.
+  ir::DependenceMatrix no_z;
+  no_z.add({{0, 1, 0}, "x", ir::ValidityRegion::all()});
+  no_z.add({{1, 0, 0}, "y", ir::ValidityRegion::all()});
+  EXPECT_EQ(parallel_loops(no_z), (std::vector<std::size_t>{3}));
+}
+
+TEST(MatchTest, DetectsMissingAndSpurious) {
+  const ir::IndexSet domain({1}, {3});
+  ir::DependenceMatrix deps;
+  deps.add({{1}, "a", ir::ValidityRegion::all()});
+  // Trace with an edge the structure does not predict (distance 2).
+  std::vector<DependenceInstance> trace{{"a", {2}, {1}}, {"a", {3}, {2}}, {"a", {3}, {1}}};
+  const auto report = match_structure(deps, domain, trace);
+  EXPECT_FALSE(report.ok);
+  EXPECT_EQ(report.missing.size(), 1u);   // the distance-2 edge
+  EXPECT_TRUE(report.spurious.empty());
+
+  // Trace missing a predicted edge.
+  std::vector<DependenceInstance> partial{{"a", {2}, {1}}};
+  const auto report2 = match_structure(deps, domain, partial);
+  EXPECT_FALSE(report2.ok);
+  EXPECT_EQ(report2.spurious.size(), 1u);  // predicted (3 <- 2) not traced
+}
+
+}  // namespace
+}  // namespace bitlevel::analysis

@@ -1,0 +1,149 @@
+// Cycle-accurate architecture tests: the Fig. 4 and Fig. 5 bit-level
+// arrays and the word-level baseline compute correct products, in
+// exactly the predicted number of cycles, on the predicted number of
+// processors.
+#include <gtest/gtest.h>
+
+#include "arch/matmul_arrays.hpp"
+#include "arch/word_array.hpp"
+#include "core/evaluator.hpp"
+#include "core/expansion.hpp"
+#include "ir/kernels.hpp"
+#include "support/error.hpp"
+
+namespace bitlevel {
+namespace {
+
+using arch::BitLevelMatmulArray;
+using arch::MatmulMapping;
+using arch::WordLevelMatmulArray;
+using arch::WordMatrix;
+
+struct Case {
+  MatmulMapping which;
+  math::Int u;
+  math::Int p;
+};
+
+std::string case_name(const ::testing::TestParamInfo<Case>& info) {
+  return std::string(info.param.which == MatmulMapping::kFig4 ? "fig4" : "fig5") + "_u" +
+         std::to_string(info.param.u) + "_p" + std::to_string(info.param.p);
+}
+
+class MatmulArrayTest : public ::testing::TestWithParam<Case> {};
+
+TEST_P(MatmulArrayTest, ComputesCorrectProducts) {
+  const auto [which, u, p] = GetParam();
+  const BitLevelMatmulArray array(which, u, p);
+  const std::uint64_t bound = core::max_safe_operand(p, u, core::Expansion::kII);
+  for (std::uint64_t seed : {11ULL, 23ULL}) {
+    const WordMatrix x = WordMatrix::random(u, bound, seed);
+    const WordMatrix y = WordMatrix::random(u, bound, seed + 1);
+    const auto result = array.multiply(x, y);
+    EXPECT_EQ(result.z, WordMatrix::multiply_reference(x, y)) << "seed " << seed;
+  }
+}
+
+TEST_P(MatmulArrayTest, MatchesPredictedCyclesAndProcessors) {
+  const auto [which, u, p] = GetParam();
+  const BitLevelMatmulArray array(which, u, p);
+  const std::uint64_t bound = core::max_safe_operand(p, u, core::Expansion::kII);
+  const auto result = array.multiply(WordMatrix::random(u, bound, 5),
+                                     WordMatrix::random(u, bound, 6));
+  EXPECT_EQ(result.stats.cycles, array.predicted_cycles());
+  EXPECT_EQ(result.stats.pe_count, array.predicted_processors());
+  EXPECT_EQ(result.stats.computations, u * u * u * p * p);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, MatmulArrayTest,
+                         ::testing::Values(Case{MatmulMapping::kFig4, 2, 3},
+                                           Case{MatmulMapping::kFig4, 3, 3},
+                                           Case{MatmulMapping::kFig4, 4, 4},
+                                           Case{MatmulMapping::kFig4, 3, 5},
+                                           Case{MatmulMapping::kFig5, 2, 3},
+                                           Case{MatmulMapping::kFig5, 3, 3},
+                                           Case{MatmulMapping::kFig5, 4, 4},
+                                           Case{MatmulMapping::kFig5, 3, 5}),
+                         case_name);
+
+// The array agrees bit-for-bit with the standalone functional evaluator.
+TEST(MatmulArrayTest, AgreesWithEvaluator) {
+  const math::Int u = 3, p = 4;
+  const BitLevelMatmulArray array(MatmulMapping::kFig4, u, p);
+  const std::uint64_t bound = core::max_safe_operand(p, u, core::Expansion::kII);
+  const WordMatrix x = WordMatrix::random(u, bound, 77);
+  const WordMatrix y = WordMatrix::random(u, bound, 78);
+  const auto via_array = array.multiply(x, y);
+
+  const auto s = core::expand(ir::kernels::matmul(u), p, core::Expansion::kII);
+  const auto via_eval = core::evaluate_bitlevel(
+      s, [&](const math::IntVec& j) { return x.at(j[0], j[2]); },
+      [&](const math::IntVec& j) { return y.at(j[2], j[1]); });
+  for (math::Int i = 1; i <= u; ++i) {
+    for (math::Int j = 1; j <= u; ++j) {
+      EXPECT_EQ(via_array.z.at(i, j), via_eval.z.at(math::IntVec{i, j, u}));
+    }
+  }
+}
+
+// The paper's buffer remark: under T of (4.2), d4 has slack Pi*d4 -
+// hops = 2 - 1 = 1, i.e. one buffer register on the [1,0] link; every
+// other column is slack-free.
+TEST(MatmulArrayTest, Fig4BufferDepths) {
+  const BitLevelMatmulArray array(MatmulMapping::kFig4, 2, 3);
+  const std::uint64_t bound = core::max_safe_operand(3, 2, core::Expansion::kII);
+  const auto result = array.multiply(WordMatrix::random(2, bound, 1),
+                                     WordMatrix::random(2, bound, 2));
+  // Columns: x, y, z, d4, d5, d6, d7. d4 is the paper's buffered link;
+  // d3 (z) is stationary — S*d3 = 0, so its slack 1 is the local
+  // accumulator register, not a wire buffer.
+  ASSERT_EQ(result.stats.buffer_depth.size(), 7u);
+  EXPECT_EQ(result.stats.buffer_depth[3], 1);  // d4: buffer on [1,0]
+  EXPECT_EQ(result.stats.buffer_depth[2], 1);  // d3: stationary register
+  for (std::size_t i : {0u, 1u, 4u, 5u, 6u}) {
+    EXPECT_EQ(result.stats.buffer_depth[i], 0) << "column " << i;
+  }
+}
+
+// Overfull operands must be rejected, not silently wrong.
+TEST(MatmulArrayTest, CapacityViolationThrows) {
+  const math::Int u = 3, p = 3;
+  const BitLevelMatmulArray array(MatmulMapping::kFig4, u, p);
+  const WordMatrix full(u, 7);  // all entries 2^p - 1
+  EXPECT_THROW(array.multiply(full, full), OverflowError);
+}
+
+TEST(WordArrayTest, BaselineComputesAndTimes) {
+  for (const auto kind : {arith::WordMultiplier::kAddShift, arith::WordMultiplier::kCarrySave}) {
+    const math::Int u = 4, p = 8;
+    const WordLevelMatmulArray array(u, kind, p);
+    const WordMatrix x = WordMatrix::random(u, 255, 3);
+    const WordMatrix y = WordMatrix::random(u, 255, 4);
+    const auto result = array.multiply(x, y);
+    EXPECT_EQ(result.z, WordMatrix::multiply_reference(x, y));
+    EXPECT_EQ(result.beat_stats.cycles, 3 * (u - 1) + 1);
+    EXPECT_EQ(result.beat_stats.pe_count, u * u);
+    EXPECT_EQ(result.total_cycles, array.predicted_cycles());
+  }
+  EXPECT_EQ(WordLevelMatmulArray(4, arith::WordMultiplier::kAddShift, 8).beat_length(), 64);
+  EXPECT_EQ(WordLevelMatmulArray(4, arith::WordMultiplier::kCarrySave, 8).beat_length(), 16);
+}
+
+// The headline claim: the bit-level array is O(p) times faster than the
+// word-level array with carry-save PEs (and O(p^2) with add-shift PEs).
+TEST(SpeedupTest, BitLevelBeatsWordLevel) {
+  const math::Int u = 6;
+  for (math::Int p : {4, 8, 16}) {
+    const math::Int bit_cycles = 3 * (u - 1) + 3 * (p - 1) + 1;
+    const math::Int word_cs = (3 * (u - 1) + 1) * 2 * p;
+    const math::Int word_as = (3 * (u - 1) + 1) * p * p;
+    const double speedup_cs = static_cast<double>(word_cs) / static_cast<double>(bit_cycles);
+    const double speedup_as = static_cast<double>(word_as) / static_cast<double>(bit_cycles);
+    // O(p): the carry-save speedup grows with p and exceeds 1 early.
+    EXPECT_GT(speedup_cs, 1.0) << "p=" << p;
+    EXPECT_GT(speedup_as, speedup_cs) << "p=" << p;
+  }
+}
+
+}  // namespace
+}  // namespace bitlevel

@@ -1,0 +1,58 @@
+// The bit-serial multiplier: the add-shift structure mapped onto a
+// linear array (the lower-dimensional mapping of refs [5, 6, 10]).
+#include <gtest/gtest.h>
+
+#include "arch/bit_serial.hpp"
+#include "support/error.hpp"
+#include "support/rng.hpp"
+
+namespace bitlevel::arch {
+namespace {
+
+TEST(BitSerialTest, ExhaustiveSmall) {
+  for (math::Int p : {2, 3, 4, 5}) {
+    const BitSerialMultiplier mult(p);
+    for (std::uint64_t a = 0; a < (1ULL << (p - 1)); ++a) {
+      for (std::uint64_t b = 0; b < (1ULL << p); ++b) {
+        const auto r = mult.multiply(a, b);
+        EXPECT_EQ(r.product, a * b) << a << " * " << b << " p=" << p;
+      }
+    }
+  }
+}
+
+TEST(BitSerialTest, LinearGeometryAndTiming) {
+  const math::Int p = 6;
+  const BitSerialMultiplier mult(p);
+  Xoshiro256 rng(17);
+  const std::uint64_t a = rng.bits(static_cast<int>(p - 1));
+  const std::uint64_t b = rng.bits(static_cast<int>(p));
+  const auto r = mult.multiply(a, b);
+  EXPECT_EQ(r.product, a * b);
+  // One PE per cell column — p cells instead of the 2-D grid's p^2 —
+  // at the cost of the longer 3p-2 schedule.
+  EXPECT_EQ(r.stats.pe_count, mult.cells());
+  EXPECT_EQ(r.stats.cycles, mult.predicted_cycles());
+  EXPECT_EQ(r.stats.cycles, 3 * p - 2);
+  EXPECT_EQ(r.stats.computations, p * p);
+}
+
+TEST(BitSerialTest, TopBitPreconditionEnforced) {
+  const BitSerialMultiplier mult(4);
+  EXPECT_THROW(mult.multiply(8, 3), PreconditionError);  // a top bit set
+  EXPECT_THROW(mult.multiply(3, 16), PreconditionError);  // b too wide
+}
+
+TEST(BitSerialTest, RandomWide) {
+  const math::Int p = 16;
+  const BitSerialMultiplier mult(p);
+  Xoshiro256 rng(18);
+  for (int i = 0; i < 50; ++i) {
+    const std::uint64_t a = rng.bits(static_cast<int>(p - 1));
+    const std::uint64_t b = rng.bits(static_cast<int>(p));
+    EXPECT_EQ(mult.multiply(a, b).product, a * b);
+  }
+}
+
+}  // namespace
+}  // namespace bitlevel::arch

@@ -1,0 +1,92 @@
+// The generic array builder is expansion-agnostic: the same mapping T of
+// (4.2) is feasible for the Expansion I structure (identical distance
+// vectors, different validity regions), and the array computes correct
+// products under Expansion I's capacity regime. The cell bodies differ
+// (Expansion I needs the 4/5-input compressors only on the accumulation
+// boundary), which is the area trade-off E2 quantifies.
+#include <gtest/gtest.h>
+
+#include "arch/bit_array.hpp"
+#include "arch/matmul_arrays.hpp"
+#include "core/expansion.hpp"
+#include "ir/kernels.hpp"
+#include "support/error.hpp"
+
+namespace bitlevel {
+namespace {
+
+using arch::BitLevelArray;
+using arch::WordMatrix;
+using core::Expansion;
+
+struct Size {
+  math::Int u, p;
+};
+
+class ExpansionIArrayTest : public ::testing::TestWithParam<Size> {};
+
+TEST_P(ExpansionIArrayTest, Fig4MappingRunsExpansionI) {
+  const auto [u, p] = GetParam();
+  const auto s = core::expand(ir::kernels::matmul(u), p, Expansion::kI);
+  const BitLevelArray array(s, arch::matmul_mapping(arch::MatmulMapping::kFig4, p),
+                            arch::matmul_primitives(arch::MatmulMapping::kFig4, p));
+
+  const std::uint64_t bound = core::max_safe_operand(p, u, Expansion::kI);
+  ASSERT_GE(bound, 1u) << "pick p large enough for the chain length";
+  const WordMatrix x = WordMatrix::random(u, bound, 31);
+  const WordMatrix y = WordMatrix::random(u, bound, 32);
+  const auto result = array.run([&](const math::IntVec& j) { return x.at(j[0], j[2]); },
+                                [&](const math::IntVec& j) { return y.at(j[2], j[1]); });
+
+  const WordMatrix ref = WordMatrix::multiply_reference(x, y);
+  for (math::Int i = 1; i <= u; ++i) {
+    for (math::Int j = 1; j <= u; ++j) {
+      EXPECT_EQ(result.z.at(math::IntVec{i, j, u}), ref.at(i, j));
+    }
+  }
+  // Same mapping, same index set: identical total time and PE count as
+  // the Expansion II array — the expansions trade cell complexity, not
+  // schedule length, under a common linear schedule.
+  EXPECT_EQ(result.stats.cycles, 3 * (u - 1) + 3 * (p - 1) + 1);
+  EXPECT_EQ(result.stats.pe_count, u * u * p * p);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, ExpansionIArrayTest,
+                         ::testing::Values(Size{2, 5}, Size{3, 6}, Size{4, 7}),
+                         [](const ::testing::TestParamInfo<Size>& info) {
+                           return "u" + std::to_string(info.param.u) + "_p" +
+                                  std::to_string(info.param.p);
+                         });
+
+TEST(ExpansionIArrayTest, Fig5MappingAlsoRunsExpansionI) {
+  const math::Int u = 2, p = 5;
+  const auto s = core::expand(ir::kernels::matmul(u), p, Expansion::kI);
+  const BitLevelArray array(s, arch::matmul_mapping(arch::MatmulMapping::kFig5, p),
+                            arch::matmul_primitives(arch::MatmulMapping::kFig5, p));
+  const std::uint64_t bound = core::max_safe_operand(p, u, Expansion::kI);
+  const WordMatrix x = WordMatrix::random(u, bound, 41);
+  const WordMatrix y = WordMatrix::random(u, bound, 42);
+  const auto result = array.run([&](const math::IntVec& j) { return x.at(j[0], j[2]); },
+                                [&](const math::IntVec& j) { return y.at(j[2], j[1]); });
+  const WordMatrix ref = WordMatrix::multiply_reference(x, y);
+  for (math::Int i = 1; i <= u; ++i) {
+    for (math::Int j = 1; j <= u; ++j) {
+      EXPECT_EQ(result.z.at(math::IntVec{i, j, u}), ref.at(i, j));
+    }
+  }
+  EXPECT_EQ(result.stats.cycles, (2 * p + 1) * (u - 1) + 3 * (p - 1) + 1);
+}
+
+TEST(ExpansionIArrayTest, CapacityViolationThrows) {
+  const math::Int u = 4, p = 4;
+  const auto s = core::expand(ir::kernels::matmul(u), p, Expansion::kI);
+  const BitLevelArray array(s, arch::matmul_mapping(arch::MatmulMapping::kFig4, p),
+                            arch::matmul_primitives(arch::MatmulMapping::kFig4, p));
+  // Chains of 4 operands of magnitude 7 exceed sum x <= 2^(p-1)-1 = 7.
+  EXPECT_THROW(array.run([](const math::IntVec&) { return 7ULL; },
+                         [](const math::IntVec&) { return 15ULL; }),
+               OverflowError);
+}
+
+}  // namespace
+}  // namespace bitlevel

@@ -1,0 +1,56 @@
+// Signed matrix multiplication via the bias identity on the unsigned
+// bit-level arrays.
+#include <gtest/gtest.h>
+
+#include "arch/signed_matmul.hpp"
+#include "support/error.hpp"
+
+namespace bitlevel::arch {
+namespace {
+
+TEST(SignedMatmulTest, RandomSignedProducts) {
+  // 3-bit signed entries (in [-4, 3]) on arrays with headroom.
+  const math::Int u = 3, w = 3, p = 8;
+  const BitLevelMatmulArray array(MatmulMapping::kFig4, u, p);
+  for (std::uint64_t seed : {1ULL, 9ULL, 33ULL}) {
+    const SignedWordMatrix x = SignedWordMatrix::random(u, 3, seed);
+    const SignedWordMatrix y = SignedWordMatrix::random(u, 3, seed + 1);
+    const auto result = multiply_signed(array, w, x, y);
+    EXPECT_EQ(result.z, SignedWordMatrix::multiply_reference(x, y)) << "seed " << seed;
+    EXPECT_EQ(result.passes, 3);
+    EXPECT_EQ(result.stats.cycles, 3 * (u - 1) + 3 * (p - 1) + 1);
+  }
+}
+
+TEST(SignedMatmulTest, ExtremeValues) {
+  const math::Int u = 2, w = 4, p = 10;
+  const BitLevelMatmulArray array(MatmulMapping::kFig5, u, p);
+  SignedWordMatrix x(u), y(u);
+  // Corners of the signed range: -8 and 7 for w = 4.
+  x.at(1, 1) = -8;
+  x.at(1, 2) = 7;
+  x.at(2, 1) = 7;
+  x.at(2, 2) = -8;
+  y.at(1, 1) = -8;
+  y.at(1, 2) = -1;
+  y.at(2, 1) = 7;
+  y.at(2, 2) = 7;
+  const auto result = multiply_signed(array, w, x, y);
+  EXPECT_EQ(result.z, SignedWordMatrix::multiply_reference(x, y));
+}
+
+TEST(SignedMatmulTest, RejectsOutOfRange) {
+  const BitLevelMatmulArray array(MatmulMapping::kFig4, 2, 8);
+  SignedWordMatrix x(2), y(2);
+  x.at(1, 1) = 4;  // out of [-4, 3] for w = 3
+  EXPECT_THROW(multiply_signed(array, 3, x, y), PreconditionError);
+}
+
+TEST(SignedMatmulTest, RejectsInsufficientWidth) {
+  const BitLevelMatmulArray array(MatmulMapping::kFig4, 2, 3);
+  const SignedWordMatrix x(2), y(2);
+  EXPECT_THROW(multiply_signed(array, 3, x, y), PreconditionError);
+}
+
+}  // namespace
+}  // namespace bitlevel::arch

@@ -1,0 +1,95 @@
+// The non-restoring array divider: exhaustive/random functional
+// exactness, the dependence triplet vs trace ground truth, and the
+// schedule lower bound its control recurrence forces.
+#include <gtest/gtest.h>
+
+#include "analysis/trace.hpp"
+#include "arith/divider.hpp"
+#include "ir/kernels.hpp"
+#include "mapping/feasibility.hpp"
+#include "mapping/schedule.hpp"
+#include "support/error.hpp"
+#include "support/rng.hpp"
+
+namespace bitlevel::arith {
+namespace {
+
+TEST(DividerTest, ExhaustiveSmall) {
+  for (math::Int p = 1; p <= 4; ++p) {
+    const NonRestoringDivider div(p);
+    for (std::uint64_t b = 1; b < (1ULL << p); ++b) {
+      for (std::uint64_t a = 0; a < (b << p); ++a) {
+        const DivisionResult r = div.divide(a, b);
+        EXPECT_EQ(r.quotient, a / b) << a << " / " << b << " p=" << p;
+        EXPECT_EQ(r.remainder, a % b) << a << " / " << b << " p=" << p;
+      }
+    }
+  }
+}
+
+TEST(DividerTest, RandomWide) {
+  Xoshiro256 rng(8);
+  const NonRestoringDivider div(16);
+  for (int i = 0; i < 1000; ++i) {
+    const std::uint64_t b = 1 + rng.bits(16) % ((1ULL << 16) - 1);
+    const std::uint64_t a = rng() % (b << 16);
+    const DivisionResult r = div.divide(a, b);
+    EXPECT_EQ(r.quotient, a / b);
+    EXPECT_EQ(r.remainder, a % b);
+  }
+}
+
+TEST(DividerTest, RejectsBadOperands) {
+  const NonRestoringDivider div(4);
+  EXPECT_THROW(div.divide(5, 0), PreconditionError);
+  EXPECT_THROW(div.divide(16ULL * 3, 3), PreconditionError);  // quotient overflow
+}
+
+TEST(DividerTest, TripletMatchesTrace) {
+  for (math::Int p : {2, 3, 5}) {
+    const NonRestoringDivider div(p);
+    const auto triplet = div.triplet();
+    const auto trace = analysis::trace_dependences(div.access_program());
+    const auto report = analysis::match_structure(triplet.deps, triplet.domain, trace);
+    EXPECT_TRUE(report.ok) << "p=" << p << "\n" << report.to_string();
+  }
+}
+
+// The control recurrence forces pi_1 >= p*pi_2 + 1, hence Theta(p^2)
+// schedules — unlike multiplication, division does not pipeline to
+// O(p) at the bit level.
+TEST(DividerTest, ControlRecurrenceForcesQuadraticTime) {
+  const math::Int p = 3;
+  const NonRestoringDivider div(p);
+  const auto triplet = div.triplet();
+  const math::IntMat space{{0, 1}};  // linear array, one PE per cell column
+
+  // With a control-return wire [-p], the optimal Pi = [p+1, 1] is
+  // feasible and achieves p^2 + p.
+  const mapping::InterconnectionPrimitives with_return{math::IntMat{{1, -1, -p, 0}},
+                                                       "line+return"};
+  const mapping::MappingMatrix t_opt(space, div.optimal_schedule());
+  const auto ok = mapping::check_feasible(triplet.domain, triplet.deps, t_opt, with_return);
+  EXPECT_TRUE(ok.ok) << ok.to_string();
+  EXPECT_EQ(mapping::execution_time(div.optimal_schedule(), triplet.domain),
+            div.optimal_total_time());
+
+  // Without it (nearest-neighbour only), [p+1, 1] fails condition 2 —
+  // the control cannot hop back across the row in one time unit.
+  const mapping::InterconnectionPrimitives mesh{math::IntMat{{1, -1, 0}}, "line"};
+  const auto bad = mapping::check_feasible(triplet.domain, triplet.deps, t_opt, mesh);
+  EXPECT_FALSE(bad.ok);
+  // Pi = [2p, 1] restores feasibility at (2p)(p-1) + p + 1 cycles.
+  const mapping::MappingMatrix t_mesh(space, math::IntVec{2 * p, 1});
+  const auto slow = mapping::check_feasible(triplet.domain, triplet.deps, t_mesh, mesh);
+  EXPECT_TRUE(slow.ok) << slow.to_string();
+
+  // No schedule with pi_1 <= p*pi_2 can satisfy condition 1 on d4.
+  const mapping::MappingMatrix too_fast(space, math::IntVec{p, 1});
+  const auto infeasible =
+      mapping::check_feasible(triplet.domain, triplet.deps, too_fast, with_return);
+  EXPECT_FALSE(infeasible.ok);
+}
+
+}  // namespace
+}  // namespace bitlevel::arith

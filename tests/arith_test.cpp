@@ -1,0 +1,193 @@
+// Bit-level arithmetic: exhaustive exactness of the add-shift grid,
+// carry-save multiplier and ripple-carry adder, plus their dependence
+// triplets validated against trace ground truth.
+#include <gtest/gtest.h>
+
+#include "analysis/trace.hpp"
+#include "arith/add_shift.hpp"
+#include "arith/bits.hpp"
+#include "arith/carry_save.hpp"
+#include "arith/grid_pass.hpp"
+#include "arith/multiplier_model.hpp"
+#include "arith/ripple_adder.hpp"
+#include "support/error.hpp"
+#include "support/rng.hpp"
+
+namespace bitlevel::arith {
+namespace {
+
+TEST(BitsTest, RoundTrip) {
+  EXPECT_EQ(to_bits(11, 4), (std::vector<int>{1, 1, 0, 1}));
+  EXPECT_EQ(from_bits({1, 1, 0, 1}), 11u);
+  EXPECT_EQ(max_value(5), 31u);
+  EXPECT_THROW(to_bits(16, 4), PreconditionError);
+  EXPECT_THROW(from_bits({2}), PreconditionError);
+}
+
+TEST(BitsTest, FullAdderCells) {
+  for (int a : {0, 1}) {
+    for (int b : {0, 1}) {
+      for (int c : {0, 1}) {
+        EXPECT_EQ(sum_f(a, b, c), (a + b + c) & 1);
+        EXPECT_EQ(carry_g(a, b, c), (a + b + c) >> 1);
+      }
+    }
+  }
+}
+
+// Exhaustive exactness for every operand pair up to p = 5 — this is the
+// test that catches the dropped east-edge carry the paper's boundary
+// condition s(i1, p+1) = 0 would cause (e.g. 6 * 3 at p = 3).
+TEST(AddShiftTest, ExhaustivelyExact) {
+  for (math::Int p = 1; p <= 5; ++p) {
+    const AddShiftMultiplier mult(p);
+    const std::uint64_t top = max_value(static_cast<int>(p));
+    for (std::uint64_t a = 0; a <= top; ++a) {
+      for (std::uint64_t b = 0; b <= top; ++b) {
+        EXPECT_EQ(mult.multiply(a, b).product, a * b) << a << " * " << b << " p=" << p;
+      }
+    }
+  }
+}
+
+TEST(AddShiftTest, RandomWide) {
+  Xoshiro256 rng(99);
+  const AddShiftMultiplier mult(16);
+  for (int i = 0; i < 500; ++i) {
+    const std::uint64_t a = rng.bits(16), b = rng.bits(16);
+    EXPECT_EQ(mult.multiply(a, b).product, a * b);
+  }
+}
+
+TEST(AddShiftTest, GridCellsMatchPaperExample) {
+  // Fig. 1c narrative at p = 3: cell (2,2) sums a2&b2, c(2,1), s(1,3).
+  const AddShiftMultiplier mult(3);
+  const auto grid = mult.multiply(0b111, 0b111);
+  const int pp = 1;  // a2 & b2
+  const int expect_total = pp + grid.c(2, 1) + grid.s(1, 3);
+  EXPECT_EQ(grid.s(2, 2), expect_total & 1);
+  EXPECT_EQ(grid.c(2, 2), (expect_total >> 1) & 1);
+}
+
+TEST(AddShiftTest, TripletIsPaper34) {
+  const auto t = AddShiftMultiplier(4).triplet();
+  EXPECT_EQ(t.deps.as_matrix(), (math::IntMat{{1, 0, 1}, {0, 1, -1}}));
+  EXPECT_TRUE(t.deps.all_uniform());
+  EXPECT_EQ(t.deps[0].cause, "a");
+  EXPECT_EQ(t.deps[1].cause, "b,c");
+  EXPECT_EQ(t.deps[2].cause, "s");
+}
+
+// The declared triplet (3.4) matches the trace of program (3.3).
+TEST(AddShiftTest, TripletMatchesTrace) {
+  const AddShiftMultiplier mult(4);
+  const auto trace = analysis::trace_dependences(mult.access_program());
+  const auto report = analysis::match_structure(mult.triplet().deps, mult.triplet().domain, trace);
+  EXPECT_TRUE(report.ok) << report.to_string();
+}
+
+TEST(AddShiftTest, SequentialLatencyModel) {
+  EXPECT_EQ(AddShiftMultiplier::sequential_latency(8), 64);
+  EXPECT_THROW(AddShiftMultiplier(0), PreconditionError);
+  EXPECT_THROW(AddShiftMultiplier(3).multiply(8, 1), PreconditionError);
+}
+
+TEST(CarrySaveTest, ExhaustiveSmallAndRandomWide) {
+  for (math::Int p = 1; p <= 4; ++p) {
+    const CarrySaveMultiplier mult(p);
+    const std::uint64_t top = max_value(static_cast<int>(p));
+    for (std::uint64_t a = 0; a <= top; ++a) {
+      for (std::uint64_t b = 0; b <= top; ++b) {
+        EXPECT_EQ(mult.multiply(a, b).product, a * b);
+      }
+    }
+  }
+  Xoshiro256 rng(7);
+  const CarrySaveMultiplier mult(20);
+  for (int i = 0; i < 300; ++i) {
+    const std::uint64_t a = rng.bits(20), b = rng.bits(20);
+    const auto r = mult.multiply(a, b);
+    EXPECT_EQ(r.product, a * b);
+    EXPECT_EQ(r.csa_depth, 20);
+  }
+  EXPECT_EQ(CarrySaveMultiplier::latency(8), 16);
+}
+
+// The carry-save multiplier's declared dependence structure matches the
+// trace of its access program — the "derive once per arithmetic
+// algorithm" validation for the paper's second multiplier.
+TEST(CarrySaveTest, TripletMatchesTrace) {
+  for (math::Int p : {2, 3, 5}) {
+    const CarrySaveMultiplier mult(p);
+    const auto triplet = mult.triplet();
+    const auto trace = analysis::trace_dependences(mult.access_program());
+    const auto report = analysis::match_structure(triplet.deps, triplet.domain, trace);
+    EXPECT_TRUE(report.ok) << "p=" << p << "\n" << report.to_string();
+    // Unlike the add-shift structure, nothing here is uniform.
+    EXPECT_FALSE(triplet.deps.all_uniform());
+  }
+}
+
+TEST(RippleCarryTest, ExhaustiveSmall) {
+  for (math::Int p = 1; p <= 6; ++p) {
+    const RippleCarryAdder adder(p);
+    const std::uint64_t top = max_value(static_cast<int>(p));
+    for (std::uint64_t a = 0; a <= top; ++a) {
+      for (std::uint64_t b = 0; b <= top; ++b) {
+        EXPECT_EQ(adder.add(a, b).sum, a + b);
+      }
+    }
+  }
+}
+
+TEST(RippleCarryTest, TripletMatchesTrace) {
+  const RippleCarryAdder adder(6);
+  const auto trace = analysis::trace_dependences(adder.access_program());
+  const auto report =
+      analysis::match_structure(adder.triplet().deps, adder.triplet().domain, trace);
+  EXPECT_TRUE(report.ok) << report.to_string();
+  EXPECT_EQ(RippleCarryAdder::latency(6), 6);
+}
+
+TEST(GridPassTest, PlainPassMatchesMultiplication) {
+  Xoshiro256 rng(5);
+  for (int trial = 0; trial < 200; ++trial) {
+    const math::Int p = 2 + static_cast<math::Int>(rng() % 7);
+    const std::uint64_t a = rng.bits(static_cast<int>(p));
+    const std::uint64_t b = rng.bits(static_cast<int>(p));
+    const auto ab = to_bits(a, static_cast<int>(p));
+    const auto bb = to_bits(b, static_cast<int>(p));
+    const auto pass = run_grid_pass(
+        p, [&](math::Int i1, math::Int i2) {
+          return ab[static_cast<std::size_t>(i2 - 1)] & bb[static_cast<std::size_t>(i1 - 1)];
+        },
+        nullptr);
+    EXPECT_EQ(pass.output_value(), a * b);
+  }
+}
+
+TEST(GridPassTest, SaturatedInputsStayExact) {
+  // Even fully saturated inputs (every partial product AND every
+  // injected bit set) stay within the two virtual columns: the row
+  // recurrence T_i <= 2(2^p - 1) + T_{i-1}/2 never exceeds 2^(p+2), so
+  // nothing escapes and the reduced value is exact.
+  const auto ones = [](math::Int, math::Int) { return 1; };
+  for (math::Int p : {2, 4, 7}) {
+    // Each cell contributes 2 * 2^(i1+i2-2); the double sum factors into
+    // 2 * (2^p - 1)^2.
+    const std::uint64_t all = max_value(static_cast<int>(p));
+    const auto pass = run_grid_pass(p, ones, ones);
+    EXPECT_EQ(pass.output_value(), 2 * all * all) << "p=" << p;
+  }
+}
+
+TEST(WordMultiplierModelTest, LatencyOrdering) {
+  for (math::Int p : {4, 8, 16}) {
+    EXPECT_GT(word_pe_latency(WordMultiplier::kAddShift, p),
+              word_pe_latency(WordMultiplier::kCarrySave, p));
+  }
+  EXPECT_NE(to_string(WordMultiplier::kAddShift), to_string(WordMultiplier::kCarrySave));
+}
+
+}  // namespace
+}  // namespace bitlevel::arith

@@ -1,0 +1,133 @@
+// Functional correctness of the bit-level evaluator: the paper-exact
+// grids compute the same accumulated products as plain word arithmetic,
+// for both expansions, across kernels, widths and random operands.
+#include <gtest/gtest.h>
+
+#include "core/evaluator.hpp"
+#include "core/expansion.hpp"
+#include "ir/kernels.hpp"
+#include "support/error.hpp"
+#include "support/rng.hpp"
+
+namespace bitlevel {
+namespace {
+
+using core::Expansion;
+
+/// Random operand tables over the word-level domain, bounded by the
+/// capacity precondition.
+struct Workload {
+  std::map<math::IntVec, std::uint64_t> x, y;
+  core::OperandFn x_fn() const {
+    return [this](const math::IntVec& j) { return x.at(j); };
+  }
+  core::OperandFn y_fn() const {
+    return [this](const math::IntVec& j) { return y.at(j); };
+  }
+};
+
+Workload random_workload(const ir::WordLevelModel& m, math::Int p, Expansion e,
+                         std::uint64_t seed) {
+  const std::uint64_t bound = core::max_safe_operand(p, core::max_chain_length(m), e);
+  Xoshiro256 rng(seed);
+  Workload w;
+  m.domain.for_each([&](const math::IntVec& j) {
+    w.x[j] = rng() % (bound + 1);
+    w.y[j] = rng() % (bound + 1);
+    return true;
+  });
+  return w;
+}
+
+struct Case {
+  std::string name;
+  ir::WordLevelModel model;
+  math::Int p;
+  Expansion expansion;
+};
+
+std::vector<Case> make_cases() {
+  std::vector<Case> cases;
+  for (Expansion e : {Expansion::kI, Expansion::kII}) {
+    const char* tag = e == Expansion::kI ? "expI" : "expII";
+    for (math::Int p : {3, 5, 8}) {
+      cases.push_back({"scalar_u6_p" + std::to_string(p) + "_" + tag,
+                       ir::kernels::scalar_chain(1, 6, 1), p, e});
+      cases.push_back({"matmul_u3_p" + std::to_string(p) + "_" + tag, ir::kernels::matmul(3), p,
+                       e});
+    }
+    cases.push_back({std::string("conv_n6_k3_p6_") + tag, ir::kernels::convolution1d(6, 3), 6, e});
+    cases.push_back({std::string("matvec_4x3_p7_") + tag, ir::kernels::matvec(4, 3), 7, e});
+  }
+  return cases;
+}
+
+class EvaluatorTest : public ::testing::TestWithParam<Case> {};
+
+TEST_P(EvaluatorTest, MatchesWordReference) {
+  const Case& c = GetParam();
+  for (std::uint64_t seed : {1ULL, 7ULL, 42ULL}) {
+    const Workload w = random_workload(c.model, c.p, c.expansion, seed);
+    const auto s = core::expand(c.model, c.p, c.expansion);
+    const auto got = core::evaluate_bitlevel(s, w.x_fn(), w.y_fn());
+    const auto ref = core::evaluate_word_reference(c.model, w.x_fn(), w.y_fn());
+    ASSERT_FALSE(got.z.empty());
+    for (const auto& [j, value] : got.z) {
+      EXPECT_EQ(value, ref.at(j)) << "at " << math::to_string(j) << " seed " << seed;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Kernels, EvaluatorTest, ::testing::ValuesIn(make_cases()),
+                         [](const ::testing::TestParamInfo<Case>& info) {
+                           return info.param.name;
+                         });
+
+// Expansion I materializes z only at chain ends; Expansion II everywhere.
+TEST(EvaluatorTest, MaterializationPoints) {
+  const auto m = ir::kernels::matmul(3);
+  Workload w = random_workload(m, 4, Expansion::kI, 3);
+  const auto rI = core::evaluate_bitlevel(core::expand(m, 4, Expansion::kI), w.x_fn(), w.y_fn());
+  EXPECT_EQ(rI.z.size(), 9u);  // u^2 chain-end points (j3 = u)
+  w = random_workload(m, 4, Expansion::kII, 3);
+  const auto rII = core::evaluate_bitlevel(core::expand(m, 4, Expansion::kII), w.x_fn(), w.y_fn());
+  EXPECT_EQ(rII.z.size(), 27u);  // every point
+}
+
+// Overflowing operands must raise, never silently truncate.
+TEST(EvaluatorTest, ExpansionIRowOverflowThrows) {
+  const auto m = ir::kernels::scalar_chain(1, 8, 1);
+  const auto s = core::expand(m, 4, Expansion::kI);
+  // Eight full-magnitude operands grossly exceed the 2^(p-1)-1 row sum.
+  const core::OperandFn full = [](const math::IntVec&) { return 15ULL; };
+  EXPECT_THROW(core::evaluate_bitlevel(s, full, full), OverflowError);
+}
+
+TEST(EvaluatorTest, ExpansionIIReinjectOverflowThrows) {
+  const auto m = ir::kernels::scalar_chain(1, 8, 1);
+  const auto s = core::expand(m, 3, Expansion::kII);
+  const core::OperandFn mid = [](const math::IntVec&) { return 3ULL; };  // 8 * 9 = 72 >= 2^5
+  EXPECT_THROW(core::evaluate_bitlevel(s, mid, mid), OverflowError);
+}
+
+TEST(EvaluatorTest, MaxSafeOperandIsSafeAndTight) {
+  // The documented bound must pass; doubling it must eventually fail.
+  const auto m = ir::kernels::scalar_chain(1, 6, 1);
+  for (Expansion e : {Expansion::kI, Expansion::kII}) {
+    const math::Int p = 6;
+    const std::uint64_t bound = core::max_safe_operand(p, 6, e);
+    ASSERT_GE(bound, 1u);
+    const auto s = core::expand(m, p, e);
+    const core::OperandFn at_bound = [&](const math::IntVec&) { return bound; };
+    EXPECT_NO_THROW(core::evaluate_bitlevel(s, at_bound, at_bound));
+  }
+}
+
+TEST(EvaluatorTest, ChainLengths) {
+  EXPECT_EQ(core::max_chain_length(ir::kernels::matmul(5)), 5);
+  EXPECT_EQ(core::max_chain_length(ir::kernels::convolution1d(9, 4)), 4);
+  EXPECT_EQ(core::max_chain_length(ir::kernels::scalar_chain(1, 7, 2)), 4);
+}
+
+}  // namespace
+}  // namespace bitlevel

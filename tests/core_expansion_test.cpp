@@ -1,0 +1,124 @@
+// Theorem 3.1: the composed bit-level dependence structure equals the
+// ground truth extracted from the independently generated bit-level
+// program — edge for edge, for both expansions, across kernels and
+// operand widths.
+#include <gtest/gtest.h>
+
+#include "core/expansion.hpp"
+#include "core/verify.hpp"
+#include "ir/kernels.hpp"
+#include "support/error.hpp"
+
+namespace bitlevel {
+namespace {
+
+using core::Expansion;
+
+struct Case {
+  std::string name;
+  ir::WordLevelModel model;
+  math::Int p;
+  Expansion expansion;
+};
+
+std::vector<Case> make_cases() {
+  std::vector<Case> cases;
+  for (Expansion e : {Expansion::kI, Expansion::kII}) {
+    const char* tag = e == Expansion::kI ? "expI" : "expII";
+    for (math::Int p : {2, 3, 4}) {
+      cases.push_back({std::string("scalar_u4_p") + std::to_string(p) + "_" + tag,
+                       ir::kernels::scalar_chain(1, 4, 1), p, e});
+    }
+    cases.push_back({std::string("matmul_u2_p3_") + tag, ir::kernels::matmul(2), 3, e});
+    cases.push_back({std::string("matmul_u3_p2_") + tag, ir::kernels::matmul(3), 2, e});
+    cases.push_back({std::string("conv_n4_k3_p3_") + tag, ir::kernels::convolution1d(4, 3), 3, e});
+    cases.push_back({std::string("matvec_3x4_p3_") + tag, ir::kernels::matvec(3, 4), 3, e});
+    cases.push_back({std::string("transform_n3_p2_") + tag, ir::kernels::transform(3), 2, e});
+  }
+  return cases;
+}
+
+class Theorem31Test : public ::testing::TestWithParam<Case> {};
+
+TEST_P(Theorem31Test, ComposedStructureMatchesTrace) {
+  const Case& c = GetParam();
+  const core::VerificationReport report = core::verify_expansion(c.model, c.p, c.expansion);
+  EXPECT_TRUE(report.ok()) << report.match.to_string();
+  EXPECT_GT(report.traced_edges, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Kernels, Theorem31Test, ::testing::ValuesIn(make_cases()),
+                         [](const ::testing::TestParamInfo<Case>& info) {
+                           return info.param.name;
+                         });
+
+// The composed matmul structure must be exactly the paper's (3.12):
+// seven columns with the documented distance vectors and causes.
+TEST(ExpansionTest, MatmulExpansionIIMatchesEq312) {
+  const auto s = core::expand(ir::kernels::matmul(3), 3, Expansion::kII);
+  ASSERT_EQ(s.deps.size(), 7u);
+  const math::IntMat d = s.deps.as_matrix();
+  // Columns in x, y, z, d4, d5, d6, d7 order (the paper's (3.12) lists
+  // y before x; the set is identical).
+  const math::IntMat expected{{0, 1, 0, 0, 0, 0, 0},
+                              {1, 0, 0, 0, 0, 0, 0},
+                              {0, 0, 1, 0, 0, 0, 0},
+                              {0, 0, 0, 1, 0, 1, 0},
+                              {0, 0, 0, 0, 1, -1, 2}};
+  EXPECT_EQ(d, expected);
+  EXPECT_EQ(s.deps[0].cause, "x");
+  EXPECT_EQ(s.deps[1].cause, "y");
+  EXPECT_EQ(s.deps[2].cause, "z");
+  EXPECT_EQ(s.deps[3].cause, "x");
+  EXPECT_EQ(s.deps[4].cause, "y,c");
+  EXPECT_EQ(s.deps[5].cause, "z");
+  EXPECT_EQ(s.deps[6].cause, "c'");
+  // d6 is uniform in Expansion II; d3 is not (boundary only).
+  EXPECT_TRUE(s.deps[5].is_uniform());
+  EXPECT_FALSE(s.deps[2].is_uniform());
+  // Index set (3.13): 5-dimensional, [1,u]^3 x [1,p]^2.
+  EXPECT_EQ(s.domain.dim(), 5u);
+  EXPECT_EQ(s.domain.size(), 27 * 9);
+}
+
+TEST(ExpansionTest, ExpansionIHasUniformD3) {
+  const auto s = core::expand(ir::kernels::matmul(2), 3, Expansion::kI);
+  EXPECT_TRUE(s.deps[2].is_uniform());   // d3 (z forwarding)
+  EXPECT_FALSE(s.deps[5].is_uniform());  // d6 (boundary reduction)
+}
+
+// The paper's load-balance remark: Expansion I sums at most 3 bits off
+// the accumulation boundary; Expansion II sums 4-5 bits on the i1 = p
+// hyperplane of every iteration.
+TEST(ExpansionTest, LoadHistogramsMatchPaperRemark) {
+  // Heavy (4+-input) points: Expansion I confines them to the
+  // accumulation boundary j3 = u (O(u^2 p^2) of them for matmul), while
+  // Expansion II puts them on the i1 = p hyperplane of every iteration
+  // (O(u^3 p)); for u sufficiently larger than p, II has more.
+  const auto m = ir::kernels::matmul(5);
+  const auto histI = core::compute_load_histogram(core::expand(m, 3, Expansion::kI));
+  const auto histII = core::compute_load_histogram(core::expand(m, 3, Expansion::kII));
+  const math::Int heavyI = histI.count[4] + histI.count[5];
+  const math::Int heavyII = histII.count[4] + histII.count[5];
+  EXPECT_LT(heavyI, heavyII);
+  // 5-input cells (needing the full s + c + c' compressor) appear once
+  // p is large enough for the carry (i2 >= 2), second carry (i2 >= 3)
+  // and diagonal (i2 <= p-1) inputs to overlap, i.e. p >= 4.
+  const auto wide = core::expand(ir::kernels::matmul(3), 4, Expansion::kII);
+  EXPECT_EQ(core::compute_load_histogram(wide).max_inputs(), 5);
+}
+
+TEST(ExpansionTest, RejectsMissingAccumulation) {
+  ir::WordLevelModel m = ir::kernels::matmul(2);
+  m.h3.reset();
+  EXPECT_THROW(core::expand(m, 3, Expansion::kI), PreconditionError);
+}
+
+TEST(ExpansionTest, RejectsNonLexPositivePipelining) {
+  ir::WordLevelModel m = ir::kernels::matmul(2);
+  m.h1 = math::IntVec{0, -1, 0};
+  EXPECT_THROW(core::expand(m, 3, Expansion::kI), PreconditionError);
+}
+
+}  // namespace
+}  // namespace bitlevel

@@ -1,0 +1,154 @@
+// Edge cases across the stack: degenerate matrices, empty systems,
+// boundary sizes, overflow guards — behaviours a downstream user will
+// eventually hit.
+#include <gtest/gtest.h>
+
+#include "analysis/trace.hpp"
+#include "core/expansion.hpp"
+#include "core/verify.hpp"
+#include "ir/kernels.hpp"
+#include "mapping/explore.hpp"
+#include "mapping/schedule.hpp"
+#include "math/bareiss.hpp"
+#include "math/diophantine.hpp"
+#include "math/hnf.hpp"
+#include "math/snf.hpp"
+#include "support/error.hpp"
+
+namespace bitlevel {
+namespace {
+
+TEST(EdgeTest, NormalFormsOnDegenerateMatrices) {
+  // All-zero matrix: rank 0, kernel = everything.
+  const math::IntMat zero(2, 3);
+  const auto hf = math::hermite_normal_form(zero);
+  EXPECT_EQ(hf.rank, 0u);
+  EXPECT_TRUE(math::is_unimodular(hf.u));
+  EXPECT_EQ(math::null_space_basis(zero).cols(), 3u);
+  const auto sf = math::smith_normal_form(zero);
+  EXPECT_EQ(sf.rank, 0u);
+
+  // Single entry.
+  const auto hf1 = math::hermite_normal_form(math::IntMat{{-6}});
+  EXPECT_EQ(hf1.rank, 1u);
+  EXPECT_EQ(hf1.h.at(0, 0), 6);  // pivot normalized positive
+}
+
+TEST(EdgeTest, DiophantineWithNoEquations) {
+  // Zero constraints: everything solves, kernel is full-dimensional.
+  const math::IntMat a(0, 3);
+  const auto sol = math::solve_diophantine(a, {});
+  ASSERT_TRUE(sol.has_value());
+  EXPECT_EQ(sol->kernel.cols(), 3u);
+  const auto pts = math::enumerate_solutions_in_box(a, {}, {0, 0, 0}, {1, 1, 1});
+  EXPECT_EQ(pts.size(), 8u);
+}
+
+TEST(EdgeTest, IndexSetSizeOverflowGuard) {
+  const ir::IndexSet huge(math::IntVec(8, 1), math::IntVec(8, 1 << 20));
+  EXPECT_THROW(huge.size(), OverflowError);
+}
+
+TEST(EdgeTest, SinglePointDomain) {
+  const ir::IndexSet point({2, 3}, {2, 3});
+  EXPECT_EQ(point.size(), 1);
+  int visits = 0;
+  point.for_each([&](const math::IntVec&) {
+    ++visits;
+    return true;
+  });
+  EXPECT_EQ(visits, 1);
+  // Execution time of any schedule over a single point is 1.
+  EXPECT_EQ(mapping::execution_time({5, -7}, point), 1);
+}
+
+TEST(EdgeTest, ExecutionTimeUsesAbsoluteCoefficients) {
+  const ir::IndexSet j({1, 1}, {4, 3});
+  EXPECT_EQ(mapping::execution_time({-2, 1}, j), 2 * 3 + 2 + 1);
+}
+
+TEST(EdgeTest, ExpansionAtMinimalSizes) {
+  // p = 1: the grid is a single AND cell; u = 1: a single iteration.
+  const auto s = core::expand(ir::kernels::matmul(1), 1, core::Expansion::kII);
+  EXPECT_EQ(s.domain.size(), 1);
+  const auto report = core::verify_expansion(ir::kernels::matmul(1), 1, core::Expansion::kII);
+  EXPECT_TRUE(report.ok()) << report.match.to_string();
+}
+
+TEST(EdgeTest, ExploreSeedDirectionsAreUsed) {
+  // Without the seeded p-scaled direction the 3-D chain's Fig-4-style
+  // space mapping is not in the pool; with it the explorer finds a
+  // design whose projections include the seed.
+  const math::Int p = 2;
+  const auto s = core::expand(ir::kernels::scalar_chain(1, 4, 1), p, core::Expansion::kII);
+  mapping::ExploreOptions options;
+  options.max_direction_sets = 6;
+  options.seed_directions = {{1, -p, 0}};
+  const auto result = mapping::explore_designs(
+      s.domain, s.deps, mapping::InterconnectionPrimitives::mesh2d_diag(),
+      mapping::DesignObjective::kTime, options);
+  bool seed_used = false;
+  for (const auto& d : result.designs) {
+    for (std::size_t c = 0; c < d.projections.cols(); ++c) {
+      seed_used = seed_used || d.projections.col(c) == math::IntVec{1, -p, 0};
+    }
+  }
+  EXPECT_TRUE(seed_used);
+}
+
+TEST(EdgeTest, ProcessorCountOnCollapsedMapping) {
+  // S = 0 maps everything to one PE.
+  const math::IntMat s(1, 2);
+  EXPECT_EQ(mapping::processor_count(s, ir::IndexSet::cube(2, 4)), 1);
+}
+
+TEST(EdgeTest, ValidityOutOfRangeCoordinateThrows) {
+  const auto r = ir::ValidityRegion::coord_eq(5, 1);
+  EXPECT_THROW(r.contains({1, 2}), PreconditionError);
+}
+
+TEST(RenderingTest, StructureAndSummaries) {
+  const auto s = core::expand(ir::kernels::matmul(2), 2, core::Expansion::kI);
+  const std::string text = s.to_string();
+  EXPECT_NE(text.find("Expansion I"), std::string::npos);
+  EXPECT_NE(text.find("matmul"), std::string::npos);
+  EXPECT_NE(core::to_string(core::Expansion::kII).find("final-sum"), std::string::npos);
+
+  const auto hist = core::compute_load_histogram(s);
+  EXPECT_NE(hist.to_string().find("inputs:"), std::string::npos);
+
+  const ir::AffineMap m = ir::AffineMap::translate({1, -2});
+  EXPECT_NE(m.to_string().find("b = [1, -2]"), std::string::npos);
+}
+
+TEST(RenderingTest, AnalysisSummaries) {
+  const auto trace =
+      analysis::trace_dependences(ir::kernels::matmul(2).access_program());
+  const auto summary = analysis::DependenceSummary::from_instances(trace);
+  const std::string text = summary.to_string();
+  EXPECT_NE(text.find("sites"), std::string::npos);
+
+  analysis::MatchReport report;
+  report.ok = false;
+  report.missing.push_back("at [1] dist [1]");
+  EXPECT_NE(report.to_string().find("MISMATCH"), std::string::npos);
+  EXPECT_NE(report.to_string().find("missing"), std::string::npos);
+}
+
+TEST(RenderingTest, ExploreWireObjectiveAndCandidateToString) {
+  const auto triplet = ir::kernels::matmul(3).triplet();
+  mapping::ExploreOptions options;
+  options.max_direction_sets = 8;
+  const auto result = mapping::explore_designs(triplet.domain, triplet.deps,
+                                               mapping::InterconnectionPrimitives::mesh2d(),
+                                               mapping::DesignObjective::kWire, options);
+  ASSERT_FALSE(result.designs.empty());
+  // Wire objective: the front design uses the shortest wires.
+  for (const auto& d : result.designs) {
+    EXPECT_GE(d.max_wire, result.designs.front().max_wire);
+  }
+  EXPECT_NE(result.designs.front().to_string().find("projections"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace bitlevel

@@ -1,0 +1,205 @@
+// Unit tests for the algorithm IR: index sets, validity regions,
+// dependence matrices, affine maps, kernels and broadcast elimination.
+#include <gtest/gtest.h>
+
+#include "ir/affine.hpp"
+#include "ir/dependence.hpp"
+#include "ir/index_set.hpp"
+#include "ir/kernels.hpp"
+#include "ir/pipelining.hpp"
+#include "ir/validity.hpp"
+#include "support/error.hpp"
+
+namespace bitlevel::ir {
+namespace {
+
+TEST(IndexSetTest, BasicGeometry) {
+  const IndexSet j({1, 2}, {3, 4});
+  EXPECT_EQ(j.dim(), 2u);
+  EXPECT_EQ(j.size(), 9);
+  EXPECT_TRUE(j.contains({2, 3}));
+  EXPECT_FALSE(j.contains({0, 3}));
+  EXPECT_FALSE(j.contains({2, 3, 1}));
+  EXPECT_THROW(IndexSet({2}, {1}), PreconditionError);
+}
+
+TEST(IndexSetTest, LexicographicIteration) {
+  const IndexSet j({1, 1}, {2, 3});
+  std::vector<IntVec> visited;
+  j.for_each([&](const IntVec& q) {
+    visited.push_back(q);
+    return true;
+  });
+  ASSERT_EQ(visited.size(), 6u);
+  EXPECT_EQ(visited.front(), (IntVec{1, 1}));
+  EXPECT_EQ(visited[1], (IntVec{1, 2}));
+  EXPECT_EQ(visited.back(), (IntVec{2, 3}));
+  for (std::size_t i = 1; i < visited.size(); ++i) {
+    EXPECT_LT(math::lex_compare(visited[i - 1], visited[i]), 0);
+  }
+}
+
+TEST(IndexSetTest, EarlyStopAndProduct) {
+  const IndexSet j = IndexSet::cube(2, 3);
+  int count = 0;
+  const bool completed = j.for_each([&](const IntVec&) { return ++count < 4; });
+  EXPECT_FALSE(completed);
+  EXPECT_EQ(count, 4);
+
+  const IndexSet prod = j.product(IndexSet({0}, {1}));
+  EXPECT_EQ(prod.dim(), 3u);
+  EXPECT_EQ(prod.size(), 18);
+  EXPECT_TRUE(prod.contains({2, 3, 0}));
+}
+
+TEST(ValidityTest, AtomsAndCombinators) {
+  const auto r = ValidityRegion::coord_eq(0, 1) || ValidityRegion::coord_ge(1, 3);
+  EXPECT_TRUE(r.contains({1, 0}));
+  EXPECT_TRUE(r.contains({5, 3}));
+  EXPECT_FALSE(r.contains({2, 2}));
+  const auto n = !ValidityRegion::coord_in(0, {1, 2});
+  EXPECT_TRUE(n.contains({3}));
+  EXPECT_FALSE(n.contains({2}));
+  const auto a = ValidityRegion::coord_ne(0, 1) && ValidityRegion::coord_le(1, 4);
+  EXPECT_TRUE(a.contains({0, 4}));
+  EXPECT_FALSE(a.contains({1, 4}));
+  EXPECT_FALSE(a.contains({0, 5}));
+  EXPECT_TRUE(ValidityRegion::all().is_all());
+  EXPECT_FALSE(a.is_all());
+  // Conjunction with the trivial region collapses.
+  EXPECT_TRUE((ValidityRegion::all() && ValidityRegion::all()).is_all());
+}
+
+TEST(ValidityTest, AffineHalfSpaces) {
+  // The carry-save band: i1 <= i2 <= i1 + 2.
+  const auto band =
+      ValidityRegion::affine_ge({-1, 1}, 0) && ValidityRegion::affine_ge({1, -1}, -2);
+  EXPECT_TRUE(band.contains({2, 2}));
+  EXPECT_TRUE(band.contains({2, 4}));
+  EXPECT_FALSE(band.contains({3, 2}));
+  EXPECT_FALSE(band.contains({1, 4}));
+  const std::string text = ValidityRegion::affine_ge({1, -1}, -2).to_string({"i1", "i2"});
+  EXPECT_NE(text.find("i1"), std::string::npos);
+  EXPECT_NE(text.find(">= -2"), std::string::npos);
+}
+
+TEST(IndexSetTest, NextAdvancesLexicographically) {
+  const IndexSet j({1, 1}, {2, 2});
+  IntVec point = j.first();
+  EXPECT_EQ(point, (IntVec{1, 1}));
+  ASSERT_TRUE(j.next(point));
+  EXPECT_EQ(point, (IntVec{1, 2}));
+  ASSERT_TRUE(j.next(point));
+  EXPECT_EQ(point, (IntVec{2, 1}));
+  ASSERT_TRUE(j.next(point));
+  EXPECT_EQ(point, (IntVec{2, 2}));
+  EXPECT_FALSE(j.next(point));
+}
+
+TEST(TripletTest, RenderingSmoke) {
+  const auto t = kernels::matmul(2).triplet();
+  const std::string text = t.to_string();
+  EXPECT_NE(text.find("J ="), std::string::npos);
+  EXPECT_NE(text.find("cause: x"), std::string::npos);
+  EXPECT_NE(text.find("z(j) = z(j - h3) + x(j) * y(j)"), std::string::npos);
+}
+
+TEST(ValidityTest, Rendering) {
+  const auto r = ValidityRegion::coord_eq(3, 1) && ValidityRegion::coord_ne(4, 2);
+  const std::string text = r.to_string({"j1", "j2", "j3", "i1", "i2"});
+  EXPECT_NE(text.find("i1 == 1"), std::string::npos);
+  EXPECT_NE(text.find("i2 != 2"), std::string::npos);
+}
+
+TEST(DependenceTest, MatrixBasics) {
+  DependenceMatrix d;
+  d.add({{1, 0}, "a", ValidityRegion::all()});
+  d.add({{0, 1}, "b", ValidityRegion::coord_ne(0, 1)});
+  EXPECT_EQ(d.size(), 2u);
+  EXPECT_FALSE(d.all_uniform());
+  EXPECT_EQ(d.as_matrix(), (math::IntMat{{1, 0}, {0, 1}}));
+  EXPECT_EQ(d.valid_at({1, 1}).size(), 1u);
+  EXPECT_EQ(d.valid_at({2, 1}).size(), 2u);
+  EXPECT_THROW(d.add({{1, 2, 3}, "c", ValidityRegion::all()}), PreconditionError);
+}
+
+TEST(AffineTest, MapsCompose) {
+  const auto sel = AffineMap::select(3, {0, 2});
+  EXPECT_EQ(sel.apply({7, 8, 9}), (IntVec{7, 9}));
+  const auto tr = AffineMap::translate({-1, 2});
+  EXPECT_EQ(tr.apply({5, 5}), (IntVec{4, 7}));
+  EXPECT_EQ(AffineMap::identity(2).apply({3, 4}), (IntVec{3, 4}));
+  EXPECT_THROW(AffineMap::select(2, {5}), PreconditionError);
+}
+
+TEST(KernelsTest, ModelShapes) {
+  const auto mm = kernels::matmul(4);
+  EXPECT_EQ(mm.dim(), 3u);
+  EXPECT_EQ(*mm.h1, (IntVec{0, 1, 0}));
+  EXPECT_EQ(*mm.h2, (IntVec{1, 0, 0}));
+  EXPECT_EQ(*mm.h3, (IntVec{0, 0, 1}));
+  // Triplet (2.4): unit columns for y, x, z (ordering x, y, z here).
+  const auto t = mm.triplet();
+  EXPECT_EQ(t.deps.size(), 3u);
+  EXPECT_TRUE(t.deps.all_uniform());
+
+  const auto conv = kernels::convolution1d(5, 3);
+  EXPECT_EQ(conv.domain.upper(), (IntVec{5, 3}));
+  EXPECT_EQ(*conv.h1, (IntVec{1, -1}));
+
+  const auto mv = kernels::matvec(3, 4);
+  EXPECT_FALSE(mv.h2.has_value());
+  EXPECT_EQ(mv.triplet().deps.size(), 2u);
+
+  EXPECT_THROW(kernels::scalar_chain(3, 1, 1), PreconditionError);
+}
+
+TEST(PipeliningTest, PrimitiveDirection) {
+  EXPECT_EQ(primitive_direction({0, -2, 4}), (IntVec{0, 1, -2}));
+  EXPECT_EQ(primitive_direction({3, 6}), (IntVec{1, 2}));
+  EXPECT_THROW(primitive_direction({0, 0}), PreconditionError);
+}
+
+TEST(PipeliningTest, FindsMatmulBroadcasts) {
+  const auto prog = kernels::matmul_broadcast_program(3);
+  const auto found = find_broadcasts(prog);
+  // x(j1, j3) and y(j3, j2) are broadcasts; z(j1, j2, j3-1) is not.
+  ASSERT_EQ(found.size(), 2u);
+  EXPECT_EQ(found[0].array, "x");
+  EXPECT_EQ(found[0].pipelining_dir, (IntVec{0, 1, 0}));
+  EXPECT_EQ(found[1].array, "y");
+  EXPECT_EQ(found[1].pipelining_dir, (IntVec{1, 0, 0}));
+}
+
+// The Fortes-Moldovan transformation (2.2) -> (2.3): eliminating the
+// broadcasts from the raw matmul program must reproduce the pipelined
+// model exactly.
+TEST(PipeliningTest, RederivesModel23) {
+  const auto model = pipeline_accumulation_program(kernels::matmul_broadcast_program(4));
+  ASSERT_TRUE(model.has_value());
+  EXPECT_EQ(*model->h1, (IntVec{0, 1, 0}));
+  EXPECT_EQ(*model->h2, (IntVec{1, 0, 0}));
+  EXPECT_EQ(*model->h3, (IntVec{0, 0, 1}));
+  EXPECT_EQ(model->domain, IndexSet::cube(3, 4));
+}
+
+TEST(PipeliningTest, RejectsNonBroadcastPrograms) {
+  // A program whose operand reads are full-rank has nothing to pipeline.
+  const AffineMap id = AffineMap::identity(2);
+  Program prog{IndexSet::cube(2, 3),
+               {{{"z", id},
+                 {{"z", AffineMap::translate({0, -1})}, {"x", id}, {"y", id}},
+                 "z = z + x*y"}}};
+  EXPECT_FALSE(pipeline_accumulation_program(prog).has_value());
+}
+
+TEST(WordLevelModelTest, AccessProgramShape) {
+  const auto prog = kernels::matmul(2).access_program();
+  ASSERT_EQ(prog.statements.size(), 3u);
+  EXPECT_EQ(prog.statements[2].reads.size(), 3u);  // z, x, y
+  const auto mv_prog = kernels::matvec(2, 2).access_program();
+  ASSERT_EQ(mv_prog.statements.size(), 2u);  // x pipe + accumulation
+}
+
+}  // namespace
+}  // namespace bitlevel::ir

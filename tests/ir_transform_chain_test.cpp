@@ -1,0 +1,106 @@
+// Section 2's transformation chain, as code:
+//   (2.1) raw accumulation  — multi-assignment, output + anti deps
+//   --expand_accumulation--> (2.2) single-assignment, broadcasts
+//   --pipeline------------->  (2.3) the uniform model with D of (2.4).
+#include <gtest/gtest.h>
+
+#include "analysis/trace.hpp"
+#include "ir/kernels.hpp"
+#include "ir/pipelining.hpp"
+#include "support/error.hpp"
+
+namespace bitlevel::ir {
+namespace {
+
+TEST(TransformChainTest, RawProgramHasAllThreeDependenceKinds) {
+  const Program raw = kernels::matmul_raw_program(3);
+  // Not single-assignment: the strict tracer refuses it.
+  EXPECT_THROW(analysis::trace_dependences(raw), PreconditionError);
+
+  const analysis::FullTrace all = analysis::trace_all_dependences(raw);
+  EXPECT_FALSE(all.flow.empty());
+  EXPECT_FALSE(all.anti.empty());
+  EXPECT_FALSE(all.output.empty());
+  // z(j1, j2) is rewritten along j3: every output (and anti) dependence
+  // runs forward along the accumulation axis.
+  for (const auto& inst : all.output) {
+    EXPECT_EQ(inst.array, "z");
+    const math::IntVec d = inst.distance();
+    EXPECT_EQ(d[0], 0);
+    EXPECT_EQ(d[1], 0);
+    EXPECT_GE(d[2], 1);
+  }
+  // u^2 elements, u writes each: u^2 * C(u, 2) ordered write pairs.
+  EXPECT_EQ(all.output.size(), 9u * 3u);
+  for (const auto& inst : all.anti) {
+    EXPECT_EQ(inst.array, "z");
+    EXPECT_GE(inst.distance()[2], 1);
+  }
+}
+
+TEST(TransformChainTest, ExpandAccumulationDerives22) {
+  const Program raw = kernels::matmul_raw_program(4);
+  const auto single = expand_accumulation(raw);
+  ASSERT_TRUE(single.has_value());
+
+  // Structurally identical to the hand-written (2.2).
+  const Program expected = kernels::matmul_broadcast_program(4);
+  ASSERT_EQ(single->statements.size(), 1u);
+  const Statement& got = single->statements.front();
+  const Statement& want = expected.statements.front();
+  EXPECT_EQ(got.write.subscript, want.write.subscript);
+  ASSERT_EQ(got.reads.size(), want.reads.size());
+  for (std::size_t i = 0; i < got.reads.size(); ++i) {
+    EXPECT_EQ(got.reads[i].array, want.reads[i].array);
+    EXPECT_EQ(got.reads[i].subscript, want.reads[i].subscript);
+  }
+
+  // Single-assignment now; no anti or output dependences remain.
+  EXPECT_NO_THROW(analysis::trace_dependences(*single));
+  const analysis::FullTrace all = analysis::trace_all_dependences(*single);
+  EXPECT_TRUE(all.anti.empty());
+  EXPECT_TRUE(all.output.empty());
+  EXPECT_FALSE(all.flow.empty());
+}
+
+TEST(TransformChainTest, FullChainReaches23) {
+  const Program raw = kernels::matmul_raw_program(3);
+  const auto single = expand_accumulation(raw);
+  ASSERT_TRUE(single.has_value());
+  const auto model = pipeline_accumulation_program(*single);
+  ASSERT_TRUE(model.has_value());
+  EXPECT_EQ(*model->h1, (math::IntVec{0, 1, 0}));
+  EXPECT_EQ(*model->h2, (math::IntVec{1, 0, 0}));
+  EXPECT_EQ(*model->h3, (math::IntVec{0, 0, 1}));
+}
+
+TEST(TransformChainTest, RejectsNonAccumulationShapes) {
+  // Full-rank write: nothing to expand.
+  const AffineMap id = AffineMap::identity(2);
+  Program full_rank{IndexSet::cube(2, 3), {{{"z", id}, {{"z", id}}, "z(j) = f(z(j))"}}};
+  EXPECT_FALSE(expand_accumulation(full_rank).has_value());
+
+  // Write and accumulation read with different subscripts.
+  Program mismatched{IndexSet::cube(2, 3),
+                     {{{"z", AffineMap::select(2, {0})},
+                       {{"z", AffineMap::select(2, {1})}},
+                       "z(j1) = f(z(j2))"}}};
+  EXPECT_FALSE(expand_accumulation(mismatched).has_value());
+}
+
+TEST(TraceAllTest, AntiDependenceDistance) {
+  // a(j) reads a(j+1) before iteration j+1 overwrites it: anti with
+  // distance [1].
+  Program prog{IndexSet({1}, {4}),
+               {{{"a", AffineMap::identity(1)},
+                 {{"a", AffineMap::translate({1})}},
+                 "a(j) = f(a(j+1))"}}};
+  const auto all = analysis::trace_all_dependences(prog);
+  ASSERT_FALSE(all.anti.empty());
+  for (const auto& inst : all.anti) EXPECT_EQ(inst.distance(), (math::IntVec{1}));
+  EXPECT_TRUE(all.output.empty());
+  EXPECT_TRUE(all.flow.empty());  // reads happen before the writes
+}
+
+}  // namespace
+}  // namespace bitlevel::ir

@@ -1,0 +1,113 @@
+// Unit tests for the routing machinery: displacement decomposition over
+// interconnection primitives, the K-matrix solver, and the primitive
+// factories, including reproduction of the paper's published K matrices.
+#include <gtest/gtest.h>
+
+#include "mapping/feasibility.hpp"
+#include "mapping/kmatrix.hpp"
+#include "mapping/transform.hpp"
+#include "support/error.hpp"
+
+namespace bitlevel::mapping {
+namespace {
+
+TEST(DecompositionTest, FindsMinimalHops) {
+  const auto prims = InterconnectionPrimitives::mesh2d_diag();  // [1,0],[0,1],[1,-1],[0,0]
+  // [2, -1] = [1,0] + [1,-1]: two hops.
+  const auto d = decompose_displacement(prims, {2, -1}, 5);
+  ASSERT_TRUE(d.has_value());
+  EXPECT_EQ(d->hops, 2);
+  EXPECT_EQ(prims.p.mul(d->counts), (IntVec{2, -1}));
+}
+
+TEST(DecompositionTest, ZeroTargetIsFree) {
+  const auto prims = InterconnectionPrimitives::mesh2d();
+  const auto d = decompose_displacement(prims, {0, 0}, 0);
+  ASSERT_TRUE(d.has_value());
+  EXPECT_EQ(d->hops, 0);
+}
+
+TEST(DecompositionTest, BudgetBinds) {
+  const auto prims = InterconnectionPrimitives::mesh2d();
+  // [3, 0] needs three unit hops; a budget of 2 must fail.
+  EXPECT_FALSE(decompose_displacement(prims, {3, 0}, 2).has_value());
+  EXPECT_TRUE(decompose_displacement(prims, {3, 0}, 3).has_value());
+}
+
+TEST(DecompositionTest, UnreachableDisplacement) {
+  // Only eastward links: a westward displacement is unreachable.
+  const InterconnectionPrimitives east{math::IntMat{{1}, {0}}, "east-only"};
+  EXPECT_FALSE(decompose_displacement(east, {-1, 0}, 10).has_value());
+}
+
+// The paper's K (4.3): columns decompose S*D over P of (4.3) with the
+// hop totals 1,1,(0|1),1,1,1,2 — our solver reproduces the same hop
+// counts (the decomposition itself is unique here except for the
+// stationary column).
+TEST(KMatrixTest, ReproducesPaperK43HopCounts) {
+  const math::Int p = 3;
+  const auto prims = InterconnectionPrimitives::fig4(p);
+  // S*D of (4.4), columns x, y, z, d4, d5, d6, d7.
+  const math::IntMat sd{{0, p, 0, 1, 0, 1, 0}, {p, 0, 0, 0, 1, -1, 2}};
+  const math::IntVec pi_d{1, 1, 1, 2, 1, 1, 2};
+  const auto k = solve_k_matrix(prims, sd, pi_d);
+  ASSERT_TRUE(k.has_value());
+  const math::IntVec expected_hops{1, 1, 0, 1, 1, 1, 2};
+  for (std::size_t i = 0; i < 7; ++i) {
+    math::Int hops = 0;
+    for (std::size_t j = 0; j < prims.count(); ++j) hops += k->at(j, i);
+    EXPECT_EQ(hops, expected_hops[i]) << "column " << i;
+    EXPECT_EQ(prims.p.mul(k->col(i)), sd.col(i)) << "column " << i;
+  }
+}
+
+TEST(KMatrixTest, ReportsBadColumn) {
+  const auto prims = InterconnectionPrimitives::mesh2d();
+  const math::IntMat sd{{3, 0}, {0, 0}};
+  const math::IntVec pi_d{1, 1};  // column 0 needs 3 hops in 1 time unit
+  std::size_t bad = 99;
+  EXPECT_FALSE(solve_k_matrix(prims, sd, pi_d, &bad).has_value());
+  EXPECT_EQ(bad, 0u);
+}
+
+TEST(PrimitivesTest, Factories) {
+  EXPECT_EQ(InterconnectionPrimitives::mesh2d().count(), 5u);
+  EXPECT_EQ(InterconnectionPrimitives::mesh2d_diag().count(), 4u);
+  EXPECT_EQ(InterconnectionPrimitives::fig4(5).count(), 6u);
+  EXPECT_EQ(InterconnectionPrimitives::fig4(5).max_wire_length(), 5);
+  EXPECT_EQ(InterconnectionPrimitives::mesh2d_diag().max_wire_length(), 2);
+  EXPECT_THROW(InterconnectionPrimitives::fig4(0), PreconditionError);
+}
+
+TEST(RoutingDescriptionTest, MentionsWiresAndBuffers) {
+  const math::Int p = 4;
+  const auto prims = InterconnectionPrimitives::fig4(p);
+  ir::DependenceMatrix deps;
+  deps.add({{0, 1, 0, 0, 0}, "x", ir::ValidityRegion::all()});
+  deps.add({{0, 0, 1, 0, 0}, "z", ir::ValidityRegion::all()});
+  deps.add({{0, 0, 0, 1, 0}, "x", ir::ValidityRegion::all()});
+  const MappingMatrix t(math::IntMat{{p, 0, 0, 1, 0}, {0, p, 0, 0, 1}, {1, 1, 1, 2, 1}});
+  const math::IntVec pi_d{1, 1, 2};
+  const auto k = solve_k_matrix(prims, t.space().mul(deps.as_matrix()), pi_d);
+  ASSERT_TRUE(k.has_value());
+  const std::string text = describe_routing(deps, t, prims, *k);
+  EXPECT_NE(text.find("[0, 4]"), std::string::npos);       // the long wire
+  EXPECT_NE(text.find("(stationary)"), std::string::npos);  // resident z
+  EXPECT_NE(text.find("buffer register"), std::string::npos);  // d4 slack
+}
+
+TEST(TransformTest, SpaceTimeSplit) {
+  const MappingMatrix t(math::IntMat{{2, 0, 1}, {0, 3, 0}, {1, 1, 1}});
+  EXPECT_EQ(t.k(), 3u);
+  EXPECT_EQ(t.n(), 3u);
+  EXPECT_EQ(t.space(), (math::IntMat{{2, 0, 1}, {0, 3, 0}}));
+  EXPECT_EQ(t.schedule(), (math::IntVec{1, 1, 1}));
+  EXPECT_EQ(t.processor({1, 1, 1}), (math::IntVec{3, 3}));
+  EXPECT_EQ(t.time({1, 2, 3}), 6);
+  EXPECT_EQ(t.apply({1, 1, 1}), (math::IntVec{3, 3, 3}));
+  const MappingMatrix built(math::IntMat{{1, 0}}, math::IntVec{2, 1});
+  EXPECT_EQ(built.matrix(), (math::IntMat{{1, 0}, {2, 1}}));
+}
+
+}  // namespace
+}  // namespace bitlevel::mapping

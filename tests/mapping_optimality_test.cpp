@@ -1,0 +1,136 @@
+// LP-based schedule-optimality certification: the rigorous form of
+// Theorem 4.5, plus simplex unit tests.
+#include <gtest/gtest.h>
+
+#include "core/expansion.hpp"
+#include "ir/kernels.hpp"
+#include "arith/divider.hpp"
+#include "mapping/optimality.hpp"
+#include "math/simplex.hpp"
+#include "support/error.hpp"
+
+namespace bitlevel {
+namespace {
+
+using math::LinearProgram;
+using math::LpStatus;
+using math::Rational;
+
+TEST(SimplexTest, SimpleMinimum) {
+  // min x + y  s.t. x + 2y >= 4, 3x + y >= 6, x,y >= 0.
+  LinearProgram lp;
+  lp.objective = {Rational(1), Rational(1)};
+  lp.constraints = {{Rational(1), Rational(2)}, {Rational(3), Rational(1)}};
+  lp.bounds = {Rational(4), Rational(6)};
+  const auto sol = math::solve_linear_program(lp);
+  ASSERT_EQ(sol.status, LpStatus::kOptimal);
+  // Optimum at the intersection (8/5, 6/5): value 14/5.
+  EXPECT_EQ(sol.value, Rational(14, 5));
+  EXPECT_EQ(sol.x[0], Rational(8, 5));
+  EXPECT_EQ(sol.x[1], Rational(6, 5));
+}
+
+TEST(SimplexTest, InfeasibleAndUnbounded) {
+  // x >= 1 and -x >= 0 cannot both hold.
+  LinearProgram infeasible;
+  infeasible.objective = {Rational(1)};
+  infeasible.constraints = {{Rational(1)}, {Rational(-1)}};
+  infeasible.bounds = {Rational(1), Rational(0, 1) + Rational(1)};
+  EXPECT_EQ(math::solve_linear_program(infeasible).status, LpStatus::kInfeasible);
+
+  // min -x s.t. x >= 1: unbounded below.
+  LinearProgram unbounded;
+  unbounded.objective = {Rational(-1)};
+  unbounded.constraints = {{Rational(1)}};
+  unbounded.bounds = {Rational(1)};
+  EXPECT_EQ(math::solve_linear_program(unbounded).status, LpStatus::kUnbounded);
+}
+
+TEST(SimplexTest, NegativeBoundsHandled) {
+  // min x s.t. x >= -3  ->  optimum 0 (x >= 0 binds).
+  LinearProgram lp;
+  lp.objective = {Rational(1)};
+  lp.constraints = {{Rational(1)}};
+  lp.bounds = {Rational(-3)};
+  const auto sol = math::solve_linear_program(lp);
+  ASSERT_EQ(sol.status, LpStatus::kOptimal);
+  EXPECT_EQ(sol.value, Rational(0));
+}
+
+TEST(SimplexTest, DegenerateRedundantRows) {
+  // Duplicate constraints must not confuse phase 1.
+  LinearProgram lp;
+  lp.objective = {Rational(2), Rational(3)};
+  lp.constraints = {{Rational(1), Rational(1)},
+                    {Rational(1), Rational(1)},
+                    {Rational(1), Rational(0)}};
+  lp.bounds = {Rational(2), Rational(2), Rational(1)};
+  const auto sol = math::solve_linear_program(lp);
+  ASSERT_EQ(sol.status, LpStatus::kOptimal);
+  EXPECT_EQ(sol.value, Rational(4));  // x = (2, 0)
+}
+
+// Theorem 4.5, certified: the LP lower bound over ALL linear schedules
+// equals the time of Pi = [1,1,1,2,1] — no search horizon involved.
+TEST(OptimalityTest, Fig4ScheduleCertified) {
+  for (math::Int u : {2, 3, 5}) {
+    for (math::Int p : {2, 3, 5, 8}) {
+      const auto s = core::expand(ir::kernels::matmul(u), p, core::Expansion::kII);
+      const auto cert =
+          mapping::certify_time_optimal(s.domain, s.deps, math::IntVec{1, 1, 1, 2, 1});
+      EXPECT_TRUE(cert.certified) << "u=" << u << " p=" << p << " achieved " << cert.achieved
+                                  << " lower bound " << cert.lower_bound << " (LP "
+                                  << cert.lp_bound.to_string() << ")";
+      EXPECT_EQ(cert.achieved, 3 * (u - 1) + 3 * (p - 1) + 1);
+    }
+  }
+}
+
+// The word-level schedule [1,1,1] is likewise optimal.
+TEST(OptimalityTest, WordLevelScheduleCertified) {
+  const auto triplet = ir::kernels::matmul(6).triplet();
+  const auto cert = mapping::certify_time_optimal(triplet.domain, triplet.deps, {1, 1, 1});
+  EXPECT_TRUE(cert.certified);
+  EXPECT_EQ(cert.achieved, 3 * 5 + 1);
+}
+
+// Fig. 5's Pi' is feasible but NOT time optimal: the certificate
+// correctly refuses it.
+TEST(OptimalityTest, Fig5ScheduleNotOptimal) {
+  const math::Int u = 3, p = 3;
+  const auto s = core::expand(ir::kernels::matmul(u), p, core::Expansion::kII);
+  const auto cert = mapping::certify_time_optimal(s.domain, s.deps, {p, p, 1, 2, 1});
+  EXPECT_FALSE(cert.certified);
+  EXPECT_GT(cert.achieved, cert.lower_bound);
+}
+
+// The divider's Pi = [p+1, 1] is certified optimal — division's
+// Theta(p^2) latency is a theorem, not a search artifact.
+TEST(OptimalityTest, DividerScheduleCertified) {
+  for (math::Int p : {2, 4, 8}) {
+    const arith::NonRestoringDivider div(p);
+    const auto t = div.triplet();
+    const auto cert = mapping::certify_time_optimal(t.domain, t.deps, div.optimal_schedule());
+    EXPECT_TRUE(cert.certified) << "p=" << p << ": achieved " << cert.achieved
+                                << " >= lower bound " << cert.lower_bound;
+    EXPECT_EQ(cert.achieved, div.optimal_total_time());
+  }
+}
+
+TEST(OptimalityTest, RejectsInvalidCandidate) {
+  const auto triplet = ir::kernels::matmul(3).triplet();
+  EXPECT_THROW(mapping::certify_time_optimal(triplet.domain, triplet.deps, {1, 1, -1}),
+               PreconditionError);
+}
+
+TEST(OptimalityTest, UnschedulableConeDetected) {
+  // Dependences d and -d cannot both be ordered forward.
+  ir::DependenceMatrix deps;
+  deps.add({{1, 0}, "a", ir::ValidityRegion::all()});
+  deps.add({{-1, 0}, "b", ir::ValidityRegion::all()});
+  EXPECT_THROW(mapping::schedule_span_lower_bound(ir::IndexSet::cube(2, 3), deps),
+               NotFoundError);
+}
+
+}  // namespace
+}  // namespace bitlevel

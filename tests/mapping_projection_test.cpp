@@ -1,0 +1,104 @@
+// Projection-based space mappings and the design-space explorer.
+#include <gtest/gtest.h>
+
+#include "core/expansion.hpp"
+#include "ir/kernels.hpp"
+#include "mapping/explore.hpp"
+#include "mapping/projection.hpp"
+#include "mapping/schedule.hpp"
+#include "math/bareiss.hpp"
+#include "support/error.hpp"
+
+namespace bitlevel::mapping {
+namespace {
+
+TEST(ProjectionTest, SpaceMappingAnnihilatesDirections) {
+  // Project 3-D matmul along j3 (the classical word-level design).
+  const IntMat u{{0}, {0}, {1}};
+  const IntMat s = space_mapping_from_projections(u);
+  EXPECT_EQ(s.rows(), 2u);
+  EXPECT_EQ(s.cols(), 3u);
+  EXPECT_TRUE(math::is_zero(s.mul(u.col(0))));
+  EXPECT_EQ(math::rank(s), 2u);
+}
+
+TEST(ProjectionTest, MultipleDirections) {
+  // 5-D structure projected along three directions -> 2-D array.
+  const IntMat u{{0, 1, 0}, {0, 0, 1}, {1, 0, 0}, {0, 0, 0}, {0, 0, 0}};
+  const IntMat s = space_mapping_from_projections(u);
+  EXPECT_EQ(s.rows(), 2u);
+  for (std::size_t c = 0; c < u.cols(); ++c) {
+    EXPECT_TRUE(math::is_zero(s.mul(u.col(c)))) << "direction " << c;
+  }
+  EXPECT_EQ(math::rank(s), 2u);
+}
+
+TEST(ProjectionTest, RejectsDependentDirections) {
+  const IntMat u{{1, 2}, {0, 0}, {1, 2}};
+  EXPECT_THROW(space_mapping_from_projections(u), PreconditionError);
+  const IntMat too_many{{1, 0}, {0, 1}};
+  EXPECT_THROW(space_mapping_from_projections(too_many), PreconditionError);
+}
+
+TEST(ProjectionTest, CandidateDirectionsArePrimitiveAndLexPositive) {
+  const auto dirs = candidate_directions(3, 2);
+  ASSERT_GE(dirs.size(), 3u);
+  // Unit vectors lead.
+  EXPECT_EQ(dirs[0], (IntVec{1, 0, 0}));
+  EXPECT_EQ(dirs[1], (IntVec{0, 1, 0}));
+  EXPECT_EQ(dirs[2], (IntVec{0, 0, 1}));
+  for (const auto& d : dirs) {
+    EXPECT_TRUE(math::lex_positive(d)) << math::to_string(d);
+    EXPECT_EQ(math::content(d), 1) << math::to_string(d);
+    int support = 0;
+    for (math::Int x : d) support += (x != 0);
+    EXPECT_LE(support, 2);
+  }
+  // [1,-1,0] must be included (the convolution projection).
+  EXPECT_NE(std::find(dirs.begin(), dirs.end(), IntVec{1, -1, 0}), dirs.end());
+}
+
+TEST(ProjectionTest, IndependentSetsAreIndependent) {
+  const auto dirs = candidate_directions(3, 2);
+  const auto sets = independent_direction_sets(dirs, 2, 10);
+  EXPECT_EQ(sets.size(), 10u);
+  for (const auto& s : sets) EXPECT_EQ(math::rank(s), 2u);
+}
+
+// The explorer rediscovers the classical word-level matmul design:
+// projecting along j3 with schedule [1,1,1] achieves 3(u-1)+1 on u^2
+// processors.
+TEST(ExploreTest, RediscoversWordLevelMatmulDesign) {
+  const auto triplet = ir::kernels::matmul(4).triplet();
+  ExploreOptions options;
+  options.max_direction_sets = 16;
+  const auto result = explore_designs(triplet.domain, triplet.deps,
+                                      InterconnectionPrimitives::mesh2d(),
+                                      DesignObjective::kTime, options);
+  ASSERT_FALSE(result.designs.empty());
+  EXPECT_EQ(result.designs.front().total_time, 3 * (4 - 1) + 1);
+  EXPECT_EQ(result.designs.front().processors, 16);
+  EXPECT_GT(result.spaces_tried, 0u);
+}
+
+// Objectives reorder the front: minimizing processors for matmul finds
+// designs with fewer PEs than the time-optimal one (a 1-D-ish
+// projection uses more time, fewer processors).
+TEST(ExploreTest, ObjectivesDiffer) {
+  const auto triplet = ir::kernels::matmul(4).triplet();
+  ExploreOptions options;
+  options.max_direction_sets = 24;
+  const auto by_time = explore_designs(triplet.domain, triplet.deps,
+                                       InterconnectionPrimitives::mesh2d(),
+                                       DesignObjective::kTime, options);
+  const auto by_pe = explore_designs(triplet.domain, triplet.deps,
+                                     InterconnectionPrimitives::mesh2d(),
+                                     DesignObjective::kProcessors, options);
+  ASSERT_FALSE(by_time.designs.empty());
+  ASSERT_FALSE(by_pe.designs.empty());
+  EXPECT_LE(by_pe.designs.front().processors, by_time.designs.front().processors);
+  EXPECT_LE(by_time.designs.front().total_time, by_pe.designs.front().total_time);
+}
+
+}  // namespace
+}  // namespace bitlevel::mapping

@@ -1,0 +1,80 @@
+// Exhaustive schedule search (Theorem 4.5's optimality claim, E8): with
+// the space mapping S of (4.2) fixed, no feasible integer schedule with
+// bounded coefficients beats Pi = [1, 1, 1, 2, 1].
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/expansion.hpp"
+#include "ir/kernels.hpp"
+#include "mapping/search.hpp"
+#include "support/error.hpp"
+
+namespace bitlevel {
+namespace {
+
+using mapping::InterconnectionPrimitives;
+using mapping::ScheduleSearchOptions;
+
+TEST(ScheduleSearchTest, WordLevelMatmulOptimum) {
+  const auto triplet = ir::kernels::matmul(4).triplet();
+  const math::IntMat s{{1, 0, 0}, {0, 1, 0}};
+  ScheduleSearchOptions options;
+  options.coefficient_bound = 2;
+  const auto result = mapping::search_schedules(triplet.domain, triplet.deps, s,
+                                                InterconnectionPrimitives::mesh2d(), options);
+  ASSERT_FALSE(result.feasible.empty());
+  // The classical schedule [1,1,1] achieves the optimum 3(u-1)+1.
+  EXPECT_EQ(result.feasible.front().total_time, 3 * (4 - 1) + 1);
+  EXPECT_EQ(result.feasible.front().pi, (math::IntVec{1, 1, 1}));
+  EXPECT_EQ(result.examined, 125u);  // 5^3 candidates
+}
+
+TEST(ScheduleSearchTest, Theorem45BitLevelOptimum) {
+  const math::Int u = 3, p = 2;
+  const auto s = core::expand(ir::kernels::matmul(u), p, core::Expansion::kII);
+  const math::IntMat space{{p, 0, 0, 1, 0}, {0, p, 0, 0, 1}};
+  ScheduleSearchOptions options;
+  options.coefficient_bound = 2;
+  const auto result = mapping::search_schedules(s.domain, s.deps, space,
+                                                InterconnectionPrimitives::fig4(p), options);
+  ASSERT_FALSE(result.feasible.empty());
+  const math::Int best = result.feasible.front().total_time;
+  // Theorem 4.5: T of (4.2) is time optimal.
+  EXPECT_EQ(best, 3 * (u - 1) + 3 * (p - 1) + 1);
+  const math::IntVec paper_pi{1, 1, 1, 2, 1};
+  bool paper_found = false;
+  for (const auto& cand : result.feasible) {
+    if (cand.pi == paper_pi) {
+      paper_found = true;
+      EXPECT_EQ(cand.total_time, best);
+    }
+    EXPECT_GE(cand.total_time, best);  // sorted, but assert anyway
+  }
+  EXPECT_TRUE(paper_found);
+}
+
+TEST(ScheduleSearchTest, KeepTruncates) {
+  const auto triplet = ir::kernels::matmul(3).triplet();
+  const math::IntMat s{{1, 0, 0}, {0, 1, 0}};
+  ScheduleSearchOptions options;
+  options.coefficient_bound = 2;
+  options.keep = 3;
+  const auto result = mapping::search_schedules(triplet.domain, triplet.deps, s,
+                                                InterconnectionPrimitives::mesh2d(), options);
+  EXPECT_LE(result.feasible.size(), 3u);
+}
+
+TEST(ScheduleSearchTest, InfeasibleWhenLinksMissing) {
+  // A 1-D "array" with only a stationary link cannot pipeline anything.
+  const auto triplet = ir::kernels::matmul(2).triplet();
+  const math::IntMat s{{1, 0, 0}, {0, 1, 0}};
+  const InterconnectionPrimitives only_null{math::IntMat{{0}, {0}}, "null-only"};
+  const auto result =
+      mapping::search_schedules(triplet.domain, triplet.deps, s, only_null,
+                                ScheduleSearchOptions{1, true, 0});
+  EXPECT_TRUE(result.feasible.empty());
+}
+
+}  // namespace
+}  // namespace bitlevel

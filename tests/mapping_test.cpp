@@ -1,0 +1,164 @@
+// Section 4: feasibility of the paper's two bit-level matmul mappings,
+// the execution-time formulas (4.5)/(4.8), and processor counts.
+#include <gtest/gtest.h>
+
+#include "core/expansion.hpp"
+#include "ir/kernels.hpp"
+#include "mapping/feasibility.hpp"
+#include "mapping/schedule.hpp"
+#include "support/error.hpp"
+
+namespace bitlevel {
+namespace {
+
+using core::Expansion;
+using mapping::InterconnectionPrimitives;
+using mapping::MappingMatrix;
+
+/// T of eq. (4.2) for word length p.
+MappingMatrix fig4_mapping(math::Int p) {
+  return MappingMatrix(math::IntMat{{p, 0, 0, 1, 0}, {0, p, 0, 0, 1}, {1, 1, 1, 2, 1}});
+}
+
+/// T' of eq. (4.6).
+MappingMatrix fig5_mapping(math::Int p) {
+  return MappingMatrix(math::IntMat{{p, 0, 0, 1, 0}, {0, p, 0, 0, 1}, {p, p, 1, 2, 1}});
+}
+
+struct Size {
+  math::Int u;
+  math::Int p;
+};
+
+class PaperMappingTest : public ::testing::TestWithParam<Size> {};
+
+TEST_P(PaperMappingTest, Fig4MappingIsFeasible) {
+  const auto [u, p] = GetParam();
+  const auto s = core::expand(ir::kernels::matmul(u), p, Expansion::kII);
+  const auto report = mapping::check_feasible(s.domain, s.deps, fig4_mapping(p),
+                                              InterconnectionPrimitives::fig4(p));
+  EXPECT_TRUE(report.ok) << report.to_string();
+  ASSERT_TRUE(report.k.has_value());
+  // (4.1) holds with equality or slack for every column.
+  const math::IntMat& k = *report.k;
+  const math::IntVec pi = fig4_mapping(p).schedule();
+  for (std::size_t i = 0; i < s.deps.size(); ++i) {
+    math::Int hops = 0;
+    for (std::size_t j = 0; j < k.rows(); ++j) hops += k.at(j, i);
+    EXPECT_LE(hops, math::dot(pi, s.deps[i].d)) << "column " << i;
+  }
+}
+
+TEST_P(PaperMappingTest, Fig5MappingIsFeasible) {
+  const auto [u, p] = GetParam();
+  const auto s = core::expand(ir::kernels::matmul(u), p, Expansion::kII);
+  const auto report = mapping::check_feasible(s.domain, s.deps, fig5_mapping(p),
+                                              InterconnectionPrimitives::mesh2d_diag());
+  EXPECT_TRUE(report.ok) << report.to_string();
+}
+
+TEST_P(PaperMappingTest, ExecutionTimeFormulas) {
+  const auto [u, p] = GetParam();
+  const auto s = core::expand(ir::kernels::matmul(u), p, Expansion::kII);
+  // (4.5): t = 3(u-1) + 3(p-1) + 1.
+  EXPECT_EQ(mapping::execution_time(fig4_mapping(p).schedule(), s.domain),
+            3 * (u - 1) + 3 * (p - 1) + 1);
+  // (4.8) as printed simplifies Pi'([u,u,u,p,p]-[1,1,1,1,1])+1 to
+  // (2p-1)(u-1)+3(p-1)+1, but with the paper's own Pi' = [p,p,1,2,1]
+  // the product is (2p+1)(u-1)+3(p-1)+1 — the printed coefficient is an
+  // arithmetic slip (the Pi' that would yield 2p-1, [p-1,p-1,1,2,1],
+  // violates condition 2: pipelining x/y needs p unit hops per word
+  // step). We assert the value that follows from (4.6); see
+  // EXPERIMENTS.md, erratum E6.
+  EXPECT_EQ(mapping::execution_time(fig5_mapping(p).schedule(), s.domain),
+            (2 * p + 1) * (u - 1) + 3 * (p - 1) + 1);
+}
+
+TEST_P(PaperMappingTest, ProcessorCounts) {
+  const auto [u, p] = GetParam();
+  const auto s = core::expand(ir::kernels::matmul(u), p, Expansion::kII);
+  // Both mappings share S, hence both use u^2 * p^2 processors.
+  EXPECT_EQ(mapping::processor_count(fig4_mapping(p).space(), s.domain), u * u * p * p);
+}
+
+TEST_P(PaperMappingTest, OccupancyIsConflictFree) {
+  const auto [u, p] = GetParam();
+  const auto s = core::expand(ir::kernels::matmul(u), p, Expansion::kII);
+  const auto stats = mapping::occupancy(fig4_mapping(p), s.domain);
+  EXPECT_EQ(stats.computations, u * u * u * p * p);
+  EXPECT_EQ(stats.processors, u * u * p * p);
+  EXPECT_EQ(stats.total_time, 3 * (u - 1) + 3 * (p - 1) + 1);
+  EXPECT_GT(stats.utilization, 0.0);
+  EXPECT_LE(stats.utilization, 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, PaperMappingTest,
+                         ::testing::Values(Size{2, 2}, Size{3, 3}, Size{4, 3}, Size{3, 4}),
+                         [](const ::testing::TestParamInfo<Size>& info) {
+                           return "u" + std::to_string(info.param.u) + "_p" +
+                                  std::to_string(info.param.p);
+                         });
+
+// The long wires are what make T schedulable: without them (plain mesh +
+// diagonal), the word-level hops S*d1 = [0,p] cannot be covered in
+// Pi*d1 = 1 time unit, and condition 2 must fail.
+TEST(MappingTest, Fig4WithoutLongWiresIsInfeasible) {
+  const math::Int u = 3, p = 3;
+  const auto s = core::expand(ir::kernels::matmul(u), p, Expansion::kII);
+  const auto report = mapping::check_feasible(s.domain, s.deps, fig4_mapping(p),
+                                              InterconnectionPrimitives::mesh2d_diag());
+  EXPECT_FALSE(report.ok);
+  ASSERT_FALSE(report.violations.empty());
+  EXPECT_NE(report.violations.front().find("condition 2"), std::string::npos)
+      << report.to_string();
+}
+
+// Reversing the schedule violates condition 1 on every column.
+TEST(MappingTest, BackwardScheduleViolatesCondition1) {
+  const auto s = core::expand(ir::kernels::matmul(2), 2, Expansion::kII);
+  const MappingMatrix t(fig4_mapping(2).space(), math::IntVec{-1, -1, -1, -2, -1});
+  const auto report =
+      mapping::check_feasible(s.domain, s.deps, t, InterconnectionPrimitives::fig4(2));
+  EXPECT_FALSE(report.ok);
+  EXPECT_NE(report.violations.front().find("condition 1"), std::string::npos);
+}
+
+// A rank-deficient T trips condition 4.
+TEST(MappingTest, RankDeficientMappingRejected) {
+  const auto s = core::expand(ir::kernels::matmul(2), 2, Expansion::kII);
+  const MappingMatrix t(math::IntMat{{2, 0, 0, 1, 0}, {2, 0, 0, 1, 0}, {1, 1, 1, 2, 1}});
+  const auto report =
+      mapping::check_feasible(s.domain, s.deps, t, InterconnectionPrimitives::fig4(2));
+  EXPECT_FALSE(report.ok);
+  bool found = false;
+  for (const auto& v : report.violations) found = found || v.find("condition 4") != std::string::npos;
+  EXPECT_TRUE(found) << report.to_string();
+}
+
+// Collapsing i1 and i2 onto the same processor coordinate creates a
+// computational conflict (condition 3).
+TEST(MappingTest, ConflictingMappingRejected) {
+  const auto s = core::expand(ir::kernels::matmul(2), 3, Expansion::kII);
+  // S drops the i2 coordinate entirely: points differing only in i2
+  // collide at equal times unless Pi separates them; choose Pi that
+  // does not.
+  const MappingMatrix t(math::IntMat{{3, 0, 0, 1, 0}, {0, 3, 0, 0, 0}, {1, 1, 1, 2, 0}});
+  const auto report =
+      mapping::check_feasible(s.domain, s.deps, t, InterconnectionPrimitives::fig4(3));
+  EXPECT_FALSE(report.ok);
+}
+
+// Scaling T by 2 violates the coprimality condition 5 and nothing else.
+TEST(MappingTest, CommonFactorViolatesCondition5) {
+  const auto s = core::expand(ir::kernels::matmul(2), 2, Expansion::kII);
+  math::IntMat doubled{{4, 0, 0, 2, 0}, {0, 4, 0, 0, 2}, {2, 2, 2, 4, 2}};
+  const auto report = mapping::check_feasible(s.domain, s.deps, MappingMatrix(std::move(doubled)),
+                                              InterconnectionPrimitives::fig4(2));
+  EXPECT_FALSE(report.ok);
+  bool found = false;
+  for (const auto& v : report.violations) found = found || v.find("condition 5") != std::string::npos;
+  EXPECT_TRUE(found) << report.to_string();
+}
+
+}  // namespace
+}  // namespace bitlevel

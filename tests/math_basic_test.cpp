@@ -1,0 +1,143 @@
+// Unit tests for the integer-arithmetic foundation: checked ops, gcd,
+// vectors, matrices, rationals, rank and determinant.
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "math/bareiss.hpp"
+#include "math/checked.hpp"
+#include "math/gcd.hpp"
+#include "math/int_mat.hpp"
+#include "math/int_vec.hpp"
+#include "math/rational.hpp"
+#include "support/error.hpp"
+
+namespace bitlevel::math {
+namespace {
+
+TEST(CheckedTest, AddSubMulBehave) {
+  EXPECT_EQ(checked_add(2, 3), 5);
+  EXPECT_EQ(checked_sub(2, 3), -1);
+  EXPECT_EQ(checked_mul(-4, 5), -20);
+  EXPECT_EQ(checked_neg(7), -7);
+}
+
+TEST(CheckedTest, OverflowThrows) {
+  const Int big = std::numeric_limits<Int>::max();
+  EXPECT_THROW(checked_add(big, 1), OverflowError);
+  EXPECT_THROW(checked_sub(std::numeric_limits<Int>::min(), 1), OverflowError);
+  EXPECT_THROW(checked_mul(big, 2), OverflowError);
+  EXPECT_THROW(checked_neg(std::numeric_limits<Int>::min()), OverflowError);
+}
+
+TEST(CheckedTest, FloorCeilDivision) {
+  EXPECT_EQ(floor_div(7, 2), 3);
+  EXPECT_EQ(floor_div(-7, 2), -4);
+  EXPECT_EQ(floor_div(7, -2), -4);
+  EXPECT_EQ(ceil_div(7, 2), 4);
+  EXPECT_EQ(ceil_div(-7, 2), -3);
+  EXPECT_EQ(mod_floor(-7, 3), 2);
+  EXPECT_EQ(mod_floor(7, -3), 1);
+  EXPECT_THROW(floor_div(1, 0), PreconditionError);
+}
+
+TEST(GcdTest, BasicIdentities) {
+  EXPECT_EQ(gcd(12, 18), 6);
+  EXPECT_EQ(gcd(-12, 18), 6);
+  EXPECT_EQ(gcd(0, 0), 0);
+  EXPECT_EQ(gcd(0, 5), 5);
+  EXPECT_EQ(lcm(4, 6), 12);
+  EXPECT_EQ(lcm(0, 9), 0);
+}
+
+TEST(GcdTest, ExtendedGcdBezout) {
+  for (Int a : {0, 1, -3, 12, 240, -46}) {
+    for (Int b : {0, 1, 7, -18, 46, 240}) {
+      const ExtGcd e = extended_gcd(a, b);
+      EXPECT_EQ(e.g, gcd(a, b));
+      EXPECT_EQ(a * e.x + b * e.y, e.g) << a << "," << b;
+    }
+  }
+}
+
+TEST(GcdTest, Coprimality) {
+  EXPECT_TRUE(coprime({3, 5, 7}));
+  EXPECT_FALSE(coprime({4, 6, 8}));
+  EXPECT_FALSE(coprime({}));
+  EXPECT_EQ(gcd_all({12, 18, 30}), 6);
+}
+
+TEST(IntVecTest, Arithmetic) {
+  const IntVec a{1, -2, 3}, b{4, 5, -6};
+  EXPECT_EQ(add(a, b), (IntVec{5, 3, -3}));
+  EXPECT_EQ(sub(a, b), (IntVec{-3, -7, 9}));
+  EXPECT_EQ(scale(-2, a), (IntVec{-2, 4, -6}));
+  EXPECT_EQ(dot(a, b), 4 - 10 - 18);
+  EXPECT_EQ(l1_norm(a), 6);
+  EXPECT_EQ(content(IntVec{6, -9, 12}), 3);
+  EXPECT_THROW(add(a, IntVec{1}), PreconditionError);
+}
+
+TEST(IntVecTest, LexOrdering) {
+  EXPECT_TRUE(lex_positive({0, 0, 1}));
+  EXPECT_FALSE(lex_positive({0, -1, 5}));
+  EXPECT_FALSE(lex_positive({0, 0, 0}));
+  EXPECT_LT(lex_compare({1, 2}, {1, 3}), 0);
+  EXPECT_EQ(lex_compare({1, 2}, {1, 2}), 0);
+}
+
+TEST(IntMatTest, Construction) {
+  const IntMat m{{1, 2, 3}, {4, 5, 6}};
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_EQ(m.at(1, 2), 6);
+  EXPECT_EQ(m.row(0), (IntVec{1, 2, 3}));
+  EXPECT_EQ(m.col(1), (IntVec{2, 5}));
+  EXPECT_EQ(IntMat::identity(2), (IntMat{{1, 0}, {0, 1}}));
+  EXPECT_EQ(IntMat::from_columns({{1, 4}, {2, 5}, {3, 6}}), m);
+  EXPECT_EQ(IntMat::from_rows({{1, 2, 3}, {4, 5, 6}}), m);
+}
+
+TEST(IntMatTest, Products) {
+  const IntMat a{{1, 2}, {3, 4}};
+  const IntMat b{{0, 1}, {1, 0}};
+  EXPECT_EQ(a.mul(b), (IntMat{{2, 1}, {4, 3}}));
+  EXPECT_EQ(a.mul(IntVec{1, 1}), (IntVec{3, 7}));
+  EXPECT_EQ(a.transpose(), (IntMat{{1, 3}, {2, 4}}));
+  EXPECT_EQ(a.hstack(b), (IntMat{{1, 2, 0, 1}, {3, 4, 1, 0}}));
+  EXPECT_EQ(a.vstack(b), (IntMat{{1, 2}, {3, 4}, {0, 1}, {1, 0}}));
+  EXPECT_EQ(a.select_columns({1}), (IntMat{{2}, {4}}));
+}
+
+TEST(BareissTest, RankAndDeterminant) {
+  EXPECT_EQ(rank(IntMat{{1, 2}, {2, 4}}), 1u);
+  EXPECT_EQ(rank(IntMat{{1, 0, 2}, {0, 1, 3}}), 2u);
+  EXPECT_EQ(rank(IntMat(3, 3)), 0u);
+  EXPECT_EQ(determinant(IntMat{{3, 1}, {1, 2}}), 5);
+  EXPECT_EQ(determinant(IntMat{{2, 0, 0}, {0, 3, 0}, {0, 0, 4}}), 24);
+  EXPECT_EQ(determinant(IntMat{{1, 2}, {2, 4}}), 0);
+  // Permutation sign.
+  EXPECT_EQ(determinant(IntMat{{0, 1}, {1, 0}}), -1);
+  EXPECT_TRUE(is_unimodular(IntMat{{1, 5}, {0, 1}}));
+  EXPECT_FALSE(is_unimodular(IntMat{{2, 0}, {0, 1}}));
+}
+
+TEST(RationalTest, ArithmeticAndOrdering) {
+  const Rational half(1, 2), third(1, 3);
+  EXPECT_EQ(half + third, Rational(5, 6));
+  EXPECT_EQ(half - third, Rational(1, 6));
+  EXPECT_EQ(half * third, Rational(1, 6));
+  EXPECT_EQ(half / third, Rational(3, 2));
+  EXPECT_EQ(Rational(-4, -8), half);
+  EXPECT_EQ(Rational(4, -8), -half);
+  EXPECT_LT(third, half);
+  EXPECT_GE(half, third);
+  EXPECT_EQ(Rational(7, 1).to_string(), "7");
+  EXPECT_EQ(Rational(-3, 9).to_string(), "-1/3");
+  EXPECT_THROW(Rational(1, 0), PreconditionError);
+  EXPECT_THROW(half / Rational(0), PreconditionError);
+  EXPECT_DOUBLE_EQ(Rational(3, 4).to_double(), 0.75);
+}
+
+}  // namespace
+}  // namespace bitlevel::math

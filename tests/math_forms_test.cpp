@@ -1,0 +1,168 @@
+// Property tests for the normal forms and Diophantine solver: on random
+// integer matrices, Hermite and Smith decompositions must satisfy their
+// defining identities, agree on rank with fraction-free elimination, and
+// the Diophantine machinery must reproduce brute-force solution sets.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "math/bareiss.hpp"
+#include "math/diophantine.hpp"
+#include "math/hnf.hpp"
+#include "math/snf.hpp"
+#include "support/rng.hpp"
+
+namespace bitlevel::math {
+namespace {
+
+IntMat random_matrix(Xoshiro256& rng, std::size_t rows, std::size_t cols, Int lo, Int hi) {
+  IntMat m(rows, cols);
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) m.at(r, c) = rng.uniform(lo, hi);
+  }
+  return m;
+}
+
+class FormsPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FormsPropertyTest, HermitePostconditions) {
+  Xoshiro256 rng(GetParam());
+  for (int trial = 0; trial < 30; ++trial) {
+    const std::size_t rows = 1 + rng() % 4;
+    const std::size_t cols = 1 + rng() % 4;
+    const IntMat a = random_matrix(rng, rows, cols, -6, 6);
+    const HermiteForm hf = hermite_normal_form(a);
+    // Defining identity and unimodularity.
+    EXPECT_EQ(a.mul(hf.u), hf.h);
+    EXPECT_TRUE(is_unimodular(hf.u));
+    EXPECT_EQ(hf.rank, rank(a));
+    // Echelon shape: positive pivots, zero tail right of each pivot.
+    for (std::size_t k = 0; k < hf.rank; ++k) {
+      const std::size_t pr = hf.pivot_rows[k];
+      EXPECT_GT(hf.h.at(pr, k), 0);
+      for (std::size_t j = k + 1; j < cols; ++j) EXPECT_EQ(hf.h.at(pr, j), 0);
+      // Entries left of the pivot reduced into [0, pivot).
+      for (std::size_t j = 0; j < k; ++j) {
+        EXPECT_GE(hf.h.at(pr, j), 0);
+        EXPECT_LT(hf.h.at(pr, j), hf.h.at(pr, k));
+      }
+    }
+    // Tail columns are zero.
+    for (std::size_t k = hf.rank; k < cols; ++k) {
+      EXPECT_TRUE(is_zero(hf.h.col(k)));
+    }
+  }
+}
+
+TEST_P(FormsPropertyTest, SmithPostconditions) {
+  Xoshiro256 rng(GetParam() + 1000);
+  for (int trial = 0; trial < 30; ++trial) {
+    const std::size_t rows = 1 + rng() % 4;
+    const std::size_t cols = 1 + rng() % 4;
+    const IntMat a = random_matrix(rng, rows, cols, -5, 5);
+    const SmithForm sf = smith_normal_form(a);
+    EXPECT_EQ(sf.u.mul(a).mul(sf.v), sf.s);
+    EXPECT_TRUE(is_unimodular(sf.u));
+    EXPECT_TRUE(is_unimodular(sf.v));
+    EXPECT_EQ(sf.rank, rank(a));
+    const std::size_t bound = std::min(rows, cols);
+    for (std::size_t i = 0; i < bound; ++i) {
+      EXPECT_GE(sf.s.at(i, i), 0);
+      // Off-diagonal entries are zero.
+      for (std::size_t j = 0; j < cols; ++j) {
+        if (j != i) {
+          EXPECT_EQ(sf.s.at(i, j), 0);
+        }
+      }
+      // Divisibility chain s_i | s_{i+1}.
+      if (i + 1 < bound && sf.s.at(i, i) != 0 && sf.s.at(i + 1, i + 1) != 0) {
+        EXPECT_EQ(sf.s.at(i + 1, i + 1) % sf.s.at(i, i), 0);
+      }
+    }
+  }
+}
+
+TEST_P(FormsPropertyTest, DiophantineSolutionsAreValid) {
+  Xoshiro256 rng(GetParam() + 2000);
+  for (int trial = 0; trial < 40; ++trial) {
+    const std::size_t rows = 1 + rng() % 3;
+    const std::size_t cols = 1 + rng() % 3;
+    const IntMat a = random_matrix(rng, rows, cols, -4, 4);
+    // Build a RHS that is guaranteed solvable: b = A * x0.
+    IntVec x0(cols);
+    for (auto& v : x0) v = rng.uniform(-3, 3);
+    const IntVec b = a.mul(x0);
+    const auto sol = solve_diophantine(a, b);
+    ASSERT_TRUE(sol.has_value());
+    EXPECT_EQ(a.mul(sol->particular), b);
+    for (std::size_t k = 0; k < sol->kernel.cols(); ++k) {
+      EXPECT_TRUE(is_zero(a.mul(sol->kernel.col(k))));
+    }
+    // Kernel dimension = cols - rank.
+    EXPECT_EQ(sol->kernel.cols(), cols - rank(a));
+  }
+}
+
+TEST_P(FormsPropertyTest, EnumerationMatchesBruteForce) {
+  Xoshiro256 rng(GetParam() + 3000);
+  for (int trial = 0; trial < 25; ++trial) {
+    const std::size_t rows = 1 + rng() % 2;
+    const std::size_t cols = 2 + rng() % 2;
+    const IntMat a = random_matrix(rng, rows, cols, -3, 3);
+    IntVec b(rows);
+    for (auto& v : b) v = rng.uniform(-4, 4);
+    const IntVec lo(cols, -3), hi(cols, 3);
+
+    std::set<IntVec> expected;
+    IntVec x = lo;
+    while (true) {
+      if (a.mul(x) == b) expected.insert(x);
+      std::size_t k = cols;
+      bool adv = false;
+      while (k-- > 0) {
+        if (x[k] < hi[k]) {
+          ++x[k];
+          adv = true;
+          break;
+        }
+        x[k] = lo[k];
+      }
+      if (!adv) break;
+    }
+
+    const auto got_vec = enumerate_solutions_in_box(a, b, lo, hi);
+    const std::set<IntVec> got(got_vec.begin(), got_vec.end());
+    EXPECT_EQ(got, expected);
+    EXPECT_EQ(got_vec.size(), got.size()) << "duplicates returned";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FormsPropertyTest, ::testing::Values(1u, 2u, 3u, 4u, 5u));
+
+TEST(DiophantineTest, InfeasibleSystems) {
+  // 2x = 1 has no integer solution.
+  EXPECT_FALSE(solve_single_equation({2}, 1).has_value());
+  // 2x + 4y = 7: gcd 2 does not divide 7.
+  EXPECT_FALSE(solve_single_equation({2, 4}, 7).has_value());
+  // Inconsistent stacked system.
+  EXPECT_FALSE(solve_diophantine(IntMat{{1, 0}, {1, 0}}, {0, 1}).has_value());
+}
+
+TEST(DiophantineTest, SingleEquationStructure) {
+  const auto sol = solve_single_equation({3, 5}, 1);
+  ASSERT_TRUE(sol.has_value());
+  EXPECT_EQ(3 * sol->particular[0] + 5 * sol->particular[1], 1);
+  ASSERT_EQ(sol->kernel.cols(), 1u);
+  const IntVec k = sol->kernel.col(0);
+  EXPECT_EQ(3 * k[0] + 5 * k[1], 0);
+  EXPECT_NE(k, (IntVec{0, 0}));
+}
+
+TEST(DiophantineTest, EnumerationLimit) {
+  // x + y = 0 in [-5,5]^2 has 11 solutions; the limit caps them.
+  const auto some = enumerate_solutions_in_box(IntMat{{1, 1}}, {0}, {-5, -5}, {5, 5}, 4);
+  EXPECT_EQ(some.size(), 4u);
+}
+
+}  // namespace
+}  // namespace bitlevel::math

@@ -1,0 +1,121 @@
+// Support utilities: error macros, formatting, deterministic RNG.
+#include <gtest/gtest.h>
+
+#include "support/error.hpp"
+#include "support/format.hpp"
+#include "support/json.hpp"
+#include "support/rng.hpp"
+
+namespace bitlevel {
+namespace {
+
+TEST(ErrorTest, RequireMacroCarriesContext) {
+  try {
+    BL_REQUIRE(1 == 2, "math is broken");
+    FAIL() << "should have thrown";
+  } catch (const PreconditionError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("math is broken"), std::string::npos);
+    EXPECT_NE(what.find("support_test.cpp"), std::string::npos);
+  }
+}
+
+TEST(ErrorTest, Hierarchy) {
+  EXPECT_THROW(throw OverflowError("x"), Error);
+  EXPECT_THROW(throw NotFoundError("x"), Error);
+  EXPECT_THROW(throw PreconditionError("x"), std::runtime_error);
+}
+
+TEST(FormatTest, Vectors) {
+  EXPECT_EQ(format_vector({}), "[]");
+  EXPECT_EQ(format_vector({1, -2, 3}), "[1, -2, 3]");
+}
+
+TEST(FormatTest, MatrixAlignment) {
+  const std::string s = format_matrix({1, -10, 100, 2, 3, 4}, 2, 3);
+  EXPECT_EQ(s, "[   1 -10 100 ]\n[   2   3   4 ]");
+  EXPECT_THROW(format_matrix({1, 2, 3}, 2, 2), PreconditionError);
+}
+
+TEST(FormatTest, TextTable) {
+  TextTable t({"name", "cycles"});
+  t.add_row({"fig4", "19"});
+  t.add_row({"fig5", "33"});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("| name |"), std::string::npos);
+  EXPECT_NE(s.find("| fig4 | 19"), std::string::npos);
+  EXPECT_THROW(t.add_row({"only-one"}), PreconditionError);
+}
+
+TEST(RngTest, DeterministicAcrossInstances) {
+  Xoshiro256 a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+  Xoshiro256 c(43);
+  EXPECT_NE(a(), c());
+}
+
+TEST(RngTest, UniformRespectsBounds) {
+  Xoshiro256 rng(7);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = rng.uniform(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo = saw_lo || v == -3;
+    saw_hi = saw_hi || v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, BitsMasksWidth) {
+  Xoshiro256 rng(9);
+  for (int i = 0; i < 100; ++i) EXPECT_LT(rng.bits(5), 32u);
+}
+
+TEST(JsonTest, NestedDocument) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("name").value("fig4");
+  w.key("cycles").value(19);
+  w.key("ok").value(true);
+  w.key("pi").value(std::vector<std::int64_t>{1, 1, 1, 2, 1});
+  w.key("nested").begin_object().key("utilization").value(0.25).end_object();
+  w.key("list").begin_array().value("a").value(2).end_array();
+  w.end_object();
+  EXPECT_EQ(w.str(),
+            R"({"name":"fig4","cycles":19,"ok":true,"pi":[1,1,1,2,1],)"
+            R"("nested":{"utilization":0.25},"list":["a",2]})");
+}
+
+TEST(JsonTest, Escaping) {
+  JsonWriter w;
+  w.value(std::string("a\"b\\c\nd\te") + '\x01');
+  EXPECT_EQ(w.str(), "\"a\\\"b\\\\c\\nd\\te\\u0001\"");
+}
+
+TEST(JsonTest, MisuseThrows) {
+  {
+    JsonWriter w;
+    w.begin_object();
+    EXPECT_THROW(w.value(1), PreconditionError);  // value without key
+  }
+  {
+    JsonWriter w;
+    w.begin_array();
+    EXPECT_THROW(w.end_object(), PreconditionError);  // wrong scope
+  }
+  {
+    JsonWriter w;
+    w.begin_array();
+    EXPECT_THROW(w.str(), PreconditionError);  // unbalanced at str()
+  }
+  {
+    JsonWriter w;
+    w.value(1);
+    EXPECT_THROW(w.value(2), PreconditionError);  // two top-level values
+  }
+}
+
+}  // namespace
+}  // namespace bitlevel
