@@ -76,6 +76,32 @@ void BM_Fig4Simulation(benchmark::State& state) {
 }
 BENCHMARK(BM_Fig4Simulation)->Args({2, 4})->Args({4, 4})->Args({4, 8})->Args({6, 8});
 
+// Serial-vs-parallel wavefront execution on one CI-sized array. The
+// third argument is the worker count; threads = 1 is the exact serial
+// path, so the ratio of these rows is the wall-clock speedup of the
+// Π-hyperplane fan-out (outputs are bit-identical by construction).
+void BM_Fig4SimulationThreads(benchmark::State& state) {
+  const math::Int u = state.range(0), p = state.range(1);
+  const int threads = static_cast<int>(state.range(2));
+  BitLevelMatmulArray array(MatmulMapping::kFig4, u, p);
+  array.set_threads(threads);
+  const std::uint64_t bound = core::max_safe_operand(p, u, core::Expansion::kII);
+  const WordMatrix x = WordMatrix::random(u, bound, 1);
+  const WordMatrix y = WordMatrix::random(u, bound, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(array.multiply(x, y).stats.cycles);
+  }
+  state.counters["threads"] = threads;
+}
+BENCHMARK(BM_Fig4SimulationThreads)
+    ->Args({6, 8, 1})
+    ->Args({6, 8, 2})
+    ->Args({6, 8, 4})
+    ->Args({12, 12, 1})
+    ->Args({12, 12, 2})
+    ->Args({12, 12, 4})
+    ->UseRealTime();
+
 }  // namespace
 
 BITLEVEL_BENCH_MAIN(print_tables)

@@ -125,6 +125,28 @@ void BM_ScheduleSearch(benchmark::State& state) {
 }
 BENCHMARK(BM_ScheduleSearch)->Arg(1)->Arg(2);
 
+// Serial-vs-parallel sweep of the (2b+1)^5 Π-odometer. The second
+// argument is the worker count partitioning the odometer; the ranked
+// result is byte-identical across rows, only the wall clock moves.
+void BM_ScheduleSearchThreads(benchmark::State& state) {
+  const auto s = core::expand(ir::kernels::matmul(3), 2, core::Expansion::kII);
+  const math::IntMat space{{2, 0, 0, 1, 0}, {0, 2, 0, 0, 1}};
+  mapping::ScheduleSearchOptions options;
+  options.coefficient_bound = static_cast<math::Int>(state.range(0));
+  options.threads = static_cast<int>(state.range(1));
+  const auto prims = InterconnectionPrimitives::fig4(2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        mapping::search_schedules(s.domain, s.deps, space, prims, options).feasible.size());
+  }
+  state.counters["threads"] = options.threads;
+}
+BENCHMARK(BM_ScheduleSearchThreads)
+    ->Args({2, 1})
+    ->Args({2, 2})
+    ->Args({2, 4})
+    ->UseRealTime();
+
 }  // namespace
 
 BITLEVEL_BENCH_MAIN(print_tables)

@@ -133,8 +133,8 @@ ArrayRunResult BitLevelArray::run(const core::OperandFn& x, const core::OperandF
     return out;
   };
 
-  sim::Machine machine({structure_.domain, deps, t_, prims_, k_, cell_channels()}, compute,
-                       external);
+  sim::Machine machine({structure_.domain, deps, t_, prims_, k_, cell_channels(), threads_},
+                       compute, external);
   ArrayRunResult result;
   result.stats = machine.run();
 

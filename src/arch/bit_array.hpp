@@ -45,6 +45,12 @@ class BitLevelArray {
   const mapping::MappingMatrix& t() const { return t_; }
   const math::IntMat& k() const { return k_; }
 
+  /// Worker threads the simulator fans each cycle over (see
+  /// sim::MachineConfig::threads; 0 = BITLEVEL_THREADS / hardware
+  /// concurrency, 1 = serial). Results are identical for every value.
+  void set_threads(int threads) { threads_ = threads; }
+  int threads() const { return threads_; }
+
   /// Cycle-accurate run with the given operand words per word-level
   /// index point. Returns statistics and the final z words.
   ArrayRunResult run(const core::OperandFn& x, const core::OperandFn& y) const;
@@ -54,6 +60,7 @@ class BitLevelArray {
   mapping::MappingMatrix t_;
   mapping::InterconnectionPrimitives prims_;
   math::IntMat k_;
+  int threads_ = 0;
 };
 
 }  // namespace bitlevel::arch

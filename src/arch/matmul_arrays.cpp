@@ -114,8 +114,9 @@ BatchRunResult BitLevelMatmulArray::multiply_batch(const std::vector<WordMatrix>
   tb.at(2, 0) = batch_initiation_interval();
   for (std::size_t c = 0; c < 5; ++c) tb.at(2, c + 1) = base.matrix().at(2, c);
 
-  const BitLevelArray array(s, mapping::MappingMatrix(std::move(tb)),
-                            matmul_primitives(which_, p_));
+  BitLevelArray array(s, mapping::MappingMatrix(std::move(tb)),
+                      matmul_primitives(which_, p_));
+  array.set_threads(array_.threads());
   const auto raw = array.run(
       [&](const IntVec& j) { return xs[static_cast<std::size_t>(j[0] - 1)].at(j[1], j[3]); },
       [&](const IntVec& j) { return ys[static_cast<std::size_t>(j[0] - 1)].at(j[3], j[2]); });

@@ -73,6 +73,12 @@ class BitLevelMatmulArray {
   Int p() const { return p_; }
   const BitLevelArray& array() const { return array_; }
 
+  /// Worker threads for the cycle-accurate runs (multiply and
+  /// multiply_batch; see sim::MachineConfig::threads). Results are
+  /// identical for every value.
+  void set_threads(int threads) { array_.set_threads(threads); }
+  int threads() const { return array_.threads(); }
+
   /// Multiply-accumulate Z = X * Y on the array; X entries must keep
   /// their top bit clear and Z must fit 2p-1 bits (see
   /// core::max_safe_operand with Expansion II).

@@ -42,7 +42,8 @@ WordRunResult WordLevelMatmulArray::multiply(const WordMatrix& x, const WordMatr
     return out;
   };
 
-  sim::Machine machine({triplet.domain, triplet.deps, t, prims, *report.k, {"x", "y", "z"}},
+  sim::Machine machine({triplet.domain, triplet.deps, t, prims, *report.k, {"x", "y", "z"},
+                        threads_},
                        compute, external);
   WordRunResult result{WordMatrix(u_), machine.run(), 0};
   result.total_cycles = math::checked_mul(result.beat_stats.cycles, beat_length());

@@ -42,6 +42,11 @@ class WordLevelMatmulArray {
   /// u^2 word-level processors.
   Int predicted_processors() const { return u_ * u_; }
 
+  /// Worker threads the simulator fans each beat over (see
+  /// sim::MachineConfig::threads). Results are identical for every value.
+  void set_threads(int threads) { threads_ = threads; }
+  int threads() const { return threads_; }
+
   /// Run Z = X * Y cycle-accurately (at beat granularity; each beat is
   /// one MAC whose internal latency is the multiplier model's).
   WordRunResult multiply(const WordMatrix& x, const WordMatrix& y) const;
@@ -50,6 +55,7 @@ class WordLevelMatmulArray {
   Int u_;
   Int p_;
   arith::WordMultiplier multiplier_;
+  int threads_ = 0;
 };
 
 }  // namespace bitlevel::arch

@@ -6,6 +6,7 @@
 #include "mapping/projection.hpp"
 #include "mapping/schedule.hpp"
 #include "support/error.hpp"
+#include "support/thread_pool.hpp"
 
 namespace bitlevel::mapping {
 
@@ -32,16 +33,20 @@ ExploreResult explore_designs(const ir::IndexSet& domain, const ir::DependenceMa
     candidates.push_back(std::move(d));
   }
   const auto sets = independent_direction_sets(candidates, m, options.max_direction_sets);
+  result.spaces_tried = sets.size();
 
-  for (const IntMat& u : sets) {
-    ++result.spaces_tried;
+  // One direction set: search its schedules (serially — the pool is
+  // already partitioned one level up) and emit the feasible designs.
+  const auto try_space = [&](const IntMat& u, std::vector<DesignCandidate>& designs,
+                             std::size_t& schedules_examined) {
     const IntMat space = space_mapping_from_projections(u);
 
     ScheduleSearchOptions sopt;
     sopt.coefficient_bound = options.schedule_bound;
     sopt.keep = options.keep_per_space;
+    sopt.threads = 1;
     const auto found = search_schedules(domain, deps, space, prims, sopt);
-    result.schedules_examined += found.examined;
+    schedules_examined += found.examined;
 
     for (const auto& cand : found.feasible) {
       const MappingMatrix t(space, cand.pi);
@@ -54,24 +59,49 @@ ExploreResult explore_designs(const ir::IndexSet& domain, const ir::DependenceMa
         for (std::size_t i = 0; i < deps.size(); ++i) used = used || report.k->at(j, i) > 0;
         if (used) max_wire = std::max(max_wire, math::l1_norm(prims.p.col(j)));
       }
-      result.designs.push_back({u, t, cand.total_time, processor_count(space, domain),
-                                max_wire});
+      designs.push_back({u, t, cand.total_time, processor_count(space, domain), max_wire});
+    }
+  };
+
+  const std::size_t nthreads = support::ThreadPool::resolve_threads(options.threads);
+  if (nthreads == 1 || sets.size() < 2) {
+    for (const IntMat& u : sets) try_space(u, result.designs, result.schedules_examined);
+  } else {
+    // Deterministic partition of the direction-set pool; chunk-order
+    // merge reproduces the serial emission order.
+    std::vector<std::vector<DesignCandidate>> designs(nthreads);
+    std::vector<std::size_t> examined(nthreads, 0);
+    support::ThreadPool::shared().parallel_for(
+        nthreads, 0, sets.size(), [&](std::size_t chunk, std::size_t lo, std::size_t hi) {
+          for (std::size_t s = lo; s < hi; ++s) try_space(sets[s], designs[chunk], examined[chunk]);
+        });
+    for (std::size_t c = 0; c < nthreads; ++c) {
+      result.schedules_examined += examined[c];
+      result.designs.insert(result.designs.end(), std::make_move_iterator(designs[c].begin()),
+                            std::make_move_iterator(designs[c].end()));
     }
   }
 
+  // Strict total order: the objective keys first, then the mapping
+  // itself as the tie-break, so the ranking is byte-identical for every
+  // thread count (std::sort is not stable).
   const auto better = [objective](const DesignCandidate& a, const DesignCandidate& b) {
     switch (objective) {
       case DesignObjective::kTime:
         if (a.total_time != b.total_time) return a.total_time < b.total_time;
-        return a.processors < b.processors;
+        if (a.processors != b.processors) return a.processors < b.processors;
+        break;
       case DesignObjective::kProcessors:
         if (a.processors != b.processors) return a.processors < b.processors;
-        return a.total_time < b.total_time;
+        if (a.total_time != b.total_time) return a.total_time < b.total_time;
+        break;
       case DesignObjective::kWire:
         if (a.max_wire != b.max_wire) return a.max_wire < b.max_wire;
-        return a.total_time < b.total_time;
+        if (a.total_time != b.total_time) return a.total_time < b.total_time;
+        break;
     }
-    return false;  // unreachable
+    if (a.t.matrix().data() != b.t.matrix().data()) return a.t.matrix().data() < b.t.matrix().data();
+    return a.projections.data() < b.projections.data();
   };
   std::sort(result.designs.begin(), result.designs.end(), better);
   return result;

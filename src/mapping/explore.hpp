@@ -38,6 +38,11 @@ struct ExploreOptions {
   /// domain knowledge like the Fig. 4 projections [1,0,0,-p,0] whose
   /// p-scaled entries the generic {-1,0,1} pool cannot express.
   std::vector<IntVec> seed_directions;
+  /// Workers partitioning the direction-set pool (each worker sweeps
+  /// its spaces' schedules serially). 0 = BITLEVEL_THREADS / hardware
+  /// concurrency, 1 = serial. Ranked designs are byte-identical for
+  /// every thread count.
+  int threads = 0;
 };
 
 /// Objective for the final ranking.

@@ -4,23 +4,28 @@
 
 #include "mapping/schedule.hpp"
 #include "support/error.hpp"
+#include "support/thread_pool.hpp"
 
 namespace bitlevel::mapping {
 
-ScheduleSearchResult search_schedules(const ir::IndexSet& domain,
-                                      const ir::DependenceMatrix& deps, const IntMat& space,
-                                      const InterconnectionPrimitives& prims,
-                                      const ScheduleSearchOptions& options) {
-  const std::size_t n = domain.dim();
-  BL_REQUIRE(options.coefficient_bound >= 1, "coefficient bound must be >= 1");
+namespace {
 
-  ScheduleSearchResult result;
-  const Int b = options.coefficient_bound;
+/// One worker's sweep over the odometer positions [from, to): decode
+/// the starting digits, enumerate in the same order as the serial loop,
+/// and collect the feasible candidates in enumeration order.
+void sweep_range(std::size_t from, std::size_t to, std::size_t n, Int b,
+                 const ir::IndexSet& domain, const ir::DependenceMatrix& deps,
+                 const IntMat& space, const InterconnectionPrimitives& prims,
+                 const FeasibilityOptions& fopts, std::vector<ScheduleCandidate>& out) {
+  const std::size_t radix = static_cast<std::size_t>(2 * b + 1);
+  // Decode `from` into odometer digits (most significant first).
   IntVec pi(n, -b);
-  const FeasibilityOptions fopts{options.check_injectivity};
-
-  while (true) {
-    ++result.examined;
+  std::size_t rest = from;
+  for (std::size_t k = n; k-- > 0;) {
+    pi[k] = -b + static_cast<Int>(rest % radix);
+    rest /= radix;
+  }
+  for (std::size_t at = from; at < to; ++at) {
     // Quick screens before the full feasibility machinery: Pi must be
     // nonzero and order every dependence forward.
     bool plausible = !math::is_zero(pi);
@@ -33,20 +38,61 @@ ScheduleSearchResult search_schedules(const ir::IndexSet& domain,
       const MappingMatrix t(space, pi);
       const FeasibilityReport report = check_feasible(domain, deps, t, prims, fopts);
       if (report.ok) {
-        result.feasible.push_back({pi, execution_time(pi, domain)});
+        out.push_back({pi, execution_time(pi, domain)});
       }
     }
-    // Advance the odometer; stop when every digit wraps.
-    bool advanced = false;
+    // Advance the odometer.
     for (std::size_t k = n; k-- > 0;) {
       if (pi[k] < b) {
         ++pi[k];
-        advanced = true;
         break;
       }
       pi[k] = -b;
     }
-    if (!advanced) break;
+  }
+}
+
+}  // namespace
+
+ScheduleSearchResult search_schedules(const ir::IndexSet& domain,
+                                      const ir::DependenceMatrix& deps, const IntMat& space,
+                                      const InterconnectionPrimitives& prims,
+                                      const ScheduleSearchOptions& options) {
+  const std::size_t n = domain.dim();
+  BL_REQUIRE(options.coefficient_bound >= 1, "coefficient bound must be >= 1");
+
+  ScheduleSearchResult result;
+  const Int b = options.coefficient_bound;
+  const FeasibilityOptions fopts{options.check_injectivity};
+
+  // Total odometer positions (2b+1)^n, saturated: a saturated space
+  // could never be swept anyway, so it just stays on one worker.
+  constexpr std::size_t kSaturated = std::size_t(1) << 62;
+  std::size_t total = 1;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (total > kSaturated / static_cast<std::size_t>(2 * b + 1)) {
+      total = kSaturated;
+      break;
+    }
+    total *= static_cast<std::size_t>(2 * b + 1);
+  }
+  result.examined = total;
+
+  const std::size_t nthreads = support::ThreadPool::resolve_threads(options.threads);
+  if (nthreads == 1 || total == kSaturated || total < 2) {
+    sweep_range(0, total, n, b, domain, deps, space, prims, fopts, result.feasible);
+  } else {
+    // Deterministic partition of the odometer; chunk-order concatenation
+    // reproduces the serial enumeration order exactly.
+    std::vector<std::vector<ScheduleCandidate>> found(nthreads);
+    support::ThreadPool::shared().parallel_for(
+        nthreads, 0, total, [&](std::size_t chunk, std::size_t lo, std::size_t hi) {
+          sweep_range(lo, hi, n, b, domain, deps, space, prims, fopts, found[chunk]);
+        });
+    for (auto& part : found) {
+      result.feasible.insert(result.feasible.end(), std::make_move_iterator(part.begin()),
+                             std::make_move_iterator(part.end()));
+    }
   }
 
   std::sort(result.feasible.begin(), result.feasible.end(),

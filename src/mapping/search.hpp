@@ -25,6 +25,11 @@ struct ScheduleSearchOptions {
   Int coefficient_bound = 2;      ///< Enumerate pi_i in [-bound, bound].
   bool check_injectivity = true;  ///< Enforce condition 3 for [S; Pi].
   std::size_t keep = 0;           ///< Keep only the best N (0 = all).
+  /// Workers partitioning the (2b+1)^n odometer. 0 = BITLEVEL_THREADS /
+  /// hardware concurrency, 1 = the serial sweep. The ranked result is
+  /// byte-identical for every thread count (deterministic partition,
+  /// chunk-order merge, total-order ranking).
+  int threads = 0;
 };
 
 /// Result of a schedule search.

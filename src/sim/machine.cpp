@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "support/error.hpp"
+#include "support/thread_pool.hpp"
 
 namespace bitlevel::sim {
 
@@ -14,12 +15,13 @@ std::string SimulationStats::to_string() const {
      << pe_count << ", computations " << computations << ", utilization " << pe_utilization
      << ", hops " << link_transmissions << ", wire length " << wire_length
      << ", buffered value-cycles " << buffered_value_cycles << ", peak parallelism "
-     << peak_parallelism;
+     << peak_parallelism << ", threads " << threads_used;
   return os.str();
 }
 
 Machine::Machine(MachineConfig config, ComputeFn compute, ExternalFn external)
     : config_(std::move(config)), compute_(std::move(compute)), external_(std::move(external)) {
+  BL_REQUIRE(config_.domain.dim() >= 1, "domain must have at least one dimension");
   BL_REQUIRE(config_.deps.empty() || config_.deps.dim() == config_.domain.dim(),
              "dependence dimension must match the domain");
   BL_REQUIRE(config_.t.n() == config_.domain.dim(), "mapping dimension must match the domain");
@@ -51,6 +53,10 @@ SimulationStats Machine::run() {
   BL_REQUIRE(!ran_, "Machine::run is single-shot; construct a new machine to rerun");
   ran_ = true;
 
+  // Fail degenerate domains before any statistics work.
+  const std::size_t npoints = static_cast<std::size_t>(config_.domain.size());
+  BL_REQUIRE(npoints > 0, "empty domain");
+
   const IntVec pi = config_.t.schedule();
   const IntMat space = config_.t.space();
   const std::size_t ncols = config_.deps.size();
@@ -69,14 +75,18 @@ SimulationStats Machine::run() {
       wire[i] = math::checked_add(
           wire[i], math::checked_mul(uses, math::l1_norm(config_.prims.p.col(j))));
     }
-    const Int slack = math::checked_sub(math::dot(pi, config_.deps[i].d), hops[i]);
+    const Int forward = math::dot(pi, config_.deps[i].d);
+    // Condition 2: every operand comes from a strictly earlier cycle.
+    // This is also what makes the intra-cycle fan-out race-free.
+    BL_REQUIRE(forward >= 1,
+               "schedule must order every dependence strictly forward (condition 2)");
+    const Int slack = math::checked_sub(forward, hops[i]);
     BL_REQUIRE(slack >= 0, "routing uses more hops than the schedule allows (4.1)");
     stats.buffer_depth[static_cast<std::size_t>(i)] = slack;
   }
 
   // Event list sorted by cycle (stable within a cycle: lexicographic
   // domain order). Every point appears exactly once.
-  const std::size_t npoints = static_cast<std::size_t>(config_.domain.size());
   struct Event {
     Int cycle;
     IntVec q;
@@ -89,7 +99,6 @@ SimulationStats Machine::run() {
   });
   std::stable_sort(events.begin(), events.end(),
                    [](const Event& a, const Event& b) { return a.cycle < b.cycle; });
-  BL_REQUIRE(!events.empty(), "empty domain");
   stats.first_cycle = events.front().cycle;
   stats.last_cycle = events.back().cycle;
   stats.cycles = stats.last_cycle - stats.first_cycle + 1;
@@ -97,10 +106,78 @@ SimulationStats Machine::run() {
   outputs_.assign(npoints * nch, 0);
   computed_.assign(npoints, 0);
 
+  const std::size_t nthreads = support::ThreadPool::resolve_threads(config_.threads);
+  stats.threads_used = static_cast<int>(nthreads);
+  auto& pool = support::ThreadPool::shared();
+
+  // Per-chunk accounting, merged into `stats` in chunk order at each
+  // cycle barrier; integer addition is associative, so the totals are
+  // bit-identical to the serial order.
+  struct Accum {
+    Int link = 0;
+    Int wire_len = 0;
+    Int buffered = 0;
+    Int computations = 0;
+  };
+
+  // One event: resolve operands, verify timing, compute, store. The
+  // scratch vectors are per-thread so the fan-out shares nothing but
+  // the (disjoint) output slots and earlier cycles' results.
+  const auto execute_event = [&](const Event& ev, Accum& acc, std::vector<ColumnInput>& inputs,
+                                 std::vector<Outputs>& resolved_externals) {
+    const IntVec& q = ev.q;
+    const Int cycle = ev.cycle;
+    resolved_externals.clear();
+    resolved_externals.reserve(ncols);
+    for (std::size_t i = 0; i < ncols; ++i) {
+      inputs[i] = ColumnInput{};
+      const auto& col = config_.deps[i];
+      if (!col.valid.contains(q)) continue;
+      inputs[i].valid = true;
+      const IntVec producer = math::sub(q, col.d);
+      if (!config_.domain.contains(producer)) {
+        inputs[i].external = true;
+        resolved_externals.push_back(external_(q, i));
+        BL_REQUIRE(resolved_externals.back().size() == nch,
+                   "external function must fill every channel");
+        inputs[i].producer = resolved_externals.back().data();
+        continue;
+      }
+      const std::size_t slot = linear_index(producer);
+      BL_REQUIRE(computed_[slot] != 0,
+                 "operand not yet produced — schedule violates a dependence");
+      // Timing: the value left the producer at Pi*producer, took
+      // hops[i] link cycles, and must have arrived by now.
+      const Int produced = math::dot(pi, producer);
+      BL_REQUIRE(produced + hops[i] <= cycle,
+                 "operand arrives after its consumption cycle — (4.1) violated");
+      inputs[i].producer = outputs_.data() + slot * nch;
+      // Accounting: hops and the buffer wait at the consumer.
+      acc.link = math::checked_add(acc.link, hops[i]);
+      acc.wire_len = math::checked_add(acc.wire_len, wire[i]);
+      acc.buffered = math::checked_add(acc.buffered, cycle - produced - hops[i]);
+    }
+
+    const Outputs out = compute_(q, inputs);
+    BL_REQUIRE(out.size() == nch, "compute function must fill every channel");
+    const std::size_t slot = linear_index(q);
+    std::copy(out.begin(), out.end(), outputs_.begin() + static_cast<std::ptrdiff_t>(slot * nch));
+    computed_[slot] = 1;
+    ++acc.computations;
+  };
+
+  const auto merge = [&](const Accum& acc) {
+    stats.link_transmissions = math::checked_add(stats.link_transmissions, acc.link);
+    stats.wire_length = math::checked_add(stats.wire_length, acc.wire_len);
+    stats.buffered_value_cycles = math::checked_add(stats.buffered_value_cycles, acc.buffered);
+    stats.computations = math::checked_add(stats.computations, acc.computations);
+  };
+
   std::set<IntVec> pes;
   std::vector<ColumnInput> inputs(ncols);
   std::vector<Outputs> resolved_externals;
   std::vector<IntVec> cycle_pes;  // conflict check within one cycle
+  std::vector<Accum> accums(nthreads);
 
   std::size_t at = 0;
   while (at < events.size()) {
@@ -108,14 +185,26 @@ SimulationStats Machine::run() {
     const Int cycle = events[at].cycle;
     std::size_t end = at;
     while (end < events.size() && events[end].cycle == cycle) ++end;
-    stats.peak_parallelism =
-        std::max(stats.peak_parallelism, static_cast<Int>(end - at));
+    const std::size_t count = end - at;
+    stats.peak_parallelism = std::max(stats.peak_parallelism, static_cast<Int>(count));
+    // Fan out only when the wavefront is wide enough to amortize the
+    // barrier; the threshold never changes results (chunk merges are
+    // associative), only where the serial/parallel line sits.
+    constexpr std::size_t kMinFanOut = 16;
+    const bool fan_out = nthreads > 1 && count >= kMinFanOut;
 
     // Physical invariant: one computation per (PE, cycle). Events from
     // earlier cycles cannot collide with this cycle, so checking within
-    // the cycle suffices.
-    cycle_pes.clear();
-    for (std::size_t e = at; e < end; ++e) cycle_pes.push_back(space.mul(events[e].q));
+    // the cycle suffices. The PE coordinates are computed in parallel
+    // (disjoint slots), the check itself runs at the barrier.
+    cycle_pes.assign(count, IntVec{});
+    if (fan_out) {
+      pool.parallel_for(nthreads, 0, count, [&](std::size_t, std::size_t lo, std::size_t hi) {
+        for (std::size_t i = lo; i < hi; ++i) cycle_pes[i] = space.mul(events[at + i].q);
+      });
+    } else {
+      for (std::size_t i = 0; i < count; ++i) cycle_pes[i] = space.mul(events[at + i].q);
+    }
     std::sort(cycle_pes.begin(), cycle_pes.end());
     for (std::size_t e = 1; e < cycle_pes.size(); ++e) {
       BL_REQUIRE(cycle_pes[e] != cycle_pes[e - 1],
@@ -124,56 +213,37 @@ SimulationStats Machine::run() {
     for (auto& pe : cycle_pes) pes.insert(std::move(pe));
 
     // All operands of this cycle's events come from strictly earlier
-    // cycles, so the events are mutually independent (a parallel host
-    // could fan this loop out).
-    for (std::size_t e = at; e < end; ++e) {
-      const IntVec& q = events[e].q;
-      resolved_externals.clear();
-      resolved_externals.reserve(ncols);
-      for (std::size_t i = 0; i < ncols; ++i) {
-        inputs[i] = ColumnInput{};
-        const auto& col = config_.deps[i];
-        if (!col.valid.contains(q)) continue;
-        inputs[i].valid = true;
-        const IntVec producer = math::sub(q, col.d);
-        if (!config_.domain.contains(producer)) {
-          inputs[i].external = true;
-          resolved_externals.push_back(external_(q, i));
-          BL_REQUIRE(resolved_externals.back().size() == nch,
-                     "external function must fill every channel");
-          inputs[i].producer = resolved_externals.back().data();
-          continue;
+    // cycles, so the events are mutually independent: fan them out.
+    // Exceptions surface from the lowest chunk — the same event the
+    // serial order would have failed on first.
+    if (fan_out) {
+      std::fill(accums.begin(), accums.end(), Accum{});
+      pool.parallel_for(nthreads, 0, count, [&](std::size_t chunk, std::size_t lo, std::size_t hi) {
+        std::vector<ColumnInput> local_inputs(ncols);
+        std::vector<Outputs> local_externals;
+        for (std::size_t i = lo; i < hi; ++i) {
+          execute_event(events[at + i], accums[chunk], local_inputs, local_externals);
         }
-        const std::size_t slot = linear_index(producer);
-        BL_REQUIRE(computed_[slot] != 0,
-                   "operand not yet produced — schedule violates a dependence");
-        // Timing: the value left the producer at Pi*producer, took
-        // hops[i] link cycles, and must have arrived by now.
-        const Int produced = math::dot(pi, producer);
-        BL_REQUIRE(produced + hops[i] <= cycle,
-                   "operand arrives after its consumption cycle — (4.1) violated");
-        inputs[i].producer = outputs_.data() + slot * nch;
-        // Accounting: hops and the buffer wait at the consumer.
-        stats.link_transmissions = math::checked_add(stats.link_transmissions, hops[i]);
-        stats.wire_length = math::checked_add(stats.wire_length, wire[i]);
-        stats.buffered_value_cycles = math::checked_add(
-            stats.buffered_value_cycles, cycle - produced - hops[i]);
+      });
+      for (const Accum& acc : accums) merge(acc);
+    } else {
+      Accum acc;
+      for (std::size_t e = at; e < end; ++e) {
+        execute_event(events[e], acc, inputs, resolved_externals);
       }
-
-      const Outputs out = compute_(q, inputs);
-      BL_REQUIRE(out.size() == nch, "compute function must fill every channel");
-      const std::size_t slot = linear_index(q);
-      std::copy(out.begin(), out.end(), outputs_.begin() + static_cast<std::ptrdiff_t>(slot * nch));
-      computed_[slot] = 1;
-      ++stats.computations;
+      merge(acc);
     }
     at = end;
   }
 
   stats.pe_count = static_cast<Int>(pes.size());
-  stats.pe_utilization = static_cast<double>(stats.computations) /
-                         (static_cast<double>(stats.pe_count) *
-                          static_cast<double>(stats.cycles));
+  // Degenerate runs (no PEs or no cycles) define utilization as 0
+  // instead of dividing by zero.
+  stats.pe_utilization = stats.pe_count > 0 && stats.cycles > 0
+                             ? static_cast<double>(stats.computations) /
+                                   (static_cast<double>(stats.pe_count) *
+                                    static_cast<double>(stats.cycles))
+                             : 0.0;
   return stats;
 }
 

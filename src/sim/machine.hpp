@@ -27,7 +27,10 @@
 // Storage is flat (one linearized slot per index point), so million-
 // point runs stay cache-friendly; because every operand comes from a
 // strictly earlier cycle, the events within one cycle are independent —
-// embarrassingly parallel if a host wants to fan them out.
+// embarrassingly parallel, and run() fans them out across a worker pool
+// (MachineConfig::threads) with deterministic chunking and a chunk-order
+// merge of the statistics, so outputs and stats are bit-identical to the
+// serial threads = 1 path.
 #pragma once
 
 #include <functional>
@@ -77,6 +80,12 @@ struct MachineConfig {
   mapping::InterconnectionPrimitives prims;
   IntMat k;                            ///< Routing matrix (prims x deps).
   std::vector<std::string> channels;   ///< Output bundle layout.
+  /// Worker threads fanning out each cycle's events. 0 = the
+  /// BITLEVEL_THREADS environment variable, else hardware concurrency;
+  /// 1 = the exact serial code path. With threads > 1 the compute and
+  /// external functions must be thread-safe (pure functions of their
+  /// arguments) — every cell body in this repository is.
+  int threads = 0;
 };
 
 /// Aggregate results of a run.
@@ -92,6 +101,7 @@ struct SimulationStats {
   Int buffered_value_cycles = 0;   ///< Total cycles values waited in buffers.
   std::vector<Int> buffer_depth;   ///< Per column: slack = Pi*d - hops.
   Int peak_parallelism = 0;        ///< Max computations in one cycle.
+  int threads_used = 1;            ///< Lanes the run fanned events over.
 
   std::string to_string() const;
 };

@@ -1,0 +1,141 @@
+#include "support/thread_pool.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "support/error.hpp"
+
+namespace bitlevel::support {
+
+namespace {
+thread_local bool tl_in_chunk = false;
+
+/// RAII guard marking the current thread as executing chunk bodies.
+struct ChunkScope {
+  bool previous;
+  ChunkScope() : previous(tl_in_chunk) { tl_in_chunk = true; }
+  ~ChunkScope() { tl_in_chunk = previous; }
+};
+}  // namespace
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  BL_REQUIRE(threads >= 1, "a thread pool needs at least the calling thread");
+  workers_.reserve(threads - 1);
+  for (std::size_t i = 0; i + 1 < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+bool ThreadPool::in_worker() { return tl_in_chunk; }
+
+void ThreadPool::worker_loop() {
+  std::uint64_t seen = 0;
+  std::unique_lock<std::mutex> lock(mu_);
+  while (true) {
+    work_cv_.wait(lock, [&] { return stop_ || (job_ != nullptr && job_->id != seen); });
+    if (stop_) return;
+    // Hold a reference so the job outlives the caller's stack frame even
+    // if this worker is the last to touch it.
+    std::shared_ptr<Job> job = job_;
+    seen = job->id;
+    lock.unlock();
+    run_chunks(*job);
+    job.reset();
+    lock.lock();
+  }
+}
+
+void ThreadPool::run_chunks(Job& job) {
+  ChunkScope scope;
+  while (true) {
+    const std::size_t c = job.next.fetch_add(1, std::memory_order_relaxed);
+    if (c >= job.chunks) return;
+    const std::size_t lo = job.begin + c * job.items / job.chunks;
+    const std::size_t hi = job.begin + (c + 1) * job.items / job.chunks;
+    try {
+      (*job.body)(c, lo, hi);
+    } catch (...) {
+      job.errors[c] = std::current_exception();
+    }
+    // acq_rel so the caller's acquire read of the final count sees every
+    // chunk's writes (each fetch_add extends the release sequence).
+    if (job.done.fetch_add(1, std::memory_order_acq_rel) + 1 == job.chunks) {
+      std::lock_guard<std::mutex> lock(mu_);
+      done_cv_.notify_all();
+      return;  // all chunks handed out; nothing left to grab
+    }
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t chunks, std::size_t begin, std::size_t end,
+                              const ChunkFn& body) {
+  if (end <= begin) return;
+  const std::size_t items = end - begin;
+  chunks = std::min(std::max<std::size_t>(chunks, 1), items);
+
+  // Serial path: one chunk, no workers, or a nested call from inside a
+  // chunk body (running inline keeps composed layers deadlock-free).
+  if (chunks == 1 || workers_.empty() || tl_in_chunk) {
+    ChunkScope scope;
+    std::exception_ptr first;
+    for (std::size_t c = 0; c < chunks; ++c) {
+      const std::size_t lo = begin + c * items / chunks;
+      const std::size_t hi = begin + (c + 1) * items / chunks;
+      try {
+        body(c, lo, hi);
+      } catch (...) {
+        if (!first) first = std::current_exception();
+      }
+    }
+    if (first) std::rethrow_exception(first);
+    return;
+  }
+
+  auto job = std::make_shared<Job>();
+  job->chunks = chunks;
+  job->begin = begin;
+  job->items = items;
+  job->body = &body;
+  job->errors.assign(chunks, nullptr);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    job->id = ++next_job_id_;
+    job_ = job;
+  }
+  work_cv_.notify_all();
+  run_chunks(*job);
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    done_cv_.wait(lock, [&] { return job->done.load(std::memory_order_acquire) == chunks; });
+    job_ = nullptr;
+  }
+  for (const auto& error : job->errors) {
+    if (error) std::rethrow_exception(error);
+  }
+}
+
+std::size_t ThreadPool::resolve_threads(int knob) {
+  if (knob >= 1) return static_cast<std::size_t>(knob);
+  if (const char* env = std::getenv("BITLEVEL_THREADS")) {
+    const long parsed = std::strtol(env, nullptr, 10);
+    if (parsed >= 1) return static_cast<std::size_t>(parsed);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw >= 1 ? hw : 1;
+}
+
+ThreadPool& ThreadPool::shared() {
+  static ThreadPool pool(resolve_threads(0));
+  return pool;
+}
+
+}  // namespace bitlevel::support

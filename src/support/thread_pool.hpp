@@ -1,0 +1,97 @@
+// Shared work-scheduling layer for the embarrassingly parallel loops.
+//
+// The simulator executes every event of one schedule cycle (a Π
+// hyperplane) independently, and the schedule search sweeps a (2b+1)^n
+// odometer of candidate Π rows whose feasibility checks never interact.
+// Both fan out through this fixed worker pool.
+//
+// Determinism contract: parallel_for splits [begin, end) into `chunks`
+// contiguous ranges whose boundaries depend only on (chunks, end-begin)
+// — never on which worker runs which chunk or in what order. Callers
+// that accumulate per-chunk results and merge them in chunk-index order
+// therefore produce bit-identical output for any pool size, including
+// the inline serial path. When a chunk body throws, every other chunk
+// still runs to completion and the exception from the lowest chunk
+// index is rethrown — again independent of scheduling.
+//
+// Nesting: a parallel_for issued from inside a chunk body (on a worker
+// or on the caller thread while it participates) runs inline and
+// serially, so composed layers (explore -> search_schedules ->
+// Machine::run) cannot deadlock or oversubscribe.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace bitlevel::support {
+
+/// Fixed pool of worker threads executing blocking parallel_for calls.
+class ThreadPool {
+ public:
+  /// A pool serving up to `threads` concurrent lanes (the caller counts
+  /// as one, so `threads - 1` workers are spawned). threads >= 1.
+  explicit ThreadPool(std::size_t threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Lanes available (workers + the calling thread).
+  std::size_t threads() const { return workers_.size() + 1; }
+
+  /// Chunk body: (chunk index, chunk begin, chunk end).
+  using ChunkFn = std::function<void(std::size_t, std::size_t, std::size_t)>;
+
+  /// Split [begin, end) into `chunks` deterministic contiguous ranges
+  /// and run them across the workers plus the calling thread; blocks
+  /// until every chunk finished. Rethrows the exception of the lowest
+  /// failing chunk after all chunks ran.
+  void parallel_for(std::size_t chunks, std::size_t begin, std::size_t end, const ChunkFn& body);
+
+  /// Resolve a thread-count knob: knob >= 1 is taken literally; knob 0
+  /// means the BITLEVEL_THREADS environment variable if set (and >= 1),
+  /// else std::thread::hardware_concurrency(), else 1.
+  static std::size_t resolve_threads(int knob);
+
+  /// Process-wide pool, lazily constructed with resolve_threads(0)
+  /// lanes. Callers requesting more chunks than lanes still get every
+  /// chunk executed (lanes loop over the remaining chunks).
+  static ThreadPool& shared();
+
+  /// True while the current thread is executing a chunk body; nested
+  /// parallel_for calls detect this and run inline.
+  static bool in_worker();
+
+ private:
+  struct Job {
+    std::size_t chunks = 0;
+    std::size_t begin = 0;
+    std::size_t items = 0;
+    const ChunkFn* body = nullptr;
+    std::uint64_t id = 0;
+    std::atomic<std::size_t> next{0};
+    std::atomic<std::size_t> done{0};
+    std::vector<std::exception_ptr> errors;
+  };
+
+  void worker_loop();
+  void run_chunks(Job& job);
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;  ///< Workers wait for a job.
+  std::condition_variable done_cv_;  ///< The caller waits for completion.
+  std::shared_ptr<Job> job_;         ///< Current job (one at a time).
+  std::uint64_t next_job_id_ = 0;
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace bitlevel::support

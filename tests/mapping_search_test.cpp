@@ -7,6 +7,7 @@
 
 #include "core/expansion.hpp"
 #include "ir/kernels.hpp"
+#include "mapping/explore.hpp"
 #include "mapping/search.hpp"
 #include "support/error.hpp"
 
@@ -63,6 +64,81 @@ TEST(ScheduleSearchTest, KeepTruncates) {
   const auto result = mapping::search_schedules(triplet.domain, triplet.deps, s,
                                                 InterconnectionPrimitives::mesh2d(), options);
   EXPECT_LE(result.feasible.size(), 3u);
+}
+
+TEST(ScheduleSearchTest, RankedResultsByteIdenticalAcrossThreadCounts) {
+  // The Π-odometer partition + chunk-order merge must reproduce the
+  // serial ranking exactly: same candidates, same order, same counts.
+  const math::Int u = 3, p = 2;
+  const auto s = core::expand(ir::kernels::matmul(u), p, core::Expansion::kII);
+  const math::IntMat space{{p, 0, 0, 1, 0}, {0, p, 0, 0, 1}};
+  const auto prims = InterconnectionPrimitives::fig4(p);
+
+  ScheduleSearchOptions options;
+  options.coefficient_bound = 2;
+  options.threads = 1;
+  const auto reference = mapping::search_schedules(s.domain, s.deps, space, prims, options);
+  ASSERT_FALSE(reference.feasible.empty());
+
+  for (int threads : {2, 8}) {
+    options.threads = threads;
+    const auto result = mapping::search_schedules(s.domain, s.deps, space, prims, options);
+    EXPECT_EQ(result.examined, reference.examined);
+    ASSERT_EQ(result.feasible.size(), reference.feasible.size());
+    for (std::size_t i = 0; i < result.feasible.size(); ++i) {
+      EXPECT_EQ(result.feasible[i].pi, reference.feasible[i].pi) << "rank " << i;
+      EXPECT_EQ(result.feasible[i].total_time, reference.feasible[i].total_time) << "rank " << i;
+    }
+  }
+}
+
+TEST(ScheduleSearchTest, KeepTruncationDeterministicAcrossThreadCounts) {
+  const auto triplet = ir::kernels::matmul(3).triplet();
+  const math::IntMat s{{1, 0, 0}, {0, 1, 0}};
+  ScheduleSearchOptions options;
+  options.coefficient_bound = 2;
+  options.keep = 4;
+  options.threads = 1;
+  const auto reference = mapping::search_schedules(triplet.domain, triplet.deps, s,
+                                                   InterconnectionPrimitives::mesh2d(), options);
+  options.threads = 8;
+  const auto parallel = mapping::search_schedules(triplet.domain, triplet.deps, s,
+                                                  InterconnectionPrimitives::mesh2d(), options);
+  ASSERT_EQ(parallel.feasible.size(), reference.feasible.size());
+  for (std::size_t i = 0; i < parallel.feasible.size(); ++i) {
+    EXPECT_EQ(parallel.feasible[i].pi, reference.feasible[i].pi);
+    EXPECT_EQ(parallel.feasible[i].total_time, reference.feasible[i].total_time);
+  }
+}
+
+TEST(ExploreTest, RankedDesignsByteIdenticalAcrossThreadCounts) {
+  const auto triplet = ir::kernels::matmul(3).triplet();
+  mapping::ExploreOptions options;
+  options.max_direction_sets = 16;
+  options.threads = 1;
+  const auto reference =
+      mapping::explore_designs(triplet.domain, triplet.deps,
+                               InterconnectionPrimitives::mesh2d(),
+                               mapping::DesignObjective::kTime, options);
+  ASSERT_FALSE(reference.designs.empty());
+
+  for (int threads : {2, 8}) {
+    options.threads = threads;
+    const auto result =
+        mapping::explore_designs(triplet.domain, triplet.deps,
+                                 InterconnectionPrimitives::mesh2d(),
+                                 mapping::DesignObjective::kTime, options);
+    EXPECT_EQ(result.spaces_tried, reference.spaces_tried);
+    EXPECT_EQ(result.schedules_examined, reference.schedules_examined);
+    ASSERT_EQ(result.designs.size(), reference.designs.size());
+    for (std::size_t i = 0; i < result.designs.size(); ++i) {
+      EXPECT_EQ(result.designs[i].t.matrix(), reference.designs[i].t.matrix()) << "rank " << i;
+      EXPECT_EQ(result.designs[i].projections, reference.designs[i].projections) << "rank " << i;
+      EXPECT_EQ(result.designs[i].total_time, reference.designs[i].total_time) << "rank " << i;
+      EXPECT_EQ(result.designs[i].processors, reference.designs[i].processors) << "rank " << i;
+      EXPECT_EQ(result.designs[i].max_wire, reference.designs[i].max_wire) << "rank " << i;
+    }
+  }
 }
 
 TEST(ScheduleSearchTest, InfeasibleWhenLinksMissing) {

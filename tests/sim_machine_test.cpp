@@ -124,6 +124,145 @@ TEST(MachineTest, ComputeMustFillChannels) {
   EXPECT_THROW(machine.run(), PreconditionError);
 }
 
+// A 2-D fixture with wide Π-hyperplane wavefronts (up to `n` events per
+// cycle), two dependence columns (one pipelined hop, one stationary
+// buffered link) and value-carrying compute — enough surface that any
+// divergence between the serial and the fanned-out executor shows up in
+// outputs or stats.
+struct WavefrontFixture {
+  ir::IndexSet domain;
+  ir::DependenceMatrix deps;
+  MappingMatrix t;
+  InterconnectionPrimitives prims;
+  IntMat k;
+
+  explicit WavefrontFixture(Int n)
+      : domain({1, 1}, {n, n}),
+        deps({{{1, 0}, "a", ir::ValidityRegion::all()},
+              {{0, 1}, "b", ir::ValidityRegion::all()}}),
+        t(math::IntMat{{1, 0}, {1, 1}}),  // PE i, cycle i + j
+        prims{math::IntMat{{1, 0}}, "line+stay"},
+        k(math::IntMat{{1, 0}, {0, 0}}) {}
+
+  MachineConfig config(int threads) const {
+    return {domain, deps, t, prims, k, {"s"}, threads};
+  }
+
+  Machine machine(int threads) const {
+    return Machine(
+        config(threads),
+        [](const IntVec& q, const std::vector<ColumnInput>& in) -> Outputs {
+          return {(in[0].producer[0] * 3 + in[1].producer[0]) % 1000003 + q[0] + 7 * q[1]};
+        },
+        [](const IntVec& q, std::size_t column) -> Outputs {
+          return {static_cast<Int>(column + 1) * (13 * q[0] + 31 * q[1])};
+        });
+  }
+};
+
+TEST(MachineParallelTest, OutputsAndStatsBitIdenticalAcrossThreadCounts) {
+  const Int n = 40;  // wavefronts up to 40 events: well past the fan-out floor
+  WavefrontFixture fx(n);
+  Machine reference = fx.machine(1);
+  const auto ref_stats = reference.run();
+  EXPECT_EQ(ref_stats.threads_used, 1);
+  EXPECT_EQ(ref_stats.peak_parallelism, n);
+
+  for (int threads : {2, 8}) {
+    Machine machine = fx.machine(threads);
+    const auto stats = machine.run();
+    EXPECT_EQ(stats.threads_used, threads);
+
+    EXPECT_EQ(stats.first_cycle, ref_stats.first_cycle);
+    EXPECT_EQ(stats.last_cycle, ref_stats.last_cycle);
+    EXPECT_EQ(stats.cycles, ref_stats.cycles);
+    EXPECT_EQ(stats.pe_count, ref_stats.pe_count);
+    EXPECT_EQ(stats.computations, ref_stats.computations);
+    EXPECT_EQ(stats.pe_utilization, ref_stats.pe_utilization);  // exact, not approximate
+    EXPECT_EQ(stats.link_transmissions, ref_stats.link_transmissions);
+    EXPECT_EQ(stats.wire_length, ref_stats.wire_length);
+    EXPECT_EQ(stats.buffered_value_cycles, ref_stats.buffered_value_cycles);
+    EXPECT_EQ(stats.buffer_depth, ref_stats.buffer_depth);
+    EXPECT_EQ(stats.peak_parallelism, ref_stats.peak_parallelism);
+
+    bool outputs_identical = true;
+    fx.domain.for_each([&](const IntVec& q) {
+      outputs_identical = outputs_identical && machine.outputs_at(q)[0] == reference.outputs_at(q)[0];
+      return true;
+    });
+    EXPECT_TRUE(outputs_identical) << "threads = " << threads;
+  }
+}
+
+TEST(MachineParallelTest, ConflictDetectionFiresUnderParallelExecutor) {
+  // Every event of a wavefront lands on PE [0]: the (PE, cycle) check
+  // must fire exactly as in the serial executor.
+  ir::IndexSet domain({1, 1}, {40, 40});
+  ir::DependenceMatrix deps;  // no dependences
+  MappingMatrix colliding(math::IntMat{{0, 0}, {1, 1}});
+  InterconnectionPrimitives prims{math::IntMat{{1}}, "line"};
+  Machine machine({domain, deps, colliding, prims, IntMat(1, 0), {"v"}, 4},
+                  [](const IntVec&, const std::vector<ColumnInput>&) -> Outputs { return {1}; },
+                  [](const IntVec&, std::size_t) -> Outputs { return {0}; });
+  EXPECT_THROW(machine.run(), PreconditionError);
+}
+
+TEST(MachineParallelTest, LateArrivalCheckFiresUnderParallelExecutor) {
+  // Route the [1,0] column as 3 hops against a slack of 1: (4.1) must
+  // reject the routing regardless of the thread count.
+  WavefrontFixture fx(40);
+  fx.k = math::IntMat{{3, 0}, {0, 0}};
+  Machine machine(fx.config(4),
+                  [](const IntVec&, const std::vector<ColumnInput>&) -> Outputs { return {0}; },
+                  [](const IntVec&, std::size_t) -> Outputs { return {0}; });
+  EXPECT_THROW(machine.run(), PreconditionError);
+}
+
+TEST(MachineParallelTest, SameCycleDependenceRejected) {
+  // Pi * d = 0 would let a consumer race its producer inside one
+  // wavefront; condition 2 rejects it statically for every thread count.
+  for (int threads : {1, 4}) {
+    WavefrontFixture fx(8);
+    fx.t = MappingMatrix(math::IntMat{{1, 0}, {1, 0}});  // cycle = i: d2 = [0,1] stays in-cycle
+    fx.k = math::IntMat{{0, 0}, {0, 0}};
+    Machine machine(fx.config(threads),
+                    [](const IntVec&, const std::vector<ColumnInput>&) -> Outputs { return {0}; },
+                    [](const IntVec&, std::size_t) -> Outputs { return {0}; });
+    EXPECT_THROW(machine.run(), PreconditionError);
+  }
+}
+
+TEST(MachineTest, RejectsZeroDimensionalDomain) {
+  // A 0-dim domain used to underflow the stride loop (undefined
+  // behaviour); every path to such a machine must now fail as a clean
+  // precondition before any statistics work.
+  const auto build = [] {
+    ir::IndexSet domain({}, {});
+    MappingMatrix t(math::IntMat(1, 0));
+    InterconnectionPrimitives prims{math::IntMat{{1}}, "line"};
+    Machine({domain, ir::DependenceMatrix{}, t, prims, IntMat(1, 0), {"v"}},
+            [](const IntVec&, const std::vector<ColumnInput>&) -> Outputs { return {0}; },
+            [](const IntVec&, std::size_t) -> Outputs { return {0}; });
+  };
+  EXPECT_THROW(build(), PreconditionError);
+}
+
+TEST(MachineTest, UtilizationIsFiniteOnMinimalDomain) {
+  // Degenerate single-point run: utilization must be a defined, finite
+  // number (the divide-by-zero guard), here exactly 1.
+  ir::IndexSet domain({1}, {1});
+  ir::DependenceMatrix deps;
+  MappingMatrix t(math::IntMat{{1}, {1}});
+  InterconnectionPrimitives prims{math::IntMat{{1}}, "line"};
+  Machine machine({domain, deps, t, prims, IntMat(1, 0), {"v"}},
+                  [](const IntVec&, const std::vector<ColumnInput>&) -> Outputs { return {7}; },
+                  [](const IntVec&, std::size_t) -> Outputs { return {0}; });
+  const auto stats = machine.run();
+  EXPECT_EQ(stats.pe_utilization, 1.0);
+  EXPECT_EQ(stats.cycles, 1);
+  EXPECT_EQ(stats.pe_count, 1);
+}
+
 TEST(TimelineTest, ActivityChartShape) {
   // 2-D domain mapped to a 1-D array of 3 PEs over 5 cycles.
   const ir::IndexSet domain({1, 1}, {3, 3});

@@ -1,0 +1,115 @@
+// The shared worker pool: deterministic chunking, full coverage,
+// exception propagation from the lowest chunk, and safe nesting.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <string>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "support/thread_pool.hpp"
+
+namespace bitlevel::support {
+namespace {
+
+TEST(ThreadPoolTest, CoversRangeExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<int> hits(1000, 0);
+  pool.parallel_for(8, 0, hits.size(), [&](std::size_t, std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) ++hits[i];
+  });
+  EXPECT_EQ(std::accumulate(hits.begin(), hits.end(), 0), 1000);
+  EXPECT_TRUE(std::all_of(hits.begin(), hits.end(), [](int h) { return h == 1; }));
+}
+
+TEST(ThreadPoolTest, ChunkBoundariesAreDeterministic) {
+  // Boundaries depend only on (chunks, items): the parallel pool and the
+  // single-lane pool must hand out identical ranges.
+  const std::size_t chunks = 7, items = 123;
+  std::vector<std::pair<std::size_t, std::size_t>> parallel(chunks), serial(chunks);
+  ThreadPool(4).parallel_for(chunks, 10, 10 + items,
+                             [&](std::size_t c, std::size_t lo, std::size_t hi) {
+                               parallel[c] = {lo, hi};
+                             });
+  ThreadPool(1).parallel_for(chunks, 10, 10 + items,
+                             [&](std::size_t c, std::size_t lo, std::size_t hi) {
+                               serial[c] = {lo, hi};
+                             });
+  EXPECT_EQ(parallel, serial);
+  // Contiguous cover of [10, 133).
+  EXPECT_EQ(parallel.front().first, 10u);
+  EXPECT_EQ(parallel.back().second, 10u + items);
+  for (std::size_t c = 1; c < chunks; ++c) {
+    EXPECT_EQ(parallel[c].first, parallel[c - 1].second);
+  }
+}
+
+TEST(ThreadPoolTest, MoreChunksThanLanesStillCompletes) {
+  ThreadPool pool(2);
+  std::atomic<int> ran{0};
+  pool.parallel_for(16, 0, 16, [&](std::size_t, std::size_t lo, std::size_t hi) {
+    ran += static_cast<int>(hi - lo);
+  });
+  EXPECT_EQ(ran.load(), 16);
+}
+
+TEST(ThreadPoolTest, RethrowsLowestChunkAndRunsAllChunks) {
+  ThreadPool pool(4);
+  std::atomic<int> ran{0};
+  try {
+    pool.parallel_for(8, 0, 8, [&](std::size_t c, std::size_t, std::size_t) {
+      ++ran;
+      if (c == 3 || c == 1 || c == 6) throw std::runtime_error("chunk " + std::to_string(c));
+    });
+    FAIL() << "expected the chunk exception to propagate";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "chunk 1");
+  }
+  EXPECT_EQ(ran.load(), 8);  // an error does not cancel the other chunks
+}
+
+TEST(ThreadPoolTest, NestedParallelForRunsInline) {
+  ThreadPool pool(4);
+  std::atomic<int> inner_total{0};
+  bool saw_worker_flag = false;
+  pool.parallel_for(4, 0, 4, [&](std::size_t c, std::size_t, std::size_t) {
+    if (c == 0) saw_worker_flag = ThreadPool::in_worker();
+    // A nested fan-out must not deadlock on the (busy) shared lanes.
+    pool.parallel_for(4, 0, 10, [&](std::size_t, std::size_t lo, std::size_t hi) {
+      inner_total += static_cast<int>(hi - lo);
+    });
+  });
+  EXPECT_EQ(inner_total.load(), 40);
+  EXPECT_TRUE(saw_worker_flag);
+  EXPECT_FALSE(ThreadPool::in_worker());
+}
+
+TEST(ThreadPoolTest, EmptyRangeIsANoOp) {
+  ThreadPool pool(2);
+  int ran = 0;
+  pool.parallel_for(4, 5, 5, [&](std::size_t, std::size_t, std::size_t) { ++ran; });
+  EXPECT_EQ(ran, 0);
+}
+
+TEST(ThreadPoolTest, ResolveThreadsHonorsKnobThenEnvironment) {
+  EXPECT_EQ(ThreadPool::resolve_threads(5), 5u);
+  EXPECT_EQ(ThreadPool::resolve_threads(1), 1u);
+
+  const char* saved = std::getenv("BITLEVEL_THREADS");
+  const std::string restore = saved != nullptr ? saved : "";
+  setenv("BITLEVEL_THREADS", "3", 1);
+  EXPECT_EQ(ThreadPool::resolve_threads(0), 3u);
+  setenv("BITLEVEL_THREADS", "garbage", 1);
+  EXPECT_GE(ThreadPool::resolve_threads(0), 1u);  // falls back to hardware
+  if (saved != nullptr) {
+    setenv("BITLEVEL_THREADS", restore.c_str(), 1);
+  } else {
+    unsetenv("BITLEVEL_THREADS");
+  }
+}
+
+}  // namespace
+}  // namespace bitlevel::support

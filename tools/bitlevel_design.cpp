@@ -48,6 +48,7 @@ struct Args {
   core::Expansion expansion = core::Expansion::kII;
   bool json = false;
   std::uint64_t seed = 1;
+  int threads = 0;  // 0 = BITLEVEL_THREADS / hardware, 1 = serial
 };
 
 [[noreturn]] void usage(const char* msg) {
@@ -56,7 +57,7 @@ struct Args {
                "usage: bitlevel-design --kernel matmul|matmul_rect|conv|matvec|transform|scalar\n"
                "                       [--u N] [--v N] [--w N] [--p BITS] [--expansion I|II]\n"
                "                       [--action structure|verify|design|simulate|optimal] [--json]\n"
-               "                       [--seed N]\n");
+               "                       [--seed N] [--threads N]\n");
   std::exit(2);
 }
 
@@ -82,6 +83,8 @@ Args parse(int argc, char** argv) {
       args.p = std::atoll(next());
     } else if (flag == "--seed") {
       args.seed = static_cast<std::uint64_t>(std::atoll(next()));
+    } else if (flag == "--threads") {
+      args.threads = std::atoi(next());
     } else if (flag == "--expansion") {
       const std::string e = next();
       if (e == "I" || e == "1") {
@@ -166,12 +169,13 @@ int run_verify(const Args& a) {
   return report.ok() ? 0 : 1;
 }
 
-mapping::ExploreResult explore(const core::BitLevelStructure& s) {
+mapping::ExploreResult explore(const core::BitLevelStructure& s, int threads) {
   mapping::ExploreOptions options;
   options.max_direction_sets = 32;
   // Larger word dimensions need larger schedule coefficients to stay
   // injective on the multiplexed coordinates.
   options.schedule_bound = s.word_dims() >= 2 ? 3 : 2;
+  options.threads = threads;
   return mapping::explore_designs(s.domain, s.deps,
                                   mapping::InterconnectionPrimitives::mesh2d_diag(),
                                   mapping::DesignObjective::kTime, options);
@@ -192,7 +196,7 @@ published_design(const core::BitLevelStructure& s) {
 
 int run_design(const Args& a) {
   const auto s = core::expand(make_kernel(a), a.p, a.expansion);
-  const auto result = explore(s);
+  const auto result = explore(s, a.threads);
   if (a.json) {
     JsonWriter w;
     w.begin_object();
@@ -221,7 +225,7 @@ int run_design(const Args& a) {
 
 int run_optimal(const Args& a) {
   const auto s = core::expand(make_kernel(a), a.p, a.expansion);
-  const auto designs = explore(s);
+  const auto designs = explore(s, a.threads);
   math::IntVec pi;
   if (!designs.designs.empty()) {
     pi = designs.designs.front().t.schedule();
@@ -255,7 +259,7 @@ int run_optimal(const Args& a) {
 
 int run_animate(const Args& a) {
   const auto s = core::expand(make_kernel(a), a.p, a.expansion);
-  const auto designs = explore(s);
+  const auto designs = explore(s, a.threads);
   mapping::MappingMatrix t(math::IntMat::identity(1));
   if (!designs.designs.empty()) {
     t = designs.designs.front().t;
@@ -274,7 +278,7 @@ int run_animate(const Args& a) {
 int run_simulate(const Args& a) {
   const auto model = make_kernel(a);
   const auto s = core::expand(model, a.p, a.expansion);
-  const auto designs = explore(s);
+  const auto designs = explore(s, a.threads);
   mapping::MappingMatrix t(math::IntMat::identity(1));
   mapping::InterconnectionPrimitives prims = mapping::InterconnectionPrimitives::mesh2d_diag();
   if (!designs.designs.empty()) {
@@ -287,7 +291,8 @@ int run_simulate(const Args& a) {
     std::fprintf(stderr, "no feasible design found\n");
     return 1;
   }
-  const arch::BitLevelArray array(s, t, prims);
+  arch::BitLevelArray array(s, t, prims);
+  array.set_threads(a.threads);
 
   // Seeded operands respecting the model's pipelining invariants.
   const core::Workload workload = core::make_safe_workload(model, a.p, a.expansion, a.seed);
