@@ -61,6 +61,36 @@ void print_tables() {
     }
   }
   bench::print_table(table);
+
+  // Streaming memory mode: identical products, with peak output-slot
+  // residency bounded by the Pi-window instead of the domain size. The
+  // 16x16x16-bit instance has 16^5 > 10^6 index points, demonstrating
+  // the >= 10x bound on a million-point domain.
+  TextTable memory({"u", "p", "index points", "dense slots", "streaming peak", "reduction",
+                    "products ok"});
+  for (const auto& [u, p] : std::vector<std::pair<math::Int, math::Int>>{{8, 8}, {12, 12},
+                                                                         {16, 16}}) {
+    const std::uint64_t bound = core::max_safe_operand(p, u, core::Expansion::kII);
+    const WordMatrix x = WordMatrix::random(u, bound, 100 + u);
+    const WordMatrix y = WordMatrix::random(u, bound, 200 + p);
+    BitLevelMatmulArray dense(MatmulMapping::kFig4, u, p);
+    const auto dense_run = dense.multiply(x, y);
+    BitLevelMatmulArray streaming(MatmulMapping::kFig4, u, p);
+    streaming.set_memory_mode(sim::MemoryMode::kStreaming);
+    const auto streaming_run = streaming.multiply(x, y);
+    const bool ok = streaming_run.z == WordMatrix::multiply_reference(x, y) &&
+                    streaming_run.z == dense_run.z;
+    char reduction[32];
+    std::snprintf(reduction, sizeof reduction, "%.1fx",
+                  static_cast<double>(dense_run.stats.peak_live_slots) /
+                      static_cast<double>(streaming_run.stats.peak_live_slots));
+    memory.add_row({std::to_string(u), std::to_string(p),
+                    std::to_string(dense_run.stats.computations),
+                    std::to_string(dense_run.stats.peak_live_slots),
+                    std::to_string(streaming_run.stats.peak_live_slots), reduction,
+                    ok ? "yes" : "NO"});
+  }
+  bench::print_table(memory);
 }
 
 void BM_Fig4Simulation(benchmark::State& state) {
@@ -101,6 +131,32 @@ BENCHMARK(BM_Fig4SimulationThreads)
     ->Args({12, 12, 2})
     ->Args({12, 12, 4})
     ->UseRealTime();
+
+// Streaming vs dense output storage. The counters report the measured
+// peak slot residency of each mode — the memory half of the tradeoff —
+// while the timing rows show the wavefront-enumeration overhead.
+void BM_Fig4StreamingMemory(benchmark::State& state) {
+  const math::Int u = state.range(0), p = state.range(1);
+  const bool streaming = state.range(2) != 0;
+  BitLevelMatmulArray array(MatmulMapping::kFig4, u, p);
+  array.set_memory_mode(streaming ? sim::MemoryMode::kStreaming : sim::MemoryMode::kDense);
+  const std::uint64_t bound = core::max_safe_operand(p, u, core::Expansion::kII);
+  const WordMatrix x = WordMatrix::random(u, bound, 1);
+  const WordMatrix y = WordMatrix::random(u, bound, 2);
+  math::Int peak = 0;
+  for (auto _ : state) {
+    const auto result = array.multiply(x, y);
+    peak = result.stats.peak_live_slots;
+    benchmark::DoNotOptimize(peak);
+  }
+  state.counters["peak_live_slots"] = static_cast<double>(peak);
+  state.counters["streaming"] = streaming ? 1 : 0;
+}
+BENCHMARK(BM_Fig4StreamingMemory)
+    ->Args({6, 8, 0})
+    ->Args({6, 8, 1})
+    ->Args({12, 12, 0})
+    ->Args({12, 12, 1});
 
 }  // namespace
 

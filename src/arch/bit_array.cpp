@@ -133,8 +133,15 @@ ArrayRunResult BitLevelArray::run(const core::OperandFn& x, const core::OperandF
     return out;
   };
 
-  sim::Machine machine({structure_.domain, deps, t_, prims_, k_, cell_channels(), threads_},
-                       compute, external);
+  sim::MachineConfig cfg{structure_.domain, deps, t_, prims_, k_, cell_channels(), threads_};
+  cfg.memory = memory_;
+  if (memory_ == sim::MemoryMode::kStreaming) {
+    // The read-out below touches only the bit-grid edge cells (i2 = 1
+    // and i1 = p); observing that superset of the accumulation-boundary
+    // cells keeps retention at O(|J_w| * p) instead of |J|.
+    cfg.observe = [i1c, i2c, p](const IntVec& q) { return q[i1c] == p || q[i2c] == 1; };
+  }
+  sim::Machine machine(std::move(cfg), compute, external);
   ArrayRunResult result;
   result.stats = machine.run();
 

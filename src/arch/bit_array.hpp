@@ -51,6 +51,13 @@ class BitLevelArray {
   void set_threads(int threads) { threads_ = threads; }
   int threads() const { return threads_; }
 
+  /// Simulator memory mode (see sim::MemoryMode). Streaming retires
+  /// interior cells once the dependence window passes them and retains
+  /// only the boundary cells the result read-out needs, so peak memory
+  /// follows the wavefront instead of |J|. Results are identical.
+  void set_memory_mode(sim::MemoryMode mode) { memory_ = mode; }
+  sim::MemoryMode memory_mode() const { return memory_; }
+
   /// Cycle-accurate run with the given operand words per word-level
   /// index point. Returns statistics and the final z words.
   ArrayRunResult run(const core::OperandFn& x, const core::OperandFn& y) const;
@@ -61,6 +68,7 @@ class BitLevelArray {
   mapping::InterconnectionPrimitives prims_;
   math::IntMat k_;
   int threads_ = 0;
+  sim::MemoryMode memory_ = sim::MemoryMode::kDense;
 };
 
 }  // namespace bitlevel::arch

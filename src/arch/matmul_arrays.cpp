@@ -117,6 +117,7 @@ BatchRunResult BitLevelMatmulArray::multiply_batch(const std::vector<WordMatrix>
   BitLevelArray array(s, mapping::MappingMatrix(std::move(tb)),
                       matmul_primitives(which_, p_));
   array.set_threads(array_.threads());
+  array.set_memory_mode(array_.memory_mode());
   const auto raw = array.run(
       [&](const IntVec& j) { return xs[static_cast<std::size_t>(j[0] - 1)].at(j[1], j[3]); },
       [&](const IntVec& j) { return ys[static_cast<std::size_t>(j[0] - 1)].at(j[3], j[2]); });

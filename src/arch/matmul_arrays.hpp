@@ -79,6 +79,12 @@ class BitLevelMatmulArray {
   void set_threads(int threads) { array_.set_threads(threads); }
   int threads() const { return array_.threads(); }
 
+  /// Simulator memory mode for the cycle-accurate runs (see
+  /// sim::MemoryMode and BitLevelArray::set_memory_mode). Results are
+  /// identical; streaming bounds peak memory by the wavefront.
+  void set_memory_mode(sim::MemoryMode mode) { array_.set_memory_mode(mode); }
+  sim::MemoryMode memory_mode() const { return array_.memory_mode(); }
+
   /// Multiply-accumulate Z = X * Y on the array; X entries must keep
   /// their top bit clear and Z must fit 2p-1 bits (see
   /// core::max_safe_operand with Expansion II).

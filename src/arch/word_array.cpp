@@ -42,9 +42,15 @@ WordRunResult WordLevelMatmulArray::multiply(const WordMatrix& x, const WordMatr
     return out;
   };
 
-  sim::Machine machine({triplet.domain, triplet.deps, t, prims, *report.k, {"x", "y", "z"},
-                        threads_},
-                       compute, external);
+  sim::MachineConfig cfg{triplet.domain, triplet.deps, t,
+                         prims,          *report.k,    {"x", "y", "z"},
+                         threads_};
+  cfg.memory = memory_;
+  if (memory_ == sim::MemoryMode::kStreaming) {
+    // Only the accumulation-chain ends (j3 = u) are read back.
+    cfg.observe = [u = u_](const IntVec& j) { return j[2] == u; };
+  }
+  sim::Machine machine(std::move(cfg), compute, external);
   WordRunResult result{WordMatrix(u_), machine.run(), 0};
   result.total_cycles = math::checked_mul(result.beat_stats.cycles, beat_length());
   for (Int i = 1; i <= u_; ++i) {

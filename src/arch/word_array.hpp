@@ -47,6 +47,11 @@ class WordLevelMatmulArray {
   void set_threads(int threads) { threads_ = threads; }
   int threads() const { return threads_; }
 
+  /// Simulator memory mode (see sim::MemoryMode). Streaming retains
+  /// only the chain-end cells (j3 = u) that hold the final Z words.
+  void set_memory_mode(sim::MemoryMode mode) { memory_ = mode; }
+  sim::MemoryMode memory_mode() const { return memory_; }
+
   /// Run Z = X * Y cycle-accurately (at beat granularity; each beat is
   /// one MAC whose internal latency is the multiplier model's).
   WordRunResult multiply(const WordMatrix& x, const WordMatrix& y) const;
@@ -56,6 +61,7 @@ class WordLevelMatmulArray {
   Int p_;
   arith::WordMultiplier multiplier_;
   int threads_ = 0;
+  sim::MemoryMode memory_ = sim::MemoryMode::kDense;
 };
 
 }  // namespace bitlevel::arch

@@ -1,6 +1,7 @@
 #include "mapping/search.hpp"
 
 #include <algorithm>
+#include <limits>
 
 #include "mapping/schedule.hpp"
 #include "support/error.hpp"
@@ -65,21 +66,29 @@ ScheduleSearchResult search_schedules(const ir::IndexSet& domain,
   const Int b = options.coefficient_bound;
   const FeasibilityOptions fopts{options.check_injectivity};
 
-  // Total odometer positions (2b+1)^n, saturated: a saturated space
-  // could never be swept anyway, so it just stays on one worker.
-  constexpr std::size_t kSaturated = std::size_t(1) << 62;
+  // Total odometer positions (2b+1)^n, accumulated overflow-safely in
+  // 64 bits. A saturated space cannot be enumerated at all (the count
+  // does not even fit size_t), so the sweep is refused outright and
+  // reported as such — examined stays the true count of candidates
+  // visited (zero), not a sentinel.
+  const unsigned long long radix = 2ULL * static_cast<unsigned long long>(b) + 1ULL;
+  constexpr std::size_t kMax = std::numeric_limits<std::size_t>::max();
   std::size_t total = 1;
-  for (std::size_t i = 0; i < n; ++i) {
-    if (total > kSaturated / static_cast<std::size_t>(2 * b + 1)) {
-      total = kSaturated;
-      break;
+  for (std::size_t i = 0; i < n && !result.saturated; ++i) {
+    if (static_cast<unsigned long long>(total) > kMax / radix) {
+      result.saturated = true;
+    } else {
+      total = static_cast<std::size_t>(total * radix);
     }
-    total *= static_cast<std::size_t>(2 * b + 1);
+  }
+  if (result.saturated) {
+    result.examined = 0;
+    return result;
   }
   result.examined = total;
 
   const std::size_t nthreads = support::ThreadPool::resolve_threads(options.threads);
-  if (nthreads == 1 || total == kSaturated || total < 2) {
+  if (nthreads == 1 || total < 2) {
     sweep_range(0, total, n, b, domain, deps, space, prims, fopts, result.feasible);
   } else {
     // Deterministic partition of the odometer; chunk-order concatenation

@@ -35,7 +35,12 @@ struct ScheduleSearchOptions {
 /// Result of a schedule search.
 struct ScheduleSearchResult {
   std::vector<ScheduleCandidate> feasible;  ///< Sorted by total_time.
-  std::size_t examined = 0;                 ///< Schedules enumerated.
+  std::size_t examined = 0;  ///< Schedules actually enumerated (0 when saturated).
+  /// True when (2 * coefficient_bound + 1)^dim overflows size_t: such a
+  /// space cannot be swept, so nothing was enumerated and `feasible` is
+  /// empty. Callers wanting results must shrink the bound or the
+  /// dimensionality.
+  bool saturated = false;
 };
 
 /// Enumerate schedules for the fixed space mapping `space` over the

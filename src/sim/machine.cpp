@@ -1,13 +1,82 @@
 #include "sim/machine.hpp"
 
 #include <algorithm>
+#include <deque>
 #include <set>
 #include <sstream>
 
+#include "sim/slot_arena.hpp"
 #include "support/error.hpp"
 #include "support/thread_pool.hpp"
 
 namespace bitlevel::sim {
+
+namespace {
+
+// Lazy wavefront generation: enumerate, in lexicographic order, the
+// points of a box lying on the hyperplane Pi . q == cycle. Suffix
+// bounds of the remaining coordinates prune the scan, so a sweep over
+// all cycles costs O(|J| * n) total instead of materializing a global
+// event list. Lexicographic order within a cycle matches the dense
+// executor's stable sort exactly.
+class WavefrontEnumerator {
+ public:
+  WavefrontEnumerator(const ir::IndexSet& domain, const IntVec& pi)
+      : lo_(domain.lower()), hi_(domain.upper()), pi_(pi) {
+    const std::size_t n = lo_.size();
+    sufmin_.assign(n + 1, 0);
+    sufmax_.assign(n + 1, 0);
+    for (std::size_t i = n; i-- > 0;) {
+      const Int a = math::checked_mul(pi_[i], lo_[i]);
+      const Int b = math::checked_mul(pi_[i], hi_[i]);
+      sufmin_[i] = math::checked_add(sufmin_[i + 1], std::min(a, b));
+      sufmax_[i] = math::checked_add(sufmax_[i + 1], std::max(a, b));
+    }
+  }
+
+  /// Min / max of Pi . q over the box (both attained at corners).
+  Int first_cycle() const { return sufmin_[0]; }
+  Int last_cycle() const { return sufmax_[0]; }
+
+  /// Append every q with Pi . q == cycle to `out`, lexicographically.
+  void collect(Int cycle, std::vector<IntVec>& out) const {
+    IntVec q(lo_.size(), 0);
+    descend(0, cycle, q, out);
+  }
+
+ private:
+  void descend(std::size_t k, Int rem, IntVec& q, std::vector<IntVec>& out) const {
+    const std::size_t n = lo_.size();
+    if (k == n - 1) {
+      // Solve pi_k * q_k == rem directly instead of scanning.
+      if (pi_[k] == 0) {
+        if (rem != 0) return;
+        for (Int v = lo_[k]; v <= hi_[k]; ++v) {
+          q[k] = v;
+          out.push_back(q);
+        }
+      } else if (rem % pi_[k] == 0) {
+        const Int v = rem / pi_[k];
+        if (v >= lo_[k] && v <= hi_[k]) {
+          q[k] = v;
+          out.push_back(q);
+        }
+      }
+      return;
+    }
+    for (Int v = lo_[k]; v <= hi_[k]; ++v) {
+      const Int rest = rem - pi_[k] * v;
+      if (rest < sufmin_[k + 1] || rest > sufmax_[k + 1]) continue;
+      q[k] = v;
+      descend(k + 1, rest, q, out);
+    }
+  }
+
+  IntVec lo_, hi_, pi_;
+  IntVec sufmin_, sufmax_;  ///< Bounds of sum_{i >= k} pi_i * q_i.
+};
+
+}  // namespace
 
 std::string SimulationStats::to_string() const {
   std::ostringstream os;
@@ -15,7 +84,8 @@ std::string SimulationStats::to_string() const {
      << pe_count << ", computations " << computations << ", utilization " << pe_utilization
      << ", hops " << link_transmissions << ", wire length " << wire_length
      << ", buffered value-cycles " << buffered_value_cycles << ", peak parallelism "
-     << peak_parallelism << ", threads " << threads_used;
+     << peak_parallelism << ", threads " << threads_used << ", peak live slots "
+     << peak_live_slots << ", observed points " << observed_points;
   return os.str();
 }
 
@@ -61,10 +131,13 @@ SimulationStats Machine::run() {
   const IntMat space = config_.t.space();
   const std::size_t ncols = config_.deps.size();
   const std::size_t nch = config_.channels.size();
+  const bool streaming = config_.memory == MemoryMode::kStreaming;
 
-  // Per-column hop count and slack, from K (static routes).
+  // Per-column hop count and slack, from K (static routes); the widest
+  // forward distance is the streaming retirement window.
   IntVec hops(ncols, 0);
   IntVec wire(ncols, 0);
+  Int window = 0;
   SimulationStats stats;
   stats.buffer_depth.assign(ncols, 0);
   for (std::size_t i = 0; i < ncols; ++i) {
@@ -83,28 +156,19 @@ SimulationStats Machine::run() {
     const Int slack = math::checked_sub(forward, hops[i]);
     BL_REQUIRE(slack >= 0, "routing uses more hops than the schedule allows (4.1)");
     stats.buffer_depth[static_cast<std::size_t>(i)] = slack;
+    window = std::max(window, forward);
   }
 
-  // Event list sorted by cycle (stable within a cycle: lexicographic
-  // domain order). Every point appears exactly once.
-  struct Event {
-    Int cycle;
-    IntVec q;
-  };
-  std::vector<Event> events;
-  events.reserve(npoints);
-  config_.domain.for_each([&](const IntVec& q) {
-    events.push_back({math::dot(pi, q), q});
-    return true;
-  });
-  std::stable_sort(events.begin(), events.end(),
-                   [](const Event& a, const Event& b) { return a.cycle < b.cycle; });
-  stats.first_cycle = events.front().cycle;
-  stats.last_cycle = events.back().cycle;
+  const WavefrontEnumerator wavefronts(config_.domain, pi);
+  stats.first_cycle = wavefronts.first_cycle();
+  stats.last_cycle = wavefronts.last_cycle();
   stats.cycles = stats.last_cycle - stats.first_cycle + 1;
 
-  outputs_.assign(npoints * nch, 0);
-  computed_.assign(npoints, 0);
+  SlotArena arena(nch);
+  if (!streaming) {
+    outputs_.assign(npoints * nch, 0);
+    computed_.assign(npoints, 0);
+  }
 
   const std::size_t nthreads = support::ThreadPool::resolve_threads(config_.threads);
   stats.threads_used = static_cast<int>(nthreads);
@@ -122,11 +186,10 @@ SimulationStats Machine::run() {
 
   // One event: resolve operands, verify timing, compute, store. The
   // scratch vectors are per-thread so the fan-out shares nothing but
-  // the (disjoint) output slots and earlier cycles' results.
-  const auto execute_event = [&](const Event& ev, Accum& acc, std::vector<ColumnInput>& inputs,
+  // the (disjoint) destination slots and earlier cycles' results.
+  const auto execute_event = [&](const IntVec& q, Int cycle, std::size_t linear, Int* dest,
+                                 Accum& acc, std::vector<ColumnInput>& inputs,
                                  std::vector<Outputs>& resolved_externals) {
-    const IntVec& q = ev.q;
-    const Int cycle = ev.cycle;
     resolved_externals.clear();
     resolved_externals.reserve(ncols);
     for (std::size_t i = 0; i < ncols; ++i) {
@@ -144,14 +207,23 @@ SimulationStats Machine::run() {
         continue;
       }
       const std::size_t slot = linear_index(producer);
-      BL_REQUIRE(computed_[slot] != 0,
+      // Condition 2 keeps producers strictly earlier than consumers and
+      // the window retains them through their last consumption cycle,
+      // so a miss in either store is a schedule violation.
+      const Int* bundle;
+      if (streaming) {
+        bundle = arena.find(slot);
+      } else {
+        bundle = computed_[slot] != 0 ? outputs_.data() + slot * nch : nullptr;
+      }
+      BL_REQUIRE(bundle != nullptr,
                  "operand not yet produced — schedule violates a dependence");
       // Timing: the value left the producer at Pi*producer, took
       // hops[i] link cycles, and must have arrived by now.
       const Int produced = math::dot(pi, producer);
       BL_REQUIRE(produced + hops[i] <= cycle,
                  "operand arrives after its consumption cycle — (4.1) violated");
-      inputs[i].producer = outputs_.data() + slot * nch;
+      inputs[i].producer = bundle;
       // Accounting: hops and the buffer wait at the consumer.
       acc.link = math::checked_add(acc.link, hops[i]);
       acc.wire_len = math::checked_add(acc.wire_len, wire[i]);
@@ -160,9 +232,8 @@ SimulationStats Machine::run() {
 
     const Outputs out = compute_(q, inputs);
     BL_REQUIRE(out.size() == nch, "compute function must fill every channel");
-    const std::size_t slot = linear_index(q);
-    std::copy(out.begin(), out.end(), outputs_.begin() + static_cast<std::ptrdiff_t>(slot * nch));
-    computed_[slot] = 1;
+    std::copy(out.begin(), out.end(), dest);
+    if (!streaming) computed_[linear] = 1;
     ++acc.computations;
   };
 
@@ -178,14 +249,16 @@ SimulationStats Machine::run() {
   std::vector<Outputs> resolved_externals;
   std::vector<IntVec> cycle_pes;  // conflict check within one cycle
   std::vector<Accum> accums(nthreads);
+  std::vector<std::size_t> linears;
+  std::vector<Int*> dests;
+  // Streaming: cycles still inside the retirement window, oldest first.
+  std::deque<std::pair<Int, std::vector<std::size_t>>> resident;
 
-  std::size_t at = 0;
-  while (at < events.size()) {
-    // The half-open range of events sharing this cycle.
-    const Int cycle = events[at].cycle;
-    std::size_t end = at;
-    while (end < events.size() && events[end].cycle == cycle) ++end;
-    const std::size_t count = end - at;
+  // One schedule hyperplane: conflict-check the PEs, resolve every
+  // event's destination slot, fan the events out, then do the barrier
+  // work (stats merge, sinks, observation, retirement). `qat(i)` yields
+  // the cycle's i-th event point in lexicographic order.
+  const auto process_cycle = [&](Int cycle, std::size_t count, auto&& qat) {
     stats.peak_parallelism = std::max(stats.peak_parallelism, static_cast<Int>(count));
     // Fan out only when the wavefront is wide enough to amortize the
     // barrier; the threshold never changes results (chunk merges are
@@ -200,10 +273,10 @@ SimulationStats Machine::run() {
     cycle_pes.assign(count, IntVec{});
     if (fan_out) {
       pool.parallel_for(nthreads, 0, count, [&](std::size_t, std::size_t lo, std::size_t hi) {
-        for (std::size_t i = lo; i < hi; ++i) cycle_pes[i] = space.mul(events[at + i].q);
+        for (std::size_t i = lo; i < hi; ++i) cycle_pes[i] = space.mul(qat(i));
       });
     } else {
-      for (std::size_t i = 0; i < count; ++i) cycle_pes[i] = space.mul(events[at + i].q);
+      for (std::size_t i = 0; i < count; ++i) cycle_pes[i] = space.mul(qat(i));
     }
     std::sort(cycle_pes.begin(), cycle_pes.end());
     for (std::size_t e = 1; e < cycle_pes.size(); ++e) {
@@ -211,6 +284,19 @@ SimulationStats Machine::run() {
                  "computational conflict at a (PE, cycle) pair — mapping is infeasible");
     }
     for (auto& pe : cycle_pes) pes.insert(std::move(pe));
+
+    // Resolve destination slots up front: arena mutation happens only
+    // here at the barrier, so the fan-out below reads a frozen arena
+    // (and the returned pointers stay valid through the cycle).
+    linears.assign(count, 0);
+    dests.assign(count, nullptr);
+    for (std::size_t i = 0; i < count; ++i) linears[i] = linear_index(qat(i));
+    if (streaming) {
+      for (std::size_t i = 0; i < count; ++i) arena.acquire(linears[i]);
+      for (std::size_t i = 0; i < count; ++i) dests[i] = arena.slot_data(linears[i]);
+    } else {
+      for (std::size_t i = 0; i < count; ++i) dests[i] = outputs_.data() + linears[i] * nch;
+    }
 
     // All operands of this cycle's events come from strictly earlier
     // cycles, so the events are mutually independent: fan them out.
@@ -222,18 +308,85 @@ SimulationStats Machine::run() {
         std::vector<ColumnInput> local_inputs(ncols);
         std::vector<Outputs> local_externals;
         for (std::size_t i = lo; i < hi; ++i) {
-          execute_event(events[at + i], accums[chunk], local_inputs, local_externals);
+          execute_event(qat(i), cycle, linears[i], dests[i], accums[chunk], local_inputs,
+                        local_externals);
         }
       });
       for (const Accum& acc : accums) merge(acc);
     } else {
       Accum acc;
-      for (std::size_t e = at; e < end; ++e) {
-        execute_event(events[e], acc, inputs, resolved_externals);
+      for (std::size_t i = 0; i < count; ++i) {
+        execute_event(qat(i), cycle, linears[i], dests[i], acc, inputs, resolved_externals);
       }
       merge(acc);
     }
-    at = end;
+
+    // Barrier work: sinks and observation see finished, ordered events.
+    if (config_.on_output) {
+      for (std::size_t i = 0; i < count; ++i) config_.on_output(qat(i), dests[i]);
+    }
+    if (streaming) {
+      if (config_.observe) {
+        for (std::size_t i = 0; i < count; ++i) {
+          if (!config_.observe(qat(i))) continue;
+          observed_slot_.emplace(linears[i], observed_data_.size() / nch);
+          observed_data_.insert(observed_data_.end(), dests[i], dests[i] + nch);
+        }
+      }
+      // Retire every cycle the window has passed: a value produced at
+      // cycle t is last consumed at t + window.
+      resident.emplace_back(cycle, std::vector<std::size_t>(linears.begin(),
+                                                            linears.begin() + count));
+      while (!resident.empty() && resident.front().first + window <= cycle) {
+        for (const std::size_t key : resident.front().second) arena.release(key);
+        resident.pop_front();
+      }
+    }
+  };
+
+  if (!streaming) {
+    // Dense: one pre-sorted event list (stable within a cycle:
+    // lexicographic domain order). Every point appears exactly once.
+    struct Event {
+      Int cycle;
+      IntVec q;
+    };
+    std::vector<Event> events;
+    events.reserve(npoints);
+    config_.domain.for_each([&](const IntVec& q) {
+      events.push_back({math::dot(pi, q), q});
+      return true;
+    });
+    std::stable_sort(events.begin(), events.end(),
+                     [](const Event& a, const Event& b) { return a.cycle < b.cycle; });
+    std::size_t at = 0;
+    while (at < events.size()) {
+      // The half-open range of events sharing this cycle.
+      const Int cycle = events[at].cycle;
+      std::size_t end = at;
+      while (end < events.size() && events[end].cycle == cycle) ++end;
+      process_cycle(cycle, end - at,
+                    [&](std::size_t i) -> const IntVec& { return events[at + i].q; });
+      at = end;
+    }
+    stats.peak_live_slots = static_cast<Int>(npoints);
+    stats.observed_points = static_cast<Int>(npoints);
+  } else {
+    // Streaming: walk the schedule hyperplanes in cycle order, never
+    // materializing more than one wavefront of events.
+    std::vector<IntVec> wavefront;
+    std::size_t executed = 0;
+    for (Int cycle = stats.first_cycle; cycle <= stats.last_cycle; ++cycle) {
+      wavefront.clear();
+      wavefronts.collect(cycle, wavefront);
+      if (wavefront.empty()) continue;
+      process_cycle(cycle, wavefront.size(),
+                    [&](std::size_t i) -> const IntVec& { return wavefront[i]; });
+      executed += wavefront.size();
+    }
+    BL_REQUIRE(executed == npoints, "wavefront enumeration missed index points");
+    stats.peak_live_slots = static_cast<Int>(arena.peak_live());
+    stats.observed_points = static_cast<Int>(observed_slot_.size());
   }
 
   stats.pe_count = static_cast<Int>(pes.size());
@@ -250,14 +403,25 @@ SimulationStats Machine::run() {
 const Int* Machine::outputs_at(const IntVec& q) const {
   BL_REQUIRE(config_.domain.contains(q), "index point outside the domain");
   const std::size_t slot = linear_index(q);
-  BL_REQUIRE(!computed_.empty() && computed_[slot] != 0,
-             "no outputs recorded at the requested index point");
-  return outputs_.data() + slot * config_.channels.size();
+  if (config_.memory == MemoryMode::kDense) {
+    BL_REQUIRE(!computed_.empty() && computed_[slot] != 0,
+               "no outputs recorded at the requested index point");
+    return outputs_.data() + slot * config_.channels.size();
+  }
+  const auto it = observed_slot_.find(slot);
+  BL_REQUIRE(it != observed_slot_.end(),
+             "no outputs recorded at the requested index point "
+             "(streaming mode retains only observed points)");
+  return observed_data_.data() + it->second * config_.channels.size();
 }
 
 bool Machine::has_outputs(const IntVec& q) const {
   if (!config_.domain.contains(q)) return false;
-  return !computed_.empty() && computed_[linear_index(q)] != 0;
+  const std::size_t slot = linear_index(q);
+  if (config_.memory == MemoryMode::kDense) {
+    return !computed_.empty() && computed_[slot] != 0;
+  }
+  return observed_slot_.find(slot) != observed_slot_.end();
 }
 
 }  // namespace bitlevel::sim

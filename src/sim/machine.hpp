@@ -24,17 +24,31 @@
 // aligned to a channel-name registry (e.g. {"x","y","z","c","cp"} for
 // the bit-level compressor cell).
 //
-// Storage is flat (one linearized slot per index point), so million-
-// point runs stay cache-friendly; because every operand comes from a
-// strictly earlier cycle, the events within one cycle are independent —
-// embarrassingly parallel, and run() fans them out across a worker pool
-// (MachineConfig::threads) with deterministic chunking and a chunk-order
-// merge of the statistics, so outputs and stats are bit-identical to the
-// serial threads = 1 path.
+// Two memory modes back the run:
+//   - kDense (default): one linearized slot per index point for the
+//     whole run, so every point's outputs stay readable via
+//     outputs_at() — cache-friendly, but peak memory is
+//     O(|J| * channels).
+//   - kStreaming: events are generated lazily per Pi-hyperplane (no
+//     global event list) and outputs live in a recycling SlotArena; a
+//     point's slot is retired once the sliding cycle window of width
+//     W = max_i(Pi * d_i) passes it (condition 2 orders every
+//     dependence strictly forward, so no later consumer can exist).
+//     Peak memory is O(points-in-window * channels). Only points
+//     matching MachineConfig::observe stay readable after the run;
+//     MachineConfig::on_output sees every point either way. Outputs
+//     and statistics are bit-identical to dense mode.
+//
+// Because every operand comes from a strictly earlier cycle, the events
+// within one cycle are independent — embarrassingly parallel, and run()
+// fans them out across a worker pool (MachineConfig::threads) with
+// deterministic chunking and a chunk-order merge of the statistics, so
+// outputs and stats are bit-identical to the serial threads = 1 path.
 #pragma once
 
 #include <functional>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "ir/dependence.hpp"
@@ -72,6 +86,19 @@ using ComputeFn =
 /// its producer existed (e.g. fresh operand bits, zero carries).
 using ExternalFn = std::function<Outputs(const IntVec& q, std::size_t column)>;
 
+/// How the run stores per-point outputs (see the file comment).
+enum class MemoryMode { kDense, kStreaming };
+
+/// Streaming retention predicate: points it accepts survive slot
+/// retirement and stay readable via outputs_at() after the run.
+using ObservePredicate = std::function<bool(const IntVec& q)>;
+
+/// Per-point output sink, called at the producing cycle's barrier in
+/// deterministic (lexicographic-within-cycle) order for every memory
+/// mode and thread count. `outputs` is a channels-length view valid
+/// only for the duration of the call.
+using OutputSink = std::function<void(const IntVec& q, const Int* outputs)>;
+
 /// Static description of the machine.
 struct MachineConfig {
   ir::IndexSet domain;
@@ -86,6 +113,15 @@ struct MachineConfig {
   /// external functions must be thread-safe (pure functions of their
   /// arguments) — every cell body in this repository is.
   int threads = 0;
+  /// Output storage policy. kStreaming bounds peak memory by the
+  /// dependence window instead of the domain size.
+  MemoryMode memory = MemoryMode::kDense;
+  /// Streaming only: points to retain for outputs_at() after the run
+  /// (null retains nothing). Ignored in dense mode, where every point
+  /// is retained.
+  ObservePredicate observe = nullptr;
+  /// Optional per-point sink; see OutputSink. Works in both modes.
+  OutputSink on_output = nullptr;
 };
 
 /// Aggregate results of a run.
@@ -102,6 +138,12 @@ struct SimulationStats {
   std::vector<Int> buffer_depth;   ///< Per column: slack = Pi*d - hops.
   Int peak_parallelism = 0;        ///< Max computations in one cycle.
   int threads_used = 1;            ///< Lanes the run fanned events over.
+  /// High-water mark of simultaneously resident output slots: |J| in
+  /// dense mode, the dependence-window occupancy in streaming mode.
+  /// The only stats (with observed_points) that legitimately differ
+  /// between memory modes.
+  Int peak_live_slots = 0;
+  Int observed_points = 0;   ///< Points readable via outputs_at() after the run.
 
   std::string to_string() const;
 };
@@ -115,10 +157,12 @@ class Machine {
   /// physical-invariant violation. Single-shot per instance.
   SimulationStats run();
 
-  /// Channels-length view of the outputs at q (valid after run()).
+  /// Channels-length view of the outputs at q (valid after run()). In
+  /// streaming mode only points accepted by MachineConfig::observe are
+  /// available; anything else throws.
   const Int* outputs_at(const IntVec& q) const;
 
-  /// True when q was computed (valid after run()).
+  /// True when q was computed and retained (valid after run()).
   bool has_outputs(const IntVec& q) const;
 
   const MachineConfig& config() const { return config_; }
@@ -130,8 +174,11 @@ class Machine {
   ComputeFn compute_;
   ExternalFn external_;
   std::vector<Int> strides_;      ///< Row-major strides of the domain box.
-  std::vector<Int> outputs_;      ///< Flat: point-linear * channels.
-  std::vector<char> computed_;    ///< Per point: outputs valid.
+  std::vector<Int> outputs_;      ///< Dense: flat, point-linear * channels.
+  std::vector<char> computed_;    ///< Dense: per point, outputs valid.
+  /// Streaming: observed points, point-linear -> slot into observed_data_.
+  std::unordered_map<std::size_t, std::size_t> observed_slot_;
+  std::vector<Int> observed_data_;
   bool ran_ = false;
 };
 

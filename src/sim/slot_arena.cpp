@@ -1,0 +1,47 @@
+#include "sim/slot_arena.hpp"
+
+#include <algorithm>
+
+#include "support/error.hpp"
+
+namespace bitlevel::sim {
+
+SlotArena::SlotArena(std::size_t channels) : channels_(channels) {
+  BL_REQUIRE(channels >= 1, "slots must hold at least one channel");
+}
+
+Int* SlotArena::acquire(std::size_t key) {
+  BL_REQUIRE(slot_of_.find(key) == slot_of_.end(), "slot already resident for this key");
+  std::size_t slot;
+  if (!free_.empty()) {
+    slot = free_.back();
+    free_.pop_back();
+  } else {
+    slot = data_.size() / channels_;
+    data_.resize(data_.size() + channels_);
+  }
+  slot_of_.emplace(key, slot);
+  peak_ = std::max(peak_, slot_of_.size());
+  return data_.data() + slot * channels_;
+}
+
+const Int* SlotArena::find(std::size_t key) const {
+  const auto it = slot_of_.find(key);
+  if (it == slot_of_.end()) return nullptr;
+  return data_.data() + it->second * channels_;
+}
+
+Int* SlotArena::slot_data(std::size_t key) {
+  const auto it = slot_of_.find(key);
+  if (it == slot_of_.end()) return nullptr;
+  return data_.data() + it->second * channels_;
+}
+
+void SlotArena::release(std::size_t key) {
+  const auto it = slot_of_.find(key);
+  BL_REQUIRE(it != slot_of_.end(), "releasing a key that is not resident");
+  free_.push_back(it->second);
+  slot_of_.erase(it);
+}
+
+}  // namespace bitlevel::sim

@@ -1,0 +1,70 @@
+// A recycling arena of fixed-width output slots keyed by linearized
+// index points.
+//
+// The streaming executor (sim::Machine with MemoryMode::kStreaming)
+// keeps one slot per index point only while the point's value can still
+// be consumed — a sliding cycle window of width W = max_i(Pi * d_i),
+// the forward distance of the slowest dependence. Slots released when
+// the window passes a point go on a free list and are handed out again,
+// so peak memory is O(points-in-window * channels) instead of
+// O(|J| * channels).
+//
+// Thread-safety contract: acquire() and release() mutate the arena and
+// must run on one thread (the cycle barrier). find() and slot_data()
+// are safe to call concurrently with each other as long as no
+// acquire()/release() is in flight — the executor acquires every slot
+// of a cycle before fanning the cycle's events out. Pointers returned
+// by find()/slot_data() are invalidated by the next acquire() (the
+// backing store may grow).
+#pragma once
+
+#include <cstddef>
+#include <unordered_map>
+#include <vector>
+
+#include "math/int_vec.hpp"
+
+namespace bitlevel::sim {
+
+using math::Int;
+
+/// Recycling storage for channels-length output bundles.
+class SlotArena {
+ public:
+  /// Every slot holds `channels` integers; channels must be >= 1.
+  explicit SlotArena(std::size_t channels);
+
+  /// Reserve a slot for `key` (a linearized index point not currently
+  /// resident) and return a pointer to its (uninitialized) data. The
+  /// pointer stays valid until the next acquire().
+  Int* acquire(std::size_t key);
+
+  /// Channels-length bundle of a resident key, or nullptr. Safe for
+  /// concurrent readers between mutations.
+  const Int* find(std::size_t key) const;
+
+  /// Mutable view of a resident key's bundle, or nullptr (same
+  /// pointer-validity contract as find()).
+  Int* slot_data(std::size_t key);
+
+  /// Return `key`'s slot to the free list; the key must be resident.
+  void release(std::size_t key);
+
+  /// Slots currently resident.
+  std::size_t live() const { return slot_of_.size(); }
+
+  /// High-water mark of simultaneously resident slots.
+  std::size_t peak_live() const { return peak_; }
+
+  /// Slots ever allocated (resident + free-listed).
+  std::size_t capacity() const { return data_.size() / channels_; }
+
+ private:
+  std::size_t channels_;
+  std::vector<Int> data_;                              ///< capacity * channels.
+  std::vector<std::size_t> free_;                      ///< Recyclable slot ids.
+  std::unordered_map<std::size_t, std::size_t> slot_of_;  ///< key -> slot id.
+  std::size_t peak_ = 0;
+};
+
+}  // namespace bitlevel::sim

@@ -1,6 +1,11 @@
 #include "support/json.hpp"
 
+#include <cctype>
+#include <clocale>
+#include <cmath>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 
 #include "support/error.hpp"
 
@@ -123,9 +128,25 @@ JsonWriter& JsonWriter::value(std::uint64_t v) {
 
 JsonWriter& JsonWriter::value(double v) {
   before_value();
-  char buf[32];
-  std::snprintf(buf, sizeof buf, "%.6g", v);
-  out_ += buf;
+  // JSON has no literal for NaN or the infinities (RFC 8259 §6).
+  if (!std::isfinite(v)) {
+    out_ += "null";
+    return *this;
+  }
+  // Shortest representation that parses back to the same double.
+  char buf[40];
+  for (int precision : {15, 16, 17}) {
+    std::snprintf(buf, sizeof buf, "%.*g", precision, v);
+    if (std::strtod(buf, nullptr) == v) break;
+  }
+  std::string number(buf);
+  // snprintf honors the C locale's decimal separator; JSON demands '.'.
+  const char* dp = std::localeconv()->decimal_point;
+  if (dp != nullptr && dp[0] != '\0' && std::strcmp(dp, ".") != 0) {
+    const auto at = number.find(dp);
+    if (at != std::string::npos) number.replace(at, std::strlen(dp), ".");
+  }
+  out_ += number;
   return *this;
 }
 
@@ -145,5 +166,153 @@ std::string JsonWriter::str() const {
   BL_REQUIRE(scopes_.empty(), "unbalanced JSON scopes at str()");
   return out_;
 }
+
+namespace {
+
+// Recursive-descent syntax checker over RFC 8259 grammar. No DOM, no
+// allocation; `depth` bounds nesting so adversarial input cannot blow
+// the stack.
+class JsonChecker {
+ public:
+  explicit JsonChecker(const std::string& s) : s_(s) {}
+
+  bool document() {
+    skip_ws();
+    if (!value(0)) return false;
+    skip_ws();
+    return at_ == s_.size();
+  }
+
+ private:
+  static constexpr int kMaxDepth = 256;
+
+  char peek() const { return at_ < s_.size() ? s_[at_] : '\0'; }
+  bool eat(char c) {
+    if (peek() != c) return false;
+    ++at_;
+    return true;
+  }
+  void skip_ws() {
+    while (at_ < s_.size() &&
+           (s_[at_] == ' ' || s_[at_] == '\t' || s_[at_] == '\n' || s_[at_] == '\r')) {
+      ++at_;
+    }
+  }
+
+  bool literal(const char* word) {
+    const std::size_t len = std::strlen(word);
+    if (s_.compare(at_, len, word) != 0) return false;
+    at_ += len;
+    return true;
+  }
+
+  bool string() {
+    if (!eat('"')) return false;
+    while (at_ < s_.size()) {
+      const unsigned char c = static_cast<unsigned char>(s_[at_]);
+      if (c == '"') {
+        ++at_;
+        return true;
+      }
+      if (c < 0x20) return false;  // raw control character
+      if (c == '\\') {
+        ++at_;
+        const char e = peek();
+        if (e == 'u') {
+          ++at_;
+          for (int i = 0; i < 4; ++i) {
+            if (!std::isxdigit(static_cast<unsigned char>(peek()))) return false;
+            ++at_;
+          }
+        } else if (std::strchr("\"\\/bfnrt", e) != nullptr && e != '\0') {
+          ++at_;
+        } else {
+          return false;
+        }
+      } else {
+        ++at_;
+      }
+    }
+    return false;  // unterminated
+  }
+
+  bool digits() {
+    if (!std::isdigit(static_cast<unsigned char>(peek()))) return false;
+    while (std::isdigit(static_cast<unsigned char>(peek()))) ++at_;
+    return true;
+  }
+
+  bool number() {
+    eat('-');
+    if (eat('0')) {
+      // no leading zeros
+    } else if (!digits()) {
+      return false;
+    }
+    if (eat('.') && !digits()) return false;
+    if (peek() == 'e' || peek() == 'E') {
+      ++at_;
+      if (peek() == '+' || peek() == '-') ++at_;
+      if (!digits()) return false;
+    }
+    return true;
+  }
+
+  bool object(int depth) {
+    ++at_;  // '{'
+    skip_ws();
+    if (eat('}')) return true;
+    while (true) {
+      skip_ws();
+      if (!string()) return false;
+      skip_ws();
+      if (!eat(':')) return false;
+      if (!value(depth + 1)) return false;
+      skip_ws();
+      if (eat('}')) return true;
+      if (!eat(',')) return false;
+    }
+  }
+
+  bool array(int depth) {
+    ++at_;  // '['
+    skip_ws();
+    if (eat(']')) return true;
+    while (true) {
+      if (!value(depth + 1)) return false;
+      skip_ws();
+      if (eat(']')) return true;
+      if (!eat(',')) return false;
+    }
+  }
+
+  bool value(int depth) {
+    if (depth > kMaxDepth) return false;
+    skip_ws();
+    switch (peek()) {
+      case '{':
+        return object(depth);
+      case '[':
+        return array(depth);
+      case '"':
+        return string();
+      case 't':
+        return literal("true");
+      case 'f':
+        return literal("false");
+      case 'n':
+        return literal("null");
+      default:
+        return number();
+    }
+  }
+
+  const std::string& s_;
+  std::size_t at_ = 0;
+};
+
+}  // namespace
+
+bool json_valid(const std::string& text) { return JsonChecker(text).document(); }
 
 }  // namespace bitlevel

@@ -33,6 +33,9 @@ class JsonWriter {
   JsonWriter& value(std::int64_t v);
   JsonWriter& value(int v) { return value(static_cast<std::int64_t>(v)); }
   JsonWriter& value(std::uint64_t v);
+  /// Finite doubles are emitted round-trippably (shortest %g that
+  /// parses back equal) with a '.' decimal separator in any locale;
+  /// NaN and the infinities become null (JSON has no literal for them).
   JsonWriter& value(double v);
   JsonWriter& value(bool v);
 
@@ -53,5 +56,10 @@ class JsonWriter {
   std::vector<bool> has_items_;
   bool pending_key_ = false;
 };
+
+/// Strict RFC 8259 syntax check of a complete JSON document: exactly
+/// one value with nothing but whitespace around it. Used by the CLI
+/// smoke tests to validate --json output; not a parser (no DOM).
+bool json_valid(const std::string& text);
 
 }  // namespace bitlevel

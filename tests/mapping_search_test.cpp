@@ -141,6 +141,33 @@ TEST(ExploreTest, RankedDesignsByteIdenticalAcrossThreadCounts) {
   }
 }
 
+TEST(ScheduleSearchTest, SaturatedOdometerRefusesCleanly) {
+  // (2b+1)^n overflowing size_t used to report a 2^62 sentinel as
+  // "examined" and still start a sweep of that many positions — an
+  // effective hang. A saturated space must instead return immediately:
+  // saturated flag set, zero examined, nothing feasible.
+  const auto triplet = ir::kernels::matmul(2).triplet();
+  const math::IntMat s{{1, 0, 0}, {0, 1, 0}};
+  ScheduleSearchOptions options;
+  options.coefficient_bound = 2'000'000'000;  // radix 4e9: 3 digits overflow 64 bits
+  const auto result = mapping::search_schedules(triplet.domain, triplet.deps, s,
+                                                InterconnectionPrimitives::mesh2d(), options);
+  EXPECT_TRUE(result.saturated);
+  EXPECT_EQ(result.examined, 0u);
+  EXPECT_TRUE(result.feasible.empty());
+}
+
+TEST(ScheduleSearchTest, UnsaturatedSearchReportsTrueCount) {
+  const auto triplet = ir::kernels::matmul(2).triplet();
+  const math::IntMat s{{1, 0, 0}, {0, 1, 0}};
+  ScheduleSearchOptions options;
+  options.coefficient_bound = 1;
+  const auto result = mapping::search_schedules(triplet.domain, triplet.deps, s,
+                                                InterconnectionPrimitives::mesh2d(), options);
+  EXPECT_FALSE(result.saturated);
+  EXPECT_EQ(result.examined, 27u);  // 3^3
+}
+
 TEST(ScheduleSearchTest, InfeasibleWhenLinksMissing) {
   // A 1-D "array" with only a stationary link cannot pipeline anything.
   const auto triplet = ir::kernels::matmul(2).triplet();

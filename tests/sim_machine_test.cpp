@@ -2,6 +2,9 @@
 // and hard failures on physical-invariant violations.
 #include <gtest/gtest.h>
 
+#include <utility>
+#include <vector>
+
 #include "sim/machine.hpp"
 #include "sim/timeline.hpp"
 #include "support/error.hpp"
@@ -230,6 +233,153 @@ TEST(MachineParallelTest, SameCycleDependenceRejected) {
                     [](const IntVec&, std::size_t) -> Outputs { return {0}; });
     EXPECT_THROW(machine.run(), PreconditionError);
   }
+}
+
+// ---------------------------------------------------------------------------
+// Streaming memory mode: identical observable behaviour to dense, with
+// peak residency bounded by the dependence window instead of |J|.
+
+TEST(MachineStreamingTest, BitIdenticalToDenseAcrossThreadCounts) {
+  const Int n = 40;
+  WavefrontFixture fx(n);
+  Machine reference = fx.machine(1);
+  const auto ref_stats = reference.run();
+
+  for (int threads : {1, 4}) {
+    auto cfg = fx.config(threads);
+    cfg.memory = MemoryMode::kStreaming;
+    cfg.observe = [](const IntVec&) { return true; };  // retain all for comparison
+    Machine machine(
+        std::move(cfg),
+        [](const IntVec& q, const std::vector<ColumnInput>& in) -> Outputs {
+          return {(in[0].producer[0] * 3 + in[1].producer[0]) % 1000003 + q[0] + 7 * q[1]};
+        },
+        [](const IntVec& q, std::size_t column) -> Outputs {
+          return {static_cast<Int>(column + 1) * (13 * q[0] + 31 * q[1])};
+        });
+    const auto stats = machine.run();
+
+    // Every stat except the memory-mode pair must be bit-identical.
+    EXPECT_EQ(stats.first_cycle, ref_stats.first_cycle);
+    EXPECT_EQ(stats.last_cycle, ref_stats.last_cycle);
+    EXPECT_EQ(stats.cycles, ref_stats.cycles);
+    EXPECT_EQ(stats.pe_count, ref_stats.pe_count);
+    EXPECT_EQ(stats.computations, ref_stats.computations);
+    EXPECT_EQ(stats.pe_utilization, ref_stats.pe_utilization);
+    EXPECT_EQ(stats.link_transmissions, ref_stats.link_transmissions);
+    EXPECT_EQ(stats.wire_length, ref_stats.wire_length);
+    EXPECT_EQ(stats.buffered_value_cycles, ref_stats.buffered_value_cycles);
+    EXPECT_EQ(stats.buffer_depth, ref_stats.buffer_depth);
+    EXPECT_EQ(stats.peak_parallelism, ref_stats.peak_parallelism);
+
+    // The window for Pi = [1,1], d1 = [1,0], d2 = [0,1] is 1 cycle: far
+    // fewer live slots than the n^2 dense footprint.
+    EXPECT_EQ(ref_stats.peak_live_slots, n * n);
+    EXPECT_LT(stats.peak_live_slots, 3 * n);
+    EXPECT_EQ(stats.observed_points, n * n);
+
+    bool outputs_identical = true;
+    fx.domain.for_each([&](const IntVec& q) {
+      outputs_identical =
+          outputs_identical && machine.outputs_at(q)[0] == reference.outputs_at(q)[0];
+      return true;
+    });
+    EXPECT_TRUE(outputs_identical) << "threads = " << threads;
+  }
+}
+
+TEST(MachineStreamingTest, OnOutputSeesEveryPointInDeterministicOrder) {
+  // The sink fires at the cycle barrier in lexicographic-within-cycle
+  // order — the same sequence for both memory modes and every thread
+  // count.
+  const Int n = 24;
+  WavefrontFixture fx(n);
+  using Trace = std::vector<std::pair<IntVec, Int>>;
+  const auto traced = [&fx](MemoryMode mode, int threads) {
+    Trace trace;
+    auto cfg = fx.config(threads);
+    cfg.memory = mode;
+    cfg.on_output = [&trace](const IntVec& q, const Int* outputs) {
+      trace.emplace_back(q, outputs[0]);
+    };
+    Machine machine(
+        std::move(cfg),
+        [](const IntVec& q, const std::vector<ColumnInput>& in) -> Outputs {
+          return {(in[0].producer[0] * 3 + in[1].producer[0]) % 1000003 + q[0] + 7 * q[1]};
+        },
+        [](const IntVec& q, std::size_t column) -> Outputs {
+          return {static_cast<Int>(column + 1) * (13 * q[0] + 31 * q[1])};
+        });
+    machine.run();
+    return trace;
+  };
+
+  const Trace reference = traced(MemoryMode::kDense, 1);
+  EXPECT_EQ(reference.size(), static_cast<std::size_t>(n * n));
+  EXPECT_EQ(traced(MemoryMode::kDense, 4), reference);
+  EXPECT_EQ(traced(MemoryMode::kStreaming, 1), reference);
+  EXPECT_EQ(traced(MemoryMode::kStreaming, 4), reference);
+}
+
+TEST(MachineStreamingTest, UnobservedPointsAreRetired) {
+  // Without an observe predicate nothing survives the sliding window:
+  // outputs_at refuses cleanly instead of returning freed memory.
+  const Int n = 8;
+  WavefrontFixture fx(n);
+  auto cfg = fx.config(1);
+  cfg.memory = MemoryMode::kStreaming;
+  cfg.observe = [n](const IntVec& q) { return q[0] == n && q[1] == n; };
+  Machine machine(
+      std::move(cfg),
+      [](const IntVec& q, const std::vector<ColumnInput>& in) -> Outputs {
+        return {in[0].producer[0] + in[1].producer[0] + q[0]};
+      },
+      [](const IntVec&, std::size_t) -> Outputs { return {1}; });
+  const auto stats = machine.run();
+  EXPECT_EQ(stats.observed_points, 1);
+  EXPECT_TRUE(machine.has_outputs({n, n}));
+  EXPECT_FALSE(machine.has_outputs({1, 1}));
+  EXPECT_THROW(machine.outputs_at({1, 1}), PreconditionError);
+
+  // The observed corner matches a dense run bit-for-bit.
+  Machine dense(
+      fx.config(1),
+      [](const IntVec& q, const std::vector<ColumnInput>& in) -> Outputs {
+        return {in[0].producer[0] + in[1].producer[0] + q[0]};
+      },
+      [](const IntVec&, std::size_t) -> Outputs { return {1}; });
+  dense.run();
+  EXPECT_EQ(machine.outputs_at({n, n})[0], dense.outputs_at({n, n})[0]);
+}
+
+TEST(MachineStreamingTest, MillionPointDomainBoundedResidency) {
+  // The acceptance bar for the streaming engine: a 1000x1000 domain
+  // (10^6 index points) must run with >= 10x fewer live slots than the
+  // dense footprint. The Pi = [1,1] window is 1 cycle, so residency is
+  // two anti-diagonals — about 2n slots, a ~500x reduction.
+  const Int n = 1000;
+  const Int npoints = n * n;
+  WavefrontFixture fx(n);
+  auto cfg = fx.config(1);
+  cfg.memory = MemoryMode::kStreaming;
+  cfg.observe = [n](const IntVec& q) { return q[0] == n && q[1] == n; };
+  Int seen = 0;
+  cfg.on_output = [&seen](const IntVec&, const Int*) { ++seen; };
+  Machine machine(
+      std::move(cfg),
+      [](const IntVec& q, const std::vector<ColumnInput>& in) -> Outputs {
+        return {(in[0].producer[0] * 3 + in[1].producer[0]) % 1000003 + q[0] + 7 * q[1]};
+      },
+      [](const IntVec& q, std::size_t column) -> Outputs {
+        return {static_cast<Int>(column + 1) * (13 * q[0] + 31 * q[1])};
+      });
+  const auto stats = machine.run();
+  EXPECT_EQ(stats.computations, npoints);
+  EXPECT_EQ(seen, npoints);
+  EXPECT_EQ(stats.observed_points, 1);
+  EXPECT_LE(stats.peak_live_slots * 10, npoints);  // the >= 10x acceptance bound
+  EXPECT_LE(stats.peak_live_slots, 3 * n);         // the actual ~2n window
+  EXPECT_TRUE(machine.has_outputs({n, n}));
 }
 
 TEST(MachineTest, RejectsZeroDimensionalDomain) {

@@ -1,6 +1,9 @@
 // Support utilities: error macros, formatting, deterministic RNG.
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+#include <limits>
+
 #include "support/error.hpp"
 #include "support/format.hpp"
 #include "support/json.hpp"
@@ -115,6 +118,58 @@ TEST(JsonTest, MisuseThrows) {
     w.value(1);
     EXPECT_THROW(w.value(2), PreconditionError);  // two top-level values
   }
+}
+
+TEST(JsonTest, DoublesRoundTripAndStayValidJson) {
+  // %.6g used to truncate (0.1 -> "0.1" was fine, but 1/3 lost digits)
+  // and to emit locale decimal separators. Every finite double must now
+  // parse back to the same bits.
+  for (double v : {0.1, 1.0 / 3.0, 0.1 + 0.2, 1e300, 5e-324, -2.5, 0.0, 1048576.0}) {
+    JsonWriter w;
+    w.value(v);
+    const std::string text = w.str();
+    EXPECT_TRUE(json_valid(text)) << text;
+    EXPECT_EQ(std::strtod(text.c_str(), nullptr), v) << text;
+    EXPECT_EQ(text.find(','), std::string::npos) << text;  // locale-proof
+  }
+}
+
+TEST(JsonTest, NonFiniteDoublesBecomeNull) {
+  // %.6g emitted "inf" / "nan" — not JSON (RFC 8259 has no such
+  // literals), so any consumer's parser rejected the whole document.
+  const double inf = std::numeric_limits<double>::infinity();
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  for (double v : {inf, -inf, nan}) {
+    JsonWriter w;
+    w.begin_object();
+    w.key("utilization").value(v);
+    w.end_object();
+    EXPECT_EQ(w.str(), R"({"utilization":null})");
+    EXPECT_TRUE(json_valid(w.str()));
+  }
+}
+
+TEST(JsonValidTest, AcceptsWellFormedDocuments) {
+  EXPECT_TRUE(json_valid(R"({"a":[1,2.5,-3e2],"b":{"c":null},"d":"x\nA"})"));
+  EXPECT_TRUE(json_valid("  [true, false, null]  "));
+  EXPECT_TRUE(json_valid("0"));
+  EXPECT_TRUE(json_valid(R"("just a string")"));
+  EXPECT_TRUE(json_valid("-0.5e+10"));
+}
+
+TEST(JsonValidTest, RejectsMalformedDocuments) {
+  EXPECT_FALSE(json_valid(""));
+  EXPECT_FALSE(json_valid("{"));
+  EXPECT_FALSE(json_valid("[1,]"));
+  EXPECT_FALSE(json_valid(R"({"a":1,})"));
+  EXPECT_FALSE(json_valid("01"));        // leading zero
+  EXPECT_FALSE(json_valid("1."));        // bare decimal point
+  EXPECT_FALSE(json_valid("inf"));       // the old %.6g output
+  EXPECT_FALSE(json_valid("nan"));
+  EXPECT_FALSE(json_valid("{} {}"));     // two top-level values
+  EXPECT_FALSE(json_valid("\"unterminated"));
+  EXPECT_FALSE(json_valid("\"bad \\x escape\""));
+  EXPECT_FALSE(json_valid(R"({"a" 1})"));  // missing colon
 }
 
 }  // namespace

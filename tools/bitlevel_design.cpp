@@ -14,7 +14,9 @@
 //               on seeded random operands and check the results
 //   optimal   — LP-certify the fastest explored schedule (or refute it)
 //   animate   — ASCII space-time snapshots of the best design running
-// --json switches the output to a machine-readable document.
+// --json switches the output to a machine-readable document;
+// --memory streaming bounds simulator memory by the dependence window.
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -22,6 +24,7 @@
 #include <optional>
 #include <utility>
 #include <string>
+#include <vector>
 
 #include "arch/bit_array.hpp"
 #include "arch/matmul_arrays.hpp"
@@ -49,6 +52,7 @@ struct Args {
   bool json = false;
   std::uint64_t seed = 1;
   int threads = 0;  // 0 = BITLEVEL_THREADS / hardware, 1 = serial
+  sim::MemoryMode memory = sim::MemoryMode::kDense;
 };
 
 [[noreturn]] void usage(const char* msg) {
@@ -56,13 +60,46 @@ struct Args {
   std::fprintf(stderr,
                "usage: bitlevel-design --kernel matmul|matmul_rect|conv|matvec|transform|scalar\n"
                "                       [--u N] [--v N] [--w N] [--p BITS] [--expansion I|II]\n"
-               "                       [--action structure|verify|design|simulate|optimal] [--json]\n"
-               "                       [--seed N] [--threads N]\n");
+               "                       [--action structure|verify|design|simulate|optimal|"
+               "animate]\n"
+               "                       [--json] [--memory dense|streaming] [--seed N] "
+               "[--threads N]\n");
   std::exit(2);
+}
+
+/// Strict base-10 integer parsing: the whole token must be a number in
+/// [lo, hi]. Rejects what atoll silently accepted — garbage ("--p abc"
+/// became 0), trailing junk, overflow, and out-of-range sizes that
+/// crashed deep inside the library.
+math::Int parse_int(const std::string& flag, const char* text, math::Int lo, math::Int hi) {
+  errno = 0;
+  char* end = nullptr;
+  const long long v = std::strtoll(text, &end, 10);
+  if (end == text || *end != '\0' || errno == ERANGE) {
+    usage((flag + " expects an integer, got '" + text + "'").c_str());
+  }
+  if (v < lo || v > hi) {
+    usage((flag + " must be in [" + std::to_string(lo) + ", " + std::to_string(hi) + "], got " +
+           text)
+              .c_str());
+  }
+  return static_cast<math::Int>(v);
+}
+
+std::uint64_t parse_seed(const std::string& flag, const char* text) {
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(text, &end, 10);
+  // strtoull wraps negatives silently; ban the sign outright.
+  if (end == text || *end != '\0' || errno == ERANGE || std::strchr(text, '-') != nullptr) {
+    usage((flag + " expects a nonnegative integer, got '" + text + "'").c_str());
+  }
+  return static_cast<std::uint64_t>(v);
 }
 
 Args parse(int argc, char** argv) {
   Args args;
+  constexpr math::Int kMaxExtent = 1'000'000'000;
   for (int i = 1; i < argc; ++i) {
     const std::string flag = argv[i];
     auto next = [&]() -> const char* {
@@ -74,17 +111,26 @@ Args parse(int argc, char** argv) {
     } else if (flag == "--action") {
       args.action = next();
     } else if (flag == "--u") {
-      args.u = std::atoll(next());
+      args.u = parse_int(flag, next(), 1, kMaxExtent);
     } else if (flag == "--v") {
-      args.v = std::atoll(next());
+      args.v = parse_int(flag, next(), 1, kMaxExtent);
     } else if (flag == "--w") {
-      args.w = std::atoll(next());
+      args.w = parse_int(flag, next(), 1, kMaxExtent);
     } else if (flag == "--p") {
-      args.p = std::atoll(next());
+      args.p = parse_int(flag, next(), 1, 63);
     } else if (flag == "--seed") {
-      args.seed = static_cast<std::uint64_t>(std::atoll(next()));
+      args.seed = parse_seed(flag, next());
     } else if (flag == "--threads") {
-      args.threads = std::atoi(next());
+      args.threads = static_cast<int>(parse_int(flag, next(), 0, 4096));
+    } else if (flag == "--memory") {
+      const std::string m = next();
+      if (m == "dense") {
+        args.memory = sim::MemoryMode::kDense;
+      } else if (m == "streaming") {
+        args.memory = sim::MemoryMode::kStreaming;
+      } else {
+        usage("memory must be dense or streaming");
+      }
     } else if (flag == "--expansion") {
       const std::string e = next();
       if (e == "I" || e == "1") {
@@ -293,6 +339,7 @@ int run_simulate(const Args& a) {
   }
   arch::BitLevelArray array(s, t, prims);
   array.set_threads(a.threads);
+  array.set_memory_mode(a.memory);
 
   // Seeded operands respecting the model's pipelining invariants.
   const core::Workload workload = core::make_safe_workload(model, a.p, a.expansion, a.seed);
@@ -300,17 +347,36 @@ int run_simulate(const Args& a) {
   const core::OperandFn yf = workload.y_fn();
   const auto run = array.run(xf, yf);
   const auto ref = core::evaluate_word_reference(model, xf, yf);
+  // A z-output the word-level reference never produced is a mismatch in
+  // its own right (reported cleanly with the offending point), not an
+  // out_of_range crash.
   bool ok = !run.z.empty();
-  for (const auto& [j, v] : run.z) ok = ok && v == ref.at(j);
+  std::size_t missing_reference = 0;
+  for (const auto& [j, v] : run.z) {
+    const auto it = ref.find(j);
+    if (it == ref.end()) {
+      ++missing_reference;
+      ok = false;
+      if (!a.json) {
+        std::printf("MISMATCH: array produced z%s but the reference has no such output\n",
+                    math::to_string(j).c_str());
+      }
+      continue;
+    }
+    ok = ok && v == it->second;
+  }
 
   if (a.json) {
     JsonWriter w;
     w.begin_object();
     w.key("correct").value(ok);
+    w.key("missing_reference").value(static_cast<std::int64_t>(missing_reference));
     w.key("cycles").value(run.stats.cycles);
     w.key("processors").value(run.stats.pe_count);
     w.key("computations").value(run.stats.computations);
     w.key("utilization").value(run.stats.pe_utilization);
+    w.key("memory").value(a.memory == sim::MemoryMode::kStreaming ? "streaming" : "dense");
+    w.key("peak_live_slots").value(run.stats.peak_live_slots);
     w.key("pi").value(t.schedule());
     w.end_object();
     std::printf("%s\n", w.str().c_str());
