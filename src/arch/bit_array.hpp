@@ -2,12 +2,11 @@
 //
 // BitLevelArray turns a composed bit-level structure (Theorem 3.1) plus
 // a feasible mapping into a runnable cycle-accurate machine. The cell
-// body is the paper's compressor: it ANDs the two operand bits arriving
-// on the x/y pipelines and sums every dependence-carried summand its
-// expansion delivers (z flows, carry, second carry), emitting the new
-// partial-sum bit and carries. The same body serves Expansion I and II
-// because the structure's validity regions gate which inputs exist at
-// each point.
+// body — the paper's compressor — lives in pipeline/executor.hpp; this
+// class owns the structure/mapping/routing triple and the run-time
+// knobs. Structures are held by shared_ptr so arrays built from cached
+// design plans (pipeline::PlanCache) share one expansion instead of
+// copying it.
 //
 // Capacity honesty: a nonzero carry with no consuming edge means the
 // paper's fixed grid would drop value; the array throws OverflowError
@@ -16,6 +15,8 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
+#include <optional>
 
 #include "core/evaluator.hpp"
 #include "core/structure.hpp"
@@ -41,7 +42,16 @@ class BitLevelArray {
   BitLevelArray(core::BitLevelStructure structure, mapping::MappingMatrix t,
                 mapping::InterconnectionPrimitives prims);
 
-  const core::BitLevelStructure& structure() const { return structure_; }
+  /// Shares a structure composed elsewhere (typically a cached design
+  /// plan). When `k` is supplied it must be the routing matrix of a
+  /// feasibility check already performed for exactly this
+  /// (structure, t, prims) triple — the check is then skipped; absent,
+  /// feasibility is verified here.
+  BitLevelArray(std::shared_ptr<const core::BitLevelStructure> structure,
+                mapping::MappingMatrix t, mapping::InterconnectionPrimitives prims,
+                std::optional<math::IntMat> k = std::nullopt);
+
+  const core::BitLevelStructure& structure() const { return *structure_; }
   const mapping::MappingMatrix& t() const { return t_; }
   const math::IntMat& k() const { return k_; }
 
@@ -63,7 +73,7 @@ class BitLevelArray {
   ArrayRunResult run(const core::OperandFn& x, const core::OperandFn& y) const;
 
  private:
-  core::BitLevelStructure structure_;
+  std::shared_ptr<const core::BitLevelStructure> structure_;
   mapping::MappingMatrix t_;
   mapping::InterconnectionPrimitives prims_;
   math::IntMat k_;

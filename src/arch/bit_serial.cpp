@@ -12,8 +12,20 @@ namespace {
 constexpr std::size_t kA = 0, kB = 1, kC = 2, kS = 3;
 }  // namespace
 
-BitSerialMultiplier::BitSerialMultiplier(Int p) : p_(p) {
-  BL_REQUIRE(p >= 1 && p <= 31, "operand width must be in [1, 31] bits");
+BitSerialMultiplier::BitSerialMultiplier(Int p)
+    : p_(p),
+      triplet_([&] {
+        BL_REQUIRE(p >= 1 && p <= 31, "operand width must be in [1, 31] bits");
+        return arith::AddShiftMultiplier(p).triplet();
+      }()),
+      t_(math::IntMat{{0, 1}, {2, 1}}),
+      line_{math::IntMat{{1, -1, 0}}, "line"},
+      k_(0, 0) {
+  // Verify Definition 4.1 and freeze the routing ONCE per instance —
+  // multiply() reuses the plan instead of re-deriving it per call.
+  const auto report = mapping::check_feasible(triplet_.domain, triplet_.deps, t_, line_);
+  BL_REQUIRE(report.ok, "the bit-serial mapping must be feasible: " + report.to_string());
+  k_ = *report.k;
 }
 
 BitSerialMultiplier::Result BitSerialMultiplier::multiply(std::uint64_t a,
@@ -22,13 +34,6 @@ BitSerialMultiplier::Result BitSerialMultiplier::multiply(std::uint64_t a,
   BL_REQUIRE(p == 1 || a < (1ULL << (p - 1)),
              "bit-serial multiplicand must keep its top bit clear (paper-exact grid)");
   BL_REQUIRE(b <= arith::max_value(static_cast<int>(p)), "multiplier must fit in p bits");
-
-  const arith::AddShiftMultiplier mult(p);
-  const ir::AlgorithmTriplet triplet = mult.triplet();
-  const mapping::MappingMatrix t(math::IntMat{{0, 1}, {2, 1}});
-  const mapping::InterconnectionPrimitives line{math::IntMat{{1, -1, 0}}, "line"};
-  const auto report = mapping::check_feasible(triplet.domain, triplet.deps, t, line);
-  BL_REQUIRE(report.ok, "the bit-serial mapping must be feasible: " + report.to_string());
 
   sim::ExternalFn external = [&](const math::IntVec& i, std::size_t column) -> sim::Outputs {
     sim::Outputs out(4, 0);
@@ -52,7 +57,7 @@ BitSerialMultiplier::Result BitSerialMultiplier::multiply(std::uint64_t a,
     return out;
   };
 
-  sim::Machine machine({triplet.domain, triplet.deps, t, line, *report.k, {"a", "b", "c", "s"}},
+  sim::Machine machine({triplet_.domain, triplet_.deps, t_, line_, k_, {"a", "b", "c", "s"}},
                        compute, external);
   Result result;
   result.stats = machine.run();

@@ -20,6 +20,7 @@
 
 #include <cstdint>
 
+#include "ir/triplet.hpp"
 #include "sim/machine.hpp"
 
 namespace bitlevel::arch {
@@ -29,6 +30,9 @@ using math::Int;
 /// A p-cell linear array multiplying a * b bit-serially.
 class BitSerialMultiplier {
  public:
+  /// Composes the add-shift triplet, verifies the linear mapping
+  /// (Definition 4.1) and freezes the routing once; multiply() only
+  /// streams operands through the frozen machine plan.
   explicit BitSerialMultiplier(Int p);
 
   Int p() const { return p_; }
@@ -50,6 +54,12 @@ class BitSerialMultiplier {
 
  private:
   Int p_;
+  // The frozen design: composed in the constructor, reused by every
+  // multiply() call (one feasibility check per multiplier instance).
+  ir::AlgorithmTriplet triplet_;
+  mapping::MappingMatrix t_;
+  mapping::InterconnectionPrimitives line_;
+  math::IntMat k_;
 };
 
 }  // namespace bitlevel::arch

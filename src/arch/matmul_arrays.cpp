@@ -1,12 +1,27 @@
 #include "arch/matmul_arrays.hpp"
 
-#include "core/expansion.hpp"
-#include "core/workload.hpp"
-#include "ir/kernels.hpp"
+#include "pipeline/cache.hpp"
 #include "support/error.hpp"
 #include "support/rng.hpp"
 
 namespace bitlevel::arch {
+
+namespace {
+
+/// The cached design plan of a (possibly batched) published matmul
+/// array: one Theorem 3.1 expansion + one feasibility check per
+/// distinct (u, p, mapping, batch) key per process.
+pipeline::PlanPtr matmul_plan(MatmulMapping which, math::Int u, math::Int p, math::Int batch) {
+  pipeline::DesignRequest request;
+  request.kernel = pipeline::KernelSpec{"matmul", u, 0, 0, batch};
+  request.p = p;
+  request.expansion = core::Expansion::kII;
+  request.mapping = which == MatmulMapping::kFig4 ? pipeline::MappingStrategy::kPublishedFig4
+                                                  : pipeline::MappingStrategy::kPublishedFig5;
+  return pipeline::global_plan_cache().get_or_compose(request);
+}
+
+}  // namespace
 
 WordMatrix::WordMatrix(Int u, std::uint64_t fill)
     : u_(u), data_(static_cast<std::size_t>(u * u), fill) {
@@ -45,28 +60,11 @@ WordMatrix WordMatrix::random(Int u, std::uint64_t bound, std::uint64_t seed) {
   return m;
 }
 
-mapping::MappingMatrix matmul_mapping(MatmulMapping which, Int p) {
-  if (which == MatmulMapping::kFig4) {
-    // T of (4.2).
-    return mapping::MappingMatrix(
-        math::IntMat{{p, 0, 0, 1, 0}, {0, p, 0, 0, 1}, {1, 1, 1, 2, 1}});
-  }
-  // T' of (4.6).
-  return mapping::MappingMatrix(
-      math::IntMat{{p, 0, 0, 1, 0}, {0, p, 0, 0, 1}, {p, p, 1, 2, 1}});
-}
-
-mapping::InterconnectionPrimitives matmul_primitives(MatmulMapping which, Int p) {
-  return which == MatmulMapping::kFig4 ? mapping::InterconnectionPrimitives::fig4(p)
-                                       : mapping::InterconnectionPrimitives::mesh2d_diag();
-}
-
 BitLevelMatmulArray::BitLevelMatmulArray(MatmulMapping which, Int u, Int p)
-    : which_(which),
-      u_(u),
-      p_(p),
-      array_(core::expand(ir::kernels::matmul(u), p, core::Expansion::kII),
-             matmul_mapping(which, p), matmul_primitives(which, p)) {}
+    : which_(which), u_(u), p_(p), array_([&] {
+        const pipeline::PlanPtr plan = matmul_plan(which, u, p, 0);
+        return BitLevelArray(plan->structure, *plan->t, *plan->prims, plan->k);
+      }()) {}
 
 MatmulRunResult BitLevelMatmulArray::multiply(const WordMatrix& x, const WordMatrix& y) const {
   BL_REQUIRE(x.u() == u_ && y.u() == u_, "operand extents must match the array");
@@ -82,11 +80,7 @@ MatmulRunResult BitLevelMatmulArray::multiply(const WordMatrix& x, const WordMat
 }
 
 Int BitLevelMatmulArray::batch_initiation_interval() const {
-  // Every PE is busy for u consecutive cycles per problem (the j3
-  // coefficient of both published schedules is 1), and the injectivity
-  // analysis shows a batch offset of u is the smallest conflict-free
-  // one.
-  return u_;
+  return mapping::published_matmul_initiation_interval(u_);
 }
 
 BatchRunResult BitLevelMatmulArray::multiply_batch(const std::vector<WordMatrix>& xs,
@@ -97,25 +91,12 @@ BatchRunResult BitLevelMatmulArray::multiply_batch(const std::vector<WordMatrix>
   for (const auto& m : xs) BL_REQUIRE(m.u() == u_, "operand extents must match the array");
   for (const auto& m : ys) BL_REQUIRE(m.u() == u_, "operand extents must match the array");
 
-  // Compose a batch axis into the word-level model: chains and operand
-  // pipelines stay within a batch (zero batch components).
-  const ir::WordLevelModel batched = core::batch_model(ir::kernels::matmul(u_), batches);
-  const core::BitLevelStructure s = core::expand(batched, p_, core::Expansion::kII);
-
-  // The batched mapping: same S (batch-blind), schedule offset by the
-  // initiation interval per batch. Feasibility (incl. conflict-freedom
-  // across batches) is re-verified by the array constructor.
-  const mapping::MappingMatrix base = matmul_mapping(which_, p_);
-  math::IntMat tb(3, 6);
-  for (std::size_t r = 0; r < 2; ++r) {
-    tb.at(r, 0) = 0;
-    for (std::size_t c = 0; c < 5; ++c) tb.at(r, c + 1) = base.matrix().at(r, c);
-  }
-  tb.at(2, 0) = batch_initiation_interval();
-  for (std::size_t c = 0; c < 5; ++c) tb.at(2, c + 1) = base.matrix().at(2, c);
-
-  BitLevelArray array(s, mapping::MappingMatrix(std::move(tb)),
-                      matmul_primitives(which_, p_));
+  // The batched design (batch axis composed into the word-level model,
+  // batch-blind S, schedule offset by the initiation interval) comes
+  // from the plan cache: the expansion and the Definition 4.1 machinery
+  // run once per (u, p, mapping, batch) key, not once per call.
+  const pipeline::PlanPtr plan = matmul_plan(which_, u_, p_, batches);
+  BitLevelArray array(plan->structure, *plan->t, *plan->prims, plan->k);
   array.set_threads(array_.threads());
   array.set_memory_mode(array_.memory_mode());
   const auto raw = array.run(

@@ -8,12 +8,17 @@
 // Both are thin wrappers that compose matmul's word-level model,
 // Expansion II, the published mapping matrices, and the matching
 // interconnection primitives into a BitLevelArray, and speak in terms
-// of u x u operand matrices.
+// of u x u operand matrices. Composition is routed through the global
+// design-plan cache (pipeline::global_plan_cache()), so constructing
+// many arrays — or streaming many batches — for the same
+// (u, p, mapping) performs Theorem 3.1's expansion and the feasibility
+// machinery exactly once per key.
 #pragma once
 
 #include <vector>
 
 #include "arch/bit_array.hpp"
+#include "mapping/published.hpp"
 
 namespace bitlevel::arch {
 
@@ -45,15 +50,21 @@ struct MatmulRunResult {
   sim::SimulationStats stats;
 };
 
-/// Which of the paper's two mappings to instantiate.
-enum class MatmulMapping { kFig4, kFig5 };
+/// Which of the paper's two mappings to instantiate. The matrices
+/// themselves live in mapping/published.hpp so the design pipeline can
+/// use them too; these aliases keep the arch-level spelling.
+using MatmulMapping = mapping::PublishedMapping;
 
 /// The mapping matrix T of (4.2) / T' of (4.6) for word length p.
-mapping::MappingMatrix matmul_mapping(MatmulMapping which, Int p);
+inline mapping::MappingMatrix matmul_mapping(MatmulMapping which, Int p) {
+  return mapping::published_matmul_mapping(which, p);
+}
 
 /// The primitive set the mapping was designed for: (4.3) for Fig. 4,
 /// (4.7) for Fig. 5.
-mapping::InterconnectionPrimitives matmul_primitives(MatmulMapping which, Int p);
+inline mapping::InterconnectionPrimitives matmul_primitives(MatmulMapping which, Int p) {
+  return mapping::published_matmul_primitives(which, p);
+}
 
 /// Result of streaming a batch of products through one array.
 struct BatchRunResult {
@@ -99,9 +110,11 @@ class BitLevelMatmulArray {
   /// every PE is busy for u consecutive cycles per problem, so batches
   /// interleave conflict-free and PE utilization approaches 1 as the
   /// stream grows). Implemented by composing a batch axis into the
-  /// word-level model — the whole Definition 4.1 machinery re-verifies
-  /// the batched mapping. Fig. 4 only (the Fig. 5 schedule needs a
-  /// (2p+1)-cycle interval; supported the same way).
+  /// word-level model — the whole Definition 4.1 machinery verifies the
+  /// batched mapping ONCE per (u, p, batch) key in the plan cache;
+  /// repeat runs reuse the cached plan instead of re-expanding. Fig. 4
+  /// only (the Fig. 5 schedule needs a (2p+1)-cycle interval; supported
+  /// the same way).
   BatchRunResult multiply_batch(const std::vector<WordMatrix>& xs,
                                 const std::vector<WordMatrix>& ys) const;
 

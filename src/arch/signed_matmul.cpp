@@ -67,6 +67,8 @@ SignedMatmulResult multiply_signed(const BitLevelMatmulArray& array, Int w,
   }
 
   // Three unsigned passes: the product and the two correction sums.
+  // All three stream through ONE array instance, so the design plan
+  // (expansion + feasibility) composed for it is reused, not rebuilt.
   const MatmulRunResult prod = array.multiply(xe, ye);
   const MatmulRunResult row_sums = array.multiply(xe, ones);   // (i,j) -> sum_k x'_ik
   const MatmulRunResult col_sums = array.multiply(ones, ye);   // (i,j) -> sum_k y'_kj

@@ -11,19 +11,25 @@ constexpr std::size_t kX = 0, kY = 1, kZ = 2;
 }  // namespace
 
 WordLevelMatmulArray::WordLevelMatmulArray(Int u, arith::WordMultiplier multiplier, Int p)
-    : u_(u), p_(p), multiplier_(multiplier) {
-  BL_REQUIRE(u >= 1 && p >= 1, "array extents must be >= 1");
+    : u_(u),
+      p_(p),
+      multiplier_(multiplier),
+      triplet_([&] {
+        BL_REQUIRE(u >= 1 && p >= 1, "array extents must be >= 1");
+        return ir::kernels::matmul(u).triplet();
+      }()),
+      t_(math::IntMat{{1, 0, 0}, {0, 1, 0}, {1, 1, 1}}),
+      prims_(mapping::InterconnectionPrimitives::mesh2d()),
+      k_(0, 0) {
+  // Verify Definition 4.1 and freeze the routing ONCE per instance —
+  // multiply() reuses the plan instead of re-deriving it per call.
+  const auto report = mapping::check_feasible(triplet_.domain, triplet_.deps, t_, prims_);
+  BL_REQUIRE(report.ok, "word-level mapping must be feasible: " + report.to_string());
+  k_ = *report.k;
 }
 
 WordRunResult WordLevelMatmulArray::multiply(const WordMatrix& x, const WordMatrix& y) const {
   BL_REQUIRE(x.u() == u_ && y.u() == u_, "operand extents must match the array");
-  const ir::WordLevelModel model = ir::kernels::matmul(u_);
-  const ir::AlgorithmTriplet triplet = model.triplet();
-
-  const mapping::MappingMatrix t(math::IntMat{{1, 0, 0}, {0, 1, 0}, {1, 1, 1}});
-  const auto prims = mapping::InterconnectionPrimitives::mesh2d();
-  const auto report = mapping::check_feasible(triplet.domain, triplet.deps, t, prims);
-  BL_REQUIRE(report.ok, "word-level mapping must be feasible: " + report.to_string());
 
   sim::ExternalFn external = [&](const IntVec& j, std::size_t column) -> sim::Outputs {
     sim::Outputs out(3, 0);
@@ -42,8 +48,8 @@ WordRunResult WordLevelMatmulArray::multiply(const WordMatrix& x, const WordMatr
     return out;
   };
 
-  sim::MachineConfig cfg{triplet.domain, triplet.deps, t,
-                         prims,          *report.k,    {"x", "y", "z"},
+  sim::MachineConfig cfg{triplet_.domain, triplet_.deps, t_,
+                         prims_,          k_,           {"x", "y", "z"},
                          threads_};
   cfg.memory = memory_;
   if (memory_ == sim::MemoryMode::kStreaming) {

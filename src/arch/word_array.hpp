@@ -11,6 +11,7 @@
 
 #include "arch/matmul_arrays.hpp"
 #include "arith/multiplier_model.hpp"
+#include "ir/triplet.hpp"
 
 namespace bitlevel::arch {
 
@@ -24,6 +25,9 @@ struct WordRunResult {
 /// The u x u word-level systolic matmul array.
 class WordLevelMatmulArray {
  public:
+  /// Composes the word-level triplet, verifies the [Li & Wah 1985]
+  /// mapping (Definition 4.1) and freezes the routing once; multiply()
+  /// only streams operands through the frozen plan.
   WordLevelMatmulArray(Int u, arith::WordMultiplier multiplier, Int p);
 
   Int u() const { return u_; }
@@ -60,6 +64,12 @@ class WordLevelMatmulArray {
   Int u_;
   Int p_;
   arith::WordMultiplier multiplier_;
+  // The frozen design: composed in the constructor, reused by every
+  // multiply() call (one feasibility check per array instance).
+  ir::AlgorithmTriplet triplet_;
+  mapping::MappingMatrix t_;
+  mapping::InterconnectionPrimitives prims_;
+  math::IntMat k_;
   int threads_ = 0;
   sim::MemoryMode memory_ = sim::MemoryMode::kDense;
 };

@@ -7,7 +7,11 @@
 namespace bitlevel::core {
 
 VerificationReport verify_expansion(const ir::WordLevelModel& word, Int p, Expansion e) {
-  BitLevelStructure s = expand(word, p, e);
+  return verify_expansion(word, p, e, expand(word, p, e));
+}
+
+VerificationReport verify_expansion(const ir::WordLevelModel& word, Int p, Expansion e,
+                                    const BitLevelStructure& structure) {
   const ir::Program program = make_bitlevel_program(word, p, e);
   const auto trace = analysis::trace_dependences(program);
 
@@ -16,8 +20,8 @@ VerificationReport verify_expansion(const ir::WordLevelModel& word, Int p, Expan
     if (!math::is_zero(inst.distance())) ++nonzero;
   }
 
-  VerificationReport report{analysis::match_structure(s.deps, s.domain, trace), nonzero,
-                            std::move(s)};
+  VerificationReport report{analysis::match_structure(structure.deps, structure.domain, trace),
+                            nonzero, structure};
   return report;
 }
 

@@ -27,4 +27,10 @@ struct VerificationReport {
 /// independently generated bit-level program.
 VerificationReport verify_expansion(const ir::WordLevelModel& word, Int p, Expansion e);
 
+/// Verify an ALREADY composed structure (e.g. a cached design plan's)
+/// against the trace, skipping the re-expansion. `structure` must be
+/// the Theorem 3.1 composition of (word, p, e).
+VerificationReport verify_expansion(const ir::WordLevelModel& word, Int p, Expansion e,
+                                    const BitLevelStructure& structure);
+
 }  // namespace bitlevel::core

@@ -100,4 +100,48 @@ WordLevelModel scalar_chain(Int l, Int u, Int h) {
   return m;
 }
 
+const std::vector<KernelInfo>& registry() {
+  static const std::vector<KernelInfo> kRegistry = {
+      {"matmul", 1, "u (matrix extent)", "square matrix multiplication Z = X * Y, program (2.3)",
+       [](Int u, Int, Int) { return matmul(u); }},
+      {"matmul_rect", 3, "u (rows of X), v (cols of Y), w (inner extent)",
+       "rectangular matrix multiplication over [1,u]x[1,v]x[1,w]",
+       [](Int u, Int v, Int w) { return matmul_rect(u, v, w); }},
+      {"conv", 2, "u (outputs), v (taps)", "1-D convolution with anti-diagonal input pipelining",
+       [](Int u, Int v, Int) { return convolution1d(u, v); }},
+      {"matvec", 2, "u (rows), v (cols)",
+       "matrix-vector multiplication; coefficients enter externally",
+       [](Int u, Int v, Int) { return matvec(u, v); }},
+      {"transform", 1, "u (points)", "dense N-point DCT/DFT-style transform (matvec shape)",
+       [](Int u, Int, Int) { return transform(u); }},
+      {"scalar", 1, "u (chain length)", "the 1-D scalar chain (3.7) of Section 3's exposition",
+       [](Int u, Int, Int) { return scalar_chain(1, u, 1); }},
+  };
+  return kRegistry;
+}
+
+const KernelInfo* find_kernel(const std::string& name) {
+  for (const auto& info : registry()) {
+    if (info.name == name) return &info;
+  }
+  return nullptr;
+}
+
+std::string registered_names() {
+  std::string names;
+  for (const auto& info : registry()) {
+    if (!names.empty()) names += ", ";
+    names += info.name;
+  }
+  return names;
+}
+
+WordLevelModel make_registered(const std::string& name, Int u, Int v, Int w) {
+  const KernelInfo* info = find_kernel(name);
+  if (info == nullptr) {
+    throw NotFoundError("unknown kernel '" + name + "' (known: " + registered_names() + ")");
+  }
+  return info->make(u, v, w);
+}
+
 }  // namespace bitlevel::ir::kernels

@@ -8,6 +8,9 @@
 // Fortes-Moldovan broadcast elimination.
 #pragma once
 
+#include <string>
+#include <vector>
+
 #include "ir/program.hpp"
 #include "ir/triplet.hpp"
 
@@ -53,5 +56,36 @@ WordLevelModel transform(Int n);
 /// The generic 1-D instance (3.7) used throughout Section 3's
 /// exposition: DO (j = l, u) with scalar strides h1 = h2 = h3 = h.
 WordLevelModel scalar_chain(Int l, Int u, Int h);
+
+// ---------------------------------------------------------------------
+// Data-driven kernel registry.
+//
+// Every kernel the design pipeline (and the CLI) can instantiate by
+// name, with enough metadata to canonicalize requests, validate
+// arguments, and print the allowed set on errors. Factories take the
+// uniform (u, v, w) extent triple; `arity` says how many of those the
+// kernel consumes (unused extents are ignored and canonicalized away).
+
+/// Registry metadata for one named kernel.
+struct KernelInfo {
+  std::string name;          ///< CLI-facing name, e.g. "conv".
+  int arity = 1;             ///< Extent parameters consumed: 1 = u, 2 = u,v, 3 = u,v,w.
+  const char* params = "";   ///< Human-readable parameter meanings.
+  const char* summary = "";  ///< One-line description.
+  WordLevelModel (*make)(Int u, Int v, Int w) = nullptr;
+};
+
+/// All registered kernels, in presentation order.
+const std::vector<KernelInfo>& registry();
+
+/// Lookup by name; nullptr when unknown.
+const KernelInfo* find_kernel(const std::string& name);
+
+/// Comma-separated list of registered names, for error messages.
+std::string registered_names();
+
+/// Instantiate a registered kernel; throws NotFoundError naming the
+/// allowed set when `name` is unknown.
+WordLevelModel make_registered(const std::string& name, Int u, Int v, Int w);
 
 }  // namespace bitlevel::ir::kernels

@@ -1,0 +1,33 @@
+#include "mapping/published.hpp"
+
+namespace bitlevel::mapping {
+
+MappingMatrix published_matmul_mapping(PublishedMapping which, Int p) {
+  if (which == PublishedMapping::kFig4) {
+    // T of (4.2).
+    return MappingMatrix(math::IntMat{{p, 0, 0, 1, 0}, {0, p, 0, 0, 1}, {1, 1, 1, 2, 1}});
+  }
+  // T' of (4.6).
+  return MappingMatrix(math::IntMat{{p, 0, 0, 1, 0}, {0, p, 0, 0, 1}, {p, p, 1, 2, 1}});
+}
+
+InterconnectionPrimitives published_matmul_primitives(PublishedMapping which, Int p) {
+  return which == PublishedMapping::kFig4 ? InterconnectionPrimitives::fig4(p)
+                                          : InterconnectionPrimitives::mesh2d_diag();
+}
+
+Int published_matmul_initiation_interval(Int u) { return u; }
+
+MappingMatrix published_matmul_batched_mapping(PublishedMapping which, Int p, Int u) {
+  const MappingMatrix base = published_matmul_mapping(which, p);
+  math::IntMat tb(3, 6);
+  for (std::size_t r = 0; r < 2; ++r) {
+    tb.at(r, 0) = 0;
+    for (std::size_t c = 0; c < 5; ++c) tb.at(r, c + 1) = base.matrix().at(r, c);
+  }
+  tb.at(2, 0) = published_matmul_initiation_interval(u);
+  for (std::size_t c = 0; c < 5; ++c) tb.at(2, c + 1) = base.matrix().at(2, c);
+  return MappingMatrix(std::move(tb));
+}
+
+}  // namespace bitlevel::mapping

@@ -1,0 +1,40 @@
+// The paper's published bit-level matmul mappings (Section 4).
+//
+// Fig. 4 (eq. 4.2): time-optimal mapping with long [p,0]/[0,p] wires.
+// Fig. 5 (eq. 4.6): nearest-neighbour wiring only, slower schedule.
+//
+// These are pure data — the T matrices and the primitive sets they were
+// designed for — placed in the mapping layer so both the design
+// pipeline (published-mapping strategy, explorer fallback) and the arch
+// wrappers can share one definition. The batched variants extend T with
+// a leading batch column whose schedule entry is the initiation
+// interval, streaming independent problem instances through one array.
+#pragma once
+
+#include "mapping/primitives.hpp"
+#include "mapping/transform.hpp"
+
+namespace bitlevel::mapping {
+
+/// Which of the paper's two matmul mappings.
+enum class PublishedMapping { kFig4, kFig5 };
+
+/// The mapping matrix T of (4.2) / T' of (4.6) for word length p.
+MappingMatrix published_matmul_mapping(PublishedMapping which, Int p);
+
+/// The primitive set the mapping was designed for: (4.3) for Fig. 4,
+/// (4.7) for Fig. 5.
+InterconnectionPrimitives published_matmul_primitives(PublishedMapping which, Int p);
+
+/// The initiation interval of the published schedules for u x u
+/// operands: every PE is busy for u consecutive cycles per problem (the
+/// j3 coefficient of both schedules is 1), and the injectivity analysis
+/// shows a batch offset of u is the smallest conflict-free one.
+Int published_matmul_initiation_interval(Int u);
+
+/// T extended for a batched model (leading batch coordinate): the space
+/// rows are batch-blind, the schedule offsets each batch by the
+/// initiation interval for u x u operands.
+MappingMatrix published_matmul_batched_mapping(PublishedMapping which, Int p, Int u);
+
+}  // namespace bitlevel::mapping

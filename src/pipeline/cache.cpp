@@ -1,0 +1,116 @@
+#include "pipeline/cache.hpp"
+
+#include <chrono>
+#include <utility>
+
+#include "support/error.hpp"
+
+namespace bitlevel::pipeline {
+
+namespace {
+
+bool ready(const std::shared_future<PlanPtr>& f) {
+  return f.wait_for(std::chrono::seconds(0)) == std::future_status::ready;
+}
+
+}  // namespace
+
+PlanCache::PlanCache(std::size_t capacity) : capacity_(capacity) {
+  BL_REQUIRE(capacity >= 1, "plan cache capacity must be >= 1");
+}
+
+void PlanCache::evict_excess_locked() {
+  // Walk from least-recently-used, skipping in-flight compositions:
+  // evicting one would let a concurrent caller start a second
+  // composition of the same key, breaking the one-compose-per-key
+  // guarantee. (Waiters hold their own shared_future copies, so an
+  // evicted READY entry never invalidates anyone.)
+  auto it = lru_.end();
+  while (index_.size() > capacity_ && it != lru_.begin()) {
+    --it;
+    if (!ready(it->plan)) continue;
+    index_.erase(it->key);
+    it = lru_.erase(it);
+    ++evictions_;
+  }
+}
+
+PlanPtr PlanCache::get_or_compose(const DesignRequest& request) {
+  const std::string key = canonical_key(request);
+  std::promise<PlanPtr> promise;
+  std::shared_future<PlanPtr> fut;
+  std::uint64_t my_tag = 0;
+  bool compose_here = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = index_.find(key);
+    if (it != index_.end()) {
+      ++hits_;
+      lru_.splice(lru_.begin(), lru_, it->second);
+      fut = it->second->plan;
+    } else {
+      ++misses_;
+      compose_here = true;
+      fut = promise.get_future().share();
+      my_tag = ++tag_;
+      lru_.push_front(Entry{key, fut, my_tag});
+      index_.emplace(key, lru_.begin());
+      evict_excess_locked();
+    }
+  }
+  if (!compose_here) return fut.get();
+
+  try {
+    PlanPtr plan = compose(request);
+    promise.set_value(plan);
+    return plan;
+  } catch (...) {
+    promise.set_exception(std::current_exception());
+    {
+      // Remove the failed entry (if still ours) so a later call retries
+      // instead of resurfacing a stale failure forever.
+      std::lock_guard<std::mutex> lock(mu_);
+      const auto it = index_.find(key);
+      if (it != index_.end() && it->second->tag == my_tag) {
+        lru_.erase(it->second);
+        index_.erase(it);
+      }
+    }
+    throw;
+  }
+}
+
+PlanPtr PlanCache::peek(const std::string& key) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = index_.find(key);
+  if (it == index_.end() || !ready(it->second->plan)) return nullptr;
+  return it->second->plan.get();
+}
+
+PlanCacheStats PlanCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return PlanCacheStats{hits_, misses_, evictions_, index_.size(), capacity_};
+}
+
+void PlanCache::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  lru_.clear();
+  index_.clear();
+  hits_ = misses_ = evictions_ = 0;
+}
+
+void PlanCache::set_capacity(std::size_t capacity) {
+  BL_REQUIRE(capacity >= 1, "plan cache capacity must be >= 1");
+  std::lock_guard<std::mutex> lock(mu_);
+  capacity_ = capacity;
+  evict_excess_locked();
+}
+
+PlanCache& global_plan_cache() {
+  // Leaked intentionally: arch wrappers may run during static
+  // destruction of other translation units.
+  static PlanCache* cache = new PlanCache();
+  return *cache;
+}
+
+}  // namespace bitlevel::pipeline

@@ -1,0 +1,81 @@
+// Content-addressed, LRU-bounded, thread-safe plan cache.
+//
+// The cache guarantees the acceptance property of the pipeline layer:
+// exactly ONE Theorem 3.1 expansion and ONE mapping search per distinct
+// canonical request key per process. Concurrent requests for the same
+// key rendezvous on a shared future — the first caller composes, every
+// other caller (and every later one) shares the same immutable plan.
+// Capacity is bounded with least-recently-used eviction; hit/miss/
+// eviction counters feed the CLI's --json output and the reuse tests.
+#pragma once
+
+#include <cstdint>
+#include <future>
+#include <list>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "pipeline/compose.hpp"
+
+namespace bitlevel::pipeline {
+
+/// Counter snapshot; all counts are since construction or clear().
+struct PlanCacheStats {
+  std::uint64_t hits = 0;       ///< Lookups served by an existing plan.
+  std::uint64_t misses = 0;     ///< Lookups that composed a new plan.
+  std::uint64_t evictions = 0;  ///< Plans dropped by the LRU bound.
+  std::size_t size = 0;         ///< Plans currently resident.
+  std::size_t capacity = 0;     ///< LRU bound.
+};
+
+class PlanCache {
+ public:
+  explicit PlanCache(std::size_t capacity = kDefaultCapacity);
+
+  /// The shared plan for the request's canonical key, composing it on
+  /// first use. Blocks concurrent callers of the same key until the
+  /// single composition finishes; a composition failure propagates its
+  /// exception to every waiter and leaves the key absent (a later call
+  /// retries). Waiting on an in-flight composition counts as a hit.
+  PlanPtr get_or_compose(const DesignRequest& request);
+
+  /// The resident plan for a key, or nullptr. Does not compose and does
+  /// not touch the counters or the LRU order.
+  PlanPtr peek(const std::string& key) const;
+
+  PlanCacheStats stats() const;
+
+  /// Drop every plan and reset the counters.
+  void clear();
+
+  /// Change the LRU bound (evicting as needed). capacity >= 1.
+  void set_capacity(std::size_t capacity);
+
+  static constexpr std::size_t kDefaultCapacity = 64;
+
+ private:
+  struct Entry {
+    std::string key;
+    std::shared_future<PlanPtr> plan;
+    std::uint64_t tag = 0;  ///< Identifies the inserting call (failure cleanup).
+  };
+  using EntryList = std::list<Entry>;
+
+  void evict_excess_locked();
+
+  mutable std::mutex mu_;
+  EntryList lru_;  ///< Front = most recently used.
+  std::unordered_map<std::string, EntryList::iterator> index_;
+  std::size_t capacity_;
+  std::uint64_t tag_ = 0;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::uint64_t evictions_ = 0;
+};
+
+/// The process-wide cache every pipeline consumer shares (arch
+/// wrappers, the CLI, run_batch). Never destroyed before exit.
+PlanCache& global_plan_cache();
+
+}  // namespace bitlevel::pipeline

@@ -1,0 +1,152 @@
+#include "pipeline/compose.hpp"
+
+#include <chrono>
+#include <sstream>
+#include <utility>
+
+#include "core/expansion.hpp"
+#include "core/workload.hpp"
+#include "ir/kernels.hpp"
+#include "mapping/published.hpp"
+#include "support/error.hpp"
+
+namespace bitlevel::pipeline {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double ms_since(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start).count();
+}
+
+/// The exploration knobs every consumer previously hand-rolled (the
+/// CLI's explore() helper): a bounded direction-set pool and schedule
+/// coefficients large enough to stay injective on the multiplexed
+/// coordinates of >= 2-D word-level kernels.
+mapping::ExploreOptions explore_options(const core::BitLevelStructure& s, int threads) {
+  mapping::ExploreOptions options;
+  options.max_direction_sets = 32;
+  options.schedule_bound = s.word_dims() >= 2 ? 3 : 2;
+  options.threads = threads;
+  return options;
+}
+
+/// The published Fig. 4 design as a fallback for 3-D word-level
+/// kernels (matmul-shaped) where the generic explorer's candidate pool
+/// cannot express the p-scaled projections of (4.2). Returns false when
+/// the structure is not matmul-shaped or the mapping is infeasible.
+bool try_published(DesignPlan& plan, mapping::PublishedMapping which) {
+  const core::BitLevelStructure& s = *plan.structure;
+  const Int batch = plan.request.kernel.batch;
+  const std::size_t base_word_dims = s.word_dims() - (batch >= 1 ? 1 : 0);
+  if (base_word_dims != 3) return false;
+  const mapping::MappingMatrix t =
+      batch >= 1
+          ? mapping::published_matmul_batched_mapping(which, s.p, plan.request.kernel.u)
+          : mapping::published_matmul_mapping(which, s.p);
+  const auto prims = mapping::published_matmul_primitives(which, s.p);
+  const auto report = mapping::check_feasible(s.domain, s.deps, t, prims);
+  if (!report.ok) return false;
+  plan.origin = MappingOrigin::kPublished;
+  plan.t = t;
+  plan.prims = prims;
+  plan.k = *report.k;
+  return true;
+}
+
+}  // namespace
+
+ir::WordLevelModel resolve_kernel(const KernelSpec& spec) {
+  ir::WordLevelModel model = ir::kernels::make_registered(spec.name, spec.u, spec.v, spec.w);
+  BL_REQUIRE(spec.batch >= 0, "batch count must be >= 0 (0 = unbatched)");
+  if (spec.batch >= 1) model = core::batch_model(model, spec.batch);
+  return model;
+}
+
+PlanPtr compose(const DesignRequest& request) {
+  // Stage 1: resolve the kernel.
+  auto start = Clock::now();
+  ir::WordLevelModel model = resolve_kernel(request.kernel);
+  const double resolve_ms = ms_since(start);
+
+  auto plan =
+      std::make_shared<DesignPlan>(DesignPlan{request, canonical_key(request), std::move(model)});
+  plan->timings.resolve_ms = resolve_ms;
+
+  // Stage 2: expand (Theorem 3.1).
+  start = Clock::now();
+  plan->structure = std::make_shared<const core::BitLevelStructure>(
+      core::expand(plan->model, request.p, request.expansion));
+  plan->timings.expand_ms = ms_since(start);
+
+  // Stage 3: map.
+  start = Clock::now();
+  const core::BitLevelStructure& s = *plan->structure;
+  switch (request.mapping) {
+    case MappingStrategy::kStructureOnly:
+      break;
+    case MappingStrategy::kExplore:
+    case MappingStrategy::kAuto: {
+      plan->explore =
+          mapping::explore_designs(s.domain, s.deps,
+                                   mapping::InterconnectionPrimitives::mesh2d_diag(),
+                                   request.objective, explore_options(s, request.threads));
+      if (!plan->explore.designs.empty()) {
+        plan->origin = MappingOrigin::kExplored;
+        plan->t = plan->explore.designs.front().t;
+        plan->prims = mapping::InterconnectionPrimitives::mesh2d_diag();
+      } else if (request.mapping == MappingStrategy::kAuto) {
+        try_published(*plan, mapping::PublishedMapping::kFig4);
+      }
+      break;
+    }
+    case MappingStrategy::kPublishedFig4:
+      BL_REQUIRE(try_published(*plan, mapping::PublishedMapping::kFig4),
+                 "published Fig. 4 mapping is infeasible for this structure");
+      break;
+    case MappingStrategy::kPublishedFig5:
+      BL_REQUIRE(try_published(*plan, mapping::PublishedMapping::kFig5),
+                 "published Fig. 5 mapping is infeasible for this structure");
+      break;
+  }
+  plan->timings.map_ms = ms_since(start);
+
+  // Stage 4: plan the machine — re-verify Definition 4.1 for explored
+  // mappings and freeze the routing matrix K. (Published mappings
+  // computed K during selection.)
+  start = Clock::now();
+  if (plan->t.has_value() && !plan->k.has_value()) {
+    const auto report = mapping::check_feasible(s.domain, s.deps, *plan->t, *plan->prims);
+    BL_REQUIRE(report.ok, "composed mapping is infeasible: " + report.to_string());
+    plan->k = *report.k;
+  }
+  plan->timings.machine_ms = ms_since(start);
+
+  return plan;
+}
+
+std::string to_string(MappingOrigin origin) {
+  switch (origin) {
+    case MappingOrigin::kNone:
+      return "none";
+    case MappingOrigin::kExplored:
+      return "explored";
+    case MappingOrigin::kPublished:
+      return "published";
+  }
+  return "?";
+}
+
+std::string DesignPlan::to_string() const {
+  std::ostringstream os;
+  os << "plan " << key << "\n";
+  os << "  domain " << structure->domain.to_string() << " (" << structure->domain.size()
+     << " points)\n";
+  os << "  mapping: " << pipeline::to_string(origin);
+  if (t.has_value()) os << "\n" << t->to_string();
+  os << "\n";
+  return os.str();
+}
+
+}  // namespace bitlevel::pipeline

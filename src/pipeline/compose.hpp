@@ -1,0 +1,37 @@
+// The staged compose pipeline: DesignRequest -> DesignPlan.
+//
+// Theorem 3.1 presents the bit-level design as a composition of three
+// components; compose() makes that composition an explicit sequence of
+// passes, each a separately reusable level (in the multilevel spirit of
+// D'Amore et al.):
+//
+//   1. resolve  — kernel registry name -> word-level model (3.5), with
+//                 the batch axis composed for problem pipelining;
+//   2. expand   — Theorem 3.1: word structure x arithmetic structure x
+//                 expansion -> bit-level (J, D);
+//   3. map      — a space/time mapping per the request's strategy
+//                 (design-space exploration, the published Fig. 4/5
+//                 matrices, or exploration with published fallback);
+//   4. machine  — Definition 4.1 feasibility + the routing matrix K,
+//                 i.e. everything the cycle-accurate machine needs.
+//
+// compose() is the cold path; callers wanting reuse go through
+// PlanCache::get_or_compose(), which guarantees one composition per
+// canonical key per process.
+#pragma once
+
+#include "pipeline/plan.hpp"
+
+namespace bitlevel::pipeline {
+
+/// Stage 1 alone: resolve a kernel spec to its word-level model.
+/// Throws NotFoundError (naming the allowed set) for unknown names.
+ir::WordLevelModel resolve_kernel(const KernelSpec& spec);
+
+/// Run all stages. The returned plan has a mapping unless the strategy
+/// was kStructureOnly or exploration (without a usable fallback) found
+/// no feasible design; published strategies throw PreconditionError
+/// when the published mapping is infeasible for the structure.
+PlanPtr compose(const DesignRequest& request);
+
+}  // namespace bitlevel::pipeline

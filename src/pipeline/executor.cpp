@@ -1,0 +1,192 @@
+#include "pipeline/executor.hpp"
+
+#include "arith/bits.hpp"
+#include "core/expansion.hpp"
+#include "sim/machine.hpp"
+#include "support/error.hpp"
+
+namespace bitlevel::pipeline {
+
+namespace {
+
+// Channel layout of the compressor cell's output bundle.
+constexpr std::size_t kX = 0, kY = 1, kZ = 2, kC = 3, kCp = 4;
+
+std::vector<std::string> cell_channels() { return {"x", "y", "z", "c", "cp"}; }
+
+}  // namespace
+
+PlanRunResult run_mapped_structure(const core::BitLevelStructure& structure,
+                                   const mapping::MappingMatrix& t,
+                                   const mapping::InterconnectionPrimitives& prims,
+                                   const math::IntMat& k, const core::OperandFn& x,
+                                   const core::OperandFn& y, const RunOptions& options) {
+  using math::Int;
+  using math::IntVec;
+  const Int p = structure.p;
+  const std::size_t n = structure.word_dims();
+  const std::size_t i1c = structure.i1_coord();
+  const std::size_t i2c = structure.i2_coord();
+  const auto& deps = structure.deps;
+  const ir::ValidityRegion boundary =
+      core::accumulation_boundary(structure.word, structure.dim());
+
+  // Locate the columns by their role (cause labels set by expand()).
+  // d1/d2 may be absent when the operand is an external input.
+  std::size_t col_d1 = deps.size(), col_d2 = deps.size(), col_d3 = deps.size();
+  std::size_t col_d4 = deps.size(), col_d5 = deps.size(), col_d6 = deps.size(),
+              col_d7 = deps.size();
+  for (std::size_t i = 0; i < deps.size(); ++i) {
+    const auto& col = deps[i];
+    const bool word_level = !math::is_zero(
+        IntVec(col.d.begin(), col.d.begin() + static_cast<std::ptrdiff_t>(n)));
+    if (col.cause == "x") {
+      (word_level ? col_d1 : col_d4) = i;
+    } else if (col.cause == "y") {
+      col_d2 = i;
+    } else if (col.cause == "y,c") {
+      col_d5 = i;
+    } else if (col.cause == "z") {
+      (word_level ? col_d3 : col_d6) = i;
+    } else if (col.cause == "c'") {
+      col_d7 = i;
+    }
+  }
+  BL_REQUIRE(col_d3 < deps.size() && col_d4 < deps.size() && col_d5 < deps.size() &&
+                 col_d6 < deps.size() && col_d7 < deps.size(),
+             "structure is missing expected expansion columns");
+
+  auto word_part = [n](const IntVec& q) {
+    return IntVec(q.begin(), q.begin() + static_cast<std::ptrdiff_t>(n));
+  };
+
+  // Fresh operand bits entering the array.
+  auto x_bit = [&](const IntVec& q) {
+    return static_cast<Int>((x(word_part(q)) >> (q[i2c] - 1)) & 1U);
+  };
+  auto y_bit = [&](const IntVec& q) {
+    return static_cast<Int>((y(word_part(q)) >> (q[i1c] - 1)) & 1U);
+  };
+
+  sim::ExternalFn external = [&](const IntVec& q, std::size_t column) -> sim::Outputs {
+    sim::Outputs out(5, 0);
+    // A column's external bundle plays the producer's role: fresh
+    // operand bits for the pipelines, zeros for sums and carries
+    // (the initial values of programs (3.1)/(3.5)).
+    if (column == col_d1 || column == col_d4) out[kX] = x_bit(q);
+    if (column == col_d2 || column == col_d5) out[kY] = y_bit(q);
+    return out;
+  };
+
+  sim::ComputeFn compute = [&](const IntVec& q,
+                               const std::vector<sim::ColumnInput>& in) -> sim::Outputs {
+    auto bundle = [&](std::size_t column) -> const Int* {
+      if (column >= in.size() || !in[column].valid) return nullptr;
+      return in[column].producer;
+    };
+    // Operand bits: from the word-level pipeline at the grid face, from
+    // the grid pipeline elsewhere, or directly from outside when the
+    // word-level model supplies them externally (absent h1/h2).
+    const Int* bx = bundle(col_d4);
+    if (bx == nullptr && col_d1 < in.size()) bx = bundle(col_d1);
+    const Int xv = bx != nullptr ? bx[kX] : x_bit(q);
+    const Int* by = bundle(col_d5);
+    if (by == nullptr && col_d2 < in.size()) by = bundle(col_d2);
+    const Int yv = by != nullptr ? by[kY] : y_bit(q);
+
+    const Int pp = xv & yv;
+    const Int* z3 = bundle(col_d3);
+    const Int* z6 = bundle(col_d6);
+    const Int* c5 = bundle(col_d5);
+    const Int* c7 = bundle(col_d7);
+    const Int total = pp + (z3 != nullptr ? z3[kZ] : 0) + (z6 != nullptr ? z6[kZ] : 0) +
+                      (c5 != nullptr ? c5[kC] : 0) + (c7 != nullptr ? c7[kCp] : 0);
+
+    sim::Outputs out(5, 0);
+    out[kX] = xv;
+    out[kY] = yv;
+    out[kZ] = total & 1;
+    out[kC] = (total >> 1) & 1;
+    out[kCp] = (total >> 2) & 1;
+
+    // Capacity honesty: a nonzero carry must have somewhere to go.
+    auto consumed = [&](std::size_t column) {
+      const IntVec consumer = math::add(q, deps[column].d);
+      return structure.domain.contains(consumer) && deps[column].valid.contains(consumer);
+    };
+    if (out[kC] != 0 && !consumed(col_d5)) {
+      // The carry out of cell (p, p) on an accumulation-boundary point
+      // is the legitimate output bit 2p; everything else is a loss.
+      const bool top_output = q[i1c] == p && q[i2c] == p && boundary.contains(q);
+      if (!top_output) {
+        throw OverflowError("array dropped a carry at " + math::to_string(q) +
+                            ": capacity precondition violated");
+      }
+    }
+    if (out[kCp] != 0 && !consumed(col_d7)) {
+      throw OverflowError("array dropped a second carry at " + math::to_string(q) +
+                          ": capacity precondition violated");
+    }
+    return out;
+  };
+
+  sim::MachineConfig cfg{structure.domain, deps,           t,
+                         prims,            k,              cell_channels(),
+                         options.threads};
+  cfg.memory = options.memory;
+  if (options.memory == sim::MemoryMode::kStreaming) {
+    // The read-out below touches only the bit-grid edge cells (i2 = 1
+    // and i1 = p); observing that superset of the accumulation-boundary
+    // cells keeps retention at O(|J_w| * p) instead of |J|.
+    cfg.observe = [i1c, i2c, p](const IntVec& q) { return q[i1c] == p || q[i2c] == 1; };
+  }
+  sim::Machine machine(std::move(cfg), compute, external);
+  PlanRunResult result;
+  result.stats = machine.run();
+
+  // Read the final z words off the accumulation-boundary grids: bit i at
+  // cell (i, 1) for i <= p, bit p+i2-1 at (p, i2), bit 2p from c(p, p).
+  structure.word.domain.for_each([&](const IntVec& j) {
+    if (!boundary.contains(math::concat(j, IntVec{1, 1}))) return true;
+    std::vector<int> bits;
+    bits.reserve(static_cast<std::size_t>(2 * p));
+    for (Int i = 1; i <= p; ++i) {
+      bits.push_back(static_cast<int>(machine.outputs_at(math::concat(j, IntVec{i, 1}))[kZ]));
+    }
+    for (Int i2 = 2; i2 <= p; ++i2) {
+      bits.push_back(static_cast<int>(machine.outputs_at(math::concat(j, IntVec{p, i2}))[kZ]));
+    }
+    bits.push_back(static_cast<int>(machine.outputs_at(math::concat(j, IntVec{p, p}))[kC]));
+    result.z.emplace(j, arith::from_bits(bits));
+    return true;
+  });
+  return result;
+}
+
+PlanRunResult run_plan(const DesignPlan& plan, const core::OperandFn& x,
+                       const core::OperandFn& y, const RunOptions& options) {
+  BL_REQUIRE(plan.has_mapping(), "plan has no mapping to run (strategy " +
+                                     to_string(plan.request.mapping) + ", origin " +
+                                     to_string(plan.origin) + ")");
+  return run_mapped_structure(*plan.structure, *plan.t, *plan.prims, *plan.k, x, y, options);
+}
+
+PlanRunResult run_plan(const DesignPlan& plan, const core::OperandFn& x,
+                       const core::OperandFn& y) {
+  return run_plan(plan, x, y, RunOptions{plan.request.threads, plan.request.memory});
+}
+
+BatchResult run_batch(PlanCache& cache, const DesignRequest& request,
+                      const std::vector<BatchItem>& items) {
+  BatchResult batch;
+  const std::string key = canonical_key(request);
+  batch.plan_was_cached = cache.peek(key) != nullptr;
+  batch.plan = cache.get_or_compose(request);
+  batch.results.reserve(items.size());
+  for (const auto& item : items) {
+    batch.results.push_back(run_plan(*batch.plan, item.x, item.y));
+  }
+  return batch;
+}
+
+}  // namespace bitlevel::pipeline

@@ -1,0 +1,77 @@
+// Executing composed plans — single runs and batched runs.
+//
+// The cell body is the paper's compressor: it ANDs the two operand bits
+// arriving on the x/y pipelines and sums every dependence-carried
+// summand its expansion delivers (z flows, carry, second carry),
+// emitting the new partial-sum bit and carries. One implementation
+// serves Expansion I and II because the structure's validity regions
+// gate which inputs exist at each point; it lives here (not in arch) so
+// arch::BitLevelArray, the CLI and run_batch() all execute the same
+// code over shared plans.
+//
+// run_batch() is the serving primitive: many operand sets over ONE
+// cached plan — the expansion and mapping search are amortized across
+// the whole batch, and each item's results are deterministic and
+// independent of the others.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "core/evaluator.hpp"
+#include "pipeline/cache.hpp"
+
+namespace bitlevel::pipeline {
+
+/// Execution knobs for one run, overriding the request's.
+struct RunOptions {
+  int threads = 0;
+  sim::MemoryMode memory = sim::MemoryMode::kDense;
+};
+
+/// Result of one cycle-accurate run.
+struct PlanRunResult {
+  sim::SimulationStats stats;
+  /// Final accumulated z word per accumulation-boundary word point.
+  std::map<math::IntVec, std::uint64_t> z;
+};
+
+/// Cycle-accurate run of a composed structure under mapping t/prims
+/// with precomputed routing k (the machine stage's output). Throws
+/// OverflowError when the fixed grid would drop a carry (capacity
+/// preconditions in core/evaluator.hpp).
+PlanRunResult run_mapped_structure(const core::BitLevelStructure& s,
+                                   const mapping::MappingMatrix& t,
+                                   const mapping::InterconnectionPrimitives& prims,
+                                   const math::IntMat& k, const core::OperandFn& x,
+                                   const core::OperandFn& y, const RunOptions& options = {});
+
+/// Run a plan (which must have a mapping) with explicit options.
+PlanRunResult run_plan(const DesignPlan& plan, const core::OperandFn& x,
+                       const core::OperandFn& y, const RunOptions& options);
+
+/// Run a plan with the execution knobs of its request.
+PlanRunResult run_plan(const DesignPlan& plan, const core::OperandFn& x,
+                       const core::OperandFn& y);
+
+/// One batch item: the operand words of one independent problem.
+struct BatchItem {
+  core::OperandFn x;
+  core::OperandFn y;
+};
+
+/// Result of a batched execution.
+struct BatchResult {
+  PlanPtr plan;                        ///< The shared plan every item ran on.
+  bool plan_was_cached = false;        ///< True when the cache already held it.
+  std::vector<PlanRunResult> results;  ///< One per item, in order.
+};
+
+/// Execute every item over ONE plan for `request`, composed at most
+/// once via `cache`. Per-item results are bit-identical to running each
+/// item through a freshly composed plan.
+BatchResult run_batch(PlanCache& cache, const DesignRequest& request,
+                      const std::vector<BatchItem>& items);
+
+}  // namespace bitlevel::pipeline

@@ -1,0 +1,64 @@
+// Immutable design plans — the output of the staged compose pipeline.
+//
+// A DesignPlan is the reusable product of Theorem 3.1's composition:
+// the resolved word-level model, the expanded bit-level structure, the
+// chosen space/time mapping (explored or published), and the routing
+// matrix K of the feasibility machinery — everything a cycle-accurate
+// run needs except the operands. Plans are built once by compose(),
+// never mutated, and shared as shared_ptr<const DesignPlan> across
+// actions, batches and threads (see PlanCache).
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "mapping/feasibility.hpp"
+#include "pipeline/request.hpp"
+
+namespace bitlevel::pipeline {
+
+/// Where the plan's mapping came from.
+enum class MappingOrigin {
+  kNone,      ///< No mapping stage ran (or it found nothing feasible).
+  kExplored,  ///< Best design of the design-space exploration.
+  kPublished, ///< The paper's published matmul mapping.
+};
+
+std::string to_string(MappingOrigin origin);
+
+/// Wall-clock cost of each compose stage, for the cache's cold/warm
+/// accounting and the BM_PlanCache bench.
+struct StageTimings {
+  double resolve_ms = 0.0;  ///< Kernel registry lookup + batch composition.
+  double expand_ms = 0.0;   ///< Theorem 3.1 composition.
+  double map_ms = 0.0;      ///< Mapping search / published selection.
+  double machine_ms = 0.0;  ///< Feasibility re-check + routing (K matrix).
+
+  double total_ms() const { return resolve_ms + expand_ms + map_ms + machine_ms; }
+};
+
+/// One immutable, shareable composed design.
+struct DesignPlan {
+  DesignRequest request;  ///< The request the plan was composed for.
+  std::string key;        ///< canonical_key(request).
+
+  ir::WordLevelModel model;  ///< Resolved kernel (batch axis composed).
+  std::shared_ptr<const core::BitLevelStructure> structure;  ///< Thm 3.1 output.
+
+  MappingOrigin origin = MappingOrigin::kNone;
+  std::optional<mapping::MappingMatrix> t;                   ///< [S; Pi].
+  std::optional<mapping::InterconnectionPrimitives> prims;   ///< Link set.
+  std::optional<math::IntMat> k;                             ///< Routing (S*D = P*K).
+  mapping::ExploreResult explore;  ///< Full exploration record (explore/auto).
+
+  StageTimings timings;
+
+  bool has_mapping() const { return t.has_value(); }
+
+  std::string to_string() const;
+};
+
+using PlanPtr = std::shared_ptr<const DesignPlan>;
+
+}  // namespace bitlevel::pipeline

@@ -1,0 +1,51 @@
+#include "pipeline/request.hpp"
+
+#include "ir/kernels.hpp"
+#include "support/error.hpp"
+
+namespace bitlevel::pipeline {
+
+std::string to_string(MappingStrategy s) {
+  switch (s) {
+    case MappingStrategy::kStructureOnly:
+      return "structure-only";
+    case MappingStrategy::kExplore:
+      return "explore";
+    case MappingStrategy::kAuto:
+      return "auto";
+    case MappingStrategy::kPublishedFig4:
+      return "published-fig4";
+    case MappingStrategy::kPublishedFig5:
+      return "published-fig5";
+  }
+  return "?";
+}
+
+std::string canonical_key(const DesignRequest& request) {
+  const ir::kernels::KernelInfo* info = ir::kernels::find_kernel(request.kernel.name);
+  if (info == nullptr) {
+    throw NotFoundError("unknown kernel '" + request.kernel.name +
+                        "' (known: " + ir::kernels::registered_names() + ")");
+  }
+  // Unused extents are canonicalized to 0 so e.g. matmul(u=2, v=5) and
+  // matmul(u=2, v=7) address the same plan.
+  const Int v = info->arity >= 2 ? request.kernel.v : 0;
+  const Int w = info->arity >= 3 ? request.kernel.w : 0;
+  std::string key = "kernel=" + request.kernel.name;
+  key += ";u=" + std::to_string(request.kernel.u);
+  key += ";v=" + std::to_string(v);
+  key += ";w=" + std::to_string(w);
+  key += ";batch=" + std::to_string(request.kernel.batch);
+  key += ";p=" + std::to_string(request.p);
+  key += ";expansion=" + core::to_string(request.expansion);
+  key += ";mapping=" + to_string(request.mapping);
+  const char* objective = request.objective == mapping::DesignObjective::kTime ? "time"
+                          : request.objective == mapping::DesignObjective::kProcessors
+                              ? "processors"
+                              : "wire";
+  key += ";objective=";
+  key += objective;
+  return key;
+}
+
+}  // namespace bitlevel::pipeline

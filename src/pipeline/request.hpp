@@ -1,0 +1,70 @@
+// Declarative design requests — the input of the design pipeline.
+//
+// A DesignRequest names everything Theorem 3.1's composition needs —
+// the word-level kernel (by registry name), the operand width p, the
+// algorithm expansion, and how to obtain a space/time mapping — plus
+// the execution knobs (memory mode, worker threads) a plan is run
+// with. Requests are canonicalized to a content-addressed key: two
+// requests with the same key compose to the same plan, so the key is
+// what the PlanCache deduplicates on. Execution knobs are deliberately
+// NOT part of the key — simulator outputs and explorer rankings are
+// bit-identical across thread counts and memory modes, so one plan
+// serves every combination.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/structure.hpp"
+#include "mapping/explore.hpp"
+#include "sim/machine.hpp"
+
+namespace bitlevel::pipeline {
+
+using math::Int;
+
+/// A registry kernel instantiation. Extents beyond the kernel's arity
+/// are ignored and canonicalized away (matmul with any v, w composes
+/// to the same plan). batch = 0 is the plain kernel; batch >= 1
+/// composes a leading batch axis of that extent into the model
+/// (core::batch_model) for problem pipelining — a 1-problem batch is a
+/// DIFFERENT structure (extra extent-1 axis) than the unbatched kernel.
+struct KernelSpec {
+  std::string name = "matmul";
+  Int u = 3;
+  Int v = 3;
+  Int w = 3;
+  Int batch = 0;
+};
+
+/// How the mapping stage obtains T = [S; Pi].
+enum class MappingStrategy {
+  kStructureOnly,  ///< Stop after expansion (structure / verify actions).
+  kExplore,        ///< Design-space exploration only.
+  kAuto,           ///< Explore, falling back to the published Fig. 4
+                   ///< design for 3-D word-level kernels.
+  kPublishedFig4,  ///< The paper's (4.2) mapping, p-scaled.
+  kPublishedFig5,  ///< The paper's (4.6) nearest-neighbour mapping.
+};
+
+std::string to_string(MappingStrategy s);
+
+/// One declarative request for a composed design.
+struct DesignRequest {
+  KernelSpec kernel;
+  Int p = 4;
+  core::Expansion expansion = core::Expansion::kII;
+  MappingStrategy mapping = MappingStrategy::kAuto;
+  mapping::DesignObjective objective = mapping::DesignObjective::kTime;
+
+  // Execution knobs (not part of the canonical key; see file comment).
+  sim::MemoryMode memory = sim::MemoryMode::kDense;
+  int threads = 0;  ///< 0 = BITLEVEL_THREADS / hardware, 1 = serial.
+};
+
+/// The content-addressed cache key of the plan-determining fields.
+/// Requires the kernel name to be registered (throws NotFoundError
+/// naming the allowed set otherwise).
+std::string canonical_key(const DesignRequest& request);
+
+}  // namespace bitlevel::pipeline

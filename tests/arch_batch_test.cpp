@@ -11,6 +11,7 @@
 #include "mapping/explore.hpp"
 #include "mapping/schedule.hpp"
 #include "core/evaluator.hpp"
+#include "pipeline/cache.hpp"
 #include "support/error.hpp"
 
 namespace bitlevel::arch {
@@ -144,6 +145,36 @@ TEST(BatchTest, GenericStreamingOnConvolution) {
   // Streaming adds (batches - 1) * interval cycles to the single run.
   EXPECT_EQ(run.stats.cycles,
             found.designs.front().total_time + (batches - 1) * interval);
+}
+
+// The satellite fix this PR pins down: multiply_batch used to re-run
+// core::expand on the batched model for EVERY call; it must now hit the
+// plan cache — exactly one composition per (u, p, mapping, batch) key
+// per process, with repeats served as hits.
+TEST(BatchTest, RepeatedBatchesComposeOncePerKey) {
+  const math::Int u = 2, p = 5;  // (u, p) unique to this test's keys
+  const BitLevelMatmulArray array(MatmulMapping::kFig4, u, p);
+  const std::uint64_t bound = core::max_safe_operand(p, u, core::Expansion::kII);
+  std::vector<WordMatrix> xs{WordMatrix::random(u, bound, 31), WordMatrix::random(u, bound, 32)};
+  std::vector<WordMatrix> ys{WordMatrix::random(u, bound, 41), WordMatrix::random(u, bound, 42)};
+
+  auto& cache = pipeline::global_plan_cache();
+  const pipeline::PlanCacheStats before = cache.stats();
+  const auto first = array.multiply_batch(xs, ys);
+  const pipeline::PlanCacheStats after_first = cache.stats();
+  // First batch of this shape: exactly one new composition.
+  EXPECT_EQ(after_first.misses - before.misses, 1u);
+
+  const auto second = array.multiply_batch(xs, ys);
+  const pipeline::PlanCacheStats after_second = cache.stats();
+  // Second identical batch: served from the cache, no new expansion.
+  EXPECT_EQ(after_second.misses, after_first.misses);
+  EXPECT_EQ(after_second.hits - after_first.hits, 1u);
+
+  // And the cached run is bit-identical to the first.
+  ASSERT_EQ(first.z.size(), second.z.size());
+  for (std::size_t b = 0; b < first.z.size(); ++b) EXPECT_EQ(first.z[b], second.z[b]);
+  EXPECT_EQ(first.stats.cycles, second.stats.cycles);
 }
 
 TEST(BatchTest, RejectsMismatchedBatches) {

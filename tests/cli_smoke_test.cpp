@@ -24,8 +24,8 @@ struct RunResult {
   std::string out;
 };
 
-RunResult run_cli(const std::string& args) {
-  const std::string command = std::string(BITLEVEL_DESIGN_BIN_PATH) + " " + args + " 2>/dev/null";
+RunResult run_cli_redirect(const std::string& args, const char* redirect) {
+  const std::string command = std::string(BITLEVEL_DESIGN_BIN_PATH) + " " + args + " " + redirect;
   RunResult result;
   FILE* pipe = popen(command.c_str(), "r");
   if (pipe == nullptr) return result;
@@ -36,6 +36,11 @@ RunResult run_cli(const std::string& args) {
   result.exit_code = (status >= 0 && WIFEXITED(status)) ? WEXITSTATUS(status) : -1;
   return result;
 }
+
+RunResult run_cli(const std::string& args) { return run_cli_redirect(args, "2>/dev/null"); }
+
+/// Capture stderr too — for asserting on usage/error text.
+RunResult run_cli_merged(const std::string& args) { return run_cli_redirect(args, "2>&1"); }
 
 /// Small instances of every kernel; sizes chosen so the whole matrix
 /// stays fast even under sanitizers.
@@ -103,6 +108,52 @@ TEST(CliSmokeTest, DesignOptimalAnimateActions) {
   const RunResult animate = run_cli("--kernel scalar --u 4 --p 3 --action animate");
   EXPECT_EQ(animate.exit_code, 0);
   EXPECT_NE(animate.out.find("cycle"), std::string::npos);
+}
+
+TEST(CliSmokeTest, ListKernelsIsRegistryBacked) {
+  const RunResult text = run_cli("--list-kernels");
+  EXPECT_EQ(text.exit_code, 0);
+  for (const char* name : {"matmul", "matmul_rect", "conv", "matvec", "transform", "scalar"}) {
+    EXPECT_NE(text.out.find(name), std::string::npos) << name << "\n" << text.out;
+  }
+
+  const RunResult json = run_cli("--list-kernels --json");
+  EXPECT_EQ(json.exit_code, 0);
+  EXPECT_TRUE(json_valid(json.out)) << json.out;
+  EXPECT_NE(json.out.find("\"kernels\""), std::string::npos) << json.out;
+  EXPECT_NE(json.out.find("\"arity\""), std::string::npos) << json.out;
+}
+
+TEST(CliSmokeTest, UnknownKernelAndActionNameTheAllowedSet) {
+  const RunResult kernel = run_cli_merged("--kernel nope --action structure");
+  EXPECT_EQ(kernel.exit_code, 2);
+  EXPECT_NE(kernel.out.find("unknown kernel"), std::string::npos) << kernel.out;
+  // The error names the registry's full allowed set.
+  for (const char* name : {"matmul", "matmul_rect", "conv", "matvec", "transform", "scalar"}) {
+    EXPECT_NE(kernel.out.find(name), std::string::npos) << name << "\n" << kernel.out;
+  }
+
+  const RunResult action = run_cli_merged("--kernel matmul --action bogus");
+  EXPECT_EQ(action.exit_code, 2);
+  EXPECT_NE(action.out.find("unknown action"), std::string::npos) << action.out;
+  for (const char* name : {"structure", "verify", "design", "simulate", "optimal", "animate"}) {
+    EXPECT_NE(action.out.find(name), std::string::npos) << name << "\n" << action.out;
+  }
+}
+
+TEST(CliSmokeTest, JsonDocumentsCarryPlanCacheCounters) {
+  for (const char* args : {"--kernel matmul --u 2 --p 3 --action structure --json",
+                           "--kernel conv --u 3 --v 2 --p 3 --action verify --json",
+                           "--kernel scalar --u 4 --p 3 --action design --json",
+                           "--kernel scalar --u 4 --p 3 --action simulate --json",
+                           "--kernel scalar --u 4 --p 3 --action optimal --json"}) {
+    const RunResult r = run_cli(args);
+    EXPECT_EQ(r.exit_code, 0) << args;
+    EXPECT_TRUE(json_valid(r.out)) << args << "\n" << r.out;
+    EXPECT_NE(r.out.find("\"plan_cache\""), std::string::npos) << args << "\n" << r.out;
+    EXPECT_NE(r.out.find("\"misses\":"), std::string::npos) << args << "\n" << r.out;
+    EXPECT_NE(r.out.find("\"hits\":"), std::string::npos) << args << "\n" << r.out;
+  }
 }
 
 TEST(CliSmokeTest, StrictParsingRejectsGarbage) {

@@ -1,0 +1,91 @@
+// The accumulation-boundary region { j : j + h3 outside J_w } — where
+// the accumulation chain ends and Expansion I performs its deferred
+// reduction. The paper states the boundary as j_n = u_n because every
+// published kernel accumulates along the last axis with unit stride
+// (h3 = e_n); the library's region is the generalized set, so these
+// tests pin both facts: the reduction to the paper's hyperplane for
+// every registry kernel, and agreement with the brute-force membership
+// test for strided and multi-component h3.
+#include <gtest/gtest.h>
+
+#include "core/expansion.hpp"
+#include "ir/kernels.hpp"
+#include "support/error.hpp"
+
+namespace bitlevel::core {
+namespace {
+
+using math::Int;
+using math::IntVec;
+
+/// j + h3, componentwise.
+IntVec step(const IntVec& j, const IntVec& h3) {
+  IntVec next = j;
+  for (std::size_t k = 0; k < next.size(); ++k) next[k] += h3[k];
+  return next;
+}
+
+TEST(BoundaryTest, RegistryKernelsReduceToPaperHyperplane) {
+  // Every registry kernel accumulates with h3 = e_n (last-axis unit
+  // stride), so the generalized region must be exactly the paper's
+  // j_n = u_n hyperplane over the whole word domain.
+  for (const auto& info : ir::kernels::registry()) {
+    const ir::WordLevelModel model = info.make(3, 4, 2);
+    ASSERT_TRUE(model.h3.has_value()) << info.name;
+    const std::size_t n = model.dim();
+    IntVec en(n, 0);
+    en[n - 1] = 1;
+    ASSERT_EQ(*model.h3, en) << info.name << " does not accumulate along e_n";
+
+    const ir::ValidityRegion region = accumulation_boundary(model, n);
+    const Int un = model.domain.upper()[n - 1];
+    model.domain.for_each([&](const IntVec& j) {
+      EXPECT_EQ(region.contains(j), j[n - 1] == un)
+          << info.name << " at " << math::to_string(j);
+      return true;
+    });
+  }
+}
+
+TEST(BoundaryTest, StridedChainMatchesBruteForce) {
+  // Stride-2 scalar chain: j + 2 leaves [1, u] already at j = u - 1,
+  // so the boundary is TWO points, not the single chain end.
+  const ir::WordLevelModel model = ir::kernels::scalar_chain(1, 7, 2);
+  const ir::ValidityRegion region = accumulation_boundary(model, model.dim());
+  Int boundary_points = 0;
+  model.domain.for_each([&](const IntVec& j) {
+    const bool expected = !model.domain.contains(step(j, *model.h3));
+    EXPECT_EQ(region.contains(j), expected) << math::to_string(j);
+    if (expected) ++boundary_points;
+    return true;
+  });
+  EXPECT_EQ(boundary_points, 2);
+}
+
+TEST(BoundaryTest, MultiComponentH3MatchesBruteForce) {
+  // Accumulation flowing diagonally (h3 with two nonzero components,
+  // one negative): the region is a union of per-coordinate escapes.
+  ir::WordLevelModel model = ir::kernels::convolution1d(4, 3);
+  model.h3 = IntVec{1, -1};
+  const ir::ValidityRegion region = accumulation_boundary(model, model.dim());
+  bool saw_boundary = false, saw_interior = false;
+  model.domain.for_each([&](const IntVec& j) {
+    const bool expected = !model.domain.contains(step(j, *model.h3));
+    EXPECT_EQ(region.contains(j), expected) << math::to_string(j);
+    (expected ? saw_boundary : saw_interior) = true;
+    return true;
+  });
+  EXPECT_TRUE(saw_boundary);
+  EXPECT_TRUE(saw_interior);
+}
+
+TEST(BoundaryTest, RequiresNonzeroH3) {
+  ir::WordLevelModel model = ir::kernels::matmul(2);
+  model.h3 = IntVec{0, 0, 0};
+  EXPECT_THROW(accumulation_boundary(model, 3), PreconditionError);
+  model.h3.reset();
+  EXPECT_THROW(accumulation_boundary(model, 3), PreconditionError);
+}
+
+}  // namespace
+}  // namespace bitlevel::core

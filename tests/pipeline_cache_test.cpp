@@ -1,0 +1,152 @@
+// PlanCache concurrency and bounding. The single-composition guarantee
+// — exactly one Theorem 3.1 expansion and one mapping stage per
+// distinct key per process — must hold under a many-thread hammer
+// (this file is part of the TSan CI matrix), and the LRU bound must
+// evict cleanly without ever duplicating or losing an in-flight
+// composition. Failure paths must not poison a key: a later request
+// retries the composition.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "pipeline/cache.hpp"
+#include "support/error.hpp"
+
+namespace bitlevel::pipeline {
+namespace {
+
+using math::Int;
+
+DesignRequest scalar_request(Int u, MappingStrategy strategy = MappingStrategy::kStructureOnly) {
+  DesignRequest request;
+  request.kernel = KernelSpec{"scalar", u, 0, 0, 0};
+  request.p = 3;
+  request.mapping = strategy;
+  return request;
+}
+
+TEST(PlanCacheTest, ConcurrentHammerComposesEachKeyOnce) {
+  constexpr int kThreads = 8;
+  constexpr int kIterations = 40;
+  constexpr Int kKeys = 5;
+  PlanCache cache(16);
+
+  std::vector<std::vector<PlanPtr>> seen(kThreads, std::vector<PlanPtr>(kKeys));
+  std::atomic<bool> failed{false};
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      for (int iter = 0; iter < kIterations; ++iter) {
+        const Int u = 2 + (iter + t) % kKeys;
+        const PlanPtr plan = cache.get_or_compose(scalar_request(u));
+        if (plan == nullptr || plan->structure == nullptr) {
+          failed = true;
+          continue;
+        }
+        auto& slot = seen[static_cast<std::size_t>(t)][static_cast<std::size_t>(u - 2)];
+        if (slot == nullptr) slot = plan;
+        if (slot.get() != plan.get()) failed = true;  // key re-composed
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  EXPECT_FALSE(failed.load());
+
+  // Every thread saw the SAME plan object per key...
+  for (Int u = 0; u < kKeys; ++u) {
+    for (int t = 1; t < kThreads; ++t) {
+      EXPECT_EQ(seen[static_cast<std::size_t>(t)][static_cast<std::size_t>(u)].get(),
+                seen[0][static_cast<std::size_t>(u)].get())
+          << "key " << u << " thread " << t;
+    }
+  }
+  // ...and the counters prove exactly one composition per key.
+  const PlanCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.misses, static_cast<std::uint64_t>(kKeys));
+  EXPECT_EQ(stats.hits + stats.misses,
+            static_cast<std::uint64_t>(kThreads) * kIterations);
+  EXPECT_EQ(stats.size, static_cast<std::size_t>(kKeys));
+  EXPECT_EQ(stats.evictions, 0u);
+}
+
+TEST(PlanCacheTest, LruEvictsLeastRecentlyUsed) {
+  PlanCache cache(2);
+  const PlanPtr a = cache.get_or_compose(scalar_request(2));
+  const PlanPtr b = cache.get_or_compose(scalar_request(3));
+  // Touch a so b becomes least recently used.
+  EXPECT_EQ(cache.get_or_compose(scalar_request(2)).get(), a.get());
+  const PlanPtr c = cache.get_or_compose(scalar_request(4));
+
+  PlanCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.evictions, 1u);
+  EXPECT_EQ(stats.size, 2u);
+  EXPECT_NE(cache.peek(a->key), nullptr);
+  EXPECT_EQ(cache.peek(b->key), nullptr);  // evicted
+  EXPECT_NE(cache.peek(c->key), nullptr);
+
+  // Re-requesting the evicted key composes again (a fresh miss), while
+  // the evicted caller's shared_ptr stays valid on its own.
+  EXPECT_EQ(b->request.kernel.u, 3);
+  const PlanPtr b2 = cache.get_or_compose(scalar_request(3));
+  EXPECT_EQ(b2->key, b->key);
+  EXPECT_EQ(cache.stats().misses, 4u);
+}
+
+TEST(PlanCacheTest, PeekDoesNotComposeOrCount) {
+  PlanCache cache(4);
+  const std::string key = canonical_key(scalar_request(5));
+  EXPECT_EQ(cache.peek(key), nullptr);
+  EXPECT_EQ(cache.stats().hits + cache.stats().misses, 0u);
+  const PlanPtr plan = cache.get_or_compose(scalar_request(5));
+  EXPECT_EQ(cache.peek(key).get(), plan.get());
+  EXPECT_EQ(cache.stats().hits, 0u);
+  EXPECT_EQ(cache.stats().misses, 1u);
+}
+
+TEST(PlanCacheTest, FailedCompositionDoesNotPoisonTheKey) {
+  PlanCache cache(4);
+  // scalar is 1-D at word level — the published matmul mapping cannot
+  // apply, so composing with a published strategy throws.
+  const DesignRequest bad = scalar_request(4, MappingStrategy::kPublishedFig4);
+  EXPECT_THROW(cache.get_or_compose(bad), PreconditionError);
+  // The failure is not cached: a retry attempts the composition again
+  // (and fails the same way, each attempt counted as a miss).
+  EXPECT_THROW(cache.get_or_compose(bad), PreconditionError);
+  EXPECT_EQ(cache.stats().misses, 2u);
+  EXPECT_EQ(cache.stats().size, 0u);
+}
+
+TEST(PlanCacheTest, ClearResetsPlansAndCounters) {
+  PlanCache cache(4);
+  cache.get_or_compose(scalar_request(2));
+  cache.get_or_compose(scalar_request(2));
+  cache.clear();
+  const PlanCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.hits, 0u);
+  EXPECT_EQ(stats.misses, 0u);
+  EXPECT_EQ(stats.size, 0u);
+  EXPECT_EQ(cache.peek(canonical_key(scalar_request(2))), nullptr);
+}
+
+TEST(PlanCacheTest, SetCapacityShrinksByEvicting) {
+  PlanCache cache(8);
+  for (Int u = 2; u <= 6; ++u) cache.get_or_compose(scalar_request(u));
+  EXPECT_EQ(cache.stats().size, 5u);
+  cache.set_capacity(2);
+  EXPECT_EQ(cache.stats().size, 2u);
+  EXPECT_EQ(cache.stats().capacity, 2u);
+  EXPECT_GE(cache.stats().evictions, 3u);
+}
+
+TEST(PlanCacheTest, GlobalCacheIsSharedAndStable) {
+  PlanCache& a = global_plan_cache();
+  PlanCache& b = global_plan_cache();
+  EXPECT_EQ(&a, &b);
+  const PlanPtr plan = a.get_or_compose(scalar_request(6));
+  EXPECT_EQ(b.peek(plan->key).get(), plan.get());
+}
+
+}  // namespace
+}  // namespace bitlevel::pipeline

@@ -1,0 +1,165 @@
+// Cached plans are indistinguishable from fresh ones: for a matrix of
+// kernels x expansions x memory modes x thread counts, a plan composed
+// once and reused through the PlanCache must produce bit-identical
+// outputs and statistics to a plan composed from scratch for every
+// run. Also pins the cache-key canonicalization (execution knobs and
+// unused extents do not address new plans) and the acceptance
+// criterion: one composition per distinct key, counted by the cache.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/workload.hpp"
+#include "pipeline/cache.hpp"
+#include "pipeline/executor.hpp"
+
+namespace bitlevel::pipeline {
+namespace {
+
+using math::Int;
+
+struct Case {
+  KernelSpec kernel;
+  Int p;
+};
+
+const std::vector<Case> kCases = {
+    {{"matmul", 2, 0, 0, 0}, 3},
+    {{"conv", 3, 2, 0, 0}, 3},
+    {{"scalar", 4, 0, 0, 0}, 4},
+};
+
+DesignRequest request_for(const Case& c, core::Expansion e) {
+  DesignRequest request;
+  request.kernel = c.kernel;
+  request.p = c.p;
+  request.expansion = e;
+  request.mapping = MappingStrategy::kAuto;
+  return request;
+}
+
+PlanRunResult run_with(const DesignPlan& plan, int threads, sim::MemoryMode memory,
+                       std::uint64_t seed) {
+  const core::Workload workload =
+      core::make_safe_workload(plan.model, plan.request.p, plan.request.expansion, seed);
+  return run_plan(plan, workload.x_fn(), workload.y_fn(), RunOptions{threads, memory});
+}
+
+void expect_identical(const PlanRunResult& a, const PlanRunResult& b, const char* what) {
+  EXPECT_EQ(a.z, b.z) << what;
+  EXPECT_EQ(a.stats.cycles, b.stats.cycles) << what;
+  EXPECT_EQ(a.stats.pe_count, b.stats.pe_count) << what;
+  EXPECT_EQ(a.stats.computations, b.stats.computations) << what;
+  EXPECT_EQ(a.stats.pe_utilization, b.stats.pe_utilization) << what;
+  EXPECT_EQ(a.stats.link_transmissions, b.stats.link_transmissions) << what;
+  EXPECT_EQ(a.stats.wire_length, b.stats.wire_length) << what;
+}
+
+TEST(PipelinePlanTest, CachedPlansRunBitIdenticalToFresh) {
+  PlanCache cache(16);
+  std::uint64_t composed = 0;
+  for (const Case& c : kCases) {
+    for (const core::Expansion e : {core::Expansion::kI, core::Expansion::kII}) {
+      const DesignRequest request = request_for(c, e);
+      const PlanPtr fresh = compose(request);
+      const PlanPtr cached = cache.get_or_compose(request);
+      ++composed;
+      ASSERT_TRUE(fresh->has_mapping()) << fresh->key;
+      ASSERT_TRUE(cached->has_mapping()) << cached->key;
+      EXPECT_EQ(fresh->key, cached->key);
+      EXPECT_EQ(fresh->t->matrix(), cached->t->matrix()) << cached->key;
+
+      // Repeat lookups share the SAME immutable plan object.
+      EXPECT_EQ(cache.get_or_compose(request).get(), cached.get());
+
+      for (const int threads : {1, 2}) {
+        for (const sim::MemoryMode memory :
+             {sim::MemoryMode::kDense, sim::MemoryMode::kStreaming}) {
+          const PlanRunResult a = run_with(*fresh, threads, memory, 42);
+          const PlanRunResult b = run_with(*cached, threads, memory, 42);
+          expect_identical(a, b, cached->key.c_str());
+          EXPECT_FALSE(b.z.empty()) << cached->key;
+        }
+      }
+    }
+  }
+  // One composition per distinct key — the repeat lookups above were
+  // all hits.
+  const PlanCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.misses, composed);
+  EXPECT_EQ(stats.hits, composed);
+  EXPECT_EQ(stats.evictions, 0u);
+}
+
+TEST(PipelinePlanTest, ExecutionKnobsDoNotAddressNewPlans) {
+  PlanCache cache(8);
+  DesignRequest request = request_for(kCases[2], core::Expansion::kII);
+  const PlanPtr base = cache.get_or_compose(request);
+  for (const int threads : {0, 1, 2}) {
+    for (const sim::MemoryMode memory :
+         {sim::MemoryMode::kDense, sim::MemoryMode::kStreaming}) {
+      DesignRequest variant = request;
+      variant.threads = threads;
+      variant.memory = memory;
+      EXPECT_EQ(canonical_key(variant), base->key);
+      EXPECT_EQ(cache.get_or_compose(variant).get(), base.get());
+    }
+  }
+  EXPECT_EQ(cache.stats().misses, 1u);
+}
+
+TEST(PipelinePlanTest, UnusedExtentsAreCanonicalized) {
+  PlanCache cache(8);
+  DesignRequest a;
+  a.kernel = KernelSpec{"matmul", 2, 5, 9, 0};
+  a.p = 3;
+  a.mapping = MappingStrategy::kStructureOnly;
+  DesignRequest b = a;
+  b.kernel.v = 7;
+  b.kernel.w = 1;
+  EXPECT_EQ(canonical_key(a), canonical_key(b));
+  EXPECT_EQ(cache.get_or_compose(a).get(), cache.get_or_compose(b).get());
+  EXPECT_EQ(cache.stats().misses, 1u);
+}
+
+TEST(PipelinePlanTest, RunBatchSharesOnePlanAcrossItems) {
+  PlanCache cache(8);
+  const DesignRequest request = request_for(kCases[1], core::Expansion::kII);
+  const ir::WordLevelModel model = resolve_kernel(request.kernel);
+  // The workloads must outlive the items (x_fn captures the table).
+  std::vector<core::Workload> workloads;
+  for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+    workloads.push_back(
+        core::make_safe_workload(model, request.p, request.expansion, seed));
+  }
+  std::vector<BatchItem> items;
+  for (const core::Workload& w : workloads) items.push_back(BatchItem{w.x_fn(), w.y_fn()});
+
+  const BatchResult first = run_batch(cache, request, items);
+  EXPECT_FALSE(first.plan_was_cached);
+  ASSERT_EQ(first.results.size(), items.size());
+
+  const BatchResult second = run_batch(cache, request, items);
+  EXPECT_TRUE(second.plan_was_cached);
+  EXPECT_EQ(second.plan.get(), first.plan.get());
+
+  // Each item is bit-identical to a run over a freshly composed plan.
+  const PlanPtr fresh = compose(request);
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    const PlanRunResult reference = run_plan(*fresh, items[i].x, items[i].y);
+    expect_identical(first.results[i], reference, "batch item vs fresh");
+    expect_identical(second.results[i], reference, "cached batch item vs fresh");
+  }
+  EXPECT_EQ(cache.stats().misses, 1u);
+}
+
+TEST(PipelinePlanTest, StageTimingsAreRecorded) {
+  const PlanPtr plan = compose(request_for(kCases[0], core::Expansion::kII));
+  EXPECT_GE(plan->timings.expand_ms, 0.0);
+  EXPECT_GE(plan->timings.map_ms, 0.0);
+  EXPECT_GT(plan->timings.total_ms(), 0.0);
+  EXPECT_EQ(plan->structure->p, 3);
+}
+
+}  // namespace
+}  // namespace bitlevel::pipeline

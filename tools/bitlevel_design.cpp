@@ -4,9 +4,8 @@
 //   bitlevel-design --kernel matmul --u 3 --p 4 --expansion II
 //                   --action structure|verify|design|simulate [--json]
 //
-// Kernels: matmul (u), matmul_rect (u = m, v = n, w = k), conv (u = n,
-// v = k), matvec (u = rows, v = cols), transform (u = n), scalar (u).
-// Actions:
+// Kernels come from the ir::kernels registry; --list-kernels prints
+// them with their parameters. Actions:
 //   structure — compose and print the bit-level dependence structure
 //   verify    — empirically prove Theorem 3.1 for this instance
 //   design    — explore space mappings + schedules, print ranked designs
@@ -14,27 +13,28 @@
 //               on seeded random operands and check the results
 //   optimal   — LP-certify the fastest explored schedule (or refute it)
 //   animate   — ASCII space-time snapshots of the best design running
-// --json switches the output to a machine-readable document;
+// --json switches the output to a machine-readable document (every
+// document carries the process-wide plan-cache hit/miss counters);
 // --memory streaming bounds simulator memory by the dependence window.
+//
+// Every action goes through the design pipeline (pipeline::compose via
+// the global plan cache), so repeated compositions of the same request
+// key within one process expand and map exactly once.
 #include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <map>
-#include <optional>
-#include <utility>
 #include <string>
 #include <vector>
 
-#include "arch/bit_array.hpp"
-#include "arch/matmul_arrays.hpp"
 #include "core/evaluator.hpp"
-#include "core/expansion.hpp"
 #include "core/verify.hpp"
 #include "core/workload.hpp"
 #include "ir/kernels.hpp"
-#include "mapping/explore.hpp"
 #include "mapping/optimality.hpp"
+#include "pipeline/cache.hpp"
+#include "pipeline/executor.hpp"
 #include "sim/timeline.hpp"
 #include "support/error.hpp"
 #include "support/json.hpp"
@@ -44,12 +44,25 @@ using namespace bitlevel;
 
 namespace {
 
+const char* const kActions[] = {"structure", "verify", "design", "simulate", "optimal",
+                                "animate"};
+
+std::string allowed_actions() {
+  std::string names;
+  for (const char* a : kActions) {
+    if (!names.empty()) names += ", ";
+    names += a;
+  }
+  return names;
+}
+
 struct Args {
   std::string kernel = "matmul";
   std::string action = "structure";
   math::Int u = 3, v = 3, w = 3, p = 4;
   core::Expansion expansion = core::Expansion::kII;
   bool json = false;
+  bool list_kernels = false;
   std::uint64_t seed = 1;
   int threads = 0;  // 0 = BITLEVEL_THREADS / hardware, 1 = serial
   sim::MemoryMode memory = sim::MemoryMode::kDense;
@@ -58,12 +71,14 @@ struct Args {
 [[noreturn]] void usage(const char* msg) {
   std::fprintf(stderr, "error: %s\n", msg);
   std::fprintf(stderr,
-               "usage: bitlevel-design --kernel matmul|matmul_rect|conv|matvec|transform|scalar\n"
+               "usage: bitlevel-design [--list-kernels] [--kernel NAME]\n"
                "                       [--u N] [--v N] [--w N] [--p BITS] [--expansion I|II]\n"
                "                       [--action structure|verify|design|simulate|optimal|"
                "animate]\n"
                "                       [--json] [--memory dense|streaming] [--seed N] "
-               "[--threads N]\n");
+               "[--threads N]\n"
+               "kernels: %s\n",
+               ir::kernels::registered_names().c_str());
   std::exit(2);
 }
 
@@ -110,6 +125,8 @@ Args parse(int argc, char** argv) {
       args.kernel = next();
     } else if (flag == "--action") {
       args.action = next();
+    } else if (flag == "--list-kernels") {
+      args.list_kernels = true;
     } else if (flag == "--u") {
       args.u = parse_int(flag, next(), 1, kMaxExtent);
     } else if (flag == "--v") {
@@ -146,17 +163,70 @@ Args parse(int argc, char** argv) {
       usage(("unknown flag " + flag).c_str());
     }
   }
+  // Registry-backed validation at parse time: unknown names exit 2 with
+  // the allowed set instead of failing deep inside the library.
+  if (!args.list_kernels && ir::kernels::find_kernel(args.kernel) == nullptr) {
+    usage(("unknown kernel '" + args.kernel + "' (known: " + ir::kernels::registered_names() +
+           ")")
+              .c_str());
+  }
+  bool action_ok = false;
+  for (const char* a : kActions) action_ok = action_ok || args.action == a;
+  if (!action_ok) {
+    usage(("unknown action '" + args.action + "' (allowed: " + allowed_actions() + ")").c_str());
+  }
   return args;
 }
 
-ir::WordLevelModel make_kernel(const Args& a) {
-  if (a.kernel == "matmul") return ir::kernels::matmul(a.u);
-  if (a.kernel == "matmul_rect") return ir::kernels::matmul_rect(a.u, a.v, a.w);
-  if (a.kernel == "conv") return ir::kernels::convolution1d(a.u, a.v);
-  if (a.kernel == "matvec") return ir::kernels::matvec(a.u, a.v);
-  if (a.kernel == "transform") return ir::kernels::transform(a.u);
-  if (a.kernel == "scalar") return ir::kernels::scalar_chain(1, a.u, 1);
-  usage(("unknown kernel " + a.kernel).c_str());
+pipeline::DesignRequest make_request(const Args& a, pipeline::MappingStrategy strategy) {
+  pipeline::DesignRequest request;
+  request.kernel = pipeline::KernelSpec{a.kernel, a.u, a.v, a.w, 0};
+  request.p = a.p;
+  request.expansion = a.expansion;
+  request.mapping = strategy;
+  request.threads = a.threads;
+  request.memory = a.memory;
+  return request;
+}
+
+/// Compose through the process-wide cache: one expansion + one mapping
+/// search per distinct request key, shared by every action and run.
+pipeline::PlanPtr plan_for(const Args& a, pipeline::MappingStrategy strategy) {
+  return pipeline::global_plan_cache().get_or_compose(make_request(a, strategy));
+}
+
+void emit_plan_cache_json(JsonWriter& w) {
+  const pipeline::PlanCacheStats stats = pipeline::global_plan_cache().stats();
+  w.key("plan_cache").begin_object();
+  w.key("hits").value(static_cast<std::int64_t>(stats.hits));
+  w.key("misses").value(static_cast<std::int64_t>(stats.misses));
+  w.end_object();
+}
+
+int run_list_kernels(const Args& a) {
+  if (a.json) {
+    JsonWriter w;
+    w.begin_object();
+    w.key("kernels").begin_array();
+    for (const auto& info : ir::kernels::registry()) {
+      w.begin_object();
+      w.key("name").value(info.name);
+      w.key("arity").value(static_cast<std::int64_t>(info.arity));
+      w.key("params").value(info.params);
+      w.key("summary").value(info.summary);
+      w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+    std::printf("%s\n", w.str().c_str());
+    return 0;
+  }
+  std::printf("registered kernels:\n");
+  for (const auto& info : ir::kernels::registry()) {
+    std::printf("  %-12s %s\n               parameters: %s\n", info.name.c_str(), info.summary,
+                info.params);
+  }
+  return 0;
 }
 
 void emit_structure_json(JsonWriter& w, const core::BitLevelStructure& s) {
@@ -181,21 +251,26 @@ void emit_structure_json(JsonWriter& w, const core::BitLevelStructure& s) {
 }
 
 int run_structure(const Args& a) {
-  const auto s = core::expand(make_kernel(a), a.p, a.expansion);
+  const pipeline::PlanPtr plan = plan_for(a, pipeline::MappingStrategy::kStructureOnly);
   if (!a.json) {
-    std::printf("%s", s.to_string().c_str());
+    std::printf("%s", plan->structure->to_string().c_str());
     return 0;
   }
   JsonWriter w;
   w.begin_object();
-  emit_structure_json(w, s);
+  emit_structure_json(w, *plan->structure);
+  emit_plan_cache_json(w);
   w.end_object();
   std::printf("%s\n", w.str().c_str());
   return 0;
 }
 
 int run_verify(const Args& a) {
-  const auto report = core::verify_expansion(make_kernel(a), a.p, a.expansion);
+  const pipeline::PlanPtr plan = plan_for(a, pipeline::MappingStrategy::kStructureOnly);
+  // The plan's structure IS the Theorem 3.1 composition; verify it
+  // against the trace without re-expanding.
+  const auto report =
+      core::verify_expansion(plan->model, a.p, a.expansion, *plan->structure);
   if (a.json) {
     JsonWriter w;
     w.begin_object();
@@ -203,6 +278,7 @@ int run_verify(const Args& a) {
     w.key("traced_edges").value(static_cast<std::int64_t>(report.traced_edges));
     w.key("missing").value(static_cast<std::int64_t>(report.match.missing.size()));
     w.key("spurious").value(static_cast<std::int64_t>(report.match.spurious.size()));
+    emit_plan_cache_json(w);
     w.end_object();
     std::printf("%s\n", w.str().c_str());
   } else {
@@ -215,34 +291,9 @@ int run_verify(const Args& a) {
   return report.ok() ? 0 : 1;
 }
 
-mapping::ExploreResult explore(const core::BitLevelStructure& s, int threads) {
-  mapping::ExploreOptions options;
-  options.max_direction_sets = 32;
-  // Larger word dimensions need larger schedule coefficients to stay
-  // injective on the multiplexed coordinates.
-  options.schedule_bound = s.word_dims() >= 2 ? 3 : 2;
-  options.threads = threads;
-  return mapping::explore_designs(s.domain, s.deps,
-                                  mapping::InterconnectionPrimitives::mesh2d_diag(),
-                                  mapping::DesignObjective::kTime, options);
-}
-
-/// The published Fig. 4 design, used as a fallback for 3-D word-level
-/// kernels (matmul-shaped) where the generic explorer's candidate pool
-/// cannot express the p-scaled projections of (4.2).
-std::optional<std::pair<mapping::MappingMatrix, mapping::InterconnectionPrimitives>>
-published_design(const core::BitLevelStructure& s) {
-  if (s.word_dims() != 3) return std::nullopt;
-  const auto t = arch::matmul_mapping(arch::MatmulMapping::kFig4, s.p);
-  const auto prims = arch::matmul_primitives(arch::MatmulMapping::kFig4, s.p);
-  const auto report = mapping::check_feasible(s.domain, s.deps, t, prims);
-  if (!report.ok) return std::nullopt;
-  return std::make_pair(t, prims);
-}
-
 int run_design(const Args& a) {
-  const auto s = core::expand(make_kernel(a), a.p, a.expansion);
-  const auto result = explore(s, a.threads);
+  const pipeline::PlanPtr plan = plan_for(a, pipeline::MappingStrategy::kExplore);
+  const mapping::ExploreResult& result = plan->explore;
   if (a.json) {
     JsonWriter w;
     w.begin_object();
@@ -257,6 +308,7 @@ int run_design(const Args& a) {
       w.end_object();
     }
     w.end_array();
+    emit_plan_cache_json(w);
     w.end_object();
     std::printf("%s\n", w.str().c_str());
     return 0;
@@ -270,17 +322,13 @@ int run_design(const Args& a) {
 }
 
 int run_optimal(const Args& a) {
-  const auto s = core::expand(make_kernel(a), a.p, a.expansion);
-  const auto designs = explore(s, a.threads);
-  math::IntVec pi;
-  if (!designs.designs.empty()) {
-    pi = designs.designs.front().t.schedule();
-  } else if (auto fallback = published_design(s)) {
-    pi = fallback->first.schedule();
-  } else {
+  const pipeline::PlanPtr plan = plan_for(a, pipeline::MappingStrategy::kAuto);
+  if (!plan->has_mapping()) {
     std::fprintf(stderr, "no feasible design to certify\n");
     return 1;
   }
+  const math::IntVec pi = plan->t->schedule();
+  const core::BitLevelStructure& s = *plan->structure;
   const auto cert = mapping::certify_time_optimal(s.domain, s.deps, pi);
   if (a.json) {
     JsonWriter w;
@@ -290,6 +338,7 @@ int run_optimal(const Args& a) {
     w.key("lp_bound").value(cert.lp_bound.to_string());
     w.key("lower_bound").value(cert.lower_bound);
     w.key("certified_optimal").value(cert.certified);
+    emit_plan_cache_json(w);
     w.end_object();
     std::printf("%s\n", w.str().c_str());
   } else {
@@ -304,49 +353,34 @@ int run_optimal(const Args& a) {
 }
 
 int run_animate(const Args& a) {
-  const auto s = core::expand(make_kernel(a), a.p, a.expansion);
-  const auto designs = explore(s, a.threads);
-  mapping::MappingMatrix t(math::IntMat::identity(1));
-  if (!designs.designs.empty()) {
-    t = designs.designs.front().t;
-  } else if (auto fallback = published_design(s)) {
-    t = fallback->first;
-  } else {
+  const pipeline::PlanPtr plan = plan_for(a, pipeline::MappingStrategy::kAuto);
+  if (!plan->has_mapping()) {
     std::fprintf(stderr, "no feasible design to animate\n");
     return 1;
   }
   sim::TimelineOptions options;
   options.max_cycles = 12;
-  std::printf("%s", sim::cycle_snapshots(s.domain, t, options).c_str());
+  std::printf("%s", sim::cycle_snapshots(plan->structure->domain, *plan->t, options).c_str());
   return 0;
 }
 
 int run_simulate(const Args& a) {
-  const auto model = make_kernel(a);
-  const auto s = core::expand(model, a.p, a.expansion);
-  const auto designs = explore(s, a.threads);
-  mapping::MappingMatrix t(math::IntMat::identity(1));
-  mapping::InterconnectionPrimitives prims = mapping::InterconnectionPrimitives::mesh2d_diag();
-  if (!designs.designs.empty()) {
-    t = designs.designs.front().t;
-  } else if (auto fallback = published_design(s)) {
-    if (!a.json) std::printf("(explorer found nothing; using the published Fig. 4 design)\n");
-    t = fallback->first;
-    prims = fallback->second;
-  } else {
+  const pipeline::PlanPtr plan = plan_for(a, pipeline::MappingStrategy::kAuto);
+  if (!plan->has_mapping()) {
     std::fprintf(stderr, "no feasible design found\n");
     return 1;
   }
-  arch::BitLevelArray array(s, t, prims);
-  array.set_threads(a.threads);
-  array.set_memory_mode(a.memory);
+  if (plan->origin == pipeline::MappingOrigin::kPublished && !a.json) {
+    std::printf("(explorer found nothing; using the published Fig. 4 design)\n");
+  }
 
   // Seeded operands respecting the model's pipelining invariants.
-  const core::Workload workload = core::make_safe_workload(model, a.p, a.expansion, a.seed);
+  const core::Workload workload = core::make_safe_workload(plan->model, a.p, a.expansion, a.seed);
   const core::OperandFn xf = workload.x_fn();
   const core::OperandFn yf = workload.y_fn();
-  const auto run = array.run(xf, yf);
-  const auto ref = core::evaluate_word_reference(model, xf, yf);
+  const pipeline::PlanRunResult run =
+      pipeline::run_plan(*plan, xf, yf, pipeline::RunOptions{a.threads, a.memory});
+  const auto ref = core::evaluate_word_reference(plan->model, xf, yf);
   // A z-output the word-level reference never produced is a mismatch in
   // its own right (reported cleanly with the offending point), not an
   // out_of_range crash.
@@ -377,12 +411,13 @@ int run_simulate(const Args& a) {
     w.key("utilization").value(run.stats.pe_utilization);
     w.key("memory").value(a.memory == sim::MemoryMode::kStreaming ? "streaming" : "dense");
     w.key("peak_live_slots").value(run.stats.peak_live_slots);
-    w.key("pi").value(t.schedule());
+    w.key("pi").value(plan->t->schedule());
+    emit_plan_cache_json(w);
     w.end_object();
     std::printf("%s\n", w.str().c_str());
   } else {
     std::printf("design: Pi = %s, %lld cycles on %lld PEs\n",
-                math::to_string(t.schedule()).c_str(), (long long)run.stats.cycles,
+                math::to_string(plan->t->schedule()).c_str(), (long long)run.stats.cycles,
                 (long long)run.stats.pe_count);
     std::printf("results %s against word-level reference (%zu outputs)\n",
                 ok ? "MATCH" : "DIFFER", run.z.size());
@@ -396,13 +431,14 @@ int run_simulate(const Args& a) {
 int main(int argc, char** argv) {
   const Args args = parse(argc, argv);
   try {
+    if (args.list_kernels) return run_list_kernels(args);
     if (args.action == "structure") return run_structure(args);
     if (args.action == "verify") return run_verify(args);
     if (args.action == "design") return run_design(args);
     if (args.action == "simulate") return run_simulate(args);
     if (args.action == "optimal") return run_optimal(args);
     if (args.action == "animate") return run_animate(args);
-    usage(("unknown action " + args.action).c_str());
+    usage(("unknown action '" + args.action + "' (allowed: " + allowed_actions() + ")").c_str());
   } catch (const bitlevel::Error& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
