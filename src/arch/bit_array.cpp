@@ -34,4 +34,17 @@ ArrayRunResult BitLevelArray::run(const core::OperandFn& x, const core::OperandF
   return ArrayRunResult{std::move(run.stats), std::move(run.z)};
 }
 
+FaultyArrayRunResult BitLevelArray::run_under_faults(const core::OperandFn& x,
+                                                     const core::OperandFn& y,
+                                                     const faults::FaultModel& model,
+                                                     bool checks) const {
+  pipeline::RunOptions options{threads_, memory_};
+  options.faults = &model;
+  options.fault_checks = checks;
+  pipeline::PlanRunResult run =
+      pipeline::run_mapped_structure(*structure_, t_, prims_, k_, x, y, options);
+  return FaultyArrayRunResult{std::move(run.stats), std::move(run.z),
+                              std::move(*run.fault_report)};
+}
+
 }  // namespace bitlevel::arch

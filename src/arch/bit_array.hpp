@@ -20,6 +20,7 @@
 
 #include "core/evaluator.hpp"
 #include "core/structure.hpp"
+#include "faults/report.hpp"
 #include "sim/machine.hpp"
 
 namespace bitlevel::arch {
@@ -32,6 +33,15 @@ struct ArrayRunResult {
   sim::SimulationStats stats;
   /// Final accumulated z word per accumulation-boundary word point.
   std::map<IntVec, std::uint64_t> z;
+};
+
+/// Result of one array run under an installed fault model.
+struct FaultyArrayRunResult {
+  sim::SimulationStats stats;
+  /// Read-out words; empty when the run aborted (report.completed is
+  /// false — a corrupted carry hit the capacity honesty check).
+  std::map<IntVec, std::uint64_t> z;
+  faults::FaultReport report;
 };
 
 /// A bit-level systolic array for a composed structure and mapping.
@@ -71,6 +81,15 @@ class BitLevelArray {
   /// Cycle-accurate run with the given operand words per word-level
   /// index point. Returns statistics and the final z words.
   ArrayRunResult run(const core::OperandFn& x, const core::OperandFn& y) const;
+
+  /// Cycle-accurate run under a fault model: seeded injection at the
+  /// produce/transmit boundaries, parity detection and bounded-retry
+  /// recovery at each cycle barrier (unless `checks` is false), ABFT
+  /// read-out verification for matmul-shaped models, and graceful
+  /// degradation into the returned report — never an abort.
+  FaultyArrayRunResult run_under_faults(const core::OperandFn& x, const core::OperandFn& y,
+                                        const faults::FaultModel& model,
+                                        bool checks = true) const;
 
  private:
   std::shared_ptr<const core::BitLevelStructure> structure_;

@@ -79,6 +79,20 @@ MatmulRunResult BitLevelMatmulArray::multiply(const WordMatrix& x, const WordMat
   return result;
 }
 
+MatmulFaultRunResult BitLevelMatmulArray::multiply_under_faults(const WordMatrix& x,
+                                                                const WordMatrix& y,
+                                                                const faults::FaultModel& model,
+                                                                bool checks) const {
+  BL_REQUIRE(x.u() == u_ && y.u() == u_, "operand extents must match the array");
+  const core::OperandFn xf = [&x](const IntVec& j) { return x.at(j[0], j[2]); };
+  const core::OperandFn yf = [&y](const IntVec& j) { return y.at(j[2], j[1]); };
+  FaultyArrayRunResult raw = array_.run_under_faults(xf, yf, model, checks);
+
+  MatmulFaultRunResult result{WordMatrix(u_), std::move(raw.stats), std::move(raw.report)};
+  for (const auto& [j, value] : raw.z) result.z.at(j[0], j[1]) = value;
+  return result;
+}
+
 Int BitLevelMatmulArray::batch_initiation_interval() const {
   return mapping::published_matmul_initiation_interval(u_);
 }

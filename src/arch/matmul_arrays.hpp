@@ -50,6 +50,15 @@ struct MatmulRunResult {
   sim::SimulationStats stats;
 };
 
+/// Result of a matmul run under an installed fault model.
+struct MatmulFaultRunResult {
+  /// The (possibly corrupted or partial) product; zero-filled where the
+  /// run aborted before read-out.
+  WordMatrix z;
+  sim::SimulationStats stats;
+  faults::FaultReport report;
+};
+
 /// Which of the paper's two mappings to instantiate. The matrices
 /// themselves live in mapping/published.hpp so the design pipeline can
 /// use them too; these aliases keep the arch-level spelling.
@@ -100,6 +109,13 @@ class BitLevelMatmulArray {
   /// their top bit clear and Z must fit 2p-1 bits (see
   /// core::max_safe_operand with Expansion II).
   MatmulRunResult multiply(const WordMatrix& x, const WordMatrix& y) const;
+
+  /// multiply() under a fault model (BitLevelArray::run_under_faults):
+  /// seeded injection, parity + ABFT detection, bounded-retry recovery,
+  /// graceful degradation into the returned report.
+  MatmulFaultRunResult multiply_under_faults(const WordMatrix& x, const WordMatrix& y,
+                                             const faults::FaultModel& model,
+                                             bool checks = true) const;
 
   /// The paper's closed-form total time for this mapping ((4.5), or the
   /// corrected evaluation of (4.8) — see EXPERIMENTS.md erratum E6).

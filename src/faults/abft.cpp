@@ -1,0 +1,93 @@
+#include "faults/abft.hpp"
+
+#include <sstream>
+
+#include "support/error.hpp"
+
+namespace bitlevel::faults {
+
+namespace {
+
+bool matmul_shaped(const ir::WordLevelModel& word) {
+  return word.dim() == 3 && word.h1.has_value() && word.h2.has_value() && word.h3.has_value() &&
+         *word.h1 == IntVec{0, 1, 0} && *word.h2 == IntVec{1, 0, 0} && *word.h3 == IntVec{0, 0, 1};
+}
+
+}  // namespace
+
+std::string AbftReport::to_string() const {
+  if (!supported) return "abft: not applicable (model is not matmul-shaped)";
+  std::ostringstream os;
+  os << "abft: " << (ok ? "ok" : "FAILED") << " (" << rows_checked << " rows, " << cols_checked
+     << " cols";
+  if (!ok) {
+    os << "; " << row_failures.size() << " row failures, " << col_failures.size()
+       << " col failures, " << suspects.size() << " suspects";
+  }
+  os << ")";
+  return os.str();
+}
+
+AbftReport abft_check(const ir::WordLevelModel& word, const core::OperandFn& x,
+                      const core::OperandFn& y, const std::map<IntVec, std::uint64_t>& z) {
+  AbftReport report;
+  if (!matmul_shaped(word)) return report;
+  report.supported = true;
+
+  const IntVec& lo = word.domain.lower();
+  const IntVec& hi = word.domain.upper();
+  const Int k_last = hi[2];  // Accumulation boundary: the last j3 plane.
+
+  // Operand words; the access pattern makes x independent of j2 and y
+  // independent of j1 (h1/h2 pipelining), so evaluate at the canonical
+  // representative.
+  const auto xw = [&](Int j1, Int j3) { return x(IntVec{j1, lo[1], j3}); };
+  const auto yw = [&](Int j2, Int j3) { return y(IntVec{lo[0], j2, j3}); };
+  const auto zw = [&](Int j1, Int j2) {
+    const auto it = z.find(IntVec{j1, j2, k_last});
+    BL_REQUIRE(it != z.end(), "read-out is missing an accumulation-boundary word");
+    return it->second;
+  };
+
+  // Column sums of Y and row sums of X over the reduction axis j3.
+  // All arithmetic is uint64 wraparound: exact modulo 2^64, so the
+  // identities below hold with equality on clean data.
+  std::vector<std::uint64_t> cy, cx;
+  for (Int j3 = lo[2]; j3 <= hi[2]; ++j3) {
+    std::uint64_t sy = 0, sx = 0;
+    for (Int j2 = lo[1]; j2 <= hi[1]; ++j2) sy += yw(j2, j3);
+    for (Int j1 = lo[0]; j1 <= hi[0]; ++j1) sx += xw(j1, j3);
+    cy.push_back(sy);
+    cx.push_back(sx);
+  }
+
+  // Row identity: sum_j2 Z[j1, j2] == sum_j3 X[j1, j3] * CY[j3].
+  for (Int j1 = lo[0]; j1 <= hi[0]; ++j1) {
+    std::uint64_t lhs = 0, rhs = 0;
+    for (Int j2 = lo[1]; j2 <= hi[1]; ++j2) lhs += zw(j1, j2);
+    for (Int j3 = lo[2]; j3 <= hi[2]; ++j3) {
+      rhs += xw(j1, j3) * cy[static_cast<std::size_t>(j3 - lo[2])];
+    }
+    ++report.rows_checked;
+    if (lhs != rhs) report.row_failures.push_back(j1);
+  }
+
+  // Column identity: sum_j1 Z[j1, j2] == sum_j3 CX[j3] * Y[j2, j3].
+  for (Int j2 = lo[1]; j2 <= hi[1]; ++j2) {
+    std::uint64_t lhs = 0, rhs = 0;
+    for (Int j1 = lo[0]; j1 <= hi[0]; ++j1) lhs += zw(j1, j2);
+    for (Int j3 = lo[2]; j3 <= hi[2]; ++j3) {
+      rhs += cx[static_cast<std::size_t>(j3 - lo[2])] * yw(j2, j3);
+    }
+    ++report.cols_checked;
+    if (lhs != rhs) report.col_failures.push_back(j2);
+  }
+
+  for (const Int j1 : report.row_failures) {
+    for (const Int j2 : report.col_failures) report.suspects.push_back(IntVec{j1, j2});
+  }
+  report.ok = report.row_failures.empty() && report.col_failures.empty();
+  return report;
+}
+
+}  // namespace bitlevel::faults

@@ -1,0 +1,53 @@
+// Algorithm-based fault tolerance (ABFT) for the matmul arrays.
+//
+// Huang & Abraham's classic checksum scheme, applied at read-out: for
+// Z = X * Y the row sums of Z must equal X times the column-summed Y
+// and the column sums must equal the row-summed X times Y. Both
+// identities are linear, so they hold exactly in the array's wraparound
+// 64-bit arithmetic (sums mod 2^64), and any single corrupted read-out
+// word breaks its row identity AND its column identity — the
+// intersection localizes the suspect element. The checksums cost
+// O(u^2) word operations on the host, nothing on the array.
+//
+// The check applies to matmul-shaped word-level models (the
+// matmul / matmul_rect kernels: h1 = [0,1,0], h2 = [1,0,0],
+// h3 = [0,0,1]); for any other model it reports supported = false and
+// stays vacuously ok.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/evaluator.hpp"
+#include "ir/triplet.hpp"
+
+namespace bitlevel::faults {
+
+using math::Int;
+using math::IntVec;
+
+/// Outcome of the checksum verification.
+struct AbftReport {
+  bool supported = false;  ///< Model is matmul-shaped; checks ran.
+  bool ok = true;          ///< Every row and column identity held.
+  Int rows_checked = 0;
+  Int cols_checked = 0;
+  std::vector<Int> row_failures;  ///< j1 values whose row identity failed.
+  std::vector<Int> col_failures;  ///< j2 values whose column identity failed.
+  /// Row x column intersections: the candidate corrupted Z elements
+  /// ((j1, j2) pairs). A single corrupted word yields exactly one.
+  std::vector<IntVec> suspects;
+
+  std::string to_string() const;
+};
+
+/// Verify a run's accumulated read-out `z` (keyed by
+/// accumulation-boundary word points, as pipeline::PlanRunResult::z)
+/// against the checksummed operands. `x`/`y` are the same word operand
+/// functions the run used.
+AbftReport abft_check(const ir::WordLevelModel& word, const core::OperandFn& x,
+                      const core::OperandFn& y, const std::map<IntVec, std::uint64_t>& z);
+
+}  // namespace bitlevel::faults

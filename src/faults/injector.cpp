@@ -1,0 +1,122 @@
+#include "faults/injector.hpp"
+
+#include <algorithm>
+
+#include "support/error.hpp"
+#include "support/rng.hpp"
+
+namespace bitlevel::faults {
+
+namespace {
+
+// Recovery attempt at which a persistent fault's re-execution is
+// treated as remapped onto a spare PE (attempt 1 is a plain retry).
+constexpr int kRemapAttempt = 2;
+
+std::uint64_t fold_coords(std::uint64_t h, const IntVec& v) {
+  for (const Int c : v) h = hash_mix(h, static_cast<std::uint64_t>(c));
+  return h;
+}
+
+}  // namespace
+
+FaultInjector::FaultInjector(FaultModel model, IntMat space, std::size_t channels,
+                             bool parity_checks)
+    : model_(model), space_(std::move(space)), channels_(channels) {
+  model_.validate();
+  BL_REQUIRE(channels_ >= 2, "parity convention needs at least one data channel");
+  BL_REQUIRE(model_.channel < channels_, "fault channel out of bundle range");
+
+  auto hooks = std::make_shared<sim::FaultHooks>();
+  hooks->max_retries = model_.max_retries;
+  if (is_persistent(model_.kind)) {
+    hooks->on_produce = [this](const IntVec& q, int attempt, Int* bundle) {
+      produce(q, attempt, bundle);
+    };
+    if (parity_checks) {
+      hooks->check_output = [nch = channels_](const IntVec&, const Int* bundle) {
+        return parity_ok(bundle, nch);
+      };
+    }
+  } else {
+    hooks->on_transmit = [this](const IntVec& q, std::size_t column, int attempt, Int* bundle) {
+      transmit(q, column, attempt, bundle);
+    };
+    if (parity_checks) {
+      hooks->check_input = [nch = channels_](const IntVec&, const Int* bundle) {
+        return parity_ok(bundle, nch);
+      };
+    }
+  }
+  hooks_ = std::move(hooks);
+}
+
+bool FaultInjector::pe_faulty(const IntVec& pe) const {
+  if (!is_persistent(model_.kind)) return false;
+  std::uint64_t h = hash_mix(model_.seed, static_cast<std::uint64_t>(model_.kind));
+  h = fold_coords(h, pe);
+  return hash_to_unit(h) < model_.rate;
+}
+
+void FaultInjector::produce(const IntVec& q, int attempt, Int* bundle) {
+  const IntVec pe = space_.mul(q);
+  if (!pe_faulty(pe)) return;
+  if (attempt >= kRemapAttempt && remapped_to_spare(pe)) return;
+  switch (model_.kind) {
+    case FaultKind::kStuckAt0:
+      bundle[model_.channel] = 0;
+      break;
+    case FaultKind::kStuckAt1:
+      bundle[model_.channel] = 1;
+      break;
+    case FaultKind::kDeadPe:
+      std::fill_n(bundle, channels_, 0);
+      break;
+    default:
+      return;  // Transient kinds never reach the produce hook.
+  }
+  const std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.produce_faults;
+}
+
+void FaultInjector::transmit(const IntVec& q, std::size_t column, int attempt, Int* bundle) {
+  // The decision hashes the full transmission site including the
+  // attempt ordinal: a retry is a NEW transmission that re-samples the
+  // fault, which is what makes transients recoverable.
+  std::uint64_t h = hash_mix(model_.seed, static_cast<std::uint64_t>(model_.kind));
+  h = fold_coords(h, q);
+  h = hash_mix(h, static_cast<std::uint64_t>(column));
+  h = hash_mix(h, static_cast<std::uint64_t>(attempt));
+  if (hash_to_unit(h) >= model_.rate) return;
+  switch (model_.kind) {
+    case FaultKind::kBitFlip:
+      bundle[model_.channel] ^= 1;
+      break;
+    case FaultKind::kDroppedHop:
+      std::fill_n(bundle, channels_, 0);
+      break;
+    default:
+      return;  // Persistent kinds never reach the transmit hook.
+  }
+  const std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.transmit_faults;
+}
+
+bool FaultInjector::remapped_to_spare(const IntVec& pe) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  if (remapped_.find(pe) != remapped_.end()) return true;
+  if (static_cast<int>(remapped_.size()) < model_.spares) {
+    remapped_.insert(pe);
+    ++stats_.spare_remaps;
+    return true;
+  }
+  if (denied_.insert(pe).second) ++stats_.spares_exhausted;
+  return false;
+}
+
+InjectionStats FaultInjector::stats() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace bitlevel::faults

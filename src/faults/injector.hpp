@@ -1,0 +1,118 @@
+// Deterministic fault injection for sim::Machine.
+//
+// A FaultInjector turns a FaultModel into the sim::FaultHooks the
+// machine calls at the produce/transmit boundaries. Every injection
+// decision is a pure SplitMix64 hash of (campaign seed, site) — the
+// site being the physical PE for persistent kinds and the
+// (consumer point, column, attempt) transmission for transient kinds —
+// so a seeded campaign replays bit-identically for every thread count
+// and memory mode, and a transient fault re-samples on each recovery
+// attempt while a persistent fault follows its PE until the injector
+// remaps it to a spare.
+//
+// Detection uses an odd-parity channel convention: the executor
+// appends one channel to the cell bundle and keeps the XOR of all
+// channels' low bits equal to 1 (see set_parity). Any single-channel
+// corruption breaks the invariant, and the all-zero bundles a dead PE
+// or dropped transmission produce fail it too (even parity would pass
+// them). The injector installs the matching bundle checks:
+//   - persistent kinds: check_output (the wavefront monitor) — the
+//     fault manifests in the produced bundle;
+//   - transient kinds: check_input (the link monitor) — the consumer's
+//     recomputed output parity is self-consistent, so only the arriving
+//     copy betrays the corruption.
+//
+// Recovery protocol (driven by the machine's barrier loop):
+//   attempt 0      — normal execution; faults strike.
+//   attempt 1      — plain re-execution: clears transients (the hash
+//                    re-samples), persistent faults strike again.
+//   attempt >= 2   — the injector treats re-execution as remapped onto
+//                    a spare PE when one is available (bounded by
+//                    FaultModel::spares, granted once per PE in
+//                    deterministic barrier order); without a spare the
+//                    fault persists and the event degrades.
+#pragma once
+
+#include <memory>
+#include <mutex>
+#include <set>
+
+#include "faults/model.hpp"
+#include "math/int_mat.hpp"
+#include "sim/machine.hpp"
+
+namespace bitlevel::faults {
+
+using math::Int;
+using math::IntMat;
+using math::IntVec;
+
+/// Odd-parity convention over a channels-length bundle: the XOR of all
+/// channels' low bits is 1. The last channel is the parity channel.
+inline bool parity_ok(const Int* bundle, std::size_t channels) {
+  Int acc = 0;
+  for (std::size_t i = 0; i < channels; ++i) acc ^= bundle[i] & 1;
+  return acc == 1;
+}
+
+/// Fill the last channel so parity_ok holds for the bundle.
+inline void set_parity(Int* bundle, std::size_t channels) {
+  Int par = 1;
+  for (std::size_t i = 0; i + 1 < channels; ++i) par ^= bundle[i] & 1;
+  bundle[channels - 1] = par;
+}
+
+/// Order-independent injection accounting (totals only; every counter
+/// is the same for any execution interleaving of the same campaign).
+struct InjectionStats {
+  Int produce_faults = 0;    ///< Faulty-PE productions that went uncorrected.
+  Int transmit_faults = 0;   ///< Link transmissions corrupted.
+  Int spare_remaps = 0;      ///< Distinct faulty PEs remapped to a spare.
+  Int spares_exhausted = 0;  ///< Distinct faulty PEs denied a spare.
+};
+
+/// Lives for the duration of one machine run and owns the hooks'
+/// bookkeeping; keep it alive until run() returns.
+class FaultInjector {
+ public:
+  /// `space` is the mapping's processor matrix S (index point -> PE),
+  /// so persistent faults target physical PEs; `channels` is the full
+  /// bundle width including the trailing parity channel. With
+  /// `parity_checks` false the injector only corrupts (no detection,
+  /// no recovery) — for measuring silent-corruption rates.
+  FaultInjector(FaultModel model, IntMat space, std::size_t channels, bool parity_checks = true);
+
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  /// The hooks to install as sim::MachineConfig::faults. They reference
+  /// this injector; it must outlive the run.
+  const std::shared_ptr<const sim::FaultHooks>& hooks() const { return hooks_; }
+
+  /// True when the model's hash marks this PE faulty (persistent kinds;
+  /// always false for transient kinds). Pure; exposed for tests.
+  bool pe_faulty(const IntVec& pe) const;
+
+  InjectionStats stats() const;
+
+  const FaultModel& model() const { return model_; }
+
+ private:
+  void produce(const IntVec& q, int attempt, Int* bundle);
+  void transmit(const IntVec& q, std::size_t column, int attempt, Int* bundle);
+  /// Grant `pe` a spare (at most once; bounded by model_.spares).
+  /// Returns true when the PE is running on a spare.
+  bool remapped_to_spare(const IntVec& pe);
+
+  FaultModel model_;
+  IntMat space_;
+  std::size_t channels_;
+  std::shared_ptr<const sim::FaultHooks> hooks_;
+
+  mutable std::mutex mu_;
+  InjectionStats stats_;
+  std::set<IntVec> remapped_;  ///< PEs granted a spare.
+  std::set<IntVec> denied_;    ///< PEs that asked after spares ran out.
+};
+
+}  // namespace bitlevel::faults

@@ -1,0 +1,68 @@
+#include "faults/model.hpp"
+
+#include <sstream>
+
+#include "support/error.hpp"
+
+namespace bitlevel::faults {
+
+bool is_persistent(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kStuckAt0:
+    case FaultKind::kStuckAt1:
+    case FaultKind::kDeadPe:
+      return true;
+    case FaultKind::kBitFlip:
+    case FaultKind::kDroppedHop:
+      return false;
+  }
+  throw PreconditionError("unknown fault kind");
+}
+
+std::string to_string(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kStuckAt0:
+      return "stuck-at-0";
+    case FaultKind::kStuckAt1:
+      return "stuck-at-1";
+    case FaultKind::kBitFlip:
+      return "bit-flip";
+    case FaultKind::kDeadPe:
+      return "dead-pe";
+    case FaultKind::kDroppedHop:
+      return "dropped-hop";
+  }
+  throw PreconditionError("unknown fault kind");
+}
+
+FaultKind parse_fault_kind(const std::string& name) {
+  for (const FaultKind kind : all_fault_kinds()) {
+    if (name == to_string(kind)) return kind;
+  }
+  std::ostringstream os;
+  os << "unknown fault kind '" << name << "'; expected one of";
+  for (const FaultKind kind : all_fault_kinds()) os << " " << to_string(kind);
+  throw NotFoundError(os.str());
+}
+
+const std::vector<FaultKind>& all_fault_kinds() {
+  static const std::vector<FaultKind> kinds = {FaultKind::kStuckAt0, FaultKind::kStuckAt1,
+                                               FaultKind::kBitFlip, FaultKind::kDeadPe,
+                                               FaultKind::kDroppedHop};
+  return kinds;
+}
+
+void FaultModel::validate() const {
+  BL_REQUIRE(rate >= 0.0 && rate <= 1.0, "fault rate must lie in [0, 1]");
+  BL_REQUIRE(spares >= 0, "spare count must be nonnegative");
+  BL_REQUIRE(max_retries >= 0, "retry bound must be nonnegative");
+}
+
+std::string FaultModel::to_string() const {
+  std::ostringstream os;
+  os << faults::to_string(kind) << " rate " << rate << " seed " << seed << " channel " << channel
+     << " spares " << spares << " retries " << max_retries;
+  return os.str();
+}
+
+}  // namespace bitlevel::faults

@@ -1,0 +1,73 @@
+// Fault models for the systolic simulator.
+//
+// A FaultModel describes one hardware failure scenario: which physical
+// misbehaviour (kind), how often it strikes (rate), and the campaign
+// seed that makes every injection decision reproducible. The injector
+// (faults/injector.hpp) derives each decision as a pure hash of
+// (seed, site), never from execution order, so a seeded campaign is
+// bit-identical across thread counts and memory modes.
+//
+// The kinds mirror the classic systolic-array failure taxonomy:
+//   - persistent PE faults (a manufacturing or wear-out defect in one
+//     processing element): stuck-at-0 / stuck-at-1 on an output
+//     channel, or a completely dead PE emitting zeros;
+//   - transient link faults (noise on a wire): a bit flip on one
+//     transmission, or a whole bundle dropped in flight.
+// Persistent faults follow the PE across retries — recovering from
+// them requires remapping the computation onto a spare PE — while
+// transient faults re-sample per attempt, so a simple re-execution
+// usually clears them.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace bitlevel::faults {
+
+/// The supported hardware failure scenarios.
+enum class FaultKind {
+  kStuckAt0,    ///< Persistent: one PE output channel reads 0 forever.
+  kStuckAt1,    ///< Persistent: one PE output channel reads 1 forever.
+  kBitFlip,     ///< Transient: one link transmission has a channel flipped.
+  kDeadPe,      ///< Persistent: one PE emits an all-zero bundle.
+  kDroppedHop,  ///< Transient: one link transmission arrives as all zeros.
+};
+
+/// True for faults tied to a PE (they persist across retries and need a
+/// spare remap to clear); false for per-transmission transients.
+bool is_persistent(FaultKind kind);
+
+std::string to_string(FaultKind kind);
+
+/// Parse a kind name ("stuck-at-0", "bit-flip", ...). Throws
+/// NotFoundError listing the allowed names on anything else.
+FaultKind parse_fault_kind(const std::string& name);
+
+/// Every kind, in declaration order (campaign sweeps iterate this).
+const std::vector<FaultKind>& all_fault_kinds();
+
+/// One failure scenario, fully reproducible from its fields.
+struct FaultModel {
+  FaultKind kind = FaultKind::kBitFlip;
+  /// Per-site fault probability: per PE for persistent kinds, per link
+  /// transmission for transient kinds. Must lie in [0, 1].
+  double rate = 0.0;
+  std::uint64_t seed = 1;  ///< Campaign seed; same seed, same faults.
+  /// Channel index the stuck-at / bit-flip kinds target (the compressor
+  /// cell's partial-sum channel "z" by default).
+  std::size_t channel = 2;
+  /// Spare PEs available for remapping persistent faults during
+  /// recovery. 0 = no spares: persistent faults degrade instead.
+  int spares = 0;
+  /// Bounded re-executions per suspect event (sim::FaultHooks contract);
+  /// 0 = detect only.
+  int max_retries = 2;
+
+  /// Throws PreconditionError unless the fields are consistent.
+  void validate() const;
+
+  std::string to_string() const;
+};
+
+}  // namespace bitlevel::faults

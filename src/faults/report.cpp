@@ -1,0 +1,60 @@
+#include "faults/report.hpp"
+
+#include <sstream>
+
+#include "math/int_vec.hpp"
+
+namespace bitlevel::faults {
+
+void FaultReport::write_json(JsonWriter& w) const {
+  w.begin_object();
+  w.key("kind").value(faults::to_string(model.kind));
+  w.key("rate").value(model.rate);
+  w.key("seed").value(model.seed);
+  w.key("channel").value(static_cast<std::int64_t>(model.channel));
+  w.key("spares").value(model.spares);
+  w.key("max_retries").value(model.max_retries);
+  w.key("completed").value(completed);
+  if (!completed) w.key("abort_reason").value(abort_reason);
+  w.key("faults_detected").value(faults_detected);
+  w.key("faults_recovered").value(faults_recovered);
+  w.key("recovery_reexecutions").value(recovery_reexecutions);
+  w.key("degraded_points").begin_array();
+  for (const IntVec& q : degraded_points) w.value(q);
+  w.end_array();
+  w.key("injection").begin_object();
+  w.key("produce_faults").value(injection.produce_faults);
+  w.key("transmit_faults").value(injection.transmit_faults);
+  w.key("spare_remaps").value(injection.spare_remaps);
+  w.key("spares_exhausted").value(injection.spares_exhausted);
+  w.end_object();
+  w.key("abft").begin_object();
+  w.key("supported").value(abft.supported);
+  w.key("ok").value(abft.ok);
+  w.key("row_failures").value(abft.row_failures);
+  w.key("col_failures").value(abft.col_failures);
+  w.key("suspects").begin_array();
+  for (const IntVec& s : abft.suspects) w.value(s);
+  w.end_array();
+  w.end_object();
+  w.key("corrupted_words").value(corrupted_words);
+  w.key("silent_corruption").value(silent_corruption);
+  w.end_object();
+}
+
+std::string FaultReport::to_string() const {
+  std::ostringstream os;
+  os << "fault run [" << model.to_string() << "]: ";
+  if (!completed) {
+    os << "ABORTED (" << abort_reason << "), ";
+  }
+  os << "detected " << faults_detected << ", recovered " << faults_recovered << " ("
+     << recovery_reexecutions << " reexecutions), degraded " << degraded_points.size()
+     << ", injected " << injection.produce_faults + injection.transmit_faults << " (remaps "
+     << injection.spare_remaps << ", spares exhausted " << injection.spares_exhausted << "), "
+     << abft.to_string() << ", corrupted words " << corrupted_words
+     << (silent_corruption ? " [SILENT]" : "");
+  return os.str();
+}
+
+}  // namespace bitlevel::faults

@@ -1,0 +1,50 @@
+// Structured outcome of one faulty run — the "degrade gracefully"
+// artifact: a campaign never aborts on a fault; anything the array
+// could not recover lands here, machine-readable.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "faults/abft.hpp"
+#include "faults/injector.hpp"
+#include "faults/model.hpp"
+#include "support/json.hpp"
+
+namespace bitlevel::faults {
+
+/// Everything one faulty run reported: what was injected, what the
+/// online monitors caught, what recovery fixed, what degraded, and what
+/// the read-out checks concluded.
+struct FaultReport {
+  FaultModel model;
+
+  /// False when the run threw mid-flight (a corrupted carry can violate
+  /// the array's capacity precondition before any monitor sees it);
+  /// the reason is recorded instead of propagating the exception.
+  bool completed = true;
+  std::string abort_reason;
+
+  // Online detection / recovery (sim::SimulationStats fault counters).
+  Int faults_detected = 0;
+  Int faults_recovered = 0;
+  Int recovery_reexecutions = 0;
+  std::vector<IntVec> degraded_points;
+
+  InjectionStats injection;  ///< What the injector actually corrupted.
+  AbftReport abft;           ///< Read-out checksum verdict (matmul models).
+
+  /// Read-out words differing from the fault-free reference run
+  /// (0 when the run aborted before read-out).
+  Int corrupted_words = 0;
+  /// Corrupted read-out with nothing flagged: no online detection, no
+  /// degraded points, and the ABFT check (if supported) passed.
+  bool silent_corruption = false;
+
+  /// Emit as one JSON object (usable after JsonWriter::key).
+  void write_json(JsonWriter& w) const;
+
+  std::string to_string() const;
+};
+
+}  // namespace bitlevel::faults

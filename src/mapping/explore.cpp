@@ -38,15 +38,17 @@ ExploreResult explore_designs(const ir::IndexSet& domain, const ir::DependenceMa
   // One direction set: search its schedules (serially — the pool is
   // already partitioned one level up) and emit the feasible designs.
   const auto try_space = [&](const IntMat& u, std::vector<DesignCandidate>& designs,
-                             std::size_t& schedules_examined) {
+                             std::size_t& schedules_examined, bool& budget_exhausted) {
     const IntMat space = space_mapping_from_projections(u);
 
     ScheduleSearchOptions sopt;
     sopt.coefficient_bound = options.schedule_bound;
     sopt.keep = options.keep_per_space;
     sopt.threads = 1;
+    sopt.max_examined = options.schedule_budget;
     const auto found = search_schedules(domain, deps, space, prims, sopt);
     schedules_examined += found.examined;
+    budget_exhausted = budget_exhausted || found.budget_exhausted;
 
     for (const auto& cand : found.feasible) {
       const MappingMatrix t(space, cand.pi);
@@ -65,18 +67,24 @@ ExploreResult explore_designs(const ir::IndexSet& domain, const ir::DependenceMa
 
   const std::size_t nthreads = support::ThreadPool::resolve_threads(options.threads);
   if (nthreads == 1 || sets.size() < 2) {
-    for (const IntMat& u : sets) try_space(u, result.designs, result.schedules_examined);
+    for (const IntMat& u : sets) {
+      try_space(u, result.designs, result.schedules_examined, result.budget_exhausted);
+    }
   } else {
     // Deterministic partition of the direction-set pool; chunk-order
     // merge reproduces the serial emission order.
     std::vector<std::vector<DesignCandidate>> designs(nthreads);
     std::vector<std::size_t> examined(nthreads, 0);
+    std::vector<char> exhausted(nthreads, 0);
     support::ThreadPool::shared().parallel_for(
         nthreads, 0, sets.size(), [&](std::size_t chunk, std::size_t lo, std::size_t hi) {
-          for (std::size_t s = lo; s < hi; ++s) try_space(sets[s], designs[chunk], examined[chunk]);
+          bool hit = false;
+          for (std::size_t s = lo; s < hi; ++s) try_space(sets[s], designs[chunk], examined[chunk], hit);
+          exhausted[chunk] = hit ? 1 : 0;
         });
     for (std::size_t c = 0; c < nthreads; ++c) {
       result.schedules_examined += examined[c];
+      result.budget_exhausted = result.budget_exhausted || exhausted[c] != 0;
       result.designs.insert(result.designs.end(), std::make_move_iterator(designs[c].begin()),
                             std::make_move_iterator(designs[c].end()));
     }

@@ -43,6 +43,11 @@ struct ExploreOptions {
   /// concurrency, 1 = serial. Ranked designs are byte-identical for
   /// every thread count.
   int threads = 0;
+  /// Iteration watchdog: per-space cap on schedule odometer positions
+  /// (ScheduleSearchOptions::max_examined; 0 = unbounded). Pathological
+  /// bounds then yield a partial, deterministic result with
+  /// ExploreResult::budget_exhausted set instead of sweeping forever.
+  std::size_t schedule_budget = 0;
 };
 
 /// Objective for the final ranking.
@@ -57,6 +62,9 @@ struct ExploreResult {
   std::vector<DesignCandidate> designs;  ///< Sorted by the objective.
   std::size_t spaces_tried = 0;
   std::size_t schedules_examined = 0;
+  /// True when ExploreOptions::schedule_budget truncated at least one
+  /// space's schedule sweep: `designs` ranks only the examined prefix.
+  bool budget_exhausted = false;
 };
 
 /// Explore (k-1)-dimensional arrays for the algorithm (domain, deps) on

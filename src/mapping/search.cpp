@@ -85,6 +85,12 @@ ScheduleSearchResult search_schedules(const ir::IndexSet& domain,
     result.examined = 0;
     return result;
   }
+  // Iteration watchdog: sweep only the deterministic odometer prefix
+  // the budget allows, flagging the result as partial.
+  if (options.max_examined != 0 && total > options.max_examined) {
+    result.budget_exhausted = true;
+    total = options.max_examined;
+  }
   result.examined = total;
 
   const std::size_t nthreads = support::ThreadPool::resolve_threads(options.threads);

@@ -30,6 +30,13 @@ struct ScheduleSearchOptions {
   /// byte-identical for every thread count (deterministic partition,
   /// chunk-order merge, total-order ranking).
   int threads = 0;
+  /// Iteration watchdog: enumerate at most this many odometer positions
+  /// (0 = unbounded). A larger space is swept only over its first
+  /// `max_examined` positions — a deterministic prefix, identical for
+  /// every thread count — and the partial result carries
+  /// budget_exhausted (mirroring the saturation flag) instead of
+  /// running without bound.
+  std::size_t max_examined = 0;
 };
 
 /// Result of a schedule search.
@@ -41,6 +48,9 @@ struct ScheduleSearchResult {
   /// empty. Callers wanting results must shrink the bound or the
   /// dimensionality.
   bool saturated = false;
+  /// True when ScheduleSearchOptions::max_examined cut the sweep short:
+  /// `feasible` and `examined` cover only the enumerated prefix.
+  bool budget_exhausted = false;
 };
 
 /// Enumerate schedules for the fixed space mapping `space` over the

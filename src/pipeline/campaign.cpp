@@ -1,0 +1,86 @@
+#include "pipeline/campaign.hpp"
+
+#include <iomanip>
+#include <sstream>
+
+#include "support/error.hpp"
+
+namespace bitlevel::pipeline {
+
+std::string CampaignResult::to_table() const {
+  std::ostringstream os;
+  os << std::left << std::setw(13) << "kind" << std::right << std::setw(8) << "rate"
+     << std::setw(10) << "injected" << std::setw(10) << "detected" << std::setw(10) << "recovered"
+     << std::setw(10) << "degraded" << std::setw(10) << "corrupted" << std::setw(7) << "abft"
+     << std::setw(8) << "silent" << std::setw(10) << "status" << "\n";
+  for (const faults::FaultReport& r : reports) {
+    os << std::left << std::setw(13) << to_string(r.model.kind) << std::right << std::setw(8)
+       << r.model.rate << std::setw(10) << r.injection.produce_faults + r.injection.transmit_faults
+       << std::setw(10) << r.faults_detected << std::setw(10) << r.faults_recovered
+       << std::setw(10) << r.degraded_points.size() << std::setw(10) << r.corrupted_words
+       << std::setw(7) << (!r.abft.supported ? "n/a" : (r.abft.ok ? "ok" : "FAIL")) << std::setw(8)
+       << (r.silent_corruption ? "YES" : "no") << std::setw(10)
+       << (r.completed ? "complete" : "aborted") << "\n";
+  }
+  return os.str();
+}
+
+void CampaignResult::write_json(JsonWriter& w) const {
+  w.begin_object();
+  w.key("reference_words").value(reference_words);
+  w.key("reports").begin_array();
+  for (const faults::FaultReport& r : reports) r.write_json(w);
+  w.end_array();
+  w.end_object();
+}
+
+CampaignResult run_campaign(PlanCache& cache, const DesignRequest& request,
+                            const core::OperandFn& x, const core::OperandFn& y,
+                            const CampaignOptions& options) {
+  BL_REQUIRE(!options.kinds.empty(), "campaign needs at least one fault kind");
+  BL_REQUIRE(!options.rates.empty(), "campaign needs at least one fault rate");
+
+  CampaignResult campaign;
+  const std::string key = canonical_key(request);
+  campaign.plan_was_cached = cache.peek(key) != nullptr;
+  campaign.plan = cache.get_or_compose(request);
+
+  // The fault-free reference: scoring baseline for corrupted_words.
+  const PlanRunResult reference = run_plan(*campaign.plan, x, y);
+  campaign.reference_words = static_cast<Int>(reference.z.size());
+
+  campaign.reports.reserve(options.kinds.size() * options.rates.size());
+  for (const faults::FaultKind kind : options.kinds) {
+    for (const double rate : options.rates) {
+      faults::FaultModel model;
+      model.kind = kind;
+      model.rate = rate;
+      model.seed = options.seed;
+      model.channel = options.channel;
+      model.spares = options.spares;
+      model.max_retries = options.max_retries;
+
+      RunOptions run_options;
+      run_options.threads = request.threads;
+      run_options.memory = request.memory;
+      run_options.faults = &model;
+      run_options.fault_checks = options.fault_checks;
+      PlanRunResult run = run_plan(*campaign.plan, x, y, run_options);
+
+      faults::FaultReport report = std::move(*run.fault_report);
+      if (report.completed) {
+        for (const auto& [point, word] : reference.z) {
+          const auto it = run.z.find(point);
+          if (it == run.z.end() || it->second != word) ++report.corrupted_words;
+        }
+        report.silent_corruption = report.corrupted_words > 0 && report.faults_detected == 0 &&
+                                   report.degraded_points.empty() &&
+                                   (!report.abft.supported || report.abft.ok);
+      }
+      campaign.reports.push_back(std::move(report));
+    }
+  }
+  return campaign;
+}
+
+}  // namespace bitlevel::pipeline

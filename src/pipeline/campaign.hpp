@@ -1,0 +1,65 @@
+// Fault-injection campaigns over cached design plans.
+//
+// A campaign sweeps fault kind x fault rate over ONE composed plan
+// (the expansion and mapping machinery run once, via the PlanCache),
+// executing a seeded faulty run per cell and scoring it against the
+// fault-free reference run: what the injector corrupted, what the
+// online monitors detected, what bounded-retry recovery fixed, what
+// degraded, what the ABFT read-out check concluded, and whether any
+// corruption slipped through every net (silent).
+//
+// Determinism: every report in the table is a pure function of
+// (request, operands, campaign options) — thread counts and memory
+// modes change nothing, so the JSON document is byte-comparable
+// across execution configurations (it deliberately contains no
+// execution-knob fields).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "faults/report.hpp"
+#include "pipeline/executor.hpp"
+
+namespace bitlevel::pipeline {
+
+/// What to sweep and how to inject. Execution knobs (threads, memory)
+/// come from the request, as everywhere in the pipeline.
+struct CampaignOptions {
+  /// Fault kinds to sweep (default: every kind).
+  std::vector<faults::FaultKind> kinds = faults::all_fault_kinds();
+  /// Per-site fault rates to sweep, each in [0, 1].
+  std::vector<double> rates = {0.001, 0.01, 0.05};
+  std::uint64_t seed = 1;    ///< Campaign seed (FaultModel::seed).
+  std::size_t channel = 2;   ///< Stuck-at / bit-flip target channel ("z").
+  int spares = 2;            ///< Spare PEs per run (FaultModel::spares).
+  int max_retries = 2;       ///< Recovery retry bound per suspect event.
+  bool fault_checks = true;  ///< Off: injection only (silent-rate study).
+};
+
+/// The campaign's detection / recovery / degradation table.
+struct CampaignResult {
+  PlanPtr plan;                  ///< The shared plan every run used.
+  bool plan_was_cached = false;  ///< True when the cache already held it.
+  Int reference_words = 0;       ///< Read-out size of the clean run.
+  /// One report per (kind, rate) cell, kinds-major in option order.
+  std::vector<faults::FaultReport> reports;
+
+  /// Human-readable table (one row per cell).
+  std::string to_table() const;
+
+  /// One JSON object; deterministic and execution-mode invariant.
+  void write_json(JsonWriter& w) const;
+};
+
+/// Run the sweep: compose (or fetch) the plan for `request` from
+/// `cache`, execute one clean reference run plus one faulty run per
+/// (kind, rate) cell over the same operands, and score each faulty run
+/// against the reference. Fault runs degrade into their report rather
+/// than throwing (see RunOptions::faults).
+CampaignResult run_campaign(PlanCache& cache, const DesignRequest& request,
+                            const core::OperandFn& x, const core::OperandFn& y,
+                            const CampaignOptions& options = {});
+
+}  // namespace bitlevel::pipeline

@@ -70,8 +70,10 @@ PlanPtr compose(const DesignRequest& request) {
   ir::WordLevelModel model = resolve_kernel(request.kernel);
   const double resolve_ms = ms_since(start);
 
-  auto plan =
-      std::make_shared<DesignPlan>(DesignPlan{request, canonical_key(request), std::move(model)});
+  auto plan = std::make_shared<DesignPlan>(DesignPlan{request, canonical_key(request),
+                                                      std::move(model), nullptr,
+                                                      MappingOrigin::kNone, std::nullopt,
+                                                      std::nullopt, std::nullopt, {}, {}});
   plan->timings.resolve_ms = resolve_ms;
 
   // Stage 2: expand (Theorem 3.1).

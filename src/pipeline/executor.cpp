@@ -1,7 +1,10 @@
 #include "pipeline/executor.hpp"
 
+#include <optional>
+
 #include "arith/bits.hpp"
 #include "core/expansion.hpp"
+#include "faults/injector.hpp"
 #include "sim/machine.hpp"
 #include "support/error.hpp"
 
@@ -9,10 +12,18 @@ namespace bitlevel::pipeline {
 
 namespace {
 
-// Channel layout of the compressor cell's output bundle.
+// Channel layout of the compressor cell's output bundle. Fault-aware
+// runs append a sixth odd-parity channel "par" (faults::set_parity) so
+// the bundle monitors can flag single-channel corruption; clean runs
+// keep the five-channel layout bit-identical to a build without the
+// fault feature.
 constexpr std::size_t kX = 0, kY = 1, kZ = 2, kC = 3, kCp = 4;
 
-std::vector<std::string> cell_channels() { return {"x", "y", "z", "c", "cp"}; }
+std::vector<std::string> cell_channels(bool with_parity) {
+  std::vector<std::string> ch = {"x", "y", "z", "c", "cp"};
+  if (with_parity) ch.push_back("par");
+  return ch;
+}
 
 }  // namespace
 
@@ -23,6 +34,8 @@ PlanRunResult run_mapped_structure(const core::BitLevelStructure& structure,
                                    const core::OperandFn& y, const RunOptions& options) {
   using math::Int;
   using math::IntVec;
+  const bool faulty = options.faults != nullptr;
+  const std::size_t nbundle = faulty ? 6 : 5;
   const Int p = structure.p;
   const std::size_t n = structure.word_dims();
   const std::size_t i1c = structure.i1_coord();
@@ -69,12 +82,14 @@ PlanRunResult run_mapped_structure(const core::BitLevelStructure& structure,
   };
 
   sim::ExternalFn external = [&](const IntVec& q, std::size_t column) -> sim::Outputs {
-    sim::Outputs out(5, 0);
+    sim::Outputs out(nbundle, 0);
     // A column's external bundle plays the producer's role: fresh
     // operand bits for the pipelines, zeros for sums and carries
     // (the initial values of programs (3.1)/(3.5)).
     if (column == col_d1 || column == col_d4) out[kX] = x_bit(q);
     if (column == col_d2 || column == col_d5) out[kY] = y_bit(q);
+    // Boundary bundles carry parity too: link faults can strike them.
+    if (faulty) faults::set_parity(out.data(), nbundle);
     return out;
   };
 
@@ -102,12 +117,13 @@ PlanRunResult run_mapped_structure(const core::BitLevelStructure& structure,
     const Int total = pp + (z3 != nullptr ? z3[kZ] : 0) + (z6 != nullptr ? z6[kZ] : 0) +
                       (c5 != nullptr ? c5[kC] : 0) + (c7 != nullptr ? c7[kCp] : 0);
 
-    sim::Outputs out(5, 0);
+    sim::Outputs out(nbundle, 0);
     out[kX] = xv;
     out[kY] = yv;
     out[kZ] = total & 1;
     out[kC] = (total >> 1) & 1;
     out[kCp] = (total >> 2) & 1;
+    if (faulty) faults::set_parity(out.data(), nbundle);
 
     // Capacity honesty: a nonzero carry must have somewhere to go.
     auto consumed = [&](std::size_t column) {
@@ -130,10 +146,16 @@ PlanRunResult run_mapped_structure(const core::BitLevelStructure& structure,
     return out;
   };
 
-  sim::MachineConfig cfg{structure.domain, deps,           t,
-                         prims,            k,              cell_channels(),
+  sim::MachineConfig cfg{structure.domain, deps,
+                         t,                prims,
+                         k,                cell_channels(faulty),
                          options.threads};
   cfg.memory = options.memory;
+  std::optional<faults::FaultInjector> injector;
+  if (faulty) {
+    injector.emplace(*options.faults, t.space(), nbundle, options.fault_checks);
+    cfg.faults = injector->hooks();
+  }
   if (options.memory == sim::MemoryMode::kStreaming) {
     // The read-out below touches only the bit-grid edge cells (i2 = 1
     // and i1 = p); observing that superset of the accumulation-boundary
@@ -142,24 +164,55 @@ PlanRunResult run_mapped_structure(const core::BitLevelStructure& structure,
   }
   sim::Machine machine(std::move(cfg), compute, external);
   PlanRunResult result;
-  result.stats = machine.run();
 
   // Read the final z words off the accumulation-boundary grids: bit i at
   // cell (i, 1) for i <= p, bit p+i2-1 at (p, i2), bit 2p from c(p, p).
-  structure.word.domain.for_each([&](const IntVec& j) {
-    if (!boundary.contains(math::concat(j, IntVec{1, 1}))) return true;
-    std::vector<int> bits;
-    bits.reserve(static_cast<std::size_t>(2 * p));
-    for (Int i = 1; i <= p; ++i) {
-      bits.push_back(static_cast<int>(machine.outputs_at(math::concat(j, IntVec{i, 1}))[kZ]));
-    }
-    for (Int i2 = 2; i2 <= p; ++i2) {
-      bits.push_back(static_cast<int>(machine.outputs_at(math::concat(j, IntVec{p, i2}))[kZ]));
-    }
-    bits.push_back(static_cast<int>(machine.outputs_at(math::concat(j, IntVec{p, p}))[kC]));
-    result.z.emplace(j, arith::from_bits(bits));
-    return true;
-  });
+  const auto read_out = [&] {
+    structure.word.domain.for_each([&](const IntVec& j) {
+      if (!boundary.contains(math::concat(j, IntVec{1, 1}))) return true;
+      std::vector<int> bits;
+      bits.reserve(static_cast<std::size_t>(2 * p));
+      for (Int i = 1; i <= p; ++i) {
+        bits.push_back(static_cast<int>(machine.outputs_at(math::concat(j, IntVec{i, 1}))[kZ]));
+      }
+      for (Int i2 = 2; i2 <= p; ++i2) {
+        bits.push_back(static_cast<int>(machine.outputs_at(math::concat(j, IntVec{p, i2}))[kZ]));
+      }
+      bits.push_back(static_cast<int>(machine.outputs_at(math::concat(j, IntVec{p, p}))[kC]));
+      result.z.emplace(j, arith::from_bits(bits));
+      return true;
+    });
+  };
+
+  if (!faulty) {
+    result.stats = machine.run();
+    read_out();
+    return result;
+  }
+
+  // Fault runs never abort: an injected carry can violate the array's
+  // capacity precondition (the compute fn's "dropped a carry" honesty
+  // check) before any monitor sees it — record that as an incomplete
+  // run in the report instead of propagating. Genuine contract
+  // violations (PreconditionError etc.) still throw.
+  faults::FaultReport& report = result.fault_report.emplace();
+  report.model = injector->model();
+  try {
+    result.stats = machine.run();
+    read_out();
+  } catch (const OverflowError& e) {
+    report.completed = false;
+    report.abort_reason = e.what();
+    result.z.clear();
+  }
+  report.faults_detected = result.stats.faults_detected;
+  report.faults_recovered = result.stats.faults_recovered;
+  report.recovery_reexecutions = result.stats.recovery_reexecutions;
+  report.degraded_points = result.stats.degraded_points;
+  report.injection = injector->stats();
+  if (report.completed && options.fault_checks) {
+    report.abft = faults::abft_check(structure.word, x, y, result.z);
+  }
   return result;
 }
 

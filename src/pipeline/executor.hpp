@@ -17,9 +17,11 @@
 
 #include <cstdint>
 #include <map>
+#include <optional>
 #include <vector>
 
 #include "core/evaluator.hpp"
+#include "faults/report.hpp"
 #include "pipeline/cache.hpp"
 
 namespace bitlevel::pipeline {
@@ -28,13 +30,28 @@ namespace bitlevel::pipeline {
 struct RunOptions {
   int threads = 0;
   sim::MemoryMode memory = sim::MemoryMode::kDense;
+  /// Optional fault scenario. Non-null switches the run fault-aware:
+  /// the cell bundle grows a parity channel, a faults::FaultInjector
+  /// corrupts the produce/transmit boundaries, the machine detects and
+  /// recovers at each cycle barrier, and the ABFT read-out check runs.
+  /// Null is the clean path — bit-identical to a build without the
+  /// feature. The pointee is only read for the duration of the call.
+  const faults::FaultModel* faults = nullptr;
+  /// Fault runs only: turn the parity/ABFT detection and recovery off
+  /// (injection still happens) to measure silent-corruption rates.
+  bool fault_checks = true;
 };
 
 /// Result of one cycle-accurate run.
 struct PlanRunResult {
   sim::SimulationStats stats;
   /// Final accumulated z word per accumulation-boundary word point.
+  /// Empty when a fault run aborted (see FaultReport::completed).
   std::map<math::IntVec, std::uint64_t> z;
+  /// Present exactly when the run had a fault model installed.
+  /// corrupted_words / silent_corruption are filled by callers that
+  /// hold a fault-free reference (pipeline::run_campaign does).
+  std::optional<faults::FaultReport> fault_report;
 };
 
 /// Cycle-accurate run of a composed structure under mapping t/prims

@@ -86,6 +86,11 @@ std::string SimulationStats::to_string() const {
      << ", buffered value-cycles " << buffered_value_cycles << ", peak parallelism "
      << peak_parallelism << ", threads " << threads_used << ", peak live slots "
      << peak_live_slots << ", observed points " << observed_points;
+  if (faults_detected != 0 || recovery_reexecutions != 0 || !degraded_points.empty()) {
+    os << ", faults detected " << faults_detected << " (recovered " << faults_recovered
+       << ", reexecutions " << recovery_reexecutions << ", degraded " << degraded_points.size()
+       << ")";
+  }
   return os.str();
 }
 
@@ -165,6 +170,9 @@ SimulationStats Machine::run() {
   stats.cycles = stats.last_cycle - stats.first_cycle + 1;
 
   SlotArena arena(nch);
+  // Fault runs re-read producer slots during recovery; retirement
+  // tracking turns any window-logic slip into a specific fast failure.
+  if (streaming && config_.faults != nullptr) arena.track_retired(true);
   if (!streaming) {
     outputs_.assign(npoints * nch, 0);
     computed_.assign(npoints, 0);
@@ -184,12 +192,21 @@ SimulationStats Machine::run() {
     Int computations = 0;
   };
 
+  // Fault hooks: null on clean runs, where every hook site below is a
+  // single pointer test.
+  const FaultHooks* fh = config_.faults.get();
+  const bool fault_checks = fh != nullptr && (fh->check_output || fh->check_input);
+
   // One event: resolve operands, verify timing, compute, store. The
   // scratch vectors are per-thread so the fan-out shares nothing but
   // the (disjoint) destination slots and earlier cycles' results.
+  // `attempt` is 0 on the first execution and counts recovery re-runs.
+  // Returns false when the link-level fault check flagged an arriving
+  // bundle as corrupted.
   const auto execute_event = [&](const IntVec& q, Int cycle, std::size_t linear, Int* dest,
                                  Accum& acc, std::vector<ColumnInput>& inputs,
-                                 std::vector<Outputs>& resolved_externals) {
+                                 std::vector<Outputs>& resolved_externals, int attempt) {
+    bool inputs_ok = true;
     resolved_externals.clear();
     resolved_externals.reserve(ncols);
     for (std::size_t i = 0; i < ncols; ++i) {
@@ -198,43 +215,74 @@ SimulationStats Machine::run() {
       if (!col.valid.contains(q)) continue;
       inputs[i].valid = true;
       const IntVec producer = math::sub(q, col.d);
+      const Int* bundle;
       if (!config_.domain.contains(producer)) {
         inputs[i].external = true;
         resolved_externals.push_back(external_(q, i));
         BL_REQUIRE(resolved_externals.back().size() == nch,
                    "external function must fill every channel");
-        inputs[i].producer = resolved_externals.back().data();
-        continue;
-      }
-      const std::size_t slot = linear_index(producer);
-      // Condition 2 keeps producers strictly earlier than consumers and
-      // the window retains them through their last consumption cycle,
-      // so a miss in either store is a schedule violation.
-      const Int* bundle;
-      if (streaming) {
-        bundle = arena.find(slot);
+        bundle = resolved_externals.back().data();
       } else {
-        bundle = computed_[slot] != 0 ? outputs_.data() + slot * nch : nullptr;
+        const std::size_t slot = linear_index(producer);
+        // Condition 2 keeps producers strictly earlier than consumers and
+        // the window retains them through their last consumption cycle,
+        // so a miss in either store is a schedule violation.
+        if (streaming) {
+          bundle = arena.find(slot);
+        } else {
+          bundle = computed_[slot] != 0 ? outputs_.data() + slot * nch : nullptr;
+        }
+        BL_REQUIRE(bundle != nullptr,
+                   "operand not yet produced — schedule violates a dependence");
+        // Timing: the value left the producer at Pi*producer, took
+        // hops[i] link cycles, and must have arrived by now.
+        const Int produced = math::dot(pi, producer);
+        BL_REQUIRE(produced + hops[i] <= cycle,
+                   "operand arrives after its consumption cycle — (4.1) violated");
+        // Accounting: hops and the buffer wait at the consumer.
+        acc.link = math::checked_add(acc.link, hops[i]);
+        acc.wire_len = math::checked_add(acc.wire_len, wire[i]);
+        acc.buffered = math::checked_add(acc.buffered, cycle - produced - hops[i]);
       }
-      BL_REQUIRE(bundle != nullptr,
-                 "operand not yet produced — schedule violates a dependence");
-      // Timing: the value left the producer at Pi*producer, took
-      // hops[i] link cycles, and must have arrived by now.
-      const Int produced = math::dot(pi, producer);
-      BL_REQUIRE(produced + hops[i] <= cycle,
-                 "operand arrives after its consumption cycle — (4.1) violated");
+      // Transmission boundary: the consumer receives a private copy the
+      // injector may corrupt and the link-level monitor inspects.
+      // External bundles are already private; resident slots are copied
+      // so the producer's stored value stays pristine for other
+      // consumers.
+      if (fh != nullptr && (fh->on_transmit || fh->check_input)) {
+        if (!inputs[i].external) {
+          resolved_externals.emplace_back(bundle, bundle + nch);
+          bundle = resolved_externals.back().data();
+        }
+        Int* view = resolved_externals.back().data();
+        if (fh->on_transmit) fh->on_transmit(q, i, attempt, view);
+        if (fh->check_input && !fh->check_input(q, view)) inputs_ok = false;
+      }
       inputs[i].producer = bundle;
-      // Accounting: hops and the buffer wait at the consumer.
-      acc.link = math::checked_add(acc.link, hops[i]);
-      acc.wire_len = math::checked_add(acc.wire_len, wire[i]);
-      acc.buffered = math::checked_add(acc.buffered, cycle - produced - hops[i]);
     }
 
-    const Outputs out = compute_(q, inputs);
+    Outputs out;
+    if (fault_checks) {
+      // A corrupted operand can trip the cell's capacity precondition
+      // before any monitor sees the bundle. Under fault checks that is
+      // a detection, not an abort: emit an all-zero (parity-failing)
+      // bundle and report the event bad so barrier recovery retries it.
+      try {
+        out = compute_(q, inputs);
+      } catch (const OverflowError&) {
+        out.assign(nch, 0);
+        inputs_ok = false;
+      }
+    } else {
+      out = compute_(q, inputs);
+    }
     BL_REQUIRE(out.size() == nch, "compute function must fill every channel");
     std::copy(out.begin(), out.end(), dest);
+    // Produce boundary: the PE's output register may be faulty.
+    if (fh != nullptr && fh->on_produce) fh->on_produce(q, attempt, dest);
     if (!streaming) computed_[linear] = 1;
     ++acc.computations;
+    return inputs_ok;
   };
 
   const auto merge = [&](const Accum& acc) {
@@ -251,6 +299,7 @@ SimulationStats Machine::run() {
   std::vector<Accum> accums(nthreads);
   std::vector<std::size_t> linears;
   std::vector<Int*> dests;
+  std::vector<char> event_input_ok;  // per-event link-check verdicts (fault runs)
   // Streaming: cycles still inside the retirement window, oldest first.
   std::deque<std::pair<Int, std::vector<std::size_t>>> resident;
 
@@ -302,23 +351,60 @@ SimulationStats Machine::run() {
     // cycles, so the events are mutually independent: fan them out.
     // Exceptions surface from the lowest chunk — the same event the
     // serial order would have failed on first.
+    if (fault_checks) event_input_ok.assign(count, 1);
     if (fan_out) {
       std::fill(accums.begin(), accums.end(), Accum{});
       pool.parallel_for(nthreads, 0, count, [&](std::size_t chunk, std::size_t lo, std::size_t hi) {
         std::vector<ColumnInput> local_inputs(ncols);
         std::vector<Outputs> local_externals;
         for (std::size_t i = lo; i < hi; ++i) {
-          execute_event(qat(i), cycle, linears[i], dests[i], accums[chunk], local_inputs,
-                        local_externals);
+          const bool ok = execute_event(qat(i), cycle, linears[i], dests[i], accums[chunk],
+                                        local_inputs, local_externals, 0);
+          if (fault_checks) event_input_ok[i] = ok ? 1 : 0;
         }
       });
       for (const Accum& acc : accums) merge(acc);
     } else {
       Accum acc;
       for (std::size_t i = 0; i < count; ++i) {
-        execute_event(qat(i), cycle, linears[i], dests[i], acc, inputs, resolved_externals);
+        const bool ok =
+            execute_event(qat(i), cycle, linears[i], dests[i], acc, inputs, resolved_externals, 0);
+        if (fault_checks) event_input_ok[i] = ok ? 1 : 0;
       }
       merge(acc);
+    }
+
+    // Fault recovery: the wavefront monitor inspects every produced
+    // bundle at the barrier (plus the link-check verdicts gathered
+    // during the fan-out) and re-executes suspect events serially with
+    // an escalating attempt ordinal — their operands are still resident
+    // in both memory modes, and retirement only happens below. Replay
+    // statistics go to a scratch accumulator so hops and computations
+    // are counted exactly once per event. Survivors of max_retries are
+    // recorded as degraded instead of aborting the run.
+    if (fault_checks) {
+      std::vector<std::size_t> suspects;
+      for (std::size_t i = 0; i < count; ++i) {
+        const bool out_ok = !fh->check_output || fh->check_output(qat(i), dests[i]);
+        if (event_input_ok[i] == 0 || !out_ok) suspects.push_back(i);
+      }
+      const std::size_t flagged = suspects.size();
+      for (int attempt = 1; attempt <= fh->max_retries && !suspects.empty(); ++attempt) {
+        std::vector<std::size_t> still_bad;
+        for (const std::size_t i : suspects) {
+          Accum replay;
+          const bool in_ok = execute_event(qat(i), cycle, linears[i], dests[i], replay, inputs,
+                                           resolved_externals, attempt);
+          stats.recovery_reexecutions = math::checked_add(stats.recovery_reexecutions, 1);
+          const bool out_ok = !fh->check_output || fh->check_output(qat(i), dests[i]);
+          if (!in_ok || !out_ok) still_bad.push_back(i);
+        }
+        suspects.swap(still_bad);
+      }
+      stats.faults_detected = math::checked_add(stats.faults_detected, static_cast<Int>(flagged));
+      stats.faults_recovered = math::checked_add(
+          stats.faults_recovered, static_cast<Int>(flagged - suspects.size()));
+      for (const std::size_t i : suspects) stats.degraded_points.push_back(qat(i));
     }
 
     // Barrier work: sinks and observation see finished, ordered events.

@@ -47,6 +47,7 @@
 #pragma once
 
 #include <functional>
+#include <memory>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -99,6 +100,41 @@ using ObservePredicate = std::function<bool(const IntVec& q)>;
 /// only for the duration of the call.
 using OutputSink = std::function<void(const IntVec& q, const Int* outputs)>;
 
+/// Fault-injection and recovery hooks, installed by the faults layer
+/// (src/faults/injector.hpp). A null MachineConfig::faults is the clean
+/// path: every hook site reduces to one pointer test and outputs/stats
+/// are bit-identical to a machine without the feature.
+///
+/// Determinism contract: the mutation hooks may keep bookkeeping state
+/// (guarded internally) but the VALUES they write must be pure
+/// functions of their arguments — the same (q, column, attempt) always
+/// yields the same corruption — so seeded campaigns are bit-identical
+/// across thread counts and memory modes. `attempt` is 0 for the first
+/// execution of an event and increments with each recovery
+/// re-execution; injectors use it as the backoff ordinal (transients
+/// re-sample, persistent faults escalate to spare PEs).
+struct FaultHooks {
+  /// Mutate the bundle q's PE just produced (stuck-at, dead PE).
+  using ProduceHook = std::function<void(const IntVec& q, int attempt, Int* bundle)>;
+  /// Mutate the bundle consumer q receives over dependence column
+  /// `column` (link bit-flip, dropped hop). The machine hands the hook a
+  /// private per-transmission copy; the producer's stored bundle is
+  /// never altered.
+  using TransmitHook =
+      std::function<void(const IntVec& q, std::size_t column, int attempt, Int* bundle)>;
+  /// Invariant check of a channels-length bundle; false = corrupted.
+  using BundleCheck = std::function<bool(const IntVec& q, const Int* bundle)>;
+
+  ProduceHook on_produce;
+  TransmitHook on_transmit;
+  BundleCheck check_output;  ///< Wavefront monitor over produced bundles.
+  BundleCheck check_input;   ///< Link-level monitor over arriving bundles.
+  /// Bounded re-executions of a suspect event at the cycle barrier
+  /// (0 = detect only). Re-execution reads the still-resident producer
+  /// slots, so it works in both memory modes.
+  int max_retries = 0;
+};
+
 /// Static description of the machine.
 struct MachineConfig {
   ir::IndexSet domain;
@@ -122,6 +158,8 @@ struct MachineConfig {
   ObservePredicate observe = nullptr;
   /// Optional per-point sink; see OutputSink. Works in both modes.
   OutputSink on_output = nullptr;
+  /// Fault-injection & recovery hooks; null = clean run (see FaultHooks).
+  std::shared_ptr<const FaultHooks> faults = nullptr;
 };
 
 /// Aggregate results of a run.
@@ -144,6 +182,17 @@ struct SimulationStats {
   /// between memory modes.
   Int peak_live_slots = 0;
   Int observed_points = 0;   ///< Points readable via outputs_at() after the run.
+
+  // Fault-tolerance accounting, populated only when FaultHooks with
+  // checks are installed (all zero / empty on clean runs, which keeps
+  // every pre-existing field and to_string() bit-identical to a machine
+  // without the feature).
+  Int faults_detected = 0;         ///< Events flagged by the wavefront monitor.
+  Int faults_recovered = 0;        ///< Flagged events clean after re-execution.
+  Int recovery_reexecutions = 0;   ///< Total recovery re-runs performed.
+  /// Points still corrupted after retries exhausted (cycle order,
+  /// lexicographic within a cycle — deterministic).
+  std::vector<IntVec> degraded_points;
 
   std::string to_string() const;
 };

@@ -6,12 +6,21 @@
 
 namespace bitlevel::sim {
 
+namespace {
+// Recognizable garbage written over released bundles when retirement
+// tracking is on, so stale pointers held past release() read noise, not
+// a plausible value.
+constexpr Int kRetiredPoison = static_cast<Int>(0x6B6B6B6B6B6B6B6BULL);
+}  // namespace
+
 SlotArena::SlotArena(std::size_t channels) : channels_(channels) {
   BL_REQUIRE(channels >= 1, "slots must hold at least one channel");
 }
 
 Int* SlotArena::acquire(std::size_t key) {
   BL_REQUIRE(slot_of_.find(key) == slot_of_.end(), "slot already resident for this key");
+  BL_REQUIRE(!track_retired_ || retired_.find(key) == retired_.end(),
+             "acquiring a key that was already retired (use-after-retire)");
   std::size_t slot;
   if (!free_.empty()) {
     slot = free_.back();
@@ -27,21 +36,43 @@ Int* SlotArena::acquire(std::size_t key) {
 
 const Int* SlotArena::find(std::size_t key) const {
   const auto it = slot_of_.find(key);
-  if (it == slot_of_.end()) return nullptr;
+  if (it == slot_of_.end()) {
+    BL_REQUIRE(!track_retired_ || retired_.find(key) == retired_.end(),
+               "reading a retired slot (use-after-retire)");
+    return nullptr;
+  }
   return data_.data() + it->second * channels_;
 }
 
 Int* SlotArena::slot_data(std::size_t key) {
   const auto it = slot_of_.find(key);
-  if (it == slot_of_.end()) return nullptr;
+  if (it == slot_of_.end()) {
+    BL_REQUIRE(!track_retired_ || retired_.find(key) == retired_.end(),
+               "reading a retired slot (use-after-retire)");
+    return nullptr;
+  }
   return data_.data() + it->second * channels_;
 }
 
 void SlotArena::release(std::size_t key) {
   const auto it = slot_of_.find(key);
+  if (track_retired_) {
+    BL_REQUIRE(retired_.find(key) == retired_.end(),
+               "releasing a key that was already retired (double retire)");
+  }
   BL_REQUIRE(it != slot_of_.end(), "releasing a key that is not resident");
+  if (track_retired_) {
+    retired_.insert(key);
+    std::fill_n(data_.begin() + static_cast<std::ptrdiff_t>(it->second * channels_), channels_,
+                kRetiredPoison);
+  }
   free_.push_back(it->second);
   slot_of_.erase(it);
+}
+
+void SlotArena::track_retired(bool on) {
+  track_retired_ = on;
+  if (!on) retired_.clear();
 }
 
 }  // namespace bitlevel::sim

@@ -20,6 +20,7 @@
 
 #include <cstddef>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "math/int_vec.hpp"
@@ -50,6 +51,16 @@ class SlotArena {
   /// Return `key`'s slot to the free list; the key must be resident.
   void release(std::size_t key);
 
+  /// Opt-in retirement tracking: remember every released key so a
+  /// double release, a read of a retired key, or a re-acquire of a
+  /// retired key fails fast with a specific message (instead of the
+  /// generic not-resident error, or worse, silently reading recycled
+  /// data). Released bundles are also poisoned. Costs O(retired keys)
+  /// extra memory — breaking the O(window) bound — so the streaming
+  /// executor enables it only for fault-injection runs, where recovery
+  /// re-execution makes these paths reachable.
+  void track_retired(bool on);
+
   /// Slots currently resident.
   std::size_t live() const { return slot_of_.size(); }
 
@@ -65,6 +76,8 @@ class SlotArena {
   std::vector<std::size_t> free_;                      ///< Recyclable slot ids.
   std::unordered_map<std::size_t, std::size_t> slot_of_;  ///< key -> slot id.
   std::size_t peak_ = 0;
+  bool track_retired_ = false;
+  std::unordered_set<std::size_t> retired_;  ///< Released keys (tracking only).
 };
 
 }  // namespace bitlevel::sim

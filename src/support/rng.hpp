@@ -26,6 +26,24 @@ class SplitMix64 {
   std::uint64_t state_;
 };
 
+/// SplitMix64 finalizer as a stateless hash combiner. The fault-injection
+/// layer (src/faults) derives every per-site decision by folding the
+/// campaign seed with the site's coordinates through this function, so a
+/// decision depends only on (seed, site) — never on execution order,
+/// thread count, or memory mode.
+inline std::uint64_t hash_mix(std::uint64_t h, std::uint64_t v) {
+  std::uint64_t z = h + 0x9e3779b97f4a7c15ULL + v * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// Map a 64-bit hash to a double in [0, 1) using the top 53 bits, for
+/// comparing against a probability threshold.
+inline double hash_to_unit(std::uint64_t h) {
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
 /// Xoshiro256**: the repository-wide deterministic generator.
 /// Satisfies the UniformRandomBitGenerator concept so it composes with
 /// <random> distributions when needed.

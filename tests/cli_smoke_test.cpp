@@ -156,6 +156,54 @@ TEST(CliSmokeTest, JsonDocumentsCarryPlanCacheCounters) {
   }
 }
 
+TEST(CliSmokeTest, FaultCampaignTextAndJson) {
+  const std::string base =
+      "--kernel matmul --u 2 --p 3 --action fault-campaign "
+      "--fault-kind bit-flip,stuck-at-1 --fault-rate 0.01,0.05 --seed 5";
+  const RunResult text = run_cli(base);
+  EXPECT_EQ(text.exit_code, 0) << text.out;
+  for (const char* column : {"kind", "rate", "detected", "recovered", "degraded", "silent"}) {
+    EXPECT_NE(text.out.find(column), std::string::npos) << column << "\n" << text.out;
+  }
+
+  const RunResult json = run_cli(base + " --json");
+  EXPECT_EQ(json.exit_code, 0) << json.out;
+  EXPECT_TRUE(json_valid(json.out)) << json.out;
+  for (const char* key : {"\"campaign\"", "\"reports\"", "\"silent_corruption\"",
+                          "\"faults_detected\"", "\"abft\"", "\"plan_cache\""}) {
+    EXPECT_NE(json.out.find(key), std::string::npos) << key << "\n" << json.out;
+  }
+}
+
+TEST(CliSmokeTest, FaultCampaignJsonByteIdenticalAcrossExecutionModes) {
+  // The acceptance criterion of the fault subsystem, end to end through
+  // the CLI: the seeded campaign document contains no execution-knob
+  // fields and must not change with thread count or memory mode.
+  const std::string base =
+      "--kernel matmul --u 2 --p 3 --action fault-campaign --fault-rate 0.05 --seed 9 --json";
+  const RunResult reference = run_cli(base + " --threads 1 --memory dense");
+  ASSERT_EQ(reference.exit_code, 0);
+  ASSERT_TRUE(json_valid(reference.out)) << reference.out;
+  for (const char* modes : {"--threads 4 --memory dense", "--threads 1 --memory streaming",
+                            "--threads 4 --memory streaming"}) {
+    const RunResult r = run_cli(base + " " + modes);
+    EXPECT_EQ(r.exit_code, 0) << modes;
+    EXPECT_EQ(r.out, reference.out) << modes;
+  }
+}
+
+TEST(CliSmokeTest, FaultCampaignRejectsBadFlagValues) {
+  for (const char* args : {
+           "--kernel matmul --u 2 --action fault-campaign --fault-rate 1.5",
+           "--kernel matmul --u 2 --action fault-campaign --fault-rate abc",
+           "--kernel matmul --u 2 --action fault-campaign --fault-kind melted",
+           "--kernel matmul --u 2 --action fault-campaign --spares -1",
+           "--kernel matmul --u 2 --action fault-campaign --retries -1",
+       }) {
+    EXPECT_EQ(run_cli(args).exit_code, 2) << args;
+  }
+}
+
 TEST(CliSmokeTest, StrictParsingRejectsGarbage) {
   // Each of these was silently accepted by atoll/atoi (becoming 0 or a
   // negative size) and crashed deep inside the library; now they all

@@ -1,0 +1,409 @@
+// Fault injection, ABFT detection, and bounded-retry recovery.
+//
+// The acceptance contract of the fault subsystem: seeded campaigns are
+// bit-identical across thread counts and memory modes, ABFT flags every
+// single corrupted read-out word of a matmul array, transient faults
+// recover to the fault-free answer, and persistent faults either remap
+// onto spares or degrade into a structured report — never an abort.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "arch/matmul_arrays.hpp"
+#include "core/workload.hpp"
+#include "faults/abft.hpp"
+#include "faults/injector.hpp"
+#include "faults/model.hpp"
+#include "pipeline/campaign.hpp"
+#include "pipeline/executor.hpp"
+#include "support/error.hpp"
+#include "support/json.hpp"
+
+namespace bitlevel {
+namespace {
+
+using arch::BitLevelMatmulArray;
+using arch::MatmulMapping;
+using arch::WordMatrix;
+using faults::FaultKind;
+using faults::FaultModel;
+
+TEST(FaultModelTest, KindNamesRoundTrip) {
+  for (const FaultKind kind : faults::all_fault_kinds()) {
+    EXPECT_EQ(faults::parse_fault_kind(faults::to_string(kind)), kind);
+  }
+  EXPECT_THROW(faults::parse_fault_kind("melted"), NotFoundError);
+}
+
+TEST(FaultModelTest, PersistenceTaxonomy) {
+  EXPECT_TRUE(faults::is_persistent(FaultKind::kStuckAt0));
+  EXPECT_TRUE(faults::is_persistent(FaultKind::kStuckAt1));
+  EXPECT_TRUE(faults::is_persistent(FaultKind::kDeadPe));
+  EXPECT_FALSE(faults::is_persistent(FaultKind::kBitFlip));
+  EXPECT_FALSE(faults::is_persistent(FaultKind::kDroppedHop));
+}
+
+TEST(FaultModelTest, ValidateRejectsBadFields) {
+  FaultModel model;
+  model.rate = 1.5;
+  EXPECT_THROW(model.validate(), PreconditionError);
+  model.rate = 0.1;
+  model.spares = -1;
+  EXPECT_THROW(model.validate(), PreconditionError);
+  model.spares = 0;
+  model.max_retries = -1;
+  EXPECT_THROW(model.validate(), PreconditionError);
+  model.max_retries = 2;
+  EXPECT_NO_THROW(model.validate());
+}
+
+TEST(ParityTest, OddParityCatchesSingleCorruptionAndZeroBundles) {
+  math::Int bundle[4] = {3, 0, 1, 0};
+  faults::set_parity(bundle, 4);
+  EXPECT_TRUE(faults::parity_ok(bundle, 4));
+  bundle[2] ^= 1;  // single-channel flip
+  EXPECT_FALSE(faults::parity_ok(bundle, 4));
+  // The all-zero bundle of a dead PE / dropped hop must FAIL (an even
+  // parity convention would wave it through).
+  math::Int zeros[4] = {0, 0, 0, 0};
+  EXPECT_FALSE(faults::parity_ok(zeros, 4));
+}
+
+TEST(InjectorTest, PeFaultDecisionsArePureAndRateMonotone) {
+  const math::IntMat space{{1, 0, 0, 0, 0}, {0, 1, 0, 0, 0}};
+  FaultModel model;
+  model.kind = FaultKind::kStuckAt1;
+  model.rate = 0.3;
+  model.seed = 42;
+  faults::FaultInjector a(model, space, 6);
+  faults::FaultInjector b(model, space, 6);
+  int faulty = 0;
+  for (math::Int i = 0; i < 10; ++i) {
+    for (math::Int j = 0; j < 10; ++j) {
+      const math::IntVec pe{i, j};
+      EXPECT_EQ(a.pe_faulty(pe), b.pe_faulty(pe));  // pure in (seed, site)
+      if (a.pe_faulty(pe)) ++faulty;
+    }
+  }
+  EXPECT_GT(faulty, 0);
+  EXPECT_LT(faulty, 100);
+
+  model.rate = 0.0;
+  faults::FaultInjector none(model, space, 6);
+  model.rate = 1.0;
+  faults::FaultInjector all(model, space, 6);
+  // Transient kinds never mark a PE faulty (they strike transmissions).
+  model.kind = FaultKind::kBitFlip;
+  faults::FaultInjector transient(model, space, 6);
+  for (math::Int i = 0; i < 5; ++i) {
+    EXPECT_FALSE(none.pe_faulty({i, i}));
+    EXPECT_TRUE(all.pe_faulty({i, i}));
+    EXPECT_FALSE(transient.pe_faulty({i, i}));
+  }
+}
+
+/// One composed matmul plan + safe workload + clean reference run,
+/// shared by the ABFT tests.
+struct MatmulFixture {
+  pipeline::PlanCache cache;
+  pipeline::PlanPtr plan;
+  core::Workload workload;
+  pipeline::PlanRunResult clean;
+
+  explicit MatmulFixture(math::Int u = 3, math::Int p = 2) {
+    pipeline::DesignRequest request;
+    request.kernel = pipeline::KernelSpec{"matmul", u, 0, 0, 0};
+    request.p = p;
+    plan = cache.get_or_compose(request);
+    workload = core::make_safe_workload(plan->model, p, request.expansion, 7);
+    clean = pipeline::run_plan(*plan, workload.x_fn(), workload.y_fn());
+  }
+};
+
+TEST(AbftTest, CleanRunPasses) {
+  MatmulFixture f;
+  const auto report =
+      faults::abft_check(f.plan->model, f.workload.x_fn(), f.workload.y_fn(), f.clean.z);
+  EXPECT_TRUE(report.supported);
+  EXPECT_TRUE(report.ok);
+  EXPECT_GT(report.rows_checked, 0);
+  EXPECT_GT(report.cols_checked, 0);
+  EXPECT_TRUE(report.suspects.empty());
+}
+
+TEST(AbftTest, DetectsEverySingleCorruptedWord) {
+  // The acceptance criterion: 100% of single stuck-at-style read-out
+  // corruptions caught. Corrupt each read-out word in turn; every one
+  // must fail its row AND column identity, and the intersection must
+  // localize exactly that element.
+  MatmulFixture f;
+  ASSERT_FALSE(f.clean.z.empty());
+  for (const auto& [key, value] : f.clean.z) {
+    auto corrupted = f.clean.z;
+    corrupted[key] = value + 1;
+    const auto report =
+        faults::abft_check(f.plan->model, f.workload.x_fn(), f.workload.y_fn(), corrupted);
+    ASSERT_TRUE(report.supported);
+    EXPECT_FALSE(report.ok) << "corruption at " << math::to_string(key) << " slipped through";
+    ASSERT_EQ(report.suspects.size(), 1u);
+    EXPECT_EQ(report.suspects[0], (math::IntVec{key[0], key[1]}));
+  }
+}
+
+TEST(AbftTest, UnsupportedModelStaysVacuouslyOk) {
+  pipeline::PlanCache cache;
+  pipeline::DesignRequest request;
+  request.kernel = pipeline::KernelSpec{"conv", 3, 2, 0, 0};
+  request.p = 2;
+  const auto plan = cache.get_or_compose(request);
+  const auto wl = core::make_safe_workload(plan->model, 2, request.expansion, 7);
+  const auto run = pipeline::run_plan(*plan, wl.x_fn(), wl.y_fn());
+  const auto report = faults::abft_check(plan->model, wl.x_fn(), wl.y_fn(), run.z);
+  EXPECT_FALSE(report.supported);
+  EXPECT_TRUE(report.ok);
+}
+
+TEST(FaultRunTest, TransientFaultsRecoverToReferenceAnswer) {
+  const math::Int u = 3, p = 2;
+  const BitLevelMatmulArray array(MatmulMapping::kFig4, u, p);
+  const WordMatrix x = WordMatrix::random(u, 2, 11);
+  const WordMatrix y = WordMatrix::random(u, 2, 12);
+  const WordMatrix reference = WordMatrix::multiply_reference(x, y);
+
+  for (const FaultKind kind : {FaultKind::kBitFlip, FaultKind::kDroppedHop}) {
+    FaultModel model;
+    model.kind = kind;
+    model.rate = 0.02;
+    model.seed = 5;
+    model.spares = 0;  // transients need no spares, only re-execution
+    model.max_retries = 2;
+    const auto run = array.multiply_under_faults(x, y, model);
+    ASSERT_TRUE(run.report.completed) << faults::to_string(kind);
+    ASSERT_GT(run.report.injection.transmit_faults, 0) << faults::to_string(kind);
+    EXPECT_GT(run.report.faults_detected, 0);
+    EXPECT_EQ(run.report.faults_recovered, run.report.faults_detected);
+    EXPECT_TRUE(run.report.degraded_points.empty());
+    for (math::Int i = 1; i <= u; ++i) {
+      for (math::Int j = 1; j <= u; ++j) {
+        EXPECT_EQ(run.z.at(i, j), reference.at(i, j)) << faults::to_string(kind);
+      }
+    }
+  }
+}
+
+TEST(FaultRunTest, PersistentFaultsRecoverViaSpares) {
+  const math::Int u = 3, p = 2;
+  const BitLevelMatmulArray array(MatmulMapping::kFig4, u, p);
+  const WordMatrix x = WordMatrix::random(u, 2, 11);
+  const WordMatrix y = WordMatrix::random(u, 2, 12);
+  const WordMatrix reference = WordMatrix::multiply_reference(x, y);
+
+  FaultModel model;
+  model.kind = FaultKind::kStuckAt1;
+  model.rate = 0.05;
+  model.seed = 3;
+  model.spares = 1'000'000;  // every faulty PE gets a spare
+  model.max_retries = 3;
+  const auto run = array.multiply_under_faults(x, y, model);
+  ASSERT_TRUE(run.report.completed);
+  ASSERT_GT(run.report.faults_detected, 0);
+  EXPECT_EQ(run.report.faults_recovered, run.report.faults_detected);
+  EXPECT_TRUE(run.report.degraded_points.empty());
+  EXPECT_GT(run.report.injection.spare_remaps, 0);
+  for (math::Int i = 1; i <= u; ++i) {
+    for (math::Int j = 1; j <= u; ++j) EXPECT_EQ(run.z.at(i, j), reference.at(i, j));
+  }
+}
+
+TEST(FaultRunTest, ExhaustedSparesDegradeInsteadOfAborting) {
+  const math::Int u = 3, p = 2;
+  const BitLevelMatmulArray array(MatmulMapping::kFig4, u, p);
+  const WordMatrix x = WordMatrix::random(u, 2, 11);
+  const WordMatrix y = WordMatrix::random(u, 2, 12);
+
+  FaultModel model;
+  model.kind = FaultKind::kDeadPe;
+  model.rate = 0.05;
+  model.seed = 3;
+  model.spares = 0;  // nowhere to remap: persistent faults must degrade
+  model.max_retries = 2;
+  arch::MatmulFaultRunResult run = array.multiply_under_faults(x, y, model);
+  EXPECT_TRUE(run.report.completed);
+  ASSERT_GT(run.report.faults_detected, 0);
+  EXPECT_FALSE(run.report.degraded_points.empty());
+  EXPECT_GT(run.report.injection.spares_exhausted, 0);
+  EXPECT_GT(run.report.recovery_reexecutions, 0);
+  // Degradation is structured, not silent: ABFT flags the damage.
+  EXPECT_TRUE(run.report.abft.supported);
+}
+
+TEST(FaultRunTest, DetectOnlyModeFlagsWithoutRecovering) {
+  const math::Int u = 3, p = 2;
+  const BitLevelMatmulArray array(MatmulMapping::kFig4, u, p);
+  const WordMatrix x = WordMatrix::random(u, 2, 11);
+  const WordMatrix y = WordMatrix::random(u, 2, 12);
+  const WordMatrix reference = WordMatrix::multiply_reference(x, y);
+
+  FaultModel model;
+  model.kind = FaultKind::kStuckAt1;
+  model.rate = 0.05;
+  model.seed = 3;
+  model.max_retries = 0;  // detect only
+  const auto run = array.multiply_under_faults(x, y, model);
+  ASSERT_TRUE(run.report.completed);
+  ASSERT_GT(run.report.faults_detected, 0);
+  EXPECT_EQ(run.report.faults_recovered, 0);
+  EXPECT_EQ(run.report.recovery_reexecutions, 0);
+  EXPECT_FALSE(run.report.degraded_points.empty());
+  // A stuck channel that corrupts the read-out must be visible to ABFT.
+  bool corrupted = false;
+  for (math::Int i = 1; i <= u; ++i) {
+    for (math::Int j = 1; j <= u; ++j) corrupted = corrupted || run.z.at(i, j) != reference.at(i, j);
+  }
+  if (corrupted) {
+    EXPECT_FALSE(run.report.abft.ok);
+  }
+}
+
+TEST(FaultRunTest, ReportsBitIdenticalAcrossThreadsAndMemoryModes) {
+  const math::Int u = 3, p = 2;
+  const WordMatrix x = WordMatrix::random(u, 2, 11);
+  const WordMatrix y = WordMatrix::random(u, 2, 12);
+
+  FaultModel model;
+  model.kind = FaultKind::kStuckAt0;
+  model.rate = 0.05;
+  model.seed = 9;
+  model.spares = 1;
+  model.max_retries = 2;
+
+  BitLevelMatmulArray reference_array(MatmulMapping::kFig4, u, p);
+  reference_array.set_threads(1);
+  reference_array.set_memory_mode(sim::MemoryMode::kDense);
+  const auto reference = reference_array.multiply_under_faults(x, y, model);
+
+  for (const int threads : {1, 4}) {
+    for (const sim::MemoryMode memory : {sim::MemoryMode::kDense, sim::MemoryMode::kStreaming}) {
+      BitLevelMatmulArray array(MatmulMapping::kFig4, u, p);
+      array.set_threads(threads);
+      array.set_memory_mode(memory);
+      const auto run = array.multiply_under_faults(x, y, model);
+      EXPECT_EQ(run.report.completed, reference.report.completed);
+      EXPECT_EQ(run.report.faults_detected, reference.report.faults_detected);
+      EXPECT_EQ(run.report.faults_recovered, reference.report.faults_recovered);
+      EXPECT_EQ(run.report.recovery_reexecutions, reference.report.recovery_reexecutions);
+      EXPECT_EQ(run.report.degraded_points, reference.report.degraded_points);
+      EXPECT_EQ(run.report.injection.produce_faults, reference.report.injection.produce_faults);
+      EXPECT_EQ(run.report.injection.transmit_faults, reference.report.injection.transmit_faults);
+      EXPECT_EQ(run.report.injection.spare_remaps, reference.report.injection.spare_remaps);
+      EXPECT_EQ(run.report.abft.ok, reference.report.abft.ok);
+      EXPECT_EQ(run.report.abft.suspects, reference.report.abft.suspects);
+      for (math::Int i = 1; i <= u; ++i) {
+        for (math::Int j = 1; j <= u; ++j) {
+          EXPECT_EQ(run.z.at(i, j), reference.z.at(i, j))
+              << "threads " << threads << " memory " << static_cast<int>(memory);
+        }
+      }
+    }
+  }
+}
+
+TEST(FaultRunTest, CleanRunsCarryNoFaultState) {
+  const math::Int u = 3, p = 2;
+  const BitLevelMatmulArray array(MatmulMapping::kFig4, u, p);
+  const WordMatrix x = WordMatrix::random(u, 2, 11);
+  const WordMatrix y = WordMatrix::random(u, 2, 12);
+  const auto run = array.multiply(x, y);
+  EXPECT_EQ(run.stats.faults_detected, 0);
+  EXPECT_EQ(run.stats.faults_recovered, 0);
+  EXPECT_EQ(run.stats.recovery_reexecutions, 0);
+  EXPECT_TRUE(run.stats.degraded_points.empty());
+}
+
+TEST(CampaignTest, SweepIsStructuredAndNeverSilentWithChecksOn) {
+  pipeline::PlanCache cache;
+  pipeline::DesignRequest request;
+  request.kernel = pipeline::KernelSpec{"matmul", 3, 0, 0, 0};
+  request.p = 2;
+  const auto wl = [&] {
+    const auto plan = cache.get_or_compose(request);
+    return core::make_safe_workload(plan->model, request.p, request.expansion, 7);
+  }();
+
+  pipeline::CampaignOptions options;
+  options.kinds = {FaultKind::kBitFlip, FaultKind::kStuckAt1};
+  options.rates = {0.01, 0.05};
+  options.seed = 5;
+  options.spares = 2;
+  const auto campaign = pipeline::run_campaign(cache, request, wl.x_fn(), wl.y_fn(), options);
+
+  EXPECT_TRUE(campaign.plan_was_cached);  // composed once above
+  EXPECT_GT(campaign.reference_words, 0);
+  ASSERT_EQ(campaign.reports.size(), 4u);  // kinds x rates, kinds-major
+  EXPECT_EQ(campaign.reports[0].model.kind, FaultKind::kBitFlip);
+  EXPECT_EQ(campaign.reports[0].model.rate, 0.01);
+  EXPECT_EQ(campaign.reports[1].model.rate, 0.05);
+  EXPECT_EQ(campaign.reports[2].model.kind, FaultKind::kStuckAt1);
+  for (const auto& report : campaign.reports) {
+    EXPECT_FALSE(report.silent_corruption);
+    if (!report.completed) {
+      EXPECT_FALSE(report.abort_reason.empty());
+    }
+  }
+  EXPECT_FALSE(campaign.to_table().empty());
+
+  JsonWriter w;
+  campaign.write_json(w);
+  EXPECT_TRUE(json_valid(w.str()));
+}
+
+TEST(CampaignTest, JsonByteIdenticalAcrossExecutionModes) {
+  pipeline::DesignRequest request;
+  request.kernel = pipeline::KernelSpec{"matmul", 3, 0, 0, 0};
+  request.p = 2;
+
+  pipeline::CampaignOptions options;
+  options.kinds = {FaultKind::kBitFlip, FaultKind::kDeadPe};
+  options.rates = {0.05};
+  options.seed = 5;
+
+  std::string reference;
+  for (const int threads : {1, 4}) {
+    for (const sim::MemoryMode memory : {sim::MemoryMode::kDense, sim::MemoryMode::kStreaming}) {
+      pipeline::PlanCache cache;
+      request.threads = threads;
+      request.memory = memory;
+      const auto plan = cache.get_or_compose(request);
+      const auto wl = core::make_safe_workload(plan->model, request.p, request.expansion, 7);
+      const auto campaign = pipeline::run_campaign(cache, request, wl.x_fn(), wl.y_fn(), options);
+      JsonWriter w;
+      campaign.write_json(w);
+      if (reference.empty()) {
+        reference = w.str();
+      } else {
+        EXPECT_EQ(w.str(), reference)
+            << "threads " << threads << " memory " << static_cast<int>(memory);
+      }
+    }
+  }
+}
+
+TEST(CampaignTest, RejectsEmptySweeps) {
+  pipeline::PlanCache cache;
+  pipeline::DesignRequest request;
+  request.kernel = pipeline::KernelSpec{"matmul", 2, 0, 0, 0};
+  request.p = 2;
+  const auto plan = cache.get_or_compose(request);
+  const auto wl = core::make_safe_workload(plan->model, request.p, request.expansion, 7);
+  pipeline::CampaignOptions options;
+  options.kinds.clear();
+  EXPECT_THROW(pipeline::run_campaign(cache, request, wl.x_fn(), wl.y_fn(), options),
+               PreconditionError);
+  options = {};
+  options.rates.clear();
+  EXPECT_THROW(pipeline::run_campaign(cache, request, wl.x_fn(), wl.y_fn(), options),
+               PreconditionError);
+}
+
+}  // namespace
+}  // namespace bitlevel

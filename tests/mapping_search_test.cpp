@@ -168,6 +168,102 @@ TEST(ScheduleSearchTest, UnsaturatedSearchReportsTrueCount) {
   EXPECT_EQ(result.examined, 27u);  // 3^3
 }
 
+TEST(ScheduleSearchTest, BudgetReturnsPartialPrefix) {
+  // The iteration watchdog must stop after exactly max_examined
+  // odometer positions and flag the result, mirroring the saturation
+  // contract: a partial answer, never a hang.
+  const auto triplet = ir::kernels::matmul(4).triplet();
+  const math::IntMat s{{1, 0, 0}, {0, 1, 0}};
+  ScheduleSearchOptions options;
+  options.coefficient_bound = 2;
+  options.threads = 1;
+  const auto full = mapping::search_schedules(triplet.domain, triplet.deps, s,
+                                              InterconnectionPrimitives::mesh2d(), options);
+  ASSERT_EQ(full.examined, 125u);
+  EXPECT_FALSE(full.budget_exhausted);
+
+  options.max_examined = 40;
+  const auto capped = mapping::search_schedules(triplet.domain, triplet.deps, s,
+                                                InterconnectionPrimitives::mesh2d(), options);
+  EXPECT_TRUE(capped.budget_exhausted);
+  EXPECT_EQ(capped.examined, 40u);
+  EXPECT_FALSE(capped.saturated);
+  // The capped sweep visits a prefix of the full enumeration, so every
+  // candidate it finds must also be in the full result.
+  for (const auto& cand : capped.feasible) {
+    const bool in_full = std::any_of(full.feasible.begin(), full.feasible.end(),
+                                     [&](const auto& f) { return f.pi == cand.pi; });
+    EXPECT_TRUE(in_full);
+  }
+}
+
+TEST(ScheduleSearchTest, BudgetLargerThanSpaceIsNoOp) {
+  const auto triplet = ir::kernels::matmul(3).triplet();
+  const math::IntMat s{{1, 0, 0}, {0, 1, 0}};
+  ScheduleSearchOptions options;
+  options.coefficient_bound = 2;
+  options.max_examined = 10'000;
+  const auto result = mapping::search_schedules(triplet.domain, triplet.deps, s,
+                                                InterconnectionPrimitives::mesh2d(), options);
+  EXPECT_FALSE(result.budget_exhausted);
+  EXPECT_EQ(result.examined, 125u);
+}
+
+TEST(ScheduleSearchTest, BudgetedSweepDeterministicAcrossThreadCounts) {
+  // The budget truncates the odometer itself, before partitioning, so
+  // the enumerated prefix — and thus the ranked result — is the same
+  // for every thread count.
+  const math::Int u = 3, p = 2;
+  const auto s = core::expand(ir::kernels::matmul(u), p, core::Expansion::kII);
+  const math::IntMat space{{p, 0, 0, 1, 0}, {0, p, 0, 0, 1}};
+  const auto prims = InterconnectionPrimitives::fig4(p);
+
+  ScheduleSearchOptions options;
+  options.coefficient_bound = 2;
+  options.max_examined = 2000;
+  options.threads = 1;
+  const auto reference = mapping::search_schedules(s.domain, s.deps, space, prims, options);
+  EXPECT_TRUE(reference.budget_exhausted);
+  EXPECT_EQ(reference.examined, 2000u);
+
+  for (int threads : {2, 8}) {
+    options.threads = threads;
+    const auto result = mapping::search_schedules(s.domain, s.deps, space, prims, options);
+    EXPECT_EQ(result.budget_exhausted, reference.budget_exhausted);
+    EXPECT_EQ(result.examined, reference.examined);
+    ASSERT_EQ(result.feasible.size(), reference.feasible.size());
+    for (std::size_t i = 0; i < result.feasible.size(); ++i) {
+      EXPECT_EQ(result.feasible[i].pi, reference.feasible[i].pi) << "rank " << i;
+    }
+  }
+}
+
+TEST(ExploreTest, ScheduleBudgetPropagatesAndFlags) {
+  const auto triplet = ir::kernels::matmul(3).triplet();
+  mapping::ExploreOptions options;
+  options.max_direction_sets = 16;
+  options.schedule_budget = 10;  // 125-position spaces get cut short
+  options.threads = 1;
+  const auto reference =
+      mapping::explore_designs(triplet.domain, triplet.deps, InterconnectionPrimitives::mesh2d(),
+                               mapping::DesignObjective::kTime, options);
+  EXPECT_TRUE(reference.budget_exhausted);
+  EXPECT_EQ(reference.schedules_examined, reference.spaces_tried * 10);
+
+  for (int threads : {2, 8}) {
+    options.threads = threads;
+    const auto result =
+        mapping::explore_designs(triplet.domain, triplet.deps, InterconnectionPrimitives::mesh2d(),
+                                 mapping::DesignObjective::kTime, options);
+    EXPECT_TRUE(result.budget_exhausted);
+    EXPECT_EQ(result.schedules_examined, reference.schedules_examined);
+    ASSERT_EQ(result.designs.size(), reference.designs.size());
+    for (std::size_t i = 0; i < result.designs.size(); ++i) {
+      EXPECT_EQ(result.designs[i].t.matrix(), reference.designs[i].t.matrix()) << "rank " << i;
+    }
+  }
+}
+
 TEST(ScheduleSearchTest, InfeasibleWhenLinksMissing) {
   // A 1-D "array" with only a stationary link cannot pipeline anything.
   const auto triplet = ir::kernels::matmul(2).triplet();

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "sim/machine.hpp"
+#include "sim/slot_arena.hpp"
 #include "sim/timeline.hpp"
 #include "support/error.hpp"
 
@@ -431,6 +432,60 @@ TEST(TimelineTest, SnapshotsCountComputations) {
   // Every index point appears as exactly one '#' across all frames.
   EXPECT_EQ(std::count(snaps.begin(), snaps.end(), '#'), 8);
   EXPECT_NE(snaps.find("cycle 3"), std::string::npos);
+}
+
+TEST(SlotArenaTest, RecyclesWithoutTrackingByDefault) {
+  SlotArena arena(2);
+  Int* slot = arena.acquire(7);
+  slot[0] = 1;
+  slot[1] = 2;
+  arena.release(7);
+  // Untracked mode keeps the O(window) memory contract: a retired key
+  // may come back (recovery never re-executes on clean runs).
+  EXPECT_EQ(arena.find(7), nullptr);
+  Int* again = arena.acquire(7);
+  EXPECT_NE(again, nullptr);
+}
+
+TEST(SlotArenaTest, TrackedModeCatchesDoubleRetire) {
+  SlotArena arena(2);
+  arena.track_retired(true);
+  arena.acquire(7);
+  arena.release(7);
+  EXPECT_THROW(arena.release(7), PreconditionError);
+}
+
+TEST(SlotArenaTest, TrackedModeCatchesUseAfterRetire) {
+  // Recovery re-execution can revisit a wavefront whose inputs the
+  // streaming window already retired; tracked mode turns that silent
+  // read of recycled data into a hard error.
+  SlotArena arena(2);
+  arena.track_retired(true);
+  Int* slot = arena.acquire(7);
+  slot[0] = 41;
+  slot[1] = 42;
+  arena.release(7);
+  EXPECT_THROW(arena.find(7), PreconditionError);
+  EXPECT_THROW(arena.slot_data(7), PreconditionError);
+  EXPECT_THROW(arena.acquire(7), PreconditionError);
+  // Other keys stay fully usable.
+  Int* other = arena.acquire(8);
+  EXPECT_NE(other, nullptr);
+  EXPECT_NE(arena.find(8), nullptr);
+}
+
+TEST(SlotArenaTest, RetiredBundlesArePoisoned) {
+  SlotArena arena(2);
+  arena.track_retired(true);
+  Int* slot = arena.acquire(3);
+  slot[0] = 123;
+  slot[1] = 456;
+  arena.release(3);
+  // The recycled slot must not leak the retired values to its next
+  // occupant even before initialization.
+  Int* fresh = arena.acquire(4);
+  EXPECT_NE(fresh[0], 123);
+  EXPECT_NE(fresh[1], 456);
 }
 
 TEST(TimelineTest, SnapshotRequires2D) {

@@ -71,6 +71,27 @@ TEST(ThreadPoolTest, RethrowsLowestChunkAndRunsAllChunks) {
   EXPECT_EQ(ran.load(), 8);  // an error does not cancel the other chunks
 }
 
+TEST(ThreadPoolTest, ConcurrentThrowsStillPickLowestChunk) {
+  // Every chunk throws, released together so the failures genuinely
+  // race: the lowest-chunk-wins contract must hold regardless of which
+  // lane finishes (or faults) first.
+  ThreadPool pool(4);
+  std::atomic<int> arrived{0};
+  for (int round = 0; round < 20; ++round) {
+    arrived = 0;
+    try {
+      pool.parallel_for(4, 0, 4, [&](std::size_t c, std::size_t, std::size_t) {
+        ++arrived;
+        while (arrived.load() < 4) {}  // barrier: all chunks in flight
+        throw std::runtime_error("chunk " + std::to_string(c));
+      });
+      FAIL() << "expected the chunk exceptions to propagate";
+    } catch (const std::runtime_error& e) {
+      EXPECT_STREQ(e.what(), "chunk 0") << "round " << round;
+    }
+  }
+}
+
 TEST(ThreadPoolTest, NestedParallelForRunsInline) {
   ThreadPool pool(4);
   std::atomic<int> inner_total{0};

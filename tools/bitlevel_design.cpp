@@ -13,6 +13,9 @@
 //               on seeded random operands and check the results
 //   optimal   — LP-certify the fastest explored schedule (or refute it)
 //   animate   — ASCII space-time snapshots of the best design running
+//   fault-campaign — sweep seeded fault kind x rate over the design and
+//               report detection / recovery / degradation per cell
+//               (--fault-kind, --fault-rate, --spares, --retries)
 // --json switches the output to a machine-readable document (every
 // document carries the process-wide plan-cache hit/miss counters);
 // --memory streaming bounds simulator memory by the dependence window.
@@ -31,9 +34,11 @@
 #include "core/evaluator.hpp"
 #include "core/verify.hpp"
 #include "core/workload.hpp"
+#include "faults/model.hpp"
 #include "ir/kernels.hpp"
 #include "mapping/optimality.hpp"
 #include "pipeline/cache.hpp"
+#include "pipeline/campaign.hpp"
 #include "pipeline/executor.hpp"
 #include "sim/timeline.hpp"
 #include "support/error.hpp"
@@ -45,7 +50,7 @@ using namespace bitlevel;
 namespace {
 
 const char* const kActions[] = {"structure", "verify", "design", "simulate", "optimal",
-                                "animate"};
+                                "animate", "fault-campaign"};
 
 std::string allowed_actions() {
   std::string names;
@@ -66,6 +71,11 @@ struct Args {
   std::uint64_t seed = 1;
   int threads = 0;  // 0 = BITLEVEL_THREADS / hardware, 1 = serial
   sim::MemoryMode memory = sim::MemoryMode::kDense;
+  // fault-campaign knobs.
+  std::vector<faults::FaultKind> fault_kinds;  // empty = every kind
+  std::vector<double> fault_rates;             // empty = campaign default
+  int spares = 2;
+  int retries = 2;
 };
 
 [[noreturn]] void usage(const char* msg) {
@@ -74,9 +84,12 @@ struct Args {
                "usage: bitlevel-design [--list-kernels] [--kernel NAME]\n"
                "                       [--u N] [--v N] [--w N] [--p BITS] [--expansion I|II]\n"
                "                       [--action structure|verify|design|simulate|optimal|"
-               "animate]\n"
+               "animate|fault-campaign]\n"
                "                       [--json] [--memory dense|streaming] [--seed N] "
                "[--threads N]\n"
+               "                       [--fault-kind all|NAME[,NAME...]] "
+               "[--fault-rate R[,R...]]\n"
+               "                       [--spares N] [--retries N]\n"
                "kernels: %s\n",
                ir::kernels::registered_names().c_str());
   std::exit(2);
@@ -99,6 +112,31 @@ math::Int parse_int(const std::string& flag, const char* text, math::Int lo, mat
               .c_str());
   }
   return static_cast<math::Int>(v);
+}
+
+/// Strict probability parsing: the whole token must be a number in
+/// [0, 1].
+double parse_rate(const std::string& flag, const char* text) {
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(text, &end);
+  if (end == text || *end != '\0' || errno == ERANGE || !(v >= 0.0 && v <= 1.0)) {
+    usage((flag + " expects a number in [0, 1], got '" + text + "'").c_str());
+  }
+  return v;
+}
+
+std::vector<std::string> split_commas(const std::string& text) {
+  std::vector<std::string> parts;
+  std::size_t at = 0;
+  while (at <= text.size()) {
+    const std::size_t comma = text.find(',', at);
+    const std::size_t end = comma == std::string::npos ? text.size() : comma;
+    parts.push_back(text.substr(at, end - at));
+    if (comma == std::string::npos) break;
+    at = comma + 1;
+  }
+  return parts;
 }
 
 std::uint64_t parse_seed(const std::string& flag, const char* text) {
@@ -139,6 +177,27 @@ Args parse(int argc, char** argv) {
       args.seed = parse_seed(flag, next());
     } else if (flag == "--threads") {
       args.threads = static_cast<int>(parse_int(flag, next(), 0, 4096));
+    } else if (flag == "--fault-kind") {
+      const std::string kinds = next();
+      if (kinds == "all") {
+        args.fault_kinds.clear();
+      } else {
+        for (const std::string& name : split_commas(kinds)) {
+          try {
+            args.fault_kinds.push_back(faults::parse_fault_kind(name));
+          } catch (const bitlevel::Error& e) {
+            usage(e.what());
+          }
+        }
+      }
+    } else if (flag == "--fault-rate") {
+      for (const std::string& rate : split_commas(next())) {
+        args.fault_rates.push_back(parse_rate(flag, rate.c_str()));
+      }
+    } else if (flag == "--spares") {
+      args.spares = static_cast<int>(parse_int(flag, next(), 0, 1'000'000));
+    } else if (flag == "--retries") {
+      args.retries = static_cast<int>(parse_int(flag, next(), 0, 1000));
     } else if (flag == "--memory") {
       const std::string m = next();
       if (m == "dense") {
@@ -426,6 +485,48 @@ int run_simulate(const Args& a) {
   return ok ? 0 : 1;
 }
 
+int run_fault_campaign(const Args& a) {
+  const pipeline::DesignRequest request = make_request(a, pipeline::MappingStrategy::kAuto);
+  const pipeline::PlanPtr plan = pipeline::global_plan_cache().get_or_compose(request);
+  if (!plan->has_mapping()) {
+    std::fprintf(stderr, "no feasible design found\n");
+    return 1;
+  }
+
+  // Seeded operands respecting the model's pipelining invariants — the
+  // same workload generator --action simulate uses.
+  const core::Workload workload = core::make_safe_workload(plan->model, a.p, a.expansion, a.seed);
+  pipeline::CampaignOptions options;
+  if (!a.fault_kinds.empty()) options.kinds = a.fault_kinds;
+  if (!a.fault_rates.empty()) options.rates = a.fault_rates;
+  options.seed = a.seed;
+  options.spares = a.spares;
+  options.max_retries = a.retries;
+  const pipeline::CampaignResult result = pipeline::run_campaign(
+      pipeline::global_plan_cache(), request, workload.x_fn(), workload.y_fn(), options);
+
+  if (a.json) {
+    JsonWriter w;
+    w.begin_object();
+    w.key("action").value("fault-campaign");
+    w.key("kernel").value(a.kernel);
+    w.key("p").value(a.p);
+    w.key("seed").value(a.seed);
+    w.key("pi").value(plan->t->schedule());
+    w.key("campaign");
+    result.write_json(w);
+    emit_plan_cache_json(w);
+    w.end_object();
+    std::printf("%s\n", w.str().c_str());
+    return 0;
+  }
+  std::printf("fault campaign: Pi = %s, %lld reference words, seed %llu\n",
+              math::to_string(plan->t->schedule()).c_str(), (long long)result.reference_words,
+              (unsigned long long)a.seed);
+  std::printf("%s", result.to_table().c_str());
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -438,9 +539,15 @@ int main(int argc, char** argv) {
     if (args.action == "simulate") return run_simulate(args);
     if (args.action == "optimal") return run_optimal(args);
     if (args.action == "animate") return run_animate(args);
+    if (args.action == "fault-campaign") return run_fault_campaign(args);
     usage(("unknown action '" + args.action + "' (allowed: " + allowed_actions() + ")").c_str());
   } catch (const bitlevel::Error& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  } catch (const std::exception& e) {
+    // Anything non-bitlevel (std::bad_alloc, iostream failures, ...)
+    // still exits cleanly instead of std::terminate.
+    std::fprintf(stderr, "error: unexpected failure: %s\n", e.what());
     return 1;
   }
 }
