@@ -1,0 +1,147 @@
+// BM_BatchSliced — scalar vs bit-sliced batch execution.
+//
+// The lane engine packs up to 64 independent problems into the bit
+// lanes of one uint64_t per channel, so one event evaluation, one
+// routing hop and one slot write serve 64 multiplications. The
+// reproduction table measures items/sec on the paper's Fig. 4 16x16
+// instance (u = 16, p = 16) and enforces the acceptance bar: the
+// sliced path must deliver >= 8x the scalar throughput at batch 64.
+// The table doubles as the CI gate — the binary exits nonzero when the
+// bar is missed, failing the bench step.
+#include "bench/bench_util.hpp"
+
+#include <chrono>
+#include <cstdlib>
+#include <vector>
+
+#include "core/workload.hpp"
+#include "pipeline/cache.hpp"
+#include "pipeline/executor.hpp"
+
+namespace {
+
+using namespace bitlevel;
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+pipeline::DesignRequest matmul_request(math::Int u, math::Int p) {
+  pipeline::DesignRequest request;
+  request.kernel = pipeline::KernelSpec{"matmul", u, 0, 0, 0};
+  request.p = p;
+  request.expansion = core::Expansion::kII;
+  request.mapping = pipeline::MappingStrategy::kPublishedFig4;
+  return request;
+}
+
+/// Seeded batch items over one plan. The workload table is loaded
+/// fully before any OperandFn is taken (x_fn captures the table, so
+/// the vector must not reallocate afterwards).
+struct ItemSet {
+  std::vector<core::Workload> workloads;
+  std::vector<pipeline::BatchItem> items;
+};
+
+ItemSet make_items(const pipeline::PlanPtr& plan, math::Int p, std::size_t count) {
+  ItemSet set;
+  set.workloads.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    set.workloads.push_back(core::make_safe_workload(plan->model, p, core::Expansion::kII,
+                                                     1000 + static_cast<std::uint64_t>(i)));
+  }
+  set.items.reserve(count);
+  for (const core::Workload& load : set.workloads) {
+    set.items.push_back(pipeline::BatchItem{load.x_fn(), load.y_fn()});
+  }
+  return set;
+}
+
+double run_items_per_sec(const pipeline::DesignRequest& request,
+                         const std::vector<pipeline::BatchItem>& items,
+                         pipeline::SlicedMode mode) {
+  pipeline::BatchOptions options;
+  options.sliced = mode;
+  const auto start = Clock::now();
+  const pipeline::BatchResult result =
+      pipeline::run_batch(pipeline::global_plan_cache(), request, items, options);
+  const double elapsed = seconds_since(start);
+  benchmark::DoNotOptimize(&result);
+  return static_cast<double>(items.size()) / elapsed;
+}
+
+void print_tables() {
+  bench::print_header(
+      "BM_BatchSliced", "scalar vs 64-lane bit-sliced batch throughput",
+      "One sliced machine pass carries up to 64 batch items in the bit lanes of a "
+      "uint64_t per channel; the per-item marginal cost drops by the lane width. "
+      "Acceptance bar (CI gate): sliced >= 8x scalar items/sec at batch 64 on the "
+      "Fig. 4 16x16 instance.");
+
+  const math::Int u = 16, p = 16;
+  const pipeline::DesignRequest request = matmul_request(u, p);
+  const pipeline::PlanPtr plan = pipeline::global_plan_cache().get_or_compose(request);
+  if (!plan->has_mapping()) {
+    std::printf("no feasible Fig. 4 plan at u=%lld p=%lld\n", (long long)u, (long long)p);
+    std::exit(1);
+  }
+
+  // The scalar side re-walks the full wavefront once per item, so its
+  // per-item cost is measured over a small probe batch; the sliced
+  // side runs one real 64-item group.
+  constexpr std::size_t kScalarProbe = 4;
+  constexpr std::size_t kGroup = 64;
+  const ItemSet probe = make_items(plan, p, kScalarProbe);
+  const ItemSet group = make_items(plan, p, kGroup);
+
+  const double scalar_ips = run_items_per_sec(request, probe.items, pipeline::SlicedMode::kOff);
+  const double sliced_ips = run_items_per_sec(request, group.items, pipeline::SlicedMode::kOn);
+  const double speedup = scalar_ips > 0.0 ? sliced_ips / scalar_ips : 0.0;
+
+  TextTable table({"path", "items", "items/sec", "speedup", ">= 8x"});
+  char c1[32], c2[32];
+  std::snprintf(c1, sizeof c1, "%.2f", scalar_ips);
+  table.add_row({"scalar", std::to_string(kScalarProbe), c1, "1x", "-"});
+  std::snprintf(c1, sizeof c1, "%.2f", sliced_ips);
+  std::snprintf(c2, sizeof c2, "%.1fx", speedup);
+  table.add_row({"sliced", std::to_string(kGroup), c1, c2, speedup >= 8.0 ? "yes" : "NO"});
+  bench::print_table(table);
+
+  if (speedup < 8.0) {
+    std::printf("GATE FAILED: sliced batch-64 throughput is %.1fx scalar (< 8x)\n", speedup);
+    std::exit(1);
+  }
+  std::printf("gate passed: sliced batch-64 throughput is %.1fx scalar (>= 8x)\n\n", speedup);
+}
+
+// The timing section scans batch sizes {1, 8, 64, 256} on a smaller
+// instance so both paths fit the benchmark budget; the ratio between
+// the two counters at equal batch is the lane-engine speedup.
+void run_batch_bench(benchmark::State& state, pipeline::SlicedMode mode) {
+  const math::Int u = 3, p = 6;
+  const pipeline::DesignRequest request = matmul_request(u, p);
+  const pipeline::PlanPtr plan = pipeline::global_plan_cache().get_or_compose(request);
+  const ItemSet set = make_items(plan, p, static_cast<std::size_t>(state.range(0)));
+  pipeline::BatchOptions options;
+  options.sliced = mode;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        pipeline::run_batch(pipeline::global_plan_cache(), request, set.items, options));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+
+void BM_BatchScalar(benchmark::State& state) {
+  run_batch_bench(state, pipeline::SlicedMode::kOff);
+}
+BENCHMARK(BM_BatchScalar)->Arg(1)->Arg(8)->Arg(64)->Arg(256)->Unit(benchmark::kMillisecond);
+
+void BM_BatchSliced(benchmark::State& state) {
+  run_batch_bench(state, pipeline::SlicedMode::kOn);
+}
+BENCHMARK(BM_BatchSliced)->Arg(1)->Arg(8)->Arg(64)->Arg(256)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BITLEVEL_BENCH_MAIN(print_tables)

@@ -126,6 +126,53 @@ BatchRunResult BitLevelMatmulArray::multiply_batch(const std::vector<WordMatrix>
   return result;
 }
 
+SlicedBatchRunResult BitLevelMatmulArray::multiply_batch_sliced(
+    const std::vector<WordMatrix>& xs, const std::vector<WordMatrix>& ys,
+    pipeline::SlicedMode mode) const {
+  BL_REQUIRE(!xs.empty() && xs.size() == ys.size(),
+             "batch needs equal, nonzero operand counts");
+  for (const auto& m : xs) BL_REQUIRE(m.u() == u_, "operand extents must match the array");
+  for (const auto& m : ys) BL_REQUIRE(m.u() == u_, "operand extents must match the array");
+
+  // The UNBATCHED plan (batch = 0): the lane engine multiplexes the
+  // problems onto bit positions, not onto a composed batch axis, so
+  // this is the same (u, p, mapping) key multiply() uses.
+  pipeline::DesignRequest request;
+  request.kernel = pipeline::KernelSpec{"matmul", u_, 0, 0, 0};
+  request.p = p_;
+  request.expansion = core::Expansion::kII;
+  request.mapping = which_ == MatmulMapping::kFig4 ? pipeline::MappingStrategy::kPublishedFig4
+                                                   : pipeline::MappingStrategy::kPublishedFig5;
+
+  // Model (2.3): x(j1, j2, j3) carries X[j1, j3]; y carries Y[j3, j2].
+  std::vector<pipeline::BatchItem> items;
+  items.reserve(xs.size());
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    items.push_back(pipeline::BatchItem{
+        [m = &xs[i]](const IntVec& j) { return m->at(j[0], j[2]); },
+        [m = &ys[i]](const IntVec& j) { return m->at(j[2], j[1]); }});
+  }
+
+  pipeline::BatchOptions options;
+  options.threads = array_.threads();
+  options.memory = array_.memory_mode();
+  options.sliced = mode;
+  const pipeline::BatchResult raw =
+      pipeline::run_batch(pipeline::global_plan_cache(), request, items, options);
+
+  SlicedBatchRunResult result;
+  result.z.assign(xs.size(), WordMatrix(u_));
+  result.stats = raw.results.front().stats;
+  result.sliced_groups = raw.sliced_groups;
+  result.sliced_items = raw.sliced_items;
+  result.scalar_items = raw.scalar_items;
+  for (std::size_t i = 0; i < raw.results.size(); ++i) {
+    // Chain ends at j3 = u hold Z[j1, j2].
+    for (const auto& [j, value] : raw.results[i].z) result.z[i].at(j[0], j[1]) = value;
+  }
+  return result;
+}
+
 Int BitLevelMatmulArray::predicted_cycles() const {
   if (which_ == MatmulMapping::kFig4) {
     return 3 * (u_ - 1) + 3 * (p_ - 1) + 1;  // (4.5)

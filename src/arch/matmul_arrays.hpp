@@ -19,6 +19,7 @@
 
 #include "arch/bit_array.hpp"
 #include "mapping/published.hpp"
+#include "pipeline/executor.hpp"
 
 namespace bitlevel::arch {
 
@@ -84,6 +85,19 @@ struct BatchRunResult {
   Int initiation_interval = 0;
 };
 
+/// Result of a lane-parallel (bit-sliced) batch run.
+struct SlicedBatchRunResult {
+  std::vector<WordMatrix> z;   ///< One product per item, in order.
+  /// Statistics of one machine pass. Simulator statistics are value
+  /// independent, so every item of every group reports the same
+  /// figures; one copy suffices.
+  sim::SimulationStats stats;
+  // How the items were executed (pipeline::BatchResult counters).
+  Int sliced_groups = 0;  ///< Machine passes taken by the sliced path.
+  Int sliced_items = 0;   ///< Items carried as bit lanes.
+  Int scalar_items = 0;   ///< Items run through the scalar path.
+};
+
 /// A ready-to-run bit-level matmul array (Expansion II structure).
 class BitLevelMatmulArray {
  public:
@@ -136,6 +150,17 @@ class BitLevelMatmulArray {
 
   /// The initiation interval of this mapping's batched schedule.
   Int batch_initiation_interval() const;
+
+  /// Run `xs.size()` independent products through the UNBATCHED array
+  /// via the bit-sliced lane engine: up to 64 problems ride the bit
+  /// lanes of one machine pass (pipeline::run_batch's sliced fast
+  /// path), so the per-item marginal cost drops by the lane width
+  /// instead of by schedule overlap. Results are bit-identical to
+  /// multiply() per item. `mode` kOff forces the scalar reference
+  /// path; kAuto slices whenever the batch has >= 2 items.
+  SlicedBatchRunResult multiply_batch_sliced(
+      const std::vector<WordMatrix>& xs, const std::vector<WordMatrix>& ys,
+      pipeline::SlicedMode mode = pipeline::SlicedMode::kAuto) const;
 
   /// u^2 p^2 for both mappings.
   Int predicted_processors() const;

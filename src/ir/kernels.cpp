@@ -102,20 +102,22 @@ WordLevelModel scalar_chain(Int l, Int u, Int h) {
 
 const std::vector<KernelInfo>& registry() {
   static const std::vector<KernelInfo> kRegistry = {
+      // Every current kernel expands through Theorem 3.1 to the
+      // pure-boolean compressor cell, so all are sliceable.
       {"matmul", 1, "u (matrix extent)", "square matrix multiplication Z = X * Y, program (2.3)",
-       [](Int u, Int, Int) { return matmul(u); }},
+       [](Int u, Int, Int) { return matmul(u); }, true},
       {"matmul_rect", 3, "u (rows of X), v (cols of Y), w (inner extent)",
        "rectangular matrix multiplication over [1,u]x[1,v]x[1,w]",
-       [](Int u, Int v, Int w) { return matmul_rect(u, v, w); }},
+       [](Int u, Int v, Int w) { return matmul_rect(u, v, w); }, true},
       {"conv", 2, "u (outputs), v (taps)", "1-D convolution with anti-diagonal input pipelining",
-       [](Int u, Int v, Int) { return convolution1d(u, v); }},
+       [](Int u, Int v, Int) { return convolution1d(u, v); }, true},
       {"matvec", 2, "u (rows), v (cols)",
        "matrix-vector multiplication; coefficients enter externally",
-       [](Int u, Int v, Int) { return matvec(u, v); }},
+       [](Int u, Int v, Int) { return matvec(u, v); }, true},
       {"transform", 1, "u (points)", "dense N-point DCT/DFT-style transform (matvec shape)",
-       [](Int u, Int, Int) { return transform(u); }},
+       [](Int u, Int, Int) { return transform(u); }, true},
       {"scalar", 1, "u (chain length)", "the 1-D scalar chain (3.7) of Section 3's exposition",
-       [](Int u, Int, Int) { return scalar_chain(1, u, 1); }},
+       [](Int u, Int, Int) { return scalar_chain(1, u, 1); }, true},
   };
   return kRegistry;
 }

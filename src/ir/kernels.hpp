@@ -73,6 +73,11 @@ struct KernelInfo {
   const char* params = "";   ///< Human-readable parameter meanings.
   const char* summary = "";  ///< One-line description.
   WordLevelModel (*make)(Int u, Int v, Int w) = nullptr;
+  /// True when the kernel's expanded cell body is pure-boolean (the
+  /// compressor of Theorem 3.1), so the bit-sliced lane executor can
+  /// carry 64 batch items through one machine pass. A kernel whose cell
+  /// did word-level arithmetic would have to stay scalar.
+  bool sliceable = false;
 };
 
 /// All registered kernels, in presentation order.

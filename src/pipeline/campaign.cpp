@@ -46,8 +46,13 @@ CampaignResult run_campaign(PlanCache& cache, const DesignRequest& request,
   campaign.plan = cache.get_or_compose(request);
 
   // The fault-free reference: scoring baseline for corrupted_words.
-  const PlanRunResult reference = run_plan(*campaign.plan, x, y);
-  campaign.reference_words = static_cast<Int>(reference.z.size());
+  // Skipped entirely when corruption scoring is off — no reference z
+  // map is held and the faulty runs below skip their read-outs too.
+  PlanRunResult reference;
+  if (options.score_corruption) {
+    reference = run_plan(*campaign.plan, x, y);
+    campaign.reference_words = static_cast<Int>(reference.z.size());
+  }
 
   campaign.reports.reserve(options.kinds.size() * options.rates.size());
   for (const faults::FaultKind kind : options.kinds) {
@@ -65,10 +70,11 @@ CampaignResult run_campaign(PlanCache& cache, const DesignRequest& request,
       run_options.memory = request.memory;
       run_options.faults = &model;
       run_options.fault_checks = options.fault_checks;
+      run_options.want_z = options.score_corruption;
       PlanRunResult run = run_plan(*campaign.plan, x, y, run_options);
 
       faults::FaultReport report = std::move(*run.fault_report);
-      if (report.completed) {
+      if (report.completed && options.score_corruption) {
         for (const auto& [point, word] : reference.z) {
           const auto it = run.z.find(point);
           if (it == run.z.end() || it->second != word) ++report.corrupted_words;

@@ -36,6 +36,12 @@ struct CampaignOptions {
   int spares = 2;            ///< Spare PEs per run (FaultModel::spares).
   int max_retries = 2;       ///< Recovery retry bound per suspect event.
   bool fault_checks = true;  ///< Off: injection only (silent-rate study).
+  /// Off: skip the clean reference run and every read-out
+  /// (RunOptions::want_z = false), so no per-run z map is ever held —
+  /// corrupted_words / silent_corruption / ABFT stay unscored and
+  /// reference_words is 0. For detection/recovery-only sweeps whose
+  /// memory is dominated by the word maps.
+  bool score_corruption = true;
 };
 
 /// The campaign's detection / recovery / degradation table.

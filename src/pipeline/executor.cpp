@@ -1,10 +1,12 @@
 #include "pipeline/executor.hpp"
 
+#include <algorithm>
 #include <optional>
 
 #include "arith/bits.hpp"
 #include "core/expansion.hpp"
 #include "faults/injector.hpp"
+#include "ir/kernels.hpp"
 #include "sim/machine.hpp"
 #include "support/error.hpp"
 
@@ -25,7 +27,235 @@ std::vector<std::string> cell_channels(bool with_parity) {
   return ch;
 }
 
+// Role map of a structure's dependence columns plus the coordinates and
+// accumulation boundary the cell and read-out need. Shared by the
+// scalar and the bit-sliced executors so both interpret one structure
+// identically: the columns are located by their cause labels (set by
+// expand()) and by whether the dependence moves in the word-level
+// coordinates. d1/d2 may be absent when the operand enters externally.
+struct CompressorLayout {
+  math::Int p;
+  std::size_t n;         ///< Word-level dimensions.
+  std::size_t i1c, i2c;  ///< Bit-grid coordinate positions.
+  std::size_t col_d1, col_d2, col_d3, col_d4, col_d5, col_d6, col_d7;
+  ir::ValidityRegion boundary;
+
+  explicit CompressorLayout(const core::BitLevelStructure& structure)
+      : p(structure.p),
+        n(structure.word_dims()),
+        i1c(structure.i1_coord()),
+        i2c(structure.i2_coord()),
+        boundary(core::accumulation_boundary(structure.word, structure.dim())) {
+    const auto& deps = structure.deps;
+    col_d1 = col_d2 = col_d3 = col_d4 = col_d5 = col_d6 = col_d7 = deps.size();
+    for (std::size_t i = 0; i < deps.size(); ++i) {
+      const auto& col = deps[i];
+      const bool word_level = !math::is_zero(
+          math::IntVec(col.d.begin(), col.d.begin() + static_cast<std::ptrdiff_t>(n)));
+      if (col.cause == "x") {
+        (word_level ? col_d1 : col_d4) = i;
+      } else if (col.cause == "y") {
+        col_d2 = i;
+      } else if (col.cause == "y,c") {
+        col_d5 = i;
+      } else if (col.cause == "z") {
+        (word_level ? col_d3 : col_d6) = i;
+      } else if (col.cause == "c'") {
+        col_d7 = i;
+      }
+    }
+    BL_REQUIRE(col_d3 < deps.size() && col_d4 < deps.size() && col_d5 < deps.size() &&
+                   col_d6 < deps.size() && col_d7 < deps.size(),
+               "structure is missing expected expansion columns");
+  }
+
+  math::IntVec word_part(const math::IntVec& q) const {
+    return math::IntVec(q.begin(), q.begin() + static_cast<std::ptrdiff_t>(n));
+  }
+};
+
+// One bit-sliced machine pass over `lanes` (1..64) consecutive batch
+// items starting at `first`: every cell channel is a sim::LaneWord
+// whose bit l belongs to item first+l, the cell body is the branch-free
+// full-adder form of the compressor, and the read-out de-slices each
+// lane into its own PlanRunResult. Clean path only — fault injection
+// corrupts whole slots and would couple the lanes, so fault runs stay
+// on the scalar reference path.
+void run_sliced_group(const core::BitLevelStructure& structure, const mapping::MappingMatrix& t,
+                      const mapping::InterconnectionPrimitives& prims, const math::IntMat& k,
+                      const std::vector<BatchItem>& items, std::size_t first, std::size_t lanes,
+                      const BatchOptions& options, std::vector<PlanRunResult>& results) {
+  using math::Int;
+  using math::IntVec;
+  using sim::LaneWord;
+  BL_REQUIRE(lanes >= 1 && lanes <= sim::kLaneWidth, "lane group must hold 1..64 items");
+  const CompressorLayout L(structure);
+  const Int p = L.p;
+  const auto& deps = structure.deps;
+  // Ragged tails: lanes beyond the group's item count. Their operand
+  // bits are never packed, so — the cell being pure-boolean with zero
+  // an absorbing input — every channel stays zero there; `active`
+  // additionally masks them out of the capacity-honesty checks.
+  const LaneWord active =
+      lanes == sim::kLaneWidth ? ~LaneWord{0} : ((LaneWord{1} << lanes) - LaneWord{1});
+
+  // Bit-transpose the operands once per group: for each word point j,
+  // packed x element b holds bit b of every lane's x word, so the
+  // per-event lane fetch is a single load instead of 64 OperandFn
+  // calls.
+  struct PackedOperands {
+    std::vector<LaneWord> x, y;
+  };
+  std::map<IntVec, PackedOperands> packed;
+  structure.word.domain.for_each([&](const IntVec& j) {
+    PackedOperands& slot = packed[j];
+    slot.x.assign(static_cast<std::size_t>(p), 0);
+    slot.y.assign(static_cast<std::size_t>(p), 0);
+    for (std::size_t l = 0; l < lanes; ++l) {
+      const std::uint64_t xw = items[first + l].x(j);
+      const std::uint64_t yw = items[first + l].y(j);
+      for (std::size_t b = 0; b < static_cast<std::size_t>(p); ++b) {
+        slot.x[b] |= ((xw >> b) & 1U) << l;
+        slot.y[b] |= ((yw >> b) & 1U) << l;
+      }
+    }
+    return true;
+  });
+
+  const auto x_lanes = [&](const IntVec& q) {
+    return packed.at(L.word_part(q)).x[static_cast<std::size_t>(q[L.i2c] - 1)];
+  };
+  const auto y_lanes = [&](const IntVec& q) {
+    return packed.at(L.word_part(q)).y[static_cast<std::size_t>(q[L.i1c] - 1)];
+  };
+
+  sim::LaneExternalFn external = [&](const IntVec& q, std::size_t column, LaneWord* out) {
+    // The destination is zero-filled by the machine; only operand
+    // channels need writing (the initial sums and carries of programs
+    // (3.1)/(3.5) are zero).
+    if (column == L.col_d1 || column == L.col_d4) out[kX] = x_lanes(q);
+    if (column == L.col_d2 || column == L.col_d5) out[kY] = y_lanes(q);
+  };
+
+  sim::LaneComputeFn compute = [&](const IntVec& q, const std::vector<sim::ColumnInput>& in,
+                                   LaneWord* out) {
+    auto bundle = [&](std::size_t column) -> const LaneWord* {
+      if (column >= in.size() || !in[column].valid) return nullptr;
+      return sim::lane_view(in[column].producer);
+    };
+    const LaneWord* bx = bundle(L.col_d4);
+    if (bx == nullptr && L.col_d1 < in.size()) bx = bundle(L.col_d1);
+    const LaneWord xv = bx != nullptr ? bx[kX] : x_lanes(q);
+    const LaneWord* by = bundle(L.col_d5);
+    if (by == nullptr && L.col_d2 < in.size()) by = bundle(L.col_d2);
+    const LaneWord yv = by != nullptr ? by[kY] : y_lanes(q);
+
+    const LaneWord pp = xv & yv;
+    const LaneWord* z3p = bundle(L.col_d3);
+    const LaneWord* z6p = bundle(L.col_d6);
+    const LaneWord* c5p = bundle(L.col_d5);
+    const LaneWord* c7p = bundle(L.col_d7);
+    const LaneWord z3 = z3p != nullptr ? z3p[kZ] : 0;
+    const LaneWord z6 = z6p != nullptr ? z6p[kZ] : 0;
+    const LaneWord c5 = c5p != nullptr ? c5p[kC] : 0;
+    const LaneWord c7 = c7p != nullptr ? c7p[kCp] : 0;
+
+    // The scalar cell forms total = pp + z3 + z6 + c5 + c7 (at most 5)
+    // and emits its three bits. Branch-free across 64 lanes: compress
+    // the five addends with two full adders — s = a ^ b ^ c,
+    // carry = (a & b) | (c & (a ^ b)) — leaving
+    // total = s2 + 2 * (c1 + c2), so z = s2, c = c1 ^ c2, c' = c1 & c2.
+    const LaneWord t1 = pp ^ z3;
+    const LaneWord s1 = t1 ^ z6;
+    const LaneWord c1 = (pp & z3) | (z6 & t1);
+    const LaneWord t2 = s1 ^ c5;
+    const LaneWord s2 = t2 ^ c7;
+    const LaneWord c2 = (s1 & c5) | (c7 & t2);
+
+    out[kX] = xv;
+    out[kY] = yv;
+    out[kZ] = s2;
+    out[kC] = c1 ^ c2;
+    out[kCp] = c1 & c2;
+
+    // Capacity honesty, lane-wide: a nonzero carry in ANY active lane
+    // must have somewhere to go. The predicate is per-point (lane
+    // independent), so this is exactly the scalar check applied to the
+    // whole group at once.
+    auto consumed = [&](std::size_t column) {
+      const IntVec consumer = math::add(q, deps[column].d);
+      return structure.domain.contains(consumer) && deps[column].valid.contains(consumer);
+    };
+    if ((out[kC] & active) != 0 && !consumed(L.col_d5)) {
+      const bool top_output = q[L.i1c] == p && q[L.i2c] == p && L.boundary.contains(q);
+      if (!top_output) {
+        throw OverflowError("array dropped a carry at " + math::to_string(q) +
+                            ": capacity precondition violated");
+      }
+    }
+    if ((out[kCp] & active) != 0 && !consumed(L.col_d7)) {
+      throw OverflowError("array dropped a second carry at " + math::to_string(q) +
+                          ": capacity precondition violated");
+    }
+  };
+
+  sim::MachineConfig cfg{structure.domain, deps,
+                         t,                prims,
+                         k,                cell_channels(/*with_parity=*/false),
+                         options.threads};
+  cfg.memory = options.memory;
+  if (options.memory == sim::MemoryMode::kStreaming && options.want_z) {
+    const std::size_t i1c = L.i1c, i2c = L.i2c;
+    cfg.observe = [i1c, i2c, p](const IntVec& q) { return q[i1c] == p || q[i2c] == 1; };
+  }
+  sim::Machine machine(std::move(cfg), std::move(compute), std::move(external));
+
+  // Statistics are value-independent — they are functions of the
+  // domain, mapping and routing only — so the group's stats ARE each
+  // item's stats, bit-identical to a scalar per-item run.
+  const sim::SimulationStats stats = machine.run();
+  for (std::size_t l = 0; l < lanes; ++l) results[first + l].stats = stats;
+  if (!options.want_z) return;
+
+  // De-slice the read-out: gather each boundary word point's 2p output
+  // bits as lane words once, then peel bit l out of each for item
+  // first+l (LSB-first, matching arith::from_bits in the scalar path).
+  std::vector<LaneWord> bits;
+  structure.word.domain.for_each([&](const IntVec& j) {
+    if (!L.boundary.contains(math::concat(j, IntVec{1, 1}))) return true;
+    bits.clear();
+    bits.reserve(static_cast<std::size_t>(2 * p));
+    for (Int i = 1; i <= p; ++i) {
+      bits.push_back(sim::lane_view(machine.outputs_at(math::concat(j, IntVec{i, 1})))[kZ]);
+    }
+    for (Int i2 = 2; i2 <= p; ++i2) {
+      bits.push_back(sim::lane_view(machine.outputs_at(math::concat(j, IntVec{p, i2})))[kZ]);
+    }
+    bits.push_back(sim::lane_view(machine.outputs_at(math::concat(j, IntVec{p, p})))[kC]);
+    for (std::size_t l = 0; l < lanes; ++l) {
+      std::uint64_t word = 0;
+      for (std::size_t b = 0; b < bits.size(); ++b) {
+        word |= ((bits[b] >> l) & 1U) << b;
+      }
+      results[first + l].z.emplace(j, word);
+    }
+    return true;
+  });
+}
+
 }  // namespace
+
+std::string to_string(SlicedMode mode) {
+  switch (mode) {
+    case SlicedMode::kAuto:
+      return "auto";
+    case SlicedMode::kOff:
+      return "off";
+    case SlicedMode::kOn:
+      return "on";
+  }
+  return "?";
+}
 
 PlanRunResult run_mapped_structure(const core::BitLevelStructure& structure,
                                    const mapping::MappingMatrix& t,
@@ -36,49 +266,20 @@ PlanRunResult run_mapped_structure(const core::BitLevelStructure& structure,
   using math::IntVec;
   const bool faulty = options.faults != nullptr;
   const std::size_t nbundle = faulty ? 6 : 5;
-  const Int p = structure.p;
-  const std::size_t n = structure.word_dims();
-  const std::size_t i1c = structure.i1_coord();
-  const std::size_t i2c = structure.i2_coord();
+  const CompressorLayout L(structure);
+  const Int p = L.p;
   const auto& deps = structure.deps;
-  const ir::ValidityRegion boundary =
-      core::accumulation_boundary(structure.word, structure.dim());
-
-  // Locate the columns by their role (cause labels set by expand()).
-  // d1/d2 may be absent when the operand is an external input.
-  std::size_t col_d1 = deps.size(), col_d2 = deps.size(), col_d3 = deps.size();
-  std::size_t col_d4 = deps.size(), col_d5 = deps.size(), col_d6 = deps.size(),
-              col_d7 = deps.size();
-  for (std::size_t i = 0; i < deps.size(); ++i) {
-    const auto& col = deps[i];
-    const bool word_level = !math::is_zero(
-        IntVec(col.d.begin(), col.d.begin() + static_cast<std::ptrdiff_t>(n)));
-    if (col.cause == "x") {
-      (word_level ? col_d1 : col_d4) = i;
-    } else if (col.cause == "y") {
-      col_d2 = i;
-    } else if (col.cause == "y,c") {
-      col_d5 = i;
-    } else if (col.cause == "z") {
-      (word_level ? col_d3 : col_d6) = i;
-    } else if (col.cause == "c'") {
-      col_d7 = i;
-    }
-  }
-  BL_REQUIRE(col_d3 < deps.size() && col_d4 < deps.size() && col_d5 < deps.size() &&
-                 col_d6 < deps.size() && col_d7 < deps.size(),
-             "structure is missing expected expansion columns");
-
-  auto word_part = [n](const IntVec& q) {
-    return IntVec(q.begin(), q.begin() + static_cast<std::ptrdiff_t>(n));
-  };
+  const std::size_t col_d1 = L.col_d1, col_d2 = L.col_d2, col_d3 = L.col_d3, col_d4 = L.col_d4,
+                    col_d5 = L.col_d5, col_d6 = L.col_d6, col_d7 = L.col_d7;
+  const std::size_t i1c = L.i1c, i2c = L.i2c;
+  const ir::ValidityRegion& boundary = L.boundary;
 
   // Fresh operand bits entering the array.
   auto x_bit = [&](const IntVec& q) {
-    return static_cast<Int>((x(word_part(q)) >> (q[i2c] - 1)) & 1U);
+    return static_cast<Int>((x(L.word_part(q)) >> (q[i2c] - 1)) & 1U);
   };
   auto y_bit = [&](const IntVec& q) {
-    return static_cast<Int>((y(word_part(q)) >> (q[i1c] - 1)) & 1U);
+    return static_cast<Int>((y(L.word_part(q)) >> (q[i1c] - 1)) & 1U);
   };
 
   sim::ExternalFn external = [&](const IntVec& q, std::size_t column) -> sim::Outputs {
@@ -156,7 +357,7 @@ PlanRunResult run_mapped_structure(const core::BitLevelStructure& structure,
     injector.emplace(*options.faults, t.space(), nbundle, options.fault_checks);
     cfg.faults = injector->hooks();
   }
-  if (options.memory == sim::MemoryMode::kStreaming) {
+  if (options.memory == sim::MemoryMode::kStreaming && options.want_z) {
     // The read-out below touches only the bit-grid edge cells (i2 = 1
     // and i1 = p); observing that superset of the accumulation-boundary
     // cells keeps retention at O(|J_w| * p) instead of |J|.
@@ -167,7 +368,9 @@ PlanRunResult run_mapped_structure(const core::BitLevelStructure& structure,
 
   // Read the final z words off the accumulation-boundary grids: bit i at
   // cell (i, 1) for i <= p, bit p+i2-1 at (p, i2), bit 2p from c(p, p).
+  // Skipped entirely under want_z = false.
   const auto read_out = [&] {
+    if (!options.want_z) return;
     structure.word.domain.for_each([&](const IntVec& j) {
       if (!boundary.contains(math::concat(j, IntVec{1, 1}))) return true;
       std::vector<int> bits;
@@ -210,7 +413,7 @@ PlanRunResult run_mapped_structure(const core::BitLevelStructure& structure,
   report.recovery_reexecutions = result.stats.recovery_reexecutions;
   report.degraded_points = result.stats.degraded_points;
   report.injection = injector->stats();
-  if (report.completed && options.fault_checks) {
+  if (report.completed && options.fault_checks && options.want_z) {
     report.abft = faults::abft_check(structure.word, x, y, result.z);
   }
   return result;
@@ -230,16 +433,62 @@ PlanRunResult run_plan(const DesignPlan& plan, const core::OperandFn& x,
 }
 
 BatchResult run_batch(PlanCache& cache, const DesignRequest& request,
-                      const std::vector<BatchItem>& items) {
+                      const std::vector<BatchItem>& items, const BatchOptions& options) {
   BatchResult batch;
   const std::string key = canonical_key(request);
   batch.plan_was_cached = cache.peek(key) != nullptr;
   batch.plan = cache.get_or_compose(request);
-  batch.results.reserve(items.size());
-  for (const auto& item : items) {
-    batch.results.push_back(run_plan(*batch.plan, item.x, item.y));
+  const DesignPlan& plan = *batch.plan;
+  BL_REQUIRE(plan.has_mapping(), "plan has no mapping to run (strategy " +
+                                     to_string(plan.request.mapping) + ", origin " +
+                                     to_string(plan.origin) + ")");
+  batch.results.resize(items.size());
+
+  const ir::kernels::KernelInfo* info = ir::kernels::find_kernel(request.kernel.name);
+  const bool sliceable = info != nullptr && info->sliceable;
+  bool sliced = false;
+  switch (options.sliced) {
+    case SlicedMode::kOff:
+      break;
+    case SlicedMode::kOn:
+      BL_REQUIRE(sliceable,
+                 "kernel '" + request.kernel.name + "' has no sliceable cell body");
+      sliced = true;
+      break;
+    case SlicedMode::kAuto:
+      // One item gains nothing from packing; two or more amortize the
+      // machine pass 2..64-fold.
+      sliced = sliceable && items.size() >= 2;
+      break;
+  }
+
+  if (sliced) {
+    for (std::size_t at = 0; at < items.size(); at += sim::kLaneWidth) {
+      const std::size_t lanes = std::min(sim::kLaneWidth, items.size() - at);
+      run_sliced_group(*plan.structure, *plan.t, *plan.prims, *plan.k, items, at, lanes, options,
+                       batch.results);
+      batch.sliced_groups += 1;
+      batch.sliced_items += static_cast<math::Int>(lanes);
+    }
+  } else {
+    RunOptions run_options;
+    run_options.threads = options.threads;
+    run_options.memory = options.memory;
+    run_options.want_z = options.want_z;
+    for (std::size_t i = 0; i < items.size(); ++i) {
+      batch.results[i] = run_plan(plan, items[i].x, items[i].y, run_options);
+    }
+    batch.scalar_items = static_cast<math::Int>(items.size());
   }
   return batch;
+}
+
+BatchResult run_batch(PlanCache& cache, const DesignRequest& request,
+                      const std::vector<BatchItem>& items) {
+  BatchOptions options;
+  options.threads = request.threads;
+  options.memory = request.memory;
+  return run_batch(cache, request, items, options);
 }
 
 }  // namespace bitlevel::pipeline

@@ -40,6 +40,29 @@ struct RunOptions {
   /// Fault runs only: turn the parity/ABFT detection and recovery off
   /// (injection still happens) to measure silent-corruption rates.
   bool fault_checks = true;
+  /// Off: skip the accumulation-boundary read-out entirely —
+  /// PlanRunResult::z stays empty and streaming runs install no observe
+  /// predicate (stats.observed_points is 0 there). For callers that only
+  /// read stats or fault reports, e.g. campaign sweeps with corruption
+  /// scoring disabled.
+  bool want_z = true;
+};
+
+/// Whether run_batch packs items into 64-wide bit-sliced lane groups.
+enum class SlicedMode {
+  kAuto,  ///< Sliced when the plan's cell is sliceable and batch >= 2.
+  kOff,   ///< Always the scalar reference path.
+  kOn,    ///< Always sliced (throws if the plan's cell is not sliceable).
+};
+
+std::string to_string(SlicedMode mode);
+
+/// Execution knobs for one batched run.
+struct BatchOptions {
+  int threads = 0;
+  sim::MemoryMode memory = sim::MemoryMode::kDense;
+  SlicedMode sliced = SlicedMode::kAuto;
+  bool want_z = true;  ///< See RunOptions::want_z.
 };
 
 /// Result of one cycle-accurate run.
@@ -83,11 +106,22 @@ struct BatchResult {
   PlanPtr plan;                        ///< The shared plan every item ran on.
   bool plan_was_cached = false;        ///< True when the cache already held it.
   std::vector<PlanRunResult> results;  ///< One per item, in order.
+  // Sliced-vs-scalar accounting: how the items were executed.
+  math::Int sliced_groups = 0;  ///< Machine passes taken by the sliced path.
+  math::Int sliced_items = 0;   ///< Items carried as bit lanes.
+  math::Int scalar_items = 0;   ///< Items run through the scalar path.
 };
 
 /// Execute every item over ONE plan for `request`, composed at most
 /// once via `cache`. Per-item results are bit-identical to running each
-/// item through a freshly composed plan.
+/// item through a freshly composed plan: the sliced fast path packs up
+/// to 64 items into the bit lanes of one machine pass (see DESIGN.md
+/// §8), and the scalar path is the per-item reference.
+BatchResult run_batch(PlanCache& cache, const DesignRequest& request,
+                      const std::vector<BatchItem>& items, const BatchOptions& options);
+
+/// Batched execution with the execution knobs of the request and
+/// SlicedMode::kAuto.
 BatchResult run_batch(PlanCache& cache, const DesignRequest& request,
                       const std::vector<BatchItem>& items);
 

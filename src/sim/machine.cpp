@@ -94,8 +94,50 @@ std::string SimulationStats::to_string() const {
   return os.str();
 }
 
-Machine::Machine(MachineConfig config, ComputeFn compute, ExternalFn external)
+Machine::Machine(MachineConfig config, ComputeIntoFn compute, ExternalIntoFn external)
     : config_(std::move(config)), compute_(std::move(compute)), external_(std::move(external)) {
+  init();
+}
+
+Machine::Machine(MachineConfig config, ComputeFn compute, ExternalFn external)
+    : config_(std::move(config)) {
+  BL_REQUIRE(static_cast<bool>(compute), "compute function required");
+  BL_REQUIRE(static_cast<bool>(external), "external-input function required");
+  // Adapt the by-value form: the returned bundle is copied into the
+  // destination slot, preserving the historical fill-every-channel
+  // check. Cells on the hot path should use the Into forms instead.
+  const std::size_t nch = config_.channels.size();
+  compute_ = [fn = std::move(compute), nch](const IntVec& q,
+                                            const std::vector<ColumnInput>& inputs, Int* out) {
+    const Outputs produced = fn(q, inputs);
+    BL_REQUIRE(produced.size() == nch, "compute function must fill every channel");
+    std::copy(produced.begin(), produced.end(), out);
+  };
+  external_ = [fn = std::move(external), nch](const IntVec& q, std::size_t column, Int* out) {
+    const Outputs produced = fn(q, column);
+    BL_REQUIRE(produced.size() == nch, "external function must fill every channel");
+    std::copy(produced.begin(), produced.end(), out);
+  };
+  init();
+}
+
+Machine::Machine(MachineConfig config, LaneComputeFn compute, LaneExternalFn external)
+    : config_(std::move(config)) {
+  BL_REQUIRE(static_cast<bool>(compute), "compute function required");
+  BL_REQUIRE(static_cast<bool>(external), "external-input function required");
+  // Lane bundles live in the same Int slots (see lane_view); only the
+  // destination pointer changes type.
+  compute_ = [fn = std::move(compute)](const IntVec& q, const std::vector<ColumnInput>& inputs,
+                                       Int* out) {
+    fn(q, inputs, reinterpret_cast<LaneWord*>(out));
+  };
+  external_ = [fn = std::move(external)](const IntVec& q, std::size_t column, Int* out) {
+    fn(q, column, reinterpret_cast<LaneWord*>(out));
+  };
+  init();
+}
+
+void Machine::init() {
   BL_REQUIRE(config_.domain.dim() >= 1, "domain must have at least one dimension");
   BL_REQUIRE(config_.deps.empty() || config_.deps.dim() == config_.domain.dim(),
              "dependence dimension must match the domain");
@@ -198,30 +240,31 @@ SimulationStats Machine::run() {
   const bool fault_checks = fh != nullptr && (fh->check_output || fh->check_input);
 
   // One event: resolve operands, verify timing, compute, store. The
-  // scratch vectors are per-thread so the fan-out shares nothing but
+  // scratch buffers are per-thread so the fan-out shares nothing but
   // the (disjoint) destination slots and earlier cycles' results.
+  // `scratch` holds one private nch-wide staging slot per column
+  // (externals land there; fault runs copy resident bundles there so
+  // monitors and injectors never touch the producer's stored value).
   // `attempt` is 0 on the first execution and counts recovery re-runs.
   // Returns false when the link-level fault check flagged an arriving
   // bundle as corrupted.
   const auto execute_event = [&](const IntVec& q, Int cycle, std::size_t linear, Int* dest,
-                                 Accum& acc, std::vector<ColumnInput>& inputs,
-                                 std::vector<Outputs>& resolved_externals, int attempt) {
+                                 Accum& acc, std::vector<ColumnInput>& inputs, Int* scratch,
+                                 int attempt) {
     bool inputs_ok = true;
-    resolved_externals.clear();
-    resolved_externals.reserve(ncols);
     for (std::size_t i = 0; i < ncols; ++i) {
       inputs[i] = ColumnInput{};
       const auto& col = config_.deps[i];
       if (!col.valid.contains(q)) continue;
       inputs[i].valid = true;
       const IntVec producer = math::sub(q, col.d);
+      Int* const view = scratch + i * nch;
       const Int* bundle;
       if (!config_.domain.contains(producer)) {
         inputs[i].external = true;
-        resolved_externals.push_back(external_(q, i));
-        BL_REQUIRE(resolved_externals.back().size() == nch,
-                   "external function must fill every channel");
-        bundle = resolved_externals.back().data();
+        std::fill(view, view + nch, 0);
+        external_(q, i, view);
+        bundle = view;
       } else {
         const std::size_t slot = linear_index(producer);
         // Condition 2 keeps producers strictly earlier than consumers and
@@ -246,38 +289,35 @@ SimulationStats Machine::run() {
       }
       // Transmission boundary: the consumer receives a private copy the
       // injector may corrupt and the link-level monitor inspects.
-      // External bundles are already private; resident slots are copied
-      // so the producer's stored value stays pristine for other
-      // consumers.
+      // External bundles are already staged in the column's view;
+      // resident slots are copied there so the producer's stored value
+      // stays pristine for other consumers.
       if (fh != nullptr && (fh->on_transmit || fh->check_input)) {
         if (!inputs[i].external) {
-          resolved_externals.emplace_back(bundle, bundle + nch);
-          bundle = resolved_externals.back().data();
+          std::copy(bundle, bundle + nch, view);
+          bundle = view;
         }
-        Int* view = resolved_externals.back().data();
         if (fh->on_transmit) fh->on_transmit(q, i, attempt, view);
         if (fh->check_input && !fh->check_input(q, view)) inputs_ok = false;
       }
       inputs[i].producer = bundle;
     }
 
-    Outputs out;
+    std::fill(dest, dest + nch, 0);
     if (fault_checks) {
       // A corrupted operand can trip the cell's capacity precondition
       // before any monitor sees the bundle. Under fault checks that is
       // a detection, not an abort: emit an all-zero (parity-failing)
       // bundle and report the event bad so barrier recovery retries it.
       try {
-        out = compute_(q, inputs);
+        compute_(q, inputs, dest);
       } catch (const OverflowError&) {
-        out.assign(nch, 0);
+        std::fill(dest, dest + nch, 0);
         inputs_ok = false;
       }
     } else {
-      out = compute_(q, inputs);
+      compute_(q, inputs, dest);
     }
-    BL_REQUIRE(out.size() == nch, "compute function must fill every channel");
-    std::copy(out.begin(), out.end(), dest);
     // Produce boundary: the PE's output register may be faulty.
     if (fh != nullptr && fh->on_produce) fh->on_produce(q, attempt, dest);
     if (!streaming) computed_[linear] = 1;
@@ -293,8 +333,14 @@ SimulationStats Machine::run() {
   };
 
   std::set<IntVec> pes;
-  std::vector<ColumnInput> inputs(ncols);
-  std::vector<Outputs> resolved_externals;
+  // Per-thread scratch reused across all cycles: operand descriptors
+  // plus one nch-wide staging slot per column. Fan-out chunk c owns
+  // thread_inputs[c]/thread_scratch[c]; the serial and recovery paths
+  // use slot 0. Reuse removes the per-event vector constructions that
+  // previously dominated the dense 16x16x16 profile.
+  std::vector<std::vector<ColumnInput>> thread_inputs(nthreads,
+                                                      std::vector<ColumnInput>(ncols));
+  std::vector<std::vector<Int>> thread_scratch(nthreads, std::vector<Int>(ncols * nch, 0));
   std::vector<IntVec> cycle_pes;  // conflict check within one cycle
   std::vector<Accum> accums(nthreads);
   std::vector<std::size_t> linears;
@@ -355,11 +401,11 @@ SimulationStats Machine::run() {
     if (fan_out) {
       std::fill(accums.begin(), accums.end(), Accum{});
       pool.parallel_for(nthreads, 0, count, [&](std::size_t chunk, std::size_t lo, std::size_t hi) {
-        std::vector<ColumnInput> local_inputs(ncols);
-        std::vector<Outputs> local_externals;
+        std::vector<ColumnInput>& local_inputs = thread_inputs[chunk];
+        Int* const local_scratch = thread_scratch[chunk].data();
         for (std::size_t i = lo; i < hi; ++i) {
           const bool ok = execute_event(qat(i), cycle, linears[i], dests[i], accums[chunk],
-                                        local_inputs, local_externals, 0);
+                                        local_inputs, local_scratch, 0);
           if (fault_checks) event_input_ok[i] = ok ? 1 : 0;
         }
       });
@@ -367,8 +413,8 @@ SimulationStats Machine::run() {
     } else {
       Accum acc;
       for (std::size_t i = 0; i < count; ++i) {
-        const bool ok =
-            execute_event(qat(i), cycle, linears[i], dests[i], acc, inputs, resolved_externals, 0);
+        const bool ok = execute_event(qat(i), cycle, linears[i], dests[i], acc, thread_inputs[0],
+                                      thread_scratch[0].data(), 0);
         if (fault_checks) event_input_ok[i] = ok ? 1 : 0;
       }
       merge(acc);
@@ -393,8 +439,8 @@ SimulationStats Machine::run() {
         std::vector<std::size_t> still_bad;
         for (const std::size_t i : suspects) {
           Accum replay;
-          const bool in_ok = execute_event(qat(i), cycle, linears[i], dests[i], replay, inputs,
-                                           resolved_externals, attempt);
+          const bool in_ok = execute_event(qat(i), cycle, linears[i], dests[i], replay,
+                                           thread_inputs[0], thread_scratch[0].data(), attempt);
           stats.recovery_reexecutions = math::checked_add(stats.recovery_reexecutions, 1);
           const bool out_ok = !fh->check_output || fh->check_output(qat(i), dests[i]);
           if (!in_ok || !out_ok) still_bad.push_back(i);

@@ -87,6 +87,54 @@ using ComputeFn =
 /// its producer existed (e.g. fresh operand bits, zero carries).
 using ExternalFn = std::function<Outputs(const IntVec& q, std::size_t column)>;
 
+/// Allocation-free cell semantics: fill the channels-length bundle
+/// `out` in place. `out` arrives zero-filled and IS the destination
+/// slot, so the hot path constructs no per-event vector. ComputeFn /
+/// ExternalFn are adapted onto this form at construction; performance-
+/// critical cells (the pipeline compressor) implement it directly.
+using ComputeIntoFn = std::function<void(const IntVec& q,
+                                         const std::vector<ColumnInput>& inputs, Int* out)>;
+using ExternalIntoFn = std::function<void(const IntVec& q, std::size_t column, Int* out)>;
+
+// --- Bit-sliced lane execution (SWAR) ------------------------------
+//
+// A bit-level cell consumes and produces single bits, yet each bundle
+// entry is a full 64-bit slot. Lane execution exploits the spare width:
+// bit position b of every channel word carries batch item b's value, so
+// ONE event evaluation, ONE routing hop and ONE slot write serve up to
+// 64 independent problem instances. Storage, routing, the wavefront
+// thread pool, both memory modes and the condition-2/3 invariant checks
+// never interpret channel values — they are lane-blind — so the lane
+// path reuses the whole machine unchanged. Lanes beyond the batch's
+// ragged tail are masked by packing zero operand bits into them: a
+// pure-boolean cell then keeps them zero everywhere, which is exactly
+// the behaviour of a scalar run over zero operands.
+
+/// One packed channel word; bit b = lane b's value of that channel.
+using LaneWord = std::uint64_t;
+
+/// Lanes per machine pass (the packed word width).
+inline constexpr std::size_t kLaneWidth = 64;
+
+static_assert(sizeof(LaneWord) == sizeof(Int),
+              "lane words must occupy exactly one bundle slot");
+
+/// View a stored bundle as packed lane words. Int slots and lane words
+/// share size and representation (two's complement), and signed /
+/// unsigned variants of the same type may alias.
+inline const LaneWord* lane_view(const Int* bundle) {
+  return reinterpret_cast<const LaneWord*>(bundle);
+}
+
+/// Lane-parallel cell semantics: like ComputeIntoFn, but every channel
+/// is a packed LaneWord and the body must be a pure boolean (bitwise)
+/// function so all 64 lanes advance with word-parallel operations.
+/// `inputs` still exposes Int views; use lane_view() on the bundles.
+using LaneComputeFn = std::function<void(const IntVec& q,
+                                         const std::vector<ColumnInput>& inputs, LaneWord* out)>;
+using LaneExternalFn =
+    std::function<void(const IntVec& q, std::size_t column, LaneWord* out)>;
+
 /// How the run stores per-point outputs (see the file comment).
 enum class MemoryMode { kDense, kStreaming };
 
@@ -202,6 +250,14 @@ class Machine {
  public:
   Machine(MachineConfig config, ComputeFn compute, ExternalFn external);
 
+  /// Allocation-free form: the cell writes straight into the
+  /// destination slot (see ComputeIntoFn).
+  Machine(MachineConfig config, ComputeIntoFn compute, ExternalIntoFn external);
+
+  /// Bit-sliced lane form: one run carries up to kLaneWidth independent
+  /// problem instances, one per bit position of every channel word.
+  Machine(MachineConfig config, LaneComputeFn compute, LaneExternalFn external);
+
   /// Execute all computations in schedule order. Throws Error on any
   /// physical-invariant violation. Single-shot per instance.
   SimulationStats run();
@@ -218,10 +274,11 @@ class Machine {
 
  private:
   std::size_t linear_index(const IntVec& q) const;
+  void init();  ///< Shared constructor tail: validation + strides.
 
   MachineConfig config_;
-  ComputeFn compute_;
-  ExternalFn external_;
+  ComputeIntoFn compute_;    ///< Every constructor form adapts onto this.
+  ExternalIntoFn external_;
   std::vector<Int> strides_;      ///< Row-major strides of the domain box.
   std::vector<Int> outputs_;      ///< Dense: flat, point-linear * channels.
   std::vector<char> computed_;    ///< Dense: per point, outputs valid.

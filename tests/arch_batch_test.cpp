@@ -177,6 +177,40 @@ TEST(BatchTest, RepeatedBatchesComposeOncePerKey) {
   EXPECT_EQ(first.stats.cycles, second.stats.cycles);
 }
 
+// The bit-sliced lane path: 64 problems per machine pass, each product
+// equal to the reference and to the scalar multiply() of the same
+// operands, across memory modes and both published mappings.
+TEST(BatchTest, SlicedBatchMatchesReferenceAndScalar) {
+  const math::Int u = 3, p = 4;
+  const std::uint64_t bound = core::max_safe_operand(p, u, core::Expansion::kII);
+  for (const MatmulMapping which : {MatmulMapping::kFig4, MatmulMapping::kFig5}) {
+    BitLevelMatmulArray array(which, u, p);
+    for (const sim::MemoryMode memory :
+         {sim::MemoryMode::kDense, sim::MemoryMode::kStreaming}) {
+      array.set_memory_mode(memory);
+      std::vector<WordMatrix> xs, ys;
+      for (std::uint64_t b = 0; b < 5; ++b) {
+        xs.push_back(WordMatrix::random(u, bound, 300 + b));
+        ys.push_back(WordMatrix::random(u, bound, 400 + b));
+      }
+      const SlicedBatchRunResult sliced =
+          array.multiply_batch_sliced(xs, ys, pipeline::SlicedMode::kOn);
+      EXPECT_EQ(sliced.sliced_groups, 1);
+      EXPECT_EQ(sliced.sliced_items, 5);
+      EXPECT_EQ(sliced.scalar_items, 0);
+      ASSERT_EQ(sliced.z.size(), xs.size());
+      for (std::size_t b = 0; b < xs.size(); ++b) {
+        EXPECT_EQ(sliced.z[b], WordMatrix::multiply_reference(xs[b], ys[b])) << "item " << b;
+        const MatmulRunResult scalar = array.multiply(xs[b], ys[b]);
+        EXPECT_EQ(sliced.z[b], scalar.z) << "item " << b;
+        EXPECT_EQ(sliced.stats.cycles, scalar.stats.cycles);
+        EXPECT_EQ(sliced.stats.pe_count, scalar.stats.pe_count);
+        EXPECT_EQ(sliced.stats.computations, scalar.stats.computations);
+      }
+    }
+  }
+}
+
 TEST(BatchTest, RejectsMismatchedBatches) {
   const BitLevelMatmulArray array(MatmulMapping::kFig4, 2, 3);
   std::vector<WordMatrix> xs{WordMatrix(2)};

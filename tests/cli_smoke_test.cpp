@@ -98,6 +98,45 @@ TEST(CliSmokeTest, StreamingSimulationOfExpansionI) {
   EXPECT_NE(r.out.find("\"correct\":true"), std::string::npos) << r.out;
 }
 
+// The batch action: every sliced mode exits 0 with valid JSON, items
+// all match their word-level references, and the counters account for
+// every item. --sliced off must report only scalar items; on must pack
+// all of them into one lane group.
+TEST(CliSmokeTest, BatchActionSlicedModes) {
+  for (const char* memory : {"dense", "streaming"}) {
+    for (const char* sliced : {"on", "off", "auto"}) {
+      const std::string args = std::string("--kernel matmul --u 2 --p 4 --action batch") +
+                               " --batch 5 --sliced " + sliced + " --memory " + memory +
+                               " --json";
+      const RunResult r = run_cli(args);
+      EXPECT_EQ(r.exit_code, 0) << args;
+      EXPECT_TRUE(json_valid(r.out)) << args << "\n" << r.out;
+      EXPECT_NE(r.out.find("\"correct\":true"), std::string::npos) << args << "\n" << r.out;
+      EXPECT_NE(r.out.find(std::string("\"mode\":\"") + sliced + "\""), std::string::npos)
+          << r.out;
+      if (std::string(sliced) == "off") {
+        EXPECT_NE(r.out.find("\"scalar_items\":5"), std::string::npos) << r.out;
+        EXPECT_NE(r.out.find("\"sliced_items\":0"), std::string::npos) << r.out;
+      } else {
+        EXPECT_NE(r.out.find("\"groups\":1"), std::string::npos) << r.out;
+        EXPECT_NE(r.out.find("\"sliced_items\":5"), std::string::npos) << r.out;
+      }
+    }
+  }
+}
+
+TEST(CliSmokeTest, BatchActionTextOutputAndBadFlagValues) {
+  const RunResult text = run_cli("--kernel conv --u 3 --v 2 --p 3 --action batch --batch 3");
+  EXPECT_EQ(text.exit_code, 0);
+  EXPECT_NE(text.out.find("MATCH"), std::string::npos) << text.out;
+  EXPECT_NE(text.out.find("sliced group"), std::string::npos) << text.out;
+
+  for (const char* args : {"--action batch --batch 0", "--action batch --batch nope",
+                           "--action batch --sliced maybe"}) {
+    EXPECT_EQ(run_cli(args).exit_code, 2) << args;
+  }
+}
+
 TEST(CliSmokeTest, DesignOptimalAnimateActions) {
   for (const char* args : {"--kernel scalar --u 4 --p 3 --action design --json",
                            "--kernel scalar --u 5 --p 4 --action optimal --json"}) {
@@ -122,6 +161,7 @@ TEST(CliSmokeTest, ListKernelsIsRegistryBacked) {
   EXPECT_TRUE(json_valid(json.out)) << json.out;
   EXPECT_NE(json.out.find("\"kernels\""), std::string::npos) << json.out;
   EXPECT_NE(json.out.find("\"arity\""), std::string::npos) << json.out;
+  EXPECT_NE(json.out.find("\"sliceable\":true"), std::string::npos) << json.out;
 }
 
 TEST(CliSmokeTest, UnknownKernelAndActionNameTheAllowedSet) {

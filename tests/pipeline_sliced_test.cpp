@@ -1,0 +1,250 @@
+// The bit-sliced lane executor is indistinguishable from the scalar
+// reference: for every kernel x expansion x memory mode x thread count
+// in the determinism matrix, run_batch with SlicedMode::kOn must
+// produce per-item z maps and statistics bit-identical to
+// SlicedMode::kOff. Ragged tails (batch sizes 1, 63, 65) exercise the
+// lane mask, per-seed operands exercise cross-lane isolation, and the
+// validity-region gating is exercised by every kernel whose columns
+// switch on and off across the domain (all of them). Also pins the
+// want_z toggle, the sliced/scalar counters, and the campaign's
+// score_corruption knob.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/workload.hpp"
+#include "pipeline/cache.hpp"
+#include "pipeline/campaign.hpp"
+#include "pipeline/executor.hpp"
+
+namespace bitlevel::pipeline {
+namespace {
+
+using math::Int;
+
+struct Case {
+  KernelSpec kernel;
+  Int p;
+};
+
+// Every registry kernel, smallest instances that still have interior
+// points on both sides of each validity-region boundary.
+const std::vector<Case> kCases = {
+    {{"matmul", 2, 0, 0, 0}, 3},      {{"matmul_rect", 2, 3, 2, 0}, 3},
+    {{"conv", 3, 2, 0, 0}, 3},        {{"matvec", 2, 3, 0, 0}, 3},
+    {{"transform", 2, 0, 0, 0}, 3},   {{"scalar", 4, 0, 0, 0}, 4},
+};
+
+DesignRequest request_for(const Case& c, core::Expansion e) {
+  DesignRequest request;
+  request.kernel = c.kernel;
+  request.p = c.p;
+  request.expansion = e;
+  request.mapping = MappingStrategy::kAuto;
+  return request;
+}
+
+// The workloads must outlive the items (x_fn captures the table).
+std::vector<core::Workload> make_workloads(const DesignRequest& request, std::size_t count) {
+  const ir::WordLevelModel model = resolve_kernel(request.kernel);
+  std::vector<core::Workload> workloads;
+  workloads.reserve(count);
+  for (std::uint64_t seed = 1; seed <= count; ++seed) {
+    workloads.push_back(core::make_safe_workload(model, request.p, request.expansion, seed));
+  }
+  return workloads;
+}
+
+std::vector<BatchItem> items_for(const std::vector<core::Workload>& workloads) {
+  std::vector<BatchItem> items;
+  items.reserve(workloads.size());
+  for (const core::Workload& w : workloads) items.push_back(BatchItem{w.x_fn(), w.y_fn()});
+  return items;
+}
+
+void expect_identical(const PlanRunResult& a, const PlanRunResult& b, const std::string& what) {
+  EXPECT_EQ(a.z, b.z) << what;
+  EXPECT_EQ(a.stats.cycles, b.stats.cycles) << what;
+  EXPECT_EQ(a.stats.pe_count, b.stats.pe_count) << what;
+  EXPECT_EQ(a.stats.computations, b.stats.computations) << what;
+  EXPECT_EQ(a.stats.pe_utilization, b.stats.pe_utilization) << what;
+  EXPECT_EQ(a.stats.link_transmissions, b.stats.link_transmissions) << what;
+  EXPECT_EQ(a.stats.wire_length, b.stats.wire_length) << what;
+  EXPECT_EQ(a.stats.buffered_value_cycles, b.stats.buffered_value_cycles) << what;
+  EXPECT_EQ(a.stats.peak_live_slots, b.stats.peak_live_slots) << what;
+  EXPECT_EQ(a.stats.observed_points, b.stats.observed_points) << what;
+}
+
+TEST(PipelineSlicedTest, SlicedMatchesScalarAcrossMatrix) {
+  for (const Case& c : kCases) {
+    for (const core::Expansion e : {core::Expansion::kI, core::Expansion::kII}) {
+      const DesignRequest request = request_for(c, e);
+      const std::vector<core::Workload> workloads = make_workloads(request, 5);
+      const std::vector<BatchItem> items = items_for(workloads);
+      for (const int threads : {1, 2}) {
+        for (const sim::MemoryMode memory :
+             {sim::MemoryMode::kDense, sim::MemoryMode::kStreaming}) {
+          PlanCache cache(8);
+          BatchOptions scalar_options;
+          scalar_options.threads = threads;
+          scalar_options.memory = memory;
+          scalar_options.sliced = SlicedMode::kOff;
+          BatchOptions sliced_options = scalar_options;
+          sliced_options.sliced = SlicedMode::kOn;
+
+          const BatchResult scalar = run_batch(cache, request, items, scalar_options);
+          const BatchResult sliced = run_batch(cache, request, items, sliced_options);
+          ASSERT_EQ(scalar.results.size(), items.size());
+          ASSERT_EQ(sliced.results.size(), items.size());
+          EXPECT_EQ(scalar.scalar_items, static_cast<Int>(items.size()));
+          EXPECT_EQ(scalar.sliced_items, 0);
+          EXPECT_EQ(sliced.sliced_items, static_cast<Int>(items.size()));
+          EXPECT_EQ(sliced.sliced_groups, 1);
+          EXPECT_EQ(sliced.scalar_items, 0);
+
+          const std::string what = c.kernel.name + " e" + std::to_string(static_cast<int>(e)) +
+                                   " t" + std::to_string(threads) + " m" +
+                                   std::to_string(static_cast<int>(memory));
+          for (std::size_t i = 0; i < items.size(); ++i) {
+            expect_identical(sliced.results[i], scalar.results[i],
+                             what + " item " + std::to_string(i));
+            EXPECT_FALSE(sliced.results[i].z.empty()) << what;
+          }
+        }
+      }
+    }
+  }
+}
+
+// Batch sizes straddling the 64-lane word: 1 (single active lane), 63
+// (one inactive tail lane), 65 (a full group plus a 1-lane group). The
+// inactive lanes must neither leak into active lanes nor trip the
+// capacity-honesty checks.
+TEST(PipelineSlicedTest, RaggedTailsMatchScalar) {
+  const DesignRequest request = request_for(kCases[0], core::Expansion::kII);
+  for (const std::size_t count : {std::size_t{1}, std::size_t{63}, std::size_t{65}}) {
+    const std::vector<core::Workload> workloads = make_workloads(request, count);
+    const std::vector<BatchItem> items = items_for(workloads);
+    for (const sim::MemoryMode memory :
+         {sim::MemoryMode::kDense, sim::MemoryMode::kStreaming}) {
+      PlanCache cache(8);
+      BatchOptions scalar_options;
+      scalar_options.memory = memory;
+      scalar_options.threads = 1;
+      scalar_options.sliced = SlicedMode::kOff;
+      BatchOptions sliced_options = scalar_options;
+      sliced_options.sliced = SlicedMode::kOn;
+
+      const BatchResult scalar = run_batch(cache, request, items, scalar_options);
+      const BatchResult sliced = run_batch(cache, request, items, sliced_options);
+      EXPECT_EQ(sliced.sliced_groups, static_cast<Int>((count + 63) / 64));
+      EXPECT_EQ(sliced.sliced_items, static_cast<Int>(count));
+      for (std::size_t i = 0; i < count; ++i) {
+        expect_identical(sliced.results[i], scalar.results[i],
+                         "batch " + std::to_string(count) + " item " + std::to_string(i));
+      }
+    }
+  }
+}
+
+TEST(PipelineSlicedTest, AutoSlicesMultiItemBatches) {
+  const DesignRequest request = request_for(kCases[0], core::Expansion::kII);
+  const std::vector<core::Workload> workloads = make_workloads(request, 3);
+  const std::vector<BatchItem> items = items_for(workloads);
+  PlanCache cache(8);
+
+  BatchOptions options;  // defaults: kAuto
+  const BatchResult multi = run_batch(cache, request, items, options);
+  EXPECT_EQ(multi.sliced_items, 3);
+  EXPECT_EQ(multi.sliced_groups, 1);
+  EXPECT_EQ(multi.scalar_items, 0);
+
+  const std::vector<BatchItem> one(items.begin(), items.begin() + 1);
+  const BatchResult single = run_batch(cache, request, one, options);
+  EXPECT_EQ(single.sliced_items, 0);
+  EXPECT_EQ(single.scalar_items, 1);
+  expect_identical(single.results[0], multi.results[0], "auto single vs sliced lane 0");
+}
+
+// want_z = false skips the read-out on both paths: no z maps, and in
+// streaming mode no observe predicate is installed (observed_points 0).
+// Everything else in the statistics is unchanged.
+TEST(PipelineSlicedTest, WantZOffSkipsReadOut) {
+  const DesignRequest request = request_for(kCases[0], core::Expansion::kII);
+  const std::vector<core::Workload> workloads = make_workloads(request, 3);
+  const std::vector<BatchItem> items = items_for(workloads);
+  for (const sim::MemoryMode memory :
+       {sim::MemoryMode::kDense, sim::MemoryMode::kStreaming}) {
+    for (const SlicedMode mode : {SlicedMode::kOff, SlicedMode::kOn}) {
+      PlanCache cache(8);
+      BatchOptions with_z;
+      with_z.memory = memory;
+      with_z.sliced = mode;
+      BatchOptions without_z = with_z;
+      without_z.want_z = false;
+
+      const BatchResult full = run_batch(cache, request, items, with_z);
+      const BatchResult bare = run_batch(cache, request, items, without_z);
+      for (std::size_t i = 0; i < items.size(); ++i) {
+        EXPECT_FALSE(full.results[i].z.empty());
+        EXPECT_TRUE(bare.results[i].z.empty());
+        EXPECT_EQ(bare.results[i].stats.cycles, full.results[i].stats.cycles);
+        EXPECT_EQ(bare.results[i].stats.computations, full.results[i].stats.computations);
+        if (memory == sim::MemoryMode::kStreaming) {
+          EXPECT_EQ(bare.results[i].stats.observed_points, 0);
+        } else {
+          EXPECT_EQ(bare.results[i].stats.observed_points,
+                    full.results[i].stats.observed_points);
+        }
+      }
+    }
+  }
+}
+
+TEST(PipelineSlicedTest, SlicedOffIsPlainScalarPath) {
+  const DesignRequest request = request_for(kCases[2], core::Expansion::kII);
+  const std::vector<core::Workload> workloads = make_workloads(request, 2);
+  const std::vector<BatchItem> items = items_for(workloads);
+  PlanCache cache(8);
+  BatchOptions options;
+  options.sliced = SlicedMode::kOff;
+  const BatchResult batch = run_batch(cache, request, items, options);
+  const PlanPtr fresh = compose(request);
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    const PlanRunResult reference = run_plan(*fresh, items[i].x, items[i].y);
+    expect_identical(batch.results[i], reference, "scalar batch vs fresh plan");
+  }
+}
+
+// score_corruption = false skips the reference run and every read-out;
+// detection and recovery figures are untouched because injection and
+// monitoring never depended on the read-out.
+TEST(PipelineSlicedTest, CampaignScoreCorruptionOff) {
+  const DesignRequest request = request_for(kCases[0], core::Expansion::kII);
+  const std::vector<core::Workload> workloads = make_workloads(request, 1);
+
+  CampaignOptions scored;
+  scored.kinds = {faults::FaultKind::kBitFlip};
+  scored.rates = {0.05};
+  scored.seed = 7;
+  CampaignOptions unscored = scored;
+  unscored.score_corruption = false;
+
+  PlanCache cache(8);
+  const CampaignResult with_score =
+      run_campaign(cache, request, workloads[0].x_fn(), workloads[0].y_fn(), scored);
+  const CampaignResult without_score =
+      run_campaign(cache, request, workloads[0].x_fn(), workloads[0].y_fn(), unscored);
+
+  EXPECT_GT(with_score.reference_words, 0);
+  EXPECT_EQ(without_score.reference_words, 0);
+  ASSERT_EQ(with_score.reports.size(), 1u);
+  ASSERT_EQ(without_score.reports.size(), 1u);
+  EXPECT_EQ(without_score.reports[0].faults_detected, with_score.reports[0].faults_detected);
+  EXPECT_EQ(without_score.reports[0].faults_recovered, with_score.reports[0].faults_recovered);
+  EXPECT_EQ(without_score.reports[0].corrupted_words, 0);
+  EXPECT_FALSE(without_score.reports[0].silent_corruption);
+}
+
+}  // namespace
+}  // namespace bitlevel::pipeline

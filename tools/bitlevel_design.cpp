@@ -11,6 +11,10 @@
 //   design    — explore space mappings + schedules, print ranked designs
 //   simulate  — explore, pick the best design, run it cycle-accurately
 //               on seeded random operands and check the results
+//   batch     — run --batch independent seeded problems over ONE cached
+//               plan; --sliced on|off|auto picks the 64-lane bit-sliced
+//               fast path or the scalar reference, and the JSON reports
+//               sliced-vs-scalar counters
 //   optimal   — LP-certify the fastest explored schedule (or refute it)
 //   animate   — ASCII space-time snapshots of the best design running
 //   fault-campaign — sweep seeded fault kind x rate over the design and
@@ -49,8 +53,8 @@ using namespace bitlevel;
 
 namespace {
 
-const char* const kActions[] = {"structure", "verify", "design", "simulate", "optimal",
-                                "animate", "fault-campaign"};
+const char* const kActions[] = {"structure", "verify", "design", "simulate", "batch",
+                                "optimal",   "animate", "fault-campaign"};
 
 std::string allowed_actions() {
   std::string names;
@@ -71,6 +75,9 @@ struct Args {
   std::uint64_t seed = 1;
   int threads = 0;  // 0 = BITLEVEL_THREADS / hardware, 1 = serial
   sim::MemoryMode memory = sim::MemoryMode::kDense;
+  // batch knobs.
+  math::Int batch = 8;  // independent problems per --action batch
+  pipeline::SlicedMode sliced = pipeline::SlicedMode::kAuto;
   // fault-campaign knobs.
   std::vector<faults::FaultKind> fault_kinds;  // empty = every kind
   std::vector<double> fault_rates;             // empty = campaign default
@@ -83,10 +90,11 @@ struct Args {
   std::fprintf(stderr,
                "usage: bitlevel-design [--list-kernels] [--kernel NAME]\n"
                "                       [--u N] [--v N] [--w N] [--p BITS] [--expansion I|II]\n"
-               "                       [--action structure|verify|design|simulate|optimal|"
+               "                       [--action structure|verify|design|simulate|batch|optimal|"
                "animate|fault-campaign]\n"
                "                       [--json] [--memory dense|streaming] [--seed N] "
                "[--threads N]\n"
+               "                       [--batch N] [--sliced on|off|auto]\n"
                "                       [--fault-kind all|NAME[,NAME...]] "
                "[--fault-rate R[,R...]]\n"
                "                       [--spares N] [--retries N]\n"
@@ -177,6 +185,19 @@ Args parse(int argc, char** argv) {
       args.seed = parse_seed(flag, next());
     } else if (flag == "--threads") {
       args.threads = static_cast<int>(parse_int(flag, next(), 0, 4096));
+    } else if (flag == "--batch") {
+      args.batch = parse_int(flag, next(), 1, 1'000'000);
+    } else if (flag == "--sliced") {
+      const std::string mode = next();
+      if (mode == "on") {
+        args.sliced = pipeline::SlicedMode::kOn;
+      } else if (mode == "off") {
+        args.sliced = pipeline::SlicedMode::kOff;
+      } else if (mode == "auto") {
+        args.sliced = pipeline::SlicedMode::kAuto;
+      } else {
+        usage("sliced must be on, off or auto");
+      }
     } else if (flag == "--fault-kind") {
       const std::string kinds = next();
       if (kinds == "all") {
@@ -273,6 +294,7 @@ int run_list_kernels(const Args& a) {
       w.key("arity").value(static_cast<std::int64_t>(info.arity));
       w.key("params").value(info.params);
       w.key("summary").value(info.summary);
+      w.key("sliceable").value(info.sliceable);
       w.end_object();
     }
     w.end_array();
@@ -485,6 +507,89 @@ int run_simulate(const Args& a) {
   return ok ? 0 : 1;
 }
 
+int run_batch_action(const Args& a) {
+  const pipeline::DesignRequest request = make_request(a, pipeline::MappingStrategy::kAuto);
+  const pipeline::PlanPtr plan = pipeline::global_plan_cache().get_or_compose(request);
+  if (!plan->has_mapping()) {
+    std::fprintf(stderr, "no feasible design found\n");
+    return 1;
+  }
+
+  // One seeded workload per batch item (seed, seed+1, ...), loaded
+  // fully before any OperandFn is taken: Workload::x_fn captures the
+  // workload's table, so the vector must not reallocate afterwards.
+  std::vector<core::Workload> workloads;
+  workloads.reserve(static_cast<std::size_t>(a.batch));
+  for (math::Int i = 0; i < a.batch; ++i) {
+    workloads.push_back(core::make_safe_workload(plan->model, a.p, a.expansion,
+                                                 a.seed + static_cast<std::uint64_t>(i)));
+  }
+  std::vector<pipeline::BatchItem> items;
+  items.reserve(workloads.size());
+  for (const core::Workload& load : workloads) {
+    items.push_back(pipeline::BatchItem{load.x_fn(), load.y_fn()});
+  }
+
+  pipeline::BatchOptions options;
+  options.threads = a.threads;
+  options.memory = a.memory;
+  options.sliced = a.sliced;
+  const pipeline::BatchResult batch =
+      pipeline::run_batch(pipeline::global_plan_cache(), request, items, options);
+
+  // Every item is checked against its own word-level reference.
+  bool ok = true;
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    const auto ref = core::evaluate_word_reference(plan->model, items[i].x, items[i].y);
+    const pipeline::PlanRunResult& run = batch.results[i];
+    bool item_ok = !run.z.empty();
+    for (const auto& [j, v] : run.z) {
+      const auto it = ref.find(j);
+      item_ok = item_ok && it != ref.end() && v == it->second;
+    }
+    if (!item_ok && !a.json) {
+      std::printf("MISMATCH: batch item %zu differs from the word-level reference\n", i);
+    }
+    ok = ok && item_ok;
+  }
+  const sim::SimulationStats& stats = batch.results.front().stats;
+
+  if (a.json) {
+    JsonWriter w;
+    w.begin_object();
+    w.key("action").value("batch");
+    w.key("kernel").value(a.kernel);
+    w.key("p").value(a.p);
+    w.key("batch").value(a.batch);
+    w.key("correct").value(ok);
+    w.key("sliced").begin_object();
+    w.key("mode").value(pipeline::to_string(a.sliced));
+    w.key("groups").value(batch.sliced_groups);
+    w.key("sliced_items").value(batch.sliced_items);
+    w.key("scalar_items").value(batch.scalar_items);
+    w.end_object();
+    w.key("cycles_per_pass").value(stats.cycles);
+    w.key("processors").value(stats.pe_count);
+    w.key("utilization").value(stats.pe_utilization);
+    w.key("memory").value(a.memory == sim::MemoryMode::kStreaming ? "streaming" : "dense");
+    w.key("peak_live_slots").value(stats.peak_live_slots);
+    w.key("pi").value(plan->t->schedule());
+    emit_plan_cache_json(w);
+    w.end_object();
+    std::printf("%s\n", w.str().c_str());
+    return ok ? 0 : 1;
+  }
+  std::printf("batch: %lld problems over Pi = %s (%s)\n", (long long)a.batch,
+              math::to_string(plan->t->schedule()).c_str(),
+              pipeline::to_string(a.sliced).c_str());
+  std::printf("executed as %lld sliced group(s) (%lld items) + %lld scalar item(s)\n",
+              (long long)batch.sliced_groups, (long long)batch.sliced_items,
+              (long long)batch.scalar_items);
+  std::printf("results %s against word-level references\n", ok ? "MATCH" : "DIFFER");
+  std::printf("%s\n", stats.to_string().c_str());
+  return ok ? 0 : 1;
+}
+
 int run_fault_campaign(const Args& a) {
   const pipeline::DesignRequest request = make_request(a, pipeline::MappingStrategy::kAuto);
   const pipeline::PlanPtr plan = pipeline::global_plan_cache().get_or_compose(request);
@@ -537,6 +642,7 @@ int main(int argc, char** argv) {
     if (args.action == "verify") return run_verify(args);
     if (args.action == "design") return run_design(args);
     if (args.action == "simulate") return run_simulate(args);
+    if (args.action == "batch") return run_batch_action(args);
     if (args.action == "optimal") return run_optimal(args);
     if (args.action == "animate") return run_animate(args);
     if (args.action == "fault-campaign") return run_fault_campaign(args);
