@@ -1,0 +1,167 @@
+// BM_Serve — warm daemon vs cold one-shot-CLI-per-request throughput.
+//
+// The design-service daemon amortizes plan composition across every
+// client: once a plan is warm in the shared cache, a request costs one
+// socket round trip plus execution, while the one-shot baseline pays
+// process startup AND a cold compose for each request. The table
+// measures requests/sec both ways on the same simulate instance and
+// enforces the acceptance bar: the warm daemon must deliver >= 10x the
+// cold one-shot throughput. The binary exits nonzero when the bar is
+// missed, failing the pipefail bench step in CI.
+#include "bench/bench_util.hpp"
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdlib>
+#include <string>
+#include <thread>
+
+#include "pipeline/cache.hpp"
+#include "serve/client.hpp"
+#include "serve/protocol.hpp"
+#include "serve/server.hpp"
+
+namespace {
+
+using namespace bitlevel;
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+/// The measured instance: large enough that composition dominates a
+/// cold run, small enough that the warm path turns around fast.
+constexpr const char* kKernel = "matmul";
+constexpr long kU = 3;
+constexpr long kP = 5;
+
+serve::ActionParams bench_params() {
+  serve::ActionParams params;
+  params.request.kernel =
+      pipeline::KernelSpec{kKernel, kU, 0, 0, 0};
+  params.request.p = kP;
+  params.request.expansion = core::Expansion::kII;
+  return params;
+}
+
+/// Requests/sec over a warm daemon: one in-process server on a Unix
+/// socket, one client, lockstep simulate requests. The first request
+/// pays the only composition; it is excluded as warmup.
+double warm_daemon_rps(int requests) {
+  pipeline::PlanCache cache(16);
+  serve::ServerConfig config;
+  config.listen = "unix:/tmp/bitlevel-bench-serve-" +
+                  std::to_string(static_cast<long>(getpid())) + ".sock";
+  config.workers = 2;
+  config.cache = &cache;
+  serve::Server server(std::move(config));
+  server.bind_and_listen();
+  std::thread daemon([&] { server.run(); });
+
+  serve::Client client;
+  client.connect(server.endpoint());
+  const serve::ActionParams params = bench_params();
+  client.roundtrip(serve::request_line(0, "simulate", params));  // warmup compose
+
+  const auto start = Clock::now();
+  for (int i = 1; i <= requests; ++i) {
+    benchmark::DoNotOptimize(client.roundtrip(serve::request_line(i, "simulate", params)));
+  }
+  const double elapsed = seconds_since(start);
+
+  client.close();
+  server.shutdown();
+  daemon.join();
+  return requests / elapsed;
+}
+
+/// Requests/sec spawning one cold CLI process per request — what a
+/// shell loop without the daemon pays: fork/exec + a cold compose each
+/// time. Measured over a small probe count; the ratio is what matters.
+double cold_one_shot_rps(int requests, const char* bin) {
+  const std::string command = std::string(bin) + " --kernel " + kKernel + " --u " +
+                              std::to_string(kU) + " --p " + std::to_string(kP) +
+                              " --action simulate --json > /dev/null 2>&1";
+  const auto start = Clock::now();
+  for (int i = 0; i < requests; ++i) {
+    if (std::system(command.c_str()) != 0) {
+      std::printf("one-shot baseline failed: %s\n", command.c_str());
+      std::exit(1);
+    }
+  }
+  return requests / seconds_since(start);
+}
+
+void print_tables() {
+  bench::print_header(
+      "BM_Serve", "warm design-service daemon vs cold one-shot CLI",
+      "A warm plan in the daemon's shared cache turns a design request into one "
+      "socket round trip; the one-shot baseline pays process startup plus a cold "
+      "compose per request. Acceptance bar (CI gate): warm daemon >= 10x cold "
+      "one-shot requests/sec on the matmul u=3 p=5 simulate instance.");
+
+#ifndef BITLEVEL_DESIGN_BIN_PATH
+#error "BITLEVEL_DESIGN_BIN_PATH must point at the bitlevel-design binary"
+#endif
+  constexpr int kWarmRequests = 200;
+  constexpr int kColdRequests = 5;
+  const double warm_rps = warm_daemon_rps(kWarmRequests);
+  const double cold_rps = cold_one_shot_rps(kColdRequests, BITLEVEL_DESIGN_BIN_PATH);
+  const double speedup = cold_rps > 0.0 ? warm_rps / cold_rps : 0.0;
+
+  TextTable table({"path", "requests", "req/sec", "speedup", ">= 10x"});
+  char c1[32], c2[32];
+  std::snprintf(c1, sizeof c1, "%.2f", cold_rps);
+  table.add_row({"cold one-shot CLI", std::to_string(kColdRequests), c1, "1x", "-"});
+  std::snprintf(c1, sizeof c1, "%.2f", warm_rps);
+  std::snprintf(c2, sizeof c2, "%.1fx", speedup);
+  table.add_row(
+      {"warm daemon", std::to_string(kWarmRequests), c1, c2, speedup >= 10.0 ? "yes" : "NO"});
+  bench::print_table(table);
+
+  if (speedup < 10.0) {
+    std::printf("GATE FAILED: warm daemon throughput is %.1fx cold one-shot (< 10x)\n", speedup);
+    std::exit(1);
+  }
+  std::printf("gate passed: warm daemon throughput is %.1fx cold one-shot (>= 10x)\n\n", speedup);
+}
+
+/// Timing section: the marginal cost of one warm request by action.
+void run_warm_request_bench(benchmark::State& state, const char* action) {
+  pipeline::PlanCache cache(16);
+  serve::ServerConfig config;
+  config.listen = "unix:/tmp/bitlevel-bench-serve-bm-" +
+                  std::to_string(static_cast<long>(getpid())) + ".sock";
+  config.workers = 2;
+  config.cache = &cache;
+  serve::Server server(std::move(config));
+  server.bind_and_listen();
+  std::thread daemon([&] { server.run(); });
+  serve::Client client;
+  client.connect(server.endpoint());
+  const serve::ActionParams params = bench_params();
+  client.roundtrip(serve::request_line(0, action, params));  // warm the cache
+  std::int64_t id = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(client.roundtrip(serve::request_line(id++, action, params)));
+  }
+  state.SetItemsProcessed(state.iterations());
+  client.close();
+  server.shutdown();
+  daemon.join();
+}
+
+void BM_ServeWarmSimulate(benchmark::State& state) {
+  run_warm_request_bench(state, "simulate");
+}
+BENCHMARK(BM_ServeWarmSimulate)->Unit(benchmark::kMillisecond);
+
+void BM_ServeWarmStats(benchmark::State& state) { run_warm_request_bench(state, "stats"); }
+BENCHMARK(BM_ServeWarmStats)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BITLEVEL_BENCH_MAIN(print_tables)

@@ -92,6 +92,18 @@ PlanCacheStats PlanCache::stats() const {
   return PlanCacheStats{hits_, misses_, evictions_, index_.size(), capacity_};
 }
 
+std::size_t PlanCache::leaked_plans() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::size_t leaked = 0;
+  for (const Entry& entry : lru_) {
+    // An in-flight composition counts: its caller is still running. A
+    // ready plan is leaked when any PlanPtr copy lives outside the
+    // future's shared state (use_count 1 = only the future holds it).
+    if (!ready(entry.plan) || entry.plan.get().use_count() > 1) ++leaked;
+  }
+  return leaked;
+}
+
 void PlanCache::clear() {
   std::lock_guard<std::mutex> lock(mu_);
   lru_.clear();

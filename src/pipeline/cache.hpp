@@ -46,6 +46,12 @@ class PlanCache {
 
   PlanCacheStats stats() const;
 
+  /// Resident plans still referenced outside the cache: an in-flight
+  /// composition, or a ready plan whose PlanPtr has copies beyond the
+  /// cache's own. The design-service daemon asserts this is 0 after a
+  /// graceful drain — every request released its plan.
+  std::size_t leaked_plans() const;
+
   /// Drop every plan and reset the counters.
   void clear();
 

@@ -1,0 +1,181 @@
+#include "serve/actions.hpp"
+
+#include <utility>
+#include <vector>
+
+#include "core/evaluator.hpp"
+#include "core/workload.hpp"
+
+namespace bitlevel::serve {
+
+namespace {
+
+const char* memory_name(sim::MemoryMode mode) {
+  return mode == sim::MemoryMode::kStreaming ? "streaming" : "dense";
+}
+
+}  // namespace
+
+DesignOutcome run_design(pipeline::PlanCache& cache, const ActionParams& params) {
+  pipeline::DesignRequest request = params.request;
+  request.mapping = pipeline::MappingStrategy::kExplore;
+  return DesignOutcome{cache.get_or_compose(request)};
+}
+
+int emit_design_json(JsonWriter& w, const DesignOutcome& outcome) {
+  const mapping::ExploreResult& result = outcome.plan->explore;
+  w.key("spaces_tried").value(static_cast<std::int64_t>(result.spaces_tried));
+  w.key("designs").begin_array();
+  for (const auto& d : result.designs) {
+    w.begin_object();
+    w.key("pi").value(d.t.schedule());
+    w.key("time").value(d.total_time);
+    w.key("processors").value(d.processors);
+    w.key("max_wire").value(d.max_wire);
+    w.end_object();
+  }
+  w.end_array();
+  return result.designs.empty() ? 1 : 0;
+}
+
+SimulateOutcome run_simulate(pipeline::PlanCache& cache, const ActionParams& params) {
+  pipeline::DesignRequest request = params.request;
+  request.mapping = pipeline::MappingStrategy::kAuto;
+  SimulateOutcome outcome;
+  outcome.plan = cache.get_or_compose(request);
+  if (!outcome.plan->has_mapping()) return outcome;
+  outcome.feasible = true;
+
+  const core::Workload workload =
+      core::make_safe_workload(outcome.plan->model, request.p, request.expansion, params.seed);
+  const core::OperandFn xf = workload.x_fn();
+  const core::OperandFn yf = workload.y_fn();
+  outcome.run = pipeline::run_plan(*outcome.plan, xf, yf,
+                                   pipeline::RunOptions{request.threads, request.memory});
+  const auto ref = core::evaluate_word_reference(outcome.plan->model, xf, yf);
+  bool ok = !outcome.run.z.empty();
+  for (const auto& [j, v] : outcome.run.z) {
+    const auto it = ref.find(j);
+    if (it == ref.end()) {
+      ++outcome.missing_reference;
+      ok = false;
+      continue;
+    }
+    ok = ok && v == it->second;
+  }
+  outcome.correct = ok;
+  return outcome;
+}
+
+int emit_simulate_json(JsonWriter& w, const ActionParams& params,
+                       const SimulateOutcome& outcome) {
+  const sim::SimulationStats& stats = outcome.run.stats;
+  w.key("correct").value(outcome.correct);
+  w.key("missing_reference").value(outcome.missing_reference);
+  w.key("cycles").value(stats.cycles);
+  w.key("processors").value(stats.pe_count);
+  w.key("computations").value(stats.computations);
+  w.key("utilization").value(stats.pe_utilization);
+  w.key("memory").value(memory_name(params.request.memory));
+  w.key("peak_live_slots").value(stats.peak_live_slots);
+  w.key("pi").value(outcome.plan->t->schedule());
+  return outcome.correct ? 0 : 1;
+}
+
+BatchOutcome run_batch_action(pipeline::PlanCache& cache, const ActionParams& params) {
+  pipeline::DesignRequest request = params.request;
+  request.mapping = pipeline::MappingStrategy::kAuto;
+  BatchOutcome outcome;
+  outcome.plan = cache.get_or_compose(request);
+  if (!outcome.plan->has_mapping()) return outcome;
+  outcome.feasible = true;
+
+  // One seeded workload per batch item (seed, seed+1, ...), loaded
+  // fully before any OperandFn is taken: Workload::x_fn captures the
+  // workload's table, so the vector must not reallocate afterwards.
+  std::vector<core::Workload> workloads;
+  workloads.reserve(static_cast<std::size_t>(params.batch));
+  for (math::Int i = 0; i < params.batch; ++i) {
+    workloads.push_back(core::make_safe_workload(outcome.plan->model, request.p,
+                                                 request.expansion,
+                                                 params.seed + static_cast<std::uint64_t>(i)));
+  }
+  std::vector<pipeline::BatchItem> items;
+  items.reserve(workloads.size());
+  for (const core::Workload& load : workloads) {
+    items.push_back(pipeline::BatchItem{load.x_fn(), load.y_fn()});
+  }
+
+  pipeline::BatchOptions options;
+  options.threads = request.threads;
+  options.memory = request.memory;
+  options.sliced = params.sliced;
+  outcome.batch = pipeline::run_batch(cache, request, items, options);
+
+  bool ok = true;
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    const auto ref = core::evaluate_word_reference(outcome.plan->model, items[i].x, items[i].y);
+    const pipeline::PlanRunResult& run = outcome.batch.results[i];
+    bool item_ok = !run.z.empty();
+    for (const auto& [j, v] : run.z) {
+      const auto it = ref.find(j);
+      item_ok = item_ok && it != ref.end() && v == it->second;
+    }
+    ok = ok && item_ok;
+  }
+  outcome.correct = ok;
+  return outcome;
+}
+
+int emit_batch_json(JsonWriter& w, const ActionParams& params, const BatchOutcome& outcome) {
+  const sim::SimulationStats& stats = outcome.batch.results.front().stats;
+  w.key("action").value("batch");
+  w.key("kernel").value(params.request.kernel.name);
+  w.key("p").value(params.request.p);
+  w.key("batch").value(params.batch);
+  w.key("correct").value(outcome.correct);
+  w.key("sliced").begin_object();
+  w.key("mode").value(pipeline::to_string(params.sliced));
+  w.key("groups").value(outcome.batch.sliced_groups);
+  w.key("sliced_items").value(outcome.batch.sliced_items);
+  w.key("scalar_items").value(outcome.batch.scalar_items);
+  w.end_object();
+  w.key("cycles_per_pass").value(stats.cycles);
+  w.key("processors").value(stats.pe_count);
+  w.key("utilization").value(stats.pe_utilization);
+  w.key("memory").value(memory_name(params.request.memory));
+  w.key("peak_live_slots").value(stats.peak_live_slots);
+  w.key("pi").value(outcome.plan->t->schedule());
+  return outcome.correct ? 0 : 1;
+}
+
+CampaignOutcome run_fault_campaign(pipeline::PlanCache& cache, const ActionParams& params) {
+  pipeline::DesignRequest request = params.request;
+  request.mapping = pipeline::MappingStrategy::kAuto;
+  CampaignOutcome outcome;
+  outcome.plan = cache.get_or_compose(request);
+  if (!outcome.plan->has_mapping()) return outcome;
+  outcome.feasible = true;
+
+  const core::Workload workload =
+      core::make_safe_workload(outcome.plan->model, request.p, request.expansion, params.seed);
+  pipeline::CampaignOptions options = params.campaign;
+  options.seed = params.seed;
+  outcome.result =
+      pipeline::run_campaign(cache, request, workload.x_fn(), workload.y_fn(), options);
+  return outcome;
+}
+
+int emit_campaign_json(JsonWriter& w, const ActionParams& params,
+                       const CampaignOutcome& outcome) {
+  w.key("action").value("fault-campaign");
+  w.key("kernel").value(params.request.kernel.name);
+  w.key("p").value(params.request.p);
+  w.key("seed").value(params.seed);
+  w.key("pi").value(outcome.plan->t->schedule());
+  w.key("campaign");
+  outcome.result.write_json(w);
+  return 0;
+}
+
+}  // namespace bitlevel::serve

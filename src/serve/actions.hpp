@@ -1,0 +1,98 @@
+// Shared action runners — one implementation behind the CLI and the
+// design-service daemon.
+//
+// Each action splits into a compute step (pipeline calls over a
+// PlanCache, returning a plain outcome struct) and a JSON emitter that
+// writes the members of the action's machine-readable document into an
+// open object. The CLI's --json path and the daemon's "result" payload
+// call the SAME emitter, so a served response is byte-identical to a
+// one-shot CLI document by construction (the CLI appends only its
+// process-wide plan_cache counters afterwards; the daemon exposes the
+// shared cache through the stats action instead).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "pipeline/cache.hpp"
+#include "pipeline/campaign.hpp"
+#include "pipeline/executor.hpp"
+#include "support/json.hpp"
+
+namespace bitlevel::serve {
+
+/// Everything an action run needs beyond the design request itself.
+/// Defaults mirror the CLI's flag defaults.
+struct ActionParams {
+  pipeline::DesignRequest request;  ///< Kernel, p, expansion + execution knobs.
+  std::uint64_t seed = 1;
+  math::Int batch = 8;
+  pipeline::SlicedMode sliced = pipeline::SlicedMode::kAuto;
+  pipeline::CampaignOptions campaign;  ///< fault-campaign knobs (seed synced).
+};
+
+// ---------------------------------------------------------------- design
+
+struct DesignOutcome {
+  pipeline::PlanPtr plan;
+};
+
+/// Explore the design space (MappingStrategy::kExplore).
+DesignOutcome run_design(pipeline::PlanCache& cache, const ActionParams& params);
+
+/// Members of the design --json document. Returns the CLI exit status
+/// (1 when no feasible design was found).
+int emit_design_json(JsonWriter& w, const DesignOutcome& outcome);
+
+// -------------------------------------------------------------- simulate
+
+struct SimulateOutcome {
+  pipeline::PlanPtr plan;            ///< Always set; check feasible.
+  bool feasible = false;             ///< False: no mapping; run is empty.
+  pipeline::PlanRunResult run;
+  bool correct = false;              ///< Outputs match the word-level reference.
+  std::int64_t missing_reference = 0;
+};
+
+/// Compose (strategy kAuto), run seeded operands, verify against the
+/// word-level reference.
+SimulateOutcome run_simulate(pipeline::PlanCache& cache, const ActionParams& params);
+
+/// Members of the simulate --json document. Returns the CLI exit
+/// status (1 on mismatch). Requires outcome.feasible.
+int emit_simulate_json(JsonWriter& w, const ActionParams& params, const SimulateOutcome& outcome);
+
+// ----------------------------------------------------------------- batch
+
+struct BatchOutcome {
+  pipeline::PlanPtr plan;
+  bool feasible = false;
+  pipeline::BatchResult batch;
+  bool correct = false;  ///< Every item matches its own reference.
+};
+
+/// Run `params.batch` seeded problems (seed, seed+1, ...) over one
+/// cached plan, sliced per params.sliced, each verified independently.
+BatchOutcome run_batch_action(pipeline::PlanCache& cache, const ActionParams& params);
+
+/// Members of the batch --json document. Returns the CLI exit status.
+/// Requires outcome.feasible.
+int emit_batch_json(JsonWriter& w, const ActionParams& params, const BatchOutcome& outcome);
+
+// -------------------------------------------------------- fault-campaign
+
+struct CampaignOutcome {
+  pipeline::PlanPtr plan;
+  bool feasible = false;
+  pipeline::CampaignResult result;
+};
+
+/// Sweep fault kind x rate over the cached plan with the seeded
+/// workload the simulate action uses.
+CampaignOutcome run_fault_campaign(pipeline::PlanCache& cache, const ActionParams& params);
+
+/// Members of the fault-campaign --json document. Returns 0. Requires
+/// outcome.feasible.
+int emit_campaign_json(JsonWriter& w, const ActionParams& params, const CampaignOutcome& outcome);
+
+}  // namespace bitlevel::serve

@@ -1,0 +1,116 @@
+#include "serve/client.hpp"
+
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "support/error.hpp"
+
+namespace bitlevel::serve {
+
+namespace {
+
+[[noreturn]] void fail_errno(const std::string& what) {
+  throw Error(what + ": " + std::strerror(errno));
+}
+
+constexpr std::size_t kMaxLineBytes = 1 << 22;  // 4 MiB; responses are small.
+
+}  // namespace
+
+Client::~Client() { close(); }
+
+void Client::connect(const std::string& endpoint_spec) {
+  BL_REQUIRE(fd_ < 0, "client is already connected");
+  const Endpoint endpoint = parse_endpoint(endpoint_spec);
+  if (endpoint.is_unix) {
+    fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd_ < 0) fail_errno("socket(AF_UNIX)");
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    std::strncpy(addr.sun_path, endpoint.path.c_str(), sizeof(addr.sun_path) - 1);
+    if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+      const std::string detail = std::strerror(errno);
+      close();
+      throw Error("connect(" + endpoint.to_string() + "): " + detail);
+    }
+  } else {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd_ < 0) fail_errno("socket(AF_INET)");
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<std::uint16_t>(endpoint.port));
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+      const std::string detail = std::strerror(errno);
+      close();
+      throw Error("connect(" + endpoint.to_string() + "): " + detail);
+    }
+  }
+  buffer_.clear();
+}
+
+void Client::send_line(const std::string& line) {
+  BL_REQUIRE(fd_ >= 0, "client is not connected");
+  const std::string framed = line + "\n";
+  std::size_t sent = 0;
+  while (sent < framed.size()) {
+    const ssize_t n = ::send(fd_, framed.data() + sent, framed.size() - sent, 0);
+    if (n > 0) {
+      sent += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    fail_errno("send");
+  }
+}
+
+bool Client::recv_line(std::string* line) {
+  BL_REQUIRE(fd_ >= 0, "client is not connected");
+  BL_REQUIRE(line != nullptr, "recv_line requires an output string");
+  for (;;) {
+    const std::size_t newline = buffer_.find('\n');
+    if (newline != std::string::npos) {
+      *line = buffer_.substr(0, newline);
+      buffer_.erase(0, newline + 1);
+      if (!line->empty() && line->back() == '\r') line->pop_back();
+      return true;
+    }
+    BL_REQUIRE(buffer_.size() <= kMaxLineBytes, "response line exceeds 4 MiB");
+    char chunk[4096];
+    const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (n > 0) {
+      buffer_.append(chunk, static_cast<std::size_t>(n));
+      continue;
+    }
+    if (n == 0) {
+      BL_REQUIRE(buffer_.empty(), "connection closed mid-line");
+      return false;
+    }
+    if (errno == EINTR) continue;
+    fail_errno("recv");
+  }
+}
+
+std::string Client::roundtrip(const std::string& line) {
+  send_line(line);
+  std::string response;
+  if (!recv_line(&response)) {
+    throw Error("daemon closed the connection before responding");
+  }
+  return response;
+}
+
+void Client::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  buffer_.clear();
+}
+
+}  // namespace bitlevel::serve

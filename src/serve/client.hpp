@@ -1,0 +1,48 @@
+// A blocking client for the design-service daemon.
+//
+// Connects to the same "unix:<path>" / "tcp:<port>" specs the server
+// listens on, sends one JSON request per line and reads one JSON
+// response per line. Deliberately synchronous: the CLI's --connect
+// mode, the soak test and the bench all speak strict lockstep
+// request/response, which is also what makes byte-comparison against
+// one-shot CLI output deterministic.
+#pragma once
+
+#include <string>
+
+#include "serve/server.hpp"
+
+namespace bitlevel::serve {
+
+class Client {
+ public:
+  Client() = default;
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Connect to a daemon. Throws bitlevel::Error on a malformed spec
+  /// or a connection failure (daemon not running, wrong path...).
+  void connect(const std::string& endpoint_spec);
+
+  bool connected() const { return fd_ >= 0; }
+
+  /// Send one request line (newline appended). Throws on I/O failure.
+  void send_line(const std::string& line);
+
+  /// Read one response line (newline stripped). Returns false on EOF
+  /// with no pending data; throws on I/O failure or an over-long line.
+  bool recv_line(std::string* line);
+
+  /// send_line + recv_line; throws if the daemon hung up mid-request.
+  std::string roundtrip(const std::string& line);
+
+  void close();
+
+ private:
+  int fd_ = -1;
+  std::string buffer_;  ///< Bytes read past the last returned line.
+};
+
+}  // namespace bitlevel::serve

@@ -1,0 +1,342 @@
+#include "serve/protocol.hpp"
+
+#include <exception>
+#include <limits>
+
+#include "faults/model.hpp"
+#include "ir/kernels.hpp"
+#include "support/error.hpp"
+
+namespace bitlevel::serve {
+
+namespace {
+
+/// Internal: a request rejected before (or instead of) execution.
+struct RequestError {
+  std::string code;
+  std::string message;
+};
+
+constexpr std::int64_t kMaxExtent = 1'000'000'000;
+
+const char* const kDesignActions[] = {"design", "simulate", "batch", "fault-campaign"};
+
+bool is_design_action(const std::string& action) {
+  for (const char* a : kDesignActions) {
+    if (action == a) return true;
+  }
+  return false;
+}
+
+[[noreturn]] void reject(const std::string& message) {
+  throw RequestError{"bad_request", message};
+}
+
+std::int64_t take_int(const JsonValue& v, const std::string& name, std::int64_t lo,
+                      std::int64_t hi) {
+  if (!v.is_int()) reject("'" + name + "' must be an integer");
+  if (v.int_v < lo || v.int_v > hi) {
+    reject("'" + name + "' must be in [" + std::to_string(lo) + ", " + std::to_string(hi) +
+           "], got " + std::to_string(v.int_v));
+  }
+  return v.int_v;
+}
+
+std::string take_string(const JsonValue& v, const std::string& name) {
+  if (!v.is_string()) reject("'" + name + "' must be a string");
+  return v.string_v;
+}
+
+/// Parse every member of a design-family request, strictly: unknown
+/// members, wrong types and out-of-range values are all bad_request
+/// (the same discipline the CLI's flag parser enforces).
+ActionParams parse_params(const JsonValue& doc, const std::string& action) {
+  ActionParams params;
+  const bool batch_action = action == "batch";
+  const bool campaign_action = action == "fault-campaign";
+  for (const auto& [name, v] : doc.object_v) {
+    if (name == "id" || name == "action") continue;
+    if (name == "kernel") {
+      params.request.kernel.name = take_string(v, name);
+    } else if (name == "u") {
+      params.request.kernel.u = take_int(v, name, 1, kMaxExtent);
+    } else if (name == "v") {
+      params.request.kernel.v = take_int(v, name, 1, kMaxExtent);
+    } else if (name == "w") {
+      params.request.kernel.w = take_int(v, name, 1, kMaxExtent);
+    } else if (name == "p") {
+      params.request.p = take_int(v, name, 1, 63);
+    } else if (name == "expansion") {
+      const std::string e = take_string(v, name);
+      if (e == "I" || e == "1") {
+        params.request.expansion = core::Expansion::kI;
+      } else if (e == "II" || e == "2") {
+        params.request.expansion = core::Expansion::kII;
+      } else {
+        reject("'expansion' must be I or II");
+      }
+    } else if (name == "seed") {
+      params.seed = static_cast<std::uint64_t>(
+          take_int(v, name, 0, std::numeric_limits<std::int64_t>::max()));
+    } else if (name == "threads") {
+      params.request.threads = static_cast<int>(take_int(v, name, 0, 4096));
+    } else if (name == "memory") {
+      const std::string m = take_string(v, name);
+      if (m == "dense") {
+        params.request.memory = sim::MemoryMode::kDense;
+      } else if (m == "streaming") {
+        params.request.memory = sim::MemoryMode::kStreaming;
+      } else {
+        reject("'memory' must be dense or streaming");
+      }
+    } else if (name == "batch" && batch_action) {
+      params.batch = take_int(v, name, 1, 1'000'000);
+    } else if (name == "sliced" && batch_action) {
+      const std::string mode = take_string(v, name);
+      if (mode == "on") {
+        params.sliced = pipeline::SlicedMode::kOn;
+      } else if (mode == "off") {
+        params.sliced = pipeline::SlicedMode::kOff;
+      } else if (mode == "auto") {
+        params.sliced = pipeline::SlicedMode::kAuto;
+      } else {
+        reject("'sliced' must be on, off or auto");
+      }
+    } else if (name == "fault_kinds" && campaign_action) {
+      if (!v.is_array()) reject("'fault_kinds' must be an array of strings");
+      params.campaign.kinds.clear();
+      for (const JsonValue& kind : v.array_v) {
+        try {
+          params.campaign.kinds.push_back(faults::parse_fault_kind(take_string(kind, name)));
+        } catch (const Error& e) {
+          reject(e.what());
+        }
+      }
+      if (params.campaign.kinds.empty()) params.campaign.kinds = faults::all_fault_kinds();
+    } else if (name == "fault_rates" && campaign_action) {
+      if (!v.is_array()) reject("'fault_rates' must be an array of numbers");
+      params.campaign.rates.clear();
+      for (const JsonValue& rate : v.array_v) {
+        if (!rate.is_number()) reject("'fault_rates' must be an array of numbers");
+        const double r = rate.as_double();
+        if (!(r >= 0.0 && r <= 1.0)) reject("'fault_rates' entries must be in [0, 1]");
+        params.campaign.rates.push_back(r);
+      }
+      if (params.campaign.rates.empty()) reject("'fault_rates' must not be empty");
+    } else if (name == "spares" && campaign_action) {
+      params.campaign.spares = static_cast<int>(take_int(v, name, 0, 1'000'000));
+    } else if (name == "retries" && campaign_action) {
+      params.campaign.max_retries = static_cast<int>(take_int(v, name, 0, 1000));
+    } else {
+      reject("unknown member '" + name + "' for action '" + action + "'");
+    }
+  }
+  if (ir::kernels::find_kernel(params.request.kernel.name) == nullptr) {
+    reject("unknown kernel '" + params.request.kernel.name +
+           "' (known: " + ir::kernels::registered_names() + ")");
+  }
+  return params;
+}
+
+void write_id(JsonWriter& w, std::optional<std::int64_t> id) {
+  w.key("id");
+  if (id.has_value()) {
+    w.value(*id);
+  } else {
+    w.null_value();
+  }
+}
+
+std::string ok_response(std::optional<std::int64_t> id, const std::string& action, int status,
+                        const std::string& result_json) {
+  JsonWriter w;
+  w.begin_object();
+  write_id(w, id);
+  w.key("ok").value(true);
+  w.key("action").value(action);
+  w.key("status").value(status);
+  w.key("result").raw_value(result_json);
+  w.end_object();
+  return w.str();
+}
+
+std::string stats_response(const ServeContext& context, std::optional<std::int64_t> id) {
+  JsonWriter result;
+  result.begin_object();
+  result.key("server").begin_object();
+  if (context.emit_server_stats) context.emit_server_stats(result);
+  result.end_object();
+  const pipeline::PlanCacheStats stats = context.cache.stats();
+  result.key("plan_cache").begin_object();
+  result.key("hits").value(stats.hits);
+  result.key("misses").value(stats.misses);
+  result.key("evictions").value(stats.evictions);
+  result.key("size").value(static_cast<std::int64_t>(stats.size));
+  result.key("capacity").value(static_cast<std::int64_t>(stats.capacity));
+  result.key("leaked_plans").value(static_cast<std::int64_t>(context.cache.leaked_plans()));
+  result.end_object();
+  result.end_object();
+  return ok_response(id, "stats", 0, result.str());
+}
+
+std::string run_design_action(const ServeContext& context, std::optional<std::int64_t> id,
+                              const std::string& action, const ActionParams& params) {
+  JsonWriter result;
+  result.begin_object();
+  int status = 0;
+  if (action == "design") {
+    const DesignOutcome outcome = run_design(context.cache, params);
+    status = emit_design_json(result, outcome);
+  } else if (action == "simulate") {
+    const SimulateOutcome outcome = run_simulate(context.cache, params);
+    if (!outcome.feasible) throw RequestError{"infeasible", "no feasible design found"};
+    status = emit_simulate_json(result, params, outcome);
+  } else if (action == "batch") {
+    const BatchOutcome outcome = run_batch_action(context.cache, params);
+    if (!outcome.feasible) throw RequestError{"infeasible", "no feasible design found"};
+    status = emit_batch_json(result, params, outcome);
+  } else {
+    const CampaignOutcome outcome = run_fault_campaign(context.cache, params);
+    if (!outcome.feasible) throw RequestError{"infeasible", "no feasible design found"};
+    status = emit_campaign_json(result, params, outcome);
+  }
+  result.end_object();
+  return ok_response(id, action, status, result.str());
+}
+
+}  // namespace
+
+std::string error_response(std::optional<std::int64_t> id, const std::string& code,
+                           const std::string& message) {
+  JsonWriter w;
+  w.begin_object();
+  write_id(w, id);
+  w.key("ok").value(false);
+  w.key("error").begin_object();
+  w.key("code").value(code);
+  w.key("message").value(message);
+  w.end_object();
+  w.end_object();
+  return w.str();
+}
+
+std::optional<std::int64_t> peek_request_id(const std::string& line) {
+  try {
+    const JsonValue doc = json_parse(line);
+    if (doc.is_object()) {
+      const JsonValue* id = doc.find("id");
+      if (id != nullptr && id->is_int()) return id->int_v;
+    }
+  } catch (const JsonParseError&) {
+  }
+  return std::nullopt;
+}
+
+namespace {
+
+std::string handle_line_impl(const ServeContext& context, const std::string& line,
+                             bool& success) {
+  std::optional<std::int64_t> id;
+  success = false;
+  try {
+    const JsonValue doc = json_parse(line);
+    if (!doc.is_object()) {
+      return error_response(id, "parse_error", "request must be a JSON object");
+    }
+    if (const JsonValue* idv = doc.find("id")) {
+      if (!idv->is_int()) return error_response(id, "bad_request", "'id' must be an integer");
+      id = idv->int_v;
+    }
+    const JsonValue* actionv = doc.find("action");
+    if (actionv == nullptr) return error_response(id, "bad_request", "missing 'action'");
+    if (!actionv->is_string()) {
+      return error_response(id, "bad_request", "'action' must be a string");
+    }
+    const std::string action = actionv->string_v;
+
+    if (action == "stats") {
+      for (const auto& [name, unused] : doc.object_v) {
+        if (name != "id" && name != "action") {
+          return error_response(id, "bad_request",
+                                "unknown member '" + name + "' for action 'stats'");
+        }
+      }
+      success = true;
+      return stats_response(context, id);
+    }
+    if (action == "test-stall" && context.test_stall) {
+      context.test_stall();
+      success = true;
+      return ok_response(id, action, 0, "{}");
+    }
+    if (!is_design_action(action)) {
+      return error_response(id, "bad_request",
+                            "unknown action '" + action +
+                                "' (allowed: design, simulate, batch, fault-campaign, stats)");
+    }
+    const ActionParams params = parse_params(doc, action);
+    const std::string response = run_design_action(context, id, action, params);
+    success = true;
+    return response;
+  } catch (const JsonParseError& e) {
+    return error_response(id, "parse_error", e.what());
+  } catch (const RequestError& e) {
+    return error_response(id, e.code, e.message);
+  } catch (const Error& e) {
+    // A pipeline precondition/overflow/not-found raised by execution:
+    // the request was answerable but invalid — per-request scope, the
+    // daemon keeps serving.
+    return error_response(id, "bad_request", e.what());
+  } catch (const std::exception& e) {
+    return error_response(id, "internal", e.what());
+  }
+}
+
+}  // namespace
+
+std::string handle_line(const ServeContext& context, const std::string& line, bool* ok) {
+  bool success = false;
+  const std::string response = handle_line_impl(context, line, success);
+  if (ok != nullptr) *ok = success;
+  return response;
+}
+
+std::string request_line(std::int64_t id, const std::string& action,
+                         const ActionParams& params) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("id").value(id);
+  w.key("action").value(action);
+  if (is_design_action(action)) {
+    w.key("kernel").value(params.request.kernel.name);
+    w.key("u").value(params.request.kernel.u);
+    w.key("v").value(params.request.kernel.v);
+    w.key("w").value(params.request.kernel.w);
+    w.key("p").value(params.request.p);
+    w.key("expansion").value(params.request.expansion == core::Expansion::kI ? "I" : "II");
+    w.key("seed").value(params.seed);
+    w.key("threads").value(params.request.threads);
+    w.key("memory").value(params.request.memory == sim::MemoryMode::kStreaming ? "streaming"
+                                                                               : "dense");
+    if (action == "batch") {
+      w.key("batch").value(params.batch);
+      w.key("sliced").value(pipeline::to_string(params.sliced));
+    }
+    if (action == "fault-campaign") {
+      w.key("fault_kinds").begin_array();
+      for (const faults::FaultKind kind : params.campaign.kinds) {
+        w.value(faults::to_string(kind));
+      }
+      w.end_array();
+      w.key("fault_rates").begin_array();
+      for (const double rate : params.campaign.rates) w.value(rate);
+      w.end_array();
+      w.key("spares").value(params.campaign.spares);
+      w.key("retries").value(params.campaign.max_retries);
+    }
+  }
+  w.end_object();
+  return w.str();
+}
+
+}  // namespace bitlevel::serve

@@ -1,0 +1,76 @@
+// The design-service wire protocol: newline-delimited JSON.
+//
+// Each request is one JSON object on one line; each response is one
+// JSON object on one line. Requests name an action ("design",
+// "simulate", "batch", "fault-campaign", "stats") plus the same
+// parameters the CLI takes as flags, with the same defaults and the
+// same strict ranges. Responses are an envelope around the action's
+// CLI document:
+//
+//   {"id":7,"ok":true,"action":"simulate","status":0,"result":{...}}
+//   {"id":7,"ok":false,"error":{"code":"bad_request","message":"..."}}
+//
+// "result" is byte-identical to the one-shot CLI --json document minus
+// its trailing plan_cache counters (see serve/actions.hpp). "status"
+// is the exit code the CLI would have returned. Every malformed or
+// failing request produces a structured error envelope — per-request
+// scope for the CLI's catch-all discipline; the daemon never crashes
+// on input.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+
+#include "serve/actions.hpp"
+
+namespace bitlevel::serve {
+
+/// Machine-readable error classes of the protocol.
+///   parse_error  — the line is not a valid JSON object.
+///   bad_request  — valid JSON, but an unknown action/member, a value
+///                  of the wrong type, or a value out of range.
+///   infeasible   — the composed design has no feasible mapping.
+///   overloaded   — the bounded admission queue is full.
+///   oversized    — the request line exceeds the framing bound.
+///   shutting_down— the daemon is draining and accepts no new work.
+///   internal     — an unexpected exception (reported, never a crash).
+
+/// What a request handler needs from its server.
+struct ServeContext {
+  pipeline::PlanCache& cache;  ///< The shared process-wide plan cache.
+  /// Writes the server's own counters (requests served/rejected/
+  /// in-flight, connections) into an open JSON object for the stats
+  /// action. May be empty (stats then reports only the cache).
+  std::function<void(JsonWriter&)> emit_server_stats;
+  /// Test hook: when set, the hidden "test-stall" action blocks on it
+  /// before responding (lets tests hold a worker deterministically).
+  /// Unset (production): "test-stall" is an unknown action.
+  std::function<void()> test_stall;
+};
+
+/// Execute one request line end to end: parse, validate, dispatch,
+/// serialize. Always returns a complete one-line response envelope —
+/// exceptions become structured error responses. When `ok` is non-null
+/// it reports whether the envelope carries "ok":true (for the server's
+/// served/error counters).
+std::string handle_line(const ServeContext& context, const std::string& line,
+                        bool* ok = nullptr);
+
+/// A structured error envelope (one line, no trailing newline).
+std::string error_response(std::optional<std::int64_t> id, const std::string& code,
+                           const std::string& message);
+
+/// Best-effort extraction of a request id for rejection paths that
+/// never execute the request (overloaded, oversized). nullopt when the
+/// line is unparseable or carries no integer id.
+std::optional<std::int64_t> peek_request_id(const std::string& line);
+
+/// Serialize the request a client sends for `action` with `params` —
+/// the exact inverse of the daemon's request parser, shared by the
+/// CLI's --connect mode, the tests and the bench.
+std::string request_line(std::int64_t id, const std::string& action,
+                         const ActionParams& params);
+
+}  // namespace bitlevel::serve

@@ -1,0 +1,377 @@
+#include "serve/server.hpp"
+
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/stat.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <utility>
+
+#include "support/error.hpp"
+
+namespace bitlevel::serve {
+
+namespace {
+
+[[noreturn]] void fail_errno(const std::string& what) {
+  throw Error(what + ": " + std::strerror(errno));
+}
+
+void set_nonblocking(int fd) {
+  const int flags = fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    fail_errno("fcntl(O_NONBLOCK)");
+  }
+}
+
+}  // namespace
+
+std::string Endpoint::to_string() const {
+  return is_unix ? "unix:" + path : "tcp:" + std::to_string(port);
+}
+
+Endpoint parse_endpoint(const std::string& spec) {
+  Endpoint endpoint;
+  if (spec.rfind("unix:", 0) == 0) {
+    endpoint.is_unix = true;
+    endpoint.path = spec.substr(5);
+    BL_REQUIRE(!endpoint.path.empty(), "unix endpoint needs a socket path (unix:/path)");
+    // sun_path is a fixed 108-byte field; reject instead of truncating.
+    BL_REQUIRE(endpoint.path.size() < sizeof(sockaddr_un{}.sun_path),
+               "unix socket path too long");
+    return endpoint;
+  }
+  if (spec.rfind("tcp:", 0) == 0) {
+    endpoint.is_unix = false;
+    const std::string text = spec.substr(4);
+    char* end = nullptr;
+    errno = 0;
+    const long port = std::strtol(text.c_str(), &end, 10);
+    BL_REQUIRE(!text.empty() && end != nullptr && *end == '\0' && errno != ERANGE &&
+                   port >= 0 && port <= 65535,
+               "tcp endpoint needs a port in [0, 65535] (tcp:PORT)");
+    endpoint.port = static_cast<int>(port);
+    return endpoint;
+  }
+  throw PreconditionError("endpoint must be unix:/path or tcp:PORT, got '" + spec + "'");
+}
+
+/// One client connection. The acceptor thread owns fd lifetime and the
+/// read buffer; workers share the write side under write_mu so each
+/// response line reaches the socket contiguously.
+struct Server::Connection {
+  int fd = -1;
+  std::string buffer;            ///< Unframed bytes (acceptor thread only).
+  bool overflowed = false;       ///< Oversized-line mode: discard to newline.
+  std::mutex write_mu;
+  std::atomic<bool> alive{true};
+
+  ~Connection() {
+    if (fd >= 0) ::close(fd);
+  }
+};
+
+Server::Server(ServerConfig config) : config_(std::move(config)) {
+  BL_REQUIRE(config_.workers >= 1, "server needs at least one worker");
+  BL_REQUIRE(config_.max_queue >= 1, "server queue bound must be >= 1");
+  BL_REQUIRE(config_.max_line_bytes >= 2, "server line bound must be >= 2");
+  cache_ = config_.cache != nullptr ? config_.cache : &pipeline::global_plan_cache();
+  if (pipe(shutdown_pipe_) != 0) fail_errno("pipe");
+  set_nonblocking(shutdown_pipe_[0]);
+  set_nonblocking(shutdown_pipe_[1]);
+}
+
+Server::~Server() {
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+  if (bound_.is_unix && !bound_.path.empty() && listen_fd_ >= 0) ::unlink(bound_.path.c_str());
+  for (int fd : shutdown_pipe_) {
+    if (fd >= 0) ::close(fd);
+  }
+}
+
+void Server::bind_and_listen() {
+  BL_REQUIRE(listen_fd_ < 0, "bind_and_listen called twice");
+  bound_ = parse_endpoint(config_.listen);
+  if (bound_.is_unix) {
+    listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (listen_fd_ < 0) fail_errno("socket(AF_UNIX)");
+    // A socket file left by a dead daemon would make bind fail forever;
+    // replace it (but never delete a non-socket path).
+    struct stat st {};
+    if (::lstat(bound_.path.c_str(), &st) == 0) {
+      BL_REQUIRE(S_ISSOCK(st.st_mode),
+                 "listen path exists and is not a socket: " + bound_.path);
+      ::unlink(bound_.path.c_str());
+    }
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    std::strncpy(addr.sun_path, bound_.path.c_str(), sizeof(addr.sun_path) - 1);
+    if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+      fail_errno("bind(" + bound_.path + ")");
+    }
+  } else {
+    listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (listen_fd_ < 0) fail_errno("socket(AF_INET)");
+    const int one = 1;
+    ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);  // loopback service only
+    addr.sin_port = htons(static_cast<std::uint16_t>(bound_.port));
+    if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+      fail_errno("bind(tcp:" + std::to_string(bound_.port) + ")");
+    }
+    sockaddr_in actual{};
+    socklen_t len = sizeof(actual);
+    if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&actual), &len) != 0) {
+      fail_errno("getsockname");
+    }
+    bound_.port = ntohs(actual.sin_port);
+  }
+  if (::listen(listen_fd_, 128) != 0) fail_errno("listen");
+  set_nonblocking(listen_fd_);
+  endpoint_text_ = bound_.to_string();
+}
+
+void Server::shutdown() {
+  // One byte wakes the poll loop; writes and the pipe are
+  // async-signal-safe, so signal handlers may call this path too.
+  const char byte = 1;
+  [[maybe_unused]] const ssize_t n = ::write(shutdown_pipe_[1], &byte, 1);
+}
+
+ServerStats Server::stats() const {
+  ServerStats s;
+  s.connections = accepted_.load();
+  s.requests = requests_.load();
+  s.served_ok = served_ok_.load();
+  s.served_error = served_error_.load();
+  s.rejected_overloaded = rejected_overloaded_.load();
+  s.rejected_oversized = rejected_oversized_.load();
+  s.in_flight = queued_.load() + executing_.load();
+  return s;
+}
+
+void Server::write_response(Connection& connection, const std::string& response, bool ok) {
+  (ok ? served_ok_ : served_error_).fetch_add(1);
+  if (!connection.alive.load()) return;
+  const std::string line = response + "\n";
+  std::lock_guard<std::mutex> lock(connection.write_mu);
+  std::size_t sent = 0;
+  int stalls = 0;
+  while (sent < line.size()) {
+    // MSG_NOSIGNAL: a client that hung up must not SIGPIPE the daemon.
+    const ssize_t n =
+        ::send(connection.fd, line.data() + sent, line.size() - sent, MSG_NOSIGNAL);
+    if (n > 0) {
+      sent += static_cast<std::size_t>(n);
+      stalls = 0;
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      // A client that stopped reading must not pin a worker forever:
+      // give it 30s of back-pressure, then drop the connection.
+      if (++stalls > 30) {
+        connection.alive.store(false);
+        return;
+      }
+      pollfd pfd{connection.fd, POLLOUT, 0};
+      ::poll(&pfd, 1, 1000);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    connection.alive.store(false);  // client gone; drop the response
+    return;
+  }
+}
+
+void Server::admit_line(const std::shared_ptr<Connection>& connection, std::string line) {
+  requests_.fetch_add(1);
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    if (queue_.size() < config_.max_queue) {
+      queue_.push_back(Task{connection, std::move(line)});
+      queued_.fetch_add(1);
+      queue_cv_.notify_one();
+      return;
+    }
+  }
+  // Bounded admission: reject NOW with a structured error — the daemon
+  // stays responsive under overload instead of buffering unboundedly.
+  rejected_overloaded_.fetch_add(1);
+  write_response(*connection,
+                 error_response(peek_request_id(line), "overloaded",
+                                "request queue full (" + std::to_string(config_.max_queue) +
+                                    "); retry later"),
+                 false);
+}
+
+void Server::handle_readable(const std::shared_ptr<Connection>& connection) {
+  char chunk[65536];
+  while (true) {
+    const ssize_t n = ::recv(connection->fd, chunk, sizeof chunk, 0);
+    if (n < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+      if (errno == EINTR) continue;
+      connection->alive.store(false);
+      return;
+    }
+    if (n == 0) {
+      connection->alive.store(false);
+      return;
+    }
+    connection->buffer.append(chunk, static_cast<std::size_t>(n));
+    std::size_t start = 0;
+    while (true) {
+      const std::size_t nl = connection->buffer.find('\n', start);
+      if (nl == std::string::npos) break;
+      std::string line = connection->buffer.substr(start, nl - start);
+      start = nl + 1;
+      if (connection->overflowed) {
+        // The tail of an oversized line: already rejected, resync here.
+        connection->overflowed = false;
+        continue;
+      }
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      if (line.empty()) continue;
+      if (line.size() > config_.max_line_bytes) {
+        // A complete line can also break the framing bound (it arrived
+        // whole within one poll round): same structured rejection.
+        requests_.fetch_add(1);
+        rejected_oversized_.fetch_add(1);
+        write_response(*connection,
+                       error_response(peek_request_id(line), "oversized",
+                                      "request line exceeds " +
+                                          std::to_string(config_.max_line_bytes) + " bytes"),
+                       false);
+        continue;
+      }
+      admit_line(connection, std::move(line));
+    }
+    connection->buffer.erase(0, start);
+    if (!connection->overflowed && connection->buffer.size() > config_.max_line_bytes) {
+      // Framing bound: reject the line without waiting for its newline,
+      // then discard bytes until one arrives (strict parse errors,
+      // never a crash — and never an unbounded buffer).
+      requests_.fetch_add(1);
+      rejected_oversized_.fetch_add(1);
+      write_response(*connection,
+                     error_response(std::nullopt, "oversized",
+                                    "request line exceeds " +
+                                        std::to_string(config_.max_line_bytes) + " bytes"),
+                     false);
+      connection->buffer.clear();
+      connection->overflowed = true;
+    }
+  }
+}
+
+void Server::accept_loop() {
+  while (true) {
+    std::vector<pollfd> fds;
+    fds.push_back(pollfd{shutdown_pipe_[0], POLLIN, 0});
+    fds.push_back(pollfd{listen_fd_, POLLIN, 0});
+    for (const auto& connection : connections_) {
+      fds.push_back(pollfd{connection->fd, POLLIN, 0});
+    }
+    if (::poll(fds.data(), fds.size(), -1) < 0) {
+      if (errno == EINTR) continue;
+      fail_errno("poll");
+    }
+    if (fds[0].revents != 0) return;  // shutdown byte: begin the drain
+    if ((fds[1].revents & POLLIN) != 0) {
+      while (true) {
+        const int fd = ::accept(listen_fd_, nullptr, nullptr);
+        if (fd < 0) break;
+        set_nonblocking(fd);
+        accepted_.fetch_add(1);
+        auto connection = std::make_shared<Connection>();
+        connection->fd = fd;
+        connections_.push_back(std::move(connection));
+      }
+    }
+    for (std::size_t i = 2; i < fds.size(); ++i) {
+      if (fds[i].revents == 0) continue;
+      handle_readable(connections_[i - 2]);
+    }
+    // Drop closed connections; queued tasks keep theirs alive through
+    // the shared_ptr until their responses are (not) written.
+    std::vector<std::shared_ptr<Connection>> alive;
+    alive.reserve(connections_.size());
+    for (auto& connection : connections_) {
+      if (connection->alive.load()) alive.push_back(std::move(connection));
+    }
+    connections_.swap(alive);
+  }
+}
+
+void Server::worker_loop() {
+  const ServeContext context{
+      *cache_,
+      [this](JsonWriter& w) {
+        const ServerStats s = stats();
+        w.key("endpoint").value(endpoint_text_);
+        w.key("connections").value(s.connections);
+        w.key("requests").value(s.requests);
+        w.key("served_ok").value(s.served_ok);
+        w.key("served_error").value(s.served_error);
+        w.key("rejected_overloaded").value(s.rejected_overloaded);
+        w.key("rejected_oversized").value(s.rejected_oversized);
+        w.key("in_flight").value(s.in_flight);
+        w.key("workers").value(config_.workers);
+        w.key("queue_capacity").value(static_cast<std::int64_t>(config_.max_queue));
+      },
+      config_.test_stall};
+  while (true) {
+    Task task;
+    {
+      std::unique_lock<std::mutex> lock(queue_mu_);
+      queue_cv_.wait(lock, [&] { return !queue_.empty() || draining_; });
+      if (queue_.empty()) return;  // draining and nothing left
+      task = std::move(queue_.front());
+      queue_.pop_front();
+      queued_.fetch_sub(1);
+      executing_.fetch_add(1);
+    }
+    bool ok = false;
+    const std::string response = handle_line(context, task.line, &ok);
+    write_response(*task.connection, response, ok);
+    executing_.fetch_sub(1);
+  }
+}
+
+DrainReport Server::run() {
+  BL_REQUIRE(listen_fd_ >= 0, "run() requires bind_and_listen()");
+  std::vector<std::thread> workers;
+  workers.reserve(static_cast<std::size_t>(config_.workers));
+  for (int i = 0; i < config_.workers; ++i) {
+    workers.emplace_back([this] { worker_loop(); });
+  }
+  accept_loop();
+
+  // Drain: no new connections or requests; every admitted request is
+  // finished and answered before the workers exit.
+  ::close(listen_fd_);
+  if (bound_.is_unix) ::unlink(bound_.path.c_str());
+  listen_fd_ = -1;
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    draining_ = true;
+  }
+  queue_cv_.notify_all();
+  for (auto& worker : workers) worker.join();
+  connections_.clear();  // EOF to every client, after all responses
+
+  DrainReport report;
+  report.stats = stats();
+  report.leaked_plans = cache_->leaked_plans();
+  return report;
+}
+
+}  // namespace bitlevel::serve

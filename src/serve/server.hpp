@@ -1,0 +1,144 @@
+// The design-service daemon: many concurrent clients, one plan cache.
+//
+// A poll-based acceptor thread owns every socket: it accepts
+// connections (Unix-domain or loopback TCP), frames newline-delimited
+// requests with a hard per-line byte bound, and admits them into a
+// BOUNDED queue — when the queue is full the request is rejected
+// immediately with a structured "overloaded" error instead of queueing
+// unboundedly (admission control). A fixed pool of request workers
+// drains the queue through serve::handle_line against the shared
+// PlanCache, so one warm plan serves every client; per-request thread
+// budgets ride the request's "threads" knob into the process-wide
+// support::ThreadPool exactly as CLI runs do.
+//
+// Shutdown is graceful by construction: shutdown() (or one byte on the
+// self-pipe a SIGINT/SIGTERM handler writes to) stops the acceptor,
+// the workers finish every admitted request and write its response,
+// and run() returns a drain report whose leaked_plans count proves no
+// request still holds a plan reference.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/protocol.hpp"
+
+namespace bitlevel::serve {
+
+/// A parsed listen/connect spec: "unix:<path>" or "tcp:<port>"
+/// (loopback only). Throws PreconditionError on anything else.
+struct Endpoint {
+  bool is_unix = true;
+  std::string path;  ///< Unix socket path.
+  int port = 0;      ///< TCP port; 0 binds an ephemeral port.
+
+  std::string to_string() const;
+};
+
+Endpoint parse_endpoint(const std::string& spec);
+
+struct ServerConfig {
+  std::string listen = "unix:/tmp/bitlevel-design.sock";
+  int workers = 4;                     ///< Request worker threads (>= 1).
+  std::size_t max_queue = 64;          ///< Admission bound (>= 1).
+  std::size_t max_line_bytes = 1 << 20;  ///< Framing bound per request line.
+  /// Cache to serve from; nullptr = pipeline::global_plan_cache().
+  pipeline::PlanCache* cache = nullptr;
+  /// Test hook enabling the hidden "test-stall" action (see
+  /// serve::ServeContext::test_stall). Never set in production.
+  std::function<void()> test_stall;
+};
+
+/// Counter snapshot; monotone except in_flight (a gauge).
+struct ServerStats {
+  std::uint64_t connections = 0;          ///< Accepted connections.
+  std::uint64_t requests = 0;             ///< Complete request lines framed.
+  std::uint64_t served_ok = 0;            ///< Responses with "ok":true.
+  std::uint64_t served_error = 0;         ///< Structured error responses.
+  std::uint64_t rejected_overloaded = 0;  ///< Admission-control rejections.
+  std::uint64_t rejected_oversized = 0;   ///< Framing-bound rejections.
+  std::uint64_t in_flight = 0;            ///< Queued + executing right now.
+};
+
+/// What a graceful drain left behind.
+struct DrainReport {
+  ServerStats stats;
+  std::size_t leaked_plans = 0;  ///< PlanCache refs still held; 0 = clean.
+};
+
+class Server {
+ public:
+  explicit Server(ServerConfig config);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Create, bind and listen on the configured endpoint. Throws
+  /// bitlevel::Error on a malformed spec or socket failure. A stale
+  /// Unix socket file from a dead daemon is replaced.
+  void bind_and_listen();
+
+  /// The canonical endpoint after bind_and_listen() — for TCP the
+  /// actual bound port ("tcp:41763"), so tcp:0 callers can connect.
+  const std::string& endpoint() const { return endpoint_text_; }
+
+  /// Serve until shutdown; returns after the drain completed. Requires
+  /// bind_and_listen() first.
+  DrainReport run();
+
+  /// Begin a graceful drain (thread-safe, idempotent).
+  void shutdown();
+
+  /// Write end of the self-pipe: a signal handler writing one byte
+  /// here triggers the same graceful drain (async-signal-safe).
+  int shutdown_write_fd() const { return shutdown_pipe_[1]; }
+
+  ServerStats stats() const;
+
+ private:
+  struct Connection;
+  struct Task {
+    std::shared_ptr<Connection> connection;
+    std::string line;
+  };
+
+  void accept_loop();
+  void worker_loop();
+  void handle_readable(const std::shared_ptr<Connection>& connection);
+  void admit_line(const std::shared_ptr<Connection>& connection, std::string line);
+  void write_response(Connection& connection, const std::string& response, bool ok);
+
+  ServerConfig config_;
+  Endpoint bound_;
+  std::string endpoint_text_;
+  pipeline::PlanCache* cache_ = nullptr;
+  int listen_fd_ = -1;
+  int shutdown_pipe_[2] = {-1, -1};
+
+  std::vector<std::shared_ptr<Connection>> connections_;  ///< Acceptor-owned.
+
+  std::mutex queue_mu_;
+  std::condition_variable queue_cv_;
+  std::deque<Task> queue_;
+  bool draining_ = false;
+
+  std::atomic<std::uint64_t> accepted_{0};
+  std::atomic<std::uint64_t> requests_{0};
+  std::atomic<std::uint64_t> served_ok_{0};
+  std::atomic<std::uint64_t> served_error_{0};
+  std::atomic<std::uint64_t> rejected_overloaded_{0};
+  std::atomic<std::uint64_t> rejected_oversized_{0};
+  std::atomic<std::uint64_t> executing_{0};
+  std::atomic<std::uint64_t> queued_{0};
+};
+
+}  // namespace bitlevel::serve

@@ -1,6 +1,7 @@
 #include "support/json.hpp"
 
 #include <cctype>
+#include <cerrno>
 #include <clocale>
 #include <cmath>
 #include <cstdio>
@@ -162,6 +163,19 @@ JsonWriter& JsonWriter::value(const std::vector<std::int64_t>& v) {
   return end_array();
 }
 
+JsonWriter& JsonWriter::null_value() {
+  before_value();
+  out_ += "null";
+  return *this;
+}
+
+JsonWriter& JsonWriter::raw_value(const std::string& json) {
+  BL_REQUIRE(json_valid(json), "raw_value requires a complete valid JSON document");
+  before_value();
+  out_ += json;
+  return *this;
+}
+
 std::string JsonWriter::str() const {
   BL_REQUIRE(scopes_.empty(), "unbalanced JSON scopes at str()");
   return out_;
@@ -311,8 +325,311 @@ class JsonChecker {
   std::size_t at_ = 0;
 };
 
+// Recursive-descent parser sharing the checker's grammar but building
+// the small DOM and reporting *why* a document is malformed. Hardened
+// for server input: nesting capped, duplicate keys rejected, strings
+// must be well-formed UTF-8 (raw and \u-escaped), numbers must fit
+// int64 or a finite double.
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& s) : s_(s) {}
+
+  JsonValue document() {
+    skip_ws();
+    JsonValue v = value(0);
+    skip_ws();
+    if (at_ != s_.size()) fail("trailing characters after the document");
+    return v;
+  }
+
+  /// Scan the top-level object for `key` and report the byte span of
+  /// its raw value text. False when absent or the document is not an
+  /// object (malformed documents throw).
+  bool member_span(const std::string& key, std::size_t* begin, std::size_t* end) {
+    skip_ws();
+    if (peek() != '{') return false;
+    ++at_;
+    skip_ws();
+    if (eat('}')) return false;
+    while (true) {
+      skip_ws();
+      const std::string name = string();
+      skip_ws();
+      if (!eat(':')) fail("expected ':' after object key");
+      skip_ws();
+      const std::size_t value_begin = at_;
+      value(1);
+      if (name == key) {
+        *begin = value_begin;
+        *end = at_;
+        return true;
+      }
+      skip_ws();
+      if (eat('}')) return false;
+      if (!eat(',')) fail("expected ',' or '}' in object");
+    }
+  }
+
+ private:
+  static constexpr int kMaxDepth = 256;
+
+  [[noreturn]] void fail(const std::string& what) const {
+    throw JsonParseError("invalid JSON at byte " + std::to_string(at_) + ": " + what);
+  }
+
+  char peek() const { return at_ < s_.size() ? s_[at_] : '\0'; }
+  bool eat(char c) {
+    if (peek() != c) return false;
+    ++at_;
+    return true;
+  }
+  void skip_ws() {
+    while (at_ < s_.size() &&
+           (s_[at_] == ' ' || s_[at_] == '\t' || s_[at_] == '\n' || s_[at_] == '\r')) {
+      ++at_;
+    }
+  }
+
+  void literal(const char* word) {
+    if (s_.compare(at_, std::strlen(word), word) != 0) {
+      fail(std::string("expected '") + word + "'");
+    }
+    at_ += std::strlen(word);
+  }
+
+  unsigned hex4() {
+    unsigned code = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = peek();
+      if (!std::isxdigit(static_cast<unsigned char>(c))) fail("expected 4 hex digits after \\u");
+      code = code * 16 +
+             static_cast<unsigned>(c <= '9' ? c - '0' : (c | 0x20) - 'a' + 10);
+      ++at_;
+    }
+    return code;
+  }
+
+  void append_utf8(std::string& out, unsigned cp) {
+    if (cp < 0x80) {
+      out += static_cast<char>(cp);
+    } else if (cp < 0x800) {
+      out += static_cast<char>(0xC0 | (cp >> 6));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    } else if (cp < 0x10000) {
+      out += static_cast<char>(0xE0 | (cp >> 12));
+      out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    } else {
+      out += static_cast<char>(0xF0 | (cp >> 18));
+      out += static_cast<char>(0x80 | ((cp >> 12) & 0x3F));
+      out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    }
+  }
+
+  /// Validate and consume one raw (non-escaped) UTF-8 sequence.
+  void raw_utf8(std::string& out) {
+    const unsigned char lead = static_cast<unsigned char>(s_[at_]);
+    int follow;
+    unsigned cp, min_cp;
+    if (lead < 0x80) {
+      out += static_cast<char>(lead);
+      ++at_;
+      return;
+    } else if ((lead & 0xE0) == 0xC0) {
+      follow = 1, cp = lead & 0x1F, min_cp = 0x80;
+    } else if ((lead & 0xF0) == 0xE0) {
+      follow = 2, cp = lead & 0x0F, min_cp = 0x800;
+    } else if ((lead & 0xF8) == 0xF0) {
+      follow = 3, cp = lead & 0x07, min_cp = 0x10000;
+    } else {
+      fail("invalid UTF-8 lead byte in string");
+    }
+    const std::size_t start = at_;
+    ++at_;
+    for (int i = 0; i < follow; ++i, ++at_) {
+      const unsigned char c =
+          at_ < s_.size() ? static_cast<unsigned char>(s_[at_]) : 0;
+      if ((c & 0xC0) != 0x80) fail("truncated UTF-8 sequence in string");
+      cp = (cp << 6) | (c & 0x3F);
+    }
+    if (cp < min_cp || cp > 0x10FFFF || (cp >= 0xD800 && cp <= 0xDFFF)) {
+      fail("invalid UTF-8 sequence in string");
+    }
+    out.append(s_, start, at_ - start);
+  }
+
+  std::string string() {
+    if (!eat('"')) fail("expected '\"'");
+    std::string out;
+    while (true) {
+      if (at_ >= s_.size()) fail("unterminated string");
+      const unsigned char c = static_cast<unsigned char>(s_[at_]);
+      if (c == '"') {
+        ++at_;
+        return out;
+      }
+      if (c < 0x20) fail("raw control character in string");
+      if (c != '\\') {
+        raw_utf8(out);
+        continue;
+      }
+      ++at_;
+      const char e = peek();
+      ++at_;
+      switch (e) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          unsigned cp = hex4();
+          if (cp >= 0xDC00 && cp <= 0xDFFF) fail("unpaired low surrogate");
+          if (cp >= 0xD800 && cp <= 0xDBFF) {
+            if (!eat('\\') || !eat('u')) fail("high surrogate must be followed by \\u low surrogate");
+            const unsigned lo = hex4();
+            if (lo < 0xDC00 || lo > 0xDFFF) fail("invalid low surrogate");
+            cp = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+          }
+          append_utf8(out, cp);
+          break;
+        }
+        default:
+          fail("invalid escape sequence");
+      }
+    }
+  }
+
+  JsonValue number() {
+    const std::size_t start = at_;
+    bool integral = true;
+    eat('-');
+    if (!eat('0')) {
+      if (!std::isdigit(static_cast<unsigned char>(peek()))) fail("expected a number");
+      while (std::isdigit(static_cast<unsigned char>(peek()))) ++at_;
+    }
+    if (eat('.')) {
+      integral = false;
+      if (!std::isdigit(static_cast<unsigned char>(peek()))) fail("expected digits after '.'");
+      while (std::isdigit(static_cast<unsigned char>(peek()))) ++at_;
+    }
+    if (peek() == 'e' || peek() == 'E') {
+      integral = false;
+      ++at_;
+      if (peek() == '+' || peek() == '-') ++at_;
+      if (!std::isdigit(static_cast<unsigned char>(peek()))) fail("expected exponent digits");
+      while (std::isdigit(static_cast<unsigned char>(peek()))) ++at_;
+    }
+    const std::string token = s_.substr(start, at_ - start);
+    JsonValue v;
+    errno = 0;
+    if (integral) {
+      char* end = nullptr;
+      const long long parsed = std::strtoll(token.c_str(), &end, 10);
+      if (errno == ERANGE) fail("integer out of int64 range");
+      v.kind = JsonValue::Kind::kInt;
+      v.int_v = static_cast<std::int64_t>(parsed);
+    } else {
+      const double parsed = std::strtod(token.c_str(), nullptr);
+      if (errno == ERANGE || !std::isfinite(parsed)) fail("number out of double range");
+      v.kind = JsonValue::Kind::kDouble;
+      v.double_v = parsed;
+    }
+    return v;
+  }
+
+  JsonValue value(int depth) {
+    if (depth > kMaxDepth) fail("nesting deeper than 256");
+    skip_ws();
+    JsonValue v;
+    switch (peek()) {
+      case '{': {
+        ++at_;
+        v.kind = JsonValue::Kind::kObject;
+        skip_ws();
+        if (eat('}')) return v;
+        while (true) {
+          skip_ws();
+          std::string key = string();
+          for (const auto& [existing, unused] : v.object_v) {
+            if (existing == key) fail("duplicate object key '" + key + "'");
+          }
+          skip_ws();
+          if (!eat(':')) fail("expected ':' after object key");
+          v.object_v.emplace_back(std::move(key), value(depth + 1));
+          skip_ws();
+          if (eat('}')) return v;
+          if (!eat(',')) fail("expected ',' or '}' in object");
+        }
+      }
+      case '[': {
+        ++at_;
+        v.kind = JsonValue::Kind::kArray;
+        skip_ws();
+        if (eat(']')) return v;
+        while (true) {
+          v.array_v.push_back(value(depth + 1));
+          skip_ws();
+          if (eat(']')) return v;
+          if (!eat(',')) fail("expected ',' or ']' in array");
+        }
+      }
+      case '"':
+        v.kind = JsonValue::Kind::kString;
+        v.string_v = string();
+        return v;
+      case 't':
+        literal("true");
+        v.kind = JsonValue::Kind::kBool;
+        v.bool_v = true;
+        return v;
+      case 'f':
+        literal("false");
+        v.kind = JsonValue::Kind::kBool;
+        return v;
+      case 'n':
+        literal("null");
+        return v;
+      default:
+        return number();
+    }
+  }
+
+  const std::string& s_;
+  std::size_t at_ = 0;
+};
+
 }  // namespace
 
 bool json_valid(const std::string& text) { return JsonChecker(text).document(); }
+
+double JsonValue::as_double() const {
+  BL_REQUIRE(is_number(), "as_double on a non-numeric JSON value");
+  return kind == Kind::kInt ? static_cast<double>(int_v) : double_v;
+}
+
+const JsonValue* JsonValue::find(const std::string& key) const {
+  BL_REQUIRE(is_object(), "find on a non-object JSON value");
+  for (const auto& [name, member] : object_v) {
+    if (name == key) return &member;
+  }
+  return nullptr;
+}
+
+JsonValue json_parse(const std::string& text) { return JsonParser(text).document(); }
+
+std::string json_member_text(const std::string& doc, const std::string& key) {
+  try {
+    std::size_t begin = 0, end = 0;
+    if (JsonParser(doc).member_span(key, &begin, &end)) return doc.substr(begin, end - begin);
+  } catch (const JsonParseError&) {
+    // Malformed document: treated as "member absent".
+  }
+  return std::string();
+}
 
 }  // namespace bitlevel

@@ -1,11 +1,15 @@
-// A minimal JSON writer (no parsing, no DOM) for the CLI tool's
-// machine-readable output. Values are emitted in insertion order;
-// strings are escaped per RFC 8259.
+// The hardened JSON surface: a minimal writer for the CLI tool's
+// machine-readable output, a strict syntax checker, and a strict
+// parser for the design-service request protocol. Written values are
+// emitted in insertion order; strings are escaped per RFC 8259.
 #pragma once
 
 #include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
+
+#include "support/error.hpp"
 
 namespace bitlevel {
 
@@ -42,6 +46,14 @@ class JsonWriter {
   /// Convenience: an array of integers in one call.
   JsonWriter& value(const std::vector<std::int64_t>& v);
 
+  /// An explicit JSON null.
+  JsonWriter& null_value();
+
+  /// Embed a pre-serialized complete JSON document as the next value
+  /// (for response envelopes wrapping an already-built payload).
+  /// Requires json_valid(json); throws PreconditionError otherwise.
+  JsonWriter& raw_value(const std::string& json);
+
   /// The finished document; all scopes must be closed.
   std::string str() const;
 
@@ -61,5 +73,57 @@ class JsonWriter {
 /// one value with nothing but whitespace around it. Used by the CLI
 /// smoke tests to validate --json output; not a parser (no DOM).
 bool json_valid(const std::string& text);
+
+/// A malformed document handed to json_parse. The message names the
+/// byte offset and what the parser expected, so servers can return it
+/// verbatim as a structured parse error.
+class JsonParseError : public Error {
+ public:
+  explicit JsonParseError(const std::string& what) : Error(what) {}
+};
+
+/// One parsed JSON value. A deliberately small DOM for the
+/// newline-delimited request protocol: requests are flat objects of a
+/// few members, so a tagged struct beats a variant hierarchy.
+struct JsonValue {
+  enum class Kind { kNull, kBool, kInt, kDouble, kString, kArray, kObject };
+
+  Kind kind = Kind::kNull;
+  bool bool_v = false;
+  std::int64_t int_v = 0;   ///< Valid when kind == kInt.
+  double double_v = 0.0;    ///< Valid when kind == kDouble.
+  std::string string_v;     ///< Valid when kind == kString.
+  std::vector<JsonValue> array_v;
+  /// Members in document order; duplicate keys are a parse error.
+  std::vector<std::pair<std::string, JsonValue>> object_v;
+
+  bool is_null() const { return kind == Kind::kNull; }
+  bool is_bool() const { return kind == Kind::kBool; }
+  bool is_int() const { return kind == Kind::kInt; }
+  bool is_number() const { return kind == Kind::kInt || kind == Kind::kDouble; }
+  bool is_string() const { return kind == Kind::kString; }
+  bool is_object() const { return kind == Kind::kObject; }
+  bool is_array() const { return kind == Kind::kArray; }
+
+  /// Numeric value as a double (kInt widens).
+  double as_double() const;
+
+  /// Object member by key, or nullptr. Requires kind == kObject.
+  const JsonValue* find(const std::string& key) const;
+};
+
+/// Strict RFC 8259 parser of one complete document: exactly one value,
+/// whitespace-only padding, nesting capped, duplicate object keys
+/// rejected, strings validated as well-formed UTF-8, numbers required
+/// to fit std::int64_t (integral) or a finite double. Throws
+/// JsonParseError naming offset and cause on any violation.
+JsonValue json_parse(const std::string& text);
+
+/// The raw text of a top-level member of a JSON object document — the
+/// exact byte span of its value, no re-serialization. Empty string when
+/// the document is not a valid object or the key is absent. Lets
+/// clients lift a nested payload out of a response envelope with
+/// byte fidelity.
+std::string json_member_text(const std::string& doc, const std::string& key);
 
 }  // namespace bitlevel

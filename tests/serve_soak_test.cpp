@@ -1,0 +1,279 @@
+// Soak the design-service daemon as a real subprocess: N clients x M
+// mixed requests over one Unix socket, every served result
+// byte-compared against the one-shot CLI document for the same flags,
+// exactly one composition per distinct plan key process-wide, then an
+// in-flight SIGTERM drain that must answer everything and exit 0.
+//
+// Client count and per-client request count scale with
+// BITLEVEL_SOAK_CLIENTS / BITLEVEL_SOAK_REQUESTS (CI raises them; the
+// defaults keep local and sanitizer runs fast).
+#include <gtest/gtest.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/client.hpp"
+#include "support/json.hpp"
+
+namespace bitlevel {
+namespace {
+
+#ifndef BITLEVEL_DESIGN_BIN_PATH
+#error "BITLEVEL_DESIGN_BIN_PATH must point at the bitlevel-design binary"
+#endif
+
+int env_int(const char* name, int fallback) {
+  const char* text = std::getenv(name);
+  if (text == nullptr || *text == '\0') return fallback;
+  const int v = std::atoi(text);
+  return v > 0 ? v : fallback;
+}
+
+std::string run_one_shot(const std::string& args) {
+  const std::string command =
+      std::string(BITLEVEL_DESIGN_BIN_PATH) + " " + args + " 2>/dev/null";
+  std::string out;
+  FILE* pipe = popen(command.c_str(), "r");
+  if (pipe == nullptr) return out;
+  char buf[4096];
+  std::size_t got;
+  while ((got = std::fread(buf, 1, sizeof buf, pipe)) > 0) out.append(buf, got);
+  pclose(pipe);
+  while (!out.empty() && (out.back() == '\n' || out.back() == '\r')) out.pop_back();
+  return out;
+}
+
+/// Strip the CLI's trailing process-local cache counters: the daemon's
+/// result is the same document without them (they are always the last
+/// member, so the strip is a pure suffix cut).
+std::string strip_plan_cache(const std::string& doc) {
+  const std::size_t at = doc.rfind(",\"plan_cache\":{");
+  if (at == std::string::npos) return doc;
+  const std::size_t close = doc.find('}', at);
+  if (close == std::string::npos) return doc;
+  return doc.substr(0, at) + doc.substr(close + 1);
+}
+
+/// One request in the soak mix: the wire line and the flag form whose
+/// one-shot output it must match byte for byte.
+struct Mix {
+  std::string line;   ///< Request line sans id (id spliced per send).
+  std::string flags;  ///< Equivalent one-shot CLI arguments.
+  std::string key;    ///< The canonical plan key class (for miss count).
+};
+
+/// 5 requests over 4 distinct plan keys — simulate and batch on the
+/// same kernel/u/p share a composition (execution knobs are not part
+/// of the key), which the final miss count must prove.
+std::vector<Mix> soak_mix() {
+  return {
+      {"\"action\":\"simulate\",\"kernel\":\"matmul\",\"u\":2,\"p\":4",
+       "--kernel matmul --u 2 --p 4 --action simulate --json", "matmul-u2-p4"},
+      {"\"action\":\"batch\",\"kernel\":\"matmul\",\"u\":2,\"p\":4,\"batch\":4",
+       "--kernel matmul --u 2 --p 4 --batch 4 --action batch --json", "matmul-u2-p4"},
+      {"\"action\":\"simulate\",\"kernel\":\"scalar\",\"u\":4,\"p\":3",
+       "--kernel scalar --u 4 --p 3 --action simulate --json", "scalar-u4-p3"},
+      {"\"action\":\"design\",\"kernel\":\"matvec\",\"u\":2,\"v\":2,\"p\":3",
+       "--kernel matvec --u 2 --v 2 --p 3 --action design --json", "matvec-u2-p3"},
+      {"\"action\":\"fault-campaign\",\"kernel\":\"scalar\",\"u\":3,\"p\":3,"
+       "\"fault_rates\":[0.01],\"retries\":1",
+       "--kernel scalar --u 3 --p 3 --fault-rate 0.01 --retries 1 "
+       "--action fault-campaign --json",
+       "scalar-u3-p3"},
+  };
+}
+
+class SoakDaemon {
+ public:
+  explicit SoakDaemon(const std::string& socket_path)
+      : socket_path_(socket_path), log_path_(socket_path + ".log") {
+    pid_ = fork();
+    if (pid_ == 0) {
+      FILE* log = std::freopen(log_path_.c_str(), "w", stderr);
+      (void)log;
+      execl(BITLEVEL_DESIGN_BIN_PATH, BITLEVEL_DESIGN_BIN_PATH, "--serve", "--listen",
+            ("unix:" + socket_path_).c_str(), "--workers", "4", "--queue", "256",
+            static_cast<char*>(nullptr));
+      std::_Exit(127);  // exec failed
+    }
+    // The daemon is up once the socket accepts; poll with a deadline.
+    for (int i = 0; i < 200; ++i) {
+      try {
+        serve::Client probe;
+        probe.connect("unix:" + socket_path_);
+        return;
+      } catch (const Error&) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(25));
+      }
+    }
+  }
+
+  ~SoakDaemon() {
+    if (pid_ > 0) {
+      kill(pid_, SIGKILL);
+      waitpid(pid_, nullptr, 0);
+    }
+    std::remove(socket_path_.c_str());
+    std::remove(log_path_.c_str());
+  }
+
+  /// SIGTERM, wait, return the exit code (-1 on abnormal death).
+  int terminate() {
+    if (pid_ <= 0) return -1;
+    kill(pid_, SIGTERM);
+    int status = 0;
+    waitpid(pid_, &status, 0);
+    const int code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+    pid_ = -1;
+    return code;
+  }
+
+  /// The daemon's stderr log (startup banner + drain report).
+  std::string log() const {
+    std::string text;
+    FILE* f = std::fopen(log_path_.c_str(), "r");
+    if (f == nullptr) return text;
+    char buf[4096];
+    std::size_t got;
+    while ((got = std::fread(buf, 1, sizeof buf, f)) > 0) text.append(buf, got);
+    std::fclose(f);
+    return text;
+  }
+
+  std::string endpoint() const { return "unix:" + socket_path_; }
+
+ private:
+  std::string socket_path_;
+  std::string log_path_;
+  pid_t pid_ = -1;
+};
+
+TEST(ServeSoakTest, ConcurrentClientsMatchOneShotOutputByteForByte) {
+  const int clients = env_int("BITLEVEL_SOAK_CLIENTS", 8);
+  const int requests = env_int("BITLEVEL_SOAK_REQUESTS", 100);
+  const std::vector<Mix> mix = soak_mix();
+
+  // One-shot reference documents, computed once up front.
+  std::vector<std::string> expected;
+  expected.reserve(mix.size());
+  for (const Mix& m : mix) {
+    expected.push_back(strip_plan_cache(run_one_shot(m.flags)));
+    ASSERT_TRUE(json_valid(expected.back())) << m.flags << "\n" << expected.back();
+  }
+
+  const std::string socket_path =
+      "/tmp/bitlevel-soak-" + std::to_string(static_cast<long>(getpid())) + ".sock";
+  SoakDaemon daemon(socket_path);
+
+  std::vector<std::thread> threads;
+  std::vector<int> mismatches(clients, 0);
+  std::vector<int> failures(clients, 0);
+  for (int c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      try {
+        serve::Client client;
+        client.connect(daemon.endpoint());
+        for (int r = 0; r < requests; ++r) {
+          const std::size_t pick = static_cast<std::size_t>((c + r)) % mix.size();
+          const std::string line = "{\"id\":" + std::to_string(c * requests + r) + "," +
+                                   mix[pick].line + "}";
+          const std::string response = client.roundtrip(line);
+          const std::string result = json_member_text(response, "result");
+          if (result != expected[pick]) ++mismatches[c];
+        }
+      } catch (const std::exception&) {
+        ++failures[c];
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  for (int c = 0; c < clients; ++c) {
+    EXPECT_EQ(failures[c], 0) << "client " << c << " died";
+    EXPECT_EQ(mismatches[c], 0) << "client " << c << " saw non-identical results";
+  }
+
+  // Exactly one composition per distinct plan key, process-wide,
+  // regardless of client count: the shared cache's whole point.
+  std::map<std::string, int> distinct;
+  for (const Mix& m : mix) distinct[m.key] = 1;
+  {
+    serve::Client client;
+    client.connect(daemon.endpoint());
+    const std::string stats = client.roundtrip("{\"id\":0,\"action\":\"stats\"}");
+    const JsonValue doc = json_parse(stats);
+    const JsonValue* result = doc.find("result");
+    ASSERT_NE(result, nullptr) << stats;
+    const JsonValue* plan_cache = result->find("plan_cache");
+    ASSERT_NE(plan_cache, nullptr) << stats;
+    EXPECT_EQ(plan_cache->find("misses")->int_v,
+              static_cast<std::int64_t>(distinct.size()))
+        << stats;
+    EXPECT_EQ(plan_cache->find("leaked_plans")->int_v, 0) << stats;
+  }
+
+  // Graceful exit: SIGTERM drains and exits 0, and the drain report
+  // proves no plan reference survived.
+  const int exit_code = daemon.terminate();
+  EXPECT_EQ(exit_code, 0) << daemon.log();
+  const std::string log = daemon.log();
+  EXPECT_NE(log.find("\"drained\":true"), std::string::npos) << log;
+  EXPECT_NE(log.find("\"leaked_plans\":0"), std::string::npos) << log;
+}
+
+TEST(ServeSoakTest, SigtermWithPipelinedRequestsAnswersEverythingFirst) {
+  const std::string socket_path =
+      "/tmp/bitlevel-soak-drain-" + std::to_string(static_cast<long>(getpid())) + ".sock";
+  SoakDaemon daemon(socket_path);
+
+  serve::Client client;
+  client.connect(daemon.endpoint());
+  // Pipeline a burst and wait for the stats marker: every line before
+  // it is then admitted, so the drain owes us every response.
+  constexpr int kBurst = 12;
+  for (int i = 0; i < kBurst; ++i) {
+    client.send_line("{\"id\":" + std::to_string(i) +
+                     ",\"action\":\"batch\",\"kernel\":\"scalar\",\"u\":3,\"p\":3,"
+                     "\"batch\":4}");
+  }
+  client.send_line("{\"id\":999,\"action\":\"stats\"}");
+
+  // Wait for the marker's response first: only then is every burst
+  // line provably admitted (SIGTERM earlier could race the reads and
+  // legitimately drop unadmitted lines).
+  int answered = 0;
+  bool marker_seen = false;
+  std::string line;
+  while (!marker_seen && client.recv_line(&line)) {
+    const JsonValue doc = json_parse(line);
+    const JsonValue* ok = doc.find("ok");
+    ASSERT_NE(ok, nullptr) << line;
+    EXPECT_TRUE(ok->bool_v) << line;
+    ++answered;
+    const JsonValue* id = doc.find("id");
+    marker_seen = id != nullptr && id->is_int() && id->int_v == 999;
+  }
+  ASSERT_TRUE(marker_seen);
+
+  const int exit_code = daemon.terminate();
+  EXPECT_EQ(exit_code, 0) << daemon.log();
+
+  while (client.recv_line(&line)) {
+    const JsonValue doc = json_parse(line);
+    const JsonValue* ok = doc.find("ok");
+    ASSERT_NE(ok, nullptr) << line;
+    EXPECT_TRUE(ok->bool_v) << line;
+    ++answered;
+  }
+  EXPECT_EQ(answered, kBurst + 1);
+}
+
+}  // namespace
+}  // namespace bitlevel

@@ -1,0 +1,397 @@
+// The design-service daemon, in process: framing discipline, strict
+// parse errors, admission control, stats monotonicity, shared-cache
+// semantics and graceful drain — every failure mode must come back as
+// a structured JSON error on the offending connection, never as a
+// daemon crash.
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "pipeline/cache.hpp"
+#include "serve/client.hpp"
+#include "serve/protocol.hpp"
+#include "serve/server.hpp"
+#include "support/json.hpp"
+
+namespace bitlevel::serve {
+namespace {
+
+std::string temp_socket_path(const char* tag) {
+  return "/tmp/bitlevel-serve-test-" + std::string(tag) + "-" +
+         std::to_string(static_cast<long>(::getpid())) + ".sock";
+}
+
+/// A counting semaphore (C++17 has none): the test_stall hook blocks
+/// workers on acquire() until the test release()s them.
+class Gate {
+ public:
+  void release(int n = 1) {
+    std::lock_guard<std::mutex> lock(mu_);
+    permits_ += n;
+    cv_.notify_all();
+  }
+  void acquire() {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [&] { return permits_ > 0; });
+    --permits_;
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  int permits_ = 0;
+};
+
+/// Runs a Server on its own thread; joins + drains on destruction.
+class TestDaemon {
+ public:
+  explicit TestDaemon(ServerConfig config) : server_(std::move(config)) {
+    server_.bind_and_listen();
+    thread_ = std::thread([this] { report_ = server_.run(); });
+  }
+  ~TestDaemon() { drain(); }
+
+  DrainReport drain() {
+    server_.shutdown();
+    if (thread_.joinable()) thread_.join();
+    return report_;
+  }
+
+  Server& server() { return server_; }
+  const std::string& endpoint() const { return server_.endpoint(); }
+
+ private:
+  Server server_;
+  std::thread thread_;
+  DrainReport report_;
+};
+
+/// A cheap feasible request: scalar product, u=3, p=3.
+std::string scalar_request(std::int64_t id, const char* action) {
+  return std::string("{\"id\":") + std::to_string(id) + ",\"action\":\"" + action +
+         "\",\"kernel\":\"scalar\",\"u\":3,\"p\":3}";
+}
+
+const JsonValue* find_or_null(const JsonValue& doc, const char* key) {
+  return doc.is_object() ? doc.find(key) : nullptr;
+}
+
+std::string error_code(const std::string& response) {
+  const JsonValue doc = json_parse(response);
+  const JsonValue* error = find_or_null(doc, "error");
+  if (error == nullptr || !error->is_object()) return "";
+  const JsonValue* code = error->find("code");
+  return code != nullptr && code->is_string() ? code->string_v : "";
+}
+
+bool response_ok(const std::string& response) {
+  const JsonValue doc = json_parse(response);
+  const JsonValue* ok = find_or_null(doc, "ok");
+  return ok != nullptr && ok->is_bool() && ok->bool_v;
+}
+
+TEST(ServeEndpointTest, ParsesUnixAndTcpSpecs) {
+  const Endpoint u = parse_endpoint("unix:/tmp/x.sock");
+  EXPECT_TRUE(u.is_unix);
+  EXPECT_EQ(u.path, "/tmp/x.sock");
+  EXPECT_EQ(u.to_string(), "unix:/tmp/x.sock");
+  const Endpoint t = parse_endpoint("tcp:8080");
+  EXPECT_FALSE(t.is_unix);
+  EXPECT_EQ(t.port, 8080);
+  EXPECT_THROW(parse_endpoint("http:80"), Error);
+  EXPECT_THROW(parse_endpoint("tcp:notaport"), Error);
+  EXPECT_THROW(parse_endpoint("tcp:70000"), Error);
+  EXPECT_THROW(parse_endpoint("unix:"), Error);
+}
+
+TEST(ServeProtocolTest, RequestLineRoundTripsThroughTheParser) {
+  pipeline::PlanCache cache(4);
+  const ServeContext context{cache, {}, {}};
+  ActionParams params;
+  params.request.kernel = pipeline::KernelSpec{"scalar", 3, 3, 3, 0};
+  params.request.p = 3;
+  params.seed = 7;
+  const std::string response =
+      handle_line(context, request_line(42, "simulate", params));
+  EXPECT_TRUE(response_ok(response)) << response;
+  const JsonValue doc = json_parse(response);
+  EXPECT_EQ(find_or_null(doc, "id")->int_v, 42);
+  EXPECT_EQ(find_or_null(doc, "action")->string_v, "simulate");
+  EXPECT_EQ(cache.stats().misses, 1u);
+}
+
+TEST(ServeProtocolTest, StrictErrorsAreStructuredAndTyped) {
+  pipeline::PlanCache cache(4);
+  const ServeContext context{cache, {}, {}};
+  struct Case {
+    const char* line;
+    const char* code;
+  };
+  const std::vector<Case> cases = {
+      {"{not json", "parse_error"},
+      {"[1,2,3]", "parse_error"},  // not an object
+      {"{\"action\":\"simulate\",\"kernel\":\"scalar\",\"u\":1e999}", "parse_error"},
+      {"{\"action\":\"simulate\",\"kernel\":\"scalar\",\"u\":1e9}", "bad_request"},
+      {"{\"id\":1}", "bad_request"},  // missing action
+      {"{\"id\":1,\"action\":\"frobnicate\"}", "bad_request"},
+      {"{\"id\":1,\"action\":\"test-stall\"}", "bad_request"},  // hidden w/o hook
+      {"{\"id\":1,\"action\":\"simulate\",\"kernel\":\"nope\"}", "bad_request"},
+      {"{\"id\":1,\"action\":\"simulate\",\"kernel\":\"scalar\",\"u\":0}", "bad_request"},
+      {"{\"id\":1,\"action\":\"simulate\",\"kernel\":\"scalar\",\"bogus\":1}", "bad_request"},
+      {"{\"id\":1,\"action\":\"simulate\",\"u\":\"three\"}", "bad_request"},
+      {"{\"id\":1,\"action\":\"stats\",\"kernel\":\"scalar\"}", "bad_request"},
+      {"{\"id\":1,\"action\":\"fault-campaign\",\"kernel\":\"scalar\",\"u\":3,\"p\":3,"
+       "\"fault_rates\":[2.0]}",
+       "bad_request"},
+  };
+  for (const Case& c : cases) {
+    const std::string response = handle_line(context, c.line);
+    EXPECT_TRUE(json_valid(response)) << c.line;
+    EXPECT_FALSE(response_ok(response)) << c.line;
+    EXPECT_EQ(error_code(response), c.code) << c.line << "\n" << response;
+  }
+  // Nothing malformed ever reached composition.
+  EXPECT_EQ(cache.stats().misses, 0u);
+}
+
+TEST(ServeProtocolTest, InvalidUtf8IsAParseError) {
+  pipeline::PlanCache cache(4);
+  const ServeContext context{cache, {}, {}};
+  std::string line = "{\"id\":1,\"action\":\"";
+  line += static_cast<char>(0xFF);  // no UTF-8 lead byte is 0xFF
+  line += "\"}";
+  const std::string response = handle_line(context, line);
+  EXPECT_EQ(error_code(response), "parse_error") << response;
+  // Overlong encoding of '/' (0xC0 0xAF) must be rejected too.
+  std::string overlong = "{\"id\":1,\"action\":\"";
+  overlong += static_cast<char>(0xC0);
+  overlong += static_cast<char>(0xAF);
+  overlong += "\"}";
+  EXPECT_EQ(error_code(handle_line(context, overlong)), "parse_error");
+}
+
+TEST(ServeServerTest, ServesConcurrentClientsOverUnixSocket) {
+  const std::string path = temp_socket_path("concurrent");
+  pipeline::PlanCache cache(8);
+  ServerConfig config;
+  config.listen = "unix:" + path;
+  config.workers = 4;
+  config.cache = &cache;
+  TestDaemon daemon(std::move(config));
+
+  constexpr int kClients = 4;
+  constexpr int kRequests = 8;
+  std::vector<std::thread> threads;
+  std::vector<int> ok_counts(kClients, 0);
+  for (int c = 0; c < kClients; ++c) {
+    threads.emplace_back([&, c] {
+      Client client;
+      client.connect(daemon.endpoint());
+      for (int r = 0; r < kRequests; ++r) {
+        const std::string response =
+            client.roundtrip(scalar_request(c * kRequests + r, "simulate"));
+        if (response_ok(response)) ++ok_counts[c];
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  for (int c = 0; c < kClients; ++c) EXPECT_EQ(ok_counts[c], kRequests);
+
+  // Shared-cache semantics: 32 identical requests from 4 clients
+  // composed the plan exactly once.
+  EXPECT_EQ(cache.stats().misses, 1u);
+  EXPECT_EQ(cache.stats().hits, static_cast<std::uint64_t>(kClients * kRequests - 1));
+
+  const DrainReport report = daemon.drain();
+  EXPECT_EQ(report.leaked_plans, 0u);
+  EXPECT_EQ(report.stats.served_ok, static_cast<std::uint64_t>(kClients * kRequests));
+  EXPECT_EQ(report.stats.served_error, 0u);
+}
+
+TEST(ServeServerTest, TcpEphemeralPortIsReportedAndServes) {
+  pipeline::PlanCache cache(4);
+  ServerConfig config;
+  config.listen = "tcp:0";
+  config.workers = 1;
+  config.cache = &cache;
+  TestDaemon daemon(std::move(config));
+  ASSERT_NE(daemon.endpoint(), "tcp:0");  // rewritten to the bound port
+
+  Client client;
+  client.connect(daemon.endpoint());
+  const std::string response = client.roundtrip("{\"id\":1,\"action\":\"stats\"}");
+  EXPECT_TRUE(response_ok(response)) << response;
+}
+
+TEST(ServeServerTest, OversizedLineRejectsAndResyncs) {
+  const std::string path = temp_socket_path("oversized");
+  pipeline::PlanCache cache(4);
+  ServerConfig config;
+  config.listen = "unix:" + path;
+  config.workers = 1;
+  config.max_line_bytes = 128;
+  config.cache = &cache;
+  TestDaemon daemon(std::move(config));
+
+  Client client;
+  client.connect(daemon.endpoint());
+  const std::string huge = "{\"id\":9,\"pad\":\"" + std::string(4096, 'x') + "\"}";
+  const std::string rejected = client.roundtrip(huge);
+  EXPECT_EQ(error_code(rejected), "oversized") << rejected;
+  // The connection resynchronizes at the next newline: the following
+  // request on the same socket is served normally.
+  const std::string response = client.roundtrip("{\"id\":10,\"action\":\"stats\"}");
+  EXPECT_TRUE(response_ok(response)) << response;
+  EXPECT_GE(daemon.server().stats().rejected_oversized, 1u);
+}
+
+TEST(ServeServerTest, BoundedQueueRejectsWithOverloaded) {
+  const std::string path = temp_socket_path("overload");
+  pipeline::PlanCache cache(4);
+  Gate started;
+  Gate release;
+  ServerConfig config;
+  config.listen = "unix:" + path;
+  config.workers = 1;
+  config.max_queue = 1;
+  config.cache = &cache;
+  config.test_stall = [&] {
+    started.release();
+    release.acquire();
+  };
+  TestDaemon daemon(std::move(config));
+
+  Client client;
+  client.connect(daemon.endpoint());
+  // #1 occupies the single worker (held on the gate), #2 fills the
+  // single queue slot, so #3 must be rejected at admission.
+  client.send_line("{\"id\":1,\"action\":\"test-stall\"}");
+  started.acquire();
+  client.send_line("{\"id\":2,\"action\":\"test-stall\"}");
+  while (daemon.server().stats().in_flight < 2) std::this_thread::yield();
+  client.send_line("{\"id\":3,\"action\":\"stats\"}");
+  std::string response;
+  ASSERT_TRUE(client.recv_line(&response));
+  EXPECT_EQ(error_code(response), "overloaded") << response;
+  const JsonValue doc = json_parse(response);
+  EXPECT_EQ(find_or_null(doc, "id")->int_v, 3);  // rejection keeps the id
+
+  release.release(2);
+  ASSERT_TRUE(client.recv_line(&response));
+  EXPECT_TRUE(response_ok(response)) << response;
+  ASSERT_TRUE(client.recv_line(&response));
+  EXPECT_TRUE(response_ok(response)) << response;
+  EXPECT_EQ(daemon.server().stats().rejected_overloaded, 1u);
+}
+
+TEST(ServeServerTest, StatsCountersAreMonotone) {
+  const std::string path = temp_socket_path("stats");
+  pipeline::PlanCache cache(4);
+  ServerConfig config;
+  config.listen = "unix:" + path;
+  config.workers = 2;
+  config.cache = &cache;
+  TestDaemon daemon(std::move(config));
+
+  Client client;
+  client.connect(daemon.endpoint());
+  auto snapshot = [&] { return daemon.server().stats(); };
+  ServerStats before = snapshot();
+  for (int i = 0; i < 5; ++i) {
+    const std::string response = client.roundtrip(scalar_request(i, "simulate"));
+    EXPECT_TRUE(response_ok(response));
+    const ServerStats after = snapshot();
+    EXPECT_GE(after.requests, before.requests);
+    EXPECT_GE(after.served_ok, before.served_ok);
+    EXPECT_GE(after.served_error, before.served_error);
+    EXPECT_GE(after.rejected_overloaded, before.rejected_overloaded);
+    EXPECT_GE(after.rejected_oversized, before.rejected_oversized);
+    EXPECT_GE(after.connections, before.connections);
+    before = after;
+  }
+  EXPECT_GE(before.served_ok, 5u);
+
+  // The served stats document agrees with the live counters' shape.
+  const std::string response = client.roundtrip("{\"id\":99,\"action\":\"stats\"}");
+  ASSERT_TRUE(response_ok(response)) << response;
+  const JsonValue doc = json_parse(response);
+  const JsonValue* result = find_or_null(doc, "result");
+  ASSERT_NE(result, nullptr);
+  const JsonValue* server = result->find("server");
+  ASSERT_NE(server, nullptr);
+  EXPECT_GE(server->find("served_ok")->int_v, 5);
+  const JsonValue* plan_cache = result->find("plan_cache");
+  ASSERT_NE(plan_cache, nullptr);
+  EXPECT_EQ(plan_cache->find("misses")->int_v, 1);
+}
+
+TEST(ServeServerTest, TwoClientsOneCompositionExactlyOneMiss) {
+  const std::string path = temp_socket_path("onemiss");
+  pipeline::PlanCache cache(4);
+  ServerConfig config;
+  config.listen = "unix:" + path;
+  config.workers = 2;
+  config.cache = &cache;
+  TestDaemon daemon(std::move(config));
+
+  Client a;
+  Client b;
+  a.connect(daemon.endpoint());
+  b.connect(daemon.endpoint());
+  // The same canonical key from two connections at once: the cache's
+  // in-flight rendezvous guarantees one composition even when both
+  // miss simultaneously.
+  a.send_line(scalar_request(1, "simulate"));
+  b.send_line(scalar_request(2, "simulate"));
+  std::string ra;
+  std::string rb;
+  ASSERT_TRUE(a.recv_line(&ra));
+  ASSERT_TRUE(b.recv_line(&rb));
+  EXPECT_TRUE(response_ok(ra)) << ra;
+  EXPECT_TRUE(response_ok(rb)) << rb;
+  EXPECT_EQ(cache.stats().misses, 1u);
+  EXPECT_EQ(cache.stats().hits + cache.stats().misses, 2u);
+  EXPECT_EQ(cache.leaked_plans(), 0u);
+}
+
+TEST(ServeServerTest, DrainAnswersEveryAdmittedRequestThenExits) {
+  const std::string path = temp_socket_path("drain");
+  pipeline::PlanCache cache(8);
+  ServerConfig config;
+  config.listen = "unix:" + path;
+  config.workers = 2;
+  config.cache = &cache;
+  TestDaemon daemon(std::move(config));
+
+  Client client;
+  client.connect(daemon.endpoint());
+  // Pipeline a burst, then a stats marker: when the marker's response
+  // arrives, every line before it has been read and admitted — so the
+  // drain that follows must answer all of them.
+  constexpr int kBurst = 6;
+  for (int i = 0; i < kBurst; ++i) client.send_line(scalar_request(i, "batch"));
+  client.send_line("{\"id\":100,\"action\":\"stats\"}");
+  std::vector<std::string> responses;
+  std::string line;
+  for (int i = 0; i < kBurst + 1; ++i) {
+    ASSERT_TRUE(client.recv_line(&line));
+    responses.push_back(line);
+  }
+  const DrainReport report = daemon.drain();
+  EXPECT_EQ(report.leaked_plans, 0u);
+  EXPECT_EQ(report.stats.served_ok, static_cast<std::uint64_t>(kBurst + 1));
+  for (const std::string& response : responses) {
+    EXPECT_TRUE(response_ok(response)) << response;
+  }
+  // After the drain the socket is gone: EOF for the client.
+  EXPECT_FALSE(client.recv_line(&line));
+}
+
+}  // namespace
+}  // namespace bitlevel::serve

@@ -24,13 +24,26 @@
 // document carries the process-wide plan-cache hit/miss counters);
 // --memory streaming bounds simulator memory by the dependence window.
 //
+// Server mode: --serve --listen unix:/path|tcp:port runs a long-lived
+// design-service daemon speaking newline-delimited JSON (see
+// src/serve/protocol.hpp); --connect SPEC sends ONE request built from
+// the same action flags and prints the result document, and --connect
+// with --script FILE streams raw request lines in lockstep.
+//
 // Every action goes through the design pipeline (pipeline::compose via
 // the global plan cache), so repeated compositions of the same request
-// key within one process expand and map exactly once.
+// key within one process expand and map exactly once — and in server
+// mode every client shares that one cache.
+#include <unistd.h>
+
+#include <atomic>
 #include <cerrno>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
+#include <iostream>
 #include <map>
 #include <string>
 #include <vector>
@@ -44,6 +57,9 @@
 #include "pipeline/cache.hpp"
 #include "pipeline/campaign.hpp"
 #include "pipeline/executor.hpp"
+#include "serve/client.hpp"
+#include "serve/protocol.hpp"
+#include "serve/server.hpp"
 #include "sim/timeline.hpp"
 #include "support/error.hpp"
 #include "support/json.hpp"
@@ -83,6 +99,13 @@ struct Args {
   std::vector<double> fault_rates;             // empty = campaign default
   int spares = 2;
   int retries = 2;
+  // server / client mode.
+  bool serve = false;
+  std::string listen = "unix:/tmp/bitlevel-design.sock";
+  std::string connect;  // nonempty = client mode against a daemon
+  std::string script;   // with --connect: raw request lines ("-" = stdin)
+  int workers = 4;
+  int queue = 64;
 };
 
 [[noreturn]] void usage(const char* msg) {
@@ -98,6 +121,10 @@ struct Args {
                "                       [--fault-kind all|NAME[,NAME...]] "
                "[--fault-rate R[,R...]]\n"
                "                       [--spares N] [--retries N]\n"
+               "       bitlevel-design --serve [--listen unix:PATH|tcp:PORT] "
+               "[--workers N] [--queue N]\n"
+               "       bitlevel-design --connect unix:PATH|tcp:PORT "
+               "[--script FILE|-] [action flags]\n"
                "kernels: %s\n",
                ir::kernels::registered_names().c_str());
   std::exit(2);
@@ -239,16 +266,50 @@ Args parse(int argc, char** argv) {
       }
     } else if (flag == "--json") {
       args.json = true;
+    } else if (flag == "--serve") {
+      args.serve = true;
+    } else if (flag == "--listen") {
+      args.listen = next();
+    } else if (flag == "--connect") {
+      args.connect = next();
+    } else if (flag == "--script") {
+      args.script = next();
+    } else if (flag == "--workers") {
+      args.workers = static_cast<int>(parse_int(flag, next(), 1, 1024));
+    } else if (flag == "--queue") {
+      args.queue = static_cast<int>(parse_int(flag, next(), 1, 1'000'000));
     } else {
       usage(("unknown flag " + flag).c_str());
     }
   }
+  if (args.serve && !args.connect.empty()) {
+    usage("--serve and --connect are mutually exclusive");
+  }
+  if (!args.script.empty() && args.connect.empty()) {
+    usage("--script requires --connect");
+  }
+  if (args.serve) return args;  // the daemon validates per request
   // Registry-backed validation at parse time: unknown names exit 2 with
   // the allowed set instead of failing deep inside the library.
   if (!args.list_kernels && ir::kernels::find_kernel(args.kernel) == nullptr) {
     usage(("unknown kernel '" + args.kernel + "' (known: " + ir::kernels::registered_names() +
            ")")
               .c_str());
+  }
+  if (!args.connect.empty()) {
+    // Client mode speaks the daemon protocol: the design-family actions
+    // plus stats (script mode sends raw lines; any action text is fine).
+    if (!args.script.empty()) return args;
+    const bool remote_ok = args.action == "design" || args.action == "simulate" ||
+                           args.action == "batch" || args.action == "fault-campaign" ||
+                           args.action == "stats";
+    if (!remote_ok) {
+      usage(("action '" + args.action +
+             "' is not served remotely (allowed with --connect: design, simulate, batch, "
+             "fault-campaign, stats)")
+                .c_str());
+    }
+    return args;
   }
   bool action_ok = false;
   for (const char* a : kActions) action_ok = action_ok || args.action == a;
@@ -283,6 +344,42 @@ void emit_plan_cache_json(JsonWriter& w) {
   w.end_object();
 }
 
+/// The one gate every --json path exits through: the document is built
+/// fully in memory first, validated, and written with ONE fwrite + a
+/// checked flush — stdout carries a complete JSON document or (on
+/// write failure) the error goes to stderr as plain text; a consumer
+/// never sees a truncated document that still parses as a prefix.
+int emit_document(const JsonWriter& w, int status) {
+  const std::string doc = w.str();
+  if (!json_valid(doc)) {
+    std::fprintf(stderr, "error: internal: produced an invalid JSON document\n");
+    return 1;
+  }
+  if (std::fwrite(doc.data(), 1, doc.size(), stdout) != doc.size() ||
+      std::fputc('\n', stdout) == EOF || std::fflush(stdout) != 0) {
+    std::fprintf(stderr, "error: failed to write JSON document to stdout\n");
+    return 1;
+  }
+  return status;
+}
+
+/// The serve-layer view of the parsed flags — shared with the daemon's
+/// request parser, so --connect requests mean exactly what local runs
+/// mean.
+serve::ActionParams action_params(const Args& a) {
+  serve::ActionParams params;
+  params.request = make_request(a, pipeline::MappingStrategy::kAuto);
+  params.seed = a.seed;
+  params.batch = a.batch;
+  params.sliced = a.sliced;
+  if (!a.fault_kinds.empty()) params.campaign.kinds = a.fault_kinds;
+  if (!a.fault_rates.empty()) params.campaign.rates = a.fault_rates;
+  params.campaign.seed = a.seed;
+  params.campaign.spares = a.spares;
+  params.campaign.max_retries = a.retries;
+  return params;
+}
+
 int run_list_kernels(const Args& a) {
   if (a.json) {
     JsonWriter w;
@@ -299,8 +396,7 @@ int run_list_kernels(const Args& a) {
     }
     w.end_array();
     w.end_object();
-    std::printf("%s\n", w.str().c_str());
-    return 0;
+    return emit_document(w, 0);
   }
   std::printf("registered kernels:\n");
   for (const auto& info : ir::kernels::registry()) {
@@ -342,8 +438,7 @@ int run_structure(const Args& a) {
   emit_structure_json(w, *plan->structure);
   emit_plan_cache_json(w);
   w.end_object();
-  std::printf("%s\n", w.str().c_str());
-  return 0;
+  return emit_document(w, 0);
 }
 
 int run_verify(const Args& a) {
@@ -361,7 +456,7 @@ int run_verify(const Args& a) {
     w.key("spurious").value(static_cast<std::int64_t>(report.match.spurious.size()));
     emit_plan_cache_json(w);
     w.end_object();
-    std::printf("%s\n", w.str().c_str());
+    return emit_document(w, report.ok() ? 0 : 1);
   } else {
     std::printf("Theorem 3.1 on %s (p=%lld, expansion %s): %s (%zu ground-truth edges)\n",
                 a.kernel.c_str(), (long long)a.p,
@@ -373,27 +468,20 @@ int run_verify(const Args& a) {
 }
 
 int run_design(const Args& a) {
-  const pipeline::PlanPtr plan = plan_for(a, pipeline::MappingStrategy::kExplore);
-  const mapping::ExploreResult& result = plan->explore;
   if (a.json) {
+    // The daemon serves the same document: compute + emit are shared
+    // (src/serve/actions), the CLI only appends its cache counters.
+    const serve::DesignOutcome outcome =
+        serve::run_design(pipeline::global_plan_cache(), action_params(a));
     JsonWriter w;
     w.begin_object();
-    w.key("spaces_tried").value(static_cast<std::int64_t>(result.spaces_tried));
-    w.key("designs").begin_array();
-    for (const auto& d : result.designs) {
-      w.begin_object();
-      w.key("pi").value(d.t.schedule());
-      w.key("time").value(d.total_time);
-      w.key("processors").value(d.processors);
-      w.key("max_wire").value(d.max_wire);
-      w.end_object();
-    }
-    w.end_array();
+    const int status = serve::emit_design_json(w, outcome);
     emit_plan_cache_json(w);
     w.end_object();
-    std::printf("%s\n", w.str().c_str());
-    return 0;
+    return emit_document(w, status);
   }
+  const pipeline::PlanPtr plan = plan_for(a, pipeline::MappingStrategy::kExplore);
+  const mapping::ExploreResult& result = plan->explore;
   std::printf("explored %zu space mappings, %zu schedules; %zu feasible designs\n",
               result.spaces_tried, result.schedules_examined, result.designs.size());
   for (std::size_t i = 0; i < result.designs.size() && i < 5; ++i) {
@@ -421,7 +509,7 @@ int run_optimal(const Args& a) {
     w.key("certified_optimal").value(cert.certified);
     emit_plan_cache_json(w);
     w.end_object();
-    std::printf("%s\n", w.str().c_str());
+    return emit_document(w, 0);
   } else {
     std::printf("Pi = %s achieves %lld cycles; LP lower bound over ALL linear schedules: "
                 "%lld (span %s)\n%s\n",
@@ -446,12 +534,27 @@ int run_animate(const Args& a) {
 }
 
 int run_simulate(const Args& a) {
+  if (a.json) {
+    const serve::ActionParams params = action_params(a);
+    const serve::SimulateOutcome outcome =
+        serve::run_simulate(pipeline::global_plan_cache(), params);
+    if (!outcome.feasible) {
+      std::fprintf(stderr, "no feasible design found\n");
+      return 1;
+    }
+    JsonWriter w;
+    w.begin_object();
+    const int status = serve::emit_simulate_json(w, params, outcome);
+    emit_plan_cache_json(w);
+    w.end_object();
+    return emit_document(w, status);
+  }
   const pipeline::PlanPtr plan = plan_for(a, pipeline::MappingStrategy::kAuto);
   if (!plan->has_mapping()) {
     std::fprintf(stderr, "no feasible design found\n");
     return 1;
   }
-  if (plan->origin == pipeline::MappingOrigin::kPublished && !a.json) {
+  if (plan->origin == pipeline::MappingOrigin::kPublished) {
     std::printf("(explorer found nothing; using the published Fig. 4 design)\n");
   }
 
@@ -472,42 +575,38 @@ int run_simulate(const Args& a) {
     if (it == ref.end()) {
       ++missing_reference;
       ok = false;
-      if (!a.json) {
-        std::printf("MISMATCH: array produced z%s but the reference has no such output\n",
-                    math::to_string(j).c_str());
-      }
+      std::printf("MISMATCH: array produced z%s but the reference has no such output\n",
+                  math::to_string(j).c_str());
       continue;
     }
     ok = ok && v == it->second;
   }
 
-  if (a.json) {
-    JsonWriter w;
-    w.begin_object();
-    w.key("correct").value(ok);
-    w.key("missing_reference").value(static_cast<std::int64_t>(missing_reference));
-    w.key("cycles").value(run.stats.cycles);
-    w.key("processors").value(run.stats.pe_count);
-    w.key("computations").value(run.stats.computations);
-    w.key("utilization").value(run.stats.pe_utilization);
-    w.key("memory").value(a.memory == sim::MemoryMode::kStreaming ? "streaming" : "dense");
-    w.key("peak_live_slots").value(run.stats.peak_live_slots);
-    w.key("pi").value(plan->t->schedule());
-    emit_plan_cache_json(w);
-    w.end_object();
-    std::printf("%s\n", w.str().c_str());
-  } else {
-    std::printf("design: Pi = %s, %lld cycles on %lld PEs\n",
-                math::to_string(plan->t->schedule()).c_str(), (long long)run.stats.cycles,
-                (long long)run.stats.pe_count);
-    std::printf("results %s against word-level reference (%zu outputs)\n",
-                ok ? "MATCH" : "DIFFER", run.z.size());
-    std::printf("%s\n", run.stats.to_string().c_str());
-  }
+  std::printf("design: Pi = %s, %lld cycles on %lld PEs\n",
+              math::to_string(plan->t->schedule()).c_str(), (long long)run.stats.cycles,
+              (long long)run.stats.pe_count);
+  std::printf("results %s against word-level reference (%zu outputs)\n",
+              ok ? "MATCH" : "DIFFER", run.z.size());
+  std::printf("%s\n", run.stats.to_string().c_str());
   return ok ? 0 : 1;
 }
 
 int run_batch_action(const Args& a) {
+  if (a.json) {
+    const serve::ActionParams params = action_params(a);
+    const serve::BatchOutcome outcome =
+        serve::run_batch_action(pipeline::global_plan_cache(), params);
+    if (!outcome.feasible) {
+      std::fprintf(stderr, "no feasible design found\n");
+      return 1;
+    }
+    JsonWriter w;
+    w.begin_object();
+    const int status = serve::emit_batch_json(w, params, outcome);
+    emit_plan_cache_json(w);
+    w.end_object();
+    return emit_document(w, status);
+  }
   const pipeline::DesignRequest request = make_request(a, pipeline::MappingStrategy::kAuto);
   const pipeline::PlanPtr plan = pipeline::global_plan_cache().get_or_compose(request);
   if (!plan->has_mapping()) {
@@ -547,38 +646,12 @@ int run_batch_action(const Args& a) {
       const auto it = ref.find(j);
       item_ok = item_ok && it != ref.end() && v == it->second;
     }
-    if (!item_ok && !a.json) {
+    if (!item_ok) {
       std::printf("MISMATCH: batch item %zu differs from the word-level reference\n", i);
     }
     ok = ok && item_ok;
   }
   const sim::SimulationStats& stats = batch.results.front().stats;
-
-  if (a.json) {
-    JsonWriter w;
-    w.begin_object();
-    w.key("action").value("batch");
-    w.key("kernel").value(a.kernel);
-    w.key("p").value(a.p);
-    w.key("batch").value(a.batch);
-    w.key("correct").value(ok);
-    w.key("sliced").begin_object();
-    w.key("mode").value(pipeline::to_string(a.sliced));
-    w.key("groups").value(batch.sliced_groups);
-    w.key("sliced_items").value(batch.sliced_items);
-    w.key("scalar_items").value(batch.scalar_items);
-    w.end_object();
-    w.key("cycles_per_pass").value(stats.cycles);
-    w.key("processors").value(stats.pe_count);
-    w.key("utilization").value(stats.pe_utilization);
-    w.key("memory").value(a.memory == sim::MemoryMode::kStreaming ? "streaming" : "dense");
-    w.key("peak_live_slots").value(stats.peak_live_slots);
-    w.key("pi").value(plan->t->schedule());
-    emit_plan_cache_json(w);
-    w.end_object();
-    std::printf("%s\n", w.str().c_str());
-    return ok ? 0 : 1;
-  }
   std::printf("batch: %lld problems over Pi = %s (%s)\n", (long long)a.batch,
               math::to_string(plan->t->schedule()).c_str(),
               pipeline::to_string(a.sliced).c_str());
@@ -591,6 +664,21 @@ int run_batch_action(const Args& a) {
 }
 
 int run_fault_campaign(const Args& a) {
+  if (a.json) {
+    const serve::ActionParams params = action_params(a);
+    const serve::CampaignOutcome outcome =
+        serve::run_fault_campaign(pipeline::global_plan_cache(), params);
+    if (!outcome.feasible) {
+      std::fprintf(stderr, "no feasible design found\n");
+      return 1;
+    }
+    JsonWriter w;
+    w.begin_object();
+    const int status = serve::emit_campaign_json(w, params, outcome);
+    emit_plan_cache_json(w);
+    w.end_object();
+    return emit_document(w, status);
+  }
   const pipeline::DesignRequest request = make_request(a, pipeline::MappingStrategy::kAuto);
   const pipeline::PlanPtr plan = pipeline::global_plan_cache().get_or_compose(request);
   if (!plan->has_mapping()) {
@@ -610,25 +698,135 @@ int run_fault_campaign(const Args& a) {
   const pipeline::CampaignResult result = pipeline::run_campaign(
       pipeline::global_plan_cache(), request, workload.x_fn(), workload.y_fn(), options);
 
-  if (a.json) {
-    JsonWriter w;
-    w.begin_object();
-    w.key("action").value("fault-campaign");
-    w.key("kernel").value(a.kernel);
-    w.key("p").value(a.p);
-    w.key("seed").value(a.seed);
-    w.key("pi").value(plan->t->schedule());
-    w.key("campaign");
-    result.write_json(w);
-    emit_plan_cache_json(w);
-    w.end_object();
-    std::printf("%s\n", w.str().c_str());
-    return 0;
-  }
   std::printf("fault campaign: Pi = %s, %lld reference words, seed %llu\n",
               math::to_string(plan->t->schedule()).c_str(), (long long)result.reference_words,
               (unsigned long long)a.seed);
   std::printf("%s", result.to_table().c_str());
+  return 0;
+}
+
+// ------------------------------------------------------- server mode
+
+/// Write end of the running server's self-pipe; the signal handler may
+/// only touch async-signal-safe state, so the fd lives in an atomic.
+std::atomic<int> g_shutdown_fd{-1};
+
+extern "C" void handle_shutdown_signal(int) {
+  const int fd = g_shutdown_fd.load();
+  if (fd >= 0) {
+    const char byte = 1;
+    [[maybe_unused]] const ssize_t n = ::write(fd, &byte, 1);
+  }
+}
+
+int run_serve(const Args& a) {
+  serve::ServerConfig config;
+  config.listen = a.listen;
+  config.workers = a.workers;
+  config.max_queue = static_cast<std::size_t>(a.queue);
+  serve::Server server(config);
+  server.bind_and_listen();
+
+  // SIGINT/SIGTERM begin a graceful drain: admitted requests finish
+  // and get their responses before the process exits.
+  g_shutdown_fd.store(server.shutdown_write_fd());
+  struct sigaction action {};
+  action.sa_handler = handle_shutdown_signal;
+  sigemptyset(&action.sa_mask);
+  sigaction(SIGINT, &action, nullptr);
+  sigaction(SIGTERM, &action, nullptr);
+
+  std::fprintf(stderr, "bitlevel-design: serving on %s (%d workers, queue %d)\n",
+               server.endpoint().c_str(), a.workers, a.queue);
+  std::fflush(stderr);
+  const serve::DrainReport report = server.run();
+  g_shutdown_fd.store(-1);
+
+  JsonWriter w;
+  w.begin_object();
+  w.key("drained").value(true);
+  w.key("connections").value(static_cast<std::int64_t>(report.stats.connections));
+  w.key("requests").value(static_cast<std::int64_t>(report.stats.requests));
+  w.key("served_ok").value(static_cast<std::int64_t>(report.stats.served_ok));
+  w.key("served_error").value(static_cast<std::int64_t>(report.stats.served_error));
+  w.key("rejected_overloaded")
+      .value(static_cast<std::int64_t>(report.stats.rejected_overloaded));
+  w.key("rejected_oversized").value(static_cast<std::int64_t>(report.stats.rejected_oversized));
+  w.key("leaked_plans").value(static_cast<std::int64_t>(report.leaked_plans));
+  w.end_object();
+  std::fprintf(stderr, "%s\n", w.str().c_str());
+  // A leaked plan after a full drain is a bug worth failing loudly on.
+  return report.leaked_plans == 0 ? 0 : 1;
+}
+
+// ------------------------------------------------------- client mode
+
+int run_script(serve::Client& client, const std::string& script) {
+  std::ifstream file;
+  std::istream* in = &std::cin;
+  if (script != "-") {
+    file.open(script);
+    if (!file) {
+      std::fprintf(stderr, "error: cannot open script '%s'\n", script.c_str());
+      return 1;
+    }
+    in = &file;
+  }
+  // Strict lockstep: one request line, one response line, in order —
+  // what makes daemon output byte-comparable against one-shot runs.
+  std::string line;
+  while (std::getline(*in, line)) {
+    if (line.empty()) continue;
+    std::printf("%s\n", client.roundtrip(line).c_str());
+  }
+  if (std::fflush(stdout) != 0) {
+    std::fprintf(stderr, "error: failed to write responses to stdout\n");
+    return 1;
+  }
+  return 0;
+}
+
+int run_connect(const Args& a) {
+  serve::Client client;
+  client.connect(a.connect);
+  if (!a.script.empty()) return run_script(client, a.script);
+
+  const std::string request = serve::request_line(1, a.action, action_params(a));
+  const std::string response = client.roundtrip(request);
+  const JsonValue envelope = json_parse(response);
+  const JsonValue* okv = envelope.is_object() ? envelope.find("ok") : nullptr;
+  if (okv == nullptr || !okv->is_bool()) {
+    std::fprintf(stderr, "error: malformed response envelope: %s\n", response.c_str());
+    return 1;
+  }
+  if (!okv->bool_v) {
+    std::string code = "internal";
+    std::string message = "unknown error";
+    if (const JsonValue* error = envelope.find("error"); error != nullptr && error->is_object()) {
+      if (const JsonValue* c = error->find("code"); c != nullptr && c->is_string()) {
+        code = c->string_v;
+      }
+      if (const JsonValue* m = error->find("message"); m != nullptr && m->is_string()) {
+        message = m->string_v;
+      }
+    }
+    std::fprintf(stderr, "error: %s: %s\n", code.c_str(), message.c_str());
+    return 1;
+  }
+  // Print the raw "result" bytes — the same document a local --json
+  // run prints (minus this process's plan_cache counters).
+  const std::string result = json_member_text(response, "result");
+  if (result.empty()) {
+    std::fprintf(stderr, "error: response envelope carries no result: %s\n", response.c_str());
+    return 1;
+  }
+  std::printf("%s\n", result.c_str());
+  if (std::fflush(stdout) != 0) {
+    std::fprintf(stderr, "error: failed to write result to stdout\n");
+    return 1;
+  }
+  const JsonValue* statusv = envelope.find("status");
+  if (statusv != nullptr && statusv->is_int()) return static_cast<int>(statusv->int_v);
   return 0;
 }
 
@@ -637,6 +835,8 @@ int run_fault_campaign(const Args& a) {
 int main(int argc, char** argv) {
   const Args args = parse(argc, argv);
   try {
+    if (args.serve) return run_serve(args);
+    if (!args.connect.empty()) return run_connect(args);
     if (args.list_kernels) return run_list_kernels(args);
     if (args.action == "structure") return run_structure(args);
     if (args.action == "verify") return run_verify(args);
