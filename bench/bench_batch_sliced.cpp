@@ -1,13 +1,18 @@
-// BM_BatchSliced — scalar vs bit-sliced batch execution.
+// BM_BatchSliced — scalar vs bit-sliced vs compiled batch execution.
 //
 // The lane engine packs up to 64 independent problems into the bit
 // lanes of one uint64_t per channel, so one event evaluation, one
-// routing hop and one slot write serve 64 multiplications. The
-// reproduction table measures items/sec on the paper's Fig. 4 16x16
-// instance (u = 16, p = 16) and enforces the acceptance bar: the
-// sliced path must deliver >= 8x the scalar throughput at batch 64.
-// The table doubles as the CI gate — the binary exits nonzero when the
-// bar is missed, failing the bench step.
+// routing hop and one slot write serve 64 multiplications; the
+// compiled path flattens the wavefront schedule into straight-line
+// passes over 256-lane blocks on top of that. The reproduction table
+// measures items/sec on the paper's Fig. 4 16x16 instance (u = 16,
+// p = 16) and enforces the acceptance bars: the interpreted sliced
+// path must deliver >= 8x the scalar throughput at batch 64, and the
+// compiled 256-lane path >= 2x the interpreted 64-lane throughput.
+// The table doubles as the CI gate — the binary exits nonzero when a
+// bar is missed, failing the bench step. Set BITLEVEL_BENCH_JSON to a
+// path to also write the gate figures as a JSON document (published as
+// a CI artifact).
 #include "bench/bench_util.hpp"
 
 #include <chrono>
@@ -17,6 +22,7 @@
 #include "core/workload.hpp"
 #include "pipeline/cache.hpp"
 #include "pipeline/executor.hpp"
+#include "support/json.hpp"
 
 namespace {
 
@@ -60,9 +66,13 @@ ItemSet make_items(const pipeline::PlanPtr& plan, math::Int p, std::size_t count
 
 double run_items_per_sec(const pipeline::DesignRequest& request,
                          const std::vector<pipeline::BatchItem>& items,
-                         pipeline::SlicedMode mode) {
+                         pipeline::SlicedMode mode,
+                         pipeline::SlicedMode compiled = pipeline::SlicedMode::kOff,
+                         int lane_width = 0) {
   pipeline::BatchOptions options;
   options.sliced = mode;
+  options.compiled = compiled;
+  options.lane_width = lane_width;
   const auto start = Clock::now();
   const pipeline::BatchResult result =
       pipeline::run_batch(pipeline::global_plan_cache(), request, items, options);
@@ -71,13 +81,51 @@ double run_items_per_sec(const pipeline::DesignRequest& request,
   return static_cast<double>(items.size()) / elapsed;
 }
 
+/// The gate figures, also written as the BITLEVEL_BENCH_JSON artifact.
+struct GateReport {
+  double scalar_ips = 0.0;
+  double sliced_ips = 0.0;
+  double compiled_ips = 0.0;
+  double sliced_speedup = 0.0;    // vs scalar; bar: >= 8x
+  double compiled_speedup = 0.0;  // vs interpreted sliced; bar: >= 2x
+  bool sliced_gate = false;
+  bool compiled_gate = false;
+};
+
+void write_json_artifact(const GateReport& report) {
+  const char* path = std::getenv("BITLEVEL_BENCH_JSON");
+  if (path == nullptr || *path == '\0') return;
+  JsonWriter w;
+  w.begin_object();
+  w.key("bench").value("bench_batch_sliced");
+  w.key("instance").value("fig4-16x16");
+  w.key("scalar_items_per_sec").value(report.scalar_ips);
+  w.key("sliced_items_per_sec").value(report.sliced_ips);
+  w.key("compiled_items_per_sec").value(report.compiled_ips);
+  w.key("sliced_speedup_vs_scalar").value(report.sliced_speedup);
+  w.key("compiled_speedup_vs_sliced").value(report.compiled_speedup);
+  w.key("sliced_gate_8x").value(report.sliced_gate);
+  w.key("compiled_gate_2x").value(report.compiled_gate);
+  w.end_object();
+  FILE* file = std::fopen(path, "w");
+  if (file == nullptr) {
+    std::printf("warning: cannot write BITLEVEL_BENCH_JSON artifact to %s\n", path);
+    return;
+  }
+  const std::string doc = w.str();
+  std::fwrite(doc.data(), 1, doc.size(), file);
+  std::fputc('\n', file);
+  std::fclose(file);
+}
+
 void print_tables() {
   bench::print_header(
-      "BM_BatchSliced", "scalar vs 64-lane bit-sliced batch throughput",
+      "BM_BatchSliced", "scalar vs bit-sliced vs compiled batch throughput",
       "One sliced machine pass carries up to 64 batch items in the bit lanes of a "
-      "uint64_t per channel; the per-item marginal cost drops by the lane width. "
-      "Acceptance bar (CI gate): sliced >= 8x scalar items/sec at batch 64 on the "
-      "Fig. 4 16x16 instance.");
+      "uint64_t per channel; the compiled path runs the flattened schedule over "
+      "256-lane blocks. Acceptance bars (CI gates): interpreted sliced >= 8x scalar "
+      "items/sec at batch 64, compiled 256-lane >= 2x interpreted 64-lane items/sec, "
+      "both on the Fig. 4 16x16 instance.");
 
   const math::Int u = 16, p = 16;
   const pipeline::DesignRequest request = matmul_request(u, p);
@@ -89,42 +137,72 @@ void print_tables() {
 
   // The scalar side re-walks the full wavefront once per item, so its
   // per-item cost is measured over a small probe batch; the sliced
-  // side runs one real 64-item group.
+  // side runs one real 64-item group, and the compiled side one real
+  // 256-item lane block (the same item count as four interpreted
+  // passes, executed in one straight-line sweep).
   constexpr std::size_t kScalarProbe = 4;
   constexpr std::size_t kGroup = 64;
+  constexpr std::size_t kBlock = 256;
   const ItemSet probe = make_items(plan, p, kScalarProbe);
   const ItemSet group = make_items(plan, p, kGroup);
+  const ItemSet block = make_items(plan, p, kBlock);
 
-  const double scalar_ips = run_items_per_sec(request, probe.items, pipeline::SlicedMode::kOff);
-  const double sliced_ips = run_items_per_sec(request, group.items, pipeline::SlicedMode::kOn);
-  const double speedup = scalar_ips > 0.0 ? sliced_ips / scalar_ips : 0.0;
+  GateReport report;
+  report.scalar_ips = run_items_per_sec(request, probe.items, pipeline::SlicedMode::kOff);
+  report.sliced_ips = run_items_per_sec(request, group.items, pipeline::SlicedMode::kOn,
+                                        pipeline::SlicedMode::kOff);
+  report.compiled_ips = run_items_per_sec(request, block.items, pipeline::SlicedMode::kOn,
+                                          pipeline::SlicedMode::kOn, 256);
+  report.sliced_speedup =
+      report.scalar_ips > 0.0 ? report.sliced_ips / report.scalar_ips : 0.0;
+  report.compiled_speedup =
+      report.sliced_ips > 0.0 ? report.compiled_ips / report.sliced_ips : 0.0;
+  report.sliced_gate = report.sliced_speedup >= 8.0;
+  report.compiled_gate = report.compiled_speedup >= 2.0;
 
-  TextTable table({"path", "items", "items/sec", "speedup", ">= 8x"});
+  TextTable table({"path", "items", "items/sec", "speedup", "gate"});
   char c1[32], c2[32];
-  std::snprintf(c1, sizeof c1, "%.2f", scalar_ips);
+  std::snprintf(c1, sizeof c1, "%.2f", report.scalar_ips);
   table.add_row({"scalar", std::to_string(kScalarProbe), c1, "1x", "-"});
-  std::snprintf(c1, sizeof c1, "%.2f", sliced_ips);
-  std::snprintf(c2, sizeof c2, "%.1fx", speedup);
-  table.add_row({"sliced", std::to_string(kGroup), c1, c2, speedup >= 8.0 ? "yes" : "NO"});
+  std::snprintf(c1, sizeof c1, "%.2f", report.sliced_ips);
+  std::snprintf(c2, sizeof c2, "%.1fx scalar", report.sliced_speedup);
+  table.add_row({"sliced-64", std::to_string(kGroup), c1, c2,
+                 report.sliced_gate ? "yes (>= 8x)" : "NO (< 8x)"});
+  std::snprintf(c1, sizeof c1, "%.2f", report.compiled_ips);
+  std::snprintf(c2, sizeof c2, "%.1fx sliced", report.compiled_speedup);
+  table.add_row({"compiled-256", std::to_string(kBlock), c1, c2,
+                 report.compiled_gate ? "yes (>= 2x)" : "NO (< 2x)"});
   bench::print_table(table);
+  write_json_artifact(report);
 
-  if (speedup < 8.0) {
-    std::printf("GATE FAILED: sliced batch-64 throughput is %.1fx scalar (< 8x)\n", speedup);
+  if (!report.sliced_gate) {
+    std::printf("GATE FAILED: sliced batch-64 throughput is %.1fx scalar (< 8x)\n",
+                report.sliced_speedup);
     std::exit(1);
   }
-  std::printf("gate passed: sliced batch-64 throughput is %.1fx scalar (>= 8x)\n\n", speedup);
+  if (!report.compiled_gate) {
+    std::printf("GATE FAILED: compiled 256-lane throughput is %.1fx interpreted (< 2x)\n",
+                report.compiled_speedup);
+    std::exit(1);
+  }
+  std::printf("gates passed: sliced %.1fx scalar (>= 8x), compiled %.1fx sliced (>= 2x)\n\n",
+              report.sliced_speedup, report.compiled_speedup);
 }
 
 // The timing section scans batch sizes {1, 8, 64, 256} on a smaller
 // instance so both paths fit the benchmark budget; the ratio between
 // the two counters at equal batch is the lane-engine speedup.
-void run_batch_bench(benchmark::State& state, pipeline::SlicedMode mode) {
+void run_batch_bench(benchmark::State& state, pipeline::SlicedMode mode,
+                     pipeline::SlicedMode compiled = pipeline::SlicedMode::kOff,
+                     int lane_width = 0) {
   const math::Int u = 3, p = 6;
   const pipeline::DesignRequest request = matmul_request(u, p);
   const pipeline::PlanPtr plan = pipeline::global_plan_cache().get_or_compose(request);
   const ItemSet set = make_items(plan, p, static_cast<std::size_t>(state.range(0)));
   pipeline::BatchOptions options;
   options.sliced = mode;
+  options.compiled = compiled;
+  options.lane_width = lane_width;
   for (auto _ : state) {
     benchmark::DoNotOptimize(
         pipeline::run_batch(pipeline::global_plan_cache(), request, set.items, options));
@@ -141,6 +219,11 @@ void BM_BatchSliced(benchmark::State& state) {
   run_batch_bench(state, pipeline::SlicedMode::kOn);
 }
 BENCHMARK(BM_BatchSliced)->Arg(1)->Arg(8)->Arg(64)->Arg(256)->Unit(benchmark::kMillisecond);
+
+void BM_BatchCompiled(benchmark::State& state) {
+  run_batch_bench(state, pipeline::SlicedMode::kOn, pipeline::SlicedMode::kOn, 256);
+}
+BENCHMARK(BM_BatchCompiled)->Arg(1)->Arg(8)->Arg(64)->Arg(256)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

@@ -128,7 +128,7 @@ BatchRunResult BitLevelMatmulArray::multiply_batch(const std::vector<WordMatrix>
 
 SlicedBatchRunResult BitLevelMatmulArray::multiply_batch_sliced(
     const std::vector<WordMatrix>& xs, const std::vector<WordMatrix>& ys,
-    pipeline::SlicedMode mode) const {
+    pipeline::SlicedMode mode, pipeline::SlicedMode compiled, int lane_width) const {
   BL_REQUIRE(!xs.empty() && xs.size() == ys.size(),
              "batch needs equal, nonzero operand counts");
   for (const auto& m : xs) BL_REQUIRE(m.u() == u_, "operand extents must match the array");
@@ -157,12 +157,16 @@ SlicedBatchRunResult BitLevelMatmulArray::multiply_batch_sliced(
   options.threads = array_.threads();
   options.memory = array_.memory_mode();
   options.sliced = mode;
+  options.compiled = compiled;
+  options.lane_width = lane_width;
   const pipeline::BatchResult raw =
       pipeline::run_batch(pipeline::global_plan_cache(), request, items, options);
 
   SlicedBatchRunResult result;
   result.z.assign(xs.size(), WordMatrix(u_));
   result.stats = raw.results.front().stats;
+  result.compiled_groups = raw.compiled_groups;
+  result.compiled_items = raw.compiled_items;
   result.sliced_groups = raw.sliced_groups;
   result.sliced_items = raw.sliced_items;
   result.scalar_items = raw.scalar_items;

@@ -92,10 +92,13 @@ struct SlicedBatchRunResult {
   /// independent, so every item of every group reports the same
   /// figures; one copy suffices.
   sim::SimulationStats stats;
-  // How the items were executed (pipeline::BatchResult counters).
-  Int sliced_groups = 0;  ///< Machine passes taken by the sliced path.
-  Int sliced_items = 0;   ///< Items carried as bit lanes.
-  Int scalar_items = 0;   ///< Items run through the scalar path.
+  // How the items were executed (pipeline::BatchResult counters; every
+  // item lands in exactly one bucket).
+  Int compiled_groups = 0;  ///< Lane groups run by the compiled wide-lane path.
+  Int compiled_items = 0;   ///< Items carried as compiled wide lanes.
+  Int sliced_groups = 0;    ///< Machine passes taken by the interpreted sliced path.
+  Int sliced_items = 0;     ///< Items carried as interpreted bit lanes.
+  Int scalar_items = 0;     ///< Items run through the scalar path.
 };
 
 /// A ready-to-run bit-level matmul array (Expansion II structure).
@@ -157,10 +160,15 @@ class BitLevelMatmulArray {
   /// path), so the per-item marginal cost drops by the lane width
   /// instead of by schedule overlap. Results are bit-identical to
   /// multiply() per item. `mode` kOff forces the scalar reference
-  /// path; kAuto slices whenever the batch has >= 2 items.
+  /// path; kAuto slices whenever the batch has >= 2 items. `compiled`
+  /// and `lane_width` select the plan's straight-line wide-lane
+  /// executor (pipeline::BatchOptions::compiled / lane_width): by
+  /// default sliced groups ride the compiled schedule 256 lanes at a
+  /// time when the plan carries one.
   SlicedBatchRunResult multiply_batch_sliced(
       const std::vector<WordMatrix>& xs, const std::vector<WordMatrix>& ys,
-      pipeline::SlicedMode mode = pipeline::SlicedMode::kAuto) const;
+      pipeline::SlicedMode mode = pipeline::SlicedMode::kAuto,
+      pipeline::SlicedMode compiled = pipeline::SlicedMode::kAuto, int lane_width = 0) const;
 
   /// u^2 p^2 for both mappings.
   Int predicted_processors() const;

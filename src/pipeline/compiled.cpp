@@ -1,0 +1,638 @@
+#include "pipeline/compiled.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <limits>
+#include <set>
+#include <utility>
+
+#include "pipeline/compressor_layout.hpp"
+#include "sim/lane_block.hpp"
+#include "sim/machine.hpp"
+#include "support/error.hpp"
+#include "support/thread_pool.hpp"
+
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#include <immintrin.h>
+#define BITLEVEL_AVX2_KERNELS 1
+#endif
+
+namespace bitlevel::pipeline {
+
+namespace {
+
+using math::Int;
+using math::IntMat;
+using math::IntVec;
+using sim::LaneWord;
+
+// Compiled slots hold the three dependence-carried channels only: x/y
+// forwarding was resolved to packed-operand reads at compile time.
+constexpr std::size_t kSlotZ = 0, kSlotC = 1, kSlotCp = 2;
+constexpr std::size_t kSlotChannels = 3;
+
+// Same fan-out threshold as Machine::run — the barrier cost per pass is
+// comparable, and keeping the constant aligned keeps the serial /
+// parallel line in the same place for both executors.
+constexpr std::size_t kMinFanOut = 16;
+
+/// Row-major strides over an index-set box; lexicographic enumeration
+/// order equals this linear order, so the linear index doubles as the
+/// enumeration ordinal (the same layout Machine::linear_index uses).
+IntVec box_strides(const ir::IndexSet& box) {
+  const std::size_t n = box.dim();
+  IntVec strides(n, 1);
+  for (std::size_t i = n - 1; i-- > 0;) {
+    const Int extent = box.upper()[i + 1] - box.lower()[i + 1] + 1;
+    strides[i] = math::checked_mul(strides[i + 1], extent);
+  }
+  return strides;
+}
+
+std::size_t box_linear(const ir::IndexSet& box, const IntVec& strides, const IntVec& q) {
+  Int at = 0;
+  for (std::size_t i = 0; i < q.size(); ++i) {
+    at += strides[i] * (q[i] - box.lower()[i]);
+  }
+  return static_cast<std::size_t>(at);
+}
+
+}  // namespace
+
+std::shared_ptr<const CompiledSchedule> compile_schedule(
+    const core::BitLevelStructure& structure, const mapping::MappingMatrix& t,
+    const mapping::InterconnectionPrimitives& prims, const math::IntMat& k) {
+  const CompressorLayout L(structure);
+  const Int p = L.p;
+  const auto& deps = structure.deps;
+  const Int npoints_i = structure.domain.size();
+  BL_REQUIRE(npoints_i > 0, "empty domain");
+  const Int nwords_i = structure.word.domain.size();
+
+  // Index bounds of the flattened representation: event ordinals are
+  // int32 slots, packed-operand elements are uint32 word_linear * p +
+  // bit. Instances beyond them fall back to the interpreted path.
+  constexpr Int kMaxIndex = std::numeric_limits<std::int32_t>::max();
+  if (npoints_i > kMaxIndex) return nullptr;
+  if (math::checked_mul(nwords_i, p) > kMaxIndex) return nullptr;
+  const std::size_t npoints = static_cast<std::size_t>(npoints_i);
+
+  auto schedule = std::make_shared<CompiledSchedule>();
+  CompiledSchedule& s = *schedule;
+  s.p = p;
+
+  // Word-level points: the packed-operand arrays are laid out by the
+  // lexicographic ordinal, which for a dense box equals the row-major
+  // linear index.
+  const ir::IndexSet& wdom = structure.word.domain;
+  const IntVec wstrides = box_strides(wdom);
+  s.word_points.reserve(static_cast<std::size_t>(nwords_i));
+  wdom.for_each([&](const IntVec& j) {
+    s.word_points.push_back(j);
+    return true;
+  });
+  const auto word_index = [&](const IntVec& j) { return box_linear(wdom, wstrides, j); };
+
+  // Events in the machine's dense order: lexicographic domain
+  // enumeration, stable-sorted by cycle. The resulting ordinal IS the
+  // event's slot id.
+  const IntVec pi = t.schedule();
+  const IntMat space = t.space();
+  struct Ev {
+    Int cycle;
+    IntVec q;
+  };
+  std::vector<Ev> evs;
+  evs.reserve(npoints);
+  structure.domain.for_each([&](const IntVec& q) {
+    evs.push_back({math::dot(pi, q), q});
+    return true;
+  });
+  std::stable_sort(evs.begin(), evs.end(),
+                   [](const Ev& a, const Ev& b) { return a.cycle < b.cycle; });
+
+  const IntVec strides = box_strides(structure.domain);
+  std::vector<std::int32_t> slot_of(npoints, CompiledEvent::kNoSource);
+  for (std::size_t e = 0; e < npoints; ++e) {
+    slot_of[box_linear(structure.domain, strides, evs[e].q)] = static_cast<std::int32_t>(e);
+  }
+
+  // Per-column hop counts and slack from the static routes, with the
+  // same condition-2 / (4.1) contract checks a machine run performs.
+  const std::size_t ncols = deps.size();
+  IntVec hops(ncols, 0);
+  IntVec wire(ncols, 0);
+  Int window = 0;
+  sim::SimulationStats stats;
+  stats.buffer_depth.assign(ncols, 0);
+  for (std::size_t i = 0; i < ncols; ++i) {
+    for (std::size_t j = 0; j < prims.count(); ++j) {
+      const Int uses = k.at(j, i);
+      BL_REQUIRE(uses >= 0, "routing counts must be nonnegative");
+      hops[i] = math::checked_add(hops[i], uses);
+      wire[i] = math::checked_add(wire[i], math::checked_mul(uses, math::l1_norm(prims.p.col(j))));
+    }
+    const Int forward = math::dot(pi, deps[i].d);
+    BL_REQUIRE(forward >= 1,
+               "schedule must order every dependence strictly forward (condition 2)");
+    const Int slack = math::checked_sub(forward, hops[i]);
+    BL_REQUIRE(slack >= 0, "routing uses more hops than the schedule allows (4.1)");
+    stats.buffer_depth[i] = slack;
+    window = std::max(window, forward);
+  }
+
+  stats.first_cycle = evs.front().cycle;
+  stats.last_cycle = evs.back().cycle;
+  stats.cycles = stats.last_cycle - stats.first_cycle + 1;
+  stats.computations = npoints_i;
+
+  // Operand chains resolve to their origin: the interpreted cell copies
+  // x/y verbatim along the pipeline (preferring the grid column over
+  // the word-level one at every hop), so the consumer's value IS the
+  // packed bit at the first point whose preferred producer is absent or
+  // external. Condition 2 (checked above) makes every chain finite.
+  const auto operand_bit = [&](const IntVec& at, std::size_t grid_col, std::size_t word_col,
+                               std::size_t bit_coord) -> std::uint32_t {
+    IntVec q = at;
+    for (;;) {
+      std::size_t col = ncols;
+      if (grid_col < ncols && deps[grid_col].valid.contains(q)) {
+        col = grid_col;
+      } else if (word_col < ncols && deps[word_col].valid.contains(q)) {
+        col = word_col;
+      }
+      if (col == ncols) break;
+      IntVec producer = math::sub(q, deps[col].d);
+      if (!structure.domain.contains(producer)) break;  // external feeds q's own bit
+      q = std::move(producer);
+    }
+    const std::size_t element = word_index(L.word_part(q)) * static_cast<std::size_t>(p) +
+                                static_cast<std::size_t>(q[bit_coord] - 1);
+    return static_cast<std::uint32_t>(element);
+  };
+
+  // A summand's producer slot; kNoSource when the column is invalid or
+  // the producer is external (externals carry zero sums and carries).
+  const auto producer_slot = [&](const IntVec& q, std::size_t col) -> std::int32_t {
+    if (col >= ncols || !deps[col].valid.contains(q)) return CompiledEvent::kNoSource;
+    const IntVec producer = math::sub(q, deps[col].d);
+    if (!structure.domain.contains(producer)) return CompiledEvent::kNoSource;
+    return slot_of[box_linear(structure.domain, strides, producer)];
+  };
+
+  const auto consumed = [&](const IntVec& q, std::size_t col) {
+    const IntVec consumer = math::add(q, deps[col].d);
+    return structure.domain.contains(consumer) && deps[col].valid.contains(consumer);
+  };
+
+  s.events.resize(npoints);
+  s.points.resize(npoints);
+  for (std::size_t e = 0; e < npoints; ++e) {
+    const IntVec& q = evs[e].q;
+    const Int cycle = evs[e].cycle;
+    CompiledEvent& ev = s.events[e];
+    ev.x_bit = operand_bit(q, L.col_d4, L.col_d1, L.i2c);
+    ev.y_bit = operand_bit(q, L.col_d5, L.col_d2, L.i1c);
+    ev.z3 = producer_slot(q, L.col_d3);
+    ev.z6 = producer_slot(q, L.col_d6);
+    ev.c5 = producer_slot(q, L.col_d5);
+    ev.c7 = producer_slot(q, L.col_d7);
+    if (!consumed(q, L.col_d5)) {
+      // The carry out of cell (p, p) on an accumulation-boundary point
+      // is the legitimate output bit 2p; everything else is a loss.
+      const bool top_output = q[L.i1c] == p && q[L.i2c] == p && L.boundary.contains(q);
+      if (!top_output) ev.checks |= CompiledEvent::kCheckCarry;
+    }
+    if (!consumed(q, L.col_d7)) ev.checks |= CompiledEvent::kCheckSecondCarry;
+    s.points[e] = q;
+
+    // Analytic accounting, exactly the machine's execute_event terms:
+    // every valid column with an in-domain producer contributes its
+    // hops, wire and the consumer-side buffer wait. (Statistics are
+    // value-independent, so they compile like everything else.)
+    for (std::size_t i = 0; i < ncols; ++i) {
+      if (!deps[i].valid.contains(q)) continue;
+      const IntVec producer = math::sub(q, deps[i].d);
+      if (!structure.domain.contains(producer)) continue;
+      const Int produced = math::dot(pi, producer);
+      BL_REQUIRE(produced + hops[i] <= cycle,
+                 "operand arrives after its consumption cycle — (4.1) violated");
+      stats.link_transmissions = math::checked_add(stats.link_transmissions, hops[i]);
+      stats.wire_length = math::checked_add(stats.wire_length, wire[i]);
+      stats.buffered_value_cycles =
+          math::checked_add(stats.buffered_value_cycles, cycle - produced - hops[i]);
+    }
+  }
+
+  // Pass boundaries, PE accounting (with the machine's per-cycle
+  // conflict check) and the streaming-arena replay: the arena acquires
+  // a whole cycle before retiring anything, so its high-water mark is
+  // live-before + pass size at each cycle, then cycles older than the
+  // dependence window retire.
+  std::set<IntVec> pes;
+  std::vector<IntVec> cycle_pes;
+  std::deque<std::pair<Int, Int>> resident;  // (cycle, pass size)
+  Int live = 0;
+  Int peak_live = 0;
+  std::size_t at = 0;
+  while (at < npoints) {
+    const Int cycle = evs[at].cycle;
+    std::size_t end = at;
+    while (end < npoints && evs[end].cycle == cycle) ++end;
+    const Int count = static_cast<Int>(end - at);
+    s.pass_first.push_back(static_cast<std::uint32_t>(at));
+    stats.peak_parallelism = std::max(stats.peak_parallelism, count);
+
+    cycle_pes.clear();
+    for (std::size_t e = at; e < end; ++e) cycle_pes.push_back(space.mul(evs[e].q));
+    std::sort(cycle_pes.begin(), cycle_pes.end());
+    for (std::size_t e = 1; e < cycle_pes.size(); ++e) {
+      BL_REQUIRE(cycle_pes[e] != cycle_pes[e - 1],
+                 "computational conflict at a (PE, cycle) pair — mapping is infeasible");
+    }
+    for (auto& pe : cycle_pes) pes.insert(std::move(pe));
+
+    live += count;
+    peak_live = std::max(peak_live, live);
+    resident.emplace_back(cycle, count);
+    while (!resident.empty() && resident.front().first + window <= cycle) {
+      live -= resident.front().second;
+      resident.pop_front();
+    }
+    at = end;
+  }
+  s.pass_first.push_back(static_cast<std::uint32_t>(npoints));
+
+  stats.pe_count = static_cast<Int>(pes.size());
+  stats.pe_utilization = stats.pe_count > 0 && stats.cycles > 0
+                             ? static_cast<double>(stats.computations) /
+                                   (static_cast<double>(stats.pe_count) *
+                                    static_cast<double>(stats.cycles))
+                             : 0.0;
+
+  // Streaming observe predicate (the bit-grid edge superset the
+  // read-out touches): count its matches once here.
+  for (const Ev& ev : evs) {
+    if (ev.q[L.i1c] == p || ev.q[L.i2c] == 1) s.observed_streaming += 1;
+  }
+
+  s.stats_dense = stats;
+  s.stats_dense.peak_live_slots = npoints_i;
+  s.stats_dense.observed_points = npoints_i;
+  s.stats_streaming = stats;
+  s.stats_streaming.peak_live_slots = peak_live;
+  s.stats_streaming.observed_points = s.observed_streaming;  // want_z runs; re-stamped otherwise
+
+  // Read-out map: per boundary word point, the 2p output bits LSB-first
+  // (bit i at cell (i, 1), bit p + i2 - 1 at (p, i2), bit 2p from
+  // c(p, p)) — the same walk the scalar read-out performs.
+  const auto slot_at = [&](const IntVec& j, Int i1, Int i2) {
+    const std::int32_t slot =
+        slot_of[box_linear(structure.domain, strides, math::concat(j, IntVec{i1, i2}))];
+    return static_cast<std::uint32_t>(slot);
+  };
+  wdom.for_each([&](const IntVec& j) {
+    if (!L.boundary.contains(math::concat(j, IntVec{1, 1}))) return true;
+    s.boundary_words.push_back(static_cast<std::uint32_t>(word_index(j)));
+    for (Int i = 1; i <= p; ++i) {
+      s.readout_bits.push_back({slot_at(j, i, 1), static_cast<std::uint8_t>(kSlotZ)});
+    }
+    for (Int i2 = 2; i2 <= p; ++i2) {
+      s.readout_bits.push_back({slot_at(j, p, i2), static_cast<std::uint8_t>(kSlotZ)});
+    }
+    s.readout_bits.push_back({slot_at(j, p, p), static_cast<std::uint8_t>(kSlotC)});
+    return true;
+  });
+
+  return schedule;
+}
+
+namespace {
+
+// --- Straight-line pass execution ----------------------------------
+
+/// Everything a pass kernel touches, W lane words per channel: packed
+/// operands (element stride W), slots (stride kSlotChannels * W, plus
+/// one trailing always-zero slot that kNoSource summands read), and the
+/// active-lane masks gating the capacity checks.
+struct PassCtx {
+  const CompiledSchedule* schedule = nullptr;
+  const LaneWord* xops = nullptr;
+  const LaneWord* yops = nullptr;
+  LaneWord* slots = nullptr;
+  const LaneWord* active = nullptr;
+  std::size_t zero_slot = 0;  ///< Ordinal of the trailing zero slot.
+};
+
+[[noreturn]] void throw_dropped_carry(const CompiledSchedule& s, std::size_t e, bool second) {
+  const std::string what = second ? "second carry" : "carry";
+  throw OverflowError("array dropped a " + what + " at " + math::to_string(s.points[e]) +
+                      ": capacity precondition violated");
+}
+
+inline std::size_t source_slot(std::int32_t slot, std::size_t zero_slot) {
+  return slot >= 0 ? static_cast<std::size_t>(slot) : zero_slot;
+}
+
+/// Portable kernel: the branch-free two-full-adder compress of the
+/// interpreted lane cell, widened to W words per channel. The per-word
+/// loops have a compile-time trip count, so -O2 unrolls (and usually
+/// vectorizes) them; the AVX2 kernels below are the hand-scheduled
+/// forms runtime dispatch prefers on capable x86-64.
+template <std::size_t W>
+void run_events_generic(const PassCtx& ctx, std::size_t e0, std::size_t e1) {
+  constexpr std::size_t stride = kSlotChannels * W;
+  const CompiledEvent* const events = ctx.schedule->events.data();
+  for (std::size_t e = e0; e < e1; ++e) {
+    const CompiledEvent& ev = events[e];
+    const LaneWord* const xw = ctx.xops + std::size_t{ev.x_bit} * W;
+    const LaneWord* const yw = ctx.yops + std::size_t{ev.y_bit} * W;
+    const LaneWord* const z3 = ctx.slots + source_slot(ev.z3, ctx.zero_slot) * stride;
+    const LaneWord* const z6 = ctx.slots + source_slot(ev.z6, ctx.zero_slot) * stride;
+    const LaneWord* const c5 = ctx.slots + source_slot(ev.c5, ctx.zero_slot) * stride;
+    const LaneWord* const c7 = ctx.slots + source_slot(ev.c7, ctx.zero_slot) * stride;
+    LaneWord* const dst = ctx.slots + e * stride;
+    LaneWord carry_any = 0;
+    LaneWord second_any = 0;
+    for (std::size_t w = 0; w < W; ++w) {
+      const LaneWord pp = xw[w] & yw[w];
+      const LaneWord z3v = z3[kSlotZ * W + w];
+      const LaneWord z6v = z6[kSlotZ * W + w];
+      const LaneWord c5v = c5[kSlotC * W + w];
+      const LaneWord c7v = c7[kSlotCp * W + w];
+      const LaneWord t1 = pp ^ z3v;
+      const LaneWord s1 = t1 ^ z6v;
+      const LaneWord c1 = (pp & z3v) | (z6v & t1);
+      const LaneWord t2 = s1 ^ c5v;
+      const LaneWord s2 = t2 ^ c7v;
+      const LaneWord c2 = (s1 & c5v) | (c7v & t2);
+      dst[kSlotZ * W + w] = s2;
+      dst[kSlotC * W + w] = c1 ^ c2;
+      dst[kSlotCp * W + w] = c1 & c2;
+      carry_any |= dst[kSlotC * W + w] & ctx.active[w];
+      second_any |= dst[kSlotCp * W + w] & ctx.active[w];
+    }
+    if ((ev.checks & CompiledEvent::kCheckCarry) != 0 && carry_any != 0) {
+      throw_dropped_carry(*ctx.schedule, e, /*second=*/false);
+    }
+    if ((ev.checks & CompiledEvent::kCheckSecondCarry) != 0 && second_any != 0) {
+      throw_dropped_carry(*ctx.schedule, e, /*second=*/true);
+    }
+  }
+}
+
+#if defined(BITLEVEL_AVX2_KERNELS)
+
+// Lambdas don't inherit the enclosing function's target attribute, so
+// the load helper is a targeted free function.
+__attribute__((target("avx2"))) inline __m256i avx2_load(const LaneWord* at) {
+  return _mm256_loadu_si256(reinterpret_cast<const __m256i*>(at));
+}
+
+// 256-lane groups: one __m256i per channel. Compiled with the avx2
+// target attribute so the rest of the TU stays baseline; only reached
+// when sim::simd_backend() confirmed CPU support.
+__attribute__((target("avx2"))) void run_events_avx2_w4(const PassCtx& ctx, std::size_t e0,
+                                                        std::size_t e1) {
+  constexpr std::size_t W = 4;
+  constexpr std::size_t stride = kSlotChannels * W;
+  const CompiledEvent* const events = ctx.schedule->events.data();
+  const __m256i act = avx2_load(ctx.active);
+  for (std::size_t e = e0; e < e1; ++e) {
+    const CompiledEvent& ev = events[e];
+    const __m256i x = avx2_load(ctx.xops + std::size_t{ev.x_bit} * W);
+    const __m256i y = avx2_load(ctx.yops + std::size_t{ev.y_bit} * W);
+    const __m256i z3 =
+        avx2_load(ctx.slots + source_slot(ev.z3, ctx.zero_slot) * stride + kSlotZ * W);
+    const __m256i z6 =
+        avx2_load(ctx.slots + source_slot(ev.z6, ctx.zero_slot) * stride + kSlotZ * W);
+    const __m256i c5 =
+        avx2_load(ctx.slots + source_slot(ev.c5, ctx.zero_slot) * stride + kSlotC * W);
+    const __m256i c7 =
+        avx2_load(ctx.slots + source_slot(ev.c7, ctx.zero_slot) * stride + kSlotCp * W);
+    const __m256i pp = _mm256_and_si256(x, y);
+    const __m256i t1 = _mm256_xor_si256(pp, z3);
+    const __m256i s1 = _mm256_xor_si256(t1, z6);
+    const __m256i c1 =
+        _mm256_or_si256(_mm256_and_si256(pp, z3), _mm256_and_si256(z6, t1));
+    const __m256i t2 = _mm256_xor_si256(s1, c5);
+    const __m256i s2 = _mm256_xor_si256(t2, c7);
+    const __m256i c2 =
+        _mm256_or_si256(_mm256_and_si256(s1, c5), _mm256_and_si256(c7, t2));
+    const __m256i carry = _mm256_xor_si256(c1, c2);
+    const __m256i second = _mm256_and_si256(c1, c2);
+    LaneWord* const dst = ctx.slots + e * stride;
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + kSlotZ * W), s2);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + kSlotC * W), carry);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + kSlotCp * W), second);
+    if (ev.checks != 0) {
+      if ((ev.checks & CompiledEvent::kCheckCarry) != 0 && _mm256_testz_si256(carry, act) == 0) {
+        throw_dropped_carry(*ctx.schedule, e, /*second=*/false);
+      }
+      if ((ev.checks & CompiledEvent::kCheckSecondCarry) != 0 &&
+          _mm256_testz_si256(second, act) == 0) {
+        throw_dropped_carry(*ctx.schedule, e, /*second=*/true);
+      }
+    }
+  }
+}
+
+// 512-lane groups: two __m256i per channel.
+__attribute__((target("avx2"))) void run_events_avx2_w8(const PassCtx& ctx, std::size_t e0,
+                                                        std::size_t e1) {
+  constexpr std::size_t W = 8;
+  constexpr std::size_t stride = kSlotChannels * W;
+  const CompiledEvent* const events = ctx.schedule->events.data();
+  const __m256i act0 = avx2_load(ctx.active);
+  const __m256i act1 = avx2_load(ctx.active + 4);
+  for (std::size_t e = e0; e < e1; ++e) {
+    const CompiledEvent& ev = events[e];
+    const LaneWord* const xw = ctx.xops + std::size_t{ev.x_bit} * W;
+    const LaneWord* const yw = ctx.yops + std::size_t{ev.y_bit} * W;
+    const LaneWord* const z3p = ctx.slots + source_slot(ev.z3, ctx.zero_slot) * stride;
+    const LaneWord* const z6p = ctx.slots + source_slot(ev.z6, ctx.zero_slot) * stride;
+    const LaneWord* const c5p = ctx.slots + source_slot(ev.c5, ctx.zero_slot) * stride;
+    const LaneWord* const c7p = ctx.slots + source_slot(ev.c7, ctx.zero_slot) * stride;
+    LaneWord* const dst = ctx.slots + e * stride;
+    __m256i carry_hit = _mm256_setzero_si256();
+    __m256i second_hit = _mm256_setzero_si256();
+    for (std::size_t h = 0; h < 2; ++h) {
+      const std::size_t off = h * 4;
+      const __m256i act = h == 0 ? act0 : act1;
+      const __m256i x = avx2_load(xw + off);
+      const __m256i y = avx2_load(yw + off);
+      const __m256i z3 = avx2_load(z3p + kSlotZ * W + off);
+      const __m256i z6 = avx2_load(z6p + kSlotZ * W + off);
+      const __m256i c5 = avx2_load(c5p + kSlotC * W + off);
+      const __m256i c7 = avx2_load(c7p + kSlotCp * W + off);
+      const __m256i pp = _mm256_and_si256(x, y);
+      const __m256i t1 = _mm256_xor_si256(pp, z3);
+      const __m256i s1 = _mm256_xor_si256(t1, z6);
+      const __m256i c1 =
+          _mm256_or_si256(_mm256_and_si256(pp, z3), _mm256_and_si256(z6, t1));
+      const __m256i t2 = _mm256_xor_si256(s1, c5);
+      const __m256i s2 = _mm256_xor_si256(t2, c7);
+      const __m256i c2 =
+          _mm256_or_si256(_mm256_and_si256(s1, c5), _mm256_and_si256(c7, t2));
+      const __m256i carry = _mm256_xor_si256(c1, c2);
+      const __m256i second = _mm256_and_si256(c1, c2);
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + kSlotZ * W + off), s2);
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + kSlotC * W + off), carry);
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + kSlotCp * W + off), second);
+      carry_hit = _mm256_or_si256(carry_hit, _mm256_and_si256(carry, act));
+      second_hit = _mm256_or_si256(second_hit, _mm256_and_si256(second, act));
+    }
+    if (ev.checks != 0) {
+      if ((ev.checks & CompiledEvent::kCheckCarry) != 0 &&
+          _mm256_testz_si256(carry_hit, carry_hit) == 0) {
+        throw_dropped_carry(*ctx.schedule, e, /*second=*/false);
+      }
+      if ((ev.checks & CompiledEvent::kCheckSecondCarry) != 0 &&
+          _mm256_testz_si256(second_hit, second_hit) == 0) {
+        throw_dropped_carry(*ctx.schedule, e, /*second=*/true);
+      }
+    }
+  }
+}
+
+#endif  // BITLEVEL_AVX2_KERNELS
+
+using EventRunner = void (*)(const PassCtx&, std::size_t, std::size_t);
+
+template <std::size_t W>
+EventRunner pick_runner(sim::SimdBackend backend) {
+#if defined(BITLEVEL_AVX2_KERNELS)
+  if (backend == sim::SimdBackend::kAvx2) {
+    if constexpr (W == 4) return run_events_avx2_w4;
+    if constexpr (W == 8) return run_events_avx2_w8;
+  }
+#else
+  (void)backend;
+#endif
+  return run_events_generic<W>;
+}
+
+}  // namespace
+
+void run_compiled_group(const CompiledSchedule& schedule, const std::vector<BatchItem>& items,
+                        std::size_t first, std::size_t lanes, std::size_t lane_words,
+                        const BatchOptions& options, std::vector<PlanRunResult>& results) {
+  const std::size_t W = lane_words;
+  BL_REQUIRE(sim::lane_words_supported(W), "unsupported lane-block width");
+  BL_REQUIRE(lanes >= 1 && lanes <= W * sim::kLaneWidth,
+             "lane group must hold 1..width items");
+  const std::size_t p = static_cast<std::size_t>(schedule.p);
+  const std::size_t nevents = schedule.events.size();
+
+  // Bit-transpose the operands once per group, exactly the interpreted
+  // path's packing widened to W words: element (word_linear * p + b)
+  // holds bit b of every lane's operand word at that word point.
+  std::vector<LaneWord> xops(schedule.word_points.size() * p * W, 0);
+  std::vector<LaneWord> yops(schedule.word_points.size() * p * W, 0);
+  for (std::size_t wi = 0; wi < schedule.word_points.size(); ++wi) {
+    const IntVec& j = schedule.word_points[wi];
+    for (std::size_t l = 0; l < lanes; ++l) {
+      const std::uint64_t xw = items[first + l].x(j);
+      const std::uint64_t yw = items[first + l].y(j);
+      const std::size_t word = l / sim::kLaneWidth;
+      const std::size_t bit = l % sim::kLaneWidth;
+      for (std::size_t b = 0; b < p; ++b) {
+        xops[(wi * p + b) * W + word] |= ((xw >> b) & 1U) << bit;
+        yops[(wi * p + b) * W + word] |= ((yw >> b) & 1U) << bit;
+      }
+    }
+  }
+
+  // Ragged tails: inactive lanes never receive operand bits, so — the
+  // cell being pure-boolean with zero an absorbing input — they stay
+  // zero in every slot; the masks additionally exclude them from the
+  // capacity-honesty checks (sim::lane_block_masks is the shift-safe
+  // form: a tail exactly filling a word gets a full mask, never a
+  // 64-bit shift).
+  LaneWord active[sim::kMaxLaneWords] = {};
+  sim::lane_block_masks(W, lanes, active);
+
+  // One trailing always-zero slot serves every kNoSource summand, so
+  // the kernels stay branch-free on operand sourcing.
+  std::vector<LaneWord> slots((nevents + 1) * kSlotChannels * W, 0);
+
+  PassCtx ctx;
+  ctx.schedule = &schedule;
+  ctx.xops = xops.data();
+  ctx.yops = yops.data();
+  ctx.slots = slots.data();
+  ctx.active = active;
+  ctx.zero_slot = nevents;
+
+  EventRunner runner = nullptr;
+  const sim::SimdBackend backend = sim::simd_backend();
+  switch (W) {
+    case 1:
+      runner = pick_runner<1>(backend);
+      break;
+    case 2:
+      runner = pick_runner<2>(backend);
+      break;
+    case 4:
+      runner = pick_runner<4>(backend);
+      break;
+    case 8:
+      runner = pick_runner<8>(backend);
+      break;
+    default:
+      BL_REQUIRE(false, "unsupported lane-block width");
+  }
+
+  // Passes run in schedule order; events within a pass read only
+  // earlier passes' slots (condition 2) and write disjoint slots, so
+  // wide passes fan out with the machine's threshold and determinism
+  // (contiguous chunks, lowest-chunk exception — the same event the
+  // serial order would fail on first).
+  const std::size_t nthreads = support::ThreadPool::resolve_threads(options.threads);
+  auto& pool = support::ThreadPool::shared();
+  for (std::size_t pass = 0; pass + 1 < schedule.pass_first.size(); ++pass) {
+    const std::size_t e0 = schedule.pass_first[pass];
+    const std::size_t e1 = schedule.pass_first[pass + 1];
+    if (nthreads > 1 && e1 - e0 >= kMinFanOut) {
+      pool.parallel_for(nthreads, e0, e1,
+                        [&](std::size_t, std::size_t lo, std::size_t hi) { runner(ctx, lo, hi); });
+    } else {
+      runner(ctx, e0, e1);
+    }
+  }
+
+  // Statistics are value-independent, so the compiled templates ARE
+  // each item's stats; only the run-option-dependent fields are
+  // stamped here (matching what a machine run would have reported).
+  sim::SimulationStats stats = options.memory == sim::MemoryMode::kStreaming
+                                   ? schedule.stats_streaming
+                                   : schedule.stats_dense;
+  stats.threads_used = static_cast<int>(nthreads);
+  if (options.memory == sim::MemoryMode::kStreaming && !options.want_z) {
+    stats.observed_points = 0;  // no observe predicate installed without a read-out
+  }
+  for (std::size_t l = 0; l < lanes; ++l) results[first + l].stats = stats;
+  if (!options.want_z) return;
+
+  // De-slice the read-out: the compiled ReadBit map replaces the
+  // interpreted path's outputs_at() walk, same bits in the same order.
+  const std::size_t nbits = 2 * p;
+  constexpr std::size_t stride = kSlotChannels;
+  for (std::size_t bw = 0; bw < schedule.boundary_words.size(); ++bw) {
+    const IntVec& j = schedule.word_points[schedule.boundary_words[bw]];
+    const CompiledSchedule::ReadBit* rb = schedule.readout_bits.data() + bw * nbits;
+    for (std::size_t l = 0; l < lanes; ++l) {
+      const std::size_t word = l / sim::kLaneWidth;
+      const std::size_t bit = l % sim::kLaneWidth;
+      std::uint64_t value = 0;
+      for (std::size_t b = 0; b < nbits; ++b) {
+        const LaneWord lw =
+            slots[(std::size_t{rb[b].slot} * stride + rb[b].channel) * W + word];
+        value |= ((lw >> bit) & 1U) << b;
+      }
+      results[first + l].z.emplace(j, value);
+    }
+  }
+}
+
+}  // namespace bitlevel::pipeline

@@ -1,0 +1,125 @@
+// Plan compilation: the wavefront schedule flattened to straight-line
+// SIMD lane passes.
+//
+// The interpreted lane engine (pipeline/executor.cpp) re-derives, for
+// every event of every batch, what is static per plan: which validity
+// regions hold at each point, where each operand comes from, which
+// slot the producer lives in, and whether the capacity-honesty checks
+// can fire. AutoSA treats SIMD vectorization as an explicit compilation
+// stage, and the paper's eq. 4.5/4.8 cost model assumes the per-pass
+// work IS the schedule — so compile_schedule() does all of that
+// resolution ONCE at compose time and stores the result on the
+// immutable plan:
+//
+//   - events[]   in cycle-major order (lexicographic within a cycle,
+//     exactly the machine's determinism contract), each carrying the
+//     packed-operand indices of its x/y bits and the producer slot of
+//     each summand (or kNoSource for absent/external zeros);
+//   - passes[]   the half-open event ranges of each schedule cycle;
+//   - readout    the (slot, channel) source of every output bit;
+//   - analytic SimulationStats templates for both memory modes,
+//     bit-identical to what a machine run would have measured (stats
+//     are value-independent functions of domain/mapping/routing).
+//
+// run_compiled_group() then executes a lane group with no per-cell
+// virtual dispatch and no per-event map lookups: three word arrays
+// (packed operands, slots, masks) and a branch-free full-adder body
+// over LaneBlock<W> words — 64/128/256/512 items per pass, with
+// runtime AVX2 dispatch and a portable fallback (sim/lane_block.hpp).
+// Operand pipelining is resolved transitively at compile time: a
+// forwarded x/y bit reads its chain origin's packed element directly,
+// which is exactly the value the interpreted cell would have passed
+// hop by hop.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "pipeline/executor.hpp"
+
+namespace bitlevel::pipeline {
+
+/// One flattened event: everything the straight-line body needs,
+/// resolved to array indices.
+struct CompiledEvent {
+  /// No producer slot: the summand is zero (column invalid at this
+  /// point, or the producer lies outside the domain — externals carry
+  /// zero sums and carries).
+  static constexpr std::int32_t kNoSource = -1;
+
+  // Capacity-honesty flags, precomputed from the validity regions: the
+  // check fires only when the carry has nowhere to go.
+  static constexpr std::uint8_t kCheckCarry = 1;        ///< c must be 0.
+  static constexpr std::uint8_t kCheckSecondCarry = 2;  ///< c' must be 0.
+
+  std::uint32_t x_bit = 0;  ///< Packed-operand element: word_linear * p + bit.
+  std::uint32_t y_bit = 0;
+  std::int32_t z3 = kNoSource;  ///< Producer slot of each summand, or kNoSource.
+  std::int32_t z6 = kNoSource;
+  std::int32_t c5 = kNoSource;
+  std::int32_t c7 = kNoSource;
+  std::uint8_t checks = 0;
+};
+
+/// A cached plan's schedule, flattened (see the file comment). Built by
+/// compile_schedule(), owned by DesignPlan, immutable and shared.
+struct CompiledSchedule {
+  math::Int p = 0;
+
+  /// Word-level points in lexicographic domain order; index = the
+  /// word-linear id the packed-operand arrays are laid out by.
+  std::vector<math::IntVec> word_points;
+
+  /// Events in cycle-major order; the event's ordinal is its slot id
+  /// (slots store the z/c/c' channels only — x/y forwarding was
+  /// resolved away at compile time).
+  std::vector<CompiledEvent> events;
+
+  /// Event ordinal -> index point, for error messages only (the hot
+  /// path never touches it).
+  std::vector<math::IntVec> points;
+
+  /// Pass boundaries: pass i covers events [pass_first[i],
+  /// pass_first[i + 1]). Only nonempty cycles appear.
+  std::vector<std::uint32_t> pass_first;
+
+  /// Read-out: for each accumulation-boundary word point (an index
+  /// into word_points), 2p consecutive ReadBit entries in readout_bits
+  /// give the LSB-first output bits.
+  struct ReadBit {
+    std::uint32_t slot = 0;
+    std::uint8_t channel = 0;  ///< 0 = z, 1 = c.
+  };
+  std::vector<std::uint32_t> boundary_words;
+  std::vector<ReadBit> readout_bits;
+
+  /// Analytic statistics templates, bit-identical to a machine run's
+  /// (threads_used and streaming observed_points are stamped at run
+  /// time — they depend on run options, not the plan).
+  sim::SimulationStats stats_dense;
+  sim::SimulationStats stats_streaming;
+  /// Streaming observe-predicate matches (observed_points when the
+  /// run wants the read-out; 0 otherwise).
+  math::Int observed_streaming = 0;
+};
+
+/// Flatten a mapped, sliceable structure's schedule. Returns null when
+/// the instance exceeds the compiler's 32-bit index bounds (the caller
+/// falls back to the interpreted path); throws on contract violations
+/// a machine run would also have rejected.
+std::shared_ptr<const CompiledSchedule> compile_schedule(
+    const core::BitLevelStructure& structure, const mapping::MappingMatrix& t,
+    const mapping::InterconnectionPrimitives& prims, const math::IntMat& k);
+
+/// Execute `lanes` (1..lane_words*64) consecutive batch items starting
+/// at `first` through the compiled schedule, de-slicing each lane into
+/// its own PlanRunResult — bit-identical to the scalar reference path,
+/// including statistics. lane_words must satisfy
+/// sim::lane_words_supported(). Throws OverflowError when an active
+/// lane violates a capacity precondition.
+void run_compiled_group(const CompiledSchedule& schedule, const std::vector<BatchItem>& items,
+                        std::size_t first, std::size_t lanes, std::size_t lane_words,
+                        const BatchOptions& options, std::vector<PlanRunResult>& results);
+
+}  // namespace bitlevel::pipeline

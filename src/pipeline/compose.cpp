@@ -8,6 +8,7 @@
 #include "core/workload.hpp"
 #include "ir/kernels.hpp"
 #include "mapping/published.hpp"
+#include "pipeline/compiled.hpp"
 #include "support/error.hpp"
 
 namespace bitlevel::pipeline {
@@ -73,7 +74,8 @@ PlanPtr compose(const DesignRequest& request) {
   auto plan = std::make_shared<DesignPlan>(DesignPlan{request, canonical_key(request),
                                                       std::move(model), nullptr,
                                                       MappingOrigin::kNone, std::nullopt,
-                                                      std::nullopt, std::nullopt, {}, {}});
+                                                      std::nullopt, std::nullopt, {}, nullptr,
+                                                      {}});
   plan->timings.resolve_ms = resolve_ms;
 
   // Stage 2: expand (Theorem 3.1).
@@ -124,6 +126,18 @@ PlanPtr compose(const DesignRequest& request) {
     plan->k = *report.k;
   }
   plan->timings.machine_ms = ms_since(start);
+
+  // Stage 5: compile. Sliceable mapped plans get their schedule
+  // flattened to the straight-line SIMD pass arrays once, here, so
+  // every batch and served request reuses the compiled form for free
+  // (compile_schedule returns null for instances beyond its index
+  // bounds — run_batch then falls back to the interpreted path).
+  start = Clock::now();
+  const ir::kernels::KernelInfo* info = ir::kernels::find_kernel(request.kernel.name);
+  if (plan->t.has_value() && info != nullptr && info->sliceable) {
+    plan->compiled = compile_schedule(*plan->structure, *plan->t, *plan->prims, *plan->k);
+  }
+  plan->timings.compile_ms = ms_since(start);
 
   return plan;
 }

@@ -1,0 +1,57 @@
+// Role map of a structure's dependence columns plus the coordinates
+// and accumulation boundary the compressor cell and read-out need.
+// Shared by the scalar executor, the 64-lane interpreted executor
+// (pipeline/executor.cpp) and the plan compiler (pipeline/compiled.cpp)
+// so all three interpret one structure identically: the columns are
+// located by their cause labels (set by expand()) and by whether the
+// dependence moves in the word-level coordinates. d1/d2 may be absent
+// when the operand enters externally.
+#pragma once
+
+#include "core/expansion.hpp"
+#include "support/error.hpp"
+
+namespace bitlevel::pipeline {
+
+struct CompressorLayout {
+  math::Int p;
+  std::size_t n;         ///< Word-level dimensions.
+  std::size_t i1c, i2c;  ///< Bit-grid coordinate positions.
+  std::size_t col_d1, col_d2, col_d3, col_d4, col_d5, col_d6, col_d7;
+  ir::ValidityRegion boundary;
+
+  explicit CompressorLayout(const core::BitLevelStructure& structure)
+      : p(structure.p),
+        n(structure.word_dims()),
+        i1c(structure.i1_coord()),
+        i2c(structure.i2_coord()),
+        boundary(core::accumulation_boundary(structure.word, structure.dim())) {
+    const auto& deps = structure.deps;
+    col_d1 = col_d2 = col_d3 = col_d4 = col_d5 = col_d6 = col_d7 = deps.size();
+    for (std::size_t i = 0; i < deps.size(); ++i) {
+      const auto& col = deps[i];
+      const bool word_level = !math::is_zero(
+          math::IntVec(col.d.begin(), col.d.begin() + static_cast<std::ptrdiff_t>(n)));
+      if (col.cause == "x") {
+        (word_level ? col_d1 : col_d4) = i;
+      } else if (col.cause == "y") {
+        col_d2 = i;
+      } else if (col.cause == "y,c") {
+        col_d5 = i;
+      } else if (col.cause == "z") {
+        (word_level ? col_d3 : col_d6) = i;
+      } else if (col.cause == "c'") {
+        col_d7 = i;
+      }
+    }
+    BL_REQUIRE(col_d3 < deps.size() && col_d4 < deps.size() && col_d5 < deps.size() &&
+                   col_d6 < deps.size() && col_d7 < deps.size(),
+               "structure is missing expected expansion columns");
+  }
+
+  math::IntVec word_part(const math::IntVec& q) const {
+    return math::IntVec(q.begin(), q.begin() + static_cast<std::ptrdiff_t>(n));
+  }
+};
+
+}  // namespace bitlevel::pipeline

@@ -7,6 +7,8 @@
 #include "core/expansion.hpp"
 #include "faults/injector.hpp"
 #include "ir/kernels.hpp"
+#include "pipeline/compiled.hpp"
+#include "pipeline/compressor_layout.hpp"
 #include "sim/machine.hpp"
 #include "support/error.hpp"
 
@@ -27,52 +29,10 @@ std::vector<std::string> cell_channels(bool with_parity) {
   return ch;
 }
 
-// Role map of a structure's dependence columns plus the coordinates and
-// accumulation boundary the cell and read-out need. Shared by the
-// scalar and the bit-sliced executors so both interpret one structure
-// identically: the columns are located by their cause labels (set by
-// expand()) and by whether the dependence moves in the word-level
-// coordinates. d1/d2 may be absent when the operand enters externally.
-struct CompressorLayout {
-  math::Int p;
-  std::size_t n;         ///< Word-level dimensions.
-  std::size_t i1c, i2c;  ///< Bit-grid coordinate positions.
-  std::size_t col_d1, col_d2, col_d3, col_d4, col_d5, col_d6, col_d7;
-  ir::ValidityRegion boundary;
-
-  explicit CompressorLayout(const core::BitLevelStructure& structure)
-      : p(structure.p),
-        n(structure.word_dims()),
-        i1c(structure.i1_coord()),
-        i2c(structure.i2_coord()),
-        boundary(core::accumulation_boundary(structure.word, structure.dim())) {
-    const auto& deps = structure.deps;
-    col_d1 = col_d2 = col_d3 = col_d4 = col_d5 = col_d6 = col_d7 = deps.size();
-    for (std::size_t i = 0; i < deps.size(); ++i) {
-      const auto& col = deps[i];
-      const bool word_level = !math::is_zero(
-          math::IntVec(col.d.begin(), col.d.begin() + static_cast<std::ptrdiff_t>(n)));
-      if (col.cause == "x") {
-        (word_level ? col_d1 : col_d4) = i;
-      } else if (col.cause == "y") {
-        col_d2 = i;
-      } else if (col.cause == "y,c") {
-        col_d5 = i;
-      } else if (col.cause == "z") {
-        (word_level ? col_d3 : col_d6) = i;
-      } else if (col.cause == "c'") {
-        col_d7 = i;
-      }
-    }
-    BL_REQUIRE(col_d3 < deps.size() && col_d4 < deps.size() && col_d5 < deps.size() &&
-                   col_d6 < deps.size() && col_d7 < deps.size(),
-               "structure is missing expected expansion columns");
-  }
-
-  math::IntVec word_part(const math::IntVec& q) const {
-    return math::IntVec(q.begin(), q.begin() + static_cast<std::ptrdiff_t>(n));
-  }
-};
+// CompressorLayout — the role map of a structure's dependence columns —
+// moved to pipeline/compressor_layout.hpp, shared with the plan
+// compiler (pipeline/compiled.cpp) so all executors interpret one
+// structure identically.
 
 // One bit-sliced machine pass over `lanes` (1..64) consecutive batch
 // items starting at `first`: every cell channel is a sim::LaneWord
@@ -96,8 +56,9 @@ void run_sliced_group(const core::BitLevelStructure& structure, const mapping::M
   // bits are never packed, so — the cell being pure-boolean with zero
   // an absorbing input — every channel stays zero there; `active`
   // additionally masks them out of the capacity-honesty checks.
-  const LaneWord active =
-      lanes == sim::kLaneWidth ? ~LaneWord{0} : ((LaneWord{1} << lanes) - LaneWord{1});
+  // sim::lane_word_mask is the shift-safe form (a full group must not
+  // shift a LaneWord by its own width).
+  const LaneWord active = sim::lane_word_mask(lanes);
 
   // Bit-transpose the operands once per group: for each word point j,
   // packed x element b holds bit b of every lane's x word, so the
@@ -462,13 +423,69 @@ BatchResult run_batch(PlanCache& cache, const DesignRequest& request,
       break;
   }
 
+  // Compiled-path decision, on top of the sliced one: the plan must
+  // carry a flattened schedule (sliceable kernels get one at compose
+  // time unless the instance exceeded the compiler's index bounds).
+  const CompiledSchedule* compiled_schedule = plan.compiled.get();
+  bool compiled = false;
+  switch (options.compiled) {
+    case SlicedMode::kOff:
+      break;
+    case SlicedMode::kOn:
+      BL_REQUIRE(sliced, "compiled=on requires the sliced path (sliceable kernel, batch >= 2, "
+                         "sliced != off)");
+      BL_REQUIRE(compiled_schedule != nullptr,
+                 "plan carries no compiled schedule for compiled=on");
+      compiled = true;
+      break;
+    case SlicedMode::kAuto:
+      compiled = sliced && compiled_schedule != nullptr;
+      break;
+  }
+
+  // Lane-width policy: the interpreted engine is pinned at one machine
+  // word (64 lanes); the multi-word blocks exist only in the compiled
+  // executor.
+  const int lane_width = options.lane_width;
+  BL_REQUIRE(lane_width == 0 || lane_width == 64 || lane_width == 128 || lane_width == 256 ||
+                 lane_width == 512,
+             "lane width must be 0 (auto), 64, 128, 256 or 512");
+  BL_REQUIRE(lane_width <= 64 || compiled,
+             "lane widths beyond 64 require the compiled path");
+
   if (sliced) {
-    for (std::size_t at = 0; at < items.size(); at += sim::kLaneWidth) {
-      const std::size_t lanes = std::min(sim::kLaneWidth, items.size() - at);
-      run_sliced_group(*plan.structure, *plan.t, *plan.prims, *plan.k, items, at, lanes, options,
-                       batch.results);
-      batch.sliced_groups += 1;
-      batch.sliced_items += static_cast<math::Int>(lanes);
+    // The compiled path may decline a group (test hook today; real
+    // decline reasons would land here too). The fallback is sticky and
+    // the declined chunk is retried — not counted, not advanced — so
+    // every item lands in exactly one accounting bucket.
+    const std::size_t compiled_width =
+        static_cast<std::size_t>(lane_width == 0 ? 256 : lane_width);
+    const std::size_t lane_words = compiled_width / sim::kLaneWidth;
+    bool use_compiled = compiled;
+    std::size_t group_index = 0;
+    std::size_t at = 0;
+    while (at < items.size()) {
+      if (use_compiled) {
+        if (options.test_compiled_reject && options.test_compiled_reject(group_index)) {
+          ++group_index;
+          use_compiled = false;
+          continue;
+        }
+        const std::size_t lanes = std::min(compiled_width, items.size() - at);
+        run_compiled_group(*compiled_schedule, items, at, lanes, lane_words, options,
+                           batch.results);
+        batch.compiled_groups += 1;
+        batch.compiled_items += static_cast<math::Int>(lanes);
+        at += lanes;
+        ++group_index;
+      } else {
+        const std::size_t lanes = std::min(sim::kLaneWidth, items.size() - at);
+        run_sliced_group(*plan.structure, *plan.t, *plan.prims, *plan.k, items, at, lanes,
+                         options, batch.results);
+        batch.sliced_groups += 1;
+        batch.sliced_items += static_cast<math::Int>(lanes);
+        at += lanes;
+      }
     }
   } else {
     RunOptions run_options;

@@ -16,6 +16,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <optional>
 #include <vector>
@@ -48,7 +49,7 @@ struct RunOptions {
   bool want_z = true;
 };
 
-/// Whether run_batch packs items into 64-wide bit-sliced lane groups.
+/// Whether run_batch packs items into bit-sliced lane groups.
 enum class SlicedMode {
   kAuto,  ///< Sliced when the plan's cell is sliceable and batch >= 2.
   kOff,   ///< Always the scalar reference path.
@@ -63,6 +64,24 @@ struct BatchOptions {
   sim::MemoryMode memory = sim::MemoryMode::kDense;
   SlicedMode sliced = SlicedMode::kAuto;
   bool want_z = true;  ///< See RunOptions::want_z.
+  /// Whether sliced groups ride the plan's CompiledSchedule (the
+  /// straight-line wide-lane executor of pipeline/compiled.hpp)
+  /// instead of the 64-lane interpreted machine path. kAuto takes the
+  /// compiled path whenever the plan carries a schedule and the batch
+  /// is sliced; kOn requires one (throws otherwise); kOff pins the
+  /// interpreted path. Results are bit-identical either way.
+  SlicedMode compiled = SlicedMode::kAuto;
+  /// Lanes per compiled group: 64, 128, 256 or 512 (multi-word lane
+  /// blocks, see sim/lane_block.hpp). 0 = auto (256 on the compiled
+  /// path). Widths beyond 64 require the compiled path; the
+  /// interpreted path always runs 64-wide groups.
+  int lane_width = 0;
+  /// Test-only hook (never set in production, same discipline as
+  /// serve::ServerConfig::test_stall): return true to make the
+  /// compiled path decline the group with this index, forcing the
+  /// mid-batch fallback to the interpreted path that the counter
+  /// accounting must survive without double-counting.
+  std::function<bool(std::size_t group_index)> test_compiled_reject;
 };
 
 /// Result of one cycle-accurate run.
@@ -106,10 +125,15 @@ struct BatchResult {
   PlanPtr plan;                        ///< The shared plan every item ran on.
   bool plan_was_cached = false;        ///< True when the cache already held it.
   std::vector<PlanRunResult> results;  ///< One per item, in order.
-  // Sliced-vs-scalar accounting: how the items were executed.
-  math::Int sliced_groups = 0;  ///< Machine passes taken by the sliced path.
-  math::Int sliced_items = 0;   ///< Items carried as bit lanes.
-  math::Int scalar_items = 0;   ///< Items run through the scalar path.
+  // Execution accounting: every item lands in exactly one bucket, so
+  // compiled_items + sliced_items + scalar_items == items.size() —
+  // including when the compiled path falls back mid-batch (a declined
+  // group is retried interpreted and counted there, never twice).
+  math::Int compiled_groups = 0;  ///< Lane groups run by the compiled path.
+  math::Int compiled_items = 0;   ///< Items carried as compiled wide lanes.
+  math::Int sliced_groups = 0;    ///< Machine passes taken by the interpreted sliced path.
+  math::Int sliced_items = 0;     ///< Items carried as interpreted bit lanes.
+  math::Int scalar_items = 0;     ///< Items run through the scalar path.
 };
 
 /// Execute every item over ONE plan for `request`, composed at most

@@ -18,6 +18,8 @@
 
 namespace bitlevel::pipeline {
 
+struct CompiledSchedule;  // pipeline/compiled.hpp
+
 /// Where the plan's mapping came from.
 enum class MappingOrigin {
   kNone,      ///< No mapping stage ran (or it found nothing feasible).
@@ -34,8 +36,11 @@ struct StageTimings {
   double expand_ms = 0.0;   ///< Theorem 3.1 composition.
   double map_ms = 0.0;      ///< Mapping search / published selection.
   double machine_ms = 0.0;  ///< Feasibility re-check + routing (K matrix).
+  double compile_ms = 0.0;  ///< Schedule flattening (CompiledSchedule).
 
-  double total_ms() const { return resolve_ms + expand_ms + map_ms + machine_ms; }
+  double total_ms() const {
+    return resolve_ms + expand_ms + map_ms + machine_ms + compile_ms;
+  }
 };
 
 /// One immutable, shareable composed design.
@@ -51,6 +56,14 @@ struct DesignPlan {
   std::optional<mapping::InterconnectionPrimitives> prims;   ///< Link set.
   std::optional<math::IntMat> k;                             ///< Routing (S*D = P*K).
   mapping::ExploreResult explore;  ///< Full exploration record (explore/auto).
+
+  /// The wavefront schedule flattened to straight-line per-pass event
+  /// arrays (pipeline/compiled.hpp), built once at compose time for
+  /// sliceable mapped plans and reused by every batch and served
+  /// request. Null when the kernel's cell is not sliceable, the plan
+  /// has no mapping, or the instance exceeds the compiler's index
+  /// bounds — run_batch then falls back to the interpreted path.
+  std::shared_ptr<const CompiledSchedule> compiled;
 
   StageTimings timings;
 

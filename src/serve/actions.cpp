@@ -110,6 +110,8 @@ BatchOutcome run_batch_action(pipeline::PlanCache& cache, const ActionParams& pa
   options.threads = request.threads;
   options.memory = request.memory;
   options.sliced = params.sliced;
+  options.compiled = params.compiled;
+  options.lane_width = params.lanes;
   outcome.batch = pipeline::run_batch(cache, request, items, options);
 
   bool ok = true;
@@ -136,6 +138,10 @@ int emit_batch_json(JsonWriter& w, const ActionParams& params, const BatchOutcom
   w.key("correct").value(outcome.correct);
   w.key("sliced").begin_object();
   w.key("mode").value(pipeline::to_string(params.sliced));
+  w.key("compiled").value(pipeline::to_string(params.compiled));
+  w.key("lanes").value(static_cast<std::int64_t>(params.lanes));
+  w.key("compiled_groups").value(outcome.batch.compiled_groups);
+  w.key("compiled_items").value(outcome.batch.compiled_items);
   w.key("groups").value(outcome.batch.sliced_groups);
   w.key("sliced_items").value(outcome.batch.sliced_items);
   w.key("scalar_items").value(outcome.batch.scalar_items);

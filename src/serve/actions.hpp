@@ -28,6 +28,10 @@ struct ActionParams {
   std::uint64_t seed = 1;
   math::Int batch = 8;
   pipeline::SlicedMode sliced = pipeline::SlicedMode::kAuto;
+  /// Batch action: compiled-path selection and lane width, forwarded to
+  /// pipeline::BatchOptions::compiled / lane_width.
+  pipeline::SlicedMode compiled = pipeline::SlicedMode::kAuto;
+  int lanes = 0;
   pipeline::CampaignOptions campaign;  ///< fault-campaign knobs (seed synced).
 };
 

@@ -102,6 +102,23 @@ ActionParams parse_params(const JsonValue& doc, const std::string& action) {
       } else {
         reject("'sliced' must be on, off or auto");
       }
+    } else if (name == "compiled" && batch_action) {
+      const std::string mode = take_string(v, name);
+      if (mode == "on") {
+        params.compiled = pipeline::SlicedMode::kOn;
+      } else if (mode == "off") {
+        params.compiled = pipeline::SlicedMode::kOff;
+      } else if (mode == "auto") {
+        params.compiled = pipeline::SlicedMode::kAuto;
+      } else {
+        reject("'compiled' must be on, off or auto");
+      }
+    } else if (name == "lanes" && batch_action) {
+      const std::int64_t lanes = take_int(v, name, 0, 512);
+      if (lanes != 0 && lanes != 64 && lanes != 128 && lanes != 256 && lanes != 512) {
+        reject("'lanes' must be 0 (auto), 64, 128, 256 or 512");
+      }
+      params.lanes = static_cast<int>(lanes);
     } else if (name == "fault_kinds" && campaign_action) {
       if (!v.is_array()) reject("'fault_kinds' must be an array of strings");
       params.campaign.kinds.clear();
@@ -321,6 +338,8 @@ std::string request_line(std::int64_t id, const std::string& action,
     if (action == "batch") {
       w.key("batch").value(params.batch);
       w.key("sliced").value(pipeline::to_string(params.sliced));
+      w.key("compiled").value(pipeline::to_string(params.compiled));
+      w.key("lanes").value(static_cast<std::int64_t>(params.lanes));
     }
     if (action == "fault-campaign") {
       w.key("fault_kinds").begin_array();

@@ -81,6 +81,7 @@ Server::Server(ServerConfig config) : config_(std::move(config)) {
   BL_REQUIRE(config_.workers >= 1, "server needs at least one worker");
   BL_REQUIRE(config_.max_queue >= 1, "server queue bound must be >= 1");
   BL_REQUIRE(config_.max_line_bytes >= 2, "server line bound must be >= 2");
+  BL_REQUIRE(config_.accept_poll_ms >= -1, "accept poll timeout must be >= -1");
   cache_ = config_.cache != nullptr ? config_.cache : &pipeline::global_plan_cache();
   if (pipe(shutdown_pipe_) != 0) fail_errno("pipe");
   set_nonblocking(shutdown_pipe_[0]);
@@ -176,14 +177,28 @@ void Server::write_response(Connection& connection, const std::string& response,
     }
     if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
       // A client that stopped reading must not pin a worker forever:
-      // give it 30s of back-pressure, then drop the connection.
-      if (++stalls > 30) {
-        connection.alive.store(false);
+      // give it 30 x 1s of back-pressure, then drop the connection.
+      pollfd pfd{connection.fd, POLLOUT, 0};
+      const int ready = ::poll(&pfd, 1, 1000);
+      if (ready < 0) {
+        if (errno == EINTR) continue;   // interrupted wait, not a stall
+        connection.alive.store(false);  // poll failure: treat the fd as gone
         return;
       }
-      pollfd pfd{connection.fd, POLLOUT, 0};
-      ::poll(&pfd, 1, 1000);
-      continue;
+      if (ready == 0) {
+        // Only a full timed-out window counts as a stall; a writable
+        // round or an interrupted wait must not eat the 30s budget.
+        if (++stalls > 30) {
+          connection.alive.store(false);
+          return;
+        }
+        continue;
+      }
+      if ((pfd.revents & (POLLERR | POLLHUP | POLLNVAL)) != 0) {
+        connection.alive.store(false);  // peer reset while we waited
+        return;
+      }
+      continue;  // POLLOUT: the window reopened, retry the send
     }
     if (n < 0 && errno == EINTR) continue;
     connection.alive.store(false);  // client gone; drop the response
@@ -280,15 +295,23 @@ void Server::accept_loop() {
     for (const auto& connection : connections_) {
       fds.push_back(pollfd{connection->fd, POLLIN, 0});
     }
-    if (::poll(fds.data(), fds.size(), -1) < 0) {
+    const int ready = ::poll(fds.data(), fds.size(), config_.accept_poll_ms);
+    if (ready < 0) {
       if (errno == EINTR) continue;
       fail_errno("poll");
     }
+    if (ready == 0) continue;  // idle tick: re-arm with a fresh fd set
     if (fds[0].revents != 0) return;  // shutdown byte: begin the drain
     if ((fds[1].revents & POLLIN) != 0) {
       while (true) {
         const int fd = ::accept(listen_fd_, nullptr, nullptr);
-        if (fd < 0) break;
+        if (fd < 0) {
+          if (errno == EINTR) continue;
+          // EAGAIN: the backlog is drained. Anything else (ECONNABORTED,
+          // EMFILE, ...) is per-connection, not fatal to the daemon —
+          // drop out and let the next poll round retry.
+          break;
+        }
         set_nonblocking(fd);
         accepted_.fetch_add(1);
         auto connection = std::make_shared<Connection>();

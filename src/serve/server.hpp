@@ -50,6 +50,10 @@ struct ServerConfig {
   int workers = 4;                     ///< Request worker threads (>= 1).
   std::size_t max_queue = 64;          ///< Admission bound (>= 1).
   std::size_t max_line_bytes = 1 << 20;  ///< Framing bound per request line.
+  /// Acceptor poll timeout in ms (-1 = block until an event). A finite
+  /// tick lets the loop re-arm its fd set on a schedule even when no
+  /// byte ever arrives; the shutdown pipe wakes it either way.
+  int accept_poll_ms = 1000;
   /// Cache to serve from; nullptr = pipeline::global_plan_cache().
   pipeline::PlanCache* cache = nullptr;
   /// Test hook enabling the hidden "test-stall" action (see

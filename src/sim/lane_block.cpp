@@ -1,0 +1,42 @@
+#include "sim/lane_block.hpp"
+
+#include <cstdlib>
+#include <cstring>
+
+namespace bitlevel::sim {
+
+std::string to_string(SimdBackend backend) {
+  switch (backend) {
+    case SimdBackend::kGeneric:
+      return "generic";
+    case SimdBackend::kAvx2:
+      return "avx2";
+  }
+  return "?";
+}
+
+bool cpu_has_avx2() {
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+  return __builtin_cpu_supports("avx2") != 0;
+#else
+  return false;
+#endif
+}
+
+SimdBackend simd_backend() {
+  const char* env = std::getenv("BITLEVEL_SIMD");
+  if (env != nullptr) {
+    if (std::strcmp(env, "off") == 0 || std::strcmp(env, "generic") == 0) {
+      return SimdBackend::kGeneric;
+    }
+    if (std::strcmp(env, "avx2") == 0) {
+      return cpu_has_avx2() ? SimdBackend::kAvx2 : SimdBackend::kGeneric;
+    }
+    // "auto" and anything unrecognized fall through to detection: a
+    // typo must not silently change results (it cannot — both
+    // backends are bit-identical), only possibly the speed.
+  }
+  return cpu_has_avx2() ? SimdBackend::kAvx2 : SimdBackend::kGeneric;
+}
+
+}  // namespace bitlevel::sim

@@ -1,0 +1,89 @@
+// Multi-word lane groups — the width axis of the bit-sliced engine.
+//
+// PR 5's lane engine packs one batch item per bit of a single
+// sim::LaneWord, so a machine pass carries at most 64 items. A
+// LaneBlock<W> widens every channel to W consecutive LaneWords
+// (W in {1, 2, 4, 8} -> 64/128/256/512 lanes): lane l lives in word
+// l / 64, bit l % 64. The interpreted machine path stays single-word
+// (a bundle slot is one Int); multi-word blocks ride the COMPILED
+// straight-line executor (pipeline/compiled.hpp), whose per-pass loops
+// are plain word arrays a vector unit can chew through.
+//
+// Runtime SIMD dispatch: the compiled executor picks an AVX2 kernel
+// when the CPU has it, and a portable plain-array kernel otherwise.
+// Both produce bit-identical results (the cell is pure boolean); the
+// BITLEVEL_SIMD environment variable ("off"/"generic" forces the
+// portable kernel, "auto"/unset detects) exists so tests and CI can
+// exercise both branches on any machine.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace bitlevel::sim {
+
+/// One packed channel word; bit b = lane b's value of that channel.
+using LaneWord = std::uint64_t;
+
+/// Lanes per LaneWord (the packed word width).
+inline constexpr std::size_t kLaneWidth = 64;
+
+/// Largest supported lane block: 8 words = 512 lanes.
+inline constexpr std::size_t kMaxLaneWords = 8;
+
+/// True when `words` is a lane-block width this build supports.
+constexpr bool lane_words_supported(std::size_t words) {
+  return words == 1 || words == 2 || words == 4 || words == 8;
+}
+
+/// Mask of the low `lanes` bits of ONE lane word, for lanes in
+/// [0, 64]. The exact-fill case must not shift by the full word width
+/// (LaneWord{1} << 64 is undefined behaviour) — this helper is the one
+/// place that guard lives.
+constexpr LaneWord lane_word_mask(std::size_t lanes) {
+  return lanes >= kLaneWidth ? ~LaneWord{0} : ((LaneWord{1} << lanes) - LaneWord{1});
+}
+
+/// Per-word active-lane masks of a W-word block holding `lanes` items
+/// (1 <= lanes <= words * kLaneWidth): full words, then the ragged
+/// tail word, then zeros. A tail that exactly fills a word (lanes a
+/// multiple of 64 — e.g. 64 or 128 lanes of a 4-word block) takes the
+/// all-ones branch of lane_word_mask, never a 64-bit shift.
+inline void lane_block_masks(std::size_t words, std::size_t lanes, LaneWord* out) {
+  for (std::size_t w = 0; w < words; ++w) {
+    const std::size_t below = w * kLaneWidth;
+    out[w] = lanes > below ? lane_word_mask(lanes - below) : LaneWord{0};
+  }
+}
+
+/// A W-word lane block: channels of the compiled executor are arrays
+/// of these. Plain aggregate — the portable kernels loop over w (and
+/// auto-vectorize), the SIMD kernels overlay vector loads on the same
+/// layout.
+template <std::size_t W>
+struct LaneBlock {
+  LaneWord w[W];
+};
+
+/// Which kernel family the compiled executor dispatches to.
+enum class SimdBackend {
+  kGeneric,  ///< Portable plain-array loops (every platform).
+  kAvx2,     ///< 256-bit vector kernels (x86-64 with AVX2).
+};
+
+std::string to_string(SimdBackend backend);
+
+/// Resolve the backend for this process: BITLEVEL_SIMD=off|generic
+/// forces kGeneric, =avx2 requests kAvx2 (falling back to kGeneric
+/// when the CPU lacks it), =auto or unset detects. Reads the
+/// environment on every call so tests can flip the variable between
+/// runs; the check is two string compares, far off any hot path
+/// (dispatch happens once per lane group, not per event).
+SimdBackend simd_backend();
+
+/// True when this build carries AVX2 kernels and the CPU executes
+/// them (independent of the environment override).
+bool cpu_has_avx2();
+
+}  // namespace bitlevel::sim

@@ -56,6 +56,7 @@
 #include "ir/index_set.hpp"
 #include "mapping/kmatrix.hpp"
 #include "mapping/transform.hpp"
+#include "sim/lane_block.hpp"
 
 namespace bitlevel::sim {
 
@@ -109,12 +110,11 @@ using ExternalIntoFn = std::function<void(const IntVec& q, std::size_t column, I
 // ragged tail are masked by packing zero operand bits into them: a
 // pure-boolean cell then keeps them zero everywhere, which is exactly
 // the behaviour of a scalar run over zero operands.
-
-/// One packed channel word; bit b = lane b's value of that channel.
-using LaneWord = std::uint64_t;
-
-/// Lanes per machine pass (the packed word width).
-inline constexpr std::size_t kLaneWidth = 64;
+//
+// LaneWord and kLaneWidth live in sim/lane_block.hpp, which also
+// defines the multi-word LaneBlock<W> groups (128/256/512 lanes) the
+// COMPILED executor widens batches with; the interpreted machine path
+// here stays single-word (one bundle slot is one Int).
 
 static_assert(sizeof(LaneWord) == sizeof(Int),
               "lane words must occupy exactly one bundle slot");

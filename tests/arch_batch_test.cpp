@@ -193,11 +193,24 @@ TEST(BatchTest, SlicedBatchMatchesReferenceAndScalar) {
         xs.push_back(WordMatrix::random(u, bound, 300 + b));
         ys.push_back(WordMatrix::random(u, bound, 400 + b));
       }
+      // Default compiled=kAuto rides the plan's compiled schedule.
       const SlicedBatchRunResult sliced =
           array.multiply_batch_sliced(xs, ys, pipeline::SlicedMode::kOn);
-      EXPECT_EQ(sliced.sliced_groups, 1);
-      EXPECT_EQ(sliced.sliced_items, 5);
+      EXPECT_EQ(sliced.compiled_groups, 1);
+      EXPECT_EQ(sliced.compiled_items, 5);
+      EXPECT_EQ(sliced.sliced_items, 0);
       EXPECT_EQ(sliced.scalar_items, 0);
+      // compiled=kOff pins the interpreted 64-lane engine; products must
+      // agree bit for bit.
+      const SlicedBatchRunResult interpreted = array.multiply_batch_sliced(
+          xs, ys, pipeline::SlicedMode::kOn, pipeline::SlicedMode::kOff);
+      EXPECT_EQ(interpreted.sliced_groups, 1);
+      EXPECT_EQ(interpreted.sliced_items, 5);
+      EXPECT_EQ(interpreted.compiled_items, 0);
+      ASSERT_EQ(interpreted.z.size(), xs.size());
+      for (std::size_t b = 0; b < xs.size(); ++b) {
+        EXPECT_EQ(interpreted.z[b], sliced.z[b]) << "compiled vs interpreted item " << b;
+      }
       ASSERT_EQ(sliced.z.size(), xs.size());
       for (std::size_t b = 0; b < xs.size(); ++b) {
         EXPECT_EQ(sliced.z[b], WordMatrix::multiply_reference(xs[b], ys[b])) << "item " << b;

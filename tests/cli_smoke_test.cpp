@@ -100,8 +100,9 @@ TEST(CliSmokeTest, StreamingSimulationOfExpansionI) {
 
 // The batch action: every sliced mode exits 0 with valid JSON, items
 // all match their word-level references, and the counters account for
-// every item. --sliced off must report only scalar items; on must pack
-// all of them into one lane group.
+// every item. --sliced off must report only scalar items; on packs all
+// of them into one lane group — compiled by default, interpreted when
+// --compiled off pins the 64-lane engine.
 TEST(CliSmokeTest, BatchActionSlicedModes) {
   for (const char* memory : {"dense", "streaming"}) {
     for (const char* sliced : {"on", "off", "auto"}) {
@@ -116,12 +117,41 @@ TEST(CliSmokeTest, BatchActionSlicedModes) {
           << r.out;
       if (std::string(sliced) == "off") {
         EXPECT_NE(r.out.find("\"scalar_items\":5"), std::string::npos) << r.out;
+        EXPECT_NE(r.out.find("\"compiled_items\":0"), std::string::npos) << r.out;
         EXPECT_NE(r.out.find("\"sliced_items\":0"), std::string::npos) << r.out;
       } else {
-        EXPECT_NE(r.out.find("\"groups\":1"), std::string::npos) << r.out;
-        EXPECT_NE(r.out.find("\"sliced_items\":5"), std::string::npos) << r.out;
+        EXPECT_NE(r.out.find("\"compiled_groups\":1"), std::string::npos) << r.out;
+        EXPECT_NE(r.out.find("\"compiled_items\":5"), std::string::npos) << r.out;
+        EXPECT_NE(r.out.find("\"sliced_items\":0"), std::string::npos) << r.out;
+        EXPECT_NE(r.out.find("\"scalar_items\":0"), std::string::npos) << r.out;
       }
     }
+  }
+}
+
+// --compiled off pins the interpreted engine (items land in the sliced
+// bucket), and explicit --lanes widths ride the compiled path with the
+// same correct:true verdict. Bad widths exit 2 at the parser.
+TEST(CliSmokeTest, BatchActionCompiledFlagAndLaneWidths) {
+  const std::string base = "--kernel matmul --u 2 --p 4 --action batch --batch 5 --json";
+  const RunResult interpreted = run_cli(base + " --compiled off");
+  EXPECT_EQ(interpreted.exit_code, 0) << interpreted.out;
+  EXPECT_NE(interpreted.out.find("\"correct\":true"), std::string::npos) << interpreted.out;
+  EXPECT_NE(interpreted.out.find("\"compiled\":\"off\""), std::string::npos) << interpreted.out;
+  EXPECT_NE(interpreted.out.find("\"compiled_items\":0"), std::string::npos) << interpreted.out;
+  EXPECT_NE(interpreted.out.find("\"sliced_items\":5"), std::string::npos) << interpreted.out;
+
+  for (const char* lanes : {"64", "128", "256", "512"}) {
+    const RunResult r = run_cli(base + " --compiled on --lanes " + lanes);
+    EXPECT_EQ(r.exit_code, 0) << lanes << "\n" << r.out;
+    EXPECT_NE(r.out.find("\"correct\":true"), std::string::npos) << lanes << "\n" << r.out;
+    EXPECT_NE(r.out.find(std::string("\"lanes\":") + lanes), std::string::npos) << r.out;
+    EXPECT_NE(r.out.find("\"compiled_items\":5"), std::string::npos) << r.out;
+  }
+
+  for (const char* args : {"--action batch --lanes 100", "--action batch --lanes -64",
+                           "--action batch --compiled maybe"}) {
+    EXPECT_EQ(run_cli(args).exit_code, 2) << args;
   }
 }
 
@@ -129,6 +159,7 @@ TEST(CliSmokeTest, BatchActionTextOutputAndBadFlagValues) {
   const RunResult text = run_cli("--kernel conv --u 3 --v 2 --p 3 --action batch --batch 3");
   EXPECT_EQ(text.exit_code, 0);
   EXPECT_NE(text.out.find("MATCH"), std::string::npos) << text.out;
+  EXPECT_NE(text.out.find("compiled group"), std::string::npos) << text.out;
   EXPECT_NE(text.out.find("sliced group"), std::string::npos) << text.out;
 
   for (const char* args : {"--action batch --batch 0", "--action batch --batch nope",

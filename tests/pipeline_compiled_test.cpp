@@ -1,0 +1,320 @@
+// The compiled straight-line executor is indistinguishable from the
+// interpreted lane engine and the scalar reference: for every kernel x
+// expansion x memory mode x thread count in the determinism matrix,
+// run_batch with compiled=kOn must produce per-item z maps and
+// statistics bit-identical to compiled=kOff — and that must hold for
+// every lane-block width (64/128/256/512) under both the portable
+// generic kernels (BITLEVEL_SIMD=off) and the runtime-dispatched SIMD
+// backend. Also pins the mid-batch fallback accounting (a declined
+// group is retried interpreted, never counted twice) and the
+// compiled/lane-width argument contracts.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "core/workload.hpp"
+#include "pipeline/cache.hpp"
+#include "pipeline/compiled.hpp"
+#include "pipeline/executor.hpp"
+#include "support/error.hpp"
+
+namespace bitlevel::pipeline {
+namespace {
+
+using math::Int;
+
+struct Case {
+  KernelSpec kernel;
+  Int p;
+};
+
+// Every registry kernel, smallest instances that still have interior
+// points on both sides of each validity-region boundary (the same
+// matrix pipeline_sliced_test pins the interpreted engine with).
+const std::vector<Case> kCases = {
+    {{"matmul", 2, 0, 0, 0}, 3},      {{"matmul_rect", 2, 3, 2, 0}, 3},
+    {{"conv", 3, 2, 0, 0}, 3},        {{"matvec", 2, 3, 0, 0}, 3},
+    {{"transform", 2, 0, 0, 0}, 3},   {{"scalar", 4, 0, 0, 0}, 4},
+};
+
+DesignRequest request_for(const Case& c, core::Expansion e) {
+  DesignRequest request;
+  request.kernel = c.kernel;
+  request.p = c.p;
+  request.expansion = e;
+  request.mapping = MappingStrategy::kAuto;
+  return request;
+}
+
+// The workloads must outlive the items (x_fn captures the table).
+std::vector<core::Workload> make_workloads(const DesignRequest& request, std::size_t count) {
+  const ir::WordLevelModel model = resolve_kernel(request.kernel);
+  std::vector<core::Workload> workloads;
+  workloads.reserve(count);
+  for (std::uint64_t seed = 1; seed <= count; ++seed) {
+    workloads.push_back(core::make_safe_workload(model, request.p, request.expansion, seed));
+  }
+  return workloads;
+}
+
+std::vector<BatchItem> items_for(const std::vector<core::Workload>& workloads) {
+  std::vector<BatchItem> items;
+  items.reserve(workloads.size());
+  for (const core::Workload& w : workloads) items.push_back(BatchItem{w.x_fn(), w.y_fn()});
+  return items;
+}
+
+void expect_identical(const PlanRunResult& a, const PlanRunResult& b, const std::string& what) {
+  EXPECT_EQ(a.z, b.z) << what;
+  EXPECT_EQ(a.stats.cycles, b.stats.cycles) << what;
+  EXPECT_EQ(a.stats.pe_count, b.stats.pe_count) << what;
+  EXPECT_EQ(a.stats.computations, b.stats.computations) << what;
+  EXPECT_EQ(a.stats.pe_utilization, b.stats.pe_utilization) << what;
+  EXPECT_EQ(a.stats.link_transmissions, b.stats.link_transmissions) << what;
+  EXPECT_EQ(a.stats.wire_length, b.stats.wire_length) << what;
+  EXPECT_EQ(a.stats.buffered_value_cycles, b.stats.buffered_value_cycles) << what;
+  EXPECT_EQ(a.stats.peak_live_slots, b.stats.peak_live_slots) << what;
+  EXPECT_EQ(a.stats.observed_points, b.stats.observed_points) << what;
+}
+
+/// Set (or clear, value == nullptr) an environment variable for the
+/// duration of a scope, restoring the previous state on exit.
+class ScopedEnv {
+ public:
+  ScopedEnv(const char* name, const char* value) : name_(name) {
+    const char* old = std::getenv(name);
+    had_old_ = old != nullptr;
+    if (had_old_) old_ = old;
+    if (value != nullptr) {
+      ::setenv(name, value, 1);
+    } else {
+      ::unsetenv(name);
+    }
+  }
+  ~ScopedEnv() {
+    if (had_old_) {
+      ::setenv(name_, old_.c_str(), 1);
+    } else {
+      ::unsetenv(name_);
+    }
+  }
+  ScopedEnv(const ScopedEnv&) = delete;
+  ScopedEnv& operator=(const ScopedEnv&) = delete;
+
+ private:
+  const char* name_;
+  std::string old_;
+  bool had_old_ = false;
+};
+
+TEST(PipelineCompiledTest, CompiledMatchesInterpretedAcrossMatrix) {
+  for (const Case& c : kCases) {
+    for (const core::Expansion e : {core::Expansion::kI, core::Expansion::kII}) {
+      const DesignRequest request = request_for(c, e);
+      const std::vector<core::Workload> workloads = make_workloads(request, 5);
+      const std::vector<BatchItem> items = items_for(workloads);
+      for (const int threads : {1, 2}) {
+        for (const sim::MemoryMode memory :
+             {sim::MemoryMode::kDense, sim::MemoryMode::kStreaming}) {
+          PlanCache cache(8);
+          BatchOptions interpreted_options;
+          interpreted_options.threads = threads;
+          interpreted_options.memory = memory;
+          interpreted_options.sliced = SlicedMode::kOn;
+          interpreted_options.compiled = SlicedMode::kOff;
+          BatchOptions compiled_options = interpreted_options;
+          compiled_options.compiled = SlicedMode::kOn;
+
+          const BatchResult interpreted = run_batch(cache, request, items, interpreted_options);
+          const BatchResult compiled = run_batch(cache, request, items, compiled_options);
+          ASSERT_EQ(compiled.results.size(), items.size());
+          EXPECT_EQ(compiled.compiled_items, static_cast<Int>(items.size()));
+          EXPECT_EQ(compiled.compiled_groups, 1);
+          EXPECT_EQ(compiled.sliced_items, 0);
+          EXPECT_EQ(compiled.scalar_items, 0);
+
+          const std::string what = c.kernel.name + " e" + std::to_string(static_cast<int>(e)) +
+                                   " t" + std::to_string(threads) + " m" +
+                                   std::to_string(static_cast<int>(memory));
+          for (std::size_t i = 0; i < items.size(); ++i) {
+            expect_identical(compiled.results[i], interpreted.results[i],
+                             what + " item " + std::to_string(i));
+            EXPECT_FALSE(compiled.results[i].z.empty()) << what;
+          }
+        }
+      }
+    }
+  }
+}
+
+// Every lane-block width under both backends: the generic portable
+// kernels (BITLEVEL_SIMD=off) and whatever the runtime dispatcher
+// picks by default must agree bit for bit with the interpreted
+// 64-lane engine — on a 70-item batch whose tail leaves most of the
+// last block's lanes inactive at every width.
+TEST(PipelineCompiledTest, LaneWidthSweepMatchesAcrossSimdBackends) {
+  const DesignRequest request = request_for(kCases[0], core::Expansion::kII);
+  const std::vector<core::Workload> workloads = make_workloads(request, 70);
+  const std::vector<BatchItem> items = items_for(workloads);
+  for (const sim::MemoryMode memory :
+       {sim::MemoryMode::kDense, sim::MemoryMode::kStreaming}) {
+    PlanCache cache(8);
+    BatchOptions interpreted_options;
+    interpreted_options.memory = memory;
+    interpreted_options.threads = 1;
+    interpreted_options.sliced = SlicedMode::kOn;
+    interpreted_options.compiled = SlicedMode::kOff;
+    const BatchResult interpreted = run_batch(cache, request, items, interpreted_options);
+
+    for (const int width : {64, 128, 256, 512}) {
+      for (const char* simd : {"off", static_cast<const char*>(nullptr)}) {
+        const ScopedEnv env("BITLEVEL_SIMD", simd);
+        BatchOptions compiled_options = interpreted_options;
+        compiled_options.compiled = SlicedMode::kOn;
+        compiled_options.lane_width = width;
+        const BatchResult compiled = run_batch(cache, request, items, compiled_options);
+
+        const std::string what = "width " + std::to_string(width) + " simd " +
+                                 (simd != nullptr ? simd : "auto") + " m" +
+                                 std::to_string(static_cast<int>(memory));
+        EXPECT_EQ(compiled.compiled_groups,
+                  static_cast<Int>((items.size() + static_cast<std::size_t>(width) - 1) /
+                                   static_cast<std::size_t>(width)))
+            << what;
+        EXPECT_EQ(compiled.compiled_items, static_cast<Int>(items.size())) << what;
+        for (std::size_t i = 0; i < items.size(); ++i) {
+          expect_identical(compiled.results[i], interpreted.results[i],
+                           what + " item " + std::to_string(i));
+        }
+      }
+    }
+  }
+}
+
+// A group the compiled path declines mid-batch is retried on the
+// interpreted engine: the fallback is sticky, every item lands in
+// exactly one accounting bucket, and results stay bit-identical to an
+// undisturbed compiled run.
+TEST(PipelineCompiledTest, MidBatchFallbackAccountsEveryItemOnce) {
+  const DesignRequest request = request_for(kCases[0], core::Expansion::kII);
+  const std::vector<core::Workload> workloads = make_workloads(request, 70);
+  const std::vector<BatchItem> items = items_for(workloads);
+  PlanCache cache(8);
+
+  BatchOptions compiled_options;
+  compiled_options.threads = 1;
+  compiled_options.sliced = SlicedMode::kOn;
+  compiled_options.compiled = SlicedMode::kOn;
+  compiled_options.lane_width = 64;
+  const BatchResult reference = run_batch(cache, request, items, compiled_options);
+  EXPECT_EQ(reference.compiled_groups, 2);
+  EXPECT_EQ(reference.compiled_items, 70);
+
+  BatchOptions fallback_options = compiled_options;
+  fallback_options.test_compiled_reject = [](std::size_t group_index) {
+    return group_index == 1;
+  };
+  const BatchResult fallback = run_batch(cache, request, items, fallback_options);
+  // Group 0 (items 0..63) ran compiled; group 1 was declined and its 6
+  // items were retried interpreted. 64 + 6 == 70: nothing dropped,
+  // nothing double-counted.
+  EXPECT_EQ(fallback.compiled_groups, 1);
+  EXPECT_EQ(fallback.compiled_items, 64);
+  EXPECT_EQ(fallback.sliced_groups, 1);
+  EXPECT_EQ(fallback.sliced_items, 6);
+  EXPECT_EQ(fallback.scalar_items, 0);
+  EXPECT_EQ(fallback.compiled_items + fallback.sliced_items + fallback.scalar_items,
+            static_cast<Int>(items.size()));
+  ASSERT_EQ(fallback.results.size(), items.size());
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    expect_identical(fallback.results[i], reference.results[i],
+                     "fallback item " + std::to_string(i));
+  }
+
+  // Declining group 0 makes the WHOLE batch interpreted (the fallback
+  // is sticky, group 1 is never offered to the compiled path again).
+  BatchOptions all_fallback_options = compiled_options;
+  all_fallback_options.test_compiled_reject = [](std::size_t) { return true; };
+  const BatchResult all_fallback = run_batch(cache, request, items, all_fallback_options);
+  EXPECT_EQ(all_fallback.compiled_items, 0);
+  EXPECT_EQ(all_fallback.sliced_groups, 2);
+  EXPECT_EQ(all_fallback.sliced_items, 70);
+}
+
+// want_z = false skips the compiled read-out exactly like the other
+// paths: no z maps, streaming installs no observe predicate.
+TEST(PipelineCompiledTest, WantZOffSkipsReadOut) {
+  const DesignRequest request = request_for(kCases[0], core::Expansion::kII);
+  const std::vector<core::Workload> workloads = make_workloads(request, 3);
+  const std::vector<BatchItem> items = items_for(workloads);
+  for (const sim::MemoryMode memory :
+       {sim::MemoryMode::kDense, sim::MemoryMode::kStreaming}) {
+    PlanCache cache(8);
+    BatchOptions with_z;
+    with_z.memory = memory;
+    with_z.sliced = SlicedMode::kOn;
+    with_z.compiled = SlicedMode::kOn;
+    BatchOptions without_z = with_z;
+    without_z.want_z = false;
+
+    const BatchResult full = run_batch(cache, request, items, with_z);
+    const BatchResult bare = run_batch(cache, request, items, without_z);
+    for (std::size_t i = 0; i < items.size(); ++i) {
+      EXPECT_FALSE(full.results[i].z.empty());
+      EXPECT_TRUE(bare.results[i].z.empty());
+      EXPECT_EQ(bare.results[i].stats.cycles, full.results[i].stats.cycles);
+      EXPECT_EQ(bare.results[i].stats.computations, full.results[i].stats.computations);
+      if (memory == sim::MemoryMode::kStreaming) {
+        EXPECT_EQ(bare.results[i].stats.observed_points, 0);
+      } else {
+        EXPECT_EQ(bare.results[i].stats.observed_points, full.results[i].stats.observed_points);
+      }
+    }
+  }
+}
+
+// Every plan composed for a sliceable kernel with a mapping carries a
+// compiled schedule; run_compiled_group is reachable from it directly.
+TEST(PipelineCompiledTest, ComposedPlansCarryCompiledSchedules) {
+  for (const Case& c : kCases) {
+    const PlanPtr plan = compose(request_for(c, core::Expansion::kII));
+    ASSERT_TRUE(plan->has_mapping()) << c.kernel.name;
+    ASSERT_NE(plan->compiled, nullptr) << c.kernel.name;
+    EXPECT_EQ(plan->compiled->p, c.p) << c.kernel.name;
+    EXPECT_FALSE(plan->compiled->events.empty()) << c.kernel.name;
+    EXPECT_GE(plan->compiled->pass_first.size(), 2u) << c.kernel.name;
+    // Pass boundaries are a monotone cover of the event array.
+    EXPECT_EQ(plan->compiled->pass_first.front(), 0) << c.kernel.name;
+    EXPECT_EQ(static_cast<std::size_t>(plan->compiled->pass_first.back()),
+              plan->compiled->events.size())
+        << c.kernel.name;
+  }
+}
+
+TEST(PipelineCompiledTest, ArgumentContracts) {
+  const DesignRequest request = request_for(kCases[0], core::Expansion::kII);
+  const std::vector<core::Workload> workloads = make_workloads(request, 2);
+  const std::vector<BatchItem> items = items_for(workloads);
+  PlanCache cache(8);
+
+  // compiled=on needs the sliced path under it.
+  BatchOptions no_sliced;
+  no_sliced.sliced = SlicedMode::kOff;
+  no_sliced.compiled = SlicedMode::kOn;
+  EXPECT_THROW(run_batch(cache, request, items, no_sliced), PreconditionError);
+
+  // Lane widths are 0/64/128/256/512, and wide blocks are compiled-only.
+  BatchOptions bad_width;
+  bad_width.lane_width = 100;
+  EXPECT_THROW(run_batch(cache, request, items, bad_width), PreconditionError);
+  BatchOptions wide_interpreted;
+  wide_interpreted.sliced = SlicedMode::kOn;
+  wide_interpreted.compiled = SlicedMode::kOff;
+  wide_interpreted.lane_width = 256;
+  EXPECT_THROW(run_batch(cache, request, items, wide_interpreted), PreconditionError);
+}
+
+}  // namespace
+}  // namespace bitlevel::pipeline

@@ -91,6 +91,10 @@ TEST(PipelineSlicedTest, SlicedMatchesScalarAcrossMatrix) {
           scalar_options.sliced = SlicedMode::kOff;
           BatchOptions sliced_options = scalar_options;
           sliced_options.sliced = SlicedMode::kOn;
+          // This matrix pins the INTERPRETED 64-lane engine against the
+          // scalar reference; pipeline_compiled_test covers the
+          // compiled wide-lane path against both.
+          sliced_options.compiled = SlicedMode::kOff;
 
           const BatchResult scalar = run_batch(cache, request, items, scalar_options);
           const BatchResult sliced = run_batch(cache, request, items, sliced_options);
@@ -100,6 +104,7 @@ TEST(PipelineSlicedTest, SlicedMatchesScalarAcrossMatrix) {
           EXPECT_EQ(scalar.sliced_items, 0);
           EXPECT_EQ(sliced.sliced_items, static_cast<Int>(items.size()));
           EXPECT_EQ(sliced.sliced_groups, 1);
+          EXPECT_EQ(sliced.compiled_items, 0);
           EXPECT_EQ(sliced.scalar_items, 0);
 
           const std::string what = c.kernel.name + " e" + std::to_string(static_cast<int>(e)) +
@@ -117,12 +122,16 @@ TEST(PipelineSlicedTest, SlicedMatchesScalarAcrossMatrix) {
 }
 
 // Batch sizes straddling the 64-lane word: 1 (single active lane), 63
-// (one inactive tail lane), 65 (a full group plus a 1-lane group). The
-// inactive lanes must neither leak into active lanes nor trip the
-// capacity-honesty checks.
+// (one inactive tail lane), 64 (exactly full — the mask must not shift
+// by the full word width), 65 (a full group plus a 1-lane group), and
+// 127/128/129 (the same straddle one group later). The inactive lanes
+// must neither leak into active lanes nor trip the capacity-honesty
+// checks.
 TEST(PipelineSlicedTest, RaggedTailsMatchScalar) {
   const DesignRequest request = request_for(kCases[0], core::Expansion::kII);
-  for (const std::size_t count : {std::size_t{1}, std::size_t{63}, std::size_t{65}}) {
+  for (const std::size_t count : {std::size_t{1}, std::size_t{63}, std::size_t{64},
+                                  std::size_t{65}, std::size_t{127}, std::size_t{128},
+                                  std::size_t{129}}) {
     const std::vector<core::Workload> workloads = make_workloads(request, count);
     const std::vector<BatchItem> items = items_for(workloads);
     for (const sim::MemoryMode memory :
@@ -134,6 +143,7 @@ TEST(PipelineSlicedTest, RaggedTailsMatchScalar) {
       scalar_options.sliced = SlicedMode::kOff;
       BatchOptions sliced_options = scalar_options;
       sliced_options.sliced = SlicedMode::kOn;
+      sliced_options.compiled = SlicedMode::kOff;  // interpreted 64-lane engine
 
       const BatchResult scalar = run_batch(cache, request, items, scalar_options);
       const BatchResult sliced = run_batch(cache, request, items, sliced_options);
@@ -153,14 +163,18 @@ TEST(PipelineSlicedTest, AutoSlicesMultiItemBatches) {
   const std::vector<BatchItem> items = items_for(workloads);
   PlanCache cache(8);
 
-  BatchOptions options;  // defaults: kAuto
+  BatchOptions options;  // defaults: kAuto — matmul plans carry a
+                         // compiled schedule, so auto takes the
+                         // compiled wide-lane path.
   const BatchResult multi = run_batch(cache, request, items, options);
-  EXPECT_EQ(multi.sliced_items, 3);
-  EXPECT_EQ(multi.sliced_groups, 1);
+  EXPECT_EQ(multi.compiled_items, 3);
+  EXPECT_EQ(multi.compiled_groups, 1);
+  EXPECT_EQ(multi.sliced_items, 0);
   EXPECT_EQ(multi.scalar_items, 0);
 
   const std::vector<BatchItem> one(items.begin(), items.begin() + 1);
   const BatchResult single = run_batch(cache, request, one, options);
+  EXPECT_EQ(single.compiled_items, 0);
   EXPECT_EQ(single.sliced_items, 0);
   EXPECT_EQ(single.scalar_items, 1);
   expect_identical(single.results[0], multi.results[0], "auto single vs sliced lane 0");

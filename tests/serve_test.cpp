@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 #include <unistd.h>
 
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <mutex>
@@ -358,6 +359,82 @@ TEST(ServeServerTest, TwoClientsOneCompositionExactlyOneMiss) {
   EXPECT_EQ(cache.stats().misses, 1u);
   EXPECT_EQ(cache.stats().hits + cache.stats().misses, 2u);
   EXPECT_EQ(cache.leaked_plans(), 0u);
+}
+
+// Regression for the accept loop's discarded poll result: with a
+// finite accept tick the loop wakes on timeouts with NO ready fd, and
+// it must treat those as idle re-arms — not index into revents of a
+// descriptor poll never flagged. Connections arriving after many idle
+// ticks are still accepted and served, and the drain stays clean.
+TEST(ServeServerTest, FiniteAcceptPollServesLateConnections) {
+  const std::string path = temp_socket_path("accepttick");
+  pipeline::PlanCache cache(4);
+  ServerConfig config;
+  config.listen = "unix:" + path;
+  config.workers = 1;
+  config.accept_poll_ms = 10;
+  config.cache = &cache;
+  TestDaemon daemon(std::move(config));
+
+  // Let several idle poll timeouts elapse before the first connection.
+  std::this_thread::sleep_for(std::chrono::milliseconds(60));
+  Client first;
+  first.connect(daemon.endpoint());
+  EXPECT_TRUE(response_ok(first.roundtrip("{\"id\":1,\"action\":\"stats\"}")));
+
+  // And between connections: the listener must still be armed.
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  Client second;
+  second.connect(daemon.endpoint());
+  EXPECT_TRUE(response_ok(second.roundtrip(scalar_request(2, "simulate"))));
+
+  const DrainReport report = daemon.drain();
+  EXPECT_EQ(report.leaked_plans, 0u);
+  EXPECT_EQ(report.stats.served_ok, 2u);
+
+  ServerConfig bad;
+  bad.accept_poll_ms = -5;
+  EXPECT_THROW(Server{std::move(bad)}, Error);
+}
+
+// The compiled wide-lane batch path through the daemon: the served
+// "result" payload is byte-identical to a one-shot handle_line run of
+// the SAME request line, and it reports the compiled counters.
+TEST(ServeServerTest, CompiledBatchServedMatchesOneShot) {
+  const std::string path = temp_socket_path("compiledbatch");
+  pipeline::PlanCache cache(4);
+  ServerConfig config;
+  config.listen = "unix:" + path;
+  config.workers = 2;
+  config.cache = &cache;
+  TestDaemon daemon(std::move(config));
+
+  const std::string request =
+      "{\"id\":7,\"action\":\"batch\",\"kernel\":\"matmul\",\"u\":2,\"p\":3,\"batch\":5,"
+      "\"sliced\":\"on\",\"compiled\":\"on\",\"lanes\":256}";
+  Client client;
+  client.connect(daemon.endpoint());
+  const std::string response = client.roundtrip(request);
+  ASSERT_TRUE(response_ok(response)) << response;
+  const std::string served = json_member_text(response, "result");
+  ASSERT_FALSE(served.empty()) << response;
+  EXPECT_NE(served.find("\"correct\":true"), std::string::npos) << served;
+  EXPECT_NE(served.find("\"compiled\":\"on\""), std::string::npos) << served;
+  EXPECT_NE(served.find("\"lanes\":256"), std::string::npos) << served;
+  EXPECT_NE(served.find("\"compiled_groups\":1"), std::string::npos) << served;
+  EXPECT_NE(served.find("\"compiled_items\":5"), std::string::npos) << served;
+  EXPECT_NE(served.find("\"sliced_items\":0"), std::string::npos) << served;
+
+  // One-shot: same line through the handler directly, fresh cache.
+  pipeline::PlanCache fresh(4);
+  const ServeContext context{fresh, {}, {}};
+  const std::string oneshot = json_member_text(handle_line(context, request), "result");
+  EXPECT_EQ(served, oneshot);
+
+  // Invalid lane widths are strict bad_request errors, not crashes.
+  const std::string bad = client.roundtrip(
+      "{\"id\":8,\"action\":\"batch\",\"kernel\":\"matmul\",\"u\":2,\"p\":3,\"lanes\":100}");
+  EXPECT_EQ(error_code(bad), "bad_request") << bad;
 }
 
 TEST(ServeServerTest, DrainAnswersEveryAdmittedRequestThenExits) {

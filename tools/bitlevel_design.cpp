@@ -94,6 +94,8 @@ struct Args {
   // batch knobs.
   math::Int batch = 8;  // independent problems per --action batch
   pipeline::SlicedMode sliced = pipeline::SlicedMode::kAuto;
+  pipeline::SlicedMode compiled = pipeline::SlicedMode::kAuto;
+  int lanes = 0;  // 0 = auto (256 when compiled); else 64/128/256/512
   // fault-campaign knobs.
   std::vector<faults::FaultKind> fault_kinds;  // empty = every kind
   std::vector<double> fault_rates;             // empty = campaign default
@@ -117,7 +119,9 @@ struct Args {
                "animate|fault-campaign]\n"
                "                       [--json] [--memory dense|streaming] [--seed N] "
                "[--threads N]\n"
-               "                       [--batch N] [--sliced on|off|auto]\n"
+               "                       [--batch N] [--sliced on|off|auto] "
+               "[--compiled on|off|auto]\n"
+               "                       [--lanes 0|64|128|256|512]\n"
                "                       [--fault-kind all|NAME[,NAME...]] "
                "[--fault-rate R[,R...]]\n"
                "                       [--spares N] [--retries N]\n"
@@ -225,6 +229,23 @@ Args parse(int argc, char** argv) {
       } else {
         usage("sliced must be on, off or auto");
       }
+    } else if (flag == "--compiled") {
+      const std::string mode = next();
+      if (mode == "on") {
+        args.compiled = pipeline::SlicedMode::kOn;
+      } else if (mode == "off") {
+        args.compiled = pipeline::SlicedMode::kOff;
+      } else if (mode == "auto") {
+        args.compiled = pipeline::SlicedMode::kAuto;
+      } else {
+        usage("compiled must be on, off or auto");
+      }
+    } else if (flag == "--lanes") {
+      const math::Int lanes = parse_int(flag, next(), 0, 512);
+      if (lanes != 0 && lanes != 64 && lanes != 128 && lanes != 256 && lanes != 512) {
+        usage("lanes must be 0 (auto), 64, 128, 256 or 512");
+      }
+      args.lanes = static_cast<int>(lanes);
     } else if (flag == "--fault-kind") {
       const std::string kinds = next();
       if (kinds == "all") {
@@ -372,6 +393,8 @@ serve::ActionParams action_params(const Args& a) {
   params.seed = a.seed;
   params.batch = a.batch;
   params.sliced = a.sliced;
+  params.compiled = a.compiled;
+  params.lanes = a.lanes;
   if (!a.fault_kinds.empty()) params.campaign.kinds = a.fault_kinds;
   if (!a.fault_rates.empty()) params.campaign.rates = a.fault_rates;
   params.campaign.seed = a.seed;
@@ -633,6 +656,8 @@ int run_batch_action(const Args& a) {
   options.threads = a.threads;
   options.memory = a.memory;
   options.sliced = a.sliced;
+  options.compiled = a.compiled;
+  options.lane_width = a.lanes;
   const pipeline::BatchResult batch =
       pipeline::run_batch(pipeline::global_plan_cache(), request, items, options);
 
@@ -655,7 +680,9 @@ int run_batch_action(const Args& a) {
   std::printf("batch: %lld problems over Pi = %s (%s)\n", (long long)a.batch,
               math::to_string(plan->t->schedule()).c_str(),
               pipeline::to_string(a.sliced).c_str());
-  std::printf("executed as %lld sliced group(s) (%lld items) + %lld scalar item(s)\n",
+  std::printf("executed as %lld compiled group(s) (%lld items) + %lld sliced group(s) "
+              "(%lld items) + %lld scalar item(s)\n",
+              (long long)batch.compiled_groups, (long long)batch.compiled_items,
               (long long)batch.sliced_groups, (long long)batch.sliced_items,
               (long long)batch.scalar_items);
   std::printf("results %s against word-level references\n", ok ? "MATCH" : "DIFFER");
