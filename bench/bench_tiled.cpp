@@ -1,0 +1,224 @@
+// BM_Tiled — tiled array partitioning vs the monolithic array.
+//
+// The tiling layer (pipeline/tiling.hpp) shards Z = X * Y onto a
+// bounded virtual array: one tile-shaped plan per DISTINCT shape in
+// the grid, every tile streamed through the batch engine, partial
+// products accumulated in plain integer adds. Two claims are measured:
+//
+//   1. Gate (CI): where both fit, the tiled path costs at most 2x the
+//      monolithic sliced batch run (tiled >= 0.5x monolithic
+//      throughput) — the shard bookkeeping must not dominate.
+//   2. Envelope: a 4096 x 4096 matmul completes under a 1024-PE
+//      budget (a 16x16-word tile at p = 2). The monolithic array for
+//      that instance needs 4096^2 * p^2 = 67,108,864 PEs — beyond any
+//      budget the simulator can allocate — so the table reports its
+//      analytic size next to the measured tiled run.
+//
+// The binary exits nonzero when the gate is missed, failing the CI
+// bench step. Set BITLEVEL_BENCH_JSON to also write the gate figures
+// as a JSON document (published as a CI artifact).
+#include "bench/bench_util.hpp"
+
+#include <chrono>
+#include <cstdlib>
+
+#include "arch/matmul_arrays.hpp"
+#include "pipeline/cache.hpp"
+#include "pipeline/tiling.hpp"
+#include "serve/actions.hpp"
+
+namespace {
+
+using namespace bitlevel;
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+int env_int(const char* name, int fallback) {
+  const char* text = std::getenv(name);
+  if (text == nullptr || *text == '\0') return fallback;
+  const int v = std::atoi(text);
+  return v > 0 ? v : fallback;
+}
+
+struct GateReport {
+  double monolithic_sec = 0.0;
+  double tiled_sec = 0.0;
+  double tiled_ratio = 0.0;  // monolithic/tiled time; bar: >= 0.5
+  bool identical = false;
+  bool gate = false;
+  // Envelope run (tiled-only; no gate, published for the record).
+  math::Int large_m = 0;
+  math::Int large_tiles = 0;
+  math::Int large_tile_pes = 0;
+  math::Int large_monolithic_pes = 0;
+  double large_sec = 0.0;
+  bool large_correct = false;
+};
+
+void write_json_artifact(const GateReport& report) {
+  const char* path = std::getenv("BITLEVEL_BENCH_JSON");
+  if (path == nullptr || *path == '\0') return;
+  JsonWriter w;
+  w.begin_object();
+  w.key("bench").value("bench_tiled");
+  w.key("instance").value("matmul-u16-p3-tile8");
+  w.key("monolithic_sec").value(report.monolithic_sec);
+  w.key("tiled_sec").value(report.tiled_sec);
+  w.key("tiled_ratio_vs_monolithic").value(report.tiled_ratio);
+  w.key("bit_identical").value(report.identical);
+  w.key("tiled_gate_half_speed").value(report.gate);
+  w.key("large_m").value(report.large_m);
+  w.key("large_tiles").value(report.large_tiles);
+  w.key("large_tile_pes").value(report.large_tile_pes);
+  w.key("large_monolithic_pes").value(report.large_monolithic_pes);
+  w.key("large_sec").value(report.large_sec);
+  w.key("large_correct").value(report.large_correct);
+  w.end_object();
+  FILE* file = std::fopen(path, "w");
+  if (file == nullptr) {
+    std::printf("warning: cannot write BITLEVEL_BENCH_JSON artifact to %s\n", path);
+    return;
+  }
+  const std::string doc = w.str();
+  std::fwrite(doc.data(), 1, doc.size(), file);
+  std::fputc('\n', file);
+  std::fclose(file);
+}
+
+/// Gate: u = 16, p = 3, tiled 8x8x8 (one interior shape, 8 tiles)
+/// against the monolithic sliced single-item run of the same product.
+/// Both paths execute through run_batch, so the ratio isolates the
+/// shard bookkeeping: grid enumeration, offset operand views, and the
+/// partial-sum accumulation.
+void run_gate(GateReport& report) {
+  const math::Int u = 16, p = 3;
+  const std::uint64_t bound = core::max_safe_operand(p, u, core::Expansion::kII);
+  const arch::WordMatrix x = arch::WordMatrix::random(u, bound, 11);
+  const arch::WordMatrix y = arch::WordMatrix::random(u, bound, 12);
+
+  // Warm the plan cache on both sides so composition time (one-time,
+  // already measured by bench_thm31_composition) stays out of the gate.
+  const arch::BitLevelMatmulArray array(arch::MatmulMapping::kFig4, u, p);
+  arch::MatmulRunResult mono = array.multiply(x, y);
+  pipeline::TileOptions tile;
+  tile.tile_m = tile.tile_n = tile.tile_k = 8;
+  arch::TiledMatmulResult tiled =
+      arch::multiply_tiled(arch::MatmulMapping::kFig4, p, x, y, tile);
+  report.identical = mono.z == tiled.z;
+
+  constexpr int kReps = 3;
+  auto start = Clock::now();
+  for (int i = 0; i < kReps; ++i) {
+    mono = array.multiply(x, y);
+    benchmark::DoNotOptimize(&mono);
+  }
+  report.monolithic_sec = seconds_since(start) / kReps;
+
+  start = Clock::now();
+  for (int i = 0; i < kReps; ++i) {
+    tiled = arch::multiply_tiled(arch::MatmulMapping::kFig4, p, x, y, tile);
+    benchmark::DoNotOptimize(&tiled);
+  }
+  report.tiled_sec = seconds_since(start) / kReps;
+
+  report.tiled_ratio =
+      report.tiled_sec > 0.0 ? report.monolithic_sec / report.tiled_sec : 0.0;
+  report.gate = report.identical && report.tiled_ratio >= 0.5;
+}
+
+/// Envelope: stream a huge matmul through a fixed 1024-PE virtual
+/// array. Operands are procedural and the check is sampled (serve's
+/// tiled action), so memory stays bounded no matter the instance.
+/// BITLEVEL_TILED_BENCH_M shrinks the instance for slow machines.
+void run_envelope(GateReport& report) {
+  const math::Int m = env_int("BITLEVEL_TILED_BENCH_M", 4096);
+  const math::Int p = 2;
+  serve::ActionParams params;
+  params.request.kernel = pipeline::KernelSpec{"matmul_rect", m, m, 2, 0};
+  params.request.p = p;
+  params.tile.max_pes = 1024;
+
+  pipeline::PlanCache cache(8);
+  const auto start = Clock::now();
+  const serve::TiledOutcome outcome = serve::run_tiled_action(cache, params);
+  report.large_sec = seconds_since(start);
+  report.large_m = m;
+  report.large_tiles = outcome.run.tiles_executed;
+  report.large_tile_pes = outcome.plan.tile_pes;
+  report.large_monolithic_pes = m * m * p * p;
+  report.large_correct = outcome.correct;
+}
+
+void print_tables() {
+  bench::print_header(
+      "BM_Tiled", "tiled partitioning overhead + bounded-array envelope",
+      "Sharding Z = X * Y onto a fixed virtual array must (1) stay within 2x of the "
+      "monolithic run where both fit (CI gate: tiled >= 0.5x monolithic, bit-identical "
+      "product) and (2) complete instances whose monolithic array is unbuildable: "
+      "4096 x 4096 at p = 2 wants 67,108,864 PEs; the tiled run streams it through "
+      "1024.");
+
+  GateReport report;
+  run_gate(report);
+  run_envelope(report);
+
+  char c1[32], c2[32], c3[48];
+  TextTable table({"path", "instance", "PEs", "sec/run", "vs monolithic"});
+  std::snprintf(c1, sizeof c1, "%.4f", report.monolithic_sec);
+  table.add_row({"monolithic", "16x16x16 p3", "2304", c1, "1x"});
+  std::snprintf(c1, sizeof c1, "%.4f", report.tiled_sec);
+  std::snprintf(c2, sizeof c2, "%.2fx", report.tiled_ratio);
+  table.add_row({"tiled 8^3", "16x16x16 p3", "576", c1, c2});
+  std::snprintf(c1, sizeof c1, "%.2f", report.large_sec);
+  std::snprintf(c2, sizeof c2, "%lld", (long long)report.large_tile_pes);
+  std::snprintf(c3, sizeof c3, "%lldx%lldx2 p2 (%lld tiles)", (long long)report.large_m,
+                (long long)report.large_m, (long long)report.large_tiles);
+  table.add_row({"tiled envelope", c3, c2, c1,
+                 report.large_correct ? "monolithic unbuildable" : "WRONG RESULT"});
+  bench::print_table(table);
+  write_json_artifact(report);
+
+  if (!report.identical) {
+    std::printf("GATE FAILED: tiled product differs from the monolithic product\n");
+    std::exit(1);
+  }
+  if (!report.gate) {
+    std::printf("GATE FAILED: tiled run is %.2fx monolithic speed (< 0.5x)\n",
+                report.tiled_ratio);
+    std::exit(1);
+  }
+  if (!report.large_correct) {
+    std::printf("GATE FAILED: envelope run failed its sampled verification\n");
+    std::exit(1);
+  }
+  std::printf(
+      "gates passed: tiled %.2fx monolithic (>= 0.5x, bit-identical); "
+      "%lldx%lld envelope verified through %lld PEs in %.2fs\n\n",
+      report.tiled_ratio, (long long)report.large_m, (long long)report.large_m,
+      (long long)report.large_tile_pes, report.large_sec);
+}
+
+// Timing section: tiled run cost across tile sizes on a fixed 16^3
+// instance — the grid shrinks as tiles grow, trading per-tile passes
+// for per-pass width.
+void BM_TiledMultiply(benchmark::State& state) {
+  const math::Int u = 16, p = 3;
+  const std::uint64_t bound = core::max_safe_operand(p, u, core::Expansion::kII);
+  const arch::WordMatrix x = arch::WordMatrix::random(u, bound, 21);
+  const arch::WordMatrix y = arch::WordMatrix::random(u, bound, 22);
+  pipeline::TileOptions tile;
+  tile.tile_m = tile.tile_n = tile.tile_k = state.range(0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        arch::multiply_tiled(arch::MatmulMapping::kFig4, p, x, y, tile));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TiledMultiply)->Arg(4)->Arg(8)->Arg(16)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BITLEVEL_BENCH_MAIN(print_tables)

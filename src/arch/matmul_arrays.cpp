@@ -188,4 +188,39 @@ Int BitLevelMatmulArray::predicted_cycles() const {
 
 Int BitLevelMatmulArray::predicted_processors() const { return u_ * u_ * p_ * p_; }
 
+TiledMatmulResult multiply_tiled(MatmulMapping which, Int p, const WordMatrix& x,
+                                 const WordMatrix& y, const pipeline::TileOptions& tile,
+                                 const pipeline::TiledRunOptions& run) {
+  BL_REQUIRE(x.u() == y.u(), "matrix extents must match");
+  const Int u = x.u();
+
+  pipeline::DesignRequest base;
+  base.kernel = pipeline::KernelSpec{"matmul", u, 0, 0, 0};
+  base.p = p;
+  base.expansion = core::Expansion::kII;
+  base.mapping = which == MatmulMapping::kFig4 ? pipeline::MappingStrategy::kPublishedFig4
+                                               : pipeline::MappingStrategy::kPublishedFig5;
+
+  pipeline::PlanCache& cache = pipeline::global_plan_cache();
+  const pipeline::TiledPlan plan = pipeline::compose_tiled(cache, base, tile);
+
+  TiledMatmulResult result{WordMatrix(u)};
+  // Model (2.3) operand layout, as in multiply(): x(j) = X[j1, j3],
+  // y(j) = Y[j3, j2]. Tile partial sums land through the sink.
+  const pipeline::TiledRunResult raw = pipeline::run_tiled(
+      cache, plan, [&x](const IntVec& j) { return x.at(j[0], j[2]); },
+      [&y](const IntVec& j) { return y.at(j[2], j[1]); }, run,
+      [&result](Int i, Int j, std::uint64_t partial) { result.z.at(i, j) += partial; });
+
+  result.stats = raw.stats;
+  result.tiles_total = raw.tiles_total;
+  result.tiles_executed = raw.tiles_executed;
+  result.tile_cache_hits = raw.tile_cache_hits;
+  result.tile_pes = plan.tile_pes;
+  result.compiled_items = raw.compiled_items;
+  result.sliced_items = raw.sliced_items;
+  result.scalar_items = raw.scalar_items;
+  return result;
+}
+
 }  // namespace bitlevel::arch

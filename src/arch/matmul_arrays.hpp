@@ -20,6 +20,7 @@
 #include "arch/bit_array.hpp"
 #include "mapping/published.hpp"
 #include "pipeline/executor.hpp"
+#include "pipeline/tiling.hpp"
 
 namespace bitlevel::arch {
 
@@ -179,5 +180,33 @@ class BitLevelMatmulArray {
   Int p_;
   BitLevelArray array_;
 };
+
+/// Result of a tiled matmul run (see pipeline/tiling.hpp).
+struct TiledMatmulResult {
+  WordMatrix z;
+  /// Statistics of one interior-tile pass (value-independent).
+  sim::SimulationStats stats;
+  Int tiles_total = 0;
+  Int tiles_executed = 0;
+  Int tile_cache_hits = 0;
+  Int tile_pes = 0;  ///< PE count of one interior tile's array.
+  // Per-tile execution accounting (run_batch buckets):
+  // compiled + sliced + scalar == tiles_executed.
+  Int compiled_items = 0;
+  Int sliced_items = 0;
+  Int scalar_items = 0;
+};
+
+/// Multiply Z = X * Y on a BOUNDED virtual array: the instance is
+/// decomposed into a grid of matmul_rect tiles (pipeline::compose_tiled
+/// under the published mapping `which`), every tile streams through the
+/// sliced/compiled batch engine, and k-axis partial sums accumulate in
+/// plain words — bit-identical to BitLevelMatmulArray::multiply
+/// wherever the monolithic array fits. Tile shape plans rendezvous in
+/// the global plan cache: one composition per distinct shape per
+/// process, however large the grid.
+TiledMatmulResult multiply_tiled(MatmulMapping which, Int p, const WordMatrix& x,
+                                 const WordMatrix& y, const pipeline::TileOptions& tile,
+                                 const pipeline::TiledRunOptions& run = {});
 
 }  // namespace bitlevel::arch

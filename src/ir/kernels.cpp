@@ -105,10 +105,10 @@ const std::vector<KernelInfo>& registry() {
       // Every current kernel expands through Theorem 3.1 to the
       // pure-boolean compressor cell, so all are sliceable.
       {"matmul", 1, "u (matrix extent)", "square matrix multiplication Z = X * Y, program (2.3)",
-       [](Int u, Int, Int) { return matmul(u); }, true},
+       [](Int u, Int, Int) { return matmul(u); }, true, "matmul_rect"},
       {"matmul_rect", 3, "u (rows of X), v (cols of Y), w (inner extent)",
        "rectangular matrix multiplication over [1,u]x[1,v]x[1,w]",
-       [](Int u, Int v, Int w) { return matmul_rect(u, v, w); }, true},
+       [](Int u, Int v, Int w) { return matmul_rect(u, v, w); }, true, "matmul_rect"},
       {"conv", 2, "u (outputs), v (taps)", "1-D convolution with anti-diagonal input pipelining",
        [](Int u, Int v, Int) { return convolution1d(u, v); }, true},
       {"matvec", 2, "u (rows), v (cols)",
@@ -132,6 +132,16 @@ const KernelInfo* find_kernel(const std::string& name) {
 std::string registered_names() {
   std::string names;
   for (const auto& info : registry()) {
+    if (!names.empty()) names += ", ";
+    names += info.name;
+  }
+  return names;
+}
+
+std::string tileable_names() {
+  std::string names;
+  for (const auto& info : registry()) {
+    if (info.tile_kernel == nullptr) continue;
     if (!names.empty()) names += ", ";
     names += info.name;
   }

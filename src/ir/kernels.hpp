@@ -78,6 +78,12 @@ struct KernelInfo {
   /// carry 64 batch items through one machine pass. A kernel whose cell
   /// did word-level arithmetic would have to stay scalar.
   bool sliceable = false;
+  /// Non-null when instances of this kernel decompose onto a bounded
+  /// virtual array (pipeline/tiling.hpp): names the registry kernel a
+  /// single tile instantiates. Both square and rectangular matmul tile
+  /// as matmul_rect sub-products whose partial sums add exactly; null
+  /// means the kernel has no tiling decomposition registered.
+  const char* tile_kernel = nullptr;
 };
 
 /// All registered kernels, in presentation order.
@@ -88,6 +94,10 @@ const KernelInfo* find_kernel(const std::string& name);
 
 /// Comma-separated list of registered names, for error messages.
 std::string registered_names();
+
+/// Comma-separated list of tileable kernel names (tile_kernel set),
+/// for the tiling layer's error messages.
+std::string tileable_names();
 
 /// Instantiate a registered kernel; throws NotFoundError naming the
 /// allowed set when `name` is unknown.

@@ -63,6 +63,14 @@ PlanPtr PlanCache::get_or_compose(const DesignRequest& request) {
   try {
     PlanPtr plan = compose(request);
     promise.set_value(plan);
+    {
+      // Stamp the entry's byte estimate (if the entry is still ours —
+      // it may have been evicted or cleared while we composed).
+      const std::size_t bytes = approximate_plan_bytes(*plan);
+      std::lock_guard<std::mutex> lock(mu_);
+      const auto it = index_.find(key);
+      if (it != index_.end() && it->second->tag == my_tag) it->second->bytes = bytes;
+    }
     return plan;
   } catch (...) {
     promise.set_exception(std::current_exception());
@@ -89,7 +97,17 @@ PlanPtr PlanCache::peek(const std::string& key) const {
 
 PlanCacheStats PlanCache::stats() const {
   std::lock_guard<std::mutex> lock(mu_);
-  return PlanCacheStats{hits_, misses_, evictions_, index_.size(), capacity_};
+  std::uint64_t resident_bytes = 0;
+  for (const Entry& entry : lru_) resident_bytes += entry.bytes;
+  return PlanCacheStats{hits_, misses_, evictions_, index_.size(), capacity_, resident_bytes};
+}
+
+std::vector<PlanCacheEntryStats> PlanCache::entry_stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<PlanCacheEntryStats> entries;
+  entries.reserve(lru_.size());
+  for (const Entry& entry : lru_) entries.push_back({entry.key, entry.bytes});
+  return entries;
 }
 
 std::size_t PlanCache::leaked_plans() const {

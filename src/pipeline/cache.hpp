@@ -15,6 +15,7 @@
 #include <mutex>
 #include <string>
 #include <unordered_map>
+#include <vector>
 
 #include "pipeline/compose.hpp"
 
@@ -27,6 +28,17 @@ struct PlanCacheStats {
   std::uint64_t evictions = 0;  ///< Plans dropped by the LRU bound.
   std::size_t size = 0;         ///< Plans currently resident.
   std::size_t capacity = 0;     ///< LRU bound.
+  /// Approximate heap bytes of the resident plans (sum of
+  /// approximate_plan_bytes over ready entries) — capacity reasoning
+  /// for tiled workloads that park many shape plans, not an allocator
+  /// audit. In-flight compositions contribute 0 until they finish.
+  std::uint64_t resident_bytes = 0;
+};
+
+/// Per-entry snapshot for the serve `stats` endpoint.
+struct PlanCacheEntryStats {
+  std::string key;
+  std::size_t bytes = 0;  ///< 0 while the composition is in flight.
 };
 
 class PlanCache {
@@ -45,6 +57,10 @@ class PlanCache {
   PlanPtr peek(const std::string& key) const;
 
   PlanCacheStats stats() const;
+
+  /// Per-entry (key, approximate bytes) snapshots in most-recently-used
+  /// order.
+  std::vector<PlanCacheEntryStats> entry_stats() const;
 
   /// Resident plans still referenced outside the cache: an in-flight
   /// composition, or a ready plan whose PlanPtr has copies beyond the
@@ -65,6 +81,7 @@ class PlanCache {
     std::string key;
     std::shared_future<PlanPtr> plan;
     std::uint64_t tag = 0;  ///< Identifies the inserting call (failure cleanup).
+    std::size_t bytes = 0;  ///< approximate_plan_bytes, stamped on success.
   };
   using EntryList = std::list<Entry>;
 

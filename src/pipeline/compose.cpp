@@ -154,6 +154,35 @@ std::string to_string(MappingOrigin origin) {
   return "?";
 }
 
+std::size_t approximate_plan_bytes(const DesignPlan& plan) {
+  const auto vec_bytes = [](const math::IntVec& v) {
+    return sizeof(math::IntVec) + v.size() * sizeof(math::Int);
+  };
+  std::size_t bytes = sizeof(DesignPlan) + plan.key.size() + plan.request.kernel.name.size();
+  if (plan.structure != nullptr) {
+    bytes += sizeof(core::BitLevelStructure);
+    for (const ir::DependenceVector& col : plan.structure->deps.columns()) {
+      bytes += sizeof(ir::DependenceVector) + col.d.size() * sizeof(math::Int) +
+               col.cause.size();
+    }
+  }
+  for (const mapping::DesignCandidate& d : plan.explore.designs) {
+    bytes += sizeof(mapping::DesignCandidate) +
+             (d.projections.rows() * d.projections.cols() + d.t.matrix().rows() * d.t.matrix().cols()) *
+                 sizeof(math::Int);
+  }
+  if (plan.compiled != nullptr) {
+    const CompiledSchedule& c = *plan.compiled;
+    bytes += sizeof(CompiledSchedule);
+    for (const math::IntVec& w : c.word_points) bytes += vec_bytes(w);
+    for (const math::IntVec& pt : c.points) bytes += vec_bytes(pt);
+    bytes += c.events.size() * sizeof(CompiledEvent);
+    bytes += (c.pass_first.size() + c.boundary_words.size()) * sizeof(std::uint32_t);
+    bytes += c.readout_bits.size() * sizeof(CompiledSchedule::ReadBit);
+  }
+  return bytes;
+}
+
 std::string DesignPlan::to_string() const {
   std::ostringstream os;
   os << "plan " << key << "\n";

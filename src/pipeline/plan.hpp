@@ -74,4 +74,11 @@ struct DesignPlan {
 
 using PlanPtr = std::shared_ptr<const DesignPlan>;
 
+/// Approximate resident heap bytes of a composed plan: the compiled
+/// schedule's flattened arrays (the dominant term for sliceable plans),
+/// the bit-level structure's dependence columns, and the exploration
+/// record. An estimate for capacity reasoning — tiled workloads park
+/// many small shape plans in the cache — not an allocator audit.
+std::size_t approximate_plan_bytes(const DesignPlan& plan);
+
 }  // namespace bitlevel::pipeline

@@ -1,0 +1,276 @@
+#include "pipeline/tiling.hpp"
+
+#include <array>
+#include <cmath>
+#include <string>
+#include <utility>
+
+#include "ir/kernels.hpp"
+#include "pipeline/compiled.hpp"
+#include "support/error.hpp"
+
+namespace bitlevel::pipeline {
+
+namespace {
+
+using math::Int;
+using math::IntVec;
+
+/// The instance extents (m, n, k) of a tileable kernel: matmul is the
+/// cube (u, u, u), matmul_rect the box (u, v, w). Tileable kernels are
+/// exactly the 3-D matmul family (KernelInfo::tile_kernel), so arity
+/// distinguishes the two spellings.
+std::array<Int, 3> instance_extents(const ir::kernels::KernelInfo& info,
+                                    const KernelSpec& kernel) {
+  if (info.arity == 1) return {kernel.u, kernel.u, kernel.u};
+  return {kernel.u, kernel.v, kernel.w};
+}
+
+const ir::kernels::KernelInfo& tileable_info(const DesignRequest& base) {
+  const ir::kernels::KernelInfo* info = ir::kernels::find_kernel(base.kernel.name);
+  if (info == nullptr) {
+    throw NotFoundError("unknown kernel '" + base.kernel.name +
+                        "' (known: " + ir::kernels::registered_names() + ")");
+  }
+  BL_REQUIRE(info->tile_kernel != nullptr,
+             "kernel '" + base.kernel.name + "' is not tileable (tileable kernels: " +
+                 ir::kernels::tileable_names() + ")");
+  BL_REQUIRE(base.kernel.batch == 0, "tiling a batched kernel is not supported");
+  BL_REQUIRE(base.mapping != MappingStrategy::kStructureOnly,
+             "tiling requires a runnable mapping strategy");
+  return *info;
+}
+
+Int isqrt_floor(Int v) {
+  Int t = static_cast<Int>(std::sqrt(static_cast<double>(v)));
+  while (t > 0 && t * t > v) --t;
+  while ((t + 1) * (t + 1) <= v) ++t;
+  return t;
+}
+
+void check_dim(const char* name, char extent_name, Int dim, Int extent) {
+  if (dim == 0) return;
+  BL_REQUIRE(dim >= 1, std::string(name) + " must be >= 1");
+  BL_REQUIRE(dim <= extent, std::string(name) + " (" + std::to_string(dim) +
+                                ") exceeds the instance extent " + extent_name + " (" +
+                                std::to_string(extent) + ")");
+}
+
+/// The shape-level request a tile composes and runs under: the base
+/// request with the kernel swapped for the tile kernel at the shape's
+/// extents. p, expansion, mapping strategy and objective carry over, so
+/// a tile plan is an ordinary pipeline plan keyed like any other.
+DesignRequest tile_request(const DesignRequest& base, const std::string& tile_kernel,
+                           const TileDims& shape) {
+  DesignRequest request = base;
+  request.kernel = KernelSpec{tile_kernel, shape.m, shape.n, shape.k, 0};
+  return request;
+}
+
+/// One dimension of the tile grid: the distinct tile sizes along it
+/// with the inclusive grid-coordinate range each covers. At most two
+/// blocks — the full tiles, then the ragged remainder.
+struct DimBlock {
+  Int size = 0;
+  Int lo = 0;  ///< First grid coordinate with this size (1-based).
+  Int hi = 0;  ///< Last grid coordinate with this size.
+};
+
+std::vector<DimBlock> dim_blocks(Int extent, Int tile) {
+  const Int grid = (extent + tile - 1) / tile;
+  const Int rem = extent % tile;
+  std::vector<DimBlock> blocks;
+  const Int full = rem == 0 ? grid : grid - 1;
+  if (full >= 1) blocks.push_back({tile, 1, full});
+  if (rem != 0) blocks.push_back({rem, grid, grid});
+  return blocks;
+}
+
+}  // namespace
+
+bool tiling_requested(const TileOptions& options) {
+  return options.tile_m != 0 || options.tile_n != 0 || options.tile_k != 0 ||
+         options.max_pes != 0;
+}
+
+TileDims resolve_tile_dims(const DesignRequest& base, const TileOptions& options) {
+  const ir::kernels::KernelInfo& info = tileable_info(base);
+  BL_REQUIRE(tiling_requested(options),
+             "tiling requires tile dimensions or a max_pes budget");
+  const auto [m, n, k] = instance_extents(info, base.kernel);
+  check_dim("tile_m", 'm', options.tile_m, m);
+  check_dim("tile_n", 'n', options.tile_n, n);
+  check_dim("tile_k", 'k', options.tile_k, k);
+  BL_REQUIRE(options.max_pes >= 0, "max_pes must be >= 1 (0 = unbounded)");
+
+  const Int per_cell = base.p * base.p;  // PEs per word cell: the p x p grid.
+  TileDims dims;
+  dims.k = options.tile_k != 0 ? options.tile_k : k;
+  if (options.tile_m != 0 || options.tile_n != 0) {
+    // Explicit dims; an unset partner copies the set one (clamped).
+    dims.m = options.tile_m != 0 ? options.tile_m : std::min(options.tile_n, m);
+    dims.n = options.tile_n != 0 ? options.tile_n : std::min(options.tile_m, n);
+  } else {
+    // Derive the largest square tile the budget fits.
+    BL_REQUIRE(options.max_pes != 0, "tiling requires tile dimensions or a max_pes budget");
+    const Int budget_cells = options.max_pes / per_cell;
+    BL_REQUIRE(budget_cells >= 1, "max_pes (" + std::to_string(options.max_pes) +
+                                      ") cannot fit a 1x1 tile (p^2 = " +
+                                      std::to_string(per_cell) + " PEs)");
+    const Int t = isqrt_floor(budget_cells);
+    dims.m = std::min(t, m);
+    dims.n = std::min(t, n);
+  }
+  if (options.max_pes != 0) {
+    const Int need = dims.m * dims.n * per_cell;
+    BL_REQUIRE(need <= options.max_pes,
+               "tile " + std::to_string(dims.m) + "x" + std::to_string(dims.n) + " needs " +
+                   std::to_string(need) + " PEs, exceeding max_pes (" +
+                   std::to_string(options.max_pes) + ")");
+  }
+  return dims;
+}
+
+TiledPlan compose_tiled(PlanCache& cache, const DesignRequest& base,
+                        const TileOptions& options) {
+  const ir::kernels::KernelInfo& info = tileable_info(base);
+  const TileDims dims = resolve_tile_dims(base, options);
+  const auto [m, n, k] = instance_extents(info, base.kernel);
+
+  TiledPlan tiled;
+  tiled.base = base;
+  tiled.tile_kernel = info.tile_kernel;
+  tiled.m = m;
+  tiled.n = n;
+  tiled.k = k;
+  tiled.tile_m = dims.m;
+  tiled.tile_n = dims.n;
+  tiled.tile_k = dims.k;
+  tiled.grid_m = (m + dims.m - 1) / dims.m;
+  tiled.grid_n = (n + dims.n - 1) / dims.n;
+  tiled.grid_k = (k + dims.k - 1) / dims.k;
+  tiled.max_pes = options.max_pes;
+
+  // Cross the per-dimension blocks: at most 2 x 2 x 2 distinct shapes,
+  // interior first (full sizes precede remainders in every dimension).
+  for (const DimBlock& bm : dim_blocks(m, dims.m)) {
+    for (const DimBlock& bn : dim_blocks(n, dims.n)) {
+      for (const DimBlock& bk : dim_blocks(k, dims.k)) {
+        TileShapePlan shape;
+        shape.shape = TileDims{bm.size, bn.size, bk.size};
+        shape.tiles = (bm.hi - bm.lo + 1) * (bn.hi - bn.lo + 1) * (bk.hi - bk.lo + 1);
+        const DesignRequest request = tile_request(base, tiled.tile_kernel, shape.shape);
+        shape.was_cached = cache.peek(canonical_key(request)) != nullptr;
+        if (shape.was_cached) ++tiled.tile_cache_hits;
+        shape.plan = cache.get_or_compose(request);
+        BL_REQUIRE(shape.plan->has_mapping(),
+                   "no feasible design for tile shape " + std::to_string(bm.size) + "x" +
+                       std::to_string(bn.size) + "x" + std::to_string(bk.size) + " (kernel " +
+                       tiled.tile_kernel + ")");
+        tiled.tiles_total += shape.tiles;
+        tiled.shapes.push_back(std::move(shape));
+      }
+    }
+  }
+
+  // PE count of one interior tile's array: the compiled schedule's
+  // analytic stats when the plan carries one, else the matmul closed
+  // form m * n * p^2 (k stretches the schedule, not the array).
+  const TileShapePlan& interior = tiled.shapes.front();
+  if (interior.plan->compiled != nullptr) {
+    tiled.tile_pes = interior.plan->compiled->stats_dense.pe_count;
+  } else {
+    tiled.tile_pes = interior.shape.m * interior.shape.n * base.p * base.p;
+  }
+  return tiled;
+}
+
+TiledRunResult run_tiled(PlanCache& cache, const TiledPlan& tiled, const core::OperandFn& x,
+                         const core::OperandFn& y, const TiledRunOptions& options,
+                         const TileSink& sink) {
+  BL_REQUIRE(!tiled.shapes.empty(), "tiled plan has no shapes (not composed?)");
+  BL_REQUIRE(options.max_tiles_in_flight >= 1, "max_tiles_in_flight must be >= 1");
+
+  TiledRunResult result;
+  result.tiles_total = tiled.tiles_total;
+  result.tile_cache_hits = tiled.tile_cache_hits;
+
+  BatchOptions batch_options;
+  batch_options.threads = options.threads;
+  batch_options.memory = options.memory;
+  batch_options.sliced = options.sliced;
+  batch_options.compiled = options.compiled;
+  batch_options.lane_width = options.lane_width;
+
+  const std::vector<DimBlock> rows = dim_blocks(tiled.m, tiled.tile_m);
+  const std::vector<DimBlock> cols = dim_blocks(tiled.n, tiled.tile_n);
+  const std::vector<DimBlock> deps = dim_blocks(tiled.k, tiled.tile_k);
+
+  bool have_stats = false;
+  std::size_t shape_index = 0;
+  for (const DimBlock& bm : rows) {
+    for (const DimBlock& bn : cols) {
+      for (const DimBlock& bk : deps) {
+        const TileShapePlan& shape = tiled.shapes[shape_index++];
+        const DesignRequest request = tile_request(tiled.base, tiled.tile_kernel, shape.shape);
+
+        // Stream this shape's tiles through run_batch in bounded
+        // shards: each tile becomes one BatchItem whose operand
+        // functions are offset views of the instance operands.
+        std::vector<std::array<Int, 3>> offsets;  // (oi, oj, ok) per tile
+        std::vector<BatchItem> items;
+        const auto flush = [&] {
+          if (items.empty()) return;
+          const BatchResult batch = run_batch(cache, request, items, batch_options);
+          result.tiles_executed += static_cast<Int>(items.size());
+          result.compiled_groups += batch.compiled_groups;
+          result.compiled_items += batch.compiled_items;
+          result.sliced_groups += batch.sliced_groups;
+          result.sliced_items += batch.sliced_items;
+          result.scalar_items += batch.scalar_items;
+          if (!have_stats) {
+            result.stats = batch.results.front().stats;
+            have_stats = true;
+          }
+          for (std::size_t t = 0; t < items.size(); ++t) {
+            const auto [oi, oj, ok] = offsets[t];
+            for (const auto& [j, v] : batch.results[t].z) {
+              // Tile read-out keys carry the tile-local word point; its
+              // leading two coordinates are the output element.
+              if (sink) {
+                sink(oi + j[0], oj + j[1], v);
+              } else {
+                result.z[IntVec{oi + j[0], oj + j[1]}] += v;
+              }
+            }
+          }
+          items.clear();
+          offsets.clear();
+        };
+
+        for (Int a = bm.lo; a <= bm.hi; ++a) {
+          for (Int b = bn.lo; b <= bn.hi; ++b) {
+            for (Int c = bk.lo; c <= bk.hi; ++c) {
+              const Int oi = (a - 1) * tiled.tile_m;
+              const Int oj = (b - 1) * tiled.tile_n;
+              const Int ok = (c - 1) * tiled.tile_k;
+              offsets.push_back({oi, oj, ok});
+              items.push_back(BatchItem{
+                  [&x, oi, oj, ok](const IntVec& j) {
+                    return x(IntVec{oi + j[0], oj + j[1], ok + j[2]});
+                  },
+                  [&y, oi, oj, ok](const IntVec& j) {
+                    return y(IntVec{oi + j[0], oj + j[1], ok + j[2]});
+                  }});
+              if (static_cast<Int>(items.size()) >= options.max_tiles_in_flight) flush();
+            }
+          }
+        }
+        flush();
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace bitlevel::pipeline

@@ -1,0 +1,156 @@
+// Tiled array partitioning: shard one huge kernel instance onto a
+// bounded virtual array.
+//
+// The paper sizes a bit-level matmul array at u^2 p^2 PEs — one
+// monolithic machine per instance — which caps the instance at
+// whatever a single sim::Machine (or CompiledSchedule) fits in memory.
+// This layer decomposes a tileable kernel instance into a deterministic
+// grid of TILE-level DesignRequests: each tile is a matmul_rect
+// sub-product small enough for a fixed PE budget, composed through the
+// ordinary pipeline (Theorem 3.1 expansion + published/explored
+// mapping + compiled schedule) and executed through run_batch so the
+// bit-sliced and compiled wide-lane fast paths carry up to hundreds of
+// tiles per machine pass. Inter-tile accumulation along the k axis is
+// plain word addition outside the array, which is exact: tile partial
+// sums are sums of disjoint subsets of the same non-negative addends
+// the monolithic chain accumulates, so their total is bit-identical to
+// the monolithic read-out.
+//
+// Caching is by tile SHAPE, not by tile: a ragged grid has at most
+// eight distinct (m, n, k) tile shapes (interior / edge / corner), and
+// each shape's DesignRequest rendezvouses in the shared PlanCache —
+// one Theorem 3.1 composition per distinct shape per process, however
+// many tiles the grid holds.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "pipeline/executor.hpp"
+
+namespace bitlevel::pipeline {
+
+/// Tile-grid knobs. 0 means "unset": unset tile_k defaults to the full
+/// k extent (no inter-tile accumulation); unset tile_m/tile_n are
+/// derived from max_pes (the largest square tile whose array fits the
+/// budget). Setting nothing is an error — tiling must be asked for.
+struct TileOptions {
+  math::Int tile_m = 0;
+  math::Int tile_n = 0;
+  math::Int tile_k = 0;
+  /// PE budget for one tile's virtual array: tile_m * tile_n * p^2 must
+  /// not exceed it. 0 = unbounded (explicit tile dims required).
+  math::Int max_pes = 0;
+};
+
+/// True when any TileOptions field is set — the caller asked to tile.
+bool tiling_requested(const TileOptions& options);
+
+/// Resolved tile dimensions (every field >= 1 after resolution).
+struct TileDims {
+  math::Int m = 0;
+  math::Int n = 0;
+  math::Int k = 0;
+};
+
+/// One distinct tile shape of the grid with its shared child plan.
+struct TileShapePlan {
+  TileDims shape;
+  PlanPtr plan;            ///< Composed matmul_rect plan for this shape.
+  bool was_cached = false; ///< Plan was resident before compose_tiled looked.
+  math::Int tiles = 0;     ///< Grid tiles of this shape.
+};
+
+/// A composed tiled plan: the deterministic tile grid plus one child
+/// plan per distinct tile shape. Immutable after compose_tiled.
+struct TiledPlan {
+  DesignRequest base;       ///< The validated instance-level request.
+  std::string tile_kernel;  ///< Registry kernel each tile instantiates.
+  math::Int m = 0, n = 0, k = 0;                ///< Instance extents.
+  math::Int tile_m = 0, tile_n = 0, tile_k = 0; ///< Resolved tile dims.
+  math::Int grid_m = 0, grid_n = 0, grid_k = 0; ///< ceil(extent / tile).
+  /// Distinct shapes in descending lexicographic (m, n, k) order — the
+  /// full interior tile first, corner last.
+  std::vector<TileShapePlan> shapes;
+  math::Int tiles_total = 0;
+  /// Shape-plan lookups served by an already-resident plan during
+  /// compose_tiled (0..shapes.size(); equals shapes.size() when a
+  /// previous composition of the same grid warmed the cache).
+  math::Int tile_cache_hits = 0;
+  math::Int tile_pes = 0;  ///< PE count of one interior tile's array.
+  math::Int max_pes = 0;   ///< The requested budget (0 = none).
+};
+
+/// Validate the options against the request and resolve the tile
+/// dimensions. Throws PreconditionError on: a kernel without a tiling
+/// decomposition (ir::kernels::KernelInfo::tile_kernel), a tile
+/// dimension exceeding its instance extent, a budget too small for a
+/// single 1x1 tile, explicit dims that overrun the budget, or tiling
+/// that was never requested.
+TileDims resolve_tile_dims(const DesignRequest& base, const TileOptions& options);
+
+/// Compose the tiled plan: resolve the grid, then compose (or fetch)
+/// one child plan per distinct tile shape through `cache` — the
+/// one-composition-per-shape guarantee is the cache's
+/// one-composition-per-key guarantee applied to shape-level requests.
+/// Child plans inherit the base request's p, expansion, mapping
+/// strategy and objective. Throws PreconditionError when a shape has
+/// no feasible mapping.
+TiledPlan compose_tiled(PlanCache& cache, const DesignRequest& base,
+                        const TileOptions& options);
+
+/// Execution knobs for a tiled run (per-tile BatchOptions plus the
+/// shard size).
+struct TiledRunOptions {
+  int threads = 0;
+  sim::MemoryMode memory = sim::MemoryMode::kDense;
+  SlicedMode sliced = SlicedMode::kAuto;
+  SlicedMode compiled = SlicedMode::kAuto;
+  int lane_width = 0;
+  /// Tiles materialized as BatchItems per run_batch call. Bounds the
+  /// transient per-chunk memory (items + per-tile read-out maps) for
+  /// grids of millions of tiles; counters are unaffected.
+  math::Int max_tiles_in_flight = 4096;
+};
+
+/// Optional output sink: called once per tile per output word with the
+/// tile's PARTIAL sum for global element (i, j) — the caller
+/// accumulates (+=). Lets huge instances stream into flat storage
+/// instead of the result map. Calls arrive in deterministic order:
+/// shapes in grid order, tiles lexicographic within a shape, k tiles
+/// in ascending order.
+using TileSink = std::function<void(math::Int i, math::Int j, std::uint64_t partial)>;
+
+/// Result of one tiled execution.
+struct TiledRunResult {
+  /// Final accumulated output word per (i, j), keyed {i, j}. Left empty
+  /// when a sink is supplied.
+  std::map<math::IntVec, std::uint64_t> z;
+  /// Statistics of one interior-tile pass (value-independent, identical
+  /// for every tile of the leading shape).
+  sim::SimulationStats stats;
+  math::Int tiles_total = 0;
+  math::Int tiles_executed = 0;
+  math::Int tile_cache_hits = 0;
+  // run_batch accounting summed over every shard:
+  // compiled_items + sliced_items + scalar_items == tiles_executed.
+  math::Int compiled_groups = 0;
+  math::Int compiled_items = 0;
+  math::Int sliced_groups = 0;
+  math::Int sliced_items = 0;
+  math::Int scalar_items = 0;
+};
+
+/// Execute every tile of the grid over the shape plans, sharded through
+/// run_batch (ThreadPool + sliced/compiled fast paths reused
+/// unchanged), and accumulate the partial sums. `x` and `y` are the
+/// INSTANCE-level operand functions over global word points — tiles
+/// read them through offset views. Bit-identical to a monolithic run
+/// of the instance wherever one fits (see the file comment).
+TiledRunResult run_tiled(PlanCache& cache, const TiledPlan& tiled, const core::OperandFn& x,
+                         const core::OperandFn& y, const TiledRunOptions& options = {},
+                         const TileSink& sink = {});
+
+}  // namespace bitlevel::pipeline

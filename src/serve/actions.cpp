@@ -1,10 +1,12 @@
 #include "serve/actions.hpp"
 
+#include <map>
 #include <utility>
 #include <vector>
 
 #include "core/evaluator.hpp"
 #include "core/workload.hpp"
+#include "support/rng.hpp"
 
 namespace bitlevel::serve {
 
@@ -152,6 +154,144 @@ int emit_batch_json(JsonWriter& w, const ActionParams& params, const BatchOutcom
   w.key("memory").value(memory_name(params.request.memory));
   w.key("peak_live_slots").value(stats.peak_live_slots);
   w.key("pi").value(outcome.plan->t->schedule());
+  return outcome.correct ? 0 : 1;
+}
+
+namespace {
+
+/// Procedural instance operands for the tiled action: seeded hashes of
+/// the word point respecting the matmul pipelining invariants (x a
+/// function of (j1, j3), y of (j3, j2)), bounded by the capacity
+/// precondition of the FULL k chain — safe for every tile, whose
+/// chains are never longer, and for the monolithic reference.
+core::OperandFn tiled_x(std::uint64_t seed, std::uint64_t bound) {
+  return [seed, bound](const math::IntVec& j) {
+    return hash_mix(hash_mix(hash_mix(seed, 1), static_cast<std::uint64_t>(j[0])),
+                    static_cast<std::uint64_t>(j[2])) %
+           (bound + 1);
+  };
+}
+
+core::OperandFn tiled_y(std::uint64_t seed, std::uint64_t bound) {
+  return [seed, bound](const math::IntVec& j) {
+    return hash_mix(hash_mix(hash_mix(seed, 2), static_cast<std::uint64_t>(j[2])),
+                    static_cast<std::uint64_t>(j[1])) %
+           (bound + 1);
+  };
+}
+
+/// Reference product element z(i, j) = sum_l x * y, O(k).
+std::uint64_t tiled_reference_at(math::Int i, math::Int j, math::Int k,
+                                 const core::OperandFn& x, const core::OperandFn& y) {
+  std::uint64_t acc = 0;
+  for (math::Int l = 1; l <= k; ++l) {
+    acc += x(math::IntVec{i, j, l}) * y(math::IntVec{i, j, l});
+  }
+  return acc;
+}
+
+}  // namespace
+
+TiledOutcome run_tiled_action(pipeline::PlanCache& cache, const ActionParams& params) {
+  pipeline::DesignRequest request = params.request;
+  request.mapping = pipeline::MappingStrategy::kAuto;
+
+  TiledOutcome outcome;
+  outcome.plan = pipeline::compose_tiled(cache, request, params.tile);
+  const pipeline::TiledPlan& plan = outcome.plan;
+
+  const std::uint64_t bound =
+      core::max_safe_operand(request.p, plan.k, request.expansion);
+  const core::OperandFn x = tiled_x(params.seed, bound);
+  const core::OperandFn y = tiled_y(params.seed, bound);
+
+  pipeline::TiledRunOptions options;
+  options.threads = request.threads;
+  options.memory = request.memory;
+  options.sliced = params.sliced;
+  options.compiled = params.compiled;
+  options.lane_width = params.lanes;
+
+  // Full verification costs m * n * k reference multiplies; beyond
+  // 2^22 of those, sample the four corners and the center instead —
+  // each O(k) — so arbitrarily large instances stay checkable.
+  constexpr math::Int kFullCheckLimit = math::Int{1} << 22;
+  outcome.full_check = plan.m * plan.n * plan.k <= kFullCheckLimit;
+  if (outcome.full_check) {
+    outcome.run = pipeline::run_tiled(cache, plan, x, y, options);
+    bool ok = !outcome.run.z.empty();
+    for (const auto& [ij, v] : outcome.run.z) {
+      ok = ok && v == tiled_reference_at(ij[0], ij[1], plan.k, x, y);
+      ++outcome.checked_outputs;
+    }
+    outcome.correct = ok;
+  } else {
+    const std::vector<math::IntVec> samples = {
+        {1, 1},
+        {1, plan.n},
+        {plan.m, 1},
+        {plan.m, plan.n},
+        {(plan.m + 1) / 2, (plan.n + 1) / 2}};
+    std::map<math::IntVec, std::uint64_t> acc;
+    for (const math::IntVec& s : samples) acc.emplace(s, 0);
+    outcome.run = pipeline::run_tiled(
+        cache, plan, x, y, options,
+        [&acc](math::Int i, math::Int j, std::uint64_t partial) {
+          const auto it = acc.find(math::IntVec{i, j});
+          if (it != acc.end()) it->second += partial;
+        });
+    bool ok = true;
+    for (const auto& [ij, v] : acc) {
+      ok = ok && v == tiled_reference_at(ij[0], ij[1], plan.k, x, y);
+      ++outcome.checked_outputs;
+    }
+    outcome.correct = ok;
+  }
+  return outcome;
+}
+
+int emit_tiled_json(JsonWriter& w, const ActionParams& params, const TiledOutcome& outcome) {
+  const pipeline::TiledPlan& plan = outcome.plan;
+  const pipeline::TiledRunResult& run = outcome.run;
+  const sim::SimulationStats& stats = run.stats;
+  w.key("action").value("tiled");
+  w.key("kernel").value(params.request.kernel.name);
+  w.key("p").value(params.request.p);
+  w.key("m").value(plan.m);
+  w.key("n").value(plan.n);
+  w.key("k").value(plan.k);
+  w.key("tile").begin_object();
+  w.key("m").value(plan.tile_m);
+  w.key("n").value(plan.tile_n);
+  w.key("k").value(plan.tile_k);
+  w.key("grid_m").value(plan.grid_m);
+  w.key("grid_n").value(plan.grid_n);
+  w.key("grid_k").value(plan.grid_k);
+  w.key("shapes").value(static_cast<std::int64_t>(plan.shapes.size()));
+  w.key("tile_pes").value(plan.tile_pes);
+  w.key("max_pes").value(plan.max_pes);
+  w.end_object();
+  w.key("tiles_total").value(run.tiles_total);
+  w.key("tiles_executed").value(run.tiles_executed);
+  w.key("tile_cache_hits").value(run.tile_cache_hits);
+  w.key("sliced").begin_object();
+  w.key("mode").value(pipeline::to_string(params.sliced));
+  w.key("compiled").value(pipeline::to_string(params.compiled));
+  w.key("lanes").value(static_cast<std::int64_t>(params.lanes));
+  w.key("compiled_groups").value(run.compiled_groups);
+  w.key("compiled_items").value(run.compiled_items);
+  w.key("groups").value(run.sliced_groups);
+  w.key("sliced_items").value(run.sliced_items);
+  w.key("scalar_items").value(run.scalar_items);
+  w.end_object();
+  w.key("check").value(outcome.full_check ? "full" : "sampled");
+  w.key("checked_outputs").value(outcome.checked_outputs);
+  w.key("correct").value(outcome.correct);
+  w.key("cycles_per_tile").value(stats.cycles);
+  w.key("processors").value(stats.pe_count);
+  w.key("utilization").value(stats.pe_utilization);
+  w.key("memory").value(memory_name(params.request.memory));
+  w.key("peak_live_slots").value(stats.peak_live_slots);
   return outcome.correct ? 0 : 1;
 }
 

@@ -17,6 +17,7 @@
 #include "pipeline/cache.hpp"
 #include "pipeline/campaign.hpp"
 #include "pipeline/executor.hpp"
+#include "pipeline/tiling.hpp"
 #include "support/json.hpp"
 
 namespace bitlevel::serve {
@@ -33,6 +34,7 @@ struct ActionParams {
   pipeline::SlicedMode compiled = pipeline::SlicedMode::kAuto;
   int lanes = 0;
   pipeline::CampaignOptions campaign;  ///< fault-campaign knobs (seed synced).
+  pipeline::TileOptions tile;          ///< tiled action: grid knobs / PE budget.
 };
 
 // ---------------------------------------------------------------- design
@@ -82,6 +84,31 @@ BatchOutcome run_batch_action(pipeline::PlanCache& cache, const ActionParams& pa
 /// Members of the batch --json document. Returns the CLI exit status.
 /// Requires outcome.feasible.
 int emit_batch_json(JsonWriter& w, const ActionParams& params, const BatchOutcome& outcome);
+
+// ----------------------------------------------------------------- tiled
+
+struct TiledOutcome {
+  pipeline::TiledPlan plan;          ///< The composed tile grid + shape plans.
+  pipeline::TiledRunResult run;
+  bool correct = false;              ///< Checked outputs match the reference.
+  bool full_check = false;           ///< Every output verified (else sampled).
+  math::Int checked_outputs = 0;     ///< Output elements compared.
+};
+
+/// Decompose the instance onto a bounded virtual array (params.tile),
+/// stream every tile through the batch engine, and verify the
+/// accumulated product against the word-level reference — fully for
+/// instances up to 2^22 output-element-times-k products, by corner +
+/// center sampling beyond that (so huge instances stay checkable in
+/// O(k) per sample). Operands are procedural (seeded hash of the word
+/// point), honoring the pipelining invariants, so memory stays O(1) in
+/// the instance size. Throws PreconditionError on invalid tile options
+/// (the serve path maps it to a structured bad_request error).
+TiledOutcome run_tiled_action(pipeline::PlanCache& cache, const ActionParams& params);
+
+/// Members of the tiled --json document. Returns the CLI exit status
+/// (1 on mismatch).
+int emit_tiled_json(JsonWriter& w, const ActionParams& params, const TiledOutcome& outcome);
 
 // -------------------------------------------------------- fault-campaign
 

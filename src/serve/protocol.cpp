@@ -19,7 +19,7 @@ struct RequestError {
 
 constexpr std::int64_t kMaxExtent = 1'000'000'000;
 
-const char* const kDesignActions[] = {"design", "simulate", "batch", "fault-campaign"};
+const char* const kDesignActions[] = {"design", "simulate", "batch", "tiled", "fault-campaign"};
 
 bool is_design_action(const std::string& action) {
   for (const char* a : kDesignActions) {
@@ -53,6 +53,7 @@ std::string take_string(const JsonValue& v, const std::string& name) {
 ActionParams parse_params(const JsonValue& doc, const std::string& action) {
   ActionParams params;
   const bool batch_action = action == "batch";
+  const bool tiled_action = action == "tiled";
   const bool campaign_action = action == "fault-campaign";
   for (const auto& [name, v] : doc.object_v) {
     if (name == "id" || name == "action") continue;
@@ -91,7 +92,7 @@ ActionParams parse_params(const JsonValue& doc, const std::string& action) {
       }
     } else if (name == "batch" && batch_action) {
       params.batch = take_int(v, name, 1, 1'000'000);
-    } else if (name == "sliced" && batch_action) {
+    } else if (name == "sliced" && (batch_action || tiled_action)) {
       const std::string mode = take_string(v, name);
       if (mode == "on") {
         params.sliced = pipeline::SlicedMode::kOn;
@@ -102,7 +103,7 @@ ActionParams parse_params(const JsonValue& doc, const std::string& action) {
       } else {
         reject("'sliced' must be on, off or auto");
       }
-    } else if (name == "compiled" && batch_action) {
+    } else if (name == "compiled" && (batch_action || tiled_action)) {
       const std::string mode = take_string(v, name);
       if (mode == "on") {
         params.compiled = pipeline::SlicedMode::kOn;
@@ -113,12 +114,20 @@ ActionParams parse_params(const JsonValue& doc, const std::string& action) {
       } else {
         reject("'compiled' must be on, off or auto");
       }
-    } else if (name == "lanes" && batch_action) {
+    } else if (name == "lanes" && (batch_action || tiled_action)) {
       const std::int64_t lanes = take_int(v, name, 0, 512);
       if (lanes != 0 && lanes != 64 && lanes != 128 && lanes != 256 && lanes != 512) {
         reject("'lanes' must be 0 (auto), 64, 128, 256 or 512");
       }
       params.lanes = static_cast<int>(lanes);
+    } else if (name == "tile_m" && tiled_action) {
+      params.tile.tile_m = take_int(v, name, 1, kMaxExtent);
+    } else if (name == "tile_n" && tiled_action) {
+      params.tile.tile_n = take_int(v, name, 1, kMaxExtent);
+    } else if (name == "tile_k" && tiled_action) {
+      params.tile.tile_k = take_int(v, name, 1, kMaxExtent);
+    } else if (name == "max_pes" && tiled_action) {
+      params.tile.max_pes = take_int(v, name, 1, std::numeric_limits<std::int64_t>::max());
     } else if (name == "fault_kinds" && campaign_action) {
       if (!v.is_array()) reject("'fault_kinds' must be an array of strings");
       params.campaign.kinds.clear();
@@ -151,6 +160,9 @@ ActionParams parse_params(const JsonValue& doc, const std::string& action) {
   if (ir::kernels::find_kernel(params.request.kernel.name) == nullptr) {
     reject("unknown kernel '" + params.request.kernel.name +
            "' (known: " + ir::kernels::registered_names() + ")");
+  }
+  if (tiled_action && !pipeline::tiling_requested(params.tile)) {
+    reject("action 'tiled' requires tile_m/tile_n/tile_k or max_pes");
   }
   return params;
 }
@@ -190,7 +202,16 @@ std::string stats_response(const ServeContext& context, std::optional<std::int64
   result.key("evictions").value(stats.evictions);
   result.key("size").value(static_cast<std::int64_t>(stats.size));
   result.key("capacity").value(static_cast<std::int64_t>(stats.capacity));
+  result.key("resident_bytes").value(stats.resident_bytes);
   result.key("leaked_plans").value(static_cast<std::int64_t>(context.cache.leaked_plans()));
+  result.key("entries").begin_array();
+  for (const pipeline::PlanCacheEntryStats& entry : context.cache.entry_stats()) {
+    result.begin_object();
+    result.key("key").value(entry.key);
+    result.key("bytes").value(static_cast<std::int64_t>(entry.bytes));
+    result.end_object();
+  }
+  result.end_array();
   result.end_object();
   result.end_object();
   return ok_response(id, "stats", 0, result.str());
@@ -212,6 +233,9 @@ std::string run_design_action(const ServeContext& context, std::optional<std::in
     const BatchOutcome outcome = run_batch_action(context.cache, params);
     if (!outcome.feasible) throw RequestError{"infeasible", "no feasible design found"};
     status = emit_batch_json(result, params, outcome);
+  } else if (action == "tiled") {
+    const TiledOutcome outcome = run_tiled_action(context.cache, params);
+    status = emit_tiled_json(result, params, outcome);
   } else {
     const CampaignOutcome outcome = run_fault_campaign(context.cache, params);
     if (!outcome.feasible) throw RequestError{"infeasible", "no feasible design found"};
@@ -289,7 +313,8 @@ std::string handle_line_impl(const ServeContext& context, const std::string& lin
     if (!is_design_action(action)) {
       return error_response(id, "bad_request",
                             "unknown action '" + action +
-                                "' (allowed: design, simulate, batch, fault-campaign, stats)");
+                                "' (allowed: design, simulate, batch, tiled, fault-campaign, "
+                                "stats)");
     }
     const ActionParams params = parse_params(doc, action);
     const std::string response = run_design_action(context, id, action, params);
@@ -340,6 +365,15 @@ std::string request_line(std::int64_t id, const std::string& action,
       w.key("sliced").value(pipeline::to_string(params.sliced));
       w.key("compiled").value(pipeline::to_string(params.compiled));
       w.key("lanes").value(static_cast<std::int64_t>(params.lanes));
+    }
+    if (action == "tiled") {
+      w.key("sliced").value(pipeline::to_string(params.sliced));
+      w.key("compiled").value(pipeline::to_string(params.compiled));
+      w.key("lanes").value(static_cast<std::int64_t>(params.lanes));
+      if (params.tile.tile_m > 0) w.key("tile_m").value(params.tile.tile_m);
+      if (params.tile.tile_n > 0) w.key("tile_n").value(params.tile.tile_n);
+      if (params.tile.tile_k > 0) w.key("tile_k").value(params.tile.tile_k);
+      if (params.tile.max_pes > 0) w.key("max_pes").value(params.tile.max_pes);
     }
     if (action == "fault-campaign") {
       w.key("fault_kinds").begin_array();

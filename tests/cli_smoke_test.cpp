@@ -295,5 +295,51 @@ TEST(CliSmokeTest, StrictParsingRejectsGarbage) {
   }
 }
 
+TEST(CliSmokeTest, TiledActionTextAndJson) {
+  const RunResult text = run_cli("--kernel matmul --u 5 --p 3 --action tiled --tile 2");
+  EXPECT_EQ(text.exit_code, 0) << text.out;
+  EXPECT_NE(text.out.find("MATCH"), std::string::npos) << text.out;
+
+  const RunResult json =
+      run_cli("--kernel matmul --u 5 --p 3 --action tiled --tile 2,2,2 --json");
+  ASSERT_EQ(json.exit_code, 0) << json.out;
+  ASSERT_TRUE(json_valid(json.out)) << json.out;
+  for (const char* member : {"\"action\":\"tiled\"", "\"tiles_total\":27", "\"tiles_executed\":27",
+                             "\"tile_cache_hits\":", "\"grid_m\":3", "\"shapes\":8",
+                             "\"correct\":true", "\"plan_cache\"", "\"resident_bytes\":"}) {
+    EXPECT_NE(json.out.find(member), std::string::npos) << member << "\n" << json.out;
+  }
+
+  // A PE budget instead of explicit dims derives the largest square tile.
+  const RunResult budget =
+      run_cli("--kernel matmul --u 8 --p 3 --action tiled --max-pes 150 --json");
+  EXPECT_EQ(budget.exit_code, 0) << budget.out;
+  EXPECT_NE(budget.out.find("\"tile_pes\":144"), std::string::npos) << budget.out;
+  EXPECT_NE(budget.out.find("\"max_pes\":150"), std::string::npos) << budget.out;
+}
+
+TEST(CliSmokeTest, TiledRejectsBadFlagCombinations) {
+  // Parse-time hardening: all exit 2 with a usage message.
+  for (const char* args : {
+           "--kernel matmul --u 4 --p 3 --action tiled --tile 0",
+           "--kernel matmul --u 4 --p 3 --action tiled --tile 2,0",
+           "--kernel matmul --u 4 --p 3 --action tiled --tile abc",
+           "--kernel matmul --u 4 --p 3 --action tiled --tile 1,2,3,4",
+           "--kernel matmul --u 4 --p 3 --action tiled --max-pes 0",
+           "--kernel matmul --u 4 --p 3 --action tiled",
+           "--kernel matmul --u 4 --p 3 --action batch --tile 2",
+           "--kernel conv --u 4 --v 3 --p 3 --action tiled --tile 2",
+       }) {
+    EXPECT_EQ(run_cli(args).exit_code, 2) << args;
+  }
+  // Tile dims larger than the instance survive parsing (extent checks
+  // need the kernel registry) and fail as a typed precondition error.
+  const RunResult r =
+      run_cli_merged("--kernel matmul --u 4 --p 3 --action tiled --tile 9");
+  EXPECT_EQ(r.exit_code, 1) << r.out;
+  EXPECT_NE(r.out.find("tile_m (9) exceeds the instance extent m (4)"), std::string::npos)
+      << r.out;
+}
+
 }  // namespace
 }  // namespace bitlevel

@@ -1,0 +1,329 @@
+// Tiled partitioning is indistinguishable from the monolithic array:
+// for ragged tile grids (interior/edge/corner shapes) crossed with
+// memory modes x thread counts x sliced/compiled on|off|auto, the
+// accumulated tiled output must be bit-identical to a monolithic
+// run_plan of the same instance, with the tiles_* counter ledger
+// summing exactly and at most ONE composition per distinct tile shape
+// per cache. Also pins tile-dimension resolution (defaults, max_pes
+// derivation, error cases), the arch multiply_tiled wrapper against
+// BitLevelMatmulArray::multiply for both published mappings, a
+// budget-bounded instance the fixed-size virtual array streams in many
+// passes, and the plan cache's resident-bytes accounting.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "arch/matmul_arrays.hpp"
+#include "core/evaluator.hpp"
+#include "pipeline/cache.hpp"
+#include "pipeline/tiling.hpp"
+#include "support/error.hpp"
+#include "support/rng.hpp"
+
+namespace bitlevel::pipeline {
+namespace {
+
+using math::Int;
+using math::IntVec;
+
+// Procedural operands honoring the model's pipelining invariants:
+// x(j) is constant along h1 = [0,1,0] (a function of j1, j3 only) and
+// y(j) along h2 = [1,0,0] (a function of j3, j2). Stateless, so the
+// same function serves the monolithic run and every offset tile view.
+core::OperandFn proc_x(std::uint64_t seed, std::uint64_t bound) {
+  return [seed, bound](const IntVec& j) {
+    return hash_mix(hash_mix(hash_mix(seed, 1), static_cast<std::uint64_t>(j[0])),
+                    static_cast<std::uint64_t>(j[2])) %
+           (bound + 1);
+  };
+}
+
+core::OperandFn proc_y(std::uint64_t seed, std::uint64_t bound) {
+  return [seed, bound](const IntVec& j) {
+    return hash_mix(hash_mix(hash_mix(seed, 2), static_cast<std::uint64_t>(j[2])),
+                    static_cast<std::uint64_t>(j[1])) %
+           (bound + 1);
+  };
+}
+
+DesignRequest matmul_request(Int u, Int p) {
+  DesignRequest request;
+  request.kernel = KernelSpec{"matmul", u, 0, 0, 0};
+  request.p = p;
+  request.expansion = core::Expansion::kII;
+  request.mapping = MappingStrategy::kPublishedFig4;
+  return request;
+}
+
+// Reference product over the procedural operands (word arithmetic).
+std::map<IntVec, std::uint64_t> reference_product(Int m, Int n, Int k, const core::OperandFn& x,
+                                                  const core::OperandFn& y) {
+  std::map<IntVec, std::uint64_t> z;
+  for (Int i = 1; i <= m; ++i) {
+    for (Int j = 1; j <= n; ++j) {
+      std::uint64_t acc = 0;
+      for (Int l = 1; l <= k; ++l) acc += x(IntVec{i, j, l}) * y(IntVec{i, j, l});
+      z[IntVec{i, j}] = acc;
+    }
+  }
+  return z;
+}
+
+TEST(TiledIdentity, RaggedGridMatchesMonolithicAcrossModes) {
+  const Int u = 5, p = 3;
+  const DesignRequest base = matmul_request(u, p);
+  const std::uint64_t bound = core::max_safe_operand(p, u, core::Expansion::kII);
+  const core::OperandFn x = proc_x(7, bound), y = proc_y(7, bound);
+
+  // Monolithic reference: the full u x u x u array in one pass.
+  PlanCache cache(64);
+  const PlanPtr mono = cache.get_or_compose(base);
+  ASSERT_TRUE(mono->has_mapping());
+  const PlanRunResult mono_run = run_plan(*mono, x, y, RunOptions{});
+  std::map<IntVec, std::uint64_t> expected;
+  for (const auto& [j, v] : mono_run.z) expected[IntVec{j[0], j[1]}] = v;
+  EXPECT_EQ(expected, reference_product(u, u, u, x, y));
+
+  // 2x2x2 tiles over extent 5: every dimension is ragged, so the grid
+  // has all eight interior/edge/corner shapes.
+  const TileOptions tile{2, 2, 2, 0};
+  const TiledPlan tiled = compose_tiled(cache, base, tile);
+  EXPECT_EQ(tiled.shapes.size(), 8u);
+  EXPECT_EQ(tiled.grid_m, 3);
+  EXPECT_EQ(tiled.grid_n, 3);
+  EXPECT_EQ(tiled.grid_k, 3);
+  EXPECT_EQ(tiled.tiles_total, 27);
+
+  struct Mode {
+    SlicedMode sliced;
+    SlicedMode compiled;
+  };
+  const std::vector<Mode> modes = {{SlicedMode::kOff, SlicedMode::kOff},
+                                   {SlicedMode::kOn, SlicedMode::kOff},
+                                   {SlicedMode::kOn, SlicedMode::kOn},
+                                   {SlicedMode::kAuto, SlicedMode::kAuto}};
+  for (const sim::MemoryMode memory : {sim::MemoryMode::kDense, sim::MemoryMode::kStreaming}) {
+    for (const int threads : {1, 4}) {
+      for (const Mode& mode : modes) {
+        TiledRunOptions options;
+        options.threads = threads;
+        options.memory = memory;
+        options.sliced = mode.sliced;
+        options.compiled = mode.compiled;
+        const TiledRunResult run = run_tiled(cache, tiled, x, y, options);
+        EXPECT_EQ(run.z, expected) << "memory=" << static_cast<int>(memory)
+                                   << " threads=" << threads
+                                   << " sliced=" << to_string(mode.sliced)
+                                   << " compiled=" << to_string(mode.compiled);
+        // Counter ledger: every tile executed, every tile in exactly
+        // one execution bucket.
+        EXPECT_EQ(run.tiles_total, 27);
+        EXPECT_EQ(run.tiles_executed, 27);
+        EXPECT_EQ(run.compiled_items + run.sliced_items + run.scalar_items, 27);
+        if (mode.sliced == SlicedMode::kOff) {
+          EXPECT_EQ(run.scalar_items, 27);
+        } else if (mode.compiled == SlicedMode::kOn) {
+          EXPECT_EQ(run.compiled_items, 27);
+        }
+      }
+    }
+  }
+}
+
+TEST(TiledIdentity, SmallShardsRespectMaxTilesInFlight) {
+  const Int u = 4, p = 3;
+  const DesignRequest base = matmul_request(u, p);
+  const std::uint64_t bound = core::max_safe_operand(p, u, core::Expansion::kII);
+  const core::OperandFn x = proc_x(3, bound), y = proc_y(3, bound);
+
+  PlanCache cache(64);
+  const TiledPlan tiled = compose_tiled(cache, base, TileOptions{2, 2, 2, 0});
+  EXPECT_EQ(tiled.shapes.size(), 1u);  // 2 divides 4 in every dimension.
+  EXPECT_EQ(tiled.tiles_total, 8);
+
+  TiledRunOptions options;
+  options.max_tiles_in_flight = 3;  // Forces ragged shards (3 + 3 + 2).
+  const TiledRunResult run = run_tiled(cache, tiled, x, y, options);
+  EXPECT_EQ(run.z, reference_product(u, u, u, x, y));
+  EXPECT_EQ(run.tiles_executed, 8);
+  EXPECT_EQ(run.compiled_items + run.sliced_items + run.scalar_items, 8);
+}
+
+TEST(TiledIdentity, SinkReceivesPartialsThatSumToTheProduct) {
+  const Int u = 5, p = 3;
+  const DesignRequest base = matmul_request(u, p);
+  const std::uint64_t bound = core::max_safe_operand(p, u, core::Expansion::kII);
+  const core::OperandFn x = proc_x(11, bound), y = proc_y(11, bound);
+
+  PlanCache cache(64);
+  const TiledPlan tiled = compose_tiled(cache, base, TileOptions{3, 3, 2, 0});
+  std::map<IntVec, std::uint64_t> acc;
+  Int calls = 0;
+  const TiledRunResult run =
+      run_tiled(cache, tiled, x, y, TiledRunOptions{},
+                [&](Int i, Int j, std::uint64_t partial) {
+                  acc[IntVec{i, j}] += partial;
+                  ++calls;
+                });
+  EXPECT_TRUE(run.z.empty());  // Sink mode leaves the result map empty.
+  EXPECT_EQ(acc, reference_product(u, u, u, x, y));
+  // One call per output element per k tile: u * u * grid_k.
+  EXPECT_EQ(calls, u * u * tiled.grid_k);
+}
+
+TEST(TiledCompose, OneCompositionPerDistinctShape) {
+  const DesignRequest base = matmul_request(5, 3);
+  PlanCache cache(64);
+  const TiledPlan first = compose_tiled(cache, base, TileOptions{2, 2, 2, 0});
+  EXPECT_EQ(first.tile_cache_hits, 0);
+  EXPECT_EQ(cache.stats().misses, first.shapes.size());
+  EXPECT_EQ(cache.stats().hits, 0u);
+
+  // Re-composing the same grid finds every shape resident: no new
+  // compositions, all lookups are hits.
+  const TiledPlan second = compose_tiled(cache, base, TileOptions{2, 2, 2, 0});
+  EXPECT_EQ(second.tile_cache_hits, static_cast<Int>(second.shapes.size()));
+  EXPECT_EQ(cache.stats().misses, first.shapes.size());
+  EXPECT_EQ(cache.stats().hits, second.shapes.size());
+
+  // Same shapes from a different grid position rendezvous too: a
+  // 3x3x3 grid over u=5 shares no shape with the 2x2x2 grid except by
+  // coincidence — assert only the cache does not recompose those that
+  // match canonically.
+  const std::uint64_t misses_before = cache.stats().misses;
+  const TiledPlan third = compose_tiled(cache, base, TileOptions{2, 2, 2, 0});
+  EXPECT_EQ(cache.stats().misses, misses_before);
+  EXPECT_EQ(third.tiles_total, first.tiles_total);
+}
+
+TEST(TiledCompose, ExactDivisionYieldsOneShape) {
+  PlanCache cache(64);
+  const TiledPlan tiled = compose_tiled(cache, matmul_request(6, 3), TileOptions{3, 3, 3, 0});
+  EXPECT_EQ(tiled.shapes.size(), 1u);
+  EXPECT_EQ(tiled.tiles_total, 8);
+  EXPECT_EQ(tiled.shapes.front().tiles, 8);
+  EXPECT_EQ(tiled.tile_pes, 3 * 3 * 3 * 3);  // m * n * p^2.
+}
+
+TEST(TiledCompose, UnsetTileKDefaultsToFullExtent) {
+  PlanCache cache(64);
+  const TiledPlan tiled = compose_tiled(cache, matmul_request(5, 3), TileOptions{2, 3, 0, 0});
+  EXPECT_EQ(tiled.tile_k, 5);
+  EXPECT_EQ(tiled.grid_k, 1);
+  EXPECT_EQ(tiled.grid_m, 3);
+  EXPECT_EQ(tiled.grid_n, 2);
+}
+
+TEST(TiledCompose, MaxPesDerivesLargestSquareTile) {
+  const DesignRequest base = matmul_request(8, 3);
+  // 150 PEs at p = 3 (9 per word cell) fit 16 cells: a 4x4 tile.
+  const TileDims dims = resolve_tile_dims(base, TileOptions{0, 0, 0, 150});
+  EXPECT_EQ(dims.m, 4);
+  EXPECT_EQ(dims.n, 4);
+  EXPECT_EQ(dims.k, 8);
+
+  PlanCache cache(64);
+  const TiledPlan tiled = compose_tiled(cache, base, TileOptions{0, 0, 0, 150});
+  EXPECT_LE(tiled.tile_pes, 150);
+  EXPECT_EQ(tiled.max_pes, 150);
+}
+
+TEST(TiledCompose, ResolveRejectsBadOptions) {
+  const DesignRequest base = matmul_request(4, 3);
+  // Nothing requested.
+  EXPECT_THROW(resolve_tile_dims(base, TileOptions{}), PreconditionError);
+  // Tile dimension beyond the instance extent.
+  EXPECT_THROW(resolve_tile_dims(base, TileOptions{5, 2, 0, 0}), PreconditionError);
+  EXPECT_THROW(resolve_tile_dims(base, TileOptions{2, 2, 9, 0}), PreconditionError);
+  // Budget below a single 1x1 tile (p^2 = 9 PEs).
+  EXPECT_THROW(resolve_tile_dims(base, TileOptions{0, 0, 0, 8}), PreconditionError);
+  // Explicit dims overrunning the budget: 3x3x9 = 81 > 80.
+  EXPECT_THROW(resolve_tile_dims(base, TileOptions{3, 3, 0, 80}), PreconditionError);
+  // Non-tileable kernel.
+  DesignRequest conv = base;
+  conv.kernel = KernelSpec{"conv", 4, 3, 0, 0};
+  EXPECT_THROW(resolve_tile_dims(conv, TileOptions{2, 2, 0, 0}), PreconditionError);
+  // Batched kernel.
+  DesignRequest batched = base;
+  batched.kernel.batch = 2;
+  EXPECT_THROW(resolve_tile_dims(batched, TileOptions{2, 2, 0, 0}), PreconditionError);
+  // Structure-only requests have nothing to run.
+  DesignRequest structure_only = base;
+  structure_only.mapping = MappingStrategy::kStructureOnly;
+  EXPECT_THROW(resolve_tile_dims(structure_only, TileOptions{2, 2, 0, 0}), PreconditionError);
+}
+
+TEST(TiledArch, MultiplyTiledMatchesMonolithicBothMappings) {
+  const Int u = 4, p = 3;
+  const std::uint64_t bound = core::max_safe_operand(p, u, core::Expansion::kII);
+  const arch::WordMatrix x = arch::WordMatrix::random(u, bound, 21);
+  const arch::WordMatrix y = arch::WordMatrix::random(u, bound, 22);
+  const arch::WordMatrix expected = arch::WordMatrix::multiply_reference(x, y);
+
+  for (const auto which : {arch::MatmulMapping::kFig4, arch::MatmulMapping::kFig5}) {
+    const arch::BitLevelMatmulArray array(which, u, p);
+    EXPECT_EQ(array.multiply(x, y).z, expected);
+
+    const arch::TiledMatmulResult tiled =
+        arch::multiply_tiled(which, p, x, y, TileOptions{3, 3, 2, 0});
+    EXPECT_EQ(tiled.z, expected);
+    EXPECT_EQ(tiled.tiles_total, 2 * 2 * 2);
+    EXPECT_EQ(tiled.tiles_executed, tiled.tiles_total);
+    EXPECT_EQ(tiled.compiled_items + tiled.sliced_items + tiled.scalar_items,
+              tiled.tiles_executed);
+    EXPECT_GT(tiled.tile_pes, 0);
+  }
+}
+
+TEST(TiledBudget, BoundedArrayStreamsAnInstanceManyPassesLarge) {
+  // A 32x32x32 matmul at p = 2 under a 64-PE budget: the derived tile
+  // is 4x4 (16 cells x 4 PEs), so the virtual array is 64x smaller
+  // than the monolithic 32*32*4 = 4096-PE array and the grid streams
+  // 8 * 8 = 64 tiles through it per k block.
+  const Int u = 32, p = 2;
+  DesignRequest base = matmul_request(u, p);
+  const std::uint64_t bound = core::max_safe_operand(p, u, core::Expansion::kII);
+  const core::OperandFn x = proc_x(5, bound), y = proc_y(5, bound);
+
+  PlanCache cache(64);
+  const TiledPlan tiled = compose_tiled(cache, base, TileOptions{0, 0, 0, 64});
+  EXPECT_EQ(tiled.tile_m, 4);
+  EXPECT_EQ(tiled.tile_n, 4);
+  EXPECT_LE(tiled.tile_pes, 64);
+  EXPECT_EQ(tiled.tiles_total, 8 * 8);
+
+  const TiledRunResult run = run_tiled(cache, tiled, x, y, TiledRunOptions{});
+  EXPECT_EQ(run.tiles_executed, 64);
+  EXPECT_EQ(run.z, reference_product(u, u, u, x, y));
+}
+
+TEST(TiledCacheBytes, ResidentBytesTrackComposedPlans) {
+  PlanCache cache(64);
+  EXPECT_EQ(cache.stats().resident_bytes, 0u);
+  const TiledPlan tiled = compose_tiled(cache, matmul_request(5, 3), TileOptions{2, 2, 2, 0});
+
+  const PlanCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.size, tiled.shapes.size());
+  EXPECT_GT(stats.resident_bytes, 0u);
+
+  const std::vector<PlanCacheEntryStats> entries = cache.entry_stats();
+  ASSERT_EQ(entries.size(), stats.size);
+  std::uint64_t total = 0;
+  for (const PlanCacheEntryStats& entry : entries) {
+    EXPECT_FALSE(entry.key.empty());
+    EXPECT_GT(entry.bytes, 0u);  // Every entry is ready: bytes stamped.
+    total += entry.bytes;
+  }
+  EXPECT_EQ(total, stats.resident_bytes);
+  // A plan carrying a compiled schedule dwarfs the fixed struct size.
+  EXPECT_GT(stats.resident_bytes, entries.size() * sizeof(DesignPlan));
+
+  cache.clear();
+  EXPECT_EQ(cache.stats().resident_bytes, 0u);
+  EXPECT_TRUE(cache.entry_stats().empty());
+}
+
+}  // namespace
+}  // namespace bitlevel::pipeline

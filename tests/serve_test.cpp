@@ -177,6 +177,77 @@ TEST(ServeProtocolTest, InvalidUtf8IsAParseError) {
   EXPECT_EQ(error_code(handle_line(context, overlong)), "parse_error");
 }
 
+TEST(ServeProtocolTest, TiledActionServesACheckedGrid) {
+  pipeline::PlanCache cache(8);
+  const ServeContext context{cache, {}, {}};
+  const std::string response = handle_line(
+      context,
+      "{\"id\":7,\"action\":\"tiled\",\"kernel\":\"matmul\",\"u\":5,\"p\":3,"
+      "\"tile_m\":2,\"tile_n\":2,\"tile_k\":2}");
+  ASSERT_TRUE(response_ok(response)) << response;
+  const JsonValue doc = json_parse(response);
+  const JsonValue* result = find_or_null(doc, "result");
+  ASSERT_NE(result, nullptr);
+  EXPECT_EQ(result->find("tiles_total")->int_v, 27);
+  EXPECT_EQ(result->find("tiles_executed")->int_v, 27);
+  EXPECT_TRUE(result->find("correct")->bool_v) << response;
+  const JsonValue* tile = result->find("tile");
+  ASSERT_NE(tile, nullptr);
+  EXPECT_EQ(tile->find("grid_m")->int_v, 3);
+  EXPECT_EQ(tile->find("shapes")->int_v, 8);
+  // One composition per distinct tile shape, not per tile.
+  EXPECT_EQ(cache.stats().misses, 8u);
+}
+
+TEST(ServeProtocolTest, TiledBadRequestsAreStructured) {
+  pipeline::PlanCache cache(4);
+  const ServeContext context{cache, {}, {}};
+  for (const char* line : {
+           // Tiled without any tile knobs is rejected at parse time.
+           "{\"id\":1,\"action\":\"tiled\",\"kernel\":\"matmul\",\"u\":4,\"p\":3}",
+           // tile_m out of range.
+           "{\"id\":1,\"action\":\"tiled\",\"kernel\":\"matmul\",\"u\":4,\"p\":3,"
+           "\"tile_m\":0}",
+           // Tile knobs only make sense on batch-like actions.
+           "{\"id\":1,\"action\":\"simulate\",\"kernel\":\"matmul\",\"u\":4,\"p\":3,"
+           "\"tile_m\":2}",
+           // Non-tileable kernel: the pipeline's typed precondition error
+           // surfaces as a structured bad_request.
+           "{\"id\":1,\"action\":\"tiled\",\"kernel\":\"conv\",\"u\":4,\"v\":3,\"p\":3,"
+           "\"tile_m\":2}",
+           // Tile larger than the instance, same path.
+           "{\"id\":1,\"action\":\"tiled\",\"kernel\":\"matmul\",\"u\":4,\"p\":3,"
+           "\"tile_m\":9}",
+       }) {
+    const std::string response = handle_line(context, line);
+    EXPECT_TRUE(json_valid(response)) << line;
+    EXPECT_FALSE(response_ok(response)) << line << "\n" << response;
+    EXPECT_EQ(error_code(response), "bad_request") << line << "\n" << response;
+  }
+  EXPECT_EQ(cache.stats().misses, 0u);
+}
+
+TEST(ServeProtocolTest, StatsReportsResidentBytesPerEntry) {
+  pipeline::PlanCache cache(8);
+  const ServeContext context{cache, {}, {}};
+  ASSERT_TRUE(response_ok(handle_line(context, scalar_request(1, "simulate"))));
+  const std::string response = handle_line(context, "{\"id\":2,\"action\":\"stats\"}");
+  ASSERT_TRUE(response_ok(response)) << response;
+  const JsonValue doc = json_parse(response);
+  const JsonValue* plan_cache = find_or_null(doc, "result")->find("plan_cache");
+  ASSERT_NE(plan_cache, nullptr);
+  const JsonValue* resident = plan_cache->find("resident_bytes");
+  ASSERT_NE(resident, nullptr);
+  EXPECT_GT(resident->int_v, 0);
+  const JsonValue* entries = plan_cache->find("entries");
+  ASSERT_NE(entries, nullptr);
+  ASSERT_TRUE(entries->is_array());
+  ASSERT_EQ(entries->array_v.size(), 1u);
+  const JsonValue& entry = entries->array_v[0];
+  EXPECT_FALSE(entry.find("key")->string_v.empty());
+  EXPECT_EQ(entry.find("bytes")->int_v, resident->int_v);
+}
+
 TEST(ServeServerTest, ServesConcurrentClientsOverUnixSocket) {
   const std::string path = temp_socket_path("concurrent");
   pipeline::PlanCache cache(8);
