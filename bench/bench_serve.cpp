@@ -8,20 +8,30 @@
 // enforces the acceptance bar: the warm daemon must deliver >= 10x the
 // cold one-shot throughput. The binary exits nonzero when the bar is
 // missed, failing the pipefail bench step in CI.
+//
+// The overload scenario floods a one-worker daemon with 2x its queue
+// capacity of already-expired requests behind a heavy batch and gates
+// on degradation: shedding one dead request must cost < 1% of an
+// executed warm request, and the warm p50 after the flood must stay
+// within 2x of the p50 before it. Set BITLEVEL_BENCH_JSON to also
+// write the gate figures as a JSON artifact.
 #include "bench/bench_util.hpp"
 
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <chrono>
 #include <cstdlib>
 #include <string>
 #include <thread>
+#include <vector>
 
 #include "pipeline/cache.hpp"
 #include "serve/client.hpp"
 #include "serve/protocol.hpp"
 #include "serve/server.hpp"
+#include "support/json.hpp"
 
 namespace {
 
@@ -40,8 +50,10 @@ constexpr long kP = 5;
 
 serve::ActionParams bench_params() {
   serve::ActionParams params;
-  params.request.kernel =
-      pipeline::KernelSpec{kKernel, kU, 0, 0, 0};
+  // Extents are spelled out because request_line serializes every
+  // field and the wire parser (rightly) rejects v=0/w=0; leaving them
+  // unset would measure error-response throughput, not simulation.
+  params.request.kernel = pipeline::KernelSpec{kKernel, kU, kU, kU, 0};
   params.request.p = kP;
   params.request.expansion = core::Expansion::kII;
   return params;
@@ -95,6 +107,125 @@ double cold_one_shot_rps(int requests, const char* bin) {
   return requests / seconds_since(start);
 }
 
+/// Median lockstep simulate round-trip over a warm daemon, in ms.
+double median_roundtrip_ms(serve::Client& client, const serve::ActionParams& params, int n,
+                           std::int64_t id0) {
+  std::vector<double> ms;
+  ms.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    const auto start = Clock::now();
+    benchmark::DoNotOptimize(
+        client.roundtrip(serve::request_line(id0 + i, "simulate", params)));
+    ms.push_back(seconds_since(start) * 1000.0);
+  }
+  std::sort(ms.begin(), ms.end());
+  return ms[ms.size() / 2];
+}
+
+struct OverloadReport {
+  double warm_p50_before_ms = 0.0;
+  double warm_p50_after_ms = 0.0;
+  double shed_cost_ms = 0.0;  ///< Per flooded request, amortized.
+  int shed = 0;               ///< deadline_exceeded rejections seen.
+  int overloaded = 0;         ///< admission-control rejections seen.
+  bool shed_gate = false;     ///< shed cost < 1% of a warm request.
+  bool p50_gate = false;      ///< warm p50 after <= 2x before.
+};
+
+/// Flood a one-worker daemon with 2x its queue capacity of
+/// already-expired requests stuck behind a heavy batch: every one must
+/// be rejected (overloaded at admission or shed at pop), and the cost
+/// of turning them all away must be noise next to real work.
+OverloadReport run_overload_scenario() {
+  constexpr std::size_t kQueue = 64;
+  constexpr int kFlood = 2 * static_cast<int>(kQueue);
+  pipeline::PlanCache cache(16);
+  serve::ServerConfig config;
+  config.listen = "unix:/tmp/bitlevel-bench-serve-ovl-" +
+                  std::to_string(static_cast<long>(getpid())) + ".sock";
+  config.workers = 1;
+  config.max_queue = kQueue;
+  config.cache = &cache;
+  serve::Server server(std::move(config));
+  server.bind_and_listen();
+  std::thread daemon([&] { server.run(); });
+  serve::Client client;
+  client.connect(server.endpoint());
+  const serve::ActionParams params = bench_params();
+  client.roundtrip(serve::request_line(0, "simulate", params));  // warmup compose
+
+  OverloadReport report;
+  report.warm_p50_before_ms = median_roundtrip_ms(client, params, 31, 1000);
+
+  // Heavy enough (hundreds of ms) that every queued 1 ms deadline
+  // lapses long before the worker reaches it.
+  serve::ActionParams heavy = bench_params();
+  heavy.batch = 600;
+  heavy.sliced = pipeline::SlicedMode::kOff;
+  serve::ActionParams expired = bench_params();
+  expired.deadline_ms = 1;  // lapses while queued behind the heavy batch
+
+  const auto flood_start = Clock::now();
+  client.send_line(serve::request_line(9999, "batch", heavy));
+  for (int i = 0; i < kFlood; ++i) {
+    client.send_line(serve::request_line(2000 + i, "simulate", expired));
+  }
+  double heavy_elapsed = 0.0;
+  for (int seen = 0; seen < kFlood + 1; ++seen) {
+    std::string line;
+    if (!client.recv_line(&line)) break;
+    if (line.find("\"id\":9999") != std::string::npos) {
+      heavy_elapsed = seconds_since(flood_start);
+    } else if (line.find("\"deadline_exceeded\"") != std::string::npos) {
+      ++report.shed;
+    } else if (line.find("\"overloaded\"") != std::string::npos) {
+      ++report.overloaded;
+    }
+  }
+  // Everything past the heavy batch's own completion is pure
+  // flood-turnaway work, amortized over the flood.
+  report.shed_cost_ms = (seconds_since(flood_start) - heavy_elapsed) * 1000.0 / kFlood;
+  report.warm_p50_after_ms = median_roundtrip_ms(client, params, 31, 3000);
+  report.shed_gate = report.shed_cost_ms < 0.01 * report.warm_p50_before_ms;
+  report.p50_gate = report.warm_p50_after_ms <= 2.0 * report.warm_p50_before_ms;
+
+  client.close();
+  server.shutdown();
+  daemon.join();
+  return report;
+}
+
+void write_json_artifact(double cold_rps, double warm_rps, double speedup,
+                         const OverloadReport& overload) {
+  const char* path = std::getenv("BITLEVEL_BENCH_JSON");
+  if (path == nullptr || *path == '\0') return;
+  JsonWriter w;
+  w.begin_object();
+  w.key("bench").value("bench_serve");
+  w.key("instance").value("matmul-u3-p5");
+  w.key("cold_one_shot_rps").value(cold_rps);
+  w.key("warm_daemon_rps").value(warm_rps);
+  w.key("warm_speedup").value(speedup);
+  w.key("warm_gate_10x").value(speedup >= 10.0);
+  w.key("overload_shed").value(static_cast<std::int64_t>(overload.shed));
+  w.key("overload_rejected").value(static_cast<std::int64_t>(overload.overloaded));
+  w.key("shed_cost_ms").value(overload.shed_cost_ms);
+  w.key("warm_p50_before_ms").value(overload.warm_p50_before_ms);
+  w.key("warm_p50_after_ms").value(overload.warm_p50_after_ms);
+  w.key("shed_gate_1pct").value(overload.shed_gate);
+  w.key("p50_gate_2x").value(overload.p50_gate);
+  w.end_object();
+  FILE* file = std::fopen(path, "w");
+  if (file == nullptr) {
+    std::printf("warning: cannot write BITLEVEL_BENCH_JSON artifact to %s\n", path);
+    return;
+  }
+  const std::string doc = w.str();
+  std::fwrite(doc.data(), 1, doc.size(), file);
+  std::fputc('\n', file);
+  std::fclose(file);
+}
+
 void print_tables() {
   bench::print_header(
       "BM_Serve", "warm design-service daemon vs cold one-shot CLI",
@@ -127,6 +258,51 @@ void print_tables() {
     std::exit(1);
   }
   std::printf("gate passed: warm daemon throughput is %.1fx cold one-shot (>= 10x)\n\n", speedup);
+
+  bench::print_header(
+      "BM_ServeOverload", "deadline shedding under 2x queue-capacity flood",
+      "A one-worker daemon (queue 64) executes a heavy batch while 128 requests "
+      "with a 1 ms deadline pile up behind it: every flooded request is turned "
+      "away, either overloaded at admission or shed expired at pop, without ever "
+      "composing. Gates: amortized shed cost < 1% of a warm executed request, "
+      "and warm p50 after the flood <= 2x the p50 before it.");
+
+  const OverloadReport overload = run_overload_scenario();
+  TextTable otable({"metric", "value", "gate"});
+  char o1[48];
+  std::snprintf(o1, sizeof o1, "%.4f ms", overload.warm_p50_before_ms);
+  otable.add_row({"warm p50 before flood", o1, "-"});
+  otable.add_row({"flood turned away",
+                  std::to_string(overload.shed) + " shed + " +
+                      std::to_string(overload.overloaded) + " overloaded",
+                  "-"});
+  std::snprintf(o1, sizeof o1, "%.4f ms", overload.shed_cost_ms);
+  otable.add_row({"shed cost per request", o1, overload.shed_gate ? "< 1% warm" : "GATE FAILED"});
+  std::snprintf(o1, sizeof o1, "%.4f ms", overload.warm_p50_after_ms);
+  otable.add_row({"warm p50 after flood", o1, overload.p50_gate ? "<= 2x before" : "GATE FAILED"});
+  bench::print_table(otable);
+
+  write_json_artifact(cold_rps, warm_rps, speedup, overload);
+
+  if (overload.shed + overload.overloaded != 2 * 64) {
+    std::printf("GATE FAILED: flood accounting is off (%d shed + %d overloaded != 128)\n",
+                overload.shed, overload.overloaded);
+    std::exit(1);
+  }
+  if (!overload.shed_gate) {
+    std::printf("GATE FAILED: shedding a dead request costs %.4f ms (>= 1%% of the %.4f ms "
+                "warm p50)\n",
+                overload.shed_cost_ms, overload.warm_p50_before_ms);
+    std::exit(1);
+  }
+  if (!overload.p50_gate) {
+    std::printf("GATE FAILED: warm p50 degraded %.4f -> %.4f ms (> 2x) after the flood\n",
+                overload.warm_p50_before_ms, overload.warm_p50_after_ms);
+    std::exit(1);
+  }
+  std::printf("gate passed: shed cost %.4f ms (< 1%% of warm p50 %.4f ms), warm p50 after "
+              "flood %.4f ms (<= 2x before)\n\n",
+              overload.shed_cost_ms, overload.warm_p50_before_ms, overload.warm_p50_after_ms);
 }
 
 /// Timing section: the marginal cost of one warm request by action.

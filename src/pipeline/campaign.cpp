@@ -41,6 +41,8 @@ CampaignResult run_campaign(PlanCache& cache, const DesignRequest& request,
   BL_REQUIRE(!options.rates.empty(), "campaign needs at least one fault rate");
 
   CampaignResult campaign;
+  // An already-expired deadline sheds the sweep before composing.
+  options.cancel.check("campaign start");
   const std::string key = canonical_key(request);
   campaign.plan_was_cached = cache.peek(key) != nullptr;
   campaign.plan = cache.get_or_compose(request);
@@ -50,13 +52,18 @@ CampaignResult run_campaign(PlanCache& cache, const DesignRequest& request,
   // map is held and the faulty runs below skip their read-outs too.
   PlanRunResult reference;
   if (options.score_corruption) {
-    reference = run_plan(*campaign.plan, x, y);
+    RunOptions reference_options;
+    reference_options.threads = request.threads;
+    reference_options.memory = request.memory;
+    reference_options.cancel = options.cancel;
+    reference = run_plan(*campaign.plan, x, y, reference_options);
     campaign.reference_words = static_cast<Int>(reference.z.size());
   }
 
   campaign.reports.reserve(options.kinds.size() * options.rates.size());
   for (const faults::FaultKind kind : options.kinds) {
     for (const double rate : options.rates) {
+      options.cancel.check("campaign-cell boundary");
       faults::FaultModel model;
       model.kind = kind;
       model.rate = rate;
@@ -71,6 +78,7 @@ CampaignResult run_campaign(PlanCache& cache, const DesignRequest& request,
       run_options.faults = &model;
       run_options.fault_checks = options.fault_checks;
       run_options.want_z = options.score_corruption;
+      run_options.cancel = options.cancel;
       PlanRunResult run = run_plan(*campaign.plan, x, y, run_options);
 
       faults::FaultReport report = std::move(*run.fault_report);

@@ -42,6 +42,10 @@ struct CampaignOptions {
   /// reference_words is 0. For detection/recovery-only sweeps whose
   /// memory is dominated by the word maps.
   bool score_corruption = true;
+  /// Cooperative cancellation, checked before composing, at every
+  /// (kind, rate) campaign-cell boundary, and once per wavefront pass
+  /// inside each run. Null (the default) is free.
+  CancelToken cancel;
 };
 
 /// The campaign's detection / recovery / degradation table.

@@ -165,6 +165,7 @@ void run_sliced_group(const core::BitLevelStructure& structure, const mapping::M
                          k,                cell_channels(/*with_parity=*/false),
                          options.threads};
   cfg.memory = options.memory;
+  cfg.cancel = options.cancel;
   if (options.memory == sim::MemoryMode::kStreaming && options.want_z) {
     const std::size_t i1c = L.i1c, i2c = L.i2c;
     cfg.observe = [i1c, i2c, p](const IntVec& q) { return q[i1c] == p || q[i2c] == 1; };
@@ -313,6 +314,7 @@ PlanRunResult run_mapped_structure(const core::BitLevelStructure& structure,
                          k,                cell_channels(faulty),
                          options.threads};
   cfg.memory = options.memory;
+  cfg.cancel = options.cancel;
   std::optional<faults::FaultInjector> injector;
   if (faulty) {
     injector.emplace(*options.faults, t.space(), nbundle, options.fault_checks);
@@ -396,6 +398,9 @@ PlanRunResult run_plan(const DesignPlan& plan, const core::OperandFn& x,
 BatchResult run_batch(PlanCache& cache, const DesignRequest& request,
                       const std::vector<BatchItem>& items, const BatchOptions& options) {
   BatchResult batch;
+  // An already-expired deadline sheds the batch before composing: no
+  // plan is built or pinned for work that cannot complete.
+  options.cancel.check("batch start");
   const std::string key = canonical_key(request);
   batch.plan_was_cached = cache.peek(key) != nullptr;
   batch.plan = cache.get_or_compose(request);
@@ -465,6 +470,7 @@ BatchResult run_batch(PlanCache& cache, const DesignRequest& request,
     std::size_t group_index = 0;
     std::size_t at = 0;
     while (at < items.size()) {
+      options.cancel.check("lane-group boundary");
       if (use_compiled) {
         if (options.test_compiled_reject && options.test_compiled_reject(group_index)) {
           ++group_index;
@@ -492,7 +498,9 @@ BatchResult run_batch(PlanCache& cache, const DesignRequest& request,
     run_options.threads = options.threads;
     run_options.memory = options.memory;
     run_options.want_z = options.want_z;
+    run_options.cancel = options.cancel;
     for (std::size_t i = 0; i < items.size(); ++i) {
+      options.cancel.check("batch-item boundary");
       batch.results[i] = run_plan(plan, items[i].x, items[i].y, run_options);
     }
     batch.scalar_items = static_cast<math::Int>(items.size());

@@ -24,6 +24,7 @@
 #include "core/evaluator.hpp"
 #include "faults/report.hpp"
 #include "pipeline/cache.hpp"
+#include "support/cancel.hpp"
 
 namespace bitlevel::pipeline {
 
@@ -47,6 +48,10 @@ struct RunOptions {
   /// read stats or fault reports, e.g. campaign sweeps with corruption
   /// scoring disabled.
   bool want_z = true;
+  /// Cooperative cancellation, forwarded to the machine (checked once
+  /// per wavefront pass). A fired deadline throws DeadlineExceededError
+  /// before any result is returned. Null (the default) is free.
+  CancelToken cancel;
 };
 
 /// Whether run_batch packs items into bit-sliced lane groups.
@@ -82,6 +87,10 @@ struct BatchOptions {
   /// mid-batch fallback to the interpreted path that the counter
   /// accounting must survive without double-counting.
   std::function<bool(std::size_t group_index)> test_compiled_reject;
+  /// Cooperative cancellation, checked before composing, at every
+  /// lane-group boundary, per scalar item, and once per wavefront pass
+  /// inside each machine run. Null (the default) is free.
+  CancelToken cancel;
 };
 
 /// Result of one cycle-accurate run.

@@ -201,6 +201,7 @@ TiledRunResult run_tiled(PlanCache& cache, const TiledPlan& tiled, const core::O
   batch_options.sliced = options.sliced;
   batch_options.compiled = options.compiled;
   batch_options.lane_width = options.lane_width;
+  batch_options.cancel = options.cancel;
 
   const std::vector<DimBlock> rows = dim_blocks(tiled.m, tiled.tile_m);
   const std::vector<DimBlock> cols = dim_blocks(tiled.n, tiled.tile_n);
@@ -221,6 +222,7 @@ TiledRunResult run_tiled(PlanCache& cache, const TiledPlan& tiled, const core::O
         std::vector<BatchItem> items;
         const auto flush = [&] {
           if (items.empty()) return;
+          options.cancel.check("tile-shard boundary");
           const BatchResult batch = run_batch(cache, request, items, batch_options);
           result.tiles_executed += static_cast<Int>(items.size());
           result.compiled_groups += batch.compiled_groups;

@@ -113,6 +113,10 @@ struct TiledRunOptions {
   /// transient per-chunk memory (items + per-tile read-out maps) for
   /// grids of millions of tiles; counters are unaffected.
   math::Int max_tiles_in_flight = 4096;
+  /// Cooperative cancellation, checked at every tile-shard boundary
+  /// and forwarded into each shard's run_batch (which checks at lane
+  /// groups and wavefront passes). Null (the default) is free.
+  CancelToken cancel;
 };
 
 /// Optional output sink: called once per tile per output word with the

@@ -21,6 +21,9 @@ const char* memory_name(sim::MemoryMode mode) {
 DesignOutcome run_design(pipeline::PlanCache& cache, const ActionParams& params) {
   pipeline::DesignRequest request = params.request;
   request.mapping = pipeline::MappingStrategy::kExplore;
+  // An already-expired deadline sheds the request before the (not
+  // interruptible) exploration composes anything.
+  params.cancel.check("design start");
   return DesignOutcome{cache.get_or_compose(request)};
 }
 
@@ -44,6 +47,7 @@ SimulateOutcome run_simulate(pipeline::PlanCache& cache, const ActionParams& par
   pipeline::DesignRequest request = params.request;
   request.mapping = pipeline::MappingStrategy::kAuto;
   SimulateOutcome outcome;
+  params.cancel.check("simulate start");
   outcome.plan = cache.get_or_compose(request);
   if (!outcome.plan->has_mapping()) return outcome;
   outcome.feasible = true;
@@ -52,8 +56,9 @@ SimulateOutcome run_simulate(pipeline::PlanCache& cache, const ActionParams& par
       core::make_safe_workload(outcome.plan->model, request.p, request.expansion, params.seed);
   const core::OperandFn xf = workload.x_fn();
   const core::OperandFn yf = workload.y_fn();
-  outcome.run = pipeline::run_plan(*outcome.plan, xf, yf,
-                                   pipeline::RunOptions{request.threads, request.memory});
+  pipeline::RunOptions run_options{request.threads, request.memory};
+  run_options.cancel = params.cancel;
+  outcome.run = pipeline::run_plan(*outcome.plan, xf, yf, run_options);
   const auto ref = core::evaluate_word_reference(outcome.plan->model, xf, yf);
   bool ok = !outcome.run.z.empty();
   for (const auto& [j, v] : outcome.run.z) {
@@ -88,6 +93,7 @@ BatchOutcome run_batch_action(pipeline::PlanCache& cache, const ActionParams& pa
   pipeline::DesignRequest request = params.request;
   request.mapping = pipeline::MappingStrategy::kAuto;
   BatchOutcome outcome;
+  params.cancel.check("batch start");
   outcome.plan = cache.get_or_compose(request);
   if (!outcome.plan->has_mapping()) return outcome;
   outcome.feasible = true;
@@ -98,6 +104,7 @@ BatchOutcome run_batch_action(pipeline::PlanCache& cache, const ActionParams& pa
   std::vector<core::Workload> workloads;
   workloads.reserve(static_cast<std::size_t>(params.batch));
   for (math::Int i = 0; i < params.batch; ++i) {
+    if ((i & 255) == 0) params.cancel.check("workload materialization");
     workloads.push_back(core::make_safe_workload(outcome.plan->model, request.p,
                                                  request.expansion,
                                                  params.seed + static_cast<std::uint64_t>(i)));
@@ -114,10 +121,12 @@ BatchOutcome run_batch_action(pipeline::PlanCache& cache, const ActionParams& pa
   options.sliced = params.sliced;
   options.compiled = params.compiled;
   options.lane_width = params.lanes;
+  options.cancel = params.cancel;
   outcome.batch = pipeline::run_batch(cache, request, items, options);
 
   bool ok = true;
   for (std::size_t i = 0; i < items.size(); ++i) {
+    params.cancel.check("batch verification");
     const auto ref = core::evaluate_word_reference(outcome.plan->model, items[i].x, items[i].y);
     const pipeline::PlanRunResult& run = outcome.batch.results[i];
     bool item_ok = !run.z.empty();
@@ -197,6 +206,7 @@ TiledOutcome run_tiled_action(pipeline::PlanCache& cache, const ActionParams& pa
   request.mapping = pipeline::MappingStrategy::kAuto;
 
   TiledOutcome outcome;
+  params.cancel.check("tiled start");
   outcome.plan = pipeline::compose_tiled(cache, request, params.tile);
   const pipeline::TiledPlan& plan = outcome.plan;
 
@@ -211,6 +221,7 @@ TiledOutcome run_tiled_action(pipeline::PlanCache& cache, const ActionParams& pa
   options.sliced = params.sliced;
   options.compiled = params.compiled;
   options.lane_width = params.lanes;
+  options.cancel = params.cancel;
 
   // Full verification costs m * n * k reference multiplies; beyond
   // 2^22 of those, sample the four corners and the center instead —
@@ -221,6 +232,7 @@ TiledOutcome run_tiled_action(pipeline::PlanCache& cache, const ActionParams& pa
     outcome.run = pipeline::run_tiled(cache, plan, x, y, options);
     bool ok = !outcome.run.z.empty();
     for (const auto& [ij, v] : outcome.run.z) {
+      if ((outcome.checked_outputs & 255) == 0) params.cancel.check("tiled verification");
       ok = ok && v == tiled_reference_at(ij[0], ij[1], plan.k, x, y);
       ++outcome.checked_outputs;
     }
@@ -299,6 +311,7 @@ CampaignOutcome run_fault_campaign(pipeline::PlanCache& cache, const ActionParam
   pipeline::DesignRequest request = params.request;
   request.mapping = pipeline::MappingStrategy::kAuto;
   CampaignOutcome outcome;
+  params.cancel.check("campaign start");
   outcome.plan = cache.get_or_compose(request);
   if (!outcome.plan->has_mapping()) return outcome;
   outcome.feasible = true;
@@ -307,6 +320,7 @@ CampaignOutcome run_fault_campaign(pipeline::PlanCache& cache, const ActionParam
       core::make_safe_workload(outcome.plan->model, request.p, request.expansion, params.seed);
   pipeline::CampaignOptions options = params.campaign;
   options.seed = params.seed;
+  options.cancel = params.cancel;
   outcome.result =
       pipeline::run_campaign(cache, request, workload.x_fn(), workload.y_fn(), options);
   return outcome;

@@ -35,6 +35,16 @@ struct ActionParams {
   int lanes = 0;
   pipeline::CampaignOptions campaign;  ///< fault-campaign knobs (seed synced).
   pipeline::TileOptions tile;          ///< tiled action: grid knobs / PE budget.
+  /// Wire-level deadline request member (0 = absent). The serve layer
+  /// resolves it against the server default and hard cap; the CLI's
+  /// --connect mode forwards it verbatim.
+  std::int64_t deadline_ms = 0;
+  /// Cooperative cancellation for the run, threaded into every
+  /// pipeline option struct by the runners. Installed by the server
+  /// (deadline anchored at request arrival), by handle_line for direct
+  /// callers with a deadline_ms member, or by the one-shot CLI from
+  /// --deadline-ms. Never serialized; null (the default) is free.
+  CancelToken cancel;
 };
 
 // ---------------------------------------------------------------- design

@@ -20,7 +20,27 @@ namespace {
 
 constexpr std::size_t kMaxLineBytes = 1 << 22;  // 4 MiB; responses are small.
 
+/// SplitMix64 finalizer — the same mixer the workload generators use,
+/// local here to keep the client layer dependency-free.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
 }  // namespace
+
+std::int64_t retry_backoff_ms(std::int64_t base_ms, int attempt, std::uint64_t seed) {
+  if (base_ms <= 0) return 0;
+  if (attempt < 0) attempt = 0;
+  if (attempt > 20) attempt = 20;  // cap the doubling well below overflow
+  const std::int64_t backoff = base_ms << attempt;
+  const std::int64_t jitter = static_cast<std::int64_t>(
+      mix64(seed ^ (static_cast<std::uint64_t>(attempt) + 1)) %
+      static_cast<std::uint64_t>(base_ms));
+  return backoff + jitter;
+}
 
 Client::~Client() { close(); }
 
@@ -59,7 +79,8 @@ void Client::send_line(const std::string& line) {
   const std::string framed = line + "\n";
   std::size_t sent = 0;
   while (sent < framed.size()) {
-    const ssize_t n = ::send(fd_, framed.data() + sent, framed.size() - sent, 0);
+    // MSG_NOSIGNAL: a daemon that hung up must not SIGPIPE the client.
+    const ssize_t n = ::send(fd_, framed.data() + sent, framed.size() - sent, MSG_NOSIGNAL);
     if (n > 0) {
       sent += static_cast<std::size_t>(n);
       continue;

@@ -8,11 +8,19 @@
 // one-shot CLI output deterministic.
 #pragma once
 
+#include <cstdint>
 #include <string>
 
 #include "serve/server.hpp"
 
 namespace bitlevel::serve {
+
+/// Deterministic exponential backoff with seeded jitter for client-side
+/// retries of retryable errors (overloaded / deadline_exceeded /
+/// shutting_down): base * 2^attempt plus a hash-derived jitter in
+/// [0, base). attempt counts from 0. Pure function of its arguments, so
+/// tests (and reruns with the same seed) see identical schedules.
+std::int64_t retry_backoff_ms(std::int64_t base_ms, int attempt, std::uint64_t seed);
 
 class Client {
  public:

@@ -18,6 +18,7 @@ struct RequestError {
 };
 
 constexpr std::int64_t kMaxExtent = 1'000'000'000;
+constexpr std::int64_t kMaxDeadlineMs = 86'400'000;  // 24h: a deadline, not "forever".
 
 const char* const kDesignActions[] = {"design", "simulate", "batch", "tiled", "fault-campaign"};
 
@@ -153,6 +154,8 @@ ActionParams parse_params(const JsonValue& doc, const std::string& action) {
       params.campaign.spares = static_cast<int>(take_int(v, name, 0, 1'000'000));
     } else if (name == "retries" && campaign_action) {
       params.campaign.max_retries = static_cast<int>(take_int(v, name, 0, 1000));
+    } else if (name == "deadline_ms") {
+      params.deadline_ms = take_int(v, name, 1, kMaxDeadlineMs);
     } else {
       reject("unknown member '" + name + "' for action '" + action + "'");
     }
@@ -256,27 +259,102 @@ std::string error_response(std::optional<std::int64_t> id, const std::string& co
   w.key("error").begin_object();
   w.key("code").value(code);
   w.key("message").value(message);
+  w.key("retryable").value(error_retryable(code));
   w.end_object();
   w.end_object();
   return w.str();
 }
 
+bool error_retryable(const std::string& code) {
+  return code == "overloaded" || code == "deadline_exceeded" || code == "shutting_down";
+}
+
 std::optional<std::int64_t> peek_request_id(const std::string& line) {
-  try {
-    const JsonValue doc = json_parse(line);
-    if (doc.is_object()) {
-      const JsonValue* id = doc.find("id");
-      if (id != nullptr && id->is_int()) return id->int_v;
+  return peek_request_meta(line).id;
+}
+
+RequestMeta peek_request_meta(const std::string& line) {
+  // Single allocation-free scan instead of a full DOM parse. This runs
+  // on the worker pop path whenever deadlines are in play, and on the
+  // shed path its cost IS most of the cost of turning away an expired
+  // request — the overload bench gates that at < 1% of an executed
+  // request. String/escape state and brace depth are tracked so a key
+  // can only match at the top level of the request object; anything
+  // malformed is simply skipped (the full parser produces the real
+  // error when the request executes).
+  RequestMeta meta;
+  int depth = 0;
+  bool in_string = false;
+  bool escaped = false;
+  std::size_t key_begin = 0;
+  std::size_t key_end = 0;  // last completed string literal [begin, end)
+  for (std::size_t i = 0; i < line.size(); ++i) {
+    const char c = line[i];
+    if (in_string) {
+      if (escaped) {
+        escaped = false;
+      } else if (c == '\\') {
+        escaped = true;
+      } else if (c == '"') {
+        in_string = false;
+        key_end = i;
+      }
+      continue;
     }
-  } catch (const JsonParseError&) {
+    switch (c) {
+      case '"':
+        in_string = true;
+        key_begin = i + 1;
+        break;
+      case '{':
+      case '[':
+        ++depth;
+        break;
+      case '}':
+      case ']':
+        --depth;
+        break;
+      case ':': {
+        if (depth != 1 || key_end < key_begin) break;
+        const std::size_t key_len = key_end - key_begin;
+        const bool is_id = key_len == 2 && line.compare(key_begin, key_len, "id") == 0;
+        const bool is_deadline =
+            key_len == 11 && line.compare(key_begin, key_len, "deadline_ms") == 0;
+        if (!is_id && !is_deadline) break;
+        std::size_t j = i + 1;
+        while (j < line.size() && (line[j] == ' ' || line[j] == '\t')) ++j;
+        bool negative = false;
+        if (j < line.size() && line[j] == '-') {
+          negative = true;
+          ++j;
+        }
+        if (j >= line.size() || line[j] < '0' || line[j] > '9') break;
+        std::int64_t value = 0;
+        while (j < line.size() && line[j] >= '0' && line[j] <= '9') {
+          if (value > (std::numeric_limits<std::int64_t>::max() - 9) / 10) {
+            value = -1;  // overflow: treat as absent
+            break;
+          }
+          value = value * 10 + (line[j] - '0');
+          ++j;
+        }
+        if (value < 0) break;
+        if (negative) value = -value;
+        if (is_id) meta.id = value;
+        if (is_deadline && value >= 1 && value <= kMaxDeadlineMs) meta.deadline_ms = value;
+        break;
+      }
+      default:
+        break;
+    }
   }
-  return std::nullopt;
+  return meta;
 }
 
 namespace {
 
 std::string handle_line_impl(const ServeContext& context, const std::string& line,
-                             bool& success) {
+                             bool& success, const CancelToken& cancel) {
   std::optional<std::int64_t> id;
   success = false;
   try {
@@ -316,7 +394,11 @@ std::string handle_line_impl(const ServeContext& context, const std::string& lin
                                 "' (allowed: design, simulate, batch, tiled, fault-campaign, "
                                 "stats)");
     }
-    const ActionParams params = parse_params(doc, action);
+    ActionParams params = parse_params(doc, action);
+    params.cancel = cancel;
+    if (!params.cancel.valid() && params.deadline_ms > 0) {
+      params.cancel = CancelToken::with_deadline_ms(params.deadline_ms);
+    }
     const std::string response = run_design_action(context, id, action, params);
     success = true;
     return response;
@@ -324,6 +406,12 @@ std::string handle_line_impl(const ServeContext& context, const std::string& lin
     return error_response(id, "parse_error", e.what());
   } catch (const RequestError& e) {
     return error_response(id, e.code, e.message);
+  } catch (const DeadlineExceededError& e) {
+    // A cooperative cancellation fired at a wavefront/tile/lane-group
+    // boundary: the run unwound before producing any result, so the
+    // caller gets this structured (retryable) envelope, never a torn
+    // document. Must precede the generic Error catch below.
+    return error_response(id, "deadline_exceeded", e.what());
   } catch (const Error& e) {
     // A pipeline precondition/overflow/not-found raised by execution:
     // the request was answerable but invalid — per-request scope, the
@@ -336,9 +424,10 @@ std::string handle_line_impl(const ServeContext& context, const std::string& lin
 
 }  // namespace
 
-std::string handle_line(const ServeContext& context, const std::string& line, bool* ok) {
+std::string handle_line(const ServeContext& context, const std::string& line, bool* ok,
+                        const CancelToken& cancel) {
   bool success = false;
-  const std::string response = handle_line_impl(context, line, success);
+  const std::string response = handle_line_impl(context, line, success, cancel);
   if (ok != nullptr) *ok = success;
   return response;
 }
@@ -387,6 +476,7 @@ std::string request_line(std::int64_t id, const std::string& action,
       w.key("spares").value(params.campaign.spares);
       w.key("retries").value(params.campaign.max_retries);
     }
+    if (params.deadline_ms > 0) w.key("deadline_ms").value(params.deadline_ms);
   }
   w.end_object();
   return w.str();

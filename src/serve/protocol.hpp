@@ -24,18 +24,30 @@
 #include <string>
 
 #include "serve/actions.hpp"
+#include "support/cancel.hpp"
 
 namespace bitlevel::serve {
 
-/// Machine-readable error classes of the protocol.
-///   parse_error  — the line is not a valid JSON object.
-///   bad_request  — valid JSON, but an unknown action/member, a value
-///                  of the wrong type, or a value out of range.
-///   infeasible   — the composed design has no feasible mapping.
-///   overloaded   — the bounded admission queue is full.
-///   oversized    — the request line exceeds the framing bound.
-///   shutting_down— the daemon is draining and accepts no new work.
-///   internal     — an unexpected exception (reported, never a crash).
+/// Machine-readable error classes of the protocol. Every error
+/// envelope carries "retryable": whether the SAME request can succeed
+/// later without modification (transient server condition) or is fatal
+/// as written (see error_retryable).
+///   parse_error       — the line is not a valid JSON object. Fatal.
+///   bad_request       — valid JSON, but an unknown action/member, a
+///                       value of the wrong type, or out of range. Fatal.
+///   infeasible        — the composed design has no feasible mapping.
+///                       Fatal.
+///   overloaded        — the bounded admission queue is full. Retryable.
+///   oversized         — the request line exceeds the framing bound.
+///                       Fatal.
+///   deadline_exceeded — the request's deadline expired before (shed
+///                       from the queue, work never started) or during
+///                       execution (cancelled at a cooperative
+///                       boundary). Retryable.
+///   shutting_down     — the daemon is draining and accepts no new
+///                       work. Retryable (against a live instance).
+///   internal          — an unexpected exception (reported, never a
+///                       crash). Fatal.
 
 /// What a request handler needs from its server.
 struct ServeContext {
@@ -54,18 +66,43 @@ struct ServeContext {
 /// serialize. Always returns a complete one-line response envelope —
 /// exceptions become structured error responses. When `ok` is non-null
 /// it reports whether the envelope carries "ok":true (for the server's
-/// served/error counters).
+/// served/error counters). `cancel` is the server-installed
+/// cancellation token (deadline anchored at request arrival); when it
+/// is null and the request carries its own "deadline_ms", a token
+/// anchored at parse time is installed instead, so direct callers (the
+/// one-shot CLI, tests) honor deadlines too. A fired deadline yields a
+/// "deadline_exceeded" error envelope, never a torn result.
 std::string handle_line(const ServeContext& context, const std::string& line,
-                        bool* ok = nullptr);
+                        bool* ok = nullptr, const CancelToken& cancel = {});
 
-/// A structured error envelope (one line, no trailing newline).
+/// A structured error envelope (one line, no trailing newline),
+/// including the taxonomy's "retryable" verdict for `code`.
 std::string error_response(std::optional<std::int64_t> id, const std::string& code,
                            const std::string& message);
+
+/// The taxonomy's verdict: true exactly for the transient-condition
+/// codes (overloaded, deadline_exceeded, shutting_down) — retrying the
+/// unmodified request can succeed. The client's bounded-retry loop and
+/// every error envelope's "retryable" field use this single predicate.
+bool error_retryable(const std::string& code);
 
 /// Best-effort extraction of a request id for rejection paths that
 /// never execute the request (overloaded, oversized). nullopt when the
 /// line is unparseable or carries no integer id.
 std::optional<std::int64_t> peek_request_id(const std::string& line);
+
+/// What the server's shedding path needs from a queued line without
+/// running it: the id (for the rejection envelope) and the request's
+/// own deadline_ms (0 when absent or out of range — full validation
+/// happens in parse_params if the request executes).
+struct RequestMeta {
+  std::optional<std::int64_t> id;
+  std::int64_t deadline_ms = 0;
+};
+
+/// One parse serving both peeks, for the worker's pop-time deadline
+/// resolution. Never throws; unparseable lines yield a default meta.
+RequestMeta peek_request_meta(const std::string& line);
 
 /// Serialize the request a client sends for `action` with `params` —
 /// the exact inverse of the daemon's request parser, shared by the

@@ -8,11 +8,14 @@
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstdlib>
 #include <cstring>
 #include <utility>
 
+#include "support/cancel.hpp"
 #include "support/error.hpp"
 
 namespace bitlevel::serve {
@@ -28,6 +31,26 @@ void set_nonblocking(int fd) {
   if (flags < 0 || fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
     fail_errno("fcntl(O_NONBLOCK)");
   }
+}
+
+/// Monotonic clock in ms, for the per-connection last-activity stamps
+/// (atomics can't hold a time_point).
+std::int64_t now_ms() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// The effective deadline of a request asking for `request_ms` (0 =
+/// none): the request's own value, else the server default, and never
+/// beyond the hard cap — which applies even to requests that asked for
+/// nothing. 0 = no deadline.
+std::int64_t resolved_deadline_ms(const ServerConfig& config, std::int64_t request_ms) {
+  std::int64_t ms = request_ms > 0 ? request_ms : config.default_deadline_ms;
+  if (config.max_deadline_ms > 0) {
+    ms = ms > 0 ? std::min(ms, config.max_deadline_ms) : config.max_deadline_ms;
+  }
+  return ms;
 }
 
 }  // namespace
@@ -71,6 +94,13 @@ struct Server::Connection {
   bool overflowed = false;       ///< Oversized-line mode: discard to newline.
   std::mutex write_mu;
   std::atomic<bool> alive{true};
+  /// Last byte read or response written (now_ms clock), for the idle
+  /// reaper. Stamped at accept, on every read, and after every
+  /// response.
+  std::atomic<std::int64_t> last_activity_ms{0};
+  /// Requests admitted but not yet answered: a connection with work in
+  /// flight is never "idle", however long its deadline lets it run.
+  std::atomic<int> pending{0};
 
   ~Connection() {
     if (fd >= 0) ::close(fd);
@@ -80,8 +110,15 @@ struct Server::Connection {
 Server::Server(ServerConfig config) : config_(std::move(config)) {
   BL_REQUIRE(config_.workers >= 1, "server needs at least one worker");
   BL_REQUIRE(config_.max_queue >= 1, "server queue bound must be >= 1");
-  BL_REQUIRE(config_.max_line_bytes >= 2, "server line bound must be >= 2");
+  // The smallest useful request ({"action":"stats"} and kin) needs a
+  // few dozen bytes; a bound below that would reject every line.
+  BL_REQUIRE(config_.max_line_bytes >= 64,
+             "server line bound must hold a minimal request (>= 64 bytes)");
   BL_REQUIRE(config_.accept_poll_ms >= -1, "accept poll timeout must be >= -1");
+  BL_REQUIRE(config_.default_deadline_ms >= 0, "default deadline must be >= 0 (0 = none)");
+  BL_REQUIRE(config_.max_deadline_ms >= 0, "deadline cap must be >= 0 (0 = uncapped)");
+  BL_REQUIRE(config_.idle_timeout_ms >= -1, "idle timeout must be >= -1 (-1 = never reap)");
+  BL_REQUIRE(config_.write_stall_ms >= 0, "write stall budget must be >= 0");
   cache_ = config_.cache != nullptr ? config_.cache : &pipeline::global_plan_cache();
   if (pipe(shutdown_pipe_) != 0) fail_errno("pipe");
   set_nonblocking(shutdown_pipe_[0]);
@@ -155,43 +192,47 @@ ServerStats Server::stats() const {
   s.served_error = served_error_.load();
   s.rejected_overloaded = rejected_overloaded_.load();
   s.rejected_oversized = rejected_oversized_.load();
+  s.rejected_deadline = rejected_deadline_.load();
   s.in_flight = queued_.load() + executing_.load();
   return s;
 }
 
-void Server::write_response(Connection& connection, const std::string& response, bool ok) {
-  (ok ? served_ok_ : served_error_).fetch_add(1);
+void Server::write_response(Connection& connection, const std::string& response) {
   if (!connection.alive.load()) return;
   const std::string line = response + "\n";
   std::lock_guard<std::mutex> lock(connection.write_mu);
   std::size_t sent = 0;
-  int stalls = 0;
+  int waited_ms = 0;
   while (sent < line.size()) {
     // MSG_NOSIGNAL: a client that hung up must not SIGPIPE the daemon.
     const ssize_t n =
         ::send(connection.fd, line.data() + sent, line.size() - sent, MSG_NOSIGNAL);
     if (n > 0) {
       sent += static_cast<std::size_t>(n);
-      stalls = 0;
+      waited_ms = 0;  // progress resets the stall budget
       continue;
     }
     if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
-      // A client that stopped reading must not pin a worker forever:
-      // give it 30 x 1s of back-pressure, then drop the connection.
+      // Slow-writer guard: a client that stopped reading must not pin a
+      // worker forever. Give it write_stall_ms of back-pressure in
+      // 100ms poll chunks, then drop the connection.
+      if (waited_ms >= config_.write_stall_ms) {
+        connection.alive.store(false);
+        return;
+      }
+      const int chunk_ms =
+          std::min(100, std::max(1, config_.write_stall_ms - waited_ms));
       pollfd pfd{connection.fd, POLLOUT, 0};
-      const int ready = ::poll(&pfd, 1, 1000);
+      const int ready = ::poll(&pfd, 1, chunk_ms);
       if (ready < 0) {
         if (errno == EINTR) continue;   // interrupted wait, not a stall
         connection.alive.store(false);  // poll failure: treat the fd as gone
         return;
       }
       if (ready == 0) {
-        // Only a full timed-out window counts as a stall; a writable
-        // round or an interrupted wait must not eat the 30s budget.
-        if (++stalls > 30) {
-          connection.alive.store(false);
-          return;
-        }
+        // Only a full timed-out chunk counts against the budget; a
+        // writable round or an interrupted wait must not eat it.
+        waited_ms += chunk_ms;
         continue;
       }
       if ((pfd.revents & (POLLERR | POLLHUP | POLLNVAL)) != 0) {
@@ -204,6 +245,7 @@ void Server::write_response(Connection& connection, const std::string& response,
     connection.alive.store(false);  // client gone; drop the response
     return;
   }
+  connection.last_activity_ms.store(now_ms());
 }
 
 void Server::admit_line(const std::shared_ptr<Connection>& connection, std::string line) {
@@ -211,7 +253,10 @@ void Server::admit_line(const std::shared_ptr<Connection>& connection, std::stri
   {
     std::lock_guard<std::mutex> lock(queue_mu_);
     if (queue_.size() < config_.max_queue) {
-      queue_.push_back(Task{connection, std::move(line)});
+      // pending++ before the push: once a worker can see the task, the
+      // reaper must already consider the connection busy.
+      connection->pending.fetch_add(1);
+      queue_.push_back(Task{connection, std::move(line), std::chrono::steady_clock::now()});
       queued_.fetch_add(1);
       queue_cv_.notify_one();
       return;
@@ -223,8 +268,7 @@ void Server::admit_line(const std::shared_ptr<Connection>& connection, std::stri
   write_response(*connection,
                  error_response(peek_request_id(line), "overloaded",
                                 "request queue full (" + std::to_string(config_.max_queue) +
-                                    "); retry later"),
-                 false);
+                                    "); retry later"));
 }
 
 void Server::handle_readable(const std::shared_ptr<Connection>& connection) {
@@ -242,6 +286,7 @@ void Server::handle_readable(const std::shared_ptr<Connection>& connection) {
       return;
     }
     connection->buffer.append(chunk, static_cast<std::size_t>(n));
+    connection->last_activity_ms.store(now_ms());
     std::size_t start = 0;
     while (true) {
       const std::size_t nl = connection->buffer.find('\n', start);
@@ -263,8 +308,7 @@ void Server::handle_readable(const std::shared_ptr<Connection>& connection) {
         write_response(*connection,
                        error_response(peek_request_id(line), "oversized",
                                       "request line exceeds " +
-                                          std::to_string(config_.max_line_bytes) + " bytes"),
-                       false);
+                                          std::to_string(config_.max_line_bytes) + " bytes"));
         continue;
       }
       admit_line(connection, std::move(line));
@@ -279,8 +323,7 @@ void Server::handle_readable(const std::shared_ptr<Connection>& connection) {
       write_response(*connection,
                      error_response(std::nullopt, "oversized",
                                     "request line exceeds " +
-                                        std::to_string(config_.max_line_bytes) + " bytes"),
-                     false);
+                                        std::to_string(config_.max_line_bytes) + " bytes"));
       connection->buffer.clear();
       connection->overflowed = true;
     }
@@ -300,29 +343,34 @@ void Server::accept_loop() {
       if (errno == EINTR) continue;
       fail_errno("poll");
     }
-    if (ready == 0) continue;  // idle tick: re-arm with a fresh fd set
-    if (fds[0].revents != 0) return;  // shutdown byte: begin the drain
-    if ((fds[1].revents & POLLIN) != 0) {
-      while (true) {
-        const int fd = ::accept(listen_fd_, nullptr, nullptr);
-        if (fd < 0) {
-          if (errno == EINTR) continue;
-          // EAGAIN: the backlog is drained. Anything else (ECONNABORTED,
-          // EMFILE, ...) is per-connection, not fatal to the daemon —
-          // drop out and let the next poll round retry.
-          break;
+    if (ready > 0) {
+      if (fds[0].revents != 0) return;  // shutdown byte: begin the drain
+      if ((fds[1].revents & POLLIN) != 0) {
+        while (true) {
+          const int fd = ::accept(listen_fd_, nullptr, nullptr);
+          if (fd < 0) {
+            if (errno == EINTR) continue;
+            // EAGAIN: the backlog is drained. Anything else (ECONNABORTED,
+            // EMFILE, ...) is per-connection, not fatal to the daemon —
+            // drop out and let the next poll round retry.
+            break;
+          }
+          set_nonblocking(fd);
+          accepted_.fetch_add(1);
+          auto connection = std::make_shared<Connection>();
+          connection->fd = fd;
+          connection->last_activity_ms.store(now_ms());
+          connections_.push_back(std::move(connection));
         }
-        set_nonblocking(fd);
-        accepted_.fetch_add(1);
-        auto connection = std::make_shared<Connection>();
-        connection->fd = fd;
-        connections_.push_back(std::move(connection));
+      }
+      for (std::size_t i = 2; i < fds.size(); ++i) {
+        if (fds[i].revents == 0) continue;
+        handle_readable(connections_[i - 2]);
       }
     }
-    for (std::size_t i = 2; i < fds.size(); ++i) {
-      if (fds[i].revents == 0) continue;
-      handle_readable(connections_[i - 2]);
-    }
+    // Idle ticks (ready == 0) fall through here too: the reaper is
+    // paced by accept_poll_ms even when no byte ever arrives.
+    reap_idle_connections();
     // Drop closed connections; queued tasks keep theirs alive through
     // the shared_ptr until their responses are (not) written.
     std::vector<std::shared_ptr<Connection>> alive;
@@ -331,6 +379,23 @@ void Server::accept_loop() {
       if (connection->alive.load()) alive.push_back(std::move(connection));
     }
     connections_.swap(alive);
+  }
+}
+
+void Server::reap_idle_connections() {
+  if (config_.idle_timeout_ms < 0) return;  // -1: never reap
+  const std::int64_t now = now_ms();
+  for (const auto& connection : connections_) {
+    if (!connection->alive.load()) continue;
+    // A connection with an admitted-but-unanswered request is busy, not
+    // idle — a long-running request must never be reaped out from
+    // under its own response. Workers stamp last_activity BEFORE
+    // decrementing pending, so this test never sees a stale stamp with
+    // pending already zero.
+    if (connection->pending.load() > 0) continue;
+    if (now - connection->last_activity_ms.load() > config_.idle_timeout_ms) {
+      connection->alive.store(false);  // the sweep below closes the fd
+    }
   }
 }
 
@@ -346,6 +411,7 @@ void Server::worker_loop() {
         w.key("served_error").value(s.served_error);
         w.key("rejected_overloaded").value(s.rejected_overloaded);
         w.key("rejected_oversized").value(s.rejected_oversized);
+        w.key("rejected_deadline").value(s.rejected_deadline);
         w.key("in_flight").value(s.in_flight);
         w.key("workers").value(config_.workers);
         w.key("queue_capacity").value(static_cast<std::int64_t>(config_.max_queue));
@@ -362,9 +428,45 @@ void Server::worker_loop() {
       queued_.fetch_sub(1);
       executing_.fetch_add(1);
     }
-    bool ok = false;
-    const std::string response = handle_line(context, task.line, &ok);
-    write_response(*task.connection, response, ok);
+    // Deadline resolution at pop time. Fast path: when the server sets
+    // no deadline of its own and the line carries no "deadline_ms"
+    // member, skip the peek parse entirely.
+    CancelToken cancel;
+    bool shed = false;
+    const bool maybe_deadline = config_.default_deadline_ms > 0 ||
+                                config_.max_deadline_ms > 0 ||
+                                task.line.find("\"deadline_ms\"") != std::string::npos;
+    if (maybe_deadline) {
+      const RequestMeta meta = peek_request_meta(task.line);
+      const std::int64_t ms = resolved_deadline_ms(config_, meta.deadline_ms);
+      if (ms > 0) {
+        const auto deadline = task.arrival + std::chrono::milliseconds(ms);
+        if (std::chrono::steady_clock::now() >= deadline) {
+          // Lazy shedding: the deadline expired while the task sat in
+          // the queue. The work never starts — no plan composed, no
+          // cache touched — and the client learns immediately.
+          rejected_deadline_.fetch_add(1);
+          write_response(*task.connection,
+                         error_response(meta.id, "deadline_exceeded",
+                                        "deadline (" + std::to_string(ms) +
+                                            " ms) expired while queued; request shed"));
+          shed = true;
+        } else {
+          cancel = CancelToken::with_deadline_at(deadline);
+        }
+      }
+    }
+    if (!shed) {
+      bool ok = false;
+      const std::string response = handle_line(context, task.line, &ok, cancel);
+      (ok ? served_ok_ : served_error_).fetch_add(1);
+      write_response(*task.connection, response);
+    }
+    // Activity stamp BEFORE pending-- : the reaper skips pending > 0
+    // connections, so by the time it can see pending == 0 the stamp is
+    // already fresh — a just-answered connection is never "idle".
+    task.connection->last_activity_ms.store(now_ms());
+    task.connection->pending.fetch_sub(1);
     executing_.fetch_sub(1);
   }
 }

@@ -19,6 +19,7 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -52,8 +53,26 @@ struct ServerConfig {
   std::size_t max_line_bytes = 1 << 20;  ///< Framing bound per request line.
   /// Acceptor poll timeout in ms (-1 = block until an event). A finite
   /// tick lets the loop re-arm its fd set on a schedule even when no
-  /// byte ever arrives; the shutdown pipe wakes it either way.
+  /// byte ever arrives; the shutdown pipe wakes it either way — and it
+  /// paces the idle-connection reaper below.
   int accept_poll_ms = 1000;
+  /// Default deadline applied to requests that carry no "deadline_ms"
+  /// member (0 = none). Anchored at request arrival, like per-request
+  /// deadlines.
+  std::int64_t default_deadline_ms = 0;
+  /// Hard cap on EVERY request's effective deadline (0 = uncapped): a
+  /// request asking for more gets clamped, and when neither the
+  /// request nor the default sets one, the cap itself applies — no
+  /// request may run longer than this.
+  std::int64_t max_deadline_ms = 0;
+  /// Close connections idle (no bytes read, no response written, no
+  /// request in flight) longer than this, in ms. -1 = never reap.
+  std::int64_t idle_timeout_ms = -1;
+  /// Budget for one blocked response write before the connection is
+  /// dropped (slow-writer guard): a reader that stops draining its
+  /// socket stalls a worker for at most this long, then loses the
+  /// connection instead of wedging the pool.
+  int write_stall_ms = 30'000;
   /// Cache to serve from; nullptr = pipeline::global_plan_cache().
   pipeline::PlanCache* cache = nullptr;
   /// Test hook enabling the hidden "test-stall" action (see
@@ -61,14 +80,21 @@ struct ServerConfig {
   std::function<void()> test_stall;
 };
 
-/// Counter snapshot; monotone except in_flight (a gauge).
+/// Counter snapshot; monotone except in_flight (a gauge). The ledger
+/// balances: every framed request lands in exactly one of served_ok /
+/// served_error / rejected_*, so after a drain
+///   requests == served_ok + served_error
+///               + rejected_overloaded + rejected_oversized
+///               + rejected_deadline.
+/// (Mid-run, in_flight accounts for the difference.)
 struct ServerStats {
   std::uint64_t connections = 0;          ///< Accepted connections.
   std::uint64_t requests = 0;             ///< Complete request lines framed.
-  std::uint64_t served_ok = 0;            ///< Responses with "ok":true.
-  std::uint64_t served_error = 0;         ///< Structured error responses.
+  std::uint64_t served_ok = 0;            ///< Executed, "ok":true.
+  std::uint64_t served_error = 0;         ///< Executed, structured error.
   std::uint64_t rejected_overloaded = 0;  ///< Admission-control rejections.
   std::uint64_t rejected_oversized = 0;   ///< Framing-bound rejections.
+  std::uint64_t rejected_deadline = 0;    ///< Shed at pop: deadline already expired.
   std::uint64_t in_flight = 0;            ///< Queued + executing right now.
 };
 
@@ -113,13 +139,18 @@ class Server {
   struct Task {
     std::shared_ptr<Connection> connection;
     std::string line;
+    /// When the acceptor framed the line — deadlines are anchored
+    /// here, so time spent queued counts against them and the worker
+    /// can shed a task whose deadline expired while it waited.
+    std::chrono::steady_clock::time_point arrival;
   };
 
   void accept_loop();
   void worker_loop();
+  void reap_idle_connections();
   void handle_readable(const std::shared_ptr<Connection>& connection);
   void admit_line(const std::shared_ptr<Connection>& connection, std::string line);
-  void write_response(Connection& connection, const std::string& response, bool ok);
+  void write_response(Connection& connection, const std::string& response);
 
   ServerConfig config_;
   Endpoint bound_;
@@ -141,6 +172,7 @@ class Server {
   std::atomic<std::uint64_t> served_error_{0};
   std::atomic<std::uint64_t> rejected_overloaded_{0};
   std::atomic<std::uint64_t> rejected_oversized_{0};
+  std::atomic<std::uint64_t> rejected_deadline_{0};
   std::atomic<std::uint64_t> executing_{0};
   std::atomic<std::uint64_t> queued_{0};
 };

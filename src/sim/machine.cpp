@@ -493,6 +493,7 @@ SimulationStats Machine::run() {
                      [](const Event& a, const Event& b) { return a.cycle < b.cycle; });
     std::size_t at = 0;
     while (at < events.size()) {
+      config_.cancel.check("wavefront pass");
       // The half-open range of events sharing this cycle.
       const Int cycle = events[at].cycle;
       std::size_t end = at;
@@ -512,6 +513,7 @@ SimulationStats Machine::run() {
       wavefront.clear();
       wavefronts.collect(cycle, wavefront);
       if (wavefront.empty()) continue;
+      config_.cancel.check("wavefront pass");
       process_cycle(cycle, wavefront.size(),
                     [&](std::size_t i) -> const IntVec& { return wavefront[i]; });
       executed += wavefront.size();

@@ -57,6 +57,7 @@
 #include "mapping/kmatrix.hpp"
 #include "mapping/transform.hpp"
 #include "sim/lane_block.hpp"
+#include "support/cancel.hpp"
 
 namespace bitlevel::sim {
 
@@ -208,6 +209,12 @@ struct MachineConfig {
   OutputSink on_output = nullptr;
   /// Fault-injection & recovery hooks; null = clean run (see FaultHooks).
   std::shared_ptr<const FaultHooks> faults = nullptr;
+  /// Cooperative cancellation, polled once per wavefront pass (before
+  /// each cycle's events run). A fired check throws
+  /// DeadlineExceededError between passes, so the run either completes
+  /// a full cycle barrier or stops clean — never mid-cycle. A null
+  /// token (the default) costs one pointer test per pass.
+  CancelToken cancel;
 };
 
 /// Aggregate results of a run.

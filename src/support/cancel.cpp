@@ -1,0 +1,47 @@
+#include "support/cancel.hpp"
+
+#include <string>
+
+namespace bitlevel {
+
+CancelToken CancelToken::manual() {
+  CancelToken token;
+  token.state_ = std::make_shared<State>();
+  return token;
+}
+
+CancelToken CancelToken::with_deadline_ms(std::int64_t ms) {
+  return with_deadline_at(Clock::now() + std::chrono::milliseconds(ms));
+}
+
+CancelToken CancelToken::with_deadline_at(Clock::time_point at) {
+  CancelToken token;
+  token.state_ = std::make_shared<State>();
+  token.state_->has_deadline = true;
+  token.state_->deadline = at;
+  return token;
+}
+
+void CancelToken::cancel() const {
+  if (state_ != nullptr) {
+    state_->cancelled.store(true, std::memory_order_relaxed);
+  }
+}
+
+bool CancelToken::cancelled() const {
+  if (state_ == nullptr) {
+    return false;
+  }
+  if (state_->cancelled.load(std::memory_order_relaxed)) {
+    return true;
+  }
+  return state_->has_deadline && Clock::now() >= state_->deadline;
+}
+
+void CancelToken::check(const char* site) const {
+  if (cancelled()) {
+    throw DeadlineExceededError(std::string("deadline exceeded at ") + site);
+  }
+}
+
+}  // namespace bitlevel

@@ -1,0 +1,77 @@
+// Cooperative cancellation and deadlines.
+//
+// A CancelToken is a cheap, copyable handle to shared cancellation
+// state: a manual flag plus an optional monotonic-clock deadline.
+// Long-running executions poll it at their natural barriers only —
+// wavefront-pass, lane-group, tile-shard and campaign-cell boundaries
+// — so a cancelled run either completes a barrier or throws
+// DeadlineExceededError there; partial state never escapes, because
+// the throw unwinds before any result object is returned. The set of
+// points where cancellation CAN fire is therefore deterministic even
+// though wall-clock decides which one fires.
+//
+// A default-constructed token is null: it can never cancel and every
+// check reduces to one pointer test, so the clean path stays
+// bit-identical to a build without the feature.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+
+#include "support/error.hpp"
+
+namespace bitlevel {
+
+/// A run exceeded its deadline (or was cancelled) and stopped at a
+/// cooperative boundary. The serve layer maps this to the structured,
+/// retryable "deadline_exceeded" protocol error.
+class DeadlineExceededError : public Error {
+ public:
+  explicit DeadlineExceededError(const std::string& what) : Error(what) {}
+};
+
+class CancelToken {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  /// Null token: never cancelled, checks cost one pointer test.
+  CancelToken() = default;
+
+  /// A token cancelled only by an explicit cancel() call.
+  static CancelToken manual();
+
+  /// A token that expires `ms` milliseconds from now.
+  static CancelToken with_deadline_ms(std::int64_t ms);
+
+  /// A token that expires at an absolute monotonic-clock instant —
+  /// for deadlines anchored at request ARRIVAL rather than at the
+  /// start of execution.
+  static CancelToken with_deadline_at(Clock::time_point at);
+
+  /// True when this token can ever cancel (non-null).
+  bool valid() const { return state_ != nullptr; }
+
+  /// Request cancellation (thread-safe; no-op on a null token).
+  void cancel() const;
+
+  /// Poll: manually cancelled, or the deadline has passed.
+  bool cancelled() const;
+
+  /// Throw DeadlineExceededError naming `site` when cancelled. The
+  /// only way executions consume the token — every check site is a
+  /// safe boundary by construction.
+  void check(const char* site) const;
+
+ private:
+  struct State {
+    std::atomic<bool> cancelled{false};
+    bool has_deadline = false;
+    Clock::time_point deadline{};
+  };
+
+  std::shared_ptr<State> state_;
+};
+
+}  // namespace bitlevel

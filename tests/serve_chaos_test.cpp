@@ -1,0 +1,566 @@
+// Socket-fault chaos harness for the design-service daemon, plus the
+// cancellation/deadline layer underneath it: mid-line disconnects,
+// garbage frames, clients killed mid-response, slow readers, idle
+// connections, expired and mid-execution deadlines. The invariants
+// under every fault: no worker wedges, no partial state escapes, the
+// counter ledger balances after a drain
+//   requests == served_ok + served_error
+//               + rejected_overloaded + rejected_oversized
+//               + rejected_deadline
+// and leaked_plans == 0. Each daemon test appends its drain ledger as
+// a JSON line to $BITLEVEL_CHAOS_LEDGER_JSON (when set) for the CI
+// artifact.
+#include <gtest/gtest.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "pipeline/cache.hpp"
+#include "pipeline/executor.hpp"
+#include "serve/client.hpp"
+#include "serve/protocol.hpp"
+#include "serve/server.hpp"
+#include "support/cancel.hpp"
+#include "support/json.hpp"
+
+namespace bitlevel::serve {
+namespace {
+
+std::string temp_socket_path(const char* tag) {
+  return "/tmp/bitlevel-chaos-test-" + std::string(tag) + "-" +
+         std::to_string(static_cast<long>(::getpid())) + ".sock";
+}
+
+/// A counting semaphore (C++17 has none): the test_stall hook blocks
+/// workers on acquire() until the test release()s them.
+class Gate {
+ public:
+  void release(int n = 1) {
+    std::lock_guard<std::mutex> lock(mu_);
+    permits_ += n;
+    cv_.notify_all();
+  }
+  void acquire() {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [&] { return permits_ > 0; });
+    --permits_;
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  int permits_ = 0;
+};
+
+/// Runs a Server on its own thread; joins + drains on destruction.
+class TestDaemon {
+ public:
+  explicit TestDaemon(ServerConfig config) : server_(std::move(config)) {
+    server_.bind_and_listen();
+    thread_ = std::thread([this] { report_ = server_.run(); });
+  }
+  ~TestDaemon() { drain(); }
+
+  DrainReport drain() {
+    server_.shutdown();
+    if (thread_.joinable()) thread_.join();
+    return report_;
+  }
+
+  Server& server() { return server_; }
+  const std::string& endpoint() const { return server_.endpoint(); }
+
+ private:
+  Server server_;
+  std::thread thread_;
+  DrainReport report_;
+};
+
+const JsonValue* find_or_null(const JsonValue& doc, const char* key) {
+  return doc.is_object() ? doc.find(key) : nullptr;
+}
+
+std::string error_code(const std::string& response) {
+  const JsonValue doc = json_parse(response);
+  const JsonValue* error = find_or_null(doc, "error");
+  if (error == nullptr || !error->is_object()) return "";
+  const JsonValue* code = error->find("code");
+  return code != nullptr && code->is_string() ? code->string_v : "";
+}
+
+bool error_retryable_flag(const std::string& response) {
+  const JsonValue doc = json_parse(response);
+  const JsonValue* error = find_or_null(doc, "error");
+  if (error == nullptr || !error->is_object()) return false;
+  const JsonValue* retryable = error->find("retryable");
+  return retryable != nullptr && retryable->is_bool() && retryable->bool_v;
+}
+
+bool response_ok(const std::string& response) {
+  const JsonValue doc = json_parse(response);
+  const JsonValue* ok = find_or_null(doc, "ok");
+  return ok != nullptr && ok->is_bool() && ok->bool_v;
+}
+
+/// A raw (non-Client) Unix socket, for injecting torn frames the
+/// Client class refuses to produce. endpoint_spec is "unix:<path>".
+int raw_unix_connect(const std::string& endpoint_spec) {
+  const std::string path = endpoint_spec.substr(std::strlen("unix:"));
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+  EXPECT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+  return fd;
+}
+
+void raw_send(int fd, const std::string& bytes) {
+  std::size_t sent = 0;
+  while (sent < bytes.size()) {
+    const ssize_t n = ::send(fd, bytes.data() + sent, bytes.size() - sent, MSG_NOSIGNAL);
+    ASSERT_GT(n, 0);
+    sent += static_cast<std::size_t>(n);
+  }
+}
+
+/// The post-drain invariants every chaos scenario must satisfy, plus
+/// the CI ledger artifact (one JSON line per scenario when
+/// BITLEVEL_CHAOS_LEDGER_JSON names a file).
+void check_ledger(const char* test, const DrainReport& report) {
+  const ServerStats& s = report.stats;
+  EXPECT_EQ(s.requests, s.served_ok + s.served_error + s.rejected_overloaded +
+                            s.rejected_oversized + s.rejected_deadline)
+      << "ledger out of balance in " << test;
+  EXPECT_EQ(report.leaked_plans, 0u) << "leaked plans in " << test;
+  if (const char* path = std::getenv("BITLEVEL_CHAOS_LEDGER_JSON")) {
+    std::ofstream out(path, std::ios::app);
+    out << "{\"test\":\"" << test << "\",\"requests\":" << s.requests
+        << ",\"served_ok\":" << s.served_ok << ",\"served_error\":" << s.served_error
+        << ",\"rejected_overloaded\":" << s.rejected_overloaded
+        << ",\"rejected_oversized\":" << s.rejected_oversized
+        << ",\"rejected_deadline\":" << s.rejected_deadline
+        << ",\"leaked_plans\":" << report.leaked_plans << "}\n";
+  }
+}
+
+// ------------------------------------------------ cancellation layer
+
+TEST(CancelTokenTest, NullManualAndDeadlineTokens) {
+  const CancelToken null_token;
+  EXPECT_FALSE(null_token.valid());
+  EXPECT_FALSE(null_token.cancelled());
+  EXPECT_NO_THROW(null_token.check("anywhere"));  // null: one pointer test
+
+  const CancelToken manual = CancelToken::manual();
+  EXPECT_TRUE(manual.valid());
+  EXPECT_FALSE(manual.cancelled());
+  EXPECT_NO_THROW(manual.check("before"));
+  const CancelToken copy = manual;  // copies share the state
+  manual.cancel();
+  EXPECT_TRUE(copy.cancelled());
+  EXPECT_THROW(copy.check("lane-group boundary"), DeadlineExceededError);
+  try {
+    copy.check("lane-group boundary");
+    FAIL() << "expected DeadlineExceededError";
+  } catch (const DeadlineExceededError& e) {
+    EXPECT_NE(std::string(e.what()).find("lane-group boundary"), std::string::npos);
+  }
+
+  const CancelToken generous = CancelToken::with_deadline_ms(60'000);
+  EXPECT_FALSE(generous.cancelled());
+  const CancelToken expired =
+      CancelToken::with_deadline_at(std::chrono::steady_clock::now() -
+                                    std::chrono::milliseconds(1));
+  EXPECT_TRUE(expired.cancelled());
+  EXPECT_THROW(expired.check("wavefront pass"), DeadlineExceededError);
+  // DeadlineExceededError is a bitlevel::Error: generic handlers still
+  // catch it (the serve layer intercepts it FIRST to tag retryable).
+  EXPECT_THROW(expired.check("wavefront pass"), Error);
+}
+
+// A pre-cancelled token sheds run_batch before any plan is composed:
+// zero cache misses proves no work started.
+TEST(CancelTokenTest, PreCancelledBatchShedsBeforeComposing) {
+  pipeline::PlanCache cache(4);
+  pipeline::DesignRequest request;
+  request.kernel = pipeline::KernelSpec{"matmul", 2, 2, 2, 0};
+  request.p = 3;
+  std::vector<pipeline::BatchItem> items(4);
+  for (auto& item : items) {
+    item.x = [](const math::IntVec&) { return std::uint64_t{1}; };
+    item.y = [](const math::IntVec&) { return std::uint64_t{1}; };
+  }
+  pipeline::BatchOptions options;
+  options.cancel = CancelToken::manual();
+  options.cancel.cancel();
+  EXPECT_THROW(pipeline::run_batch(cache, request, items, options), DeadlineExceededError);
+  EXPECT_EQ(cache.stats().misses, 0u);
+  EXPECT_EQ(cache.leaked_plans(), 0u);
+}
+
+// Deterministic mid-run cancellation: item 64's operand function fires
+// while the SECOND lane group materializes, so the run is cancelled at
+// a cooperative boundary after real work happened — and the unwound
+// batch pins no plan.
+TEST(CancelTokenTest, BatchCancelsAtLaneGroupBoundary) {
+  pipeline::PlanCache cache(4);
+  pipeline::DesignRequest request;
+  request.kernel = pipeline::KernelSpec{"matmul", 2, 2, 2, 0};
+  request.p = 3;
+  const CancelToken cancel = CancelToken::manual();
+  std::vector<pipeline::BatchItem> items;
+  constexpr int kItems = 130;  // 3 lane groups of 64
+  items.reserve(kItems);
+  for (int i = 0; i < kItems; ++i) {
+    items.push_back(pipeline::BatchItem{
+        [cancel, i](const math::IntVec&) {
+          if (i >= 64) cancel.cancel();  // fires in lane group 2
+          return std::uint64_t{1};
+        },
+        [](const math::IntVec&) { return std::uint64_t{1}; }});
+  }
+  pipeline::BatchOptions options;
+  options.sliced = pipeline::SlicedMode::kOn;
+  options.compiled = pipeline::SlicedMode::kOff;
+  options.cancel = cancel;
+  EXPECT_THROW(pipeline::run_batch(cache, request, items, options), DeadlineExceededError);
+  EXPECT_EQ(cache.stats().misses, 1u);  // the plan WAS composed...
+  EXPECT_EQ(cache.leaked_plans(), 0u);  // ...and released on unwind
+}
+
+TEST(RetryBackoffTest, DeterministicExponentialWithBoundedJitter) {
+  for (int attempt = 0; attempt < 6; ++attempt) {
+    const std::int64_t a = retry_backoff_ms(100, attempt, 42);
+    const std::int64_t b = retry_backoff_ms(100, attempt, 42);
+    EXPECT_EQ(a, b);  // pure function of (base, attempt, seed)
+    EXPECT_GE(a, 100 << attempt);
+    EXPECT_LT(a, (100 << attempt) + 100);  // jitter stays below base
+  }
+  // Different seeds decorrelate the jitter without breaking the bounds.
+  EXPECT_NE(retry_backoff_ms(100, 3, 1), retry_backoff_ms(100, 3, 2));
+  EXPECT_EQ(retry_backoff_ms(0, 5, 7), 0);
+  EXPECT_EQ(retry_backoff_ms(-10, 5, 7), 0);
+}
+
+TEST(RetryableTaggingTest, TaxonomyAndEnvelopes) {
+  EXPECT_TRUE(error_retryable("overloaded"));
+  EXPECT_TRUE(error_retryable("deadline_exceeded"));
+  EXPECT_TRUE(error_retryable("shutting_down"));
+  EXPECT_FALSE(error_retryable("parse_error"));
+  EXPECT_FALSE(error_retryable("bad_request"));
+  EXPECT_FALSE(error_retryable("oversized"));
+  EXPECT_FALSE(error_retryable("infeasible"));
+  EXPECT_FALSE(error_retryable("internal"));
+
+  pipeline::PlanCache cache(4);
+  const ServeContext context{cache, {}, {}};
+  // Fatal taxonomy rows carry retryable:false in the envelope.
+  const std::string parse = handle_line(context, "{not json");
+  EXPECT_EQ(error_code(parse), "parse_error");
+  EXPECT_FALSE(error_retryable_flag(parse));
+  // A cancelled token produces a retryable deadline_exceeded BEFORE
+  // composing anything.
+  const CancelToken cancelled = CancelToken::manual();
+  cancelled.cancel();
+  const std::string shed = handle_line(
+      context, "{\"id\":3,\"action\":\"simulate\",\"kernel\":\"scalar\",\"u\":3,\"p\":3}",
+      nullptr, cancelled);
+  EXPECT_EQ(error_code(shed), "deadline_exceeded") << shed;
+  EXPECT_TRUE(error_retryable_flag(shed)) << shed;
+  EXPECT_EQ(cache.stats().misses, 0u);
+}
+
+TEST(ServerConfigTest, ValidationRejectsBadKnobsUpFront) {
+  auto with = [](auto mutate) {
+    ServerConfig config;
+    mutate(config);
+    return config;
+  };
+  EXPECT_THROW(Server{with([](ServerConfig& c) { c.workers = 0; })}, Error);
+  EXPECT_THROW(Server{with([](ServerConfig& c) { c.max_queue = 0; })}, Error);
+  EXPECT_THROW(Server{with([](ServerConfig& c) { c.max_line_bytes = 32; })}, Error);
+  EXPECT_THROW(Server{with([](ServerConfig& c) { c.accept_poll_ms = -2; })}, Error);
+  EXPECT_THROW(Server{with([](ServerConfig& c) { c.default_deadline_ms = -1; })}, Error);
+  EXPECT_THROW(Server{with([](ServerConfig& c) { c.max_deadline_ms = -1; })}, Error);
+  EXPECT_THROW(Server{with([](ServerConfig& c) { c.idle_timeout_ms = -2; })}, Error);
+  EXPECT_THROW(Server{with([](ServerConfig& c) { c.write_stall_ms = -1; })}, Error);
+  EXPECT_NO_THROW(Server{with([](ServerConfig& c) { c.idle_timeout_ms = -1; })});
+}
+
+// ------------------------------------------------- daemon chaos runs
+
+// A queued request whose deadline expires while it waits is shed at
+// pop time: structured retryable deadline_exceeded, rejected_deadline
+// counted, and ZERO plan compositions — for the batch and the tiled
+// family alike.
+TEST(ServeChaosTest, ExpiredDeadlineIsShedWithoutComposing) {
+  const std::string path = temp_socket_path("shed");
+  pipeline::PlanCache cache(4);
+  Gate started;
+  Gate release;
+  ServerConfig config;
+  config.listen = "unix:" + path;
+  config.workers = 1;
+  config.cache = &cache;
+  config.test_stall = [&] {
+    started.release();
+    release.acquire();
+  };
+  TestDaemon daemon(std::move(config));
+
+  Client client;
+  client.connect(daemon.endpoint());
+  // Occupy the single worker, then queue two deadline-carrying
+  // requests and let their 50ms budgets lapse in the queue.
+  client.send_line("{\"id\":1,\"action\":\"test-stall\"}");
+  started.acquire();
+  client.send_line(
+      "{\"id\":2,\"action\":\"batch\",\"kernel\":\"scalar\",\"u\":3,\"p\":3,"
+      "\"batch\":4,\"deadline_ms\":50}");
+  client.send_line(
+      "{\"id\":3,\"action\":\"tiled\",\"kernel\":\"matmul\",\"u\":4,\"p\":3,"
+      "\"tile_m\":2,\"deadline_ms\":50}");
+  while (daemon.server().stats().in_flight < 3) std::this_thread::yield();
+  std::this_thread::sleep_for(std::chrono::milliseconds(120));
+  release.release(1);
+
+  std::string response;
+  ASSERT_TRUE(client.recv_line(&response));  // the stalled request
+  EXPECT_TRUE(response_ok(response)) << response;
+  for (const std::int64_t id : {2, 3}) {
+    ASSERT_TRUE(client.recv_line(&response));
+    EXPECT_EQ(error_code(response), "deadline_exceeded") << response;
+    EXPECT_TRUE(error_retryable_flag(response)) << response;
+    EXPECT_EQ(find_or_null(json_parse(response), "id")->int_v, id) << response;
+  }
+  EXPECT_EQ(daemon.server().stats().rejected_deadline, 2u);
+  EXPECT_EQ(cache.stats().misses, 0u);  // shed = the work never started
+  check_ledger("ExpiredDeadlineIsShedWithoutComposing", daemon.drain());
+}
+
+// A request whose deadline expires mid-execution stops at the next
+// cooperative boundary: structured retryable deadline_exceeded counted
+// as served_error (it DID execute), with no torn result and no leaked
+// plan.
+TEST(ServeChaosTest, MidExecutionDeadlineCancelsAtBoundary) {
+  const std::string path = temp_socket_path("midrun");
+  pipeline::PlanCache cache(4);
+  ServerConfig config;
+  config.listen = "unix:" + path;
+  config.workers = 1;
+  config.cache = &cache;
+  TestDaemon daemon(std::move(config));
+
+  Client client;
+  client.connect(daemon.endpoint());
+  // A million scalar problems cannot finish inside 300ms; the deadline
+  // fires at a workload/lane boundary deep inside the batch engine.
+  const std::string response = client.roundtrip(
+      "{\"id\":7,\"action\":\"batch\",\"kernel\":\"scalar\",\"u\":3,\"p\":3,"
+      "\"batch\":1000000,\"sliced\":\"off\",\"deadline_ms\":300}");
+  EXPECT_EQ(error_code(response), "deadline_exceeded") << response;
+  EXPECT_TRUE(error_retryable_flag(response)) << response;
+
+  const ServerStats stats = daemon.server().stats();
+  EXPECT_EQ(stats.served_error, 1u);     // executed and cancelled...
+  EXPECT_EQ(stats.rejected_deadline, 0u);  // ...not shed from the queue
+  EXPECT_EQ(cache.leaked_plans(), 0u);
+  check_ledger("MidExecutionDeadlineCancelsAtBoundary", daemon.drain());
+}
+
+TEST(ServeChaosTest, MidLineDisconnectLeavesDaemonServing) {
+  const std::string path = temp_socket_path("midline");
+  pipeline::PlanCache cache(4);
+  ServerConfig config;
+  config.listen = "unix:" + path;
+  config.workers = 2;
+  config.cache = &cache;
+  TestDaemon daemon(std::move(config));
+
+  // Half a request, then the peer vanishes: never framed, never
+  // counted, never served.
+  const int torn = raw_unix_connect(daemon.endpoint());
+  raw_send(torn, "{\"id\":1,\"action\":\"sim");
+  ::close(torn);
+  // And a line torn AFTER framing another: the complete first line is
+  // served into the void, the fragment dies with the socket.
+  const int half = raw_unix_connect(daemon.endpoint());
+  raw_send(half, "{\"id\":2,\"action\":\"stats\"}\n{\"id\":3,\"act");
+  ::close(half);
+
+  Client client;
+  client.connect(daemon.endpoint());
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_TRUE(response_ok(client.roundtrip("{\"id\":9,\"action\":\"stats\"}")));
+  }
+  check_ledger("MidLineDisconnectLeavesDaemonServing", daemon.drain());
+}
+
+TEST(ServeChaosTest, GarbageFramesGetStructuredErrors) {
+  const std::string path = temp_socket_path("garbage");
+  pipeline::PlanCache cache(4);
+  ServerConfig config;
+  config.listen = "unix:" + path;
+  config.workers = 1;
+  config.cache = &cache;
+  TestDaemon daemon(std::move(config));
+
+  Client client;
+  client.connect(daemon.endpoint());
+  client.send_line(std::string("\x01\x02\xff garbage", 11));
+  client.send_line("{]{]");
+  client.send_line("]]]]");
+  for (int i = 0; i < 3; ++i) {
+    std::string response;
+    ASSERT_TRUE(client.recv_line(&response));
+    EXPECT_EQ(error_code(response), "parse_error") << response;
+    EXPECT_FALSE(error_retryable_flag(response)) << response;
+  }
+  EXPECT_TRUE(response_ok(client.roundtrip("{\"id\":4,\"action\":\"stats\"}")));
+  EXPECT_EQ(cache.stats().misses, 0u);
+  check_ledger("GarbageFramesGetStructuredErrors", daemon.drain());
+}
+
+// The satellite-1 regression: a client that dies before reading its
+// response turns the worker's send() into EPIPE — never into a
+// process-killing SIGPIPE (this test binary does NOT ignore SIGPIPE,
+// so MSG_NOSIGNAL is load-bearing here).
+TEST(ServeChaosTest, KillClientMidResponseDoesNotKillDaemon) {
+  const std::string path = temp_socket_path("killclient");
+  pipeline::PlanCache cache(4);
+  ServerConfig config;
+  config.listen = "unix:" + path;
+  config.workers = 2;
+  config.cache = &cache;
+  TestDaemon daemon(std::move(config));
+
+  for (int round = 0; round < 4; ++round) {
+    Client doomed;
+    doomed.connect(daemon.endpoint());
+    doomed.send_line(
+        "{\"id\":1,\"action\":\"simulate\",\"kernel\":\"scalar\",\"u\":3,\"p\":3}");
+    doomed.close();  // gone before the response is written
+  }
+  Client survivor;
+  survivor.connect(daemon.endpoint());
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_TRUE(response_ok(survivor.roundtrip(
+        "{\"id\":2,\"action\":\"simulate\",\"kernel\":\"scalar\",\"u\":3,\"p\":3}")));
+  }
+  const DrainReport report = daemon.drain();
+  // Every admitted request executed and was counted, written or not.
+  EXPECT_EQ(report.stats.served_ok, 7u);
+  check_ledger("KillClientMidResponseDoesNotKillDaemon", report);
+}
+
+// A reader that never drains its socket is dropped after the
+// write_stall_ms budget instead of pinning a worker forever; fresh
+// clients are served immediately afterwards.
+TEST(ServeChaosTest, SlowReaderIsDroppedNotWedged) {
+  const std::string path = temp_socket_path("slowreader");
+  pipeline::PlanCache cache(4);
+  ServerConfig config;
+  config.listen = "unix:" + path;
+  config.workers = 2;
+  config.max_queue = 8192;
+  config.write_stall_ms = 200;
+  config.cache = &cache;
+  TestDaemon daemon(std::move(config));
+
+  Client slow;
+  slow.connect(daemon.endpoint());
+  // Thousands of pipelined responses the client never reads: the
+  // socket buffer fills, a worker stalls out its 200ms budget and the
+  // connection is dropped.
+  constexpr int kFlood = 4000;
+  for (int i = 0; i < kFlood; ++i) {
+    slow.send_line("{\"id\":" + std::to_string(i) + ",\"action\":\"stats\"}");
+  }
+  Client fresh;
+  fresh.connect(daemon.endpoint());
+  EXPECT_TRUE(response_ok(fresh.roundtrip("{\"id\":-1,\"action\":\"stats\"}")));
+  const DrainReport report = daemon.drain();
+  // Every popped task was executed and counted even though most
+  // responses went to a dead connection.
+  EXPECT_EQ(report.stats.served_ok,
+            report.stats.requests - report.stats.rejected_overloaded);
+  check_ledger("SlowReaderIsDroppedNotWedged", report);
+}
+
+TEST(ServeChaosTest, IdleReaperClosesIdleKeepsActive) {
+  const std::string path = temp_socket_path("reaper");
+  pipeline::PlanCache cache(4);
+  ServerConfig config;
+  config.listen = "unix:" + path;
+  config.workers = 1;
+  config.accept_poll_ms = 25;
+  config.idle_timeout_ms = 150;
+  config.cache = &cache;
+  TestDaemon daemon(std::move(config));
+
+  Client idle;
+  idle.connect(daemon.endpoint());
+  EXPECT_TRUE(response_ok(idle.roundtrip("{\"id\":1,\"action\":\"stats\"}")));
+  Client active;
+  active.connect(daemon.endpoint());
+  // The active client keeps trickling requests well inside the idle
+  // window; the idle one goes silent and must be reaped.
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_TRUE(response_ok(active.roundtrip("{\"id\":2,\"action\":\"stats\"}")));
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  }
+  std::string line;
+  EXPECT_FALSE(idle.recv_line(&line));  // EOF: reaped, not wedged
+  EXPECT_TRUE(response_ok(active.roundtrip("{\"id\":3,\"action\":\"stats\"}")));
+  check_ledger("IdleReaperClosesIdleKeepsActive", daemon.drain());
+}
+
+// A connection whose request is still executing is BUSY, not idle —
+// the reaper must leave it alone however long the run takes, then
+// deliver the response on the still-open socket.
+TEST(ServeChaosTest, ReaperSparesInFlightRequests) {
+  const std::string path = temp_socket_path("reaperbusy");
+  pipeline::PlanCache cache(4);
+  Gate started;
+  Gate release;
+  ServerConfig config;
+  config.listen = "unix:" + path;
+  config.workers = 1;
+  config.accept_poll_ms = 20;
+  config.idle_timeout_ms = 100;
+  config.cache = &cache;
+  config.test_stall = [&] {
+    started.release();
+    release.acquire();
+  };
+  TestDaemon daemon(std::move(config));
+
+  Client client;
+  client.connect(daemon.endpoint());
+  client.send_line("{\"id\":1,\"action\":\"test-stall\"}");
+  started.acquire();
+  // No bytes in either direction for 3x the idle timeout — but a
+  // request is in flight, so the reaper must spare the connection.
+  std::this_thread::sleep_for(std::chrono::milliseconds(300));
+  release.release(1);
+  std::string response;
+  ASSERT_TRUE(client.recv_line(&response));
+  EXPECT_TRUE(response_ok(response)) << response;
+  check_ledger("ReaperSparesInFlightRequests", daemon.drain());
+}
+
+}  // namespace
+}  // namespace bitlevel::serve

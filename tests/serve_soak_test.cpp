@@ -298,5 +298,113 @@ TEST(ServeSoakTest, SigtermWithPipelinedRequestsAnswersEverythingFirst) {
   EXPECT_EQ(answered, kBurst + 1);
 }
 
+// The mixed-deadline matrix: generous, tight and already-expired
+// deadlines interleaved through one daemon. Completed results must be
+// byte-identical to one-shot documents (a deadline never changes a
+// completed document's bytes), expired ones must be shed with the
+// retryable deadline_exceeded error, and the drain ledger must balance
+// to the request count exactly.
+TEST(ServeSoakTest, MixedDeadlineMatrixShedsAndServesDeterministically) {
+  const std::string heavy_flags =
+      "--kernel scalar --u 4 --p 6 --batch 512 --sliced off --action batch --json";
+  const std::string light_flags = "--kernel scalar --u 4 --p 4 --action simulate --json";
+  const std::string heavy_ref = strip_plan_cache(run_one_shot(heavy_flags));
+  const std::string light_ref = strip_plan_cache(run_one_shot(light_flags));
+  ASSERT_TRUE(json_valid(heavy_ref)) << heavy_ref;
+  ASSERT_TRUE(json_valid(light_ref)) << light_ref;
+
+  const std::string socket_path =
+      "/tmp/bitlevel-soak-deadline-" + std::to_string(static_cast<long>(getpid())) + ".sock";
+  SoakDaemon daemon(socket_path);
+  serve::Client client;
+  client.connect(daemon.endpoint());
+
+  // Saturate all 4 workers with heavy batches, then pipeline 4
+  // requests whose 1ms budgets are guaranteed to lapse while they
+  // queue behind the heavy work: every one must be shed at pop time.
+  constexpr int kHeavy = 8;
+  constexpr int kExpired = 4;
+  for (int i = 0; i < kHeavy; ++i) {
+    client.send_line("{\"id\":" + std::to_string(i) +
+                     ",\"action\":\"batch\",\"kernel\":\"scalar\",\"u\":4,\"p\":6,"
+                     "\"batch\":512,\"sliced\":\"off\"}");
+  }
+  for (int i = kHeavy; i < kHeavy + kExpired; ++i) {
+    client.send_line("{\"id\":" + std::to_string(i) +
+                     ",\"action\":\"simulate\",\"kernel\":\"scalar\",\"u\":3,\"p\":3,"
+                     "\"deadline_ms\":1}");
+  }
+  // Responses interleave in completion order across the worker pool:
+  // classify by id.
+  int heavy_identical = 0;
+  int shed = 0;
+  for (int i = 0; i < kHeavy + kExpired; ++i) {
+    std::string line;
+    ASSERT_TRUE(client.recv_line(&line));
+    const JsonValue doc = json_parse(line);
+    const JsonValue* id = doc.find("id");
+    ASSERT_TRUE(id != nullptr && id->is_int()) << line;
+    if (id->int_v < kHeavy) {
+      EXPECT_TRUE(doc.find("ok")->bool_v) << line;
+      if (json_member_text(line, "result") == heavy_ref) ++heavy_identical;
+    } else {
+      const JsonValue* error = doc.find("error");
+      ASSERT_TRUE(error != nullptr && error->is_object()) << line;
+      EXPECT_EQ(error->find("code")->string_v, "deadline_exceeded") << line;
+      EXPECT_TRUE(error->find("retryable")->bool_v) << line;
+      ++shed;
+    }
+  }
+  EXPECT_EQ(heavy_identical, kHeavy);
+  EXPECT_EQ(shed, kExpired);
+
+  // A generous deadline changes nothing about the result bytes.
+  const std::string generous = client.roundtrip(
+      "{\"id\":100,\"action\":\"simulate\",\"kernel\":\"scalar\",\"u\":4,\"p\":4,"
+      "\"deadline_ms\":60000}");
+  EXPECT_EQ(json_member_text(generous, "result"), light_ref) << generous;
+
+  // Tight deadlines on an idle daemon either complete (byte-identical)
+  // or cancel mid-execution with the retryable error — never anything
+  // else, and never a torn document.
+  constexpr int kTight = 6;
+  for (int i = 0; i < kTight; ++i) {
+    const std::string response = client.roundtrip(
+        "{\"id\":" + std::to_string(200 + i) +
+        ",\"action\":\"simulate\",\"kernel\":\"scalar\",\"u\":4,\"p\":4,"
+        "\"deadline_ms\":20}");
+    const JsonValue doc = json_parse(response);
+    if (doc.find("ok")->bool_v) {
+      EXPECT_EQ(json_member_text(response, "result"), light_ref) << response;
+    } else {
+      const JsonValue* error = doc.find("error");
+      ASSERT_TRUE(error != nullptr && error->is_object()) << response;
+      EXPECT_EQ(error->find("code")->string_v, "deadline_exceeded") << response;
+      EXPECT_TRUE(error->find("retryable")->bool_v) << response;
+    }
+  }
+
+  // The drain report's ledger must balance to the exact request count.
+  const int exit_code = daemon.terminate();
+  EXPECT_EQ(exit_code, 0) << daemon.log();
+  const std::string log = daemon.log();
+  const std::size_t at = log.find("{\"drained\":true");
+  ASSERT_NE(at, std::string::npos) << log;
+  const JsonValue report = json_parse(log.substr(at, log.find('\n', at) - at));
+  ASSERT_TRUE(report.is_object()) << log;
+  const std::int64_t total = kHeavy + kExpired + 1 + kTight;
+  EXPECT_EQ(report.find("requests")->int_v, total) << log;
+  EXPECT_EQ(report.find("requests")->int_v,
+            report.find("served_ok")->int_v + report.find("served_error")->int_v +
+                report.find("rejected_overloaded")->int_v +
+                report.find("rejected_oversized")->int_v +
+                report.find("rejected_deadline")->int_v)
+      << log;
+  // The 4 queue-expired requests are shed rejections; tight-deadline
+  // cancellations that started executing count as served_error.
+  EXPECT_GE(report.find("rejected_deadline")->int_v, kExpired) << log;
+  EXPECT_EQ(report.find("leaked_plans")->int_v, 0) << log;
+}
+
 }  // namespace
 }  // namespace bitlevel

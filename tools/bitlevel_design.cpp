@@ -38,6 +38,7 @@
 
 #include <atomic>
 #include <cerrno>
+#include <chrono>
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
@@ -47,6 +48,7 @@
 #include <limits>
 #include <map>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/evaluator.hpp"
@@ -112,6 +114,15 @@ struct Args {
   std::string script;   // with --connect: raw request lines ("-" = stdin)
   int workers = 4;
   int queue = 64;
+  // resilience knobs. --deadline-ms is triple-duty: a budget on a
+  // one-shot run, the request's deadline_ms member with --connect, and
+  // the server-wide default with --serve. --retries doubles as the
+  // client retry bound in --connect mode (it still rides into the
+  // request's fault-campaign knob).
+  std::int64_t deadline_ms = 0;      // 0 = none
+  std::int64_t max_deadline_ms = 0;  // --serve: hard cap (0 = uncapped)
+  std::int64_t idle_timeout_ms = -1; // --serve: reap idle connections (-1 = never)
+  std::int64_t backoff_ms = 100;     // --connect: retry backoff base
 };
 
 [[noreturn]] void usage(const char* msg) {
@@ -129,11 +140,14 @@ struct Args {
                "                       [--tile TM[,TN[,TK]]] [--max-pes BUDGET]\n"
                "                       [--fault-kind all|NAME[,NAME...]] "
                "[--fault-rate R[,R...]]\n"
-               "                       [--spares N] [--retries N]\n"
+               "                       [--spares N] [--retries N] [--deadline-ms MS]\n"
                "       bitlevel-design --serve [--listen unix:PATH|tcp:PORT] "
                "[--workers N] [--queue N]\n"
+               "                       [--deadline-ms MS] [--max-deadline-ms MS] "
+               "[--idle-timeout-ms MS]\n"
                "       bitlevel-design --connect unix:PATH|tcp:PORT "
                "[--script FILE|-] [action flags]\n"
+               "                       [--deadline-ms MS] [--retries N] [--backoff-ms MS]\n"
                "kernels: %s\n",
                ir::kernels::registered_names().c_str());
   std::exit(2);
@@ -318,6 +332,14 @@ Args parse(int argc, char** argv) {
       args.workers = static_cast<int>(parse_int(flag, next(), 1, 1024));
     } else if (flag == "--queue") {
       args.queue = static_cast<int>(parse_int(flag, next(), 1, 1'000'000));
+    } else if (flag == "--deadline-ms") {
+      args.deadline_ms = parse_int(flag, next(), 0, 86'400'000);
+    } else if (flag == "--max-deadline-ms") {
+      args.max_deadline_ms = parse_int(flag, next(), 0, 86'400'000);
+    } else if (flag == "--idle-timeout-ms") {
+      args.idle_timeout_ms = parse_int(flag, next(), -1, 86'400'000);
+    } else if (flag == "--backoff-ms") {
+      args.backoff_ms = parse_int(flag, next(), 1, 60'000);
     } else {
       usage(("unknown flag " + flag).c_str());
     }
@@ -443,6 +465,13 @@ serve::ActionParams action_params(const Args& a) {
   params.campaign.seed = a.seed;
   params.campaign.spares = a.spares;
   params.campaign.max_retries = a.retries;
+  params.deadline_ms = a.deadline_ms;
+  // One-shot runs anchor the deadline here, at process start-of-work;
+  // --connect sends deadline_ms on the wire instead and the daemon
+  // anchors it at request arrival.
+  if (a.connect.empty() && a.deadline_ms > 0) {
+    params.cancel = CancelToken::with_deadline_ms(a.deadline_ms);
+  }
   return params;
 }
 
@@ -826,10 +855,17 @@ extern "C" void handle_shutdown_signal(int) {
 }
 
 int run_serve(const Args& a) {
+  // A client that disappears mid-response must surface as a send()
+  // error on that one connection, never as a process-killing SIGPIPE
+  // (belt to the MSG_NOSIGNAL suspenders on every socket write).
+  std::signal(SIGPIPE, SIG_IGN);
   serve::ServerConfig config;
   config.listen = a.listen;
   config.workers = a.workers;
   config.max_queue = static_cast<std::size_t>(a.queue);
+  config.default_deadline_ms = a.deadline_ms;
+  config.max_deadline_ms = a.max_deadline_ms;
+  config.idle_timeout_ms = a.idle_timeout_ms;
   serve::Server server(config);
   server.bind_and_listen();
 
@@ -858,6 +894,7 @@ int run_serve(const Args& a) {
   w.key("rejected_overloaded")
       .value(static_cast<std::int64_t>(report.stats.rejected_overloaded));
   w.key("rejected_oversized").value(static_cast<std::int64_t>(report.stats.rejected_oversized));
+  w.key("rejected_deadline").value(static_cast<std::int64_t>(report.stats.rejected_deadline));
   w.key("leaked_plans").value(static_cast<std::int64_t>(report.leaked_plans));
   w.end_object();
   std::fprintf(stderr, "%s\n", w.str().c_str());
@@ -893,47 +930,85 @@ int run_script(serve::Client& client, const std::string& script) {
 }
 
 int run_connect(const Args& a) {
+  // A daemon that dies mid-request must surface as a send() error, not
+  // kill the client with SIGPIPE.
+  std::signal(SIGPIPE, SIG_IGN);
   serve::Client client;
-  client.connect(a.connect);
-  if (!a.script.empty()) return run_script(client, a.script);
+  if (!a.script.empty()) {
+    client.connect(a.connect);
+    return run_script(client, a.script);
+  }
 
   const std::string request = serve::request_line(1, a.action, action_params(a));
-  const std::string response = client.roundtrip(request);
-  const JsonValue envelope = json_parse(response);
-  const JsonValue* okv = envelope.is_object() ? envelope.find("ok") : nullptr;
-  if (okv == nullptr || !okv->is_bool()) {
-    std::fprintf(stderr, "error: malformed response envelope: %s\n", response.c_str());
-    return 1;
-  }
-  if (!okv->bool_v) {
-    std::string code = "internal";
-    std::string message = "unknown error";
-    if (const JsonValue* error = envelope.find("error"); error != nullptr && error->is_object()) {
-      if (const JsonValue* c = error->find("code"); c != nullptr && c->is_string()) {
-        code = c->string_v;
-      }
-      if (const JsonValue* m = error->find("message"); m != nullptr && m->is_string()) {
-        message = m->string_v;
-      }
+  // Bounded retry: transport failures and structured errors the daemon
+  // tags "retryable": true (overloaded, deadline_exceeded,
+  // shutting_down) retry up to --retries times with deterministic
+  // exponential backoff (--backoff-ms base, seed-derived jitter).
+  // Fatal errors (parse, precondition, infeasible) never retry.
+  std::string last_error;
+  for (int attempt = 0;; ++attempt) {
+    if (attempt > 0) {
+      const std::int64_t wait_ms = serve::retry_backoff_ms(a.backoff_ms, attempt - 1, a.seed);
+      std::fprintf(stderr, "retry %d/%d in %lld ms: %s\n", attempt, a.retries,
+                   static_cast<long long>(wait_ms), last_error.c_str());
+      std::this_thread::sleep_for(std::chrono::milliseconds(wait_ms));
     }
-    std::fprintf(stderr, "error: %s: %s\n", code.c_str(), message.c_str());
-    return 1;
+    std::string response;
+    try {
+      if (!client.connected()) client.connect(a.connect);
+      response = client.roundtrip(request);
+    } catch (const bitlevel::Error& e) {
+      last_error = e.what();
+      client.close();  // reconnect fresh on the next attempt
+      if (attempt < a.retries) continue;
+      std::fprintf(stderr, "error: %s\n", last_error.c_str());
+      return 1;
+    }
+    const JsonValue envelope = json_parse(response);
+    const JsonValue* okv = envelope.is_object() ? envelope.find("ok") : nullptr;
+    if (okv == nullptr || !okv->is_bool()) {
+      std::fprintf(stderr, "error: malformed response envelope: %s\n", response.c_str());
+      return 1;
+    }
+    if (!okv->bool_v) {
+      std::string code = "internal";
+      std::string message = "unknown error";
+      bool retryable = false;
+      if (const JsonValue* error = envelope.find("error");
+          error != nullptr && error->is_object()) {
+        if (const JsonValue* c = error->find("code"); c != nullptr && c->is_string()) {
+          code = c->string_v;
+        }
+        if (const JsonValue* m = error->find("message"); m != nullptr && m->is_string()) {
+          message = m->string_v;
+        }
+        if (const JsonValue* r = error->find("retryable"); r != nullptr && r->is_bool()) {
+          retryable = r->bool_v;
+        }
+      }
+      if (retryable && attempt < a.retries) {
+        last_error = code + ": " + message;
+        continue;
+      }
+      std::fprintf(stderr, "error: %s: %s\n", code.c_str(), message.c_str());
+      return 1;
+    }
+    // Print the raw "result" bytes — the same document a local --json
+    // run prints (minus this process's plan_cache counters).
+    const std::string result = json_member_text(response, "result");
+    if (result.empty()) {
+      std::fprintf(stderr, "error: response envelope carries no result: %s\n", response.c_str());
+      return 1;
+    }
+    std::printf("%s\n", result.c_str());
+    if (std::fflush(stdout) != 0) {
+      std::fprintf(stderr, "error: failed to write result to stdout\n");
+      return 1;
+    }
+    const JsonValue* statusv = envelope.find("status");
+    if (statusv != nullptr && statusv->is_int()) return static_cast<int>(statusv->int_v);
+    return 0;
   }
-  // Print the raw "result" bytes — the same document a local --json
-  // run prints (minus this process's plan_cache counters).
-  const std::string result = json_member_text(response, "result");
-  if (result.empty()) {
-    std::fprintf(stderr, "error: response envelope carries no result: %s\n", response.c_str());
-    return 1;
-  }
-  std::printf("%s\n", result.c_str());
-  if (std::fflush(stdout) != 0) {
-    std::fprintf(stderr, "error: failed to write result to stdout\n");
-    return 1;
-  }
-  const JsonValue* statusv = envelope.find("status");
-  if (statusv != nullptr && statusv->is_int()) return static_cast<int>(statusv->int_v);
-  return 0;
 }
 
 }  // namespace
