@@ -68,7 +68,7 @@ double run_items_per_sec(const pipeline::DesignRequest& request,
                          const std::vector<pipeline::BatchItem>& items,
                          pipeline::SlicedMode mode,
                          pipeline::SlicedMode compiled = pipeline::SlicedMode::kOff,
-                         int lane_width = 0) {
+                         int lane_width = 0, int* chosen_width = nullptr) {
   pipeline::BatchOptions options;
   options.sliced = mode;
   options.compiled = compiled;
@@ -78,6 +78,7 @@ double run_items_per_sec(const pipeline::DesignRequest& request,
       pipeline::run_batch(pipeline::global_plan_cache(), request, items, options);
   const double elapsed = seconds_since(start);
   benchmark::DoNotOptimize(&result);
+  if (chosen_width != nullptr) *chosen_width = result.compiled_lane_width;
   return static_cast<double>(items.size()) / elapsed;
 }
 
@@ -90,6 +91,12 @@ struct GateReport {
   double compiled_speedup = 0.0;  // vs interpreted sliced; bar: >= 2x
   bool sliced_gate = false;
   bool compiled_gate = false;
+  // Auto lane-width datapoint (informational, no gate): a small batch
+  // on lane_width 0 picks the narrowest compiled width that fits,
+  // versus the same batch forced onto the widest 512-lane pass.
+  double auto_small_ips = 0.0;
+  double wide_small_ips = 0.0;
+  int auto_width = 0;
 };
 
 void write_json_artifact(const GateReport& report) {
@@ -106,6 +113,9 @@ void write_json_artifact(const GateReport& report) {
   w.key("compiled_speedup_vs_sliced").value(report.compiled_speedup);
   w.key("sliced_gate_8x").value(report.sliced_gate);
   w.key("compiled_gate_2x").value(report.compiled_gate);
+  w.key("auto_width_batch8_items_per_sec").value(report.auto_small_ips);
+  w.key("forced_512_batch8_items_per_sec").value(report.wide_small_ips);
+  w.key("auto_width_batch8_lanes").value(static_cast<std::int64_t>(report.auto_width));
   w.end_object();
   FILE* file = std::fopen(path, "w");
   if (file == nullptr) {
@@ -160,6 +170,17 @@ void print_tables() {
   report.sliced_gate = report.sliced_speedup >= 8.0;
   report.compiled_gate = report.compiled_speedup >= 2.0;
 
+  // Auto lane-width datapoint: 8 items on lane_width 0 (the planner
+  // picks the narrowest compiled width >= batch, here 64) versus the
+  // same 8 items forced onto a 512-lane pass that runs 98% empty.
+  constexpr std::size_t kSmall = 8;
+  const ItemSet small = make_items(plan, p, kSmall);
+  report.auto_small_ips =
+      run_items_per_sec(request, small.items, pipeline::SlicedMode::kOn,
+                        pipeline::SlicedMode::kOn, 0, &report.auto_width);
+  report.wide_small_ips = run_items_per_sec(request, small.items, pipeline::SlicedMode::kOn,
+                                            pipeline::SlicedMode::kOn, 512);
+
   TextTable table({"path", "items", "items/sec", "speedup", "gate"});
   char c1[32], c2[32];
   std::snprintf(c1, sizeof c1, "%.2f", report.scalar_ips);
@@ -172,6 +193,15 @@ void print_tables() {
   std::snprintf(c2, sizeof c2, "%.1fx sliced", report.compiled_speedup);
   table.add_row({"compiled-256", std::to_string(kBlock), c1, c2,
                  report.compiled_gate ? "yes (>= 2x)" : "NO (< 2x)"});
+  std::snprintf(c1, sizeof c1, "%.2f", report.auto_small_ips);
+  std::snprintf(c2, sizeof c2, "auto %d lanes", report.auto_width);
+  table.add_row({"compiled-auto", std::to_string(kSmall), c1, c2, "-"});
+  std::snprintf(c1, sizeof c1, "%.2f", report.wide_small_ips);
+  const double waste = report.auto_small_ips > 0.0 && report.wide_small_ips > 0.0
+                           ? report.auto_small_ips / report.wide_small_ips
+                           : 0.0;
+  std::snprintf(c2, sizeof c2, "auto is %.1fx", waste);
+  table.add_row({"compiled-512", std::to_string(kSmall), c1, c2, "-"});
   bench::print_table(table);
   write_json_artifact(report);
 

@@ -21,6 +21,7 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cstdlib>
 #include <string>
@@ -195,8 +196,118 @@ OverloadReport run_overload_scenario() {
   return report;
 }
 
+/// One coalescing measurement: N concurrent single-item clients in
+/// lockstep against one warm plan, window on or off.
+struct CoalesceRun {
+  double items_per_sec = 0.0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+  std::uint64_t groups = 0;  ///< coalesced (>= 2 member) groups formed.
+  std::uint64_t items = 0;   ///< items those groups carried.
+};
+
+struct CoalesceReport {
+  CoalesceRun off;  ///< window 0: every request executes solo.
+  CoalesceRun on;   ///< window 250us: requests share lane groups.
+  double speedup = 0.0;
+  bool throughput_gate = false;  ///< on >= 4x off items/sec.
+  bool latency_gate = false;     ///< on p99 <= 2x off p50 + window.
+};
+
+constexpr std::int64_t kCoalesceWindowUs = 250;
+constexpr int kCoalesceClients = 64;
+constexpr int kCoalesceRounds = 6;
+
+/// The single-item-per-request client flood: the honest uncoalesced
+/// baseline is the same flood against window 0 — same wire bytes, same
+/// clients, only the daemon's batching behavior differs.
+CoalesceRun run_coalesce_clients(std::int64_t window_us) {
+  pipeline::PlanCache cache(16);
+  serve::ServerConfig config;
+  config.listen = "unix:/tmp/bitlevel-bench-serve-co-" +
+                  std::to_string(static_cast<long>(getpid())) + ".sock";
+  // Two workers: one leads the open group while the other keeps
+  // popping joiners. More workers would burn the idle pool executing
+  // solo what the lanes could share.
+  config.workers = 2;
+  config.max_queue = 256;  // the whole flood must admit
+  config.coalesce_window_us = window_us;
+  config.cache = &cache;
+  serve::Server server(std::move(config));
+  server.bind_and_listen();
+  std::thread daemon([&] { server.run(); });
+
+  serve::ActionParams params = bench_params();
+  // Interpreted sliced mode at deeper precision: the interpreter
+  // dispatches every scheduled bit event, so the pass costs ~p^2 per
+  // request while the per-item pack/verify work stays word-level flat.
+  // This is the regime lane sharing is FOR — the pass dominates a solo
+  // run (~1ms) and amortizes to ~30us per member across a full group.
+  params.request.p = 8;
+  params.batch = 1;
+  params.sliced = pipeline::SlicedMode::kOn;
+  params.compiled = pipeline::SlicedMode::kOff;
+  {
+    serve::Client warm;
+    warm.connect(server.endpoint());
+    warm.roundtrip(serve::request_line(0, "batch", params));  // warmup compose
+  }
+
+  std::vector<std::vector<double>> latencies_ms(kCoalesceClients);
+  std::atomic<bool> go{false};
+  std::atomic<int> ready{0};
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kCoalesceClients; ++c) {
+    clients.emplace_back([&, c] {
+      serve::Client client;
+      client.connect(server.endpoint());
+      ready.fetch_add(1);
+      while (!go.load()) std::this_thread::yield();
+      serve::ActionParams mine = params;
+      for (int r = 0; r < kCoalesceRounds; ++r) {
+        mine.seed = static_cast<std::uint64_t>(c * kCoalesceRounds + r + 1);
+        const auto start = Clock::now();
+        benchmark::DoNotOptimize(
+            client.roundtrip(serve::request_line(c * kCoalesceRounds + r + 1, "batch", mine)));
+        latencies_ms[static_cast<std::size_t>(c)].push_back(seconds_since(start) * 1000.0);
+      }
+    });
+  }
+  while (ready.load() < kCoalesceClients) std::this_thread::yield();
+  const auto start = Clock::now();
+  go.store(true);
+  for (std::thread& t : clients) t.join();
+  const double elapsed = seconds_since(start);
+
+  CoalesceRun run;
+  run.items_per_sec = kCoalesceClients * kCoalesceRounds / elapsed;
+  std::vector<double> all;
+  for (const auto& lat : latencies_ms) all.insert(all.end(), lat.begin(), lat.end());
+  std::sort(all.begin(), all.end());
+  run.p50_ms = all[all.size() / 2];
+  run.p99_ms = all[all.size() * 99 / 100];
+  const serve::ServerStats stats = server.stats();
+  run.groups = stats.coalesced_groups;
+  run.items = stats.coalesced_items;
+  server.shutdown();
+  daemon.join();
+  return run;
+}
+
+CoalesceReport run_coalesce_scenario() {
+  CoalesceReport report;
+  report.off = run_coalesce_clients(0);
+  report.on = run_coalesce_clients(kCoalesceWindowUs);
+  report.speedup =
+      report.off.items_per_sec > 0.0 ? report.on.items_per_sec / report.off.items_per_sec : 0.0;
+  report.throughput_gate = report.speedup >= 4.0;
+  report.latency_gate =
+      report.on.p99_ms <= 2.0 * report.off.p50_ms + kCoalesceWindowUs / 1000.0;
+  return report;
+}
+
 void write_json_artifact(double cold_rps, double warm_rps, double speedup,
-                         const OverloadReport& overload) {
+                         const OverloadReport& overload, const CoalesceReport& coalesce) {
   const char* path = std::getenv("BITLEVEL_BENCH_JSON");
   if (path == nullptr || *path == '\0') return;
   JsonWriter w;
@@ -214,6 +325,17 @@ void write_json_artifact(double cold_rps, double warm_rps, double speedup,
   w.key("warm_p50_after_ms").value(overload.warm_p50_after_ms);
   w.key("shed_gate_1pct").value(overload.shed_gate);
   w.key("p50_gate_2x").value(overload.p50_gate);
+  w.key("coalesce_window_us").value(kCoalesceWindowUs);
+  w.key("coalesce_clients").value(static_cast<std::int64_t>(kCoalesceClients));
+  w.key("coalesce_items_per_sec_off").value(coalesce.off.items_per_sec);
+  w.key("coalesce_items_per_sec_on").value(coalesce.on.items_per_sec);
+  w.key("coalesce_speedup").value(coalesce.speedup);
+  w.key("coalesce_p50_off_ms").value(coalesce.off.p50_ms);
+  w.key("coalesce_p99_on_ms").value(coalesce.on.p99_ms);
+  w.key("coalesced_groups").value(coalesce.on.groups);
+  w.key("coalesced_items").value(coalesce.on.items);
+  w.key("coalesce_gate_4x").value(coalesce.throughput_gate);
+  w.key("coalesce_gate_p99").value(coalesce.latency_gate);
   w.end_object();
   FILE* file = std::fopen(path, "w");
   if (file == nullptr) {
@@ -282,7 +404,51 @@ void print_tables() {
   otable.add_row({"warm p50 after flood", o1, overload.p50_gate ? "<= 2x before" : "GATE FAILED"});
   bench::print_table(otable);
 
-  write_json_artifact(cold_rps, warm_rps, speedup, overload);
+  bench::print_header(
+      "BM_ServeCoalesce", "cross-request lane coalescing: 64 single-item clients",
+      "64 concurrent clients each send batch=1 requests against ONE warm plan. "
+      "With the coalesce window off every request pays a full wavefront pass; "
+      "with a 250 us window the daemon gathers concurrent requests onto shared "
+      "compiled lane groups — one pass serves a whole group. Gates: coalescing "
+      "on >= 4x items/sec vs off, and warm p99 with coalescing <= 2x the "
+      "uncoalesced p50 plus the window (batching must not wreck tail latency).");
+
+  const CoalesceReport coalesce = run_coalesce_scenario();
+  TextTable ctable({"window", "items/sec", "p50 ms", "p99 ms", "groups", "items"});
+  char k1[32], k2[32], k3[32];
+  std::snprintf(k1, sizeof k1, "%.1f", coalesce.off.items_per_sec);
+  std::snprintf(k2, sizeof k2, "%.3f", coalesce.off.p50_ms);
+  std::snprintf(k3, sizeof k3, "%.3f", coalesce.off.p99_ms);
+  ctable.add_row({"off", k1, k2, k3, "0", "0"});
+  std::snprintf(k1, sizeof k1, "%.1f", coalesce.on.items_per_sec);
+  std::snprintf(k2, sizeof k2, "%.3f", coalesce.on.p50_ms);
+  std::snprintf(k3, sizeof k3, "%.3f", coalesce.on.p99_ms);
+  ctable.add_row({"250 us", k1, k2, k3, std::to_string(coalesce.on.groups),
+                  std::to_string(coalesce.on.items)});
+  bench::print_table(ctable);
+
+  write_json_artifact(cold_rps, warm_rps, speedup, overload, coalesce);
+
+  if (coalesce.on.groups == 0) {
+    std::printf("GATE FAILED: the coalescing flood formed no multi-member lane groups\n");
+    std::exit(1);
+  }
+  if (!coalesce.throughput_gate) {
+    std::printf("GATE FAILED: coalescing delivers %.1fx items/sec (< 4x uncoalesced)\n",
+                coalesce.speedup);
+    std::exit(1);
+  }
+  if (!coalesce.latency_gate) {
+    std::printf("GATE FAILED: coalesced p99 %.3f ms > 2x uncoalesced p50 %.3f ms + %.3f ms "
+                "window\n",
+                coalesce.on.p99_ms, coalesce.off.p50_ms, kCoalesceWindowUs / 1000.0);
+    std::exit(1);
+  }
+  std::printf("gate passed: coalescing %.1fx items/sec (>= 4x), p99 %.3f ms within "
+              "2x p50 %.3f ms + window; %llu groups carried %llu items\n\n",
+              coalesce.speedup, coalesce.on.p99_ms, coalesce.off.p50_ms,
+              static_cast<unsigned long long>(coalesce.on.groups),
+              static_cast<unsigned long long>(coalesce.on.items));
 
   if (overload.shed + overload.overloaded != 2 * 64) {
     std::printf("GATE FAILED: flood accounting is off (%d shed + %d overloaded != 128)\n",

@@ -611,7 +611,12 @@ void run_compiled_group(const CompiledSchedule& schedule, const std::vector<Batc
   if (options.memory == sim::MemoryMode::kStreaming && !options.want_z) {
     stats.observed_points = 0;  // no observe predicate installed without a read-out
   }
-  for (std::size_t l = 0; l < lanes; ++l) results[first + l].stats = stats;
+  const auto masked = [&](std::size_t l) {
+    return options.mask_item && options.mask_item(first + l);
+  };
+  for (std::size_t l = 0; l < lanes; ++l) {
+    if (!masked(l)) results[first + l].stats = stats;
+  }
   if (!options.want_z) return;
 
   // De-slice the read-out: the compiled ReadBit map replaces the
@@ -622,6 +627,7 @@ void run_compiled_group(const CompiledSchedule& schedule, const std::vector<Batc
     const IntVec& j = schedule.word_points[schedule.boundary_words[bw]];
     const CompiledSchedule::ReadBit* rb = schedule.readout_bits.data() + bw * nbits;
     for (std::size_t l = 0; l < lanes; ++l) {
+      if (masked(l)) continue;  // cancelled lane: drop from the scatter
       const std::size_t word = l / sim::kLaneWidth;
       const std::size_t bit = l % sim::kLaneWidth;
       std::uint64_t value = 0;

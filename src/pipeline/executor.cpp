@@ -176,7 +176,12 @@ void run_sliced_group(const core::BitLevelStructure& structure, const mapping::M
   // domain, mapping and routing only — so the group's stats ARE each
   // item's stats, bit-identical to a scalar per-item run.
   const sim::SimulationStats stats = machine.run();
-  for (std::size_t l = 0; l < lanes; ++l) results[first + l].stats = stats;
+  const auto masked = [&](std::size_t l) {
+    return options.mask_item && options.mask_item(first + l);
+  };
+  for (std::size_t l = 0; l < lanes; ++l) {
+    if (!masked(l)) results[first + l].stats = stats;
+  }
   if (!options.want_z) return;
 
   // De-slice the read-out: gather each boundary word point's 2p output
@@ -195,6 +200,7 @@ void run_sliced_group(const core::BitLevelStructure& structure, const mapping::M
     }
     bits.push_back(sim::lane_view(machine.outputs_at(math::concat(j, IntVec{p, p})))[kC]);
     for (std::size_t l = 0; l < lanes; ++l) {
+      if (masked(l)) continue;  // cancelled lane: drop from the scatter
       std::uint64_t word = 0;
       for (std::size_t b = 0; b < bits.size(); ++b) {
         word |= ((bits[b] >> l) & 1U) << b;
@@ -206,6 +212,16 @@ void run_sliced_group(const core::BitLevelStructure& structure, const mapping::M
 }
 
 }  // namespace
+
+int auto_compiled_lane_width(std::size_t items) {
+  // Narrowest block that still runs the whole batch as one straight-
+  // line pass: a 3-item group on 512 lanes pays the full 8-word sweep
+  // for 0.6% occupancy, while 64 lanes does the same work in 1 word.
+  for (const int width : {64, 128, 256, 512}) {
+    if (items <= static_cast<std::size_t>(width)) return width;
+  }
+  return 512;
+}
 
 std::string to_string(SlicedMode mode) {
   switch (mode) {
@@ -458,13 +474,28 @@ BatchResult run_batch(PlanCache& cache, const DesignRequest& request,
   BL_REQUIRE(lane_width <= 64 || compiled,
              "lane widths beyond 64 require the compiled path");
 
+  // Per-item attribution: the path and the lane-group (or scalar-run)
+  // ordinal that carried each item, so a caller holding a contiguous
+  // sub-range of a combined batch can reconstruct that range's exact
+  // ledger by counting its distinct ordinals per path.
+  batch.item_paths.assign(items.size(), ItemPath::kScalar);
+  batch.item_groups.assign(items.size(), 0);
+  std::uint32_t ordinal = 0;
+  const auto attribute = [&](std::size_t at, std::size_t lanes, ItemPath path) {
+    for (std::size_t l = 0; l < lanes; ++l) {
+      batch.item_paths[at + l] = path;
+      batch.item_groups[at + l] = ordinal;
+    }
+    ++ordinal;
+  };
+
   if (sliced) {
     // The compiled path may decline a group (test hook today; real
     // decline reasons would land here too). The fallback is sticky and
     // the declined chunk is retried — not counted, not advanced — so
     // every item lands in exactly one accounting bucket.
-    const std::size_t compiled_width =
-        static_cast<std::size_t>(lane_width == 0 ? 256 : lane_width);
+    const std::size_t compiled_width = static_cast<std::size_t>(
+        lane_width == 0 ? auto_compiled_lane_width(items.size()) : lane_width);
     const std::size_t lane_words = compiled_width / sim::kLaneWidth;
     bool use_compiled = compiled;
     std::size_t group_index = 0;
@@ -482,6 +513,8 @@ BatchResult run_batch(PlanCache& cache, const DesignRequest& request,
                            batch.results);
         batch.compiled_groups += 1;
         batch.compiled_items += static_cast<math::Int>(lanes);
+        batch.compiled_lane_width = static_cast<int>(compiled_width);
+        attribute(at, lanes, ItemPath::kCompiled);
         at += lanes;
         ++group_index;
       } else {
@@ -490,6 +523,7 @@ BatchResult run_batch(PlanCache& cache, const DesignRequest& request,
                          options, batch.results);
         batch.sliced_groups += 1;
         batch.sliced_items += static_cast<math::Int>(lanes);
+        attribute(at, lanes, ItemPath::kSliced);
         at += lanes;
       }
     }
@@ -501,6 +535,8 @@ BatchResult run_batch(PlanCache& cache, const DesignRequest& request,
     run_options.cancel = options.cancel;
     for (std::size_t i = 0; i < items.size(); ++i) {
       options.cancel.check("batch-item boundary");
+      attribute(i, 1, ItemPath::kScalar);
+      if (options.mask_item && options.mask_item(i)) continue;
       batch.results[i] = run_plan(plan, items[i].x, items[i].y, run_options);
     }
     batch.scalar_items = static_cast<math::Int>(items.size());

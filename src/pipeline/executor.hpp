@@ -77,10 +77,22 @@ struct BatchOptions {
   /// interpreted path. Results are bit-identical either way.
   SlicedMode compiled = SlicedMode::kAuto;
   /// Lanes per compiled group: 64, 128, 256 or 512 (multi-word lane
-  /// blocks, see sim/lane_block.hpp). 0 = auto (256 on the compiled
-  /// path). Widths beyond 64 require the compiled path; the
-  /// interpreted path always runs 64-wide groups.
+  /// blocks, see sim/lane_block.hpp). 0 = auto: the narrowest
+  /// compiled width that still holds the whole batch in one group
+  /// (auto_compiled_lane_width), so small batches stop paying
+  /// 512-lane pass overhead. Widths beyond 64 require the compiled
+  /// path; the interpreted path always runs 64-wide groups.
   int lane_width = 0;
+  /// Result-scatter mask: return true to drop item `index` from the
+  /// read-out. A masked item's lanes still ride its group (dropping a
+  /// lane mid-flight would tear groupmates) but its z words are never
+  /// de-sliced and its stats never stamped — its PlanRunResult stays
+  /// default-constructed; the scalar path skips the run outright. The
+  /// item still lands in its group's ledger bucket (the lane was
+  /// occupied). Consulted at scatter time, so a predicate backed by a
+  /// CancelToken reflects cancellations that fired mid-run. Null (the
+  /// default) scatters every item.
+  std::function<bool(std::size_t index)> mask_item;
   /// Test-only hook (never set in production, same discipline as
   /// serve::ServerConfig::test_stall): return true to make the
   /// compiled path decline the group with this index, forcing the
@@ -129,6 +141,13 @@ struct BatchItem {
   core::OperandFn y;
 };
 
+/// Which execution path carried one batch item (BatchResult::item_paths).
+enum class ItemPath : std::uint8_t {
+  kScalar = 0,    ///< Per-item reference machine run.
+  kSliced = 1,    ///< Interpreted 64-lane bit-sliced pass.
+  kCompiled = 2,  ///< Compiled straight-line wide-lane pass.
+};
+
 /// Result of a batched execution.
 struct BatchResult {
   PlanPtr plan;                        ///< The shared plan every item ran on.
@@ -143,7 +162,24 @@ struct BatchResult {
   math::Int sliced_groups = 0;    ///< Machine passes taken by the interpreted sliced path.
   math::Int sliced_items = 0;     ///< Items carried as interpreted bit lanes.
   math::Int scalar_items = 0;     ///< Items run through the scalar path.
+  /// Effective compiled lane width (64/128/256/512) when any group ran
+  /// the compiled path, 0 otherwise. Reports the auto pick; not part
+  /// of any JSON document (serving byte-identity must not depend on
+  /// whether a request rode a coalesced group at a different width).
+  int compiled_lane_width = 0;
+  // Per-item attribution, for callers that slice one combined batch
+  // back into per-client views (the serve coalescer): the path each
+  // item took, and the ordinal of the lane group (or scalar run) that
+  // carried it. Counting distinct ordinals over any contiguous item
+  // range reconstructs that range's exact group ledger.
+  std::vector<ItemPath> item_paths;       ///< One per item, in order.
+  std::vector<std::uint32_t> item_groups; ///< Group/run ordinal per item.
 };
+
+/// The auto lane-width policy for `BatchOptions::lane_width == 0` on
+/// the compiled path: the narrowest supported block width (64, 128,
+/// 256, 512) that holds `items` in one group, saturating at 512.
+int auto_compiled_lane_width(std::size_t items);
 
 /// Execute every item over ONE plan for `request`, composed at most
 /// once via `cache`. Per-item results are bit-identical to running each

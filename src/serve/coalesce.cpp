@@ -1,0 +1,196 @@
+#include "serve/coalesce.hpp"
+
+#include <utility>
+#include <vector>
+
+#include "core/evaluator.hpp"
+#include "core/workload.hpp"
+#include "support/error.hpp"
+
+namespace bitlevel::serve {
+
+std::string coalesce_key(const ParsedRequest& request) {
+  if (!request.valid || request.action != "batch") return "";
+  const ActionParams& params = request.params;
+  // A scalar-pinned request gains nothing from lane packing; leave it
+  // on the solo path so its document keeps its scalar ledger.
+  if (params.sliced == pipeline::SlicedMode::kOff) return "";
+  pipeline::DesignRequest design = params.request;
+  design.mapping = pipeline::MappingStrategy::kAuto;  // what the batch action composes
+  std::string key = pipeline::canonical_key(design);
+  key += "|memory=";
+  key += params.request.memory == sim::MemoryMode::kStreaming ? "streaming" : "dense";
+  key += "|threads=" + std::to_string(params.request.threads);
+  key += "|sliced=" + pipeline::to_string(params.sliced);
+  key += "|compiled=" + pipeline::to_string(params.compiled);
+  key += "|lanes=" + std::to_string(params.lanes);
+  return key;
+}
+
+namespace {
+
+/// Stamp `code`/`message` into every member that has no response yet —
+/// the group-wide error paths (infeasible plan, group deadline fired,
+/// a pipeline precondition). Mirrors handle_line's catch taxonomy.
+void fail_unanswered(std::vector<CoalesceMember>& members, const std::string& code,
+                     const std::string& message) {
+  for (CoalesceMember& member : members) {
+    if (!member.response.empty()) continue;
+    member.response = error_response(member.request.id, code, message);
+    member.ok = false;
+  }
+}
+
+}  // namespace
+
+void run_coalesced_group(pipeline::PlanCache& cache, std::vector<CoalesceMember>& members,
+                         const CancelToken& group_cancel) {
+  BL_REQUIRE(!members.empty(), "coalesced group needs at least one member");
+  try {
+    // Member layout: contiguous item ranges of one combined batch, in
+    // member order. first[m] is where member m's items start.
+    std::vector<std::size_t> first(members.size(), 0);
+    std::size_t total = 0;
+    for (std::size_t m = 0; m < members.size(); ++m) {
+      first[m] = total;
+      total += static_cast<std::size_t>(members[m].request.params.batch);
+    }
+
+    pipeline::DesignRequest request = members.front().request.params.request;
+    request.mapping = pipeline::MappingStrategy::kAuto;
+    group_cancel.check("batch start");
+    const pipeline::PlanPtr plan = cache.get_or_compose(request);
+    if (!plan->has_mapping()) {
+      fail_unanswered(members, "infeasible", "no feasible design found");
+      return;
+    }
+
+    // Operands per member from its OWN seed (seed, seed+1, ...) —
+    // exactly the solo batch action's workloads, so the de-sliced
+    // results are byte-identical to a per-request run. Loaded fully
+    // before any OperandFn is taken (Workload::x_fn captures the
+    // table; the vector must not reallocate afterwards).
+    std::vector<core::Workload> workloads;
+    workloads.reserve(total);
+    std::vector<std::size_t> member_of(total, 0);
+    for (std::size_t m = 0; m < members.size(); ++m) {
+      const ActionParams& params = members[m].request.params;
+      for (math::Int i = 0; i < params.batch; ++i) {
+        if ((workloads.size() & 255) == 0) group_cancel.check("workload materialization");
+        member_of[workloads.size()] = m;
+        workloads.push_back(core::make_safe_workload(plan->model, request.p, request.expansion,
+                                                     params.seed +
+                                                         static_cast<std::uint64_t>(i)));
+      }
+    }
+    std::vector<pipeline::BatchItem> items;
+    items.reserve(total);
+    for (const core::Workload& load : workloads) {
+      items.push_back(pipeline::BatchItem{load.x_fn(), load.y_fn()});
+    }
+
+    // Execution knobs are part of the coalesce key, so the front
+    // member's are everyone's. The scatter mask drops a member's lanes
+    // the moment its own token fires — the group result is never torn,
+    // the member just stops receiving it.
+    const ActionParams& shared = members.front().request.params;
+    pipeline::BatchOptions options;
+    options.threads = request.threads;
+    options.memory = request.memory;
+    options.sliced = shared.sliced;
+    options.compiled = shared.compiled;
+    options.lane_width = shared.lanes;
+    options.cancel = group_cancel;
+    options.mask_item = [&members, &member_of](std::size_t index) {
+      return members[member_of[index]].cancel.cancelled();
+    };
+    pipeline::BatchResult combined = pipeline::run_batch(cache, request, items, options);
+
+    // Scatter: one response per member, built from its slice of the
+    // combined result. The ledger counts what the member's items
+    // actually did — distinct lane-group ordinals per path over its
+    // contiguous range (ordinals are assigned in item order, so a
+    // transition marks a new group).
+    for (std::size_t m = 0; m < members.size(); ++m) {
+      CoalesceMember& member = members[m];
+      if (member.cancel.cancelled()) {
+        member.response =
+            error_response(member.request.id, "deadline_exceeded",
+                           "deadline expired during coalesced execution; the member's lanes "
+                           "were masked from the scatter");
+        member.ok = false;
+        continue;
+      }
+      const std::size_t count = static_cast<std::size_t>(member.request.params.batch);
+      BatchOutcome outcome;
+      outcome.plan = plan;
+      outcome.feasible = true;
+      pipeline::BatchResult& view = outcome.batch;
+      view.plan = combined.plan;
+      view.plan_was_cached = combined.plan_was_cached;
+      view.compiled_lane_width = combined.compiled_lane_width;
+      view.results.reserve(count);
+      for (std::size_t i = first[m]; i < first[m] + count; ++i) {
+        const pipeline::ItemPath path = combined.item_paths[i];
+        const bool new_group = i == first[m] || combined.item_groups[i] != combined.item_groups[i - 1];
+        switch (path) {
+          case pipeline::ItemPath::kCompiled:
+            view.compiled_items += 1;
+            if (new_group) view.compiled_groups += 1;
+            break;
+          case pipeline::ItemPath::kSliced:
+            view.sliced_items += 1;
+            if (new_group) view.sliced_groups += 1;
+            break;
+          case pipeline::ItemPath::kScalar:
+            view.scalar_items += 1;
+            break;
+        }
+        view.results.push_back(std::move(combined.results[i]));
+      }
+
+      // Per-member verification against the word-level reference —
+      // the same check, item for item, the solo batch action runs.
+      bool ok = true;
+      bool cancelled = false;
+      for (std::size_t i = 0; i < count; ++i) {
+        group_cancel.check("batch verification");
+        if (member.cancel.cancelled()) {
+          cancelled = true;
+          break;
+        }
+        const pipeline::BatchItem& item = items[first[m] + i];
+        const auto ref = core::evaluate_word_reference(plan->model, item.x, item.y);
+        const pipeline::PlanRunResult& run = view.results[i];
+        bool item_ok = !run.z.empty();
+        for (const auto& [j, v] : run.z) {
+          const auto it = ref.find(j);
+          item_ok = item_ok && it != ref.end() && v == it->second;
+        }
+        ok = ok && item_ok;
+      }
+      if (cancelled) {
+        member.response = error_response(member.request.id, "deadline_exceeded",
+                                         "deadline expired during coalesced verification");
+        member.ok = false;
+        continue;
+      }
+      outcome.correct = ok;
+
+      JsonWriter result;
+      result.begin_object();
+      const int status = emit_batch_json(result, member.request.params, outcome);
+      result.end_object();
+      member.response = ok_envelope(member.request.id, "batch", status, result.str());
+      member.ok = true;
+    }
+  } catch (const DeadlineExceededError& e) {
+    fail_unanswered(members, "deadline_exceeded", e.what());
+  } catch (const Error& e) {
+    fail_unanswered(members, "bad_request", e.what());
+  } catch (const std::exception& e) {
+    fail_unanswered(members, "internal", e.what());
+  }
+}
+
+}  // namespace bitlevel::serve

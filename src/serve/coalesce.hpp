@@ -1,0 +1,73 @@
+// Cross-request lane coalescing: dynamic micro-batching of in-flight
+// batch requests onto shared sliced/compiled lane groups.
+//
+// The daemon's unit of admission is one request, but the lane engines'
+// unit of work is one group of up to 512 independent items: 64
+// concurrent single-multiply clients executed in isolation pay 64 full
+// wavefront passes where one 64-lane pass would do. The coalescer
+// closes that gap: requests that resolve to the same coalesce key —
+// identical canonical plan key AND identical execution knobs — are
+// gathered by the server into one member list and executed here as ONE
+// combined pipeline::run_batch call; each member's items occupy a
+// contiguous lane range, and the per-item attribution run_batch
+// records (BatchResult::item_paths / item_groups) lets every member's
+// response report the exact ledger of what its own items did.
+//
+// Correctness contract: a member's "result" document is byte-identical
+// to what the solo path (serve::handle_line) would have produced —
+// shared stats are value-independent, operands are packed per member
+// from its own seed, and verification runs per member against the
+// word-level reference. The one visible difference is the execution
+// ledger when coalescing CHANGES the path (a batch=1 member rides
+// lanes instead of the scalar path); the counters then report what
+// actually happened, never a fiction.
+//
+// Cancellation composes with PR 9's deadline machinery: each member
+// carries its own arrival-anchored token, a member whose token fires
+// is masked out of the result scatter (BatchOptions::mask_item) and
+// answered with a retryable deadline_exceeded envelope, and the group
+// keeps running for everyone else — a cancelled member never tears its
+// groupmates. The combined run's own token is the LATEST member
+// deadline (null when any member is unbounded), so the group aborts
+// only when no member could use the result.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "serve/protocol.hpp"
+
+namespace bitlevel::serve {
+
+/// One member of a coalesced lane group.
+struct CoalesceMember {
+  ParsedRequest request;  ///< valid, action "batch" (see coalesce_key).
+  /// Per-member cancellation (deadline anchored at the member's own
+  /// arrival). Null = unbounded. A fired token masks this member's
+  /// lanes out of the scatter and turns its response into a retryable
+  /// deadline_exceeded envelope.
+  CancelToken cancel;
+  // Filled by run_coalesced_group:
+  std::string response;  ///< Complete one-line envelope.
+  bool ok = false;       ///< Envelope carries "ok":true.
+};
+
+/// The coalesce key of a parsed request: members mapping to the same
+/// key may legally share one combined run_batch. Composition: the
+/// canonical plan key (kernel/extents/p/expansion/mapping/objective)
+/// plus every execution knob the combined run consumes — memory,
+/// threads, sliced, compiled, lanes. Seed, batch size, id and deadline
+/// vary freely per member. Empty when the request cannot coalesce: not
+/// a valid "batch" action, or sliced pinned off (a scalar-pinned
+/// request gains nothing from lane packing and its document promises a
+/// scalar ledger).
+std::string coalesce_key(const ParsedRequest& request);
+
+/// Execute every member's items as ONE combined batch over the shared
+/// plan and fill each member's response/ok. Never throws: composition
+/// and execution errors become the same structured error envelopes the
+/// solo path produces, stamped into every unanswered member.
+void run_coalesced_group(pipeline::PlanCache& cache, std::vector<CoalesceMember>& members,
+                         const CancelToken& group_cancel);
+
+}  // namespace bitlevel::serve

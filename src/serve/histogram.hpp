@@ -1,0 +1,76 @@
+// Fixed log2-bucket histograms for the serve hot path.
+//
+// The daemon records per-request latency and per-group lane occupancy
+// on every request; a sorted-sample quantile would allocate and lock.
+// A Log2Histogram is a fixed array of atomic counters — record() is
+// one bit-scan and one relaxed fetch_add, no allocation, no lock, safe
+// from any thread — and the stats endpoint computes p50/p95/p99 from a
+// snapshot with bucket-upper-bound resolution (a factor of 2, which is
+// exactly the precision a latency SLO check needs).
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+
+namespace bitlevel::serve {
+
+class Log2Histogram {
+ public:
+  /// Bucket 0 holds the value 0; bucket b >= 1 holds [2^(b-1), 2^b).
+  /// 40 buckets cover every uint64 microsecond count a daemon can see
+  /// (2^39 us is ~6 days); larger values clamp into the last bucket.
+  static constexpr std::size_t kBuckets = 40;
+
+  /// Point-in-time copy of the counters, for quantile math and JSON
+  /// emission outside the hot path.
+  struct Snapshot {
+    std::uint64_t count = 0;
+    std::array<std::uint64_t, kBuckets> buckets{};
+
+    /// The upper bound of the bucket containing quantile q in [0, 1]:
+    /// the smallest b with cumulative(b) >= q * count, reported as
+    /// 2^b - 1 (bucket 0 reports 0). 0 when the histogram is empty.
+    std::uint64_t quantile(double q) const {
+      if (count == 0) return 0;
+      auto target = static_cast<std::uint64_t>(q * static_cast<double>(count));
+      if (target < 1) target = 1;
+      if (target > count) target = count;
+      std::uint64_t cumulative = 0;
+      for (std::size_t b = 0; b < kBuckets; ++b) {
+        cumulative += buckets[b];
+        if (cumulative >= target) {
+          return b == 0 ? 0 : (std::uint64_t{1} << b) - 1;
+        }
+      }
+      return (std::uint64_t{1} << (kBuckets - 1)) - 1;
+    }
+  };
+
+  void record(std::uint64_t value) {
+    buckets_[bucket_of(value)].fetch_add(1, std::memory_order_relaxed);
+  }
+
+  Snapshot snapshot() const {
+    Snapshot s;
+    for (std::size_t b = 0; b < kBuckets; ++b) {
+      s.buckets[b] = buckets_[b].load(std::memory_order_relaxed);
+      s.count += s.buckets[b];
+    }
+    return s;
+  }
+
+  static std::size_t bucket_of(std::uint64_t value) {
+    std::size_t b = 0;
+    while (value != 0) {
+      value >>= 1;
+      ++b;
+    }
+    return b < kBuckets ? b : kBuckets - 1;
+  }
+
+ private:
+  std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
+};
+
+}  // namespace bitlevel::serve

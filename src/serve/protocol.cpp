@@ -181,15 +181,7 @@ void write_id(JsonWriter& w, std::optional<std::int64_t> id) {
 
 std::string ok_response(std::optional<std::int64_t> id, const std::string& action, int status,
                         const std::string& result_json) {
-  JsonWriter w;
-  w.begin_object();
-  write_id(w, id);
-  w.key("ok").value(true);
-  w.key("action").value(action);
-  w.key("status").value(status);
-  w.key("result").raw_value(result_json);
-  w.end_object();
-  return w.str();
+  return ok_envelope(id, action, status, result_json);
 }
 
 std::string stats_response(const ServeContext& context, std::optional<std::int64_t> id) {
@@ -249,6 +241,58 @@ std::string run_design_action(const ServeContext& context, std::optional<std::in
 }
 
 }  // namespace
+
+std::string ok_envelope(std::optional<std::int64_t> id, const std::string& action, int status,
+                        const std::string& result_json) {
+  JsonWriter w;
+  w.begin_object();
+  write_id(w, id);
+  w.key("ok").value(true);
+  w.key("action").value(action);
+  w.key("status").value(status);
+  w.key("result").raw_value(result_json);
+  w.end_object();
+  return w.str();
+}
+
+std::string with_timing(const std::string& response, std::int64_t queue_us,
+                        std::int64_t exec_us) {
+  // Every envelope is one JSON object, so the splice point is the
+  // opening brace; consumers parse the envelope (never byte-compare
+  // it), and the "result" member's bytes are untouched.
+  const std::size_t brace = response.find('{');
+  if (brace == std::string::npos) return response;
+  std::string out;
+  out.reserve(response.size() + 48);
+  out.append(response, 0, brace + 1);
+  out += "\"queue_us\":" + std::to_string(queue_us) + ",\"exec_us\":" +
+         std::to_string(exec_us) + ",";
+  out.append(response, brace + 1, std::string::npos);
+  return out;
+}
+
+ParsedRequest parse_request(const std::string& line) {
+  ParsedRequest parsed;
+  try {
+    const JsonValue doc = json_parse(line);
+    if (!doc.is_object()) return parsed;
+    if (const JsonValue* idv = doc.find("id")) {
+      if (!idv->is_int()) return parsed;
+      parsed.id = idv->int_v;
+    }
+    const JsonValue* actionv = doc.find("action");
+    if (actionv == nullptr || !actionv->is_string()) return parsed;
+    parsed.action = actionv->string_v;
+    if (!is_design_action(parsed.action)) return parsed;
+    parsed.params = parse_params(doc, parsed.action);
+    parsed.valid = true;
+  } catch (...) {
+    // Malformed in any way: the caller falls back to handle_line,
+    // whose own parse reports the structured error.
+    parsed.valid = false;
+  }
+  return parsed;
+}
 
 std::string error_response(std::optional<std::int64_t> id, const std::string& code,
                            const std::string& message) {

@@ -80,6 +80,37 @@ std::string handle_line(const ServeContext& context, const std::string& line,
 std::string error_response(std::optional<std::int64_t> id, const std::string& code,
                            const std::string& message);
 
+/// An "ok" envelope around an action's finished result document — what
+/// handle_line wraps successful runs in. Exposed for the server's lane
+/// coalescer, which executes a combined group itself and must emit
+/// per-member envelopes byte-identical to the solo path's.
+std::string ok_envelope(std::optional<std::int64_t> id, const std::string& action, int status,
+                        const std::string& result_json);
+
+/// Splice per-request timing into a response envelope: inserts
+/// "queue_us" (time spent in the admission queue) and "exec_us" (time
+/// executing) right after the envelope's opening brace. Applied by the
+/// server to every worker-written response; the "result" member's
+/// bytes are untouched, so byte-identity checks against one-shot CLI
+/// documents keep working on the extracted result.
+std::string with_timing(const std::string& response, std::int64_t queue_us,
+                        std::int64_t exec_us);
+
+/// A request line parsed up front — the server's coalescer needs the
+/// action and full parameters BEFORE dispatch to decide whether two
+/// in-flight requests can share one lane group. `valid` is true only
+/// when the line parsed strictly as a design-family action; any
+/// malformed line yields valid=false (never a throw) and the worker
+/// routes it through handle_line, which produces the structured error.
+struct ParsedRequest {
+  bool valid = false;
+  std::optional<std::int64_t> id;
+  std::string action;
+  ActionParams params;
+};
+
+ParsedRequest parse_request(const std::string& line);
+
 /// The taxonomy's verdict: true exactly for the transient-condition
 /// codes (overloaded, deadline_exceeded, shutting_down) — retrying the
 /// unmodified request can succeed. The client's bounded-retry loop and

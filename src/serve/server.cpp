@@ -53,6 +53,29 @@ std::int64_t resolved_deadline_ms(const ServerConfig& config, std::int64_t reque
   return ms;
 }
 
+std::int64_t us_between(std::chrono::steady_clock::time_point from,
+                        std::chrono::steady_clock::time_point to) {
+  const auto us = std::chrono::duration_cast<std::chrono::microseconds>(to - from).count();
+  return us > 0 ? us : 0;
+}
+
+void emit_histogram(JsonWriter& w, const Log2Histogram::Snapshot& s) {
+  w.begin_object();
+  w.key("count").value(s.count);
+  w.key("p50").value(s.quantile(0.50));
+  w.key("p95").value(s.quantile(0.95));
+  w.key("p99").value(s.quantile(0.99));
+  // Trim trailing zero buckets; bucket b >= 1 holds [2^(b-1), 2^b).
+  std::size_t last = 0;
+  for (std::size_t b = 0; b < Log2Histogram::kBuckets; ++b) {
+    if (s.buckets[b] != 0) last = b + 1;
+  }
+  w.key("buckets").begin_array();
+  for (std::size_t b = 0; b < last; ++b) w.value(s.buckets[b]);
+  w.end_array();
+  w.end_object();
+}
+
 }  // namespace
 
 std::string Endpoint::to_string() const {
@@ -119,6 +142,9 @@ Server::Server(ServerConfig config) : config_(std::move(config)) {
   BL_REQUIRE(config_.max_deadline_ms >= 0, "deadline cap must be >= 0 (0 = uncapped)");
   BL_REQUIRE(config_.idle_timeout_ms >= -1, "idle timeout must be >= -1 (-1 = never reap)");
   BL_REQUIRE(config_.write_stall_ms >= 0, "write stall budget must be >= 0");
+  BL_REQUIRE(config_.coalesce_window_us >= 0,
+             "coalesce window must be >= 0 us (0 disables coalescing)");
+  BL_REQUIRE(config_.max_coalesce_items >= 1, "coalesce item cap must be >= 1");
   cache_ = config_.cache != nullptr ? config_.cache : &pipeline::global_plan_cache();
   if (pipe(shutdown_pipe_) != 0) fail_errno("pipe");
   set_nonblocking(shutdown_pipe_[0]);
@@ -194,6 +220,9 @@ ServerStats Server::stats() const {
   s.rejected_oversized = rejected_oversized_.load();
   s.rejected_deadline = rejected_deadline_.load();
   s.in_flight = queued_.load() + executing_.load();
+  s.coalesced_groups = coalesced_groups_.load();
+  s.coalesced_items = coalesced_items_.load();
+  s.coalesce_bypass_deadline = coalesce_bypass_deadline_.load();
   return s;
 }
 
@@ -259,6 +288,9 @@ void Server::admit_line(const std::shared_ptr<Connection>& connection, std::stri
       queue_.push_back(Task{connection, std::move(line), std::chrono::steady_clock::now()});
       queued_.fetch_add(1);
       queue_cv_.notify_one();
+      // A waiting group leader sweeps the queue on every wake; a fresh
+      // admission may be exactly the join it is waiting for.
+      if (!open_groups_.empty()) coalesce_cv_.notify_all();
       return;
     }
   }
@@ -415,6 +447,29 @@ void Server::worker_loop() {
         w.key("in_flight").value(s.in_flight);
         w.key("workers").value(config_.workers);
         w.key("queue_capacity").value(static_cast<std::int64_t>(config_.max_queue));
+        w.key("coalesce_window_us").value(config_.coalesce_window_us);
+        w.key("coalesce_max_items").value(static_cast<std::int64_t>(config_.max_coalesce_items));
+        w.key("coalesced_groups").value(s.coalesced_groups);
+        w.key("coalesced_items").value(s.coalesced_items);
+        w.key("coalesce_bypass_deadline").value(s.coalesce_bypass_deadline);
+        w.key("latency_us");
+        emit_histogram(w, latency_hist_us_.snapshot());
+        w.key("group_occupancy");
+        emit_histogram(w, occupancy_hist_.snapshot());
+        w.key("coalesce_keys").begin_array();
+        {
+          std::lock_guard<std::mutex> lock(coalesce_keys_mu_);
+          for (const auto& [key, ks] : coalesce_keys_) {
+            w.begin_object();
+            w.key("key").value(key);
+            w.key("groups").value(ks.groups);
+            w.key("items").value(ks.items);
+            w.key("occupancy");
+            emit_histogram(w, ks.occupancy.snapshot());
+            w.end_object();
+          }
+        }
+        w.end_array();
       },
       config_.test_stall};
   while (true) {
@@ -433,6 +488,8 @@ void Server::worker_loop() {
     // member, skip the peek parse entirely.
     CancelToken cancel;
     bool shed = false;
+    bool has_deadline = false;
+    std::chrono::steady_clock::time_point deadline{};
     const bool maybe_deadline = config_.default_deadline_ms > 0 ||
                                 config_.max_deadline_ms > 0 ||
                                 task.line.find("\"deadline_ms\"") != std::string::npos;
@@ -440,35 +497,219 @@ void Server::worker_loop() {
       const RequestMeta meta = peek_request_meta(task.line);
       const std::int64_t ms = resolved_deadline_ms(config_, meta.deadline_ms);
       if (ms > 0) {
-        const auto deadline = task.arrival + std::chrono::milliseconds(ms);
+        deadline = task.arrival + std::chrono::milliseconds(ms);
         if (std::chrono::steady_clock::now() >= deadline) {
           // Lazy shedding: the deadline expired while the task sat in
           // the queue. The work never starts — no plan composed, no
           // cache touched — and the client learns immediately.
           rejected_deadline_.fetch_add(1);
-          write_response(*task.connection,
-                         error_response(meta.id, "deadline_exceeded",
-                                        "deadline (" + std::to_string(ms) +
-                                            " ms) expired while queued; request shed"));
+          const std::string response =
+              with_timing(error_response(meta.id, "deadline_exceeded",
+                                         "deadline (" + std::to_string(ms) +
+                                             " ms) expired while queued; request shed"),
+                          us_between(task.arrival, std::chrono::steady_clock::now()), 0);
+          write_response(*task.connection, response);
+          latency_hist_us_.record(
+              static_cast<std::uint64_t>(us_between(task.arrival, std::chrono::steady_clock::now())));
           shed = true;
         } else {
+          has_deadline = true;
           cancel = CancelToken::with_deadline_at(deadline);
         }
       }
     }
+    if (!shed && config_.coalesce_window_us > 0 &&
+        try_coalesce(task, cancel, has_deadline, deadline)) {
+      // The group machinery answered the member and finished the task.
+      continue;
+    }
     if (!shed) {
+      const auto exec_start = std::chrono::steady_clock::now();
       bool ok = false;
-      const std::string response = handle_line(context, task.line, &ok, cancel);
+      std::string response = handle_line(context, task.line, &ok, cancel);
+      const auto done = std::chrono::steady_clock::now();
+      response = with_timing(response, us_between(task.arrival, exec_start),
+                             us_between(exec_start, done));
       (ok ? served_ok_ : served_error_).fetch_add(1);
       write_response(*task.connection, response);
+      latency_hist_us_.record(static_cast<std::uint64_t>(us_between(task.arrival, done)));
     }
-    // Activity stamp BEFORE pending-- : the reaper skips pending > 0
-    // connections, so by the time it can see pending == 0 the stamp is
-    // already fresh — a just-answered connection is never "idle".
-    task.connection->last_activity_ms.store(now_ms());
-    task.connection->pending.fetch_sub(1);
-    executing_.fetch_sub(1);
+    finish_task(task);
   }
+}
+
+bool Server::try_coalesce(Task& task, const CancelToken& cancel, bool has_deadline,
+                          std::chrono::steady_clock::time_point deadline) {
+  // Classify once, cache on the task: queue sweeps may probe it again.
+  if (task.probe == nullptr) {
+    auto probe = std::make_shared<TaskProbe>();
+    probe->request = parse_request(task.line);
+    probe->key = coalesce_key(probe->request);
+    task.probe = std::move(probe);
+  }
+  if (task.probe->key.empty()) return false;  // not coalescible: solo path
+  const std::size_t batch = static_cast<std::size_t>(task.probe->request.params.batch);
+  const std::optional<std::chrono::steady_clock::time_point> member_deadline =
+      has_deadline ? std::optional<std::chrono::steady_clock::time_point>(deadline)
+                   : std::nullopt;
+
+  std::shared_ptr<OpenGroup> group;
+  {
+    std::unique_lock<std::mutex> lock(queue_mu_);
+    const auto it = open_groups_.find(task.probe->key);
+    if (it != open_groups_.end()) {
+      if (it->second->items + batch > config_.max_coalesce_items) {
+        // The open group is full; leading a second group under the same
+        // key would corrupt the registry. Run solo instead.
+        return false;
+      }
+      // Join the open group — unless our deadline cannot survive its
+      // window; missing a deadline to save a pass is a bad trade.
+      if (has_deadline && deadline < it->second->close_at) {
+        coalesce_bypass_deadline_.fetch_add(1);
+        return false;
+      }
+      add_member(*it->second, std::move(task), cancel, member_deadline);
+      coalesce_cv_.notify_all();  // the leader may close on "group full"
+      return true;
+    }
+    // Lead a new group through its window.
+    const auto now = std::chrono::steady_clock::now();
+    const auto close_at = now + std::chrono::microseconds(config_.coalesce_window_us);
+    if (has_deadline && deadline < close_at) {
+      coalesce_bypass_deadline_.fetch_add(1);
+      return false;
+    }
+    group = std::make_shared<OpenGroup>();
+    group->key = task.probe->key;
+    group->close_at = close_at;
+    add_member(*group, std::move(task), cancel, member_deadline);
+    open_groups_[group->key] = group;
+    while (true) {
+      sweep_queue_into(*group);
+      if (group->items >= config_.max_coalesce_items || draining_ ||
+          std::chrono::steady_clock::now() >= group->close_at) {
+        break;
+      }
+      coalesce_cv_.wait_until(lock, group->close_at);
+    }
+    group->closed = true;
+    open_groups_.erase(group->key);
+  }
+  execute_group(*group);
+  return true;
+}
+
+void Server::sweep_queue_into(OpenGroup& group) {
+  // queue_mu_ held. Pull every queued same-key task into the group —
+  // they would only wait behind us anyway, and the lane engines do the
+  // N-for-one work. Tasks whose deadline cannot survive the window are
+  // left queued for the solo pop path (which sheds or runs them).
+  for (auto it = queue_.begin(); it != queue_.end();) {
+    if (group.items >= config_.max_coalesce_items) break;
+    Task& candidate = *it;
+    if (candidate.probe == nullptr) {
+      auto probe = std::make_shared<TaskProbe>();
+      probe->request = parse_request(candidate.line);
+      probe->key = coalesce_key(probe->request);
+      candidate.probe = std::move(probe);
+    }
+    const std::size_t batch =
+        candidate.probe->key.empty()
+            ? 0
+            : static_cast<std::size_t>(candidate.probe->request.params.batch);
+    if (candidate.probe->key != group.key || group.items + batch > config_.max_coalesce_items) {
+      ++it;
+      continue;
+    }
+    CancelToken cancel;
+    std::optional<std::chrono::steady_clock::time_point> member_deadline;
+    const bool maybe_deadline = config_.default_deadline_ms > 0 || config_.max_deadline_ms > 0 ||
+                                candidate.line.find("\"deadline_ms\"") != std::string::npos;
+    if (maybe_deadline) {
+      const RequestMeta meta = peek_request_meta(candidate.line);
+      const std::int64_t ms = resolved_deadline_ms(config_, meta.deadline_ms);
+      if (ms > 0) {
+        const auto deadline = candidate.arrival + std::chrono::milliseconds(ms);
+        if (deadline < group.close_at) {
+          // Too tight to ride this window; leave it for a solo pop.
+          ++it;
+          continue;
+        }
+        member_deadline = deadline;
+        cancel = CancelToken::with_deadline_at(deadline);
+      }
+    }
+    queued_.fetch_sub(1);
+    executing_.fetch_add(1);
+    add_member(group, std::move(candidate), cancel, member_deadline);
+    it = queue_.erase(it);
+  }
+}
+
+void Server::add_member(OpenGroup& group, Task task, const CancelToken& cancel,
+                        std::optional<std::chrono::steady_clock::time_point> deadline) {
+  CoalesceMember member;
+  member.request = std::move(task.probe->request);
+  member.cancel = cancel;
+  group.items += static_cast<std::size_t>(member.request.params.batch);
+  group.members.push_back(std::move(member));
+  group.tasks.push_back(std::move(task));
+  group.deadlines.push_back(deadline);
+}
+
+void Server::execute_group(OpenGroup& group) {
+  const auto exec_start = std::chrono::steady_clock::now();
+  // The group token is the LATEST member deadline: the combined run
+  // aborts only when no member could use its result. Any unbounded
+  // member keeps the group unbounded.
+  CancelToken group_cancel;
+  bool all_bounded = true;
+  std::chrono::steady_clock::time_point latest{};
+  for (const auto& deadline : group.deadlines) {
+    if (!deadline.has_value()) {
+      all_bounded = false;
+      break;
+    }
+    latest = std::max(latest, *deadline);
+  }
+  if (all_bounded) group_cancel = CancelToken::with_deadline_at(latest);
+
+  run_coalesced_group(*cache_, group.members, group_cancel);
+  const auto done = std::chrono::steady_clock::now();
+
+  if (group.members.size() >= 2) {
+    coalesced_groups_.fetch_add(1);
+    coalesced_items_.fetch_add(group.items);
+  }
+  occupancy_hist_.record(group.items);
+  {
+    std::lock_guard<std::mutex> lock(coalesce_keys_mu_);
+    KeyStats& ks = coalesce_keys_[group.key];
+    ks.groups += 1;
+    ks.items += group.items;
+    ks.occupancy.record(group.items);
+  }
+
+  const std::int64_t exec_us = us_between(exec_start, done);
+  for (std::size_t m = 0; m < group.members.size(); ++m) {
+    CoalesceMember& member = group.members[m];
+    const Task& task = group.tasks[m];
+    (member.ok ? served_ok_ : served_error_).fetch_add(1);
+    write_response(*task.connection,
+                   with_timing(member.response, us_between(task.arrival, exec_start), exec_us));
+    latency_hist_us_.record(static_cast<std::uint64_t>(us_between(task.arrival, done)));
+    finish_task(task);
+  }
+}
+
+void Server::finish_task(const Task& task) {
+  // Activity stamp BEFORE pending-- : the reaper skips pending > 0
+  // connections, so by the time it can see pending == 0 the stamp is
+  // already fresh — a just-answered connection is never "idle".
+  task.connection->last_activity_ms.store(now_ms());
+  task.connection->pending.fetch_sub(1);
+  executing_.fetch_sub(1);
 }
 
 DrainReport Server::run() {
@@ -490,6 +731,7 @@ DrainReport Server::run() {
     draining_ = true;
   }
   queue_cv_.notify_all();
+  coalesce_cv_.notify_all();  // waiting group leaders close early and execute
   for (auto& worker : workers) worker.join();
   connections_.clear();  // EOF to every client, after all responses
 

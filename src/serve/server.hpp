@@ -30,6 +30,11 @@
 #include <thread>
 #include <vector>
 
+#include <map>
+#include <optional>
+
+#include "serve/coalesce.hpp"
+#include "serve/histogram.hpp"
 #include "serve/protocol.hpp"
 
 namespace bitlevel::serve {
@@ -73,6 +78,17 @@ struct ServerConfig {
   /// socket stalls a worker for at most this long, then loses the
   /// connection instead of wedging the pool.
   int write_stall_ms = 30'000;
+  /// Lane-coalescing window in microseconds: when a worker pops a
+  /// coalescible batch request, it holds an open group for this long so
+  /// other in-flight requests with the same coalesce key can join and
+  /// share ONE combined lane-group execution (see serve/coalesce.hpp).
+  /// 0 disables coalescing entirely — every request executes solo. A
+  /// request whose arrival-anchored deadline cannot survive the window
+  /// bypasses coalescing instead of missing it.
+  std::int64_t coalesce_window_us = 250;
+  /// Hard cap on combined items per coalesced group; the group closes
+  /// early when full. The default is one widest compiled lane block.
+  std::size_t max_coalesce_items = 512;
   /// Cache to serve from; nullptr = pipeline::global_plan_cache().
   pipeline::PlanCache* cache = nullptr;
   /// Test hook enabling the hidden "test-stall" action (see
@@ -96,6 +112,14 @@ struct ServerStats {
   std::uint64_t rejected_oversized = 0;   ///< Framing-bound rejections.
   std::uint64_t rejected_deadline = 0;    ///< Shed at pop: deadline already expired.
   std::uint64_t in_flight = 0;            ///< Queued + executing right now.
+  // Lane coalescing (see serve/coalesce.hpp). A "coalesced" group has
+  // >= 2 members; solo groups (the window expired unjoined) count in
+  // neither — their requests executed exactly as without coalescing.
+  std::uint64_t coalesced_groups = 0;         ///< Combined runs with >= 2 members.
+  std::uint64_t coalesced_items = 0;          ///< Batch items carried by those runs.
+  std::uint64_t coalesce_bypass_deadline = 0; ///< Requests that skipped coalescing
+                                              ///< because their deadline could not
+                                              ///< survive the window.
 };
 
 /// What a graceful drain left behind.
@@ -136,6 +160,12 @@ class Server {
 
  private:
   struct Connection;
+  /// A request line parsed once for the coalescer, cached on its Task
+  /// so repeated queue sweeps never re-parse a line.
+  struct TaskProbe {
+    ParsedRequest request;
+    std::string key;  ///< coalesce_key(request); empty = not coalescible.
+  };
   struct Task {
     std::shared_ptr<Connection> connection;
     std::string line;
@@ -143,6 +173,26 @@ class Server {
     /// here, so time spent queued counts against them and the worker
     /// can shed a task whose deadline expired while it waited.
     std::chrono::steady_clock::time_point arrival;
+    std::shared_ptr<TaskProbe> probe;  ///< Lazy; filled at first classification.
+  };
+  /// A forming lane group: one leader worker holds it open for the
+  /// coalesce window; same-key tasks join from other workers' pops and
+  /// from the leader's queue sweeps. Guarded by queue_mu_ until
+  /// closed, then owned by the leader alone.
+  struct OpenGroup {
+    std::string key;
+    std::chrono::steady_clock::time_point close_at;
+    bool closed = false;
+    std::size_t items = 0;  ///< Combined batch items across members.
+    std::vector<Task> tasks;  ///< Parallel to members.
+    std::vector<CoalesceMember> members;
+    std::vector<std::optional<std::chrono::steady_clock::time_point>> deadlines;
+  };
+  /// Per-coalesce-key occupancy accounting for the stats endpoint.
+  struct KeyStats {
+    std::uint64_t groups = 0;  ///< Groups closed under this key (any size).
+    std::uint64_t items = 0;   ///< Batch items those groups carried.
+    Log2Histogram occupancy;   ///< Items-per-group distribution.
   };
 
   void accept_loop();
@@ -151,6 +201,22 @@ class Server {
   void handle_readable(const std::shared_ptr<Connection>& connection);
   void admit_line(const std::shared_ptr<Connection>& connection, std::string line);
   void write_response(Connection& connection, const std::string& response);
+  /// Coalescing at pop time: join an open same-key group, or lead a new
+  /// one through its window and execute it. Returns false when the task
+  /// is not coalescible (or bypassed for its deadline) — the caller
+  /// runs the solo path and finishes the task; true means the group
+  /// machinery owns the task's response and accounting.
+  bool try_coalesce(Task& task, const CancelToken& cancel, bool has_deadline,
+                    std::chrono::steady_clock::time_point deadline);
+  /// Move every queued same-key task into the group (queue_mu_ held).
+  void sweep_queue_into(OpenGroup& group);
+  /// Execute a closed group and answer every member (no locks held).
+  void execute_group(OpenGroup& group);
+  void add_member(OpenGroup& group, Task task, const CancelToken& cancel,
+                  std::optional<std::chrono::steady_clock::time_point> deadline);
+  /// Response-written bookkeeping shared by the solo and group paths:
+  /// activity stamp, pending--, executing_--.
+  void finish_task(const Task& task);
 
   ServerConfig config_;
   Endpoint bound_;
@@ -165,6 +231,11 @@ class Server {
   std::condition_variable queue_cv_;
   std::deque<Task> queue_;
   bool draining_ = false;
+  /// Open (still joinable) lane groups by coalesce key; queue_mu_.
+  std::map<std::string, std::shared_ptr<OpenGroup>> open_groups_;
+  /// Wakes waiting group leaders: on joins, on admissions while any
+  /// group is open, and on drain.
+  std::condition_variable coalesce_cv_;
 
   std::atomic<std::uint64_t> accepted_{0};
   std::atomic<std::uint64_t> requests_{0};
@@ -175,6 +246,18 @@ class Server {
   std::atomic<std::uint64_t> rejected_deadline_{0};
   std::atomic<std::uint64_t> executing_{0};
   std::atomic<std::uint64_t> queued_{0};
+  std::atomic<std::uint64_t> coalesced_groups_{0};
+  std::atomic<std::uint64_t> coalesced_items_{0};
+  std::atomic<std::uint64_t> coalesce_bypass_deadline_{0};
+
+  /// Per-request total latency (framed -> answered) in microseconds;
+  /// fixed log2 buckets, recorded lock-free on the hot path.
+  Log2Histogram latency_hist_us_;
+  /// Items per closed coalesce group (solo groups included, so the
+  /// distribution shows real occupancy, not just the wins).
+  Log2Histogram occupancy_hist_;
+  std::mutex coalesce_keys_mu_;
+  std::map<std::string, KeyStats> coalesce_keys_;
 };
 
 }  // namespace bitlevel::serve

@@ -293,6 +293,133 @@ TEST(PipelineCompiledTest, ComposedPlansCarryCompiledSchedules) {
   }
 }
 
+// lane_width = 0 under compiled=on picks the narrowest block width
+// that holds the whole batch — one group, no wasted tail lanes — and
+// reports the pick in BatchResult::compiled_lane_width. Results stay
+// bit-identical to every explicit width.
+TEST(PipelineCompiledTest, AutoLaneWidthPicksNarrowestFit) {
+  EXPECT_EQ(auto_compiled_lane_width(1), 64);
+  EXPECT_EQ(auto_compiled_lane_width(64), 64);
+  EXPECT_EQ(auto_compiled_lane_width(65), 128);
+  EXPECT_EQ(auto_compiled_lane_width(128), 128);
+  EXPECT_EQ(auto_compiled_lane_width(129), 256);
+  EXPECT_EQ(auto_compiled_lane_width(300), 512);
+  EXPECT_EQ(auto_compiled_lane_width(512), 512);
+  EXPECT_EQ(auto_compiled_lane_width(600), 512);  // beyond one block: chunked
+
+  const DesignRequest request = request_for(kCases[0], core::Expansion::kII);
+  for (const std::size_t count : {std::size_t{5}, std::size_t{70}, std::size_t{130}}) {
+    const std::vector<core::Workload> workloads = make_workloads(request, count);
+    const std::vector<BatchItem> items = items_for(workloads);
+    PlanCache cache(8);
+    BatchOptions options;
+    options.sliced = SlicedMode::kOn;
+    options.compiled = SlicedMode::kOn;
+    options.lane_width = 0;  // auto
+    const BatchResult auto_width = run_batch(cache, request, items, options);
+    const int expected = auto_compiled_lane_width(count);
+    EXPECT_EQ(auto_width.compiled_lane_width, expected) << count;
+    EXPECT_EQ(auto_width.compiled_groups, 1) << count;  // one block holds all
+    EXPECT_EQ(auto_width.compiled_items, static_cast<Int>(count)) << count;
+
+    BatchOptions explicit_options = options;
+    explicit_options.lane_width = expected;
+    const BatchResult explicit_width = run_batch(cache, request, items, explicit_options);
+    for (std::size_t i = 0; i < count; ++i) {
+      expect_identical(auto_width.results[i], explicit_width.results[i],
+                       "auto vs explicit width, item " + std::to_string(i));
+    }
+  }
+}
+
+// The scatter mask (the serve coalescer's cancelled-member seam):
+// masked items still ride their lane group — the group is never torn —
+// but their z maps and stats stay untouched while every unmasked item
+// is bit-identical to an unmasked run, and the accounting ledger still
+// counts every item exactly once.
+TEST(PipelineCompiledTest, MaskItemDropsResultsWithoutTearingTheGroup) {
+  const DesignRequest request = request_for(kCases[0], core::Expansion::kII);
+  const std::vector<core::Workload> workloads = make_workloads(request, 9);
+  const std::vector<BatchItem> items = items_for(workloads);
+  struct PathCase {
+    SlicedMode sliced;
+    SlicedMode compiled;
+    const char* what;
+  };
+  const std::vector<PathCase> paths = {
+      {SlicedMode::kOn, SlicedMode::kOn, "compiled"},
+      {SlicedMode::kOn, SlicedMode::kOff, "interpreted"},
+      {SlicedMode::kOff, SlicedMode::kOff, "scalar"},
+  };
+  for (const PathCase& path : paths) {
+    PlanCache cache(8);
+    BatchOptions options;
+    options.sliced = path.sliced;
+    options.compiled = path.compiled;
+    const BatchResult unmasked = run_batch(cache, request, items, options);
+
+    BatchOptions masked_options = options;
+    masked_options.mask_item = [](std::size_t index) { return index == 2 || index == 7; };
+    const BatchResult masked = run_batch(cache, request, items, masked_options);
+
+    ASSERT_EQ(masked.results.size(), items.size()) << path.what;
+    // Same ledger: masking never changes how items are grouped or run.
+    EXPECT_EQ(masked.compiled_items, unmasked.compiled_items) << path.what;
+    EXPECT_EQ(masked.compiled_groups, unmasked.compiled_groups) << path.what;
+    EXPECT_EQ(masked.sliced_items, unmasked.sliced_items) << path.what;
+    EXPECT_EQ(masked.sliced_groups, unmasked.sliced_groups) << path.what;
+    EXPECT_EQ(masked.scalar_items, unmasked.scalar_items) << path.what;
+    for (std::size_t i = 0; i < items.size(); ++i) {
+      if (i == 2 || i == 7) {
+        EXPECT_TRUE(masked.results[i].z.empty()) << path.what << " item " << i;
+        EXPECT_EQ(masked.results[i].stats.cycles, 0) << path.what << " item " << i;
+      } else {
+        expect_identical(masked.results[i], unmasked.results[i],
+                         std::string(path.what) + " item " + std::to_string(i));
+      }
+    }
+  }
+}
+
+// Per-item attribution: item_paths / item_groups cover every item, and
+// counting ordinal transitions over a contiguous range reconstructs
+// the ledger — the contract the serve coalescer's per-member scatter
+// depends on.
+TEST(PipelineCompiledTest, ItemAttributionReconstructsTheLedger) {
+  const DesignRequest request = request_for(kCases[0], core::Expansion::kII);
+  const std::vector<core::Workload> workloads = make_workloads(request, 70);
+  const std::vector<BatchItem> items = items_for(workloads);
+  PlanCache cache(8);
+  BatchOptions options;
+  options.sliced = SlicedMode::kOn;
+  options.compiled = SlicedMode::kOn;
+  options.lane_width = 64;  // 70 items -> 2 compiled groups
+  const BatchResult batch = run_batch(cache, request, items, options);
+  ASSERT_EQ(batch.item_paths.size(), items.size());
+  ASSERT_EQ(batch.item_groups.size(), items.size());
+
+  Int compiled_items = 0;
+  Int compiled_groups = 0;
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    ASSERT_EQ(batch.item_paths[i], ItemPath::kCompiled) << i;
+    compiled_items += 1;
+    if (i == 0 || batch.item_groups[i] != batch.item_groups[i - 1]) compiled_groups += 1;
+  }
+  EXPECT_EQ(compiled_items, batch.compiled_items);
+  EXPECT_EQ(compiled_groups, batch.compiled_groups);
+  EXPECT_EQ(compiled_groups, 2);
+
+  // Scalar path: every item its own run, distinct ordinals throughout.
+  BatchOptions scalar_options;
+  scalar_options.sliced = SlicedMode::kOff;
+  const BatchResult scalar = run_batch(cache, request, items, scalar_options);
+  ASSERT_EQ(scalar.item_paths.size(), items.size());
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    EXPECT_EQ(scalar.item_paths[i], ItemPath::kScalar) << i;
+    if (i > 0) EXPECT_NE(scalar.item_groups[i], scalar.item_groups[i - 1]) << i;
+  }
+}
+
 TEST(PipelineCompiledTest, ArgumentContracts) {
   const DesignRequest request = request_for(kCases[0], core::Expansion::kII);
   const std::vector<core::Workload> workloads = make_workloads(request, 2);

@@ -1,0 +1,448 @@
+// Cross-request lane coalescing: concurrent same-key batch requests
+// share ONE combined lane-group execution, and nobody can tell from
+// the results — each member's "result" document is byte-identical to a
+// solo run (modulo the honest path ledger when coalescing upgrades a
+// batch=1 request from the scalar path onto lanes). Deadlines bypass
+// rather than miss; a cancelled member is masked out of the scatter,
+// never tearing its groupmates; the counters and histograms account
+// for every request.
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "pipeline/cache.hpp"
+#include "serve/client.hpp"
+#include "serve/coalesce.hpp"
+#include "serve/protocol.hpp"
+#include "serve/server.hpp"
+#include "support/cancel.hpp"
+#include "support/json.hpp"
+
+namespace bitlevel::serve {
+namespace {
+
+std::string temp_socket_path(const char* tag) {
+  return "/tmp/bitlevel-coalesce-test-" + std::string(tag) + "-" +
+         std::to_string(static_cast<long>(::getpid())) + ".sock";
+}
+
+/// Runs a Server on its own thread; joins + drains on destruction.
+class TestDaemon {
+ public:
+  explicit TestDaemon(ServerConfig config) : server_(std::move(config)) {
+    server_.bind_and_listen();
+    thread_ = std::thread([this] { report_ = server_.run(); });
+  }
+  ~TestDaemon() { drain(); }
+
+  DrainReport drain() {
+    server_.shutdown();
+    if (thread_.joinable()) thread_.join();
+    return report_;
+  }
+
+  Server& server() { return server_; }
+  const std::string& endpoint() const { return server_.endpoint(); }
+
+ private:
+  Server server_;
+  std::thread thread_;
+  DrainReport report_;
+};
+
+bool response_ok(const std::string& response) {
+  const JsonValue doc = json_parse(response);
+  const JsonValue* ok = doc.is_object() ? doc.find("ok") : nullptr;
+  return ok != nullptr && ok->is_bool() && ok->bool_v;
+}
+
+std::string error_code(const std::string& response) {
+  const JsonValue doc = json_parse(response);
+  const JsonValue* error = doc.is_object() ? doc.find("error") : nullptr;
+  if (error == nullptr || !error->is_object()) return "";
+  const JsonValue* code = error->find("code");
+  return code != nullptr && code->is_string() ? code->string_v : "";
+}
+
+/// A batch request line over the wire / through handle_line.
+std::string batch_line(std::int64_t id, const char* kernel, int u, int p, int batch,
+                       std::uint64_t seed, const char* sliced, const char* compiled,
+                       int lanes, std::int64_t deadline_ms = 0) {
+  std::string line = "{\"id\":" + std::to_string(id) + ",\"action\":\"batch\",\"kernel\":\"" +
+                     kernel + "\",\"u\":" + std::to_string(u) +
+                     ",\"p\":" + std::to_string(p) + ",\"batch\":" + std::to_string(batch) +
+                     ",\"seed\":" + std::to_string(seed) + ",\"sliced\":\"" + sliced +
+                     "\",\"compiled\":\"" + compiled + "\",\"lanes\":" + std::to_string(lanes);
+  if (deadline_ms > 0) line += ",\"deadline_ms\":" + std::to_string(deadline_ms);
+  line += "}";
+  return line;
+}
+
+/// One-shot reference: the same line through handle_line on a FRESH
+/// cache — exactly what the daemon's solo path would have served.
+std::string one_shot_result(const std::string& line) {
+  pipeline::PlanCache cache(8);
+  const ServeContext context{cache, {}, {}};
+  return json_member_text(handle_line(context, line), "result");
+}
+
+/// Drop the execution-path ledger ("sliced":{...}, a flat object) for
+/// the batch=1 comparisons: coalescing legitimately upgrades a lone
+/// item from the scalar path onto shared lanes, and the ledger then
+/// reports what actually happened instead of matching the solo run.
+std::string strip_path_ledger(const std::string& doc) {
+  const std::size_t begin = doc.find("\"sliced\":{");
+  if (begin == std::string::npos) return doc;
+  const std::size_t end = doc.find('}', begin);
+  if (end == std::string::npos) return doc;
+  std::string out = doc;
+  const std::size_t comma = end + 1 < out.size() && out[end + 1] == ',' ? 1 : 0;
+  out.erase(begin, end - begin + 1 + comma);
+  return out;
+}
+
+// ----------------------------------------------------------- identity
+
+/// The acceptance matrix: concurrent same-key clients across kernels
+/// and execution modes, every served document byte-identical to the
+/// one-shot run of the same line.
+TEST(ServeCoalesceTest, CoalescedBatchesMatchOneShotByteForByte) {
+  struct Mode {
+    const char* sliced;
+    const char* compiled;
+    int lanes;
+  };
+  struct Kernel {
+    const char* name;
+    int u;
+    int p;
+  };
+  const std::vector<Mode> modes = {
+      {"on", "off", 0},   // interpreted 64-lane slicing
+      {"on", "on", 0},    // compiled, auto lane width
+      {"on", "on", 128},  // compiled, explicit lanes
+  };
+  const std::vector<Kernel> kernels = {{"matmul", 2, 3}, {"scalar", 3, 3}};
+
+  const std::string path = temp_socket_path("identity");
+  pipeline::PlanCache cache(16);
+  ServerConfig config;
+  config.listen = "unix:" + path;
+  config.workers = 2;
+  config.coalesce_window_us = 50'000;  // generous: every client joins
+  config.cache = &cache;
+  TestDaemon daemon(std::move(config));
+
+  constexpr int kClients = 4;
+  for (const Kernel& kernel : kernels) {
+    for (const Mode& mode : modes) {
+      std::vector<std::string> lines;
+      std::vector<std::string> served(kClients);
+      for (int c = 0; c < kClients; ++c) {
+        lines.push_back(batch_line(c + 1, kernel.name, kernel.u, kernel.p, /*batch=*/3,
+                                   /*seed=*/static_cast<std::uint64_t>(100 * c + 1),
+                                   mode.sliced, mode.compiled, mode.lanes));
+      }
+      std::vector<std::thread> threads;
+      for (int c = 0; c < kClients; ++c) {
+        threads.emplace_back([&, c] {
+          Client client;
+          client.connect(daemon.endpoint());
+          served[c] = client.roundtrip(lines[c]);
+        });
+      }
+      for (std::thread& t : threads) t.join();
+      for (int c = 0; c < kClients; ++c) {
+        ASSERT_TRUE(response_ok(served[c])) << served[c];
+        // Per-request timing rides the envelope, outside "result".
+        EXPECT_NE(served[c].find("\"queue_us\":"), std::string::npos) << served[c];
+        EXPECT_NE(served[c].find("\"exec_us\":"), std::string::npos) << served[c];
+        EXPECT_EQ(json_member_text(served[c], "result"), one_shot_result(lines[c]))
+            << kernel.name << " " << mode.sliced << "/" << mode.compiled << " lanes "
+            << mode.lanes << " client " << c;
+      }
+    }
+  }
+  const DrainReport report = daemon.drain();
+  EXPECT_GE(report.stats.coalesced_groups, 1u);
+  EXPECT_GE(report.stats.coalesced_items, 2u * 3u);
+  EXPECT_EQ(report.leaked_plans, 0u);
+  EXPECT_EQ(report.stats.requests,
+            report.stats.served_ok + report.stats.served_error +
+                report.stats.rejected_overloaded + report.stats.rejected_oversized +
+                report.stats.rejected_deadline);
+}
+
+/// batch=1 requests — the headline case: alone each would run the
+/// scalar path, coalesced they share lanes. The results agree with the
+/// solo run byte for byte outside the path ledger, and the ledger
+/// honestly reports lane execution (scalar_items 0).
+TEST(ServeCoalesceTest, SingleItemRequestsShareLanesWithHonestLedger) {
+  const std::string path = temp_socket_path("single");
+  pipeline::PlanCache cache(8);
+  ServerConfig config;
+  config.listen = "unix:" + path;
+  config.workers = 2;
+  config.coalesce_window_us = 50'000;
+  config.cache = &cache;
+  TestDaemon daemon(std::move(config));
+
+  constexpr int kClients = 4;
+  std::vector<std::string> lines;
+  std::vector<std::string> served(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    lines.push_back(batch_line(c + 1, "matmul", 2, 3, /*batch=*/1,
+                               /*seed=*/static_cast<std::uint64_t>(c + 1), "on", "on", 0));
+  }
+  std::vector<std::thread> threads;
+  for (int c = 0; c < kClients; ++c) {
+    threads.emplace_back([&, c] {
+      Client client;
+      client.connect(daemon.endpoint());
+      served[c] = client.roundtrip(lines[c]);
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  bool any_on_lanes = false;
+  for (int c = 0; c < kClients; ++c) {
+    ASSERT_TRUE(response_ok(served[c])) << served[c];
+    const std::string result = json_member_text(served[c], "result");
+    EXPECT_EQ(strip_path_ledger(result), strip_path_ledger(one_shot_result(lines[c])))
+        << result;
+    any_on_lanes = any_on_lanes || result.find("\"scalar_items\":0") != std::string::npos;
+  }
+  const DrainReport report = daemon.drain();
+  if (report.stats.coalesced_groups > 0) {
+    // At least one member of a >= 2 group carried its item on lanes —
+    // the path a solo batch=1 run never takes.
+    EXPECT_TRUE(any_on_lanes);
+    EXPECT_GE(report.stats.coalesced_items, 2u);
+  }
+  EXPECT_EQ(report.leaked_plans, 0u);
+}
+
+// ----------------------------------------------------------- deadlines
+
+/// A request whose deadline cannot survive the coalesce window must
+/// bypass the group and run solo — deadlines are never sacrificed for
+/// batching efficiency.
+TEST(ServeCoalesceTest, TightDeadlineBypassesTheWindow) {
+  const std::string path = temp_socket_path("bypass");
+  pipeline::PlanCache cache(8);
+  ServerConfig config;
+  config.listen = "unix:" + path;
+  config.workers = 2;
+  config.coalesce_window_us = 150'000;  // 150 ms: far beyond the tight deadline
+  config.cache = &cache;
+  TestDaemon daemon(std::move(config));
+
+  // Warm the plan first so the tight-deadline run cannot blow its
+  // budget on first-touch composition.
+  Client warm;
+  warm.connect(daemon.endpoint());
+  ASSERT_TRUE(response_ok(
+      warm.roundtrip(batch_line(1, "matmul", 2, 3, 2, 1, "on", "on", 0))));
+
+  // An unbounded leader opens a 150 ms window...
+  Client slow;
+  slow.connect(daemon.endpoint());
+  slow.send_line(batch_line(2, "matmul", 2, 3, 2, 2, "on", "on", 0));
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+
+  // ... and the 40 ms-deadline request must NOT wait out the window.
+  Client tight;
+  tight.connect(daemon.endpoint());
+  const auto sent = std::chrono::steady_clock::now();
+  const std::string response =
+      tight.roundtrip(batch_line(3, "matmul", 2, 3, 2, 3, "on", "on", 0,
+                                 /*deadline_ms=*/40));
+  const auto waited = std::chrono::steady_clock::now() - sent;
+  EXPECT_TRUE(response_ok(response)) << response;
+  EXPECT_LT(std::chrono::duration_cast<std::chrono::milliseconds>(waited).count(), 140)
+      << "tight-deadline request waited out the coalesce window";
+
+  std::string slow_response;
+  ASSERT_TRUE(slow.recv_line(&slow_response));
+  EXPECT_TRUE(response_ok(slow_response)) << slow_response;
+
+  const DrainReport report = daemon.drain();
+  EXPECT_GE(report.stats.coalesce_bypass_deadline, 1u);
+  EXPECT_EQ(report.leaked_plans, 0u);
+}
+
+// ---------------------------------------------------------- cancellation
+
+/// Deterministic masking: a member whose token already fired is masked
+/// out of the scatter and answered with deadline_exceeded; its
+/// groupmates' documents are byte-identical to solo runs.
+TEST(ServeCoalesceTest, CancelledMemberIsMaskedWithoutTearingGroupmates) {
+  pipeline::PlanCache cache(8);
+  std::vector<std::string> lines = {
+      batch_line(1, "matmul", 2, 3, 2, 10, "on", "on", 0),
+      batch_line(2, "matmul", 2, 3, 2, 20, "on", "on", 0),
+      batch_line(3, "matmul", 2, 3, 2, 30, "on", "on", 0),
+  };
+  std::vector<CoalesceMember> members;
+  for (const std::string& line : lines) {
+    CoalesceMember member;
+    member.request = parse_request(line);
+    ASSERT_TRUE(member.request.valid) << line;
+    members.push_back(std::move(member));
+  }
+  ASSERT_EQ(coalesce_key(members[0].request), coalesce_key(members[1].request));
+  ASSERT_EQ(coalesce_key(members[0].request), coalesce_key(members[2].request));
+
+  members[1].cancel = CancelToken::manual();
+  members[1].cancel.cancel();  // fired before execution: lanes masked
+
+  run_coalesced_group(cache, members, CancelToken{});
+
+  EXPECT_FALSE(members[1].ok);
+  EXPECT_EQ(error_code(members[1].response), "deadline_exceeded") << members[1].response;
+  for (const std::size_t m : {std::size_t{0}, std::size_t{2}}) {
+    EXPECT_TRUE(members[m].ok) << members[m].response;
+    EXPECT_EQ(json_member_text(members[m].response, "result"), one_shot_result(lines[m]))
+        << members[m].response;
+  }
+  EXPECT_EQ(cache.leaked_plans(), 0u);
+}
+
+/// All-cancelled group: everyone gets a structured deadline error and
+/// nothing leaks.
+TEST(ServeCoalesceTest, FullyCancelledGroupFailsStructurally) {
+  pipeline::PlanCache cache(8);
+  std::vector<CoalesceMember> members;
+  for (int i = 0; i < 2; ++i) {
+    CoalesceMember member;
+    member.request = parse_request(
+        batch_line(i + 1, "matmul", 2, 3, 2, static_cast<std::uint64_t>(i + 1), "on", "on", 0));
+    ASSERT_TRUE(member.request.valid);
+    member.cancel = CancelToken::manual();
+    member.cancel.cancel();
+    members.push_back(std::move(member));
+  }
+  run_coalesced_group(cache, members, CancelToken{});
+  for (const CoalesceMember& member : members) {
+    EXPECT_FALSE(member.ok);
+    EXPECT_EQ(error_code(member.response), "deadline_exceeded") << member.response;
+  }
+  EXPECT_EQ(cache.leaked_plans(), 0u);
+}
+
+// ------------------------------------------------------------- keys
+
+TEST(ServeCoalesceTest, CoalesceKeySeparatesWhatMustNotShare) {
+  const auto key_of = [](const std::string& line) {
+    return coalesce_key(parse_request(line));
+  };
+  const std::string base = batch_line(1, "matmul", 2, 3, 4, 1, "on", "on", 0);
+  const std::string key = key_of(base);
+  ASSERT_FALSE(key.empty());
+  // Seed, batch size and id vary freely within a group.
+  EXPECT_EQ(key, key_of(batch_line(9, "matmul", 2, 3, 7, 42, "on", "on", 0)));
+  // Kernel, extents, p, lanes and execution modes split groups.
+  EXPECT_NE(key, key_of(batch_line(1, "matmul", 3, 3, 4, 1, "on", "on", 0)));
+  EXPECT_NE(key, key_of(batch_line(1, "matmul", 2, 4, 4, 1, "on", "on", 0)));
+  EXPECT_NE(key, key_of(batch_line(1, "matmul", 2, 3, 4, 1, "on", "on", 128)));
+  EXPECT_NE(key, key_of(batch_line(1, "matmul", 2, 3, 4, 1, "on", "off", 0)));
+  EXPECT_NE(key, key_of(batch_line(1, "scalar", 3, 3, 4, 1, "on", "on", 0)));
+  // Scalar-pinned and non-batch requests never coalesce.
+  EXPECT_TRUE(key_of(batch_line(1, "matmul", 2, 3, 4, 1, "off", "auto", 0)).empty());
+  EXPECT_TRUE(key_of("{\"id\":1,\"action\":\"simulate\",\"kernel\":\"matmul\",\"u\":2,"
+                     "\"p\":3}")
+                  .empty());
+  EXPECT_TRUE(key_of("{not json").empty());
+}
+
+// ------------------------------------------------------------- stats
+
+TEST(ServeCoalesceTest, StatsDocumentCarriesHistogramsAndKeys) {
+  const std::string path = temp_socket_path("stats");
+  pipeline::PlanCache cache(8);
+  ServerConfig config;
+  config.listen = "unix:" + path;
+  config.workers = 2;
+  config.coalesce_window_us = 30'000;
+  config.cache = &cache;
+  TestDaemon daemon(std::move(config));
+
+  std::vector<std::thread> threads;
+  for (int c = 0; c < 3; ++c) {
+    threads.emplace_back([&, c] {
+      Client client;
+      client.connect(daemon.endpoint());
+      client.roundtrip(batch_line(c + 1, "matmul", 2, 3, 2,
+                                  static_cast<std::uint64_t>(c + 1), "on", "on", 0));
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  Client client;
+  client.connect(daemon.endpoint());
+  const std::string response = client.roundtrip("{\"id\":99,\"action\":\"stats\"}");
+  ASSERT_TRUE(response_ok(response)) << response;
+  const JsonValue doc = json_parse(response);
+  const JsonValue* server = doc.find("result")->find("server");
+  ASSERT_NE(server, nullptr);
+  EXPECT_EQ(server->find("coalesce_window_us")->int_v, 30'000);
+  EXPECT_GE(server->find("coalesced_groups")->int_v, 0);
+  const JsonValue* latency = server->find("latency_us");
+  ASSERT_NE(latency, nullptr);
+  EXPECT_GE(latency->find("count")->int_v, 3);
+  EXPECT_GE(latency->find("p99")->int_v, latency->find("p50")->int_v);
+  const JsonValue* occupancy = server->find("group_occupancy");
+  ASSERT_NE(occupancy, nullptr);
+  EXPECT_GE(occupancy->find("count")->int_v, 1);
+  const JsonValue* keys = server->find("coalesce_keys");
+  ASSERT_NE(keys, nullptr);
+  ASSERT_TRUE(keys->is_array());
+  ASSERT_GE(keys->array_v.size(), 1u);
+  EXPECT_FALSE(keys->array_v[0].find("key")->string_v.empty());
+  EXPECT_GE(keys->array_v[0].find("items")->int_v, 2);
+}
+
+TEST(ServeCoalesceTest, ConfigValidationRejectsBadKnobs) {
+  {
+    ServerConfig config;
+    config.coalesce_window_us = -1;
+    EXPECT_THROW(Server{std::move(config)}, Error);
+  }
+  {
+    ServerConfig config;
+    config.max_coalesce_items = 0;
+    EXPECT_THROW(Server{std::move(config)}, Error);
+  }
+}
+
+/// coalesce_window_us = 0 disables the machinery entirely: requests
+/// run solo, counters stay zero, results unchanged.
+TEST(ServeCoalesceTest, ZeroWindowDisablesCoalescing) {
+  const std::string path = temp_socket_path("off");
+  pipeline::PlanCache cache(8);
+  ServerConfig config;
+  config.listen = "unix:" + path;
+  config.workers = 2;
+  config.coalesce_window_us = 0;
+  config.cache = &cache;
+  TestDaemon daemon(std::move(config));
+
+  const std::string line = batch_line(1, "matmul", 2, 3, 3, 5, "on", "on", 0);
+  Client client;
+  client.connect(daemon.endpoint());
+  const std::string response = client.roundtrip(line);
+  ASSERT_TRUE(response_ok(response)) << response;
+  EXPECT_EQ(json_member_text(response, "result"), one_shot_result(line));
+
+  const DrainReport report = daemon.drain();
+  EXPECT_EQ(report.stats.coalesced_groups, 0u);
+  EXPECT_EQ(report.stats.coalesced_items, 0u);
+  EXPECT_EQ(report.leaked_plans, 0u);
+}
+
+}  // namespace
+}  // namespace bitlevel::serve

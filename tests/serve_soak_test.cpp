@@ -115,15 +115,20 @@ std::vector<Mix> soak_mix() {
 
 class SoakDaemon {
  public:
-  explicit SoakDaemon(const std::string& socket_path)
+  explicit SoakDaemon(const std::string& socket_path, std::vector<std::string> extra_args = {})
       : socket_path_(socket_path), log_path_(socket_path + ".log") {
     pid_ = fork();
     if (pid_ == 0) {
       FILE* log = std::freopen(log_path_.c_str(), "w", stderr);
       (void)log;
-      execl(BITLEVEL_DESIGN_BIN_PATH, BITLEVEL_DESIGN_BIN_PATH, "--serve", "--listen",
-            ("unix:" + socket_path_).c_str(), "--workers", "4", "--queue", "256",
-            static_cast<char*>(nullptr));
+      std::vector<std::string> args = {BITLEVEL_DESIGN_BIN_PATH, "--serve",     "--listen",
+                                       "unix:" + socket_path_,   "--workers",  "4",
+                                       "--queue",                "256"};
+      for (std::string& arg : extra_args) args.push_back(std::move(arg));
+      std::vector<char*> argv;
+      for (std::string& arg : args) argv.push_back(arg.data());
+      argv.push_back(nullptr);
+      execv(BITLEVEL_DESIGN_BIN_PATH, argv.data());
       std::_Exit(127);  // exec failed
     }
     // The daemon is up once the socket accepts; poll with a deadline.
@@ -403,6 +408,81 @@ TEST(ServeSoakTest, MixedDeadlineMatrixShedsAndServesDeterministically) {
   // The 4 queue-expired requests are shed rejections; tight-deadline
   // cancellations that started executing count as served_error.
   EXPECT_GE(report.find("rejected_deadline")->int_v, kExpired) << log;
+  EXPECT_EQ(report.find("leaked_plans")->int_v, 0) << log;
+}
+
+// The coalescer's headline case as a subprocess soak: a flood of
+// single-item single-multiply clients against one warm plan. With a
+// generous window the daemon MUST form multi-member lane groups
+// (drain report coalesced_groups > 0), every response must be correct,
+// and the ledger must balance exactly with leaked_plans 0.
+TEST(ServeSoakTest, SingleItemFloodCoalescesIntoLaneGroups) {
+  const std::string socket_path =
+      "/tmp/bitlevel-soak-coalesce-" + std::to_string(static_cast<long>(getpid())) + ".sock";
+  // Two workers + a 20ms window: one worker leads and holds the group
+  // open while the other keeps popping joiners — a group of >= 2 is
+  // guaranteed once any two requests overlap within 20ms, which a
+  // lockstep flood of 16 clients cannot avoid.
+  SoakDaemon daemon(socket_path,
+                    {"--workers", "2", "--coalesce-window-us", "20000"});
+
+  // Warm the plan so group execution is pure lane work.
+  {
+    serve::Client warm;
+    warm.connect(daemon.endpoint());
+    const std::string response = warm.roundtrip(
+        "{\"id\":0,\"action\":\"batch\",\"kernel\":\"matmul\",\"u\":2,\"p\":3,"
+        "\"batch\":1,\"seed\":999}");
+    ASSERT_NE(response.find("\"ok\":true"), std::string::npos) << response;
+  }
+
+  constexpr int kClients = 16;
+  constexpr int kRequests = 4;
+  std::vector<std::thread> threads;
+  std::vector<int> bad(kClients, 0);
+  for (int c = 0; c < kClients; ++c) {
+    threads.emplace_back([&, c] {
+      try {
+        serve::Client client;
+        client.connect(daemon.endpoint());
+        for (int r = 0; r < kRequests; ++r) {
+          const std::string response = client.roundtrip(
+              "{\"id\":" + std::to_string(c * kRequests + r) +
+              ",\"action\":\"batch\",\"kernel\":\"matmul\",\"u\":2,\"p\":3,"
+              "\"batch\":1,\"seed\":" + std::to_string(c * kRequests + r + 1) + "}");
+          const JsonValue doc = json_parse(response);
+          const JsonValue* ok = doc.find("ok");
+          if (ok == nullptr || !ok->is_bool() || !ok->bool_v) ++bad[c];
+          const std::string result = json_member_text(response, "result");
+          if (result.find("\"correct\":true") == std::string::npos) ++bad[c];
+        }
+      } catch (const std::exception&) {
+        ++bad[c];
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  for (int c = 0; c < kClients; ++c) EXPECT_EQ(bad[c], 0) << "client " << c;
+
+  const int exit_code = daemon.terminate();
+  EXPECT_EQ(exit_code, 0) << daemon.log();
+  const std::string log = daemon.log();
+  const std::size_t at = log.find("{\"drained\":true");
+  ASSERT_NE(at, std::string::npos) << log;
+  const JsonValue report = json_parse(log.substr(at, log.find('\n', at) - at));
+  ASSERT_TRUE(report.is_object()) << log;
+  EXPECT_GT(report.find("coalesced_groups")->int_v, 0) << log;
+  EXPECT_GE(report.find("coalesced_items")->int_v,
+            2 * report.find("coalesced_groups")->int_v)
+      << log;
+  EXPECT_EQ(report.find("requests")->int_v, kClients * kRequests + 1) << log;
+  EXPECT_EQ(report.find("requests")->int_v,
+            report.find("served_ok")->int_v + report.find("served_error")->int_v +
+                report.find("rejected_overloaded")->int_v +
+                report.find("rejected_oversized")->int_v +
+                report.find("rejected_deadline")->int_v)
+      << log;
+  EXPECT_EQ(report.find("served_error")->int_v, 0) << log;
   EXPECT_EQ(report.find("leaked_plans")->int_v, 0) << log;
 }
 

@@ -123,6 +123,9 @@ struct Args {
   std::int64_t max_deadline_ms = 0;  // --serve: hard cap (0 = uncapped)
   std::int64_t idle_timeout_ms = -1; // --serve: reap idle connections (-1 = never)
   std::int64_t backoff_ms = 100;     // --connect: retry backoff base
+  // --serve: lane coalescing (see serve/coalesce.hpp). 0 disables.
+  std::int64_t coalesce_window_us = 250;
+  int coalesce_max = 512;            // combined items per group
 };
 
 [[noreturn]] void usage(const char* msg) {
@@ -145,6 +148,7 @@ struct Args {
                "[--workers N] [--queue N]\n"
                "                       [--deadline-ms MS] [--max-deadline-ms MS] "
                "[--idle-timeout-ms MS]\n"
+               "                       [--coalesce-window-us US] [--coalesce-max N]\n"
                "       bitlevel-design --connect unix:PATH|tcp:PORT "
                "[--script FILE|-] [action flags]\n"
                "                       [--deadline-ms MS] [--retries N] [--backoff-ms MS]\n"
@@ -338,6 +342,10 @@ Args parse(int argc, char** argv) {
       args.max_deadline_ms = parse_int(flag, next(), 0, 86'400'000);
     } else if (flag == "--idle-timeout-ms") {
       args.idle_timeout_ms = parse_int(flag, next(), -1, 86'400'000);
+    } else if (flag == "--coalesce-window-us") {
+      args.coalesce_window_us = parse_int(flag, next(), 0, 10'000'000);
+    } else if (flag == "--coalesce-max") {
+      args.coalesce_max = static_cast<int>(parse_int(flag, next(), 1, 4096));
     } else if (flag == "--backoff-ms") {
       args.backoff_ms = parse_int(flag, next(), 1, 60'000);
     } else {
@@ -866,6 +874,8 @@ int run_serve(const Args& a) {
   config.default_deadline_ms = a.deadline_ms;
   config.max_deadline_ms = a.max_deadline_ms;
   config.idle_timeout_ms = a.idle_timeout_ms;
+  config.coalesce_window_us = a.coalesce_window_us;
+  config.max_coalesce_items = static_cast<std::size_t>(a.coalesce_max);
   serve::Server server(config);
   server.bind_and_listen();
 
@@ -895,6 +905,10 @@ int run_serve(const Args& a) {
       .value(static_cast<std::int64_t>(report.stats.rejected_overloaded));
   w.key("rejected_oversized").value(static_cast<std::int64_t>(report.stats.rejected_oversized));
   w.key("rejected_deadline").value(static_cast<std::int64_t>(report.stats.rejected_deadline));
+  w.key("coalesced_groups").value(static_cast<std::int64_t>(report.stats.coalesced_groups));
+  w.key("coalesced_items").value(static_cast<std::int64_t>(report.stats.coalesced_items));
+  w.key("coalesce_bypass_deadline")
+      .value(static_cast<std::int64_t>(report.stats.coalesce_bypass_deadline));
   w.key("leaked_plans").value(static_cast<std::int64_t>(report.leaked_plans));
   w.end_object();
   std::fprintf(stderr, "%s\n", w.str().c_str());
